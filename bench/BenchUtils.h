@@ -1,0 +1,105 @@
+//===- bench/BenchUtils.h - shared table-generation helpers -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for regenerating the paper's tables: run a workload under a
+/// pipeline configuration on a simulated target and report cycles
+/// (optionally scaled to seconds at a nominal clock), memory references,
+/// and golden-output verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_BENCH_BENCHUTILS_H
+#define VPO_BENCH_BENCHUTILS_H
+
+#include "ir/Function.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace bench {
+
+/// Nominal clock rates used to convert cycles to "seconds", so the tables
+/// read like the paper's (the relative numbers are what matter).
+inline double nominalClockHz(const std::string &Target) {
+  if (Target == "alpha")
+    return 150e6; // DEC Alpha 21064 class
+  if (Target == "m88100")
+    return 25e6;
+  return 25e6; // m68030
+}
+
+struct Measurement {
+  uint64_t Cycles = 0;
+  uint64_t MemRefs = 0;
+  uint64_t Instructions = 0;
+  uint64_t CacheMisses = 0;
+  bool Verified = false;
+  CoalesceStats Coalesce;
+};
+
+/// Compiles and simulates one workload/target/configuration cell, checking
+/// the result against the golden implementation.
+inline Measurement measureCell(const Workload &W, const TargetMachine &TM,
+                               const CompileOptions &CO,
+                               const SetupOptions &SO) {
+  Measurement M;
+  Module Mod;
+  Function *F = W.build(Mod);
+  Memory Mem;
+  SetupResult S = W.setup(Mem, SO);
+  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+  int64_t ExpectedRet = W.golden(Golden.data(), SO, S);
+
+  CompileReport Report = compileFunction(*F, TM, CO);
+  M.Coalesce = Report.Coalesce;
+
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*F, S.Args);
+  M.Cycles = R.Cycles;
+  M.MemRefs = R.MemRefs();
+  M.Instructions = R.Instructions;
+  M.CacheMisses = R.Cache.Misses;
+  M.Verified = R.ok() && R.ReturnValue == ExpectedRet &&
+               std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
+  return M;
+}
+
+/// The paper evaluated "500 by 500 black and white images"; 1-D kernels
+/// get the equivalent element count.
+inline SetupOptions paperSetup() {
+  SetupOptions SO;
+  SO.N = 250000;
+  SO.Width = 500;
+  SO.Height = 500;
+  SO.BaseAlign = 8;
+  return SO;
+}
+
+/// The six Table I benchmarks, in the paper's row order.
+inline std::vector<std::string> tableWorkloads() {
+  return {"convolution", "image_add", "image_add16",
+          "image_xor",   "translate", "eqntott",
+          "mirror"};
+}
+
+inline void printRule(int Width) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace vpo
+
+#endif // VPO_BENCH_BENCHUTILS_H

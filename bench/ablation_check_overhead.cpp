@@ -1,0 +1,86 @@
+//===- bench/ablation_check_overhead.cpp - run-time check cost --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quantifies the paper's claim that "typically, 10 to 15 instructions
+/// must be added in the loop preheader to check for possible hazards" and
+/// that "the impact of the extra code for checking is negligible".
+///
+/// Compares, across trip counts, the dot product compiled with run-time
+/// checks (parameters unknown) against the same kernel compiled with
+/// `restrict`-like no-alias and alignment declarations (no checks at all).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+Measurement measureWithAttrs(const Workload &W, const TargetMachine &TM,
+                             const CompileOptions &CO,
+                             const SetupOptions &SO, bool DeclareStatic) {
+  Measurement M;
+  Module Mod;
+  Function *F = W.build(Mod);
+  if (DeclareStatic)
+    for (size_t P = 0; P < F->params().size(); ++P) {
+      F->paramInfo(P).NoAlias = true;
+      F->paramInfo(P).KnownAlign = 8;
+    }
+  Memory Mem;
+  SetupResult S = W.setup(Mem, SO);
+  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+  int64_t ExpectedRet = W.golden(Golden.data(), SO, S);
+  CompileReport Report = compileFunction(*F, TM, CO);
+  M.Coalesce = Report.Coalesce;
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*F, S.Args);
+  M.Cycles = R.Cycles;
+  M.MemRefs = R.MemRefs();
+  M.Verified = R.ok() && R.ReturnValue == ExpectedRet &&
+               std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+
+  std::printf("Ablation: run-time alias/alignment check overhead "
+              "(dotproduct, Alpha model)\n\n");
+  std::printf("%-10s %14s %14s %12s %10s %s\n", "N", "checked cyc",
+              "static cyc", "overhead%", "chk-insts", "ok");
+  printRule(72);
+
+  auto W = makeWorkloadByName("dotproduct");
+  for (int64_t N : {16LL, 64LL, 256LL, 1024LL, 4096LL, 65536LL, 250000LL}) {
+    SetupOptions SO;
+    SO.N = N;
+    Measurement Checked = measureWithAttrs(*W, TM, CO, SO, false);
+    Measurement Static = measureWithAttrs(*W, TM, CO, SO, true);
+    double Overhead = Static.Cycles == 0
+                          ? 0.0
+                          : (double(Checked.Cycles) - double(Static.Cycles)) /
+                                double(Static.Cycles) * 100.0;
+    std::printf("%-10lld %14llu %14llu %11.3f%% %10u %s\n",
+                static_cast<long long>(N),
+                static_cast<unsigned long long>(Checked.Cycles),
+                static_cast<unsigned long long>(Static.Cycles), Overhead,
+                Checked.Coalesce.CheckInstructions,
+                Checked.Verified && Static.Verified ? "yes" : "MISMATCH");
+  }
+  std::printf("\n(the check cost is constant per loop entry, so the "
+              "overhead vanishes as the trip count grows —\n the paper's "
+              "'negligible impact' claim)\n");
+  return 0;
+}

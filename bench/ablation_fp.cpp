@@ -1,0 +1,95 @@
+//===- bench/ablation_fp.cpp - wide-bus FP coalescing -----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper generalizes the authors' earlier wide-bus floating-point work
+/// [Alex93]: pairs of single-precision loads coalesce into one 64-bit bus
+/// transaction. Livermore loop 5 exercises this: the y and z streams
+/// coalesce; the x stream cannot (its recurrence puts a load of x[i-1]
+/// between the stores of x[i] — a Fig. 4 hazard).
+///
+/// On a machine whose memory port accepts a reference every cycle the
+/// transformation does not pay (the profitability test refuses it); on a
+/// bus-limited variant it does.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+TargetMachine makeBusLimitedAlpha() {
+  TargetMachine Base = makeAlphaTarget();
+  TargetMachine::Spec S = Base.spec();
+  S.Name = "alpha-buslimited";
+  S.MemIssueCycles = 5; // one bus transaction every fifth cycle
+  S.FPLatency = 2;      // fast FUs relative to the bus
+  return TargetMachine(std::move(S));
+}
+
+} // namespace
+
+int main() {
+  SetupOptions SO;
+  SO.N = 250000;
+  // The kernel processes elements 1..n-1, so skew the allocations by one
+  // element: the hot streams (y[i], z[i] from i = 1) then start on a
+  // 64-bit bus boundary and the aligned fast path is reachable.
+  SO.BaseAlign = 8;
+  SO.Skew = 4;
+
+  std::printf("Ablation: wide-bus floating-point coalescing "
+              "(livermore5, f32 streams)\n\n");
+  std::printf("%-18s %-8s %14s %14s %10s %10s %10s %s\n", "target",
+              "profit", "vpo -O Mcyc", "coal Mcyc", "%save", "loadruns",
+              "storeruns", "ok");
+  printRule(104);
+
+  auto W = makeWorkloadByName("livermore5");
+  for (int BusLimited = 0; BusLimited <= 1; ++BusLimited) {
+    TargetMachine TM =
+        BusLimited ? makeBusLimitedAlpha() : makeAlphaTarget();
+    struct Cfg {
+      const char *Name;
+      bool Profit;
+      bool Recurrence;
+    } Cfgs[] = {
+        {"guarded", true, false},
+        {"forced", false, false},
+        {"g+recur", true, true},
+    };
+    for (const Cfg &C : Cfgs) {
+      CompileOptions Base;
+      Base.Mode = CoalesceMode::None;
+      Base.Unroll = true;
+      Base.Schedule = true;
+      CompileOptions Coal = Base;
+      Coal.Mode = CoalesceMode::LoadsAndStores;
+      Coal.RequireProfitability = C.Profit;
+      Coal.OptimizeRecurrences = C.Recurrence;
+
+      Measurement MB = measureCell(*W, TM, Base, SO);
+      Measurement MC = measureCell(*W, TM, Coal, SO);
+      double Save = (double(MB.Cycles) - double(MC.Cycles)) /
+                    double(MB.Cycles) * 100.0;
+      std::printf("%-18s %-8s %14.3f %14.3f %9.2f%% %10u %10u %s\n",
+                  TM.name().c_str(), C.Name, double(MB.Cycles) / 1e6,
+                  double(MC.Cycles) / 1e6, Save,
+                  MC.Coalesce.LoadRunsCoalesced,
+                  MC.Coalesce.StoreRunsCoalesced,
+                  MB.Verified && MC.Verified ? "yes" : "MISMATCH");
+    }
+  }
+  std::printf(
+      "\n(the x stream cannot coalesce on its own — its recurrence is a "
+      "Fig. 4 hazard — so storeruns\n stays 0 until recurrence "
+      "optimization [Beni91] carries x[i-1] in a register: that removes\n "
+      "the hazard, the x store run coalesces too, and the bus-limited "
+      "machine gains another ~10%%)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/ablation_unroll.cpp - unroll-factor sweep ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ablation for the paper's section 1 discussion: "naive loop unrolling
+/// may cause the size of a loop to grow larger than the instruction
+/// cache". Sweeps the forced unroll factor for image_add and reports
+/// cycles on the Alpha model and on the 68030 model, whose 256-byte
+/// i-cache makes the heuristic bite early.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace vpo;
+using namespace vpo::bench;
+
+int main() {
+  SetupOptions SO = paperSetup();
+  std::printf("Ablation: unroll factor sweep (image_add, coalesce "
+              "loads+stores)\n");
+  std::printf("'naive' columns disable the i-cache-fit heuristic (paper "
+              "section 2.2); 'capped' obey it\n\n");
+  std::printf("%-8s %14s %14s %14s %14s %s\n", "factor", "alpha capped",
+              "alpha naive", "m68030 capped", "m68030 naive", "ok");
+  printRule(84);
+
+  for (unsigned Factor : {0u, 2u, 8u, 32u, 128u, 512u, 2048u}) {
+    auto W = makeWorkloadByName("image_add");
+    TargetMachine Targets[2] = {makeAlphaTarget(), makeM68030Target()};
+    double Mcyc[2][2];
+    bool Ok = true;
+    for (int T = 0; T < 2; ++T)
+      for (int Naive = 0; Naive < 2; ++Naive) {
+        CompileOptions CO;
+        CO.Mode = CoalesceMode::LoadsAndStores;
+        CO.Unroll = true;
+        CO.UnrollFactor = Factor;
+        CO.IgnoreICacheHeuristic = Naive == 1;
+        // Forced over-unrolling is exactly what profitability would
+        // refuse; disable the guard so the cost is measurable.
+        CO.RequireProfitability = false;
+        Measurement M = measureCell(*W, Targets[T], CO, SO);
+        Mcyc[T][Naive] = double(M.Cycles) / 1e6;
+        Ok &= M.Verified;
+      }
+    char Label[16];
+    if (Factor == 0)
+      std::snprintf(Label, sizeof(Label), "auto");
+    else
+      std::snprintf(Label, sizeof(Label), "%u", Factor);
+    std::printf("%-8s %14.3f %14.3f %14.3f %14.3f %s\n", Label,
+                Mcyc[0][0], Mcyc[0][1], Mcyc[1][0], Mcyc[1][1],
+                Ok ? "yes" : "MISMATCH");
+  }
+  std::printf("\n(the 'capped' columns flatten once the request exceeds "
+              "what fits in the i-cache;\n the 'naive' columns keep "
+              "growing the loop until instruction fetch misses erase the\n"
+              " coalescing gains — the paper's motivation for the "
+              "heuristic. The 68030's 256-byte\n cache turns naive "
+              "unrolling into a large slowdown almost immediately.)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- bench/optimizer_throughput.cpp - pass throughput ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks of the library itself: how fast the
+/// analyses and the coalescing transformation run over the benchmark
+/// kernels. Not a paper artifact — this measures the reproduction's code,
+/// the way a downstream compiler integrator would.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "sched/ListScheduler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+void BM_BuildKernel(benchmark::State &State, const char *Name) {
+  auto W = makeWorkloadByName(Name);
+  for (auto _ : State) {
+    Module M;
+    benchmark::DoNotOptimize(W->build(M));
+  }
+}
+
+void BM_Analyses(benchmark::State &State, const char *Name) {
+  auto W = makeWorkloadByName(Name);
+  Module M;
+  Function *F = W->build(M);
+  for (auto _ : State) {
+    CFG G(*F);
+    DominatorTree DT(G);
+    LoopInfo LI(G, DT);
+    Liveness LV(G);
+    benchmark::DoNotOptimize(LI.loops().size());
+  }
+}
+
+void BM_FullPipeline(benchmark::State &State, const char *Name) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Module M;
+    Function *F = W->build(M);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compileFunction(*F, TM, CO));
+  }
+}
+
+void BM_ListScheduler(benchmark::State &State, const char *Name) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = false;
+  compileFunction(*F, TM, CO);
+  // Schedule the largest block repeatedly.
+  BasicBlock *Biggest = F->entry();
+  for (const auto &BB : F->blocks())
+    if (BB->size() > Biggest->size())
+      Biggest = BB.get();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleBlock(*Biggest, TM).Cycles);
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Biggest->size()));
+}
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+  SetupOptions SO;
+  SO.N = 4096;
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Memory Mem;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter Interp(TM, Mem);
+    State.ResumeTiming();
+    RunResult R = Interp.run(*F, S.Args);
+    Insts += R.Instructions;
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_BuildKernel, convolution, "convolution");
+BENCHMARK_CAPTURE(BM_BuildKernel, image_add, "image_add");
+BENCHMARK_CAPTURE(BM_Analyses, convolution, "convolution");
+BENCHMARK_CAPTURE(BM_Analyses, dotproduct, "dotproduct");
+BENCHMARK_CAPTURE(BM_FullPipeline, convolution, "convolution");
+BENCHMARK_CAPTURE(BM_FullPipeline, image_add, "image_add");
+BENCHMARK_CAPTURE(BM_FullPipeline, dotproduct, "dotproduct");
+BENCHMARK_CAPTURE(BM_ListScheduler, convolution, "convolution");
+BENCHMARK(BM_SimulatorThroughput);
+
+BENCHMARK_MAIN();

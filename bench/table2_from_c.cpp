@@ -1,0 +1,163 @@
+//===- bench/table2_from_c.cpp - Table II from C source ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's actual toolchain was "a C front end and vpo". This harness
+/// reruns the Table II experiment with every kernel compiled from C
+/// *source text* through the mini-C front end, strength reduction,
+/// unrolling, coalescing, legalization, and scheduling — no hand-built
+/// IR anywhere. Outputs are still verified against the golden scalar
+/// implementations (the kernels are written to match the Table I
+/// semantics exactly, taking the same argument lists).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "frontend/CFront.h"
+
+#include <cstring>
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+struct CKernel {
+  const char *WorkloadName; ///< supplies setup + golden
+  const char *Source;
+};
+
+const CKernel Kernels[] = {
+    {"dotproduct",
+     "int dotproduct(short *a, short *b, int n) {\n"
+     "  int c = 0;\n"
+     "  for (int i = 0; i < n; i++) c += a[i] * b[i];\n"
+     "  return c;\n"
+     "}\n"},
+    {"image_add",
+     "int image_add(unsigned char *a, unsigned char *b,\n"
+     "              unsigned char *c, int n) {\n"
+     "  for (int i = 0; i < n; i++) {\n"
+     "    int s = a[i] + b[i];\n"
+     "    c[i] = s > 255 ? 255 : s;\n"
+     "  }\n"
+     "  return 0;\n"
+     "}\n"},
+    {"image_add16",
+     "int image_add16(short *a, short *b, short *c, int n) {\n"
+     "  for (int i = 0; i < n; i++) c[i] = a[i] + b[i];\n"
+     "  return 0;\n"
+     "}\n"},
+    {"image_xor",
+     "int image_xor(unsigned char *a, unsigned char *b,\n"
+     "              unsigned char *c, int n) {\n"
+     "  for (int i = 0; i < n; i++) c[i] = a[i] ^ b[i];\n"
+     "  return 0;\n"
+     "}\n"},
+    {"translate",
+     "int translate(unsigned char *src, unsigned char *dst, int n) {\n"
+     "  for (int i = 0; i < n; i++) dst[i] = src[i];\n"
+     "  return 0;\n"
+     "}\n"},
+    {"eqntott",
+     "long eqntott(short *a, short *b, int n) {\n"
+     "  long acc = 0;\n"
+     "  for (int i = 0; i < n; i++) {\n"
+     "    long va = a[i];\n"
+     "    long vb = b[i];\n"
+     "    acc += (va < vb ? 1 : 0) - (va > vb ? 1 : 0);\n"
+     "    long x = va ^ vb;\n"
+     "    long mask = x & 255;\n"
+     "    long mix = mask + (va >> 2);\n"
+     "    long fold = (mix << 1) ^ mask;\n"
+     "    acc = acc * 31;\n"
+     "    acc = acc * 17;\n"
+     "    acc = acc * 13;\n"
+     "    acc += fold;\n"
+     "  }\n"
+     "  return acc;\n"
+     "}\n"},
+    {"mirror",
+     "int mirror(unsigned char *a, unsigned char *b, int n) {\n"
+     "  unsigned char *q = b + n;\n"
+     "  q -= 1;\n"
+     "  for (int i = 0; i < n; i++) {\n"
+     "    q[0] = a[i];\n"
+     "    q -= 1;\n"
+     "  }\n"
+     "  return 0;\n"
+     "}\n"},
+};
+
+struct CellStats {
+  double Secs = 0;
+  bool Ok = false;
+};
+
+CellStats runCell(const CKernel &K, const CompileOptions &CO,
+                  const SetupOptions &SO, const TargetMachine &TM,
+                  double Clock) {
+  CellStats Out;
+  std::string Err;
+  auto M = cc::compileC(K.Source, &Err);
+  if (!M) {
+    std::fprintf(stderr, "compile error in %s: %s\n", K.WorkloadName,
+                 Err.c_str());
+    return Out;
+  }
+  Function *F = M->functions().front().get();
+
+  auto W = makeWorkloadByName(K.WorkloadName);
+  Memory Mem;
+  SetupResult S = W->setup(Mem, SO);
+  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+  int64_t ExpectRet = W->golden(Golden.data(), SO, S);
+
+  compileFunction(*F, TM, CO);
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*F, S.Args);
+  Out.Secs = double(R.Cycles) / Clock;
+  Out.Ok = R.ok() && R.ReturnValue == ExpectRet &&
+           std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  TargetMachine TM = makeAlphaTarget();
+  double Clock = nominalClockHz("alpha");
+  SetupOptions SO = paperSetup();
+  auto Configs = paperConfigs();
+
+  std::printf("Table II rerun with kernels compiled FROM C SOURCE "
+              "(mini-C front end + strength reduction)\n");
+  std::printf("250000 elements; DEC Alpha model at %.0f MHz\n\n",
+              Clock / 1e6);
+  std::printf("%-12s %10s %10s %14s %16s %9s %s\n", "Program", "cc -O",
+              "vpo -O", "coalesce-lds", "coalesce-lds+sts", "%save", "ok");
+  printRule(92);
+
+  for (const CKernel &K : Kernels) {
+    double Secs[4];
+    bool AllOk = true;
+    for (size_t C = 0; C < Configs.size(); ++C) {
+      CellStats Cell = runCell(K, Configs[C].Options, SO, TM, Clock);
+      Secs[C] = Cell.Secs;
+      AllOk &= Cell.Ok;
+    }
+    double Save = (Secs[1] - Secs[3]) / Secs[1] * 100.0;
+    std::printf("%-12s %10.3f %10.3f %14.3f %16.3f %8.2f%% %s\n",
+                K.WorkloadName, Secs[0], Secs[1], Secs[2], Secs[3], Save,
+                AllOk ? "yes" : "MISMATCH");
+  }
+  std::printf("\n(convolution is omitted here: its 2-D loop nest uses "
+              "hand-hoisted coefficient registers\n that the mini-C "
+              "dialect expresses but whose IR differs enough from the "
+              "Table II row to\n invite apples-to-oranges comparisons; "
+              "see bench/table2_alpha for the canonical row)\n");
+  return 0;
+}

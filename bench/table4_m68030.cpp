@@ -1,0 +1,83 @@
+//===- bench/table4_m68030.cpp - reproduce the 68030 result -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's Motorola 68030 result (section 3, reported in
+/// text): "Unfortunately, in all cases the code ran slower" — the 68030
+/// has byte/word memory references as cheap as wide ones, and its bitfield
+/// extract instructions are "much more expensive than simply loading the
+/// bytes and words directly".
+///
+/// The authors' static profitability analysis did not predict this; the
+/// "forced" columns below coalesce unconditionally (their measured
+/// configuration), and the last column shows that this library's
+/// dual-schedule profitability test (paper Fig. 3) correctly refuses the
+/// transformation on this machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace vpo;
+using namespace vpo::bench;
+
+int main() {
+  TargetMachine TM = makeM68030Target();
+  double Clock = nominalClockHz("m68030");
+  SetupOptions SO = paperSetup();
+
+  CompileOptions Base;
+  Base.Mode = CoalesceMode::None;
+  Base.Unroll = true;
+  Base.Schedule = true;
+
+  CompileOptions Forced = Base;
+  Forced.Mode = CoalesceMode::LoadsAndStores;
+  Forced.RequireProfitability = false;
+
+  CompileOptions ForcedLoads = Base;
+  ForcedLoads.Mode = CoalesceMode::Loads;
+  ForcedLoads.RequireProfitability = false;
+
+  CompileOptions Guarded = Base;
+  Guarded.Mode = CoalesceMode::LoadsAndStores;
+  Guarded.RequireProfitability = true;
+
+  std::printf("Table IV (paper section 3 text): Motorola 68030 (model) — "
+              "coalescing makes code slower\n");
+  std::printf("500x500 images / 250000 elements; seconds at a nominal "
+              "%.0f MHz clock\n\n",
+              Clock / 1e6);
+  std::printf("%-12s %10s %14s %16s %10s %12s %s\n", "Program", "vpo -O",
+              "forced-loads", "forced-lds+sts", "slower?",
+              "with-profit", "ok");
+  printRule(96);
+
+  for (const std::string &Name : tableWorkloads()) {
+    auto W = makeWorkloadByName(Name);
+    Measurement MB = measureCell(*W, TM, Base, SO);
+    Measurement ML = measureCell(*W, TM, ForcedLoads, SO);
+    Measurement MF = measureCell(*W, TM, Forced, SO);
+    Measurement MG = measureCell(*W, TM, Guarded, SO);
+    bool AllOk =
+        MB.Verified && ML.Verified && MF.Verified && MG.Verified;
+    double SB = double(MB.Cycles) / Clock;
+    double SL = double(ML.Cycles) / Clock;
+    double SF = double(MF.Cycles) / Clock;
+    double SG = double(MG.Cycles) / Clock;
+    bool CoalescingFired = ML.Coalesce.LoopsTransformed > 0 ||
+                           MF.Coalesce.LoopsTransformed > 0;
+    std::printf("%-12s %10.3f %14.3f %16.3f %10s %12.3f %s\n",
+                Name.c_str(), SB, SL, SF,
+                !CoalescingFired ? "n/a"
+                                 : (SF > SB || SL > SB ? "yes" : "no"),
+                SG, AllOk ? "yes" : "MISMATCH");
+  }
+  std::printf("\n(paper: 'for the Motorola 68030 the technique resulted "
+              "in slower code' for all programs;\n the with-profit column "
+              "equals vpo -O because the Fig. 3 schedule comparison "
+              "rejects every loop)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- examples/custom_kernel.cpp - optimize textual RTL --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Using the library as a command-line optimizer: parse a kernel from the
+/// textual RTL format or compile it from mini-C (a file given as argv[1] —
+/// `.c` selects the C front end — or a built-in blend kernel), run the
+/// pipeline for a chosen target (argv[2]: alpha|m88100|m68030), and print
+/// the transformed function plus the pass statistics.
+///
+///   ./custom_kernel [kernel.vpo|kernel.c] [target]
+///
+/// Conventions the optimizer expects from hand-written kernels:
+///   * the function's pointer/count arguments are r1..rN in order;
+///   * loops are bottom-tested with a strict < / > bound on an induction
+///     register (the shape any C compiler emits for counted loops);
+///   * memory operands are base+displacement with explicit widths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CFront.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+#include "target/TargetMachine.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace vpo;
+
+namespace {
+
+/// 50/50 blend of two 8-bit images: two coalescable load streams and one
+/// coalescable store stream.
+const char *DefaultKernel =
+    "// blend: c[i] = (a[i] + b[i]) / 2 over n bytes\n"
+    "func @blend(r1, r2, r3, r4) {\n"
+    "entry:\n"
+    "  r5 = add r1, r4\n"
+    "  br.les r4, 0, exit, body\n"
+    "body:\n"
+    "  r6 = load.i8.u [r1]\n"
+    "  r7 = load.i8.u [r2]\n"
+    "  r8 = add r6, r7\n"
+    "  r9 = shrl r8, 1\n"
+    "  store.i8 [r3], r9\n"
+    "  r1 = add r1, 1\n"
+    "  r2 = add r2, 1\n"
+    "  r3 = add r3, 1\n"
+    "  br.ltu r1, r5, body, exit\n"
+    "exit:\n"
+    "  ret 0\n"
+    "}\n";
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Text = DefaultKernel;
+  bool IsC = false;
+  if (argc > 1) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+    std::string Path = argv[1];
+    IsC = Path.size() > 2 && Path.substr(Path.size() - 2) == ".c";
+  }
+  TargetMachine TM = makeTargetByName(argc > 2 ? argv[2] : "alpha");
+
+  std::string Err;
+  auto M = IsC ? cc::compileC(Text, &Err) : parseModule(Text, &Err);
+  if (!M) {
+    std::fprintf(stderr, "%s error: %s\n", IsC ? "compile" : "parse",
+                 Err.c_str());
+    return 1;
+  }
+
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+
+  for (const auto &F : M->functions()) {
+    std::printf("== %s, before (%zu instructions) ==\n\n%s\n",
+                F->name().c_str(), F->instructionCount(),
+                printFunction(*F).c_str());
+    CompileReport Report = compileFunction(*F, TM, CO);
+    std::printf("== %s, optimized for %s (%zu instructions) ==\n\n%s\n",
+                F->name().c_str(), TM.name().c_str(),
+                F->instructionCount(), printFunction(*F).c_str());
+    std::printf("%s\n\n", Report.Coalesce.summary().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+/* 50/50 blend of two 8-bit images. */
+int blend(unsigned char *a, unsigned char *b,
+          unsigned char * restrict c, int n) {
+  for (int i = 0; i < n; i++)
+    c[i] = (a[i] + b[i]) >> 1;
+  return 0;
+}

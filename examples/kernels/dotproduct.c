@@ -1,0 +1,7 @@
+/* The paper's Figure 1a, verbatim shape. */
+int dotproduct(short *a, short *b, int n) {
+  int c = 0;
+  for (int i = 0; i < n; i++)
+    c += a[i] * b[i];
+  return c;
+}

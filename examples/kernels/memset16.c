@@ -1,0 +1,6 @@
+/* Fill a shortword buffer: one coalescable store stream. */
+int memset16(short *dst, int value, int n) {
+  for (int i = 0; i < n; i++)
+    dst[i] = value;
+  return 0;
+}

@@ -1,0 +1,6 @@
+/* Single-precision a*x + y: the y stream both loads and stores. */
+int saxpy(float *x, float * restrict y, int n, int a) {
+  for (int i = 0; i < n; i++)
+    y[i] = x[i] * a + y[i];
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - Figure 1 walkthrough -----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's running example, end to end: build the dot-product kernel
+/// (Figure 1a) as RTL, print it (Figure 1b's shape), run the coalescing
+/// pipeline for the DEC Alpha model, print the transformed loop (Figure
+/// 1c's shape: one wide load per vector plus extracts), and simulate both
+/// versions to show the cycle and memory-reference savings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace vpo;
+
+namespace {
+
+struct SimStats {
+  uint64_t Cycles, MemRefs;
+  int64_t Ret;
+};
+
+SimStats simulate(Function &F, const Workload &W, const TargetMachine &TM) {
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 4096;
+  SetupResult S = W.setup(Mem, SO);
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(F, S.Args);
+  if (!R.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return {R.Cycles, R.MemRefs(), R.ReturnValue};
+}
+
+} // namespace
+
+int main() {
+  auto W = makeWorkloadByName("dotproduct");
+  TargetMachine TM = makeAlphaTarget();
+
+  std::printf("== The kernel as the front end emits it (paper Fig. 1a/1b)"
+              " ==\n\n");
+  Module M1;
+  Function *Original = W->build(M1);
+  std::printf("%s\n", printFunction(*Original).c_str());
+
+  // Simulate the baseline (legalized + scheduled, no coalescing).
+  CompileOptions Baseline;
+  Baseline.Mode = CoalesceMode::None;
+  Baseline.Unroll = true;
+  compileFunction(*Original, TM, Baseline);
+  SimStats Before = simulate(*Original, *W, TM);
+
+  // The optimized version: declare the arrays aligned and non-aliasing
+  // so the transformation applies without run-time checks, exactly like
+  // Fig. 1c (see examples/runtime_checks for the checked variant).
+  Module M2;
+  Function *Optimized = W->build(M2);
+  for (size_t P = 0; P < Optimized->params().size(); ++P) {
+    Optimized->paramInfo(P).NoAlias = true;
+    Optimized->paramInfo(P).KnownAlign = 8;
+  }
+  CompileOptions Coalesce = Baseline;
+  Coalesce.Mode = CoalesceMode::LoadsAndStores;
+  CompileReport Report = compileFunction(*Optimized, TM, Coalesce);
+
+  std::printf("== After unrolling by 4 and coalescing (paper Fig. 1c) "
+              "==\n\n");
+  std::printf("%s\n", printFunction(*Optimized).c_str());
+  std::printf("pass statistics:\n%s\n\n",
+              Report.Coalesce.summary().c_str());
+
+  SimStats After = simulate(*Optimized, *W, TM);
+  std::printf("== Simulated on the %s model (n = 4096) ==\n\n",
+              TM.name().c_str());
+  std::printf("                 %12s %12s\n", "baseline", "coalesced");
+  std::printf("cycles           %12llu %12llu  (%.1f%% faster)\n",
+              (unsigned long long)Before.Cycles,
+              (unsigned long long)After.Cycles,
+              100.0 * (double(Before.Cycles) - double(After.Cycles)) /
+                  double(Before.Cycles));
+  std::printf("memory refs      %12llu %12llu  (%.0f%% fewer)\n",
+              (unsigned long long)Before.MemRefs,
+              (unsigned long long)After.MemRefs,
+              100.0 * (double(Before.MemRefs) - double(After.MemRefs)) /
+                  double(Before.MemRefs));
+  std::printf("result check     %12lld %12lld  (%s)\n",
+              (long long)Before.Ret, (long long)After.Ret,
+              Before.Ret == After.Ret ? "identical" : "MISMATCH!");
+  std::printf("\nThe paper's section 2.1: the original loop performs 2n "
+              "memory references,\nthe coalesced loop n/2 — a savings of "
+              "75 percent.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/runtime_checks.cpp - Figure 5 demo --------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's signature technique in action: when nothing is known about
+/// the image pointers at compile time, the optimizer emits run-time alias
+/// and alignment checks in the loop preheader (section 2.2's generated
+/// code) and keeps the original loop as the safe version (Figure 5's flow
+/// graph).
+///
+/// This example compiles the translate kernel once and then runs it three
+/// ways — aligned and disjoint, deliberately misaligned, and with the
+/// destination overlapping the source — showing which loop version the
+/// checks select each time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vpo;
+
+int main() {
+  auto W = makeWorkloadByName("translate");
+  TargetMachine TM = makeAlphaTarget();
+
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CompileReport Report = compileFunction(*F, TM, CO);
+
+  std::printf("== Check code generated in the preheader (cf. paper "
+              "section 2.2) ==\n\n");
+  for (const auto &BB : F->blocks())
+    if (BB->name().find("checks") != std::string::npos) {
+      std::printf("%s:\n", BB->name().c_str());
+      for (const Instruction &I : BB->insts())
+        std::printf("  %s\n", printInstruction(I).c_str());
+      std::printf("\n");
+    }
+  std::printf("check statistics: %u alignment checks, %u overlap checks, "
+              "%u instructions total\n\n",
+              Report.Coalesce.AlignmentChecks,
+              Report.Coalesce.OverlapChecks,
+              Report.Coalesce.CheckInstructions);
+
+  struct Scenario {
+    const char *Name;
+    size_t Skew;
+    bool Overlap;
+  } Scenarios[] = {
+      {"aligned, disjoint arrays", 0, false},
+      {"misaligned source (skew 1)", 1, false},
+      {"destination overlaps source", 0, true},
+  };
+
+  std::printf("== Running n = 4096 under three data layouts ==\n\n");
+  std::printf("%-32s %10s %10s %14s %s\n", "scenario", "cycles",
+              "memrefs", "refs/element", "correct");
+  for (const Scenario &S : Scenarios) {
+    Memory Mem;
+    SetupOptions SO;
+    SO.N = 4096;
+    SO.Skew = S.Skew;
+    SO.OverlapMode = S.Overlap ? 1 : 0;
+    SetupResult Setup = W->setup(Mem, SO);
+    std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+    W->golden(Golden.data(), SO, Setup);
+
+    Interpreter Interp(TM, Mem);
+    RunResult R = Interp.run(*F, Setup.Args);
+    bool Match = R.ok() &&
+                 std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
+    std::printf("%-32s %10llu %10llu %14.2f %s\n", S.Name,
+                (unsigned long long)R.Cycles,
+                (unsigned long long)R.MemRefs(),
+                double(R.MemRefs()) / 4096.0, Match ? "yes" : "NO");
+  }
+  std::printf(
+      "\nReading the table: with the checks passing, one wide load and "
+      "one wide store move\n8 pixels (0.25 references per element); the "
+      "misaligned run falls back to unaligned\nload pairs plus narrow "
+      "read-modify-write stores; the overlapping run takes the\noriginal "
+      "safe loop (3 references per element on this machine). All three "
+      "produce\nthe exact golden output — the checks are what make the "
+      "transformation safe to ship.\n");
+  return 0;
+}

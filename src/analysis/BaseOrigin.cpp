@@ -1,0 +1,151 @@
+//===- analysis/BaseOrigin.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BaseOrigin.h"
+
+#include "ir/Function.h"
+#include "support/MathExtras.h"
+
+#include <unordered_map>
+
+using namespace vpo;
+
+namespace {
+
+/// The instruction whose result gives a register its *identity*: its
+/// unique definition, or — for induction variables, whose other
+/// definitions are all self-updates (`R = R op X`) that move the pointer
+/// within the same object — its unique initializer. nullptr when
+/// genuinely ambiguous.
+std::unordered_map<unsigned, const Instruction *>
+identityDefs(const Function &F) {
+  std::unordered_map<unsigned, std::vector<const Instruction *>> All;
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : BB->insts())
+      if (auto D = I.def())
+        All[D->Id].push_back(&I);
+
+  std::unordered_map<unsigned, const Instruction *> Defs;
+  std::vector<Reg> Uses;
+  for (auto &[Id, List] : All) {
+    const Instruction *Init = nullptr;
+    bool Ambiguous = false;
+    for (const Instruction *I : List) {
+      Uses.clear();
+      I->collectUses(Uses);
+      bool SelfUpdate = false;
+      for (Reg U : Uses)
+        SelfUpdate |= U.Id == Id;
+      if (SelfUpdate)
+        continue;
+      if (Init)
+        Ambiguous = true;
+      Init = I;
+    }
+    Defs[Id] = Ambiguous ? nullptr : Init;
+  }
+  return Defs;
+}
+
+bool isParam(const Function &F, Reg R) {
+  for (Reg P : F.params())
+    if (P == R)
+      return true;
+  return false;
+}
+
+bool hasDeclaredFacts(const Function &F, Reg Param) {
+  ParamInfo PI = F.paramInfoFor(Param);
+  return PI.NoAlias || PI.KnownAlign > 1;
+}
+
+BaseOrigin traceImpl(
+    const Function &F,
+    const std::unordered_map<unsigned, const Instruction *> &Defs, Reg R,
+    int Depth) {
+  BaseOrigin O;
+  if (Depth > 16)
+    return O;
+  if (isParam(F, R)) {
+    O.Param = R;
+    O.ExactOffset = true;
+    O.Offset = 0;
+    return O;
+  }
+  auto It = Defs.find(R.Id);
+  if (It == Defs.end() || !It->second)
+    return O;
+  const Instruction &I = *It->second;
+
+  auto Follow = [&](Reg Next, int64_t Delta,
+                    bool DeltaExact) -> BaseOrigin {
+    BaseOrigin Inner = traceImpl(F, Defs, Next, Depth + 1);
+    if (!Inner.traced())
+      return Inner;
+    Inner.ExactOffset = Inner.ExactOffset && DeltaExact;
+    Inner.Offset = Inner.ExactOffset ? Inner.Offset + Delta : 0;
+    return Inner;
+  };
+
+  switch (I.Op) {
+  case Opcode::Mov:
+    if (I.A.isReg())
+      return Follow(I.A.reg(), 0, true);
+    return O;
+  case Opcode::Add:
+    if (I.A.isReg() && I.B.isImm())
+      return Follow(I.A.reg(), I.B.imm(), true);
+    if (I.B.isReg() && I.A.isImm())
+      return Follow(I.B.reg(), I.A.imm(), true);
+    if (I.A.isReg() && I.B.isReg()) {
+      // Register + register: usable only when exactly one side reaches a
+      // parameter with declared facts (the pointer side).
+      BaseOrigin LHS = Follow(I.A.reg(), 0, false);
+      BaseOrigin RHS = Follow(I.B.reg(), 0, false);
+      bool LGood = LHS.traced() && hasDeclaredFacts(F, LHS.Param);
+      bool RGood = RHS.traced() && hasDeclaredFacts(F, RHS.Param);
+      if (LGood != RGood)
+        return LGood ? LHS : RHS;
+      return O;
+    }
+    return O;
+  case Opcode::Sub:
+    if (I.A.isReg() && I.B.isImm())
+      return Follow(I.A.reg(), -I.B.imm(), true);
+    if (I.A.isReg() && I.B.isReg()) {
+      BaseOrigin LHS = Follow(I.A.reg(), 0, false);
+      if (LHS.traced() && hasDeclaredFacts(F, LHS.Param))
+        return LHS;
+      return O;
+    }
+    return O;
+  default:
+    return O;
+  }
+}
+
+} // namespace
+
+BaseOrigin vpo::traceBaseOrigin(const Function &F, Reg R) {
+  auto Defs = identityDefs(F);
+  return traceImpl(F, Defs, R, 0);
+}
+
+bool vpo::baseIsNoAlias(const Function &F, Reg R) {
+  BaseOrigin O = traceBaseOrigin(F, R);
+  return O.traced() && F.paramInfoFor(O.Param).NoAlias;
+}
+
+uint64_t vpo::baseKnownAlignment(const Function &F, Reg R) {
+  BaseOrigin O = traceBaseOrigin(F, R);
+  if (!O.traced() || !O.ExactOffset)
+    return 1;
+  uint64_t ParamAlign = F.paramInfoFor(O.Param).KnownAlign;
+  if (O.Offset == 0)
+    return ParamAlign;
+  uint64_t OffAlign = knownAlignmentOf(O.Offset);
+  return ParamAlign < OffAlign ? ParamAlign : OffAlign;
+}

@@ -1,0 +1,63 @@
+//===- analysis/BaseOrigin.h - trace pointers to parameters ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernels rarely use parameter registers directly as reference bases:
+/// they derive row pointers and offset cursors (`pM = img + W`,
+/// `pX = x + 4`). The alias and alignment facts attached to the
+/// parameters (`restrict`, known alignment) are only usable if a derived
+/// base can be traced back to its originating parameter.
+///
+/// traceBaseOrigin follows definition chains of Mov/Add/Sub from a
+/// register to a parameter, accumulating a constant byte offset when the
+/// chain is built from immediates. Induction variables are handled by
+/// ignoring their self-updates (`R = R op X` moves the pointer within the
+/// same object): the traced origin describes the register's *initial*
+/// value, which is exactly what alignment reasoning wants when combined
+/// with the step-preserves-alignment check. A chain step adding two
+/// registers is resolved only when exactly one side reaches a parameter
+/// that carries declared facts (the other side is then a scalar index):
+/// the offset becomes unknown but the identity survives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_BASEORIGIN_H
+#define VPO_ANALYSIS_BASEORIGIN_H
+
+#include "ir/Instruction.h"
+
+namespace vpo {
+
+class Function;
+
+struct BaseOrigin {
+  /// The parameter register the base derives from; invalid if the chain
+  /// could not be traced.
+  Reg Param;
+  /// True when Offset below is the exact byte displacement from Param.
+  bool ExactOffset = false;
+  int64_t Offset = 0;
+
+  bool traced() const { return Param.isValid(); }
+};
+
+/// Traces \p R to a parameter of \p F. Conservative: returns an
+/// untraced origin on any ambiguity (multiple definitions, loads,
+/// register-register arithmetic without a distinguished pointer side).
+BaseOrigin traceBaseOrigin(const Function &F, Reg R);
+
+/// Convenience: the NoAlias fact of the traced parameter (false when
+/// untraceable).
+bool baseIsNoAlias(const Function &F, Reg R);
+
+/// Convenience: the provable alignment of the value in \p R (1 = none):
+/// the parameter's declared alignment reduced by the chain's constant
+/// displacement.
+uint64_t baseKnownAlignment(const Function &F, Reg R);
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_BASEORIGIN_H

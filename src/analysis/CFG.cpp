@@ -1,0 +1,76 @@
+//===- analysis/CFG.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace vpo;
+
+CFG::CFG(const Function &F) : F(F) {
+  // Ensure every block has an entry in the predecessor map.
+  for (const auto &BB : F.blocks())
+    Preds[BB.get()];
+
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ].push_back(BB.get());
+
+  // Deduplicate (a conditional branch with identical arms yields one edge,
+  // but defensive duplicates from rewrites are merged here).
+  for (auto &[BB, List] : Preds) {
+    (void)BB;
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+
+  // Iterative DFS post-order, then reverse.
+  if (!F.blocks().empty()) {
+    std::unordered_set<const BasicBlock *> Visited;
+    std::vector<std::pair<BasicBlock *, size_t>> Stack;
+    std::vector<BasicBlock *> PostOrder;
+    BasicBlock *Entry = F.entry();
+    Stack.push_back({Entry, 0});
+    Visited.insert(Entry);
+    while (!Stack.empty()) {
+      auto &[BB, NextSucc] = Stack.back();
+      std::vector<BasicBlock *> Succs = BB->successors();
+      if (NextSucc < Succs.size()) {
+        BasicBlock *S = Succs[NextSucc++];
+        if (Visited.insert(S).second)
+          Stack.push_back({S, 0});
+        continue;
+      }
+      PostOrder.push_back(BB);
+      Stack.pop_back();
+    }
+    RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+    for (const auto &BB : F.blocks()) {
+      Reachable[BB.get()] = Visited.count(BB.get()) != 0;
+      if (!Visited.count(BB.get()))
+        RPO.push_back(BB.get());
+    }
+  }
+}
+
+const std::vector<BasicBlock *> &
+CFG::predecessors(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  assert(It != Preds.end() && "block not in CFG");
+  return It->second;
+}
+
+std::vector<BasicBlock *> CFG::successors(const BasicBlock *BB) const {
+  return BB->successors();
+}
+
+bool CFG::isUnreachable(const BasicBlock *BB) const {
+  auto It = Reachable.find(BB);
+  return It == Reachable.end() || !It->second;
+}

@@ -1,0 +1,50 @@
+//===- analysis/CFG.h - Control-flow graph utilities ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor maps and orderings over the CFG implied by block terminators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_CFG_H
+#define VPO_ANALYSIS_CFG_H
+
+#include <unordered_map>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+
+/// Predecessor lists for every block of a function. Invalidated by any CFG
+/// edit; recompute after transformation passes.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  const Function &function() const { return F; }
+
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const;
+  std::vector<BasicBlock *> successors(const BasicBlock *BB) const;
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks are
+  /// appended at the end in layout order so analyses still see them).
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  /// \returns true if \p BB cannot be reached from the entry block.
+  bool isUnreachable(const BasicBlock *BB) const;
+
+private:
+  const Function &F;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::vector<BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *, bool> Reachable;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_CFG_H

@@ -1,0 +1,81 @@
+//===- analysis/Dominators.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+using namespace vpo;
+
+DominatorTree::DominatorTree(const CFG &G) : G(G) {
+  const auto &RPO = G.reversePostOrder();
+  if (RPO.empty())
+    return;
+
+  std::unordered_map<const BasicBlock *, int> RPONum;
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RPONum[RPO[I]] = static_cast<int>(I);
+
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // sentinel; reported as nullptr by idom().
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPONum[A] > RPONum[B])
+        A = IDom[A];
+      while (RPONum[B] > RPONum[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry || G.isUnreachable(BB))
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : G.predecessors(BB)) {
+        if (G.isUnreachable(P) || !IDom.count(P))
+          continue;
+        NewIDom = NewIDom ? Intersect(P, NewIDom) : P;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (G.isUnreachable(A) || G.isUnreachable(B))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false; // reached the entry without meeting A
+    Cur = It->second;
+  }
+}

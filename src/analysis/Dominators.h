@@ -1,0 +1,43 @@
+//===- analysis/Dominators.h - Dominator computation ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate-dominator computation (Cooper–Harvey–Kennedy iterative
+/// algorithm over reverse post-order). Needed to find natural loops: a back
+/// edge is an edge T -> H where H dominates T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_DOMINATORS_H
+#define VPO_ANALYSIS_DOMINATORS_H
+
+#include <unordered_map>
+
+namespace vpo {
+
+class BasicBlock;
+class CFG;
+
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFG &G);
+
+  /// \returns the immediate dominator of \p BB, or nullptr for the entry
+  /// block and unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// \returns true if \p A dominates \p B (every block dominates itself).
+  /// Unreachable blocks dominate nothing and are dominated by nothing.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+private:
+  const CFG &G;
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_DOMINATORS_H

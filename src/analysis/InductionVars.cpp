@@ -1,0 +1,177 @@
+//===- analysis/InductionVars.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InductionVars.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+using namespace vpo;
+
+namespace {
+
+/// Matches `R = R + imm` / `R = R - imm` (Add is matched commutatively).
+/// \returns the signed step, or nullopt.
+std::optional<int64_t> matchIncrement(const Instruction &I, Reg R) {
+  if (!I.Dst.isValid() || I.Dst != R)
+    return std::nullopt;
+  if (I.Op == Opcode::Add) {
+    if (I.A.isReg() && I.A.reg() == R && I.B.isImm())
+      return I.B.imm();
+    if (I.B.isReg() && I.B.reg() == R && I.A.isImm())
+      return I.A.imm();
+    return std::nullopt;
+  }
+  if (I.Op == Opcode::Sub) {
+    if (I.A.isReg() && I.A.reg() == R && I.B.isImm())
+      return -I.B.imm();
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+LoopScalarInfo::LoopScalarInfo(const Loop &L, const Function &F) {
+  (void)F;
+  // Pass 1: count definitions of every register inside the loop.
+  for (const BasicBlock *BB : L.blocks())
+    for (const Instruction &I : BB->insts())
+      if (auto D = I.def())
+        ++DefCounts[D->Id];
+
+  // The block in which IV increments must live: the single body block, or
+  // the unique latch for multi-block loops (executed once per iteration).
+  BasicBlock *IncBlock = L.singleBodyBlock();
+  if (!IncBlock && L.latches().size() == 1)
+    IncBlock = L.latches().front();
+
+  // Pass 2: find IVs — registers whose every in-loop definition is a
+  // constant increment in IncBlock.
+  if (IncBlock) {
+    std::unordered_map<unsigned, InductionVar> Candidates;
+    std::unordered_map<unsigned, unsigned> IncCounts;
+    for (size_t Idx = 0; Idx < IncBlock->size(); ++Idx) {
+      const Instruction &I = IncBlock->insts()[Idx];
+      auto D = I.def();
+      if (!D)
+        continue;
+      auto Step = matchIncrement(I, *D);
+      if (!Step)
+        continue;
+      InductionVar &IV = Candidates[D->Id];
+      IV.R = *D;
+      IV.StepPerIteration += *Step;
+      IV.IncBlock = IncBlock;
+      IV.IncIdxs.push_back(Idx);
+      ++IncCounts[D->Id];
+    }
+    for (auto &[Id, IV] : Candidates) {
+      // All loop definitions must be increments we saw.
+      if (IncCounts[Id] != DefCounts[Id])
+        continue;
+      if (IV.StepPerIteration == 0)
+        continue;
+      IVs.push_back(IV);
+    }
+    // Deterministic order by register id.
+    std::sort(IVs.begin(), IVs.end(),
+              [](const InductionVar &A, const InductionVar &B) {
+                return A.R.Id < B.R.Id;
+              });
+  }
+
+  // Loop bound: the latch terminator in canonical compare form.
+  if (L.latches().size() == 1) {
+    const BasicBlock *Latch = L.latches().front();
+    if (!Latch->empty()) {
+      const Instruction &T = Latch->terminator();
+      if (T.Op == Opcode::Br) {
+        bool TrueContinues = T.TrueTarget == L.header();
+        bool FalseContinues = T.FalseTarget == L.header();
+        if (TrueContinues != FalseContinues) {
+          CondCode CC = TrueContinues ? T.CC : invertCond(T.CC);
+          // Normalize so the IV is the left operand.
+          auto TryBound = [&](const Operand &Lhs, const Operand &Rhs,
+                              CondCode Cond) -> std::optional<LoopBound> {
+            if (!Lhs.isReg())
+              return std::nullopt;
+            const InductionVar *IV = ivFor(Lhs.reg());
+            if (!IV)
+              return std::nullopt;
+            if (Rhs.isReg() && !isInvariant(Rhs.reg()))
+              return std::nullopt;
+            LoopBound B;
+            B.IV = Lhs.reg();
+            B.Limit = Rhs;
+            B.ContinueCond = Cond;
+            return B;
+          };
+          if (auto B = TryBound(T.A, T.B, CC))
+            Bound = B;
+          else if (auto B = TryBound(T.B, T.A, swapCond(CC)))
+            Bound = B;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::unordered_map<unsigned, int64_t>>
+vpo::accumulatedIVSteps(const BasicBlock &Body, const LoopScalarInfo &LSI) {
+  std::vector<std::unordered_map<unsigned, int64_t>> Acc(Body.size());
+  std::unordered_map<unsigned, int64_t> Running;
+  for (size_t Idx = 0; Idx < Body.size(); ++Idx) {
+    Acc[Idx] = Running;
+    const Instruction &I = Body.insts()[Idx];
+    auto D = I.def();
+    if (!D)
+      continue;
+    const InductionVar *IV = LSI.ivFor(*D);
+    if (!IV)
+      continue;
+    for (size_t IncIdx : IV->IncIdxs)
+      if (IncIdx == Idx) {
+        int64_t Step = 0;
+        if (I.Op == Opcode::Add)
+          Step = I.A.isImm() ? I.A.imm() : I.B.imm();
+        else if (I.Op == Opcode::Sub)
+          Step = -I.B.imm();
+        Running[D->Id] += Step;
+      }
+  }
+  return Acc;
+}
+
+bool vpo::isIVIncrement(const LoopScalarInfo &LSI, const BasicBlock &Body,
+                        size_t Idx) {
+  auto D = Body.insts()[Idx].def();
+  if (!D)
+    return false;
+  const InductionVar *IV = LSI.ivFor(*D);
+  if (!IV)
+    return false;
+  for (size_t I : IV->IncIdxs)
+    if (I == Idx)
+      return true;
+  return false;
+}
+
+bool LoopScalarInfo::isInvariant(Reg R) const {
+  return DefCounts.find(R.Id) == DefCounts.end();
+}
+
+unsigned LoopScalarInfo::defCount(Reg R) const {
+  auto It = DefCounts.find(R.Id);
+  return It == DefCounts.end() ? 0 : It->second;
+}
+
+const InductionVar *LoopScalarInfo::ivFor(Reg R) const {
+  for (const InductionVar &IV : IVs)
+    if (IV.R == R)
+      return &IV;
+  return nullptr;
+}

@@ -1,0 +1,97 @@
+//===- analysis/InductionVars.h - IVs and loop bounds ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FindInductionVars from the paper's Fig. 2: identifies registers updated
+/// only by constant increments inside a loop, which register is loop
+/// invariant, and the loop's termination condition. This information feeds
+/// both the unroller (trip-count math, remainder loop) and the coalescer
+/// (relative offsets of memory references from the induction variable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_INDUCTIONVARS_H
+#define VPO_ANALYSIS_INDUCTIONVARS_H
+
+#include "ir/Instruction.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class Loop;
+class Function;
+
+/// A basic induction variable: inside the loop, register R is defined only
+/// by `R = R + c_k` / `R = R - c_k` instructions, all in the loop's single
+/// body block (or unique latch for multi-block loops).
+struct InductionVar {
+  Reg R;
+  /// Net signed change to R per iteration (sum of all increments).
+  int64_t StepPerIteration = 0;
+  /// Block holding the increments.
+  BasicBlock *IncBlock = nullptr;
+  /// Instruction indices of the increments within IncBlock, ascending.
+  std::vector<size_t> IncIdxs;
+};
+
+/// The loop-continuation condition, normalized so the IV is on the left:
+/// the loop continues while `IV ContinueCond Limit` holds.
+struct LoopBound {
+  Reg IV;
+  Operand Limit; ///< loop-invariant register or immediate
+  CondCode ContinueCond = CondCode::LTs;
+};
+
+/// Scalar (register-level) facts about one loop.
+class LoopScalarInfo {
+public:
+  LoopScalarInfo(const Loop &L, const Function &F);
+
+  /// \returns true if \p R is never defined inside the loop.
+  bool isInvariant(Reg R) const;
+
+  /// \returns true if \p O is an immediate or an invariant register.
+  bool isInvariant(const Operand &O) const {
+    return !O.isReg() || isInvariant(O.reg());
+  }
+
+  /// Number of instructions in the loop that define \p R.
+  unsigned defCount(Reg R) const;
+
+  const std::vector<InductionVar> &inductionVars() const { return IVs; }
+
+  /// \returns the induction variable record for \p R, or nullptr.
+  const InductionVar *ivFor(Reg R) const;
+
+  /// The loop-continuation condition derived from the latch terminator,
+  /// if it has the canonical `br cc IV, Limit` shape.
+  const std::optional<LoopBound> &bound() const { return Bound; }
+
+private:
+  std::unordered_map<unsigned, unsigned> DefCounts; // Reg::Id -> count
+  std::vector<InductionVar> IVs;
+  std::optional<LoopBound> Bound;
+};
+
+/// For each instruction index of \p Body, the sum of IV increments already
+/// executed *before* that instruction, per IV register id. A memory
+/// reference at index Idx with displacement D addresses
+/// `iteration-start base + D + result[Idx][base]`.
+std::vector<std::unordered_map<unsigned, int64_t>>
+accumulatedIVSteps(const BasicBlock &Body, const LoopScalarInfo &LSI);
+
+/// \returns true if instruction \p Idx of \p Body is one of the recorded
+/// increments of an induction variable.
+bool isIVIncrement(const LoopScalarInfo &LSI, const BasicBlock &Body,
+                   size_t Idx);
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_INDUCTIONVARS_H

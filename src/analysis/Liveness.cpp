@@ -1,0 +1,96 @@
+//===- analysis/Liveness.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+using namespace vpo;
+
+Liveness::Liveness(const CFG &G) : G(G) {
+  const Function &F = G.function();
+  NumRegs = F.regUpperBound();
+
+  // Per-block Use (read before any write) and Def sets.
+  std::unordered_map<const BasicBlock *, RegSet> UseSets, DefSets;
+  std::vector<Reg> Tmp;
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    RegSet Use(NumRegs, false), Def(NumRegs, false);
+    for (const Instruction &I : BB->insts()) {
+      Tmp.clear();
+      I.collectUses(Tmp);
+      for (Reg R : Tmp)
+        if (!Def[R.Id])
+          Use[R.Id] = true;
+      if (auto D = I.def())
+        Def[D->Id] = true;
+    }
+    UseSets[BB] = std::move(Use);
+    DefSets[BB] = std::move(Def);
+    LiveInSets[BB] = RegSet(NumRegs, false);
+    LiveOutSets[BB] = RegSet(NumRegs, false);
+  }
+
+  // Iterate to fixpoint (backward). Post-order = reverse of RPO gives fast
+  // convergence.
+  bool Changed = true;
+  const auto &RPO = G.reversePostOrder();
+  while (Changed) {
+    Changed = false;
+    for (auto It = RPO.rbegin(); It != RPO.rend(); ++It) {
+      const BasicBlock *BB = *It;
+      RegSet &Out = LiveOutSets[BB];
+      for (const BasicBlock *S : BB->successors()) {
+        const RegSet &SIn = LiveInSets[S];
+        for (unsigned R = 0; R < NumRegs; ++R)
+          if (SIn[R] && !Out[R]) {
+            Out[R] = true;
+            Changed = true;
+          }
+      }
+      RegSet &In = LiveInSets[BB];
+      const RegSet &Use = UseSets[BB];
+      const RegSet &Def = DefSets[BB];
+      for (unsigned R = 0; R < NumRegs; ++R) {
+        bool NewIn = Use[R] || (Out[R] && !Def[R]);
+        if (NewIn && !In[R]) {
+          In[R] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool Liveness::liveIn(const BasicBlock *BB, Reg R) const {
+  auto It = LiveInSets.find(BB);
+  return It != LiveInSets.end() && R.Id < NumRegs && It->second[R.Id];
+}
+
+bool Liveness::liveOut(const BasicBlock *BB, Reg R) const {
+  auto It = LiveOutSets.find(BB);
+  return It != LiveOutSets.end() && R.Id < NumRegs && It->second[R.Id];
+}
+
+bool Liveness::liveAfter(const BasicBlock *BB, size_t InstIdx, Reg R) const {
+  assert(InstIdx < BB->size() && "instruction index out of range");
+  // Walk backward from the end of the block to just after InstIdx.
+  RegSet Live = LiveOutSets.at(BB);
+  std::vector<Reg> Tmp;
+  const auto &Insts = BB->insts();
+  for (size_t I = Insts.size(); I-- > InstIdx + 1;) {
+    const Instruction &Inst = Insts[I];
+    if (auto D = Inst.def())
+      Live[D->Id] = false;
+    Tmp.clear();
+    Inst.collectUses(Tmp);
+    for (Reg U : Tmp)
+      Live[U.Id] = true;
+  }
+  return R.Id < NumRegs && Live[R.Id];
+}

@@ -1,0 +1,52 @@
+//===- analysis/Liveness.h - Live-variable dataflow --------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward live-variable analysis over virtual registers. Used by
+/// dead-code elimination and by the unroller (a register live out of a loop
+/// must keep its final value across the rewrite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_LIVENESS_H
+#define VPO_ANALYSIS_LIVENESS_H
+
+#include "ir/Instruction.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class CFG;
+
+class Liveness {
+public:
+  explicit Liveness(const CFG &G);
+
+  /// \returns true if \p R is live on entry to \p BB.
+  bool liveIn(const BasicBlock *BB, Reg R) const;
+
+  /// \returns true if \p R is live on exit from \p BB.
+  bool liveOut(const BasicBlock *BB, Reg R) const;
+
+  /// \returns true if \p R is live immediately *after* instruction
+  /// \p InstIdx of \p BB (computed by walking backward from the block end).
+  bool liveAfter(const BasicBlock *BB, size_t InstIdx, Reg R) const;
+
+private:
+  using RegSet = std::vector<bool>; // indexed by Reg::Id
+
+  const CFG &G;
+  unsigned NumRegs;
+  std::unordered_map<const BasicBlock *, RegSet> LiveInSets;
+  std::unordered_map<const BasicBlock *, RegSet> LiveOutSets;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_LIVENESS_H

@@ -1,0 +1,115 @@
+//===- analysis/LoopInfo.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace vpo;
+
+BasicBlock *Loop::preheader(const CFG &G) const {
+  BasicBlock *Pre = nullptr;
+  for (BasicBlock *P : G.predecessors(Header)) {
+    if (contains(P))
+      continue;
+    if (Pre)
+      return nullptr; // more than one outside predecessor
+    Pre = P;
+  }
+  return Pre;
+}
+
+std::vector<BasicBlock *> Loop::exitBlocks(const CFG &G) const {
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *S : G.successors(BB))
+      if (!contains(S) &&
+          std::find(Exits.begin(), Exits.end(), S) == Exits.end())
+        Exits.push_back(S);
+  return Exits;
+}
+
+LoopInfo::LoopInfo(const CFG &G, const DominatorTree &DT) {
+  // Collect back edges grouped by header, in layout order for determinism.
+  std::map<int, std::pair<BasicBlock *, std::vector<BasicBlock *>>> ByHeader;
+  const Function &F = G.function();
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    if (G.isUnreachable(BB))
+      continue;
+    for (BasicBlock *S : BB->successors())
+      if (DT.dominates(S, BB)) {
+        int Idx = F.blockIndex(S);
+        ByHeader[Idx].first = S;
+        ByHeader[Idx].second.push_back(BB);
+      }
+  }
+
+  for (auto &[Idx, HL] : ByHeader) {
+    (void)Idx;
+    auto L = std::make_unique<Loop>();
+    L->Header = HL.first;
+    L->Latches = HL.second;
+    // Natural loop body: header + reverse reachability from latches
+    // without passing through the header.
+    L->BlockSet.insert(L->Header);
+    L->Blocks.push_back(L->Header);
+    std::vector<BasicBlock *> Work = L->Latches;
+    for (BasicBlock *Latch : Work)
+      if (L->BlockSet.insert(Latch).second)
+        L->Blocks.push_back(Latch);
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (BB == L->Header)
+        continue;
+      for (BasicBlock *P : G.predecessors(BB))
+        if (!G.isUnreachable(P) && L->BlockSet.insert(P).second) {
+          L->Blocks.push_back(P);
+          Work.push_back(P);
+        }
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Establish nesting: parent = smallest strictly-containing loop.
+  for (auto &Inner : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Outer : Loops) {
+      if (Outer.get() == Inner.get())
+        continue;
+      if (!Outer->contains(Inner->Header))
+        continue;
+      if (Outer->Blocks.size() <= Inner->Blocks.size())
+        continue;
+      if (!Best || Outer->Blocks.size() < Best->Blocks.size())
+        Best = Outer.get();
+    }
+    Inner->Parent = Best;
+    if (Best)
+      Best->Innermost = false;
+  }
+
+  // Order innermost-first: sort by block count ascending (an inner loop is
+  // always strictly smaller than any loop containing it).
+  std::sort(Loops.begin(), Loops.end(), [](const auto &A, const auto &B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  Loop *Best = nullptr;
+  for (const auto &L : Loops)
+    if (L->contains(BB) &&
+        (!Best || L->blocks().size() < Best->blocks().size()))
+      Best = L.get();
+  return Best;
+}

@@ -1,0 +1,84 @@
+//===- analysis/LoopInfo.h - Natural loop detection --------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop discovery. The coalescing algorithm (paper Fig. 2) iterates
+/// over "each loop in the current function"; this analysis provides that
+/// iteration order (innermost loops first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_LOOPINFO_H
+#define VPO_ANALYSIS_LOOPINFO_H
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class CFG;
+class DominatorTree;
+
+/// One natural loop: the header plus every block that can reach a latch
+/// without passing through the header.
+class Loop {
+public:
+  BasicBlock *header() const { return Header; }
+  const std::vector<BasicBlock *> &latches() const { return Latches; }
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+  Loop *parent() const { return Parent; }
+
+  bool contains(const BasicBlock *BB) const {
+    return BlockSet.count(BB) != 0;
+  }
+
+  /// \returns the unique predecessor of the header outside the loop, or
+  /// nullptr if there is none or more than one.
+  BasicBlock *preheader(const CFG &G) const;
+
+  /// \returns blocks outside the loop that have a predecessor inside.
+  std::vector<BasicBlock *> exitBlocks(const CFG &G) const;
+
+  /// True if no other loop is nested inside this one.
+  bool isInnermost() const { return Innermost; }
+
+  /// \returns the loop's only block if the loop body is a single block
+  /// (header == latch), else nullptr. The paper's transformation operates
+  /// on such loops — its Fig. 1 dot-product loop is one block.
+  BasicBlock *singleBodyBlock() const {
+    return Blocks.size() == 1 ? Header : nullptr;
+  }
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header = nullptr;
+  std::vector<BasicBlock *> Latches;
+  std::vector<BasicBlock *> Blocks; // header first
+  std::unordered_set<const BasicBlock *> BlockSet;
+  Loop *Parent = nullptr;
+  bool Innermost = true;
+};
+
+/// All natural loops of a function.
+class LoopInfo {
+public:
+  LoopInfo(const CFG &G, const DominatorTree &DT);
+
+  /// Loops ordered innermost-first (safe order for transformation).
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// \returns the innermost loop containing \p BB, or nullptr.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,100 @@
+//===- analysis/MemoryPartitions.cpp --------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryPartitions.h"
+
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+using namespace vpo;
+
+MemoryPartitions::MemoryPartitions(const Loop &L, const LoopScalarInfo &LSI) {
+  BasicBlock *Body = L.singleBodyBlock();
+  if (!Body) {
+    // Multi-block loops: conservatively unclassified. The coalescer's
+    // same-basic-block safety rule (paper Fig. 4) makes such loops
+    // untransformable anyway.
+    AllClassified = false;
+    return;
+  }
+
+  std::unordered_map<unsigned, size_t> PartIdxByBase;
+  // Running sum of increments already executed for each IV as we walk the
+  // block: a reference *after* `r16 = r16 + 2` addresses 2 bytes beyond a
+  // reference before it with an equal displacement.
+  std::unordered_map<unsigned, int64_t> ExecutedStep;
+
+  for (size_t Idx = 0; Idx < Body->size(); ++Idx) {
+    const Instruction &I = Body->insts()[Idx];
+
+    if (I.isMemory()) {
+      Reg Base = I.Addr.Base;
+      const InductionVar *IV = LSI.ivFor(Base);
+      bool Invariant = LSI.isInvariant(Base);
+      if (!IV && !Invariant) {
+        // Base register is redefined in the loop in a way that is not a
+        // constant increment: no unique partition identifier exists.
+        AllClassified = false;
+      } else {
+        auto [It, Inserted] = PartIdxByBase.try_emplace(Base.Id, Parts.size());
+        if (Inserted) {
+          Partition P;
+          P.Base = Base;
+          P.BaseIsIV = IV != nullptr;
+          P.Step = IV ? IV->StepPerIteration : 0;
+          Parts.push_back(P);
+        }
+        MemRef R;
+        R.InstIdx = Idx;
+        R.IsLoad = I.isLoad();
+        R.IsStore = I.isStore();
+        R.W = I.W;
+        R.IsFloat = I.IsFloat;
+        R.SignExtend = I.SignExtend;
+        int64_t Adjust = 0;
+        if (IV) {
+          auto SIt = ExecutedStep.find(Base.Id);
+          if (SIt != ExecutedStep.end())
+            Adjust = SIt->second;
+        }
+        R.Offset = I.Addr.Disp + Adjust;
+        Parts[It->second].Refs.push_back(R);
+      }
+    }
+
+    // Track executed IV increments.
+    if (auto D = I.def())
+      if (const InductionVar *IV = LSI.ivFor(*D))
+        for (size_t IncIdx : IV->IncIdxs)
+          if (IncIdx == Idx) {
+            // Recover this increment's step from the instruction itself.
+            int64_t Step = 0;
+            if (I.Op == Opcode::Add)
+              Step = I.A.isImm() ? I.A.imm() : I.B.imm();
+            else if (I.Op == Opcode::Sub)
+              Step = -I.B.imm();
+            ExecutedStep[D->Id] += Step;
+          }
+  }
+}
+
+int MemoryPartitions::partitionIdFor(size_t InstIdx) const {
+  for (size_t P = 0; P < Parts.size(); ++P)
+    for (const MemRef &R : Parts[P].Refs)
+      if (R.InstIdx == InstIdx)
+        return static_cast<int>(P);
+  return -1;
+}
+
+const Partition *MemoryPartitions::partitionForBase(Reg R) const {
+  for (const Partition &P : Parts)
+    if (P.Base == R)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,83 @@
+//===- analysis/MemoryPartitions.h - Reference classification ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ClassifyMemoryReferencesIntoPartitions and CalculateRelativeOffsets from
+/// the paper's Fig. 2 (lines 8–16): memory references in a loop are grouped
+/// by a unique partition identifier — the (loop-invariant or induction-
+/// variable) base register — and each reference gets a constant offset
+/// relative to the induction variable's value at the top of the iteration.
+/// "If a constant offset is not found, it is not safe to do memory
+/// coalescing."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_MEMORYPARTITIONS_H
+#define VPO_ANALYSIS_MEMORYPARTITIONS_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class Loop;
+class LoopScalarInfo;
+
+/// One classified memory reference inside the loop body block.
+struct MemRef {
+  size_t InstIdx = 0; ///< index within the loop's single body block
+  bool IsLoad = false;
+  bool IsStore = false;
+  MemWidth W = MemWidth::W1;
+  bool IsFloat = false;
+  bool SignExtend = false;
+  /// Byte offset of the referenced location relative to the partition's
+  /// base register value at the *top of the iteration* (accounts for IV
+  /// increments that execute before this reference).
+  int64_t Offset = 0;
+};
+
+/// All references sharing one base register.
+struct Partition {
+  Reg Base;
+  bool BaseIsIV = false;
+  /// Signed bytes the base advances per iteration (0 for invariant bases).
+  int64_t Step = 0;
+  std::vector<MemRef> Refs; ///< in program order
+};
+
+/// Partitioning of every memory reference in a single-block loop.
+///
+/// Only single-body-block loops are fully supported: that is the shape the
+/// paper's transformation targets (its hazard analysis requires all
+/// coalesced references to share a basic block; see Fig. 4).
+class MemoryPartitions {
+public:
+  MemoryPartitions(const Loop &L, const LoopScalarInfo &LSI);
+
+  /// True if every memory reference was classified into a partition with a
+  /// constant relative offset. When false, coalescing this loop is unsafe.
+  bool allClassified() const { return AllClassified; }
+
+  const std::vector<Partition> &partitions() const { return Parts; }
+
+  /// \returns the index into partitions() owning the reference at
+  /// \p InstIdx, or -1 if unclassified / not a memory reference.
+  int partitionIdFor(size_t InstIdx) const;
+
+  /// \returns the partition whose base register is \p R, or nullptr.
+  const Partition *partitionForBase(Reg R) const;
+
+private:
+  std::vector<Partition> Parts;
+  bool AllClassified = true;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_MEMORYPARTITIONS_H

@@ -1,0 +1,457 @@
+//===- coalesce/Coalesce.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/Coalesce.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "coalesce/Hazards.h"
+#include "coalesce/Rewrite.h"
+#include "coalesce/Runs.h"
+#include "coalesce/RuntimeChecks.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "sched/ListScheduler.h"
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+#include "target/Legalize.h"
+#include "target/TargetMachine.h"
+#include "transform/Unroll.h"
+#include "transform/Utils.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace vpo;
+
+std::string CoalesceStats::summary() const {
+  return strformat(
+      "loops: examined=%u unrolled=%u transformed=%u "
+      "(rejected: unclassified=%u profitability=%u)\n"
+      "runs: loads=%u (unaligned=%u) stores=%u (narrow removed: loads=%u "
+      "stores=%u; rejected: hazard=%u checks-disabled=%u)\n"
+      "checks: alignment=%u overlap=%u instructions=%u",
+      LoopsExamined, LoopsUnrolled, LoopsTransformed,
+      LoopsRejectedUnclassified, LoopsRejectedProfitability,
+      LoadRunsCoalesced, UnalignedLoadRuns, StoreRunsCoalesced,
+      NarrowLoadsRemoved, NarrowStoresRemoved, RunsRejectedHazard,
+      RunsRejectedChecksDisabled, AlignmentChecks, OverlapChecks,
+      CheckInstructions);
+}
+
+namespace {
+
+class CoalescePass {
+public:
+  CoalescePass(Function &F, const TargetMachine &TM,
+               const CoalesceOptions &Opts)
+      : F(F), TM(TM), Opts(Opts) {}
+
+  CoalesceStats run() {
+    // Iterate until no unprocessed innermost single-block loop remains.
+    // Transformations add blocks, so analyses are recomputed per loop.
+    while (true) {
+      CFG G(F);
+      DominatorTree DT(G);
+      LoopInfo LI(G, DT);
+      Loop *Candidate = nullptr;
+      for (const auto &L : LI.loops()) {
+        if (!L->isInnermost() || !L->singleBodyBlock())
+          continue;
+        if (Done.count(L->singleBodyBlock()))
+          continue;
+        Candidate = L.get();
+        break;
+      }
+      if (!Candidate)
+        break;
+      processLoop(*Candidate, G);
+    }
+    return Stats;
+  }
+
+private:
+  Function &F;
+  const TargetMachine &TM;
+  const CoalesceOptions &Opts;
+  CoalesceStats Stats;
+  std::unordered_set<const BasicBlock *> Done;
+
+  /// The unroll factor that exposes full-width runs: bus width over the
+  /// narrowest classified reference width in the loop.
+  unsigned desiredUnrollFactor(const MemoryPartitions &MP) const {
+    unsigned MaxWide = TM.maxMemWidthBytes();
+    if (Opts.MaxWideBytes != 0 && Opts.MaxWideBytes < MaxWide)
+      MaxWide = Opts.MaxWideBytes;
+    unsigned MinNarrow = MaxWide;
+    for (const Partition &P : MP.partitions())
+      for (const MemRef &R : P.Refs)
+        if (P.BaseIsIV)
+          MinNarrow = std::min(MinNarrow, widthBytes(R.W));
+    return MinNarrow == 0 ? 1 : MaxWide / MinNarrow;
+  }
+
+  void processLoop(Loop &L, CFG &G) {
+    BasicBlock *Body = L.singleBodyBlock();
+    Done.insert(Body);
+    ++Stats.LoopsExamined;
+
+    BasicBlock *Preheader = L.preheader(G);
+    if (!Preheader)
+      return;
+
+    LoopScalarInfo LSI(L, F);
+
+    // --- Step 1: unroll (Fig. 2 line 7) --------------------------------
+    if (Opts.Unroll) {
+      MemoryPartitions MP0(L, LSI);
+      unsigned Factor = Opts.UnrollFactor != 0 ? Opts.UnrollFactor
+                                               : desiredUnrollFactor(MP0);
+      if (MP0.allClassified() && Factor >= 2) {
+        unsigned Capped = Opts.IgnoreICacheHeuristic
+                              ? Factor
+                              : chooseUnrollFactor(L, TM, Factor);
+        if (Capped >= 2) {
+          UnrollResult UR;
+          if (unrollLoop(F, L, LSI, Capped, TM, UR,
+                         Opts.IgnoreICacheHeuristic) ==
+              UnrollFailure::None) {
+            ++Stats.LoopsUnrolled;
+            Done.insert(UR.UnrolledBody);
+            Done.insert(UR.RemainderBody);
+            Done.insert(UR.Setup);
+            Done.insert(UR.Guard);
+            // Re-resolve analyses for the unrolled loop and coalesce it.
+            coalesceBody(UR.UnrolledBody);
+            return;
+          }
+        }
+      }
+    }
+
+    // Unrolling skipped or refused: try to coalesce pre-existing runs in
+    // the rolled body (e.g. adjacent convolution taps).
+    coalesceBody(Body);
+  }
+
+  /// Finds the loop whose single body block is \p Body and coalesces it.
+  void coalesceBody(BasicBlock *Body) {
+    if (Opts.Mode == CoalesceMode::None)
+      return;
+    CFG G(F);
+    DominatorTree DT(G);
+    LoopInfo LI(G, DT);
+    Loop *L = nullptr;
+    for (const auto &Cand : LI.loops())
+      if (Cand->singleBodyBlock() == Body) {
+        L = Cand.get();
+        break;
+      }
+    if (!L)
+      return;
+    BasicBlock *Preheader = L->preheader(G);
+    if (!Preheader)
+      return;
+
+    LoopScalarInfo LSI(*L, F);
+    MemoryPartitions MP(*L, LSI);
+    if (!MP.allClassified()) {
+      ++Stats.LoopsRejectedUnclassified;
+      return;
+    }
+
+    // --- Step 2: candidate runs + safety (Fig. 4) ----------------------
+    std::vector<CoalesceRun> Runs = findCoalesceRuns(
+        MP, TM, /*Loads=*/true,
+        /*Stores=*/Opts.Mode == CoalesceMode::LoadsAndStores,
+        Opts.MaxWideBytes);
+    analyzeRunAlignment(Runs, MP, F);
+
+    std::vector<CoalesceRun> Accepted;
+    AliasPairSet AliasPairs;
+    bool NeedAlign = false;
+    for (CoalesceRun &Run : Runs) {
+      HazardResult HR = analyzeRunHazards(Run, MP, *Body, F);
+      if (!HR.Safe) {
+        ++Stats.RunsRejectedHazard;
+        continue;
+      }
+      // Machines that tolerate unaligned references in hardware (the
+      // 68030) need no alignment reasoning at all; cache-line splits are
+      // priced by the simulator's cache model.
+      if (!TM.requiresNaturalAlignment()) {
+        Run.NeedsAlignCheck = false;
+        Run.CheckableAlignment = true;
+      }
+      // When the step does not preserve the alignment phase, no preheader
+      // check helps: the run must use the unaligned sequence or be
+      // dropped.
+      if (Run.NeedsAlignCheck && !Run.CheckableAlignment) {
+        if (Run.IsLoad && TM.hasUnalignedWideLoad()) {
+          Run.UseUnaligned = true;
+          Run.NeedsAlignCheck = false;
+          ++Stats.UnalignedLoadRuns;
+        } else {
+          ++Stats.RunsRejectedHazard;
+          continue;
+        }
+      }
+      // A load run whose alignment is unknown can fall back to the
+      // two-quadword funnel sequence (UnAlignedWideType) on machines with
+      // unaligned wide loads, so a missing run-time check never blocks it.
+      bool HasUnalignedFallback =
+          Run.IsLoad && Run.NeedsAlignCheck && TM.hasUnalignedWideLoad();
+      if (!Opts.UseRuntimeChecks) {
+        if (Run.NeedsAlignCheck && HasUnalignedFallback) {
+          Run.UseUnaligned = true;
+          Run.NeedsAlignCheck = false;
+        }
+        if (Run.NeedsAlignCheck || !HR.AliasPairs.empty()) {
+          ++Stats.RunsRejectedChecksDisabled;
+          continue;
+        }
+      }
+      NeedAlign |= Run.NeedsAlignCheck;
+      for (const auto &P : HR.AliasPairs)
+        AliasPairs.insert(P);
+      Accepted.push_back(Run);
+    }
+    if (Accepted.empty())
+      return;
+
+    // Overlap checks are only expressible when the loop bound is canonical
+    // and every involved step divides evenly (powers of two).
+    if (!AliasPairs.empty() && !overlapCheckFeasible(LSI, MP, AliasPairs)) {
+      Stats.RunsRejectedChecksDisabled +=
+          static_cast<unsigned>(Accepted.size());
+      return;
+    }
+
+    // --- Step 3/4: replicate, insert wide references, check
+    // profitability by dual scheduling (Fig. 3). The schedule-length
+    // comparison uses legalized copies so it prices the machine's true
+    // extract/insert sequences.
+    auto IsProfitable = [&](BasicBlock *Candidate) {
+      if (!Opts.RequireProfitability)
+        return true;
+      BasicBlock *T1 = cloneBlock(F, *Body, "prof.orig");
+      BasicBlock *T2 = cloneBlock(F, *Candidate, "prof.coal");
+      legalizeBlock(*T1, TM);
+      legalizeBlock(*T2, TM);
+      unsigned C1 = scheduleBlock(*T1, TM).Cycles;
+      unsigned C2 = scheduleBlock(*T2, TM).Cycles;
+      F.removeBlock(T1);
+      F.removeBlock(T2);
+      return C2 < C1;
+    };
+    auto MakeCopy = [&](const std::vector<CoalesceRun> &RunSet,
+                        const char *Suffix,
+                        RewriteCounts &RC) -> BasicBlock * {
+      BasicBlock *Copy = cloneBlock(F, *Body, Body->name() + Suffix);
+      RC = applyRunsToBlock(F, *Copy, MP, LSI, RunSet);
+      Done.insert(Copy);
+      if (IsProfitable(Copy))
+        return Copy;
+      F.removeBlock(Copy);
+      Done.erase(Copy);
+      return nullptr;
+    };
+
+    // The runs usable without any alignment check form the fallback tier
+    // taken when a run-time alignment test fails: statically-aligned runs
+    // stay as they are, and checked load runs degrade to the unaligned
+    // two-quadword sequence where the target has one (the paper's
+    // UnAlignedWideType, Fig. 3 line 6).
+    std::vector<CoalesceRun> NoCheckRuns;
+    for (const CoalesceRun &Run : Accepted) {
+      if (!Run.NeedsAlignCheck) {
+        NoCheckRuns.push_back(Run);
+        continue;
+      }
+      if (Run.IsLoad && TM.hasUnalignedWideLoad()) {
+        CoalesceRun Unaligned = Run;
+        Unaligned.UseUnaligned = true;
+        Unaligned.NeedsAlignCheck = false;
+        NoCheckRuns.push_back(Unaligned);
+        ++Stats.UnalignedLoadRuns;
+      }
+    }
+
+    RewriteCounts RCFull;
+    BasicBlock *CopyFull = MakeCopy(Accepted, ".coalesced", RCFull);
+    std::vector<CoalesceRun> UsedRuns = Accepted;
+    RewriteCounts RCUsed = RCFull;
+    if (!CopyFull) {
+      // The full set is not profitable; try the check-free variant alone
+      // (it differs whenever some run needed an alignment check).
+      if (!NeedAlign || NoCheckRuns.empty()) {
+        ++Stats.LoopsRejectedProfitability;
+        return;
+      }
+      CopyFull = MakeCopy(NoCheckRuns, ".coalesced", RCUsed);
+      if (!CopyFull) {
+        ++Stats.LoopsRejectedProfitability;
+        return;
+      }
+      UsedRuns = NoCheckRuns;
+      NeedAlign = false;
+    }
+
+    // A second tier: a failed alignment test falls back to the check-free
+    // copy (unaligned-sequence loads, checked stores dropped) rather than
+    // all the way to the safe rolled loop.
+    BasicBlock *CopyNoCheck = nullptr;
+    if (NeedAlign && !NoCheckRuns.empty()) {
+      RewriteCounts RCIgnore;
+      CopyNoCheck = MakeCopy(NoCheckRuns, ".coalesced.nochk", RCIgnore);
+    }
+
+    // --- Step 5: wire in, with checks if needed (Fig. 5) ---------------
+    bool NeedChecks = NeedAlign || !AliasPairs.empty();
+    BasicBlock *Entry = CopyFull; // where the preheader should branch
+    if (!NeedChecks) {
+      // No checks: use the coalesced copy outright (Fig. 3: "just use the
+      // LCOPY instead of the original one").
+      if (CopyNoCheck) {
+        F.removeBlock(CopyNoCheck);
+        Done.erase(CopyNoCheck);
+      }
+      std::vector<Instruction> NewInsts = CopyFull->insts();
+      for (Instruction &I : NewInsts) {
+        if (I.TrueTarget == CopyFull)
+          I.TrueTarget = Body;
+        if (I.FalseTarget == CopyFull)
+          I.FalseTarget = Body;
+      }
+      Body->insts() = std::move(NewInsts);
+      F.removeBlock(CopyFull);
+      Done.erase(CopyFull);
+      Entry = nullptr;
+    } else {
+      // Alignment tier: failed alignment goes to the check-free copy when
+      // one exists, else to the safe loop.
+      if (NeedAlign) {
+        CheckPlan AlignPlan = buildCheckPlan(LSI, MP, UsedRuns, {});
+        AlignPlan.OverlapChecks.clear();
+        unsigned NumInstrs = 0;
+        BasicBlock *AlignSafe = CopyNoCheck ? CopyNoCheck : Body;
+        Entry = buildRuntimeChecks(F, AlignPlan, AlignSafe, CopyFull,
+                                   NumInstrs);
+        Stats.CheckInstructions += NumInstrs;
+        Stats.AlignmentChecks +=
+            static_cast<unsigned>(AlignPlan.AlignChecks.size());
+        Done.insert(Entry);
+      }
+      // Alias tier: any potential overlap goes to the safe loop.
+      if (!AliasPairs.empty()) {
+        CheckPlan AliasPlan = buildCheckPlan(LSI, MP, {}, AliasPairs);
+        unsigned NumInstrs = 0;
+        BasicBlock *AliasChecks =
+            buildRuntimeChecks(F, AliasPlan, Body, Entry, NumInstrs);
+        Stats.CheckInstructions += NumInstrs;
+        Stats.OverlapChecks +=
+            static_cast<unsigned>(AliasPlan.OverlapChecks.size());
+        Done.insert(AliasChecks);
+        Entry = AliasChecks;
+      }
+      // Route the loop entry edge through the checks.
+      Instruction &PreTerm = Preheader->terminator();
+      if (PreTerm.TrueTarget == Body)
+        PreTerm.TrueTarget = Entry;
+      if (PreTerm.FalseTarget == Body)
+        PreTerm.FalseTarget = Entry;
+    }
+
+    for (const CoalesceRun &Run : UsedRuns) {
+      if (Run.IsLoad)
+        ++Stats.LoadRunsCoalesced;
+      else
+        ++Stats.StoreRunsCoalesced;
+    }
+    Stats.NarrowLoadsRemoved += RCUsed.NarrowLoadsRemoved;
+    Stats.NarrowStoresRemoved += RCUsed.NarrowStoresRemoved;
+    ++Stats.LoopsTransformed;
+    verifyOrDie(F, "coalesce");
+  }
+
+  static bool stepFeasible(int64_t Step, int64_t BoundStep) {
+    if (Step == 0)
+      return true;
+    uint64_t S = static_cast<uint64_t>(Step < 0 ? -Step : Step);
+    uint64_t B = static_cast<uint64_t>(BoundStep < 0 ? -BoundStep
+                                                     : BoundStep);
+    return isPowerOf2(S) && isPowerOf2(B);
+  }
+
+  bool overlapCheckFeasible(const LoopScalarInfo &LSI,
+                            const MemoryPartitions &MP,
+                            const AliasPairSet &Pairs) const {
+    if (!LSI.bound())
+      return false;
+    const InductionVar *BIV = LSI.ivFor(LSI.bound()->IV);
+    if (!BIV)
+      return false;
+    for (const auto &[A, B] : Pairs) {
+      if (!stepFeasible(MP.partitions()[A].Step, BIV->StepPerIteration) ||
+          !stepFeasible(MP.partitions()[B].Step, BIV->StepPerIteration))
+        return false;
+    }
+    return true;
+  }
+
+  CheckPlan buildCheckPlan(const LoopScalarInfo &LSI,
+                           const MemoryPartitions &MP,
+                           const std::vector<CoalesceRun> &Accepted,
+                           const AliasPairSet &AliasPairs) const {
+    CheckPlan Plan;
+    for (const CoalesceRun &Run : Accepted) {
+      if (!Run.NeedsAlignCheck)
+        continue;
+      CheckPlan::Align A;
+      A.Base = MP.partitions()[Run.PartitionIdx].Base;
+      A.StartOff = Run.StartOff;
+      A.WideBytes = Run.WideBytes;
+      if (std::find(Plan.AlignChecks.begin(), Plan.AlignChecks.end(), A) ==
+          Plan.AlignChecks.end())
+        Plan.AlignChecks.push_back(A);
+    }
+    auto ExtentOf = [&MP](size_t PI) {
+      const Partition &P = MP.partitions()[PI];
+      CheckPlan::Extent E;
+      E.Base = P.Base;
+      E.Step = P.Step;
+      E.MinOff = P.Refs.front().Offset;
+      E.MaxOffEnd = P.Refs.front().Offset +
+                    widthBytes(P.Refs.front().W);
+      for (const MemRef &R : P.Refs) {
+        E.MinOff = std::min(E.MinOff, R.Offset);
+        E.MaxOffEnd = std::max(
+            E.MaxOffEnd, R.Offset + static_cast<int64_t>(widthBytes(R.W)));
+      }
+      return E;
+    };
+    for (const auto &[A, B] : AliasPairs)
+      Plan.OverlapChecks.push_back({ExtentOf(A), ExtentOf(B)});
+    if (LSI.bound()) {
+      Plan.BoundIV = LSI.bound()->IV;
+      Plan.Limit = LSI.bound()->Limit;
+      if (const InductionVar *BIV = LSI.ivFor(Plan.BoundIV))
+        Plan.BoundStep = BIV->StepPerIteration;
+    }
+    return Plan;
+  }
+};
+
+} // namespace
+
+CoalesceStats vpo::coalesceMemoryAccesses(Function &F,
+                                          const TargetMachine &TM,
+                                          const CoalesceOptions &Opts) {
+  return CoalescePass(F, TM, Opts).run();
+}

@@ -1,0 +1,115 @@
+//===- coalesce/Hazards.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/Hazards.h"
+
+#include "analysis/BaseOrigin.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace vpo;
+
+namespace {
+
+/// [Lo, Hi) byte interval relative to a partition's iteration-start base.
+struct Span {
+  int64_t Lo, Hi;
+  bool overlaps(const Span &O) const { return Lo < O.Hi && O.Lo < Hi; }
+};
+
+Span refSpan(const MemRef &R) {
+  return Span{R.Offset, R.Offset + widthBytes(R.W)};
+}
+
+} // namespace
+
+HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
+                                    const MemoryPartitions &MP,
+                                    const BasicBlock &Body,
+                                    const Function &F) {
+  HazardResult Res;
+  const Partition &P = MP.partitions()[Run.PartitionIdx];
+  Span RunSpan{Run.StartOff,
+               Run.StartOff + static_cast<int64_t>(Run.WideBytes)};
+
+  // Wide reference position: first member for loads, last for stores.
+  size_t WidePos = Run.IsLoad
+                       ? P.Refs[Run.Members.front()].InstIdx
+                       : P.Refs[Run.Members.back()].InstIdx;
+
+  // Instruction indices of the run's own members (skipped while scanning).
+  std::vector<size_t> MemberPos;
+  for (size_t M : Run.Members)
+    MemberPos.push_back(P.Refs[M].InstIdx);
+
+  auto IsMember = [&MemberPos](size_t Idx) {
+    return std::find(MemberPos.begin(), MemberPos.end(), Idx) !=
+           MemberPos.end();
+  };
+
+  bool PBaseNoAlias = baseIsNoAlias(F, P.Base);
+
+  // The window of instruction indices whose memory operations the wide
+  // reference moves across: (WidePos, lastMember] for loads is empty —
+  // loads move *up*, so the window is [firstMember, lastMember] excluding
+  // members; for stores the wide store moves *down* past everything in
+  // [firstMember, WidePos).
+  size_t WinLo = MemberPos.front();
+  size_t WinHi = MemberPos.back();
+  (void)WidePos;
+
+  for (size_t Idx = WinLo; Idx <= WinHi; ++Idx) {
+    if (IsMember(Idx))
+      continue;
+    const Instruction &I = Body.insts()[Idx];
+    if (!I.isMemory())
+      continue;
+
+    int OtherPart = MP.partitionIdFor(Idx);
+    if (OtherPart < 0) {
+      // Unclassified reference in the window: no basis for reasoning.
+      Res.Safe = false;
+      return Res;
+    }
+    const Partition &Q = MP.partitions()[static_cast<size_t>(OtherPart)];
+    bool SamePartition = static_cast<size_t>(OtherPart) == Run.PartitionIdx;
+
+    // For a load run, a load in the window is harmless. For a store run, a
+    // load between a member store and the wide store may observe memory
+    // before the (deferred) wide store lands.
+    bool Conflicts = I.isStore() || !Run.IsLoad;
+    if (!Conflicts)
+      continue;
+
+    if (SamePartition) {
+      // Exact offsets known: a static hazard only if the spans overlap.
+      const MemRef *QR = nullptr;
+      for (const MemRef &R : Q.Refs)
+        if (R.InstIdx == Idx) {
+          QR = &R;
+          break;
+        }
+      assert(QR && "classified reference missing from its partition");
+      if (refSpan(*QR).overlaps(RunSpan)) {
+        Res.Safe = false;
+        return Res;
+      }
+      continue;
+    }
+
+    // Cross-partition: defer to a run-time overlap check, unless parameter
+    // attributes already exclude aliasing.
+    bool QBaseNoAlias = baseIsNoAlias(F, Q.Base);
+    if (PBaseNoAlias || QBaseNoAlias)
+      continue;
+    size_t A = Run.PartitionIdx, B = static_cast<size_t>(OtherPart);
+    Res.AliasPairs.insert({std::min(A, B), std::max(A, B)});
+  }
+
+  Res.Safe = true;
+  return Res;
+}

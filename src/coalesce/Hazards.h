@@ -1,0 +1,55 @@
+//===- coalesce/Hazards.h - IsHazard safety analysis -------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 4 `IsHazard` analysis. Replacing a run of narrow
+/// references with one wide reference *moves* memory traffic: a wide load
+/// executes at the position of the run's first (dominating) load; a wide
+/// store executes at the position of the run's last (dominated) store.
+/// Every memory operation originally between a member and the wide
+/// position must be shown harmless:
+///
+///  * same partition + overlapping the run's span  -> static hazard,
+///    the run is rejected;
+///  * different partition -> "there is a possibility of aliasing, which
+///    can probably be detected only at run time": the partition pair is
+///    recorded for a run-time overlap check (Fig. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_COALESCE_HAZARDS_H
+#define VPO_COALESCE_HAZARDS_H
+
+#include "coalesce/Runs.h"
+
+#include <set>
+#include <utility>
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+
+/// An unordered partition pair (by partition index) that needs a run-time
+/// overlap check.
+using AliasPairSet = std::set<std::pair<size_t, size_t>>;
+
+struct HazardResult {
+  bool Safe = false;
+  /// Partition pairs whose potential aliasing must be excluded at run time
+  /// for this run to be used.
+  AliasPairSet AliasPairs;
+};
+
+/// Analyzes one run inside \p Body. \p F supplies parameter no-alias facts
+/// (a pair involving a NoAlias parameter base needs no check).
+HazardResult analyzeRunHazards(const CoalesceRun &Run,
+                               const MemoryPartitions &MP,
+                               const BasicBlock &Body, const Function &F);
+
+} // namespace vpo
+
+#endif // VPO_COALESCE_HAZARDS_H

@@ -1,0 +1,157 @@
+//===- coalesce/Rewrite.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/Rewrite.h"
+
+#include "analysis/InductionVars.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace vpo;
+
+RewriteCounts vpo::applyRunsToBlock(Function &F, BasicBlock &Body,
+                                    const MemoryPartitions &MP,
+                                    const LoopScalarInfo &LSI,
+                                    const std::vector<CoalesceRun> &Runs) {
+  RewriteCounts Counts;
+  auto Acc = accumulatedIVSteps(Body, LSI);
+  auto AccFor = [&Acc](size_t Idx, Reg Base) -> int64_t {
+    auto It = Acc[Idx].find(Base.Id);
+    return It == Acc[Idx].end() ? 0 : It->second;
+  };
+
+  // Deferred insertions: instruction to place before original index Pos.
+  struct Insertion {
+    size_t Pos;
+    Instruction I;
+  };
+  std::vector<Insertion> Insertions;
+
+  for (const CoalesceRun &Run : Runs) {
+    const Partition &P = MP.partitions()[Run.PartitionIdx];
+    Reg WideReg = F.newReg();
+    MemWidth WideW = widthFromBytes(Run.WideBytes);
+
+    size_t FirstIdx = P.Refs[Run.Members.front()].InstIdx;
+    size_t LastIdx = P.Refs[Run.Members.back()].InstIdx;
+
+    // Replace the members.
+    for (size_t M : Run.Members) {
+      const MemRef &R = P.Refs[M];
+      Instruction &Old = Body.insts()[R.InstIdx];
+      assert(Old.isMemory() && Old.W == R.W &&
+             "partition data out of sync with the block");
+      int64_t Lane = R.Offset - Run.StartOff;
+      assert(Lane >= 0 &&
+             Lane + widthBytes(R.W) <= Run.WideBytes && "lane out of range");
+
+      Instruction New;
+      if (Run.IsLoad) {
+        New.Op = Opcode::ExtractF;
+        New.Dst = Old.Dst;
+        New.A = WideReg;
+        New.B = Operand::imm(Lane);
+        New.W = R.W;
+        New.SignExtend = R.SignExtend;
+        New.IsFloat = Run.IsFloat;
+        ++Counts.NarrowLoadsRemoved;
+      } else {
+        New.Op = Opcode::InsertF;
+        New.Dst = WideReg;
+        New.A = WideReg;
+        New.B = Operand::imm(Lane);
+        New.C = Old.A;
+        New.W = R.W;
+        New.IsFloat = Run.IsFloat;
+        ++Counts.NarrowStoresRemoved;
+      }
+      Old = New;
+    }
+
+    // Queue the wide reference.
+    if (Run.IsLoad && Run.UseUnaligned) {
+      // The paper's UnAlignedWideType: fetch the two aligned quadwords
+      // containing the run and funnel the bytes together (Alpha
+      // ldq_u + extql/extqh + or). Lane extracts then use static offsets
+      // into the merged register.
+      int64_t Off = Run.StartOff - AccFor(FirstIdx, P.Base);
+      Reg AddrReg = F.newReg();
+      Instruction AddrI;
+      AddrI.Op = Opcode::Add;
+      AddrI.Dst = AddrReg;
+      AddrI.A = P.Base;
+      AddrI.B = Operand::imm(Off);
+      Insertions.push_back({FirstIdx, std::move(AddrI)});
+
+      Reg W1 = F.newReg(), W2 = F.newReg();
+      Instruction L1;
+      L1.Op = Opcode::LoadWideU;
+      L1.Dst = W1;
+      L1.W = MemWidth::W8;
+      L1.Addr = Address(AddrReg, 0);
+      Insertions.push_back({FirstIdx, std::move(L1)});
+      Instruction L2;
+      L2.Op = Opcode::LoadWideU;
+      L2.Dst = W2;
+      L2.W = MemWidth::W8;
+      L2.Addr = Address(AddrReg, static_cast<int64_t>(Run.WideBytes) - 1);
+      Insertions.push_back({FirstIdx, std::move(L2)});
+
+      Reg LoPart = F.newReg();
+      Instruction ExtLo;
+      ExtLo.Op = Opcode::ExtractF;
+      ExtLo.Dst = LoPart;
+      ExtLo.A = W1;
+      ExtLo.B = AddrReg;
+      ExtLo.W = MemWidth::W8;
+      Insertions.push_back({FirstIdx, std::move(ExtLo)});
+      Reg HiPart = F.newReg();
+      Instruction ExtHi;
+      ExtHi.Op = Opcode::ExtQHi;
+      ExtHi.Dst = HiPart;
+      ExtHi.A = W2;
+      ExtHi.B = AddrReg;
+      Insertions.push_back({FirstIdx, std::move(ExtHi)});
+      Instruction Merge;
+      Merge.Op = Opcode::Or;
+      Merge.Dst = WideReg;
+      Merge.A = LoPart;
+      Merge.B = HiPart;
+      Insertions.push_back({FirstIdx, std::move(Merge)});
+      Counts.WideLoads += 2;
+    } else if (Run.IsLoad) {
+      Instruction Wide;
+      Wide.Op = Opcode::Load;
+      Wide.Dst = WideReg;
+      Wide.W = WideW;
+      Wide.Addr = Address(P.Base, Run.StartOff - AccFor(FirstIdx, P.Base));
+      Insertions.push_back({FirstIdx, std::move(Wide)});
+      ++Counts.WideLoads;
+    } else {
+      Instruction Wide;
+      Wide.Op = Opcode::Store;
+      Wide.A = WideReg;
+      Wide.W = WideW;
+      Wide.Addr = Address(P.Base, Run.StartOff - AccFor(LastIdx, P.Base));
+      Insertions.push_back({LastIdx + 1, std::move(Wide)});
+      ++Counts.WideStores;
+    }
+  }
+
+  // Apply insertions back-to-front so earlier positions stay valid.
+  // Within one position, walking the emission list backward and inserting
+  // each instruction at the position keeps the emission order intact.
+  std::stable_sort(Insertions.begin(), Insertions.end(),
+                   [](const Insertion &A, const Insertion &B) {
+                     return A.Pos < B.Pos;
+                   });
+  for (size_t I = Insertions.size(); I-- > 0;)
+    Body.insertAt(Insertions[I].Pos, std::move(Insertions[I].I));
+
+  return Counts;
+}

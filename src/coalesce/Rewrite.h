@@ -1,0 +1,44 @@
+//===- coalesce/Rewrite.h - Wide-reference insertion -------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// InsertWideReferences from the paper's Fig. 3: replaces each narrow load
+/// of a run with an extract from a fresh wide register, inserts the wide
+/// load at the position of the run's first load; replaces each narrow
+/// store with an insert into a fresh wide register and emits the wide
+/// store after the run's last store — producing code of the shape of the
+/// paper's Figure 1c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_COALESCE_REWRITE_H
+#define VPO_COALESCE_REWRITE_H
+
+#include "coalesce/Runs.h"
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+class LoopScalarInfo;
+
+struct RewriteCounts {
+  unsigned WideLoads = 0;
+  unsigned WideStores = 0;
+  unsigned NarrowLoadsRemoved = 0;
+  unsigned NarrowStoresRemoved = 0;
+};
+
+/// Applies \p Runs to \p Body in place. \p MP and \p LSI must have been
+/// computed on a block with identical instruction order (the clone source).
+RewriteCounts applyRunsToBlock(Function &F, BasicBlock &Body,
+                               const MemoryPartitions &MP,
+                               const LoopScalarInfo &LSI,
+                               const std::vector<CoalesceRun> &Runs);
+
+} // namespace vpo
+
+#endif // VPO_COALESCE_REWRITE_H

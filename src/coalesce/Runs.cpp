@@ -1,0 +1,142 @@
+//===- coalesce/Runs.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/Runs.h"
+
+#include "analysis/BaseOrigin.h"
+#include "ir/Function.h"
+#include "support/MathExtras.h"
+#include "target/TargetMachine.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace vpo;
+
+namespace {
+
+/// Groups the refs of one partition by (kind, width, float-ness) and emits
+/// maximal power-of-two consecutive runs for one group.
+void findRunsInGroup(size_t PartIdx, const Partition &P, bool IsLoad,
+                     MemWidth W, bool IsFloat,
+                     const std::vector<size_t> &RefIdxs, unsigned MaxWide,
+                     std::vector<CoalesceRun> &Out) {
+  unsigned WB = widthBytes(W);
+  if (WB * 2 > MaxWide)
+    return;
+
+  // offset -> member ref indices (several refs may hit the same offset).
+  std::map<int64_t, std::vector<size_t>> ByOffset;
+  for (size_t RI : RefIdxs)
+    ByOffset[P.Refs[RI].Offset].push_back(RI);
+
+  // Walk the sorted unique offsets, splitting into maximal consecutive
+  // sequences with spacing == width.
+  std::vector<int64_t> Offsets;
+  for (const auto &[Off, _] : ByOffset)
+    Offsets.push_back(Off);
+
+  size_t SeqStart = 0;
+  while (SeqStart < Offsets.size()) {
+    size_t SeqEnd = SeqStart + 1;
+    while (SeqEnd < Offsets.size() &&
+           Offsets[SeqEnd] == Offsets[SeqEnd - 1] + WB)
+      ++SeqEnd;
+
+    // Greedily carve the largest power-of-two chunks out of the sequence.
+    size_t Pos = SeqStart;
+    while (SeqEnd - Pos >= 2) {
+      size_t MaxMembers = MaxWide / WB;
+      size_t K = size_t(1) << log2Floor(std::min(SeqEnd - Pos, MaxMembers));
+      if (K < 2)
+        break;
+      CoalesceRun Run;
+      Run.PartitionIdx = PartIdx;
+      Run.IsLoad = IsLoad;
+      Run.NarrowW = W;
+      Run.IsFloat = IsFloat;
+      Run.WideBytes = static_cast<unsigned>(K) * WB;
+      Run.StartOff = Offsets[Pos];
+      for (size_t O = Pos; O < Pos + K; ++O)
+        for (size_t RI : ByOffset[Offsets[O]])
+          Run.Members.push_back(RI);
+      std::sort(Run.Members.begin(), Run.Members.end(),
+                [&P](size_t A, size_t B) {
+                  return P.Refs[A].InstIdx < P.Refs[B].InstIdx;
+                });
+      Out.push_back(std::move(Run));
+      Pos += K;
+    }
+    SeqStart = SeqEnd;
+  }
+}
+
+} // namespace
+
+std::vector<CoalesceRun> vpo::findCoalesceRuns(const MemoryPartitions &MP,
+                                               const TargetMachine &TM,
+                                               bool Loads, bool Stores,
+                                               unsigned MaxWideBytes) {
+  unsigned MaxWide = TM.maxMemWidthBytes();
+  if (MaxWideBytes != 0 && MaxWideBytes < MaxWide)
+    MaxWide = MaxWideBytes;
+
+  std::vector<CoalesceRun> Runs;
+  const auto &Parts = MP.partitions();
+  for (size_t PI = 0; PI < Parts.size(); ++PI) {
+    const Partition &P = Parts[PI];
+    // Group keys: (IsLoad, W, IsFloat).
+    std::map<std::tuple<bool, unsigned, bool>, std::vector<size_t>> Groups;
+    for (size_t RI = 0; RI < P.Refs.size(); ++RI) {
+      const MemRef &R = P.Refs[RI];
+      if (R.IsLoad && !Loads)
+        continue;
+      if (R.IsStore && !Stores)
+        continue;
+      Groups[{R.IsLoad, widthBytes(R.W), R.IsFloat}].push_back(RI);
+    }
+    for (const auto &[Key, RefIdxs] : Groups) {
+      auto [IsLoad, WB, IsFloat] = Key;
+      // The wide reference is an integer load/store; float lanes are
+      // reconstructed by float-aware extract/insert. A wide *float*
+      // reference would need an FP register file model we do not have,
+      // so f64 refs are never coalesced (nothing wider exists anyway).
+      if (IsFloat && WB == 8)
+        continue;
+      findRunsInGroup(PI, P, IsLoad, widthFromBytes(WB), IsFloat, RefIdxs,
+                      MaxWide, Runs);
+    }
+  }
+  return Runs;
+}
+
+void vpo::analyzeRunAlignment(std::vector<CoalesceRun> &Runs,
+                              const MemoryPartitions &MP,
+                              const Function &F) {
+  for (CoalesceRun &Run : Runs) {
+    const Partition &P = MP.partitions()[Run.PartitionIdx];
+    // Aligned iff base alignment >= wide width and the start offset is a
+    // multiple of the wide width. The base alignment is traced through
+    // derived-pointer chains back to parameter declarations. An IV base
+    // keeps its alignment across iterations only if its step is also a
+    // multiple of the wide width (after unrolling by the coalescing
+    // factor it always is).
+    bool BaseAligned = baseKnownAlignment(F, P.Base) >= Run.WideBytes;
+    bool OffAligned =
+        isAligned(static_cast<uint64_t>(
+                      Run.StartOff < 0 ? -Run.StartOff : Run.StartOff),
+                  Run.WideBytes);
+    bool StepAligned =
+        !P.BaseIsIV ||
+        isAligned(static_cast<uint64_t>(P.Step < 0 ? -P.Step : P.Step),
+                  Run.WideBytes);
+    Run.NeedsAlignCheck = !(BaseAligned && OffAligned && StepAligned);
+    // A preheader check tests the first iteration's address only; it is
+    // conclusive for all iterations only when the step preserves the
+    // alignment phase.
+    Run.CheckableAlignment = StepAligned;
+  }
+}

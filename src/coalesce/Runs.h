@@ -1,0 +1,71 @@
+//===- coalesce/Runs.h - Candidate coalescing runs ---------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *run* is a set of same-width narrow references in one partition whose
+/// offsets are consecutive and whose total width is a legal wide reference:
+/// the unit the coalescer replaces with a single wide load or store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_COALESCE_RUNS_H
+#define VPO_COALESCE_RUNS_H
+
+#include "analysis/MemoryPartitions.h"
+
+#include <vector>
+
+namespace vpo {
+
+class TargetMachine;
+class Function;
+
+/// One candidate coalescing opportunity.
+struct CoalesceRun {
+  size_t PartitionIdx = 0;
+  bool IsLoad = true; ///< load run vs store run
+  MemWidth NarrowW = MemWidth::W1;
+  bool IsFloat = false;
+  unsigned WideBytes = 0; ///< total width of the wide reference
+  /// Lowest member offset relative to the iteration-start base value; the
+  /// wide reference addresses Base + StartOff.
+  int64_t StartOff = 0;
+  /// Indices into Partition::Refs of the member references, program order.
+  std::vector<size_t> Members;
+  /// Filled by alignment analysis: the wide address cannot be proven
+  /// aligned at compile time, so a run-time check is required.
+  bool NeedsAlignCheck = true;
+  /// Use the unaligned wide-load sequence (two ldq_u-style loads funneled
+  /// together) instead of one aligned wide load; needs no alignment check.
+  /// Load runs only, on targets with unaligned wide loads (paper Fig. 3's
+  /// UnAlignedWideType).
+  bool UseUnaligned = false;
+  /// False when no preheader check can establish alignment: the base
+  /// advances by a step that is not a multiple of the wide width, so the
+  /// wide address alternates alignment across iterations. Such runs can
+  /// only use the unaligned sequence (or stay narrow).
+  bool CheckableAlignment = true;
+};
+
+/// Finds candidate runs in every partition: for each partition and access
+/// kind, groups references with consecutive offsets (spacing = width) into
+/// maximal power-of-two runs of 2..MaxWide/W members. Store runs must cover
+/// every lane; load runs must also be gap-free (run detection enforces
+/// both by construction).
+std::vector<CoalesceRun> findCoalesceRuns(const MemoryPartitions &MP,
+                                          const TargetMachine &TM,
+                                          bool Loads, bool Stores,
+                                          unsigned MaxWideBytes);
+
+/// Static alignment analysis: clears NeedsAlignCheck when the wide address
+/// Base+StartOff is provably WideBytes-aligned (parameter alignment facts
+/// plus offset arithmetic). \p F provides parameter alignment attributes.
+void analyzeRunAlignment(std::vector<CoalesceRun> &Runs,
+                         const MemoryPartitions &MP, const Function &F);
+
+} // namespace vpo
+
+#endif // VPO_COALESCE_RUNS_H

@@ -1,0 +1,104 @@
+//===- coalesce/RuntimeChecks.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/RuntimeChecks.h"
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+
+#include <map>
+
+using namespace vpo;
+
+BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
+                                    BasicBlock *SafeLoop,
+                                    BasicBlock *FastLoop,
+                                    unsigned &InstrCount) {
+  BasicBlock *BB = F.addBlock(F.uniqueBlockName(FastLoop->name() + ".checks"));
+  IRBuilder B(&F);
+  B.setInsertBlock(BB);
+  size_t Before = BB->size();
+
+  // Accumulate failures into one flag; a single branch dispatches.
+  Reg Bad = B.mov(Operand::imm(0));
+
+  // --- Alignment checks --------------------------------------------------
+  for (const CheckPlan::Align &A : Plan.AlignChecks) {
+    Operand AddrOp = A.Base;
+    if (A.StartOff != 0)
+      AddrOp = B.add(A.Base, Operand::imm(A.StartOff));
+    Reg Low = B.and_(AddrOp, Operand::imm(static_cast<int64_t>(
+                                 A.WideBytes - 1)));
+    Reg Misaligned = B.cmpSet(CondCode::NE, Low, Operand::imm(0));
+    B.aluTo(Bad, Opcode::Or, Bad, Misaligned);
+  }
+
+  // --- Overlap checks ----------------------------------------------------
+  if (!Plan.OverlapChecks.empty()) {
+    assert(Plan.BoundStep != 0 && "overlap checks need the loop bound");
+    uint64_t BStep = static_cast<uint64_t>(
+        Plan.BoundStep < 0 ? -Plan.BoundStep : Plan.BoundStep);
+    assert(isPowerOf2(BStep) && "bound step must be a power of two");
+
+    // span = number of bytes the bound IV will traverse (positive).
+    Reg Span = Plan.BoundStep > 0 ? B.sub(Plan.Limit, Plan.BoundIV)
+                                  : B.sub(Plan.BoundIV, Plan.Limit);
+
+    // Interval [Lo, Hi) of each partition, computed once per base+step.
+    std::map<std::pair<unsigned, int64_t>, std::pair<Reg, Reg>> Cache;
+    auto ComputeInterval = [&](const CheckPlan::Extent &E) {
+      auto Key = std::make_pair(E.Base.Id, E.Step);
+      auto It = Cache.find(Key);
+      if (It != Cache.end())
+        return It->second;
+
+      Reg Lo, Hi;
+      if (E.Step == 0) {
+        Lo = B.add(E.Base, Operand::imm(E.MinOff));
+        Hi = B.add(E.Base, Operand::imm(E.MaxOffEnd));
+      } else {
+        uint64_t SMag = static_cast<uint64_t>(E.Step < 0 ? -E.Step : E.Step);
+        if (!isPowerOf2(SMag))
+          fatalError("runtime overlap check requires a power-of-two step");
+        // ext = span * SMag / BStep (both powers of two).
+        Operand Ext = Span;
+        if (SMag > BStep)
+          Ext = B.shl(Span, Operand::imm(log2Floor(SMag / BStep)));
+        else if (SMag < BStep)
+          Ext = B.shrL(Span, Operand::imm(log2Floor(BStep / SMag)));
+        if (E.Step > 0) {
+          // Iterations touch [base+MinOff, base+ext-step+MaxOffEnd).
+          Lo = B.add(E.Base, Operand::imm(E.MinOff));
+          Reg EndBase = B.add(E.Base, Ext);
+          Hi = B.add(EndBase, Operand::imm(E.MaxOffEnd - E.Step));
+        } else {
+          // Descending: [base-ext+|step|+MinOff, base+MaxOffEnd).
+          Reg NegBase = B.sub(E.Base, Ext);
+          Lo = B.add(NegBase,
+                     Operand::imm(static_cast<int64_t>(SMag) + E.MinOff));
+          Hi = B.add(E.Base, Operand::imm(E.MaxOffEnd));
+        }
+      }
+      Cache[Key] = {Lo, Hi};
+      return std::make_pair(Lo, Hi);
+    };
+
+    for (const CheckPlan::Overlap &O : Plan.OverlapChecks) {
+      auto [LoA, HiA] = ComputeInterval(O.A);
+      auto [LoB, HiB] = ComputeInterval(O.B);
+      Reg C1 = B.cmpSet(CondCode::LTu, LoA, HiB);
+      Reg C2 = B.cmpSet(CondCode::LTu, LoB, HiA);
+      Reg Both = B.and_(C1, C2);
+      B.aluTo(Bad, Opcode::Or, Bad, Both);
+    }
+  }
+
+  B.br(CondCode::NE, Bad, Operand::imm(0), SafeLoop, FastLoop);
+  InstrCount = static_cast<unsigned>(BB->size() - Before);
+  return BB;
+}

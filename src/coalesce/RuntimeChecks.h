@@ -1,0 +1,86 @@
+//===- coalesce/RuntimeChecks.h - Run-time alias/alignment checks -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's signature technique: *run-time alias and alignment
+/// analysis*. When compile-time analysis cannot prove that coalescing is
+/// safe (the usual case for library routines whose arrays arrive as
+/// parameters), the optimizer emits a short check sequence in the loop
+/// preheader:
+///
+///   * for every potentially-aliasing partition pair, an interval-overlap
+///     test over the full address ranges the loop will touch;
+///   * for every wide reference whose alignment is unknown, a test that
+///     `(base + offset) mod wide == 0`.
+///
+/// All checks passing branches to the coalesced loop; any failure branches
+/// to the original safe loop (paper Fig. 5). The paper reports 10-15 added
+/// preheader instructions; buildRuntimeChecks returns the exact count so
+/// benchmarks can confirm it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_COALESCE_RUNTIMECHECKS_H
+#define VPO_COALESCE_RUNTIMECHECKS_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+
+/// What must be checked at run time before entering the coalesced loop.
+struct CheckPlan {
+  /// `(Base + StartOff) mod WideBytes == 0`.
+  struct Align {
+    Reg Base;
+    int64_t StartOff;
+    unsigned WideBytes;
+
+    bool operator==(const Align &O) const {
+      return Base == O.Base && StartOff == O.StartOff &&
+             WideBytes == O.WideBytes;
+    }
+  };
+
+  /// The address interval one partition touches over the whole loop:
+  /// derived from its base register, per-iteration step, the offsets of
+  /// its references, and the loop trip count (computed at run time from
+  /// the loop bound).
+  struct Extent {
+    Reg Base;
+    int64_t Step;      ///< signed bytes per iteration (0 = invariant)
+    int64_t MinOff;    ///< lowest byte offset referenced in one iteration
+    int64_t MaxOffEnd; ///< one past the highest byte referenced
+  };
+
+  /// Overlap test between two partitions' extents.
+  struct Overlap {
+    Extent A, B;
+  };
+
+  std::vector<Align> AlignChecks;
+  std::vector<Overlap> OverlapChecks;
+
+  // Loop-bound data for trip-count/extent computation at run time.
+  Reg BoundIV;
+  Operand Limit;
+  int64_t BoundStep = 0; ///< signed; |BoundStep| must be a power of two
+};
+
+/// Builds a check block that branches to \p FastLoop when every check
+/// passes and to \p SafeLoop otherwise. \returns the new block; stores the
+/// number of emitted instructions in \p InstrCount.
+BasicBlock *buildRuntimeChecks(Function &F, const CheckPlan &Plan,
+                               BasicBlock *SafeLoop, BasicBlock *FastLoop,
+                               unsigned &InstrCount);
+
+} // namespace vpo
+
+#endif // VPO_COALESCE_RUNTIMECHECKS_H

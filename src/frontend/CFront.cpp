@@ -1,0 +1,861 @@
+//===- frontend/CFront.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CFront.h"
+
+#include "frontend/Lexer.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <map>
+#include <optional>
+
+using namespace vpo;
+using namespace vpo::cc;
+
+namespace {
+
+/// A (very small) C type: a scalar or a pointer to a scalar.
+struct CType {
+  unsigned Bytes = 4;      ///< scalar size (element size for pointers)
+  bool Unsigned = false;
+  bool IsFloat = false;
+  bool IsPointer = false;
+  bool Restrict = false;
+
+  MemWidth width() const { return widthFromBytes(Bytes); }
+};
+
+/// An evaluated expression: an operand plus the type it carries.
+struct Value {
+  Operand Op;
+  CType Ty;
+};
+
+class CompilerImpl {
+public:
+  CompilerImpl(const std::string &Source, std::string *Error)
+      : Error(Error) {
+    std::string LexError;
+    Toks = tokenize(Source, LexError);
+    if (!LexError.empty())
+      fail(LexError);
+  }
+
+  std::unique_ptr<Module> run() {
+    auto M = std::make_unique<Module>();
+    while (!Failed && !at(TokKind::End))
+      parseFunction(*M);
+    if (Failed)
+      return nullptr;
+    std::vector<std::string> Problems;
+    if (!verifyModule(*M, Problems)) {
+      fail("internal: generated IR fails verification: " +
+           (Problems.empty() ? std::string() : Problems.front()));
+      return nullptr;
+    }
+    return M;
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string *Error;
+  bool Failed = false;
+
+  Function *F = nullptr;
+  std::unique_ptr<IRBuilder> B;
+  BasicBlock *ExitBB = nullptr;
+  Reg RetReg;
+  CType RetTy;
+  std::map<std::string, std::pair<Reg, CType>> Scope;
+
+  // --- Token plumbing ---------------------------------------------------
+
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void expect(TokKind K) {
+    if (Failed)
+      return;
+    if (!accept(K))
+      fail(strformat("line %u: expected %s, found %s", cur().Line,
+                     tokKindName(K), tokKindName(cur().Kind)));
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Failed && Error)
+      *Error = Msg;
+    Failed = true;
+  }
+
+  // --- Types ------------------------------------------------------------
+
+  bool atTypeStart() const {
+    switch (cur().Kind) {
+    case TokKind::KwChar:
+    case TokKind::KwShort:
+    case TokKind::KwInt:
+    case TokKind::KwLong:
+    case TokKind::KwUnsigned:
+    case TokKind::KwSigned:
+    case TokKind::KwFloat:
+    case TokKind::KwDouble:
+    case TokKind::KwVoid:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  CType parseType() {
+    CType Ty;
+    bool SawSign = false;
+    if (accept(TokKind::KwUnsigned)) {
+      Ty.Unsigned = true;
+      SawSign = true;
+    } else if (accept(TokKind::KwSigned)) {
+      SawSign = true;
+    }
+    if (accept(TokKind::KwChar)) {
+      Ty.Bytes = 1;
+    } else if (accept(TokKind::KwShort)) {
+      Ty.Bytes = 2;
+    } else if (accept(TokKind::KwInt)) {
+      Ty.Bytes = 4;
+    } else if (accept(TokKind::KwLong)) {
+      Ty.Bytes = 8;
+    } else if (accept(TokKind::KwFloat)) {
+      Ty.Bytes = 4;
+      Ty.IsFloat = true;
+    } else if (accept(TokKind::KwDouble)) {
+      Ty.Bytes = 8;
+      Ty.IsFloat = true;
+    } else if (accept(TokKind::KwVoid)) {
+      Ty.Bytes = 8;
+    } else if (!SawSign) {
+      fail(strformat("line %u: expected a type, found %s", cur().Line,
+                     tokKindName(cur().Kind)));
+    }
+    if (accept(TokKind::Star)) {
+      Ty.IsPointer = true;
+      if (accept(TokKind::KwRestrict))
+        Ty.Restrict = true;
+    }
+    return Ty;
+  }
+
+  // --- Function and statements -------------------------------------------
+
+  void parseFunction(Module &M) {
+    RetTy = parseType();
+    if (!at(TokKind::Identifier)) {
+      fail(strformat("line %u: expected function name", cur().Line));
+      return;
+    }
+    std::string Name = cur().Text;
+    ++Pos;
+
+    F = M.addFunction(Name);
+    B = std::make_unique<IRBuilder>(F);
+    Scope.clear();
+
+    expect(TokKind::LParen);
+    size_t ParamIdx = 0;
+    while (!Failed && !at(TokKind::RParen)) {
+      if (ParamIdx > 0)
+        expect(TokKind::Comma);
+      CType Ty = parseType();
+      if (!at(TokKind::Identifier)) {
+        fail(strformat("line %u: expected parameter name", cur().Line));
+        return;
+      }
+      Reg R = F->addParam();
+      if (Ty.Restrict)
+        F->paramInfo(ParamIdx).NoAlias = true;
+      Scope[cur().Text] = {R, Ty};
+      ++Pos;
+      ++ParamIdx;
+    }
+    expect(TokKind::RParen);
+
+    BasicBlock *Entry = B->createBlock("entry");
+    (void)Entry;
+    ExitBB = F->addBlock("exit");
+    RetReg = F->newReg();
+    B->movTo(RetReg, Operand::imm(0));
+
+    parseCompound();
+
+    // Fall-through return.
+    if (!Failed && B->block() != nullptr)
+      B->jmp(ExitBB);
+    B->setInsertBlock(ExitBB);
+    B->ret(RetReg);
+
+    // Drop the exit block to the end of the layout for readability.
+    if (Failed)
+      return;
+  }
+
+  void parseCompound() {
+    expect(TokKind::LBrace);
+    // Block scoping: restore shadowed names on exit.
+    auto Saved = Scope;
+    while (!Failed && !at(TokKind::RBrace) && !at(TokKind::End))
+      parseStatement();
+    expect(TokKind::RBrace);
+    Scope = std::move(Saved);
+  }
+
+  void parseStatement() {
+    if (at(TokKind::LBrace)) {
+      parseCompound();
+      return;
+    }
+    if (atTypeStart()) {
+      parseDeclaration();
+      return;
+    }
+    if (accept(TokKind::KwReturn)) {
+      if (!at(TokKind::Semi)) {
+        Value V = parseExpr();
+        B->movTo(RetReg, coerce(V, RetTy).Op);
+      }
+      expect(TokKind::Semi);
+      B->jmp(ExitBB);
+      // Statements after a return are unreachable; give them a block so
+      // parsing can continue (the verifier tolerates unreachable code).
+      B->createBlock("dead");
+      return;
+    }
+    if (accept(TokKind::KwIf)) {
+      parseIf();
+      return;
+    }
+    if (accept(TokKind::KwWhile)) {
+      parseWhile();
+      return;
+    }
+    if (accept(TokKind::KwFor)) {
+      parseFor();
+      return;
+    }
+    if (accept(TokKind::Semi))
+      return; // empty statement
+    parseSimpleStatement();
+    expect(TokKind::Semi);
+  }
+
+  void parseDeclaration() {
+    CType Ty = parseType();
+    if (!at(TokKind::Identifier)) {
+      fail(strformat("line %u: expected variable name", cur().Line));
+      return;
+    }
+    std::string Name = cur().Text;
+    ++Pos;
+    Reg R = F->newReg();
+    if (accept(TokKind::Assign)) {
+      Value V = parseExpr();
+      B->movTo(R, coerce(V, Ty).Op);
+    } else {
+      B->movTo(R, Operand::imm(0));
+    }
+    Scope[Name] = {R, Ty};
+    expect(TokKind::Semi);
+  }
+
+  /// assignment | increment | bare expression (evaluated for nothing).
+  void parseSimpleStatement() {
+    // Lookahead: ident ([...])? (= | += | -= | ++ | --)?
+    if (at(TokKind::Identifier)) {
+      size_t Save = Pos;
+      std::string Name = cur().Text;
+      ++Pos;
+      auto It = Scope.find(Name);
+      if (It == Scope.end()) {
+        fail(strformat("line %u: unknown variable '%s'", cur().Line,
+                       Name.c_str()));
+        return;
+      }
+      Reg VarReg = It->second.first;
+      CType VarTy = It->second.second;
+
+      if (at(TokKind::LBracket)) {
+        // Array element assignment: a[i] op= expr.
+        if (!VarTy.IsPointer) {
+          fail(strformat("line %u: '%s' is not a pointer", cur().Line,
+                         Name.c_str()));
+          return;
+        }
+        ++Pos;
+        Value Idx = parseExpr();
+        expect(TokKind::RBracket);
+        Reg Addr = emitElementAddress(VarReg, VarTy, Idx);
+        CType ElemTy = VarTy;
+        ElemTy.IsPointer = false;
+        if (accept(TokKind::Assign)) {
+          Value V = parseExpr();
+          emitStore(Addr, ElemTy, coerce(V, ElemTy));
+        } else if (at(TokKind::PlusAssign) || at(TokKind::MinusAssign)) {
+          bool IsAdd = at(TokKind::PlusAssign);
+          ++Pos;
+          Value Old = emitLoad(Addr, ElemTy);
+          Value Rhs = parseExpr();
+          Value New = emitBinary(IsAdd ? TokKind::Plus : TokKind::Minus,
+                                 Old, Rhs);
+          emitStore(Addr, ElemTy, coerce(New, ElemTy));
+        } else {
+          fail(strformat("line %u: expected assignment", cur().Line));
+        }
+        return;
+      }
+
+      if (accept(TokKind::Assign)) {
+        Value V = parseExpr();
+        B->movTo(VarReg, coerce(V, VarTy).Op);
+        return;
+      }
+      if (at(TokKind::PlusAssign) || at(TokKind::MinusAssign)) {
+        bool IsAdd = at(TokKind::PlusAssign);
+        ++Pos;
+        Value Rhs = parseExpr();
+        emitVarStep(VarReg, VarTy, Rhs, IsAdd);
+        return;
+      }
+      if (at(TokKind::PlusPlus) || at(TokKind::MinusMinus)) {
+        bool IsInc = at(TokKind::PlusPlus);
+        ++Pos;
+        Value One{Operand::imm(1), CType{}};
+        emitVarStep(VarReg, VarTy, One, IsInc);
+        return;
+      }
+      // Not an assignment after all: re-parse as a full expression.
+      Pos = Save;
+    }
+    parseExpr();
+  }
+
+  /// var += rhs with C pointer-arithmetic scaling.
+  void emitVarStep(Reg VarReg, const CType &VarTy, Value Rhs, bool IsAdd) {
+    Operand Step = Rhs.Op;
+    if (VarTy.IsPointer && VarTy.Bytes > 1) {
+      if (Step.isImm())
+        Step = Operand::imm(Step.imm() * VarTy.Bytes);
+      else
+        Step = B->mul(Step, Operand::imm(VarTy.Bytes));
+    }
+    if (VarTy.IsFloat && !VarTy.IsPointer) {
+      Value RhsF = coerce(Rhs, VarTy);
+      Reg NewV = IsAdd ? B->fadd(VarReg, RhsF.Op) : B->fsub(VarReg, RhsF.Op);
+      B->movTo(VarReg, NewV);
+      return;
+    }
+    B->aluTo(VarReg, IsAdd ? Opcode::Add : Opcode::Sub, VarReg, Step);
+  }
+
+  void parseIf() {
+    expect(TokKind::LParen);
+    BasicBlock *Then = F->addBlock(F->uniqueBlockName("then"));
+    BasicBlock *Else = F->addBlock(F->uniqueBlockName("else"));
+    BasicBlock *Join = F->addBlock(F->uniqueBlockName("join"));
+    emitCondBranch(Then, Else);
+    expect(TokKind::RParen);
+
+    B->setInsertBlock(Then);
+    parseStatement();
+    B->jmp(Join);
+
+    B->setInsertBlock(Else);
+    if (accept(TokKind::KwElse))
+      parseStatement();
+    B->jmp(Join);
+
+    B->setInsertBlock(Join);
+  }
+
+  void parseWhile() {
+    expect(TokKind::LParen);
+    size_t CondPos = Pos; // re-parsed for the bottom test
+    BasicBlock *Body = F->addBlock(F->uniqueBlockName("loop"));
+    BasicBlock *After = F->addBlock(F->uniqueBlockName("after"));
+    emitCondBranch(Body, After); // rotated loop: guard in the preheader
+    expect(TokKind::RParen);
+
+    B->setInsertBlock(Body);
+    parseStatement();
+    size_t EndPos = Pos;
+    // Rotated loop: re-emit the condition as the bottom test.
+    Pos = CondPos;
+    emitCondBranch(Body, After);
+    Pos = EndPos;
+
+    B->setInsertBlock(After);
+  }
+
+  void parseFor() {
+    expect(TokKind::LParen);
+    // init
+    if (!at(TokKind::Semi)) {
+      if (atTypeStart()) {
+        parseDeclaration(); // consumes the ';'
+      } else {
+        parseSimpleStatement();
+        expect(TokKind::Semi);
+      }
+    } else {
+      expect(TokKind::Semi);
+    }
+
+    size_t CondPos = Pos;
+    BasicBlock *Body = F->addBlock(F->uniqueBlockName("loop"));
+    BasicBlock *After = F->addBlock(F->uniqueBlockName("after"));
+    bool HasCond = !at(TokKind::Semi);
+    if (HasCond)
+      emitCondBranch(Body, After);
+    else
+      B->jmp(Body);
+    // Skip the condition text and ';'.
+    skipUntil(TokKind::Semi);
+    expect(TokKind::Semi);
+
+    size_t StepPos = Pos;
+    skipUntil(TokKind::RParen);
+    expect(TokKind::RParen);
+
+    B->setInsertBlock(Body);
+    parseStatement();
+    size_t EndPos = Pos;
+
+    // step
+    Pos = StepPos;
+    if (!at(TokKind::RParen))
+      parseSimpleStatement();
+    // bottom test
+    Pos = CondPos;
+    if (HasCond)
+      emitCondBranch(Body, After);
+    else
+      B->jmp(Body);
+    Pos = EndPos;
+
+    B->setInsertBlock(After);
+  }
+
+  /// Advances past balanced parens/brackets until \p K at depth 0.
+  void skipUntil(TokKind K) {
+    int Depth = 0;
+    while (!Failed && !at(TokKind::End)) {
+      if (Depth == 0 && at(K))
+        return;
+      if (at(TokKind::LParen) || at(TokKind::LBracket))
+        ++Depth;
+      if (at(TokKind::RParen) || at(TokKind::RBracket))
+        --Depth;
+      ++Pos;
+    }
+  }
+
+  /// Parses a condition expression and branches on it. Top-level
+  /// comparisons fuse into the branch; anything else tests != 0.
+  void emitCondBranch(BasicBlock *IfTrue, BasicBlock *IfFalse) {
+    Value V = parseExpr();
+    if (LastCmp && LastCmp->Result == V.Op) {
+      B->br(LastCmp->CC, LastCmp->A, LastCmp->B, IfTrue, IfFalse);
+      return;
+    }
+    B->br(CondCode::NE, V.Op, Operand::imm(0), IfTrue, IfFalse);
+  }
+
+  // --- Expressions --------------------------------------------------------
+
+  /// Remembers the most recent comparison so emitCondBranch can fuse it.
+  struct CmpInfo {
+    Operand Result;
+    CondCode CC;
+    Operand A, B;
+  };
+  std::optional<CmpInfo> LastCmp;
+
+  Value parseExpr() { return parseConditional(); }
+
+  /// `cond ? a : b`, compiled to a Select. Both arms are evaluated
+  /// unconditionally (if-conversion) — fine for the pure expressions this
+  /// dialect allows, and exactly what the optimizer wants inside loops.
+  Value parseConditional() {
+    Value Cond = parseBitOr();
+    if (!accept(TokKind::Question))
+      return Cond;
+    Value TrueV = parseConditional();
+    expect(TokKind::Colon);
+    Value FalseV = parseConditional();
+    LastCmp.reset();
+    CType Ty = TrueV.Ty;
+    if (TrueV.Ty.IsFloat || FalseV.Ty.IsFloat) {
+      Ty.IsFloat = true;
+      Ty.Bytes = 8;
+      TrueV = coerce(TrueV, Ty);
+      FalseV = coerce(FalseV, Ty);
+    }
+    Reg Out = B->select(Cond.Op, TrueV.Op, FalseV.Op);
+    return {Operand(Out), Ty};
+  }
+
+  Value parseBitOr() {
+    Value L = parseBitXor();
+    while (at(TokKind::Pipe)) {
+      ++Pos;
+      L = emitBinary(TokKind::Pipe, L, parseBitXor());
+    }
+    return L;
+  }
+
+  Value parseBitXor() {
+    Value L = parseBitAnd();
+    while (at(TokKind::Caret)) {
+      ++Pos;
+      L = emitBinary(TokKind::Caret, L, parseBitAnd());
+    }
+    return L;
+  }
+
+  Value parseBitAnd() {
+    Value L = parseEquality();
+    while (at(TokKind::Amp)) {
+      ++Pos;
+      L = emitBinary(TokKind::Amp, L, parseEquality());
+    }
+    return L;
+  }
+
+  Value parseEquality() {
+    Value L = parseRelational();
+    while (at(TokKind::EqEq) || at(TokKind::NotEq)) {
+      TokKind Op = cur().Kind;
+      ++Pos;
+      L = emitCompare(Op, L, parseRelational());
+    }
+    return L;
+  }
+
+  Value parseRelational() {
+    Value L = parseShift();
+    while (at(TokKind::Lt) || at(TokKind::Gt) || at(TokKind::Le) ||
+           at(TokKind::Ge)) {
+      TokKind Op = cur().Kind;
+      ++Pos;
+      L = emitCompare(Op, L, parseShift());
+    }
+    return L;
+  }
+
+  Value parseShift() {
+    Value L = parseAdditive();
+    while (at(TokKind::Shl) || at(TokKind::Shr)) {
+      TokKind Op = cur().Kind;
+      ++Pos;
+      L = emitBinary(Op, L, parseAdditive());
+    }
+    return L;
+  }
+
+  Value parseAdditive() {
+    Value L = parseMultiplicative();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      TokKind Op = cur().Kind;
+      ++Pos;
+      L = emitBinary(Op, L, parseMultiplicative());
+    }
+    return L;
+  }
+
+  Value parseMultiplicative() {
+    Value L = parseUnary();
+    while (at(TokKind::Star) || at(TokKind::Slash) ||
+           at(TokKind::Percent)) {
+      TokKind Op = cur().Kind;
+      ++Pos;
+      L = emitBinary(Op, L, parseUnary());
+    }
+    return L;
+  }
+
+  Value parseUnary() {
+    if (accept(TokKind::Minus)) {
+      Value V = parseUnary();
+      if (V.Ty.IsFloat) {
+        Reg R = B->fsub(emitFloatImm(0.0), V.Op);
+        return {Operand(R), V.Ty};
+      }
+      Reg R = B->sub(Operand::imm(0), V.Op);
+      return {Operand(R), V.Ty};
+    }
+    if (accept(TokKind::Tilde)) {
+      Value V = parseUnary();
+      Reg R = B->xor_(V.Op, Operand::imm(-1));
+      return {Operand(R), V.Ty};
+    }
+    if (accept(TokKind::Not)) {
+      Value V = parseUnary();
+      Reg R = B->cmpSet(CondCode::EQ, V.Op, Operand::imm(0));
+      CType Ty;
+      return {Operand(R), Ty};
+    }
+    return parsePrimary();
+  }
+
+  Value parsePrimary() {
+    if (at(TokKind::Number)) {
+      int64_t V = cur().Value;
+      ++Pos;
+      CType Ty;
+      Ty.Bytes = 8;
+      return {Operand::imm(V), Ty};
+    }
+    if (accept(TokKind::LParen)) {
+      Value V = parseExpr();
+      expect(TokKind::RParen);
+      return V;
+    }
+    if (at(TokKind::Identifier)) {
+      std::string Name = cur().Text;
+      ++Pos;
+      auto It = Scope.find(Name);
+      if (It == Scope.end()) {
+        fail(strformat("line %u: unknown variable '%s'", cur().Line,
+                       Name.c_str()));
+        return {Operand::imm(0), CType{}};
+      }
+      Reg VarReg = It->second.first;
+      CType VarTy = It->second.second;
+      if (at(TokKind::LBracket)) {
+        if (!VarTy.IsPointer) {
+          fail(strformat("line %u: '%s' is not a pointer", cur().Line,
+                         Name.c_str()));
+          return {Operand::imm(0), CType{}};
+        }
+        ++Pos;
+        Value Idx = parseExpr();
+        expect(TokKind::RBracket);
+        Reg Addr = emitElementAddress(VarReg, VarTy, Idx);
+        CType ElemTy = VarTy;
+        ElemTy.IsPointer = false;
+        return emitLoad(Addr, ElemTy);
+      }
+      return {Operand(VarReg), VarTy};
+    }
+    fail(strformat("line %u: expected an expression, found %s", cur().Line,
+                   tokKindName(cur().Kind)));
+    ++Pos;
+    return {Operand::imm(0), CType{}};
+  }
+
+  // --- IR emission helpers -------------------------------------------------
+
+  Operand emitFloatImm(double V) {
+    // Materialize a double constant through its bit pattern.
+    int64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "layout");
+    memcpy(&Bits, &V, sizeof(Bits));
+    Reg R = B->mov(Operand::imm(Bits));
+    return R;
+  }
+
+  /// base + index * elemsize, emitted naively (strength reduction turns
+  /// this into a pointer induction variable later).
+  Reg emitElementAddress(Reg Base, const CType &PtrTy, const Value &Idx) {
+    Operand Scaled = Idx.Op;
+    if (PtrTy.Bytes > 1) {
+      unsigned Shift = 0;
+      switch (PtrTy.Bytes) {
+      case 2:
+        Shift = 1;
+        break;
+      case 4:
+        Shift = 2;
+        break;
+      case 8:
+        Shift = 3;
+        break;
+      }
+      if (Scaled.isImm())
+        Scaled = Operand::imm(Scaled.imm() * PtrTy.Bytes);
+      else
+        Scaled = B->shl(Scaled, Operand::imm(Shift));
+    }
+    return B->add(Base, Scaled);
+  }
+
+  Value emitLoad(Reg Addr, const CType &ElemTy) {
+    Reg R = B->load(Address(Addr, 0), ElemTy.width(),
+                    /*Sign=*/!ElemTy.Unsigned && !ElemTy.IsFloat,
+                    ElemTy.IsFloat);
+    CType Ty = ElemTy;
+    return {Operand(R), Ty};
+  }
+
+  void emitStore(Reg Addr, const CType &ElemTy, const Value &V) {
+    B->store(Address(Addr, 0), V.Op, ElemTy.width(), ElemTy.IsFloat);
+  }
+
+  /// int <-> float conversions when the context demands it.
+  Value coerce(Value V, const CType &To) {
+    if (To.IsFloat && !V.Ty.IsFloat && !V.Ty.IsPointer) {
+      Reg R = B->cvtIF(V.Op);
+      Value Out{Operand(R), To};
+      return Out;
+    }
+    if (!To.IsFloat && V.Ty.IsFloat && !To.IsPointer) {
+      Reg R = B->cvtFI(V.Op);
+      Value Out{Operand(R), To};
+      return Out;
+    }
+    return V;
+  }
+
+  Value emitBinary(TokKind Op, Value L, Value R) {
+    LastCmp.reset();
+    // Pointer arithmetic: p + i scales by the element size.
+    if ((Op == TokKind::Plus || Op == TokKind::Minus) &&
+        (L.Ty.IsPointer != R.Ty.IsPointer)) {
+      Value &Ptr = L.Ty.IsPointer ? L : R;
+      Value &Int = L.Ty.IsPointer ? R : L;
+      Operand Scaled = Int.Op;
+      if (Ptr.Ty.Bytes > 1) {
+        if (Scaled.isImm())
+          Scaled = Operand::imm(Scaled.imm() * Ptr.Ty.Bytes);
+        else
+          Scaled = B->mul(Scaled, Operand::imm(Ptr.Ty.Bytes));
+      }
+      Reg Out = Op == TokKind::Plus ? B->add(Ptr.Op, Scaled)
+                                    : B->sub(Ptr.Op, Scaled);
+      return {Operand(Out), Ptr.Ty};
+    }
+
+    bool FloatOp = L.Ty.IsFloat || R.Ty.IsFloat;
+    if (FloatOp) {
+      CType FTy;
+      FTy.IsFloat = true;
+      FTy.Bytes = 8;
+      L = coerce(L, FTy);
+      R = coerce(R, FTy);
+      Reg Out;
+      switch (Op) {
+      case TokKind::Plus:
+        Out = B->fadd(L.Op, R.Op);
+        break;
+      case TokKind::Minus:
+        Out = B->fsub(L.Op, R.Op);
+        break;
+      case TokKind::Star:
+        Out = B->fmul(L.Op, R.Op);
+        break;
+      case TokKind::Slash:
+        Out = B->fdiv(L.Op, R.Op);
+        break;
+      default:
+        fail("unsupported float operation");
+        return L;
+      }
+      return {Operand(Out), FTy};
+    }
+
+    bool Uns = L.Ty.Unsigned || R.Ty.Unsigned;
+    Opcode OC;
+    switch (Op) {
+    case TokKind::Plus:
+      OC = Opcode::Add;
+      break;
+    case TokKind::Minus:
+      OC = Opcode::Sub;
+      break;
+    case TokKind::Star:
+      OC = Opcode::Mul;
+      break;
+    case TokKind::Slash:
+      OC = Uns ? Opcode::DivU : Opcode::DivS;
+      break;
+    case TokKind::Percent:
+      OC = Uns ? Opcode::RemU : Opcode::RemS;
+      break;
+    case TokKind::Amp:
+      OC = Opcode::And;
+      break;
+    case TokKind::Pipe:
+      OC = Opcode::Or;
+      break;
+    case TokKind::Caret:
+      OC = Opcode::Xor;
+      break;
+    case TokKind::Shl:
+      OC = Opcode::Shl;
+      break;
+    case TokKind::Shr:
+      OC = Uns ? Opcode::ShrL : Opcode::ShrA;
+      break;
+    default:
+      fail("unsupported operator");
+      return L;
+    }
+    Reg Out = B->alu(OC, L.Op, R.Op);
+    CType Ty;
+    Ty.Bytes = 8;
+    Ty.Unsigned = Uns;
+    return {Operand(Out), Ty};
+  }
+
+  Value emitCompare(TokKind Op, Value L, Value R) {
+    // Pointers compare unsigned; mixed signedness promotes to unsigned.
+    bool Uns = L.Ty.Unsigned || R.Ty.Unsigned || L.Ty.IsPointer ||
+               R.Ty.IsPointer;
+    CondCode CC;
+    switch (Op) {
+    case TokKind::Lt:
+      CC = Uns ? CondCode::LTu : CondCode::LTs;
+      break;
+    case TokKind::Gt:
+      CC = Uns ? CondCode::GTu : CondCode::GTs;
+      break;
+    case TokKind::Le:
+      CC = Uns ? CondCode::LEu : CondCode::LEs;
+      break;
+    case TokKind::Ge:
+      CC = Uns ? CondCode::GEu : CondCode::GEs;
+      break;
+    case TokKind::EqEq:
+      CC = CondCode::EQ;
+      break;
+    case TokKind::NotEq:
+      CC = CondCode::NE;
+      break;
+    default:
+      fail("unsupported comparison");
+      return L;
+    }
+    Reg Out = B->cmpSet(CC, L.Op, R.Op);
+    LastCmp = CmpInfo{Operand(Out), CC, L.Op, R.Op};
+    CType Ty;
+    return {Operand(Out), Ty};
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Module> vpo::cc::compileC(const std::string &Source,
+                                          std::string *Error) {
+  return CompilerImpl(Source, Error).run();
+}

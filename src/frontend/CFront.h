@@ -1,0 +1,60 @@
+//===- frontend/CFront.h - mini-C to RTL compiler ----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature C front end, standing in for the paper's vpcc: it compiles
+/// the dialect the paper's kernels are written in directly to RTL.
+///
+/// Supported subset:
+///   * functions over scalar and pointer parameters:
+///     `int f(short *a, unsigned char * restrict dst, int n)`
+///   * element types: (unsigned) char/short/int/long, float, double;
+///   * statements: declarations with initializers, assignments (including
+///     `+=`, `-=`, `++`, `--`), `if`/`else`, `while`, `for`, `return`,
+///     compound blocks;
+///   * expressions: integer and float arithmetic, bitwise ops, shifts,
+///     comparisons (yielding 0/1), unary `-` `~` `!`, array indexing
+///     `a[i]` as both value and assignment target, parentheses, decimal
+///     and hex literals;
+///   * `restrict` on a pointer parameter sets the NoAlias attribute the
+///     optimizer's static alias analysis consumes.
+///
+/// Deviations from ISO C, documented here once: all integer arithmetic is
+/// performed in 64 bits (narrow types load sign/zero-extended and store
+/// truncated, but intermediates never wrap at 32 bits), `float`
+/// arithmetic is performed in double precision with rounding at stores
+/// (exactly what the RTL machines do), and there are no calls, structs,
+/// globals, or address-of.
+///
+/// Loops are emitted in the rotated (guard + bottom-test) form the
+/// optimizer's analyses expect, and array indexing is emitted naively —
+/// `a + (i << k)` recomputed per access; the strength-reduction pass
+/// (transform/StrengthReduce.h) then derives the pointer induction
+/// variables that memory access coalescing needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FRONTEND_CFRONT_H
+#define VPO_FRONTEND_CFRONT_H
+
+#include <memory>
+#include <string>
+
+namespace vpo {
+
+class Module;
+
+namespace cc {
+
+/// Compiles \p Source into a fresh module. On failure returns nullptr
+/// and, if \p Error is non-null, a line-numbered diagnostic.
+std::unique_ptr<Module> compileC(const std::string &Source,
+                                 std::string *Error = nullptr);
+
+} // namespace cc
+} // namespace vpo
+
+#endif // VPO_FRONTEND_CFRONT_H

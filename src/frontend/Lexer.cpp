@@ -1,0 +1,360 @@
+//===- frontend/Lexer.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <map>
+
+using namespace vpo;
+using namespace vpo::cc;
+
+const char *vpo::cc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::End:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwShort:
+    return "'short'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwLong:
+    return "'long'";
+  case TokKind::KwUnsigned:
+    return "'unsigned'";
+  case TokKind::KwSigned:
+    return "'signed'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwRestrict:
+    return "'restrict'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Not:
+    return "'!'";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  }
+  return "?";
+}
+
+std::vector<Token> vpo::cc::tokenize(const std::string &Source,
+                                     std::string &Error) {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"char", TokKind::KwChar},       {"short", TokKind::KwShort},
+      {"int", TokKind::KwInt},         {"long", TokKind::KwLong},
+      {"unsigned", TokKind::KwUnsigned}, {"signed", TokKind::KwSigned},
+      {"float", TokKind::KwFloat},     {"double", TokKind::KwDouble},
+      {"void", TokKind::KwVoid},       {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},     {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"return", TokKind::KwReturn},
+      {"restrict", TokKind::KwRestrict}};
+
+  std::vector<Token> Toks;
+  unsigned Line = 1;
+  size_t I = 0;
+  auto Push = [&](TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    Toks.push_back(std::move(T));
+  };
+
+  while (I < Source.size()) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < Source.size()) {
+      if (Source[I + 1] == '/') {
+        while (I < Source.size() && Source[I] != '\n')
+          ++I;
+        continue;
+      }
+      if (Source[I + 1] == '*') {
+        I += 2;
+        while (I + 1 < Source.size() &&
+               !(Source[I] == '*' && Source[I + 1] == '/')) {
+          if (Source[I] == '\n')
+            ++Line;
+          ++I;
+        }
+        I = std::min(I + 2, Source.size());
+        continue;
+      }
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t B = I;
+      while (I < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '_'))
+        ++I;
+      std::string Word = Source.substr(B, I - B);
+      auto It = Keywords.find(Word);
+      Token T;
+      T.Line = Line;
+      if (It != Keywords.end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokKind::Identifier;
+        T.Text = Word;
+      }
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t B = I;
+      int Base = 10;
+      if (C == '0' && I + 1 < Source.size() &&
+          (Source[I + 1] == 'x' || Source[I + 1] == 'X')) {
+        Base = 16;
+        I += 2;
+      }
+      while (I < Source.size() &&
+             std::isalnum(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Token T;
+      T.Kind = TokKind::Number;
+      T.Line = Line;
+      std::string Digits = Source.substr(B, I - B);
+      char *End = nullptr;
+      T.Value = static_cast<int64_t>(
+          strtoll(Digits.c_str(), &End, Base == 16 ? 16 : 10));
+      if (End == Digits.c_str() || *End != '\0') {
+        Error = strformat("line %u: malformed number '%s'", Line,
+                          Digits.c_str());
+        return Toks;
+      }
+      Toks.push_back(std::move(T));
+      continue;
+    }
+
+    auto Two = [&](char Next) {
+      return I + 1 < Source.size() && Source[I + 1] == Next;
+    };
+    switch (C) {
+    case '(':
+      Push(TokKind::LParen);
+      break;
+    case ')':
+      Push(TokKind::RParen);
+      break;
+    case '{':
+      Push(TokKind::LBrace);
+      break;
+    case '}':
+      Push(TokKind::RBrace);
+      break;
+    case '[':
+      Push(TokKind::LBracket);
+      break;
+    case ']':
+      Push(TokKind::RBracket);
+      break;
+    case ';':
+      Push(TokKind::Semi);
+      break;
+    case ',':
+      Push(TokKind::Comma);
+      break;
+    case '*':
+      Push(TokKind::Star);
+      break;
+    case '~':
+      Push(TokKind::Tilde);
+      break;
+    case '%':
+      Push(TokKind::Percent);
+      break;
+    case '^':
+      Push(TokKind::Caret);
+      break;
+    case '?':
+      Push(TokKind::Question);
+      break;
+    case ':':
+      Push(TokKind::Colon);
+      break;
+    case '/':
+      Push(TokKind::Slash);
+      break;
+    case '+':
+      if (Two('+')) {
+        Push(TokKind::PlusPlus);
+        ++I;
+      } else if (Two('=')) {
+        Push(TokKind::PlusAssign);
+        ++I;
+      } else {
+        Push(TokKind::Plus);
+      }
+      break;
+    case '-':
+      if (Two('-')) {
+        Push(TokKind::MinusMinus);
+        ++I;
+      } else if (Two('=')) {
+        Push(TokKind::MinusAssign);
+        ++I;
+      } else {
+        Push(TokKind::Minus);
+      }
+      break;
+    case '&':
+      if (Two('&')) {
+        Push(TokKind::AndAnd);
+        ++I;
+      } else {
+        Push(TokKind::Amp);
+      }
+      break;
+    case '|':
+      if (Two('|')) {
+        Push(TokKind::OrOr);
+        ++I;
+      } else {
+        Push(TokKind::Pipe);
+      }
+      break;
+    case '<':
+      if (Two('<')) {
+        Push(TokKind::Shl);
+        ++I;
+      } else if (Two('=')) {
+        Push(TokKind::Le);
+        ++I;
+      } else {
+        Push(TokKind::Lt);
+      }
+      break;
+    case '>':
+      if (Two('>')) {
+        Push(TokKind::Shr);
+        ++I;
+      } else if (Two('=')) {
+        Push(TokKind::Ge);
+        ++I;
+      } else {
+        Push(TokKind::Gt);
+      }
+      break;
+    case '=':
+      if (Two('=')) {
+        Push(TokKind::EqEq);
+        ++I;
+      } else {
+        Push(TokKind::Assign);
+      }
+      break;
+    case '!':
+      if (Two('=')) {
+        Push(TokKind::NotEq);
+        ++I;
+      } else {
+        Push(TokKind::Not);
+      }
+      break;
+    default:
+      Error = strformat("line %u: unexpected character '%c'", Line, C);
+      return Toks;
+    }
+    ++I;
+  }
+  Push(TokKind::End);
+  return Toks;
+}

@@ -1,0 +1,99 @@
+//===- frontend/Lexer.h - tokens for the mini-C front end -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the miniature C dialect the kernels are written in (the
+/// paper's toolchain was "a C front end and vpo"; this is the C front
+/// end, scaled to the loops the paper studies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FRONTEND_LEXER_H
+#define VPO_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace cc {
+
+enum class TokKind {
+  End,
+  Identifier,
+  Number,
+  // Keywords.
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwUnsigned,
+  KwSigned,
+  KwFloat,
+  KwDouble,
+  KwVoid,
+  KwFor,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwRestrict,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl,
+  Shr,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  PlusPlus,
+  MinusMinus,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  Not,
+  AndAnd,
+  OrOr,
+  Question,
+  Colon,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;   ///< identifier spelling
+  int64_t Value = 0;  ///< number value
+  unsigned Line = 1;
+};
+
+/// \returns a printable name for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Source. On a bad character, records a message in
+/// \p Error and stops. Comments (// and /* */) are skipped.
+std::vector<Token> tokenize(const std::string &Source, std::string &Error);
+
+} // namespace cc
+} // namespace vpo
+
+#endif // VPO_FRONTEND_LEXER_H

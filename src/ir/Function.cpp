@@ -1,0 +1,99 @@
+//===- ir/Function.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace vpo;
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  if (Insts.empty())
+    return {};
+  const Instruction &T = Insts.back();
+  switch (T.Op) {
+  case Opcode::Br:
+    if (T.TrueTarget == T.FalseTarget)
+      return {T.TrueTarget};
+    return {T.TrueTarget, T.FalseTarget};
+  case Opcode::Jmp:
+    return {T.TrueTarget};
+  case Opcode::Ret:
+    return {};
+  default:
+    // Not (yet) terminated; treated as having no successors. The Verifier
+    // rejects such blocks in finished functions.
+    return {};
+  }
+}
+
+BasicBlock *Function::addBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::addBlockBefore(BasicBlock *Before,
+                                     std::string BlockName) {
+  int Idx = blockIndex(Before);
+  assert(Idx >= 0 && "addBlockBefore: block not in function");
+  auto NewBB = std::make_unique<BasicBlock>(this, std::move(BlockName));
+  BasicBlock *Raw = NewBB.get();
+  Blocks.insert(Blocks.begin() + Idx, std::move(NewBB));
+  return Raw;
+}
+
+void Function::removeBlock(BasicBlock *BB) {
+  auto It = std::find_if(Blocks.begin(), Blocks.end(),
+                         [BB](const auto &P) { return P.get() == BB; });
+  assert(It != Blocks.end() && "removeBlock: block not in function");
+  Blocks.erase(It);
+}
+
+int Function::blockIndex(const BasicBlock *BB) const {
+  for (size_t I = 0; I < Blocks.size(); ++I)
+    if (Blocks[I].get() == BB)
+      return static_cast<int>(I);
+  return -1;
+}
+
+BasicBlock *Function::findBlock(const std::string &BlockName) const {
+  for (const auto &B : Blocks)
+    if (B->name() == BlockName)
+      return B.get();
+  return nullptr;
+}
+
+std::string Function::uniqueBlockName(const std::string &Base) const {
+  if (!findBlock(Base))
+    return Base;
+  for (unsigned I = 1;; ++I) {
+    std::string Candidate = Base + "." + std::to_string(I);
+    if (!findBlock(Candidate))
+      return Candidate;
+  }
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &B : Blocks)
+    N += B->size();
+  return N;
+}
+
+Function *Module::addFunction(std::string Name) {
+  Funcs.push_back(std::make_unique<Function>(std::move(Name)));
+  return Funcs.back().get();
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}

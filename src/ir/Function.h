@@ -1,0 +1,192 @@
+//===- ir/Function.h - Basic blocks, functions, modules --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Containers for RTL code: BasicBlock (a label plus a straight-line list of
+/// instructions ending in a terminator), Function (an owned list of blocks
+/// plus a virtual register allocator), and Module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_FUNCTION_H
+#define VPO_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+
+/// A basic block: named, single-entry, ending in exactly one terminator
+/// (enforced by the Verifier, not the type).
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  std::vector<Instruction> &insts() { return Insts; }
+  const std::vector<Instruction> &insts() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  /// \returns the terminator, i.e. the last instruction. The block must be
+  /// non-empty and well-formed.
+  Instruction &terminator() {
+    assert(!Insts.empty() && "terminator() on empty block");
+    return Insts.back();
+  }
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && "terminator() on empty block");
+    return Insts.back();
+  }
+
+  /// Appends \p I to the block.
+  void append(Instruction I) { Insts.push_back(std::move(I)); }
+
+  /// Inserts \p I before position \p Pos.
+  void insertAt(size_t Pos, Instruction I) {
+    assert(Pos <= Insts.size() && "insert position out of range");
+    Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Pos), std::move(I));
+  }
+
+  /// Removes the instruction at \p Pos.
+  void eraseAt(size_t Pos) {
+    assert(Pos < Insts.size() && "erase position out of range");
+    Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Pos));
+  }
+
+  /// \returns the successor blocks implied by the terminator (0-2 blocks).
+  std::vector<BasicBlock *> successors() const;
+
+private:
+  Function *Parent;
+  std::string Name;
+  std::vector<Instruction> Insts;
+};
+
+/// Optional compile-time facts about a parameter. The paper's point is that
+/// for the interesting codes these facts are *unknown* at compile time
+/// (forcing run-time alias and alignment checks); tests and ablations can
+/// set them to exercise the static-analysis path.
+struct ParamInfo {
+  /// The pointed-to object overlaps no other parameter's object
+  /// (C99 `restrict`-like).
+  bool NoAlias = false;
+  /// Known minimum alignment of the incoming value (1 = unknown).
+  uint64_t KnownAlign = 1;
+};
+
+/// A function: parameters arrive in pre-allocated virtual registers; blocks
+/// are owned in layout order; block 0 is the entry.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return Reg(NextRegId++); }
+
+  /// \returns one past the largest allocated register id.
+  unsigned regUpperBound() const { return NextRegId; }
+
+  /// Records that register id \p Id is in use, growing the allocator bound.
+  /// Used by the text parser, which sees explicit register numbers.
+  void noteRegUsed(unsigned Id) {
+    if (Id >= NextRegId)
+      NextRegId = Id + 1;
+  }
+
+  /// Declares a new parameter register (parameters are passed in order).
+  Reg addParam() {
+    Reg R = newReg();
+    Params.push_back(R);
+    ParamInfos.push_back(ParamInfo());
+    return R;
+  }
+  const std::vector<Reg> &params() const { return Params; }
+
+  /// Mutable compile-time facts about parameter \p Idx.
+  ParamInfo &paramInfo(size_t Idx) {
+    assert(Idx < ParamInfos.size() && "parameter index out of range");
+    return ParamInfos[Idx];
+  }
+
+  /// \returns the ParamInfo for register \p R if it is a parameter,
+  /// else a default (nothing known).
+  ParamInfo paramInfoFor(Reg R) const {
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (Params[I] == R)
+        return ParamInfos[I];
+    return ParamInfo();
+  }
+
+  /// Creates and owns a new block appended to the layout.
+  BasicBlock *addBlock(std::string BlockName);
+
+  /// Creates a new block inserted into the layout before \p Before.
+  BasicBlock *addBlockBefore(BasicBlock *Before, std::string BlockName);
+
+  /// Removes \p BB from the function. No instruction may still branch to it.
+  void removeBlock(BasicBlock *BB);
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "entry() on function with no blocks");
+    return Blocks.front().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// \returns the layout index of \p BB, or -1 if not found.
+  int blockIndex(const BasicBlock *BB) const;
+
+  /// \returns the block named \p BlockName, or nullptr.
+  BasicBlock *findBlock(const std::string &BlockName) const;
+
+  /// \returns a unique block name derived from \p Base ("Base", "Base.1"...).
+  std::string uniqueBlockName(const std::string &Base) const;
+
+  /// Total instruction count across all blocks.
+  size_t instructionCount() const;
+
+private:
+  std::string Name;
+  std::vector<Reg> Params;
+  std::vector<ParamInfo> ParamInfos;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  unsigned NextRegId = 1;
+};
+
+/// A module: a named set of functions.
+class Module {
+public:
+  Function *addFunction(std::string Name);
+  Function *findFunction(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+};
+
+} // namespace vpo
+
+#endif // VPO_IR_FUNCTION_H

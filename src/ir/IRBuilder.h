@@ -1,0 +1,228 @@
+//===- ir/IRBuilder.h - Convenience construction API ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent helper for emitting RTL instructions into a block. Value-producing
+/// helpers allocate a fresh virtual register; the *To variants redefine an
+/// existing register, which RTL code (not SSA) needs for accumulators and
+/// induction variables like `r[4] = r[4] + r[1]` in the paper's Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_IRBUILDER_H
+#define VPO_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace vpo {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *function() const { return F; }
+  BasicBlock *block() const { return BB; }
+  void setInsertBlock(BasicBlock *NewBB) { BB = NewBB; }
+
+  /// Creates a block and makes it the insertion point.
+  BasicBlock *createBlock(const std::string &Name) {
+    BB = F->addBlock(F->uniqueBlockName(Name));
+    return BB;
+  }
+
+  /// Emits \p I into the current block.
+  void emit(Instruction I) {
+    assert(BB && "no insertion block set");
+    BB->append(std::move(I));
+  }
+
+  // --- Data movement and ALU -------------------------------------------
+
+  Reg mov(Operand A) { return alu(Opcode::Mov, A, Operand()); }
+  void movTo(Reg Dst, Operand A) { aluTo(Dst, Opcode::Mov, A, Operand()); }
+
+  Reg add(Operand A, Operand B) { return alu(Opcode::Add, A, B); }
+  Reg sub(Operand A, Operand B) { return alu(Opcode::Sub, A, B); }
+  Reg mul(Operand A, Operand B) { return alu(Opcode::Mul, A, B); }
+  Reg divS(Operand A, Operand B) { return alu(Opcode::DivS, A, B); }
+  Reg remS(Operand A, Operand B) { return alu(Opcode::RemS, A, B); }
+  Reg remU(Operand A, Operand B) { return alu(Opcode::RemU, A, B); }
+  Reg and_(Operand A, Operand B) { return alu(Opcode::And, A, B); }
+  Reg or_(Operand A, Operand B) { return alu(Opcode::Or, A, B); }
+  Reg xor_(Operand A, Operand B) { return alu(Opcode::Xor, A, B); }
+  Reg shl(Operand A, Operand B) { return alu(Opcode::Shl, A, B); }
+  Reg shrA(Operand A, Operand B) { return alu(Opcode::ShrA, A, B); }
+  Reg shrL(Operand A, Operand B) { return alu(Opcode::ShrL, A, B); }
+
+  void addTo(Reg Dst, Operand A, Operand B) {
+    aluTo(Dst, Opcode::Add, A, B);
+  }
+
+  /// Generic two-operand ALU instruction defining a fresh register.
+  Reg alu(Opcode Op, Operand A, Operand B) {
+    Reg Dst = F->newReg();
+    aluTo(Dst, Op, A, B);
+    return Dst;
+  }
+
+  /// Generic two-operand ALU instruction redefining \p Dst.
+  void aluTo(Reg Dst, Opcode Op, Operand A, Operand B) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    emit(std::move(I));
+  }
+
+  Reg cmpSet(CondCode CC, Operand A, Operand B) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::CmpSet;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.CC = CC;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  Reg select(Operand Pred, Operand IfTrue, Operand IfFalse) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::Select;
+    I.Dst = Dst;
+    I.A = Pred;
+    I.B = IfTrue;
+    I.C = IfFalse;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  Reg ext(Operand A, MemWidth W, bool Sign) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::Ext;
+    I.Dst = Dst;
+    I.A = A;
+    I.W = W;
+    I.SignExtend = Sign;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  // --- Floating point ---------------------------------------------------
+
+  Reg fadd(Operand A, Operand B) { return alu(Opcode::FAdd, A, B); }
+  Reg fsub(Operand A, Operand B) { return alu(Opcode::FSub, A, B); }
+  Reg fmul(Operand A, Operand B) { return alu(Opcode::FMul, A, B); }
+  Reg fdiv(Operand A, Operand B) { return alu(Opcode::FDiv, A, B); }
+  Reg cvtIF(Operand A) { return alu(Opcode::CvtIF, A, Operand()); }
+  Reg cvtFI(Operand A) { return alu(Opcode::CvtFI, A, Operand()); }
+
+  // --- Memory -----------------------------------------------------------
+
+  Reg load(Address Addr, MemWidth W, bool Sign, bool IsFloat = false) {
+    Reg Dst = F->newReg();
+    loadTo(Dst, Addr, W, Sign, IsFloat);
+    return Dst;
+  }
+
+  void loadTo(Reg Dst, Address Addr, MemWidth W, bool Sign,
+              bool IsFloat = false) {
+    Instruction I;
+    I.Op = Opcode::Load;
+    I.Dst = Dst;
+    I.Addr = Addr;
+    I.W = W;
+    I.SignExtend = Sign;
+    I.IsFloat = IsFloat;
+    emit(std::move(I));
+  }
+
+  void store(Address Addr, Operand Val, MemWidth W, bool IsFloat = false) {
+    Instruction I;
+    I.Op = Opcode::Store;
+    I.A = Val;
+    I.Addr = Addr;
+    I.W = W;
+    I.IsFloat = IsFloat;
+    emit(std::move(I));
+  }
+
+  Reg loadWideU(Address Addr, MemWidth W) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::LoadWideU;
+    I.Dst = Dst;
+    I.Addr = Addr;
+    I.W = W;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  Reg extractF(Operand Src, Operand ByteOff, MemWidth W, bool Sign) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::ExtractF;
+    I.Dst = Dst;
+    I.A = Src;
+    I.B = ByteOff;
+    I.W = W;
+    I.SignExtend = Sign;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  Reg insertF(Operand Src, Operand ByteOff, Operand Val, MemWidth W) {
+    Reg Dst = F->newReg();
+    Instruction I;
+    I.Op = Opcode::InsertF;
+    I.Dst = Dst;
+    I.A = Src;
+    I.B = ByteOff;
+    I.C = Val;
+    I.W = W;
+    emit(std::move(I));
+    return Dst;
+  }
+
+  // --- Control flow ------------------------------------------------------
+
+  void br(CondCode CC, Operand A, Operand B, BasicBlock *IfTrue,
+          BasicBlock *IfFalse) {
+    Instruction I;
+    I.Op = Opcode::Br;
+    I.A = A;
+    I.B = B;
+    I.CC = CC;
+    I.TrueTarget = IfTrue;
+    I.FalseTarget = IfFalse;
+    emit(std::move(I));
+  }
+
+  void jmp(BasicBlock *Target) {
+    Instruction I;
+    I.Op = Opcode::Jmp;
+    I.TrueTarget = Target;
+    emit(std::move(I));
+  }
+
+  void ret(Operand A = Operand()) {
+    Instruction I;
+    I.Op = Opcode::Ret;
+    I.A = A;
+    emit(std::move(I));
+  }
+
+private:
+  Function *F;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace vpo
+
+#endif // VPO_IR_IRBUILDER_H

@@ -1,0 +1,446 @@
+//===- ir/IRParser.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/Function.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <optional>
+
+using namespace vpo;
+
+namespace {
+
+/// Line-oriented recursive-descent parser for the printer's format.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) {
+    for (const std::string &L : splitString(Text, "\n"))
+      Lines.push_back(trimString(L));
+  }
+
+  std::unique_ptr<Module> run(std::string *ErrorMsg) {
+    auto M = std::make_unique<Module>();
+    while (CurLine < Lines.size()) {
+      const std::string &L = Lines[CurLine];
+      if (L.empty() || startsWith(L, "//") || startsWith(L, "#")) {
+        ++CurLine;
+        continue;
+      }
+      if (!startsWith(L, "func @")) {
+        setError("expected 'func @name(...)'");
+        break;
+      }
+      if (!parseFunction(*M))
+        break;
+    }
+    if (!Error.empty()) {
+      if (ErrorMsg)
+        *ErrorMsg = Error;
+      return nullptr;
+    }
+    return M;
+  }
+
+private:
+  std::vector<std::string> Lines;
+  size_t CurLine = 0;
+  std::string Error;
+
+  void setError(const std::string &Msg) {
+    if (Error.empty())
+      Error = strformat("line %zu: %s", CurLine + 1, Msg.c_str());
+  }
+
+  static std::optional<unsigned> parseRegToken(const std::string &Tok) {
+    if (Tok.size() < 2 || Tok[0] != 'r')
+      return std::nullopt;
+    unsigned Id = 0;
+    for (size_t I = 1; I < Tok.size(); ++I) {
+      if (!isdigit(static_cast<unsigned char>(Tok[I])))
+        return std::nullopt;
+      Id = Id * 10 + static_cast<unsigned>(Tok[I] - '0');
+    }
+    if (Id == 0)
+      return std::nullopt;
+    return Id;
+  }
+
+  bool parseFunction(Module &M) {
+    const std::string &Header = Lines[CurLine];
+    size_t NameBegin = 6; // after "func @"
+    size_t Paren = Header.find('(', NameBegin);
+    size_t Close = Header.find(')', NameBegin);
+    if (Paren == std::string::npos || Close == std::string::npos ||
+        Header.find('{', Close) == std::string::npos) {
+      setError("malformed function header");
+      return false;
+    }
+    std::string Name = Header.substr(NameBegin, Paren - NameBegin);
+    Function *F = M.addFunction(Name);
+
+    std::string ParamText = Header.substr(Paren + 1, Close - Paren - 1);
+    for (const std::string &P : splitString(ParamText, ", ")) {
+      auto Id = parseRegToken(P);
+      if (!Id) {
+        setError("malformed parameter '" + P + "'");
+        return false;
+      }
+      Reg R = F->addParam();
+      if (R.Id != *Id) {
+        setError(strformat("parameters must be r1..rN in order; got r%u at "
+                           "position %u",
+                           *Id, R.Id));
+        return false;
+      }
+    }
+    ++CurLine;
+
+    // Pass 1: find labels, create blocks (branches may reference forward).
+    std::map<std::string, BasicBlock *> BlockByName;
+    size_t BodyStart = CurLine;
+    size_t Depth = 1;
+    for (size_t L = CurLine; L < Lines.size(); ++L) {
+      const std::string &S = Lines[L];
+      if (S == "}") {
+        --Depth;
+        if (Depth == 0)
+          break;
+        continue;
+      }
+      if (S.empty() || startsWith(S, "//"))
+        continue;
+      if (S.back() == ':') {
+        std::string BlockName = S.substr(0, S.size() - 1);
+        if (BlockByName.count(BlockName)) {
+          CurLine = L;
+          setError("duplicate label '" + BlockName + "'");
+          return false;
+        }
+        BlockByName[BlockName] = F->addBlock(BlockName);
+      }
+    }
+
+    // Pass 2: parse instructions.
+    BasicBlock *BB = nullptr;
+    for (CurLine = BodyStart; CurLine < Lines.size(); ++CurLine) {
+      const std::string &S = Lines[CurLine];
+      if (S == "}") {
+        ++CurLine;
+        return true;
+      }
+      if (S.empty() || startsWith(S, "//"))
+        continue;
+      if (S.back() == ':') {
+        BB = BlockByName.at(S.substr(0, S.size() - 1));
+        continue;
+      }
+      if (!BB) {
+        setError("instruction before any label");
+        return false;
+      }
+      if (!parseInstruction(*F, *BB, BlockByName, S))
+        return false;
+    }
+    setError("missing closing '}'");
+    return false;
+  }
+
+  bool parseOperand(Function &F, const std::string &Tok, Operand &Out) {
+    if (Tok == "_") {
+      Out = Operand();
+      return true;
+    }
+    if (auto Id = parseRegToken(Tok)) {
+      F.noteRegUsed(*Id);
+      Out = Operand(Reg(*Id));
+      return true;
+    }
+    // Immediate (possibly negative).
+    char *End = nullptr;
+    long long V = strtoll(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0') {
+      setError("malformed operand '" + Tok + "'");
+      return false;
+    }
+    Out = Operand::imm(V);
+    return true;
+  }
+
+  bool parseAddress(Function &F, const std::string &Tok, Address &Out) {
+    if (Tok.size() < 4 || Tok.front() != '[' || Tok.back() != ']') {
+      setError("malformed address '" + Tok + "'");
+      return false;
+    }
+    std::string Inner = Tok.substr(1, Tok.size() - 2);
+    size_t Sep = Inner.find_first_of("+-", 1);
+    std::string BaseTok = Sep == std::string::npos ? Inner
+                                                   : Inner.substr(0, Sep);
+    auto Id = parseRegToken(BaseTok);
+    if (!Id) {
+      setError("malformed address base in '" + Tok + "'");
+      return false;
+    }
+    F.noteRegUsed(*Id);
+    Out.Base = Reg(*Id);
+    Out.Disp = 0;
+    if (Sep != std::string::npos) {
+      std::string DispTok = Inner.substr(Sep);
+      if (!DispTok.empty() && DispTok[0] == '+')
+        DispTok.erase(0, 1);
+      char *End = nullptr;
+      Out.Disp = strtoll(DispTok.c_str(), &End, 10);
+      if (End == DispTok.c_str() || *End != '\0') {
+        setError("malformed displacement in '" + Tok + "'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Splits "load.i16.s" into {"load","i16","s"}.
+  static std::vector<std::string> splitMnemonic(const std::string &Tok) {
+    return splitString(Tok, ".");
+  }
+
+  static std::optional<MemWidth> widthFromName(const std::string &N,
+                                               bool &IsFloat) {
+    IsFloat = false;
+    if (N == "i8")
+      return MemWidth::W1;
+    if (N == "i16")
+      return MemWidth::W2;
+    if (N == "i32")
+      return MemWidth::W4;
+    if (N == "i64")
+      return MemWidth::W8;
+    if (N == "f32") {
+      IsFloat = true;
+      return MemWidth::W4;
+    }
+    if (N == "f64") {
+      IsFloat = true;
+      return MemWidth::W8;
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<CondCode> condFromName(const std::string &N) {
+    static const std::pair<const char *, CondCode> Table[] = {
+        {"eq", CondCode::EQ},   {"ne", CondCode::NE},
+        {"lts", CondCode::LTs}, {"les", CondCode::LEs},
+        {"gts", CondCode::GTs}, {"ges", CondCode::GEs},
+        {"ltu", CondCode::LTu}, {"leu", CondCode::LEu},
+        {"gtu", CondCode::GTu}, {"geu", CondCode::GEu}};
+    for (const auto &[Name, CC] : Table)
+      if (N == Name)
+        return CC;
+    return std::nullopt;
+  }
+
+  bool parseInstruction(Function &F, BasicBlock &BB,
+                        const std::map<std::string, BasicBlock *> &Blocks,
+                        const std::string &Line) {
+    // Optional "rN = " destination.
+    std::string Rest = Line;
+    Reg Dst;
+    size_t EqPos = Rest.find(" = ");
+    if (EqPos != std::string::npos && Rest[0] == 'r') {
+      auto Id = parseRegToken(Rest.substr(0, EqPos));
+      if (Id) {
+        F.noteRegUsed(*Id);
+        Dst = Reg(*Id);
+        Rest = Rest.substr(EqPos + 3);
+      }
+    }
+
+    // Mnemonic is the first whitespace-delimited token.
+    size_t Sp = Rest.find(' ');
+    std::string Mnemonic = Sp == std::string::npos ? Rest
+                                                   : Rest.substr(0, Sp);
+    std::string ArgText = Sp == std::string::npos ? "" : Rest.substr(Sp + 1);
+    std::vector<std::string> Args = splitString(ArgText, ", ");
+    std::vector<std::string> Parts = splitMnemonic(Mnemonic);
+    if (Parts.empty()) {
+      setError("empty instruction");
+      return false;
+    }
+    const std::string &Base = Parts[0];
+
+    Instruction I;
+    I.Dst = Dst;
+
+    auto NeedArgs = [&](size_t N) {
+      if (Args.size() == N)
+        return true;
+      setError(strformat("'%s' expects %zu operands, got %zu", Base.c_str(),
+                         N, Args.size()));
+      return false;
+    };
+    auto ParseWidthSign = [&](size_t WidthIdx, bool WantSign) {
+      if (Parts.size() <= WidthIdx) {
+        setError("missing width suffix on '" + Mnemonic + "'");
+        return false;
+      }
+      bool IsFloat = false;
+      auto W = widthFromName(Parts[WidthIdx], IsFloat);
+      if (!W) {
+        setError("bad width suffix '" + Parts[WidthIdx] + "'");
+        return false;
+      }
+      I.W = *W;
+      I.IsFloat = IsFloat;
+      if (WantSign && !IsFloat) {
+        if (Parts.size() <= WidthIdx + 1 ||
+            (Parts[WidthIdx + 1] != "s" && Parts[WidthIdx + 1] != "u")) {
+          setError("missing .s/.u suffix on '" + Mnemonic + "'");
+          return false;
+        }
+        I.SignExtend = Parts[WidthIdx + 1] == "s";
+      }
+      return true;
+    };
+
+    static const std::map<std::string, Opcode> BinOps = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"divs", Opcode::DivS},
+        {"divu", Opcode::DivU}, {"rems", Opcode::RemS},
+        {"remu", Opcode::RemU}, {"and", Opcode::And},
+        {"or", Opcode::Or},     {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},   {"shra", Opcode::ShrA},
+        {"shrl", Opcode::ShrL}, {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv}};
+
+    if (auto It = BinOps.find(Base); It != BinOps.end()) {
+      I.Op = It->second;
+      if (!NeedArgs(2) || !parseOperand(F, Args[0], I.A) ||
+          !parseOperand(F, Args[1], I.B))
+        return false;
+    } else if (Base == "mov" || Base == "cvtif" || Base == "cvtfi") {
+      I.Op = Base == "mov" ? Opcode::Mov
+                           : (Base == "cvtif" ? Opcode::CvtIF : Opcode::CvtFI);
+      if (!NeedArgs(1) || !parseOperand(F, Args[0], I.A))
+        return false;
+    } else if (Base == "cmpset") {
+      I.Op = Opcode::CmpSet;
+      if (Parts.size() < 2) {
+        setError("cmpset requires a condition suffix");
+        return false;
+      }
+      auto CC = condFromName(Parts[1]);
+      if (!CC) {
+        setError("bad condition '" + Parts[1] + "'");
+        return false;
+      }
+      I.CC = *CC;
+      if (!NeedArgs(2) || !parseOperand(F, Args[0], I.A) ||
+          !parseOperand(F, Args[1], I.B))
+        return false;
+    } else if (Base == "select") {
+      I.Op = Opcode::Select;
+      if (!NeedArgs(3) || !parseOperand(F, Args[0], I.A) ||
+          !parseOperand(F, Args[1], I.B) || !parseOperand(F, Args[2], I.C))
+        return false;
+    } else if (Base == "ext") {
+      I.Op = Opcode::Ext;
+      if (!ParseWidthSign(1, /*WantSign=*/true) || !NeedArgs(1) ||
+          !parseOperand(F, Args[0], I.A))
+        return false;
+    } else if (Base == "load") {
+      I.Op = Opcode::Load;
+      if (!ParseWidthSign(1, /*WantSign=*/true))
+        return false;
+      if (!NeedArgs(1) || !parseAddress(F, Args[0], I.Addr))
+        return false;
+    } else if (Base == "loadwu") {
+      I.Op = Opcode::LoadWideU;
+      if (!ParseWidthSign(1, /*WantSign=*/false))
+        return false;
+      if (!NeedArgs(1) || !parseAddress(F, Args[0], I.Addr))
+        return false;
+    } else if (Base == "store") {
+      I.Op = Opcode::Store;
+      if (!ParseWidthSign(1, /*WantSign=*/false))
+        return false;
+      if (!NeedArgs(2) || !parseAddress(F, Args[0], I.Addr) ||
+          !parseOperand(F, Args[1], I.A))
+        return false;
+    } else if (Base == "extqhi") {
+      I.Op = Opcode::ExtQHi;
+      if (!NeedArgs(2) || !parseOperand(F, Args[0], I.A) ||
+          !parseOperand(F, Args[1], I.B))
+        return false;
+    } else if (Base == "extractf") {
+      I.Op = Opcode::ExtractF;
+      if (!ParseWidthSign(1, /*WantSign=*/true) || !NeedArgs(2) ||
+          !parseOperand(F, Args[0], I.A) || !parseOperand(F, Args[1], I.B))
+        return false;
+    } else if (Base == "insertf") {
+      I.Op = Opcode::InsertF;
+      if (!ParseWidthSign(1, /*WantSign=*/false) || !NeedArgs(3) ||
+          !parseOperand(F, Args[0], I.A) || !parseOperand(F, Args[1], I.B) ||
+          !parseOperand(F, Args[2], I.C))
+        return false;
+    } else if (Base == "br") {
+      I.Op = Opcode::Br;
+      if (Parts.size() < 2) {
+        setError("br requires a condition suffix");
+        return false;
+      }
+      auto CC = condFromName(Parts[1]);
+      if (!CC) {
+        setError("bad condition '" + Parts[1] + "'");
+        return false;
+      }
+      I.CC = *CC;
+      if (!NeedArgs(4) || !parseOperand(F, Args[0], I.A) ||
+          !parseOperand(F, Args[1], I.B))
+        return false;
+      auto TIt = Blocks.find(Args[2]);
+      auto FIt = Blocks.find(Args[3]);
+      if (TIt == Blocks.end() || FIt == Blocks.end()) {
+        setError("unknown branch target");
+        return false;
+      }
+      I.TrueTarget = TIt->second;
+      I.FalseTarget = FIt->second;
+    } else if (Base == "jmp") {
+      I.Op = Opcode::Jmp;
+      if (!NeedArgs(1))
+        return false;
+      auto TIt = Blocks.find(Args[0]);
+      if (TIt == Blocks.end()) {
+        setError("unknown jump target '" + Args[0] + "'");
+        return false;
+      }
+      I.TrueTarget = TIt->second;
+    } else if (Base == "ret") {
+      I.Op = Opcode::Ret;
+      if (Args.size() > 1) {
+        setError("ret takes at most one operand");
+        return false;
+      }
+      if (Args.size() == 1 && !parseOperand(F, Args[0], I.A))
+        return false;
+    } else {
+      setError("unknown mnemonic '" + Base + "'");
+      return false;
+    }
+
+    BB.append(std::move(I));
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Module> vpo::parseModule(const std::string &Text,
+                                         std::string *ErrorMsg) {
+  return Parser(Text).run(ErrorMsg);
+}

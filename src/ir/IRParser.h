@@ -1,0 +1,30 @@
+//===- ir/IRParser.h - Parser for the textual RTL form ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual format produced by ir/IRPrinter.h. Used by tests
+/// (golden IR comparisons, hand-written loop fixtures) and by the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_IRPARSER_H
+#define VPO_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+
+namespace vpo {
+
+class Module;
+
+/// Parses \p Text as a module. On failure returns nullptr and, if
+/// \p ErrorMsg is non-null, stores a line-numbered diagnostic into it.
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    std::string *ErrorMsg = nullptr);
+
+} // namespace vpo
+
+#endif // VPO_IR_IRPARSER_H

@@ -1,0 +1,149 @@
+//===- ir/IRPrinter.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Function.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace vpo;
+
+namespace {
+
+std::string printOperand(const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::None:
+    return "_";
+  case Operand::Kind::Register:
+    return "r" + std::to_string(O.reg().Id);
+  case Operand::Kind::Immediate:
+    return std::to_string(O.imm());
+  }
+  vpo_unreachable("invalid operand kind");
+}
+
+std::string printAddress(const Address &A) {
+  std::string S = "[r" + std::to_string(A.Base.Id);
+  if (A.Disp > 0)
+    S += "+" + std::to_string(A.Disp);
+  else if (A.Disp < 0)
+    S += std::to_string(A.Disp);
+  S += "]";
+  return S;
+}
+
+std::string typeSuffix(const Instruction &I) {
+  if (I.IsFloat)
+    return std::string(".") + floatWidthName(I.W);
+  std::string S = std::string(".") + widthName(I.W);
+  return S;
+}
+
+std::string signSuffix(const Instruction &I) {
+  return I.SignExtend ? ".s" : ".u";
+}
+
+} // namespace
+
+std::string vpo::printInstruction(const Instruction &I) {
+  std::string Dst =
+      I.Dst.isValid() ? ("r" + std::to_string(I.Dst.Id) + " = ") : "";
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::CvtIF:
+  case Opcode::CvtFI:
+    return Dst + opcodeName(I.Op) + " " + printOperand(I.A);
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivS:
+  case Opcode::DivU:
+  case Opcode::RemS:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::ShrA:
+  case Opcode::ShrL:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return Dst + opcodeName(I.Op) + " " + printOperand(I.A) + ", " +
+           printOperand(I.B);
+  case Opcode::CmpSet:
+    return Dst + strformat("cmpset.%s %s, %s", condName(I.CC),
+                           printOperand(I.A).c_str(),
+                           printOperand(I.B).c_str());
+  case Opcode::Select:
+    return Dst + "select " + printOperand(I.A) + ", " + printOperand(I.B) +
+           ", " + printOperand(I.C);
+  case Opcode::Ext:
+    return Dst + "ext" + typeSuffix(I) + signSuffix(I) + " " +
+           printOperand(I.A);
+  case Opcode::Load:
+    if (I.IsFloat)
+      return Dst + "load" + typeSuffix(I) + " " + printAddress(I.Addr);
+    return Dst + "load" + typeSuffix(I) + signSuffix(I) + " " +
+           printAddress(I.Addr);
+  case Opcode::LoadWideU:
+    return Dst + "loadwu" + typeSuffix(I) + " " + printAddress(I.Addr);
+  case Opcode::Store:
+    return "store" + typeSuffix(I) + " " + printAddress(I.Addr) + ", " +
+           printOperand(I.A);
+  case Opcode::ExtractF:
+    return Dst + "extractf" + typeSuffix(I) + signSuffix(I) + " " +
+           printOperand(I.A) + ", " + printOperand(I.B);
+  case Opcode::ExtQHi:
+    return Dst + "extqhi " + printOperand(I.A) + ", " + printOperand(I.B);
+  case Opcode::InsertF:
+    return Dst + "insertf" + typeSuffix(I) + " " + printOperand(I.A) + ", " +
+           printOperand(I.B) + ", " + printOperand(I.C);
+  case Opcode::Br:
+    return strformat("br.%s %s, %s, %s, %s", condName(I.CC),
+                     printOperand(I.A).c_str(), printOperand(I.B).c_str(),
+                     I.TrueTarget ? I.TrueTarget->name().c_str() : "<null>",
+                     I.FalseTarget ? I.FalseTarget->name().c_str()
+                                   : "<null>");
+  case Opcode::Jmp:
+    return strformat("jmp %s",
+                     I.TrueTarget ? I.TrueTarget->name().c_str() : "<null>");
+  case Opcode::Ret:
+    if (I.A.isNone())
+      return "ret";
+    return "ret " + printOperand(I.A);
+  }
+  vpo_unreachable("invalid opcode");
+}
+
+std::string vpo::printFunction(const Function &F) {
+  std::string Out = "func @" + F.name() + "(";
+  for (size_t I = 0; I < F.params().size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "r" + std::to_string(F.params()[I].Id);
+  }
+  Out += ") {\n";
+  for (const auto &BB : F.blocks()) {
+    Out += BB->name() + ":\n";
+    for (const Instruction &I : BB->insts())
+      Out += "  " + printInstruction(I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string vpo::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &F : M.functions()) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += printFunction(*F);
+  }
+  return Out;
+}

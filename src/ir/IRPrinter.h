@@ -1,0 +1,35 @@
+//===- ir/IRPrinter.h - Text form of RTL functions --------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints RTL in a textual format close to the register-transfer lists shown
+/// in the paper's Figure 1. The format round-trips through ir/IRParser.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_IRPRINTER_H
+#define VPO_IR_IRPRINTER_H
+
+#include <string>
+
+namespace vpo {
+
+class Function;
+class Instruction;
+class Module;
+
+/// \returns one instruction rendered on one line (no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+/// \returns the whole function in textual form.
+std::string printFunction(const Function &F);
+
+/// \returns every function in the module, separated by blank lines.
+std::string printModule(const Module &M);
+
+} // namespace vpo
+
+#endif // VPO_IR_IRPRINTER_H

@@ -1,0 +1,211 @@
+//===- ir/Instruction.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "support/Error.h"
+
+using namespace vpo;
+
+const char *vpo::widthName(MemWidth W) {
+  switch (W) {
+  case MemWidth::W1:
+    return "i8";
+  case MemWidth::W2:
+    return "i16";
+  case MemWidth::W4:
+    return "i32";
+  case MemWidth::W8:
+    return "i64";
+  }
+  vpo_unreachable("invalid width");
+}
+
+const char *vpo::floatWidthName(MemWidth W) {
+  switch (W) {
+  case MemWidth::W4:
+    return "f32";
+  case MemWidth::W8:
+    return "f64";
+  default:
+    // Tolerated rather than asserted: the printer renders *malformed*
+    // instructions inside verifier diagnostics.
+    return "f?";
+  }
+}
+
+CondCode vpo::invertCond(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return CondCode::NE;
+  case CondCode::NE:
+    return CondCode::EQ;
+  case CondCode::LTs:
+    return CondCode::GEs;
+  case CondCode::LEs:
+    return CondCode::GTs;
+  case CondCode::GTs:
+    return CondCode::LEs;
+  case CondCode::GEs:
+    return CondCode::LTs;
+  case CondCode::LTu:
+    return CondCode::GEu;
+  case CondCode::LEu:
+    return CondCode::GTu;
+  case CondCode::GTu:
+    return CondCode::LEu;
+  case CondCode::GEu:
+    return CondCode::LTu;
+  }
+  vpo_unreachable("invalid condition code");
+}
+
+CondCode vpo::swapCond(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+  case CondCode::NE:
+    return CC;
+  case CondCode::LTs:
+    return CondCode::GTs;
+  case CondCode::LEs:
+    return CondCode::GEs;
+  case CondCode::GTs:
+    return CondCode::LTs;
+  case CondCode::GEs:
+    return CondCode::LEs;
+  case CondCode::LTu:
+    return CondCode::GTu;
+  case CondCode::LEu:
+    return CondCode::GEu;
+  case CondCode::GTu:
+    return CondCode::LTu;
+  case CondCode::GEu:
+    return CondCode::LEu;
+  }
+  vpo_unreachable("invalid condition code");
+}
+
+const char *vpo::condName(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return "eq";
+  case CondCode::NE:
+    return "ne";
+  case CondCode::LTs:
+    return "lts";
+  case CondCode::LEs:
+    return "les";
+  case CondCode::GTs:
+    return "gts";
+  case CondCode::GEs:
+    return "ges";
+  case CondCode::LTu:
+    return "ltu";
+  case CondCode::LEu:
+    return "leu";
+  case CondCode::GTu:
+    return "gtu";
+  case CondCode::GEu:
+    return "geu";
+  }
+  vpo_unreachable("invalid condition code");
+}
+
+const char *vpo::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::DivS:
+    return "divs";
+  case Opcode::DivU:
+    return "divu";
+  case Opcode::RemS:
+    return "rems";
+  case Opcode::RemU:
+    return "remu";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::ShrA:
+    return "shra";
+  case Opcode::ShrL:
+    return "shrl";
+  case Opcode::CmpSet:
+    return "cmpset";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Ext:
+    return "ext";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::CvtIF:
+    return "cvtif";
+  case Opcode::CvtFI:
+    return "cvtfi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::LoadWideU:
+    return "loadwu";
+  case Opcode::ExtractF:
+    return "extractf";
+  case Opcode::ExtQHi:
+    return "extqhi";
+  case Opcode::InsertF:
+    return "insertf";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Ret:
+    return "ret";
+  }
+  vpo_unreachable("invalid opcode");
+}
+
+void Instruction::collectUses(std::vector<Reg> &Uses) const {
+  if (A.isReg())
+    Uses.push_back(A.reg());
+  if (B.isReg())
+    Uses.push_back(B.reg());
+  if (C.isReg())
+    Uses.push_back(C.reg());
+  if (isMemory() && Addr.Base.isValid())
+    Uses.push_back(Addr.Base);
+}
+
+void Instruction::forEachUse(const std::function<void(Reg &)> &Fn) {
+  auto Visit = [&Fn](Operand &O) {
+    if (!O.isReg())
+      return;
+    Reg R = O.reg();
+    Fn(R);
+    O = Operand(R);
+  };
+  Visit(A);
+  Visit(B);
+  Visit(C);
+  if (isMemory() && Addr.Base.isValid())
+    Fn(Addr.Base);
+}

@@ -1,0 +1,247 @@
+//===- ir/Instruction.h - RTL instructions ----------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-transfer-list (RTL) instruction set. This mirrors the IR of
+/// the paper's vpo back end: a machine-independent but machine-level form in
+/// which every memory reference has an explicit width and a base+displacement
+/// address, which is exactly the information the coalescing analysis needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_INSTRUCTION_H
+#define VPO_IR_INSTRUCTION_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+
+/// A virtual register. Id 0 is reserved as the invalid register.
+struct Reg {
+  unsigned Id = 0;
+
+  Reg() = default;
+  explicit Reg(unsigned Id) : Id(Id) {}
+
+  bool isValid() const { return Id != 0; }
+  bool operator==(const Reg &O) const { return Id == O.Id; }
+  bool operator!=(const Reg &O) const { return Id != O.Id; }
+  bool operator<(const Reg &O) const { return Id < O.Id; }
+};
+
+/// An instruction source operand: a register or an immediate.
+class Operand {
+public:
+  enum class Kind : uint8_t { None, Register, Immediate };
+
+  Operand() = default;
+  /*implicit*/ Operand(Reg R) : K(Kind::Register), R(R) {
+    assert(R.isValid() && "operand built from invalid register");
+  }
+
+  /// Named constructor for immediates (avoids int/Reg ambiguity).
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.K = Kind::Immediate;
+    O.ImmVal = V;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Register; }
+  bool isImm() const { return K == Kind::Immediate; }
+
+  Reg reg() const {
+    assert(isReg() && "not a register operand");
+    return R;
+  }
+  int64_t imm() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmVal;
+  }
+
+  bool operator==(const Operand &O) const {
+    if (K != O.K)
+      return false;
+    if (K == Kind::Register)
+      return R == O.R;
+    if (K == Kind::Immediate)
+      return ImmVal == O.ImmVal;
+    return true;
+  }
+
+private:
+  Kind K = Kind::None;
+  Reg R;
+  int64_t ImmVal = 0;
+};
+
+/// A base+displacement memory address, the only addressing mode of the IR
+/// (matching the RISC targets the paper evaluates). The displacement is in
+/// bytes.
+struct Address {
+  Reg Base;
+  int64_t Disp = 0;
+
+  Address() = default;
+  Address(Reg Base, int64_t Disp) : Base(Base), Disp(Disp) {}
+
+  bool operator==(const Address &O) const {
+    return Base == O.Base && Disp == O.Disp;
+  }
+};
+
+/// RTL opcodes.
+enum class Opcode : uint8_t {
+  // Data movement.
+  Mov, ///< Dst = A
+
+  // 64-bit integer ALU. Dst = A op B.
+  Add,
+  Sub,
+  Mul,
+  DivS,
+  DivU,
+  RemS,
+  RemU,
+  And,
+  Or,
+  Xor,
+  Shl,
+  ShrA, ///< arithmetic (sign-propagating) right shift
+  ShrL, ///< logical right shift
+
+  /// Dst = (A `CC` B) ? 1 : 0.
+  CmpSet,
+  /// Dst = (A != 0) ? B : C.
+  Select,
+
+  /// Dst = extend of the low widthBits(W) bits of A; SignExtend selects
+  /// sign vs zero extension.
+  Ext,
+
+  // Double-precision FP ALU (registers hold the bit pattern of a double).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  CvtIF, ///< Dst = double(A as signed int)
+  CvtFI, ///< Dst = int64(trunc(A as double))
+
+  // Memory.
+  Load,  ///< Dst = mem[Addr] of width W; SignExtend applies for W < W8;
+         ///< IsFloat marks an FP load (W4 = float, W8 = double).
+  Store, ///< mem[Addr] = low W bytes of A (or FP value if IsFloat).
+  LoadWideU, ///< Dst = the aligned W-byte block *containing* Addr
+             ///< (DEC Alpha ldq_u-style unaligned wide load).
+
+  // Register field manipulation (what the Alpha EXTxx/INSxx and the 88100
+  // ext instructions provide; expanded by legalization where absent).
+  ExtractF, ///< Dst = field of width W from A at byte offset B
+            ///< (offset taken modulo 8 when B is a register address);
+            ///< SignExtend selects sign vs zero extension. With W = i64
+            ///< this is the Alpha EXTQL: the register shifted right by
+            ///< the offset, zero-filled.
+  ExtQHi,   ///< Alpha EXTQH: Dst = (B mod 8) == 0 ? 0
+            ///< : A << 8*(8 - B mod 8). Together with ExtractF.i64 it
+            ///< assembles 8 unaligned bytes from two aligned quadwords.
+  InsertF,  ///< Dst = A with the field of width W at byte offset B
+            ///< replaced by the low W bytes of C.
+
+  // Control flow. All blocks end in exactly one of these.
+  Br,  ///< if (A `CC` B) goto TrueTarget else goto FalseTarget
+  Jmp, ///< goto TrueTarget
+  Ret, ///< return A (A may be None for void)
+};
+
+/// Comparison condition codes for Br and CmpSet.
+enum class CondCode : uint8_t {
+  EQ,
+  NE,
+  LTs,
+  LEs,
+  GTs,
+  GEs,
+  LTu,
+  LEu,
+  GTu,
+  GEu,
+};
+
+/// \returns the condition that is true exactly when \p CC is false.
+CondCode invertCond(CondCode CC);
+
+/// \returns the condition CC' such that (A CC B) == (B CC' A).
+CondCode swapCond(CondCode CC);
+
+/// \returns a mnemonic like "eq", "lts" for printing.
+const char *condName(CondCode CC);
+
+/// \returns the opcode mnemonic ("add", "load", ...).
+const char *opcodeName(Opcode Op);
+
+/// A single RTL instruction. Plain value type; basic blocks own vectors of
+/// these, so transformation passes copy and splice them freely (the paper's
+/// algorithm replicates whole loops during profitability analysis).
+struct Instruction {
+  Opcode Op = Opcode::Mov;
+  Reg Dst;          ///< defined register (invalid for stores/branches)
+  Operand A, B, C;  ///< source operands
+  Address Addr;     ///< address for Load/Store/LoadWideU
+  MemWidth W = MemWidth::W8;
+  bool SignExtend = false;
+  bool IsFloat = false;
+  CondCode CC = CondCode::EQ;
+  BasicBlock *TrueTarget = nullptr;
+  BasicBlock *FalseTarget = nullptr;
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+  }
+  bool isLoad() const { return Op == Opcode::Load || Op == Opcode::LoadWideU; }
+  bool isStore() const { return Op == Opcode::Store; }
+  bool isMemory() const { return isLoad() || isStore(); }
+  bool isFPALU() const {
+    return Op == Opcode::FAdd || Op == Opcode::FSub || Op == Opcode::FMul ||
+           Op == Opcode::FDiv;
+  }
+
+  /// \returns the register this instruction defines, if any.
+  std::optional<Reg> def() const {
+    if (Dst.isValid())
+      return Dst;
+    return std::nullopt;
+  }
+
+  /// Appends every register this instruction reads to \p Uses (including the
+  /// address base of memory references).
+  void collectUses(std::vector<Reg> &Uses) const;
+
+  /// Calls \p Fn for each register-operand slot that is read, allowing
+  /// in-place rewriting (used by unrolling and copy propagation).
+  void forEachUse(const std::function<void(Reg &)> &Fn);
+};
+
+} // namespace vpo
+
+namespace std {
+template <> struct hash<vpo::Reg> {
+  size_t operator()(const vpo::Reg &R) const {
+    return std::hash<unsigned>()(R.Id);
+  }
+};
+} // namespace std
+
+#endif // VPO_IR_INSTRUCTION_H

@@ -1,0 +1,59 @@
+//===- ir/Type.h - Memory widths and value classes -------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Width and value-class definitions for the RTL IR. The paper's
+/// transformation is defined in terms of memory-reference *widths*:
+/// a "narrow" reference of N bits is coalesced into a "wide" one of N*c
+/// bits, where the meaning of narrow/wide is target-relative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_TYPE_H
+#define VPO_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vpo {
+
+/// Width of a memory reference or register field, in bytes.
+enum class MemWidth : uint8_t {
+  W1 = 1, ///< byte
+  W2 = 2, ///< shortword (paper's 16-bit samples)
+  W4 = 4, ///< longword
+  W8 = 8, ///< quadword (DEC Alpha terminology)
+};
+
+/// \returns the size of \p W in bytes.
+constexpr unsigned widthBytes(MemWidth W) { return static_cast<unsigned>(W); }
+
+/// \returns the size of \p W in bits.
+constexpr unsigned widthBits(MemWidth W) {
+  return static_cast<unsigned>(W) * 8;
+}
+
+/// \returns the MemWidth for a byte count, which must be 1, 2, 4, or 8.
+constexpr MemWidth widthFromBytes(unsigned Bytes) {
+  assert((Bytes == 1 || Bytes == 2 || Bytes == 4 || Bytes == 8) &&
+         "invalid width");
+  return static_cast<MemWidth>(Bytes);
+}
+
+/// \returns true if \p Bytes is a representable memory width.
+constexpr bool isValidWidthBytes(unsigned Bytes) {
+  return Bytes == 1 || Bytes == 2 || Bytes == 4 || Bytes == 8;
+}
+
+/// \returns a short mnemonic for the width ("i8", "i16", ...).
+const char *widthName(MemWidth W);
+
+/// \returns a short mnemonic for a float width ("f32"/"f64").
+const char *floatWidthName(MemWidth W);
+
+} // namespace vpo
+
+#endif // VPO_IR_TYPE_H

@@ -1,0 +1,212 @@
+//===- ir/Verifier.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace vpo;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Function &F, std::vector<std::string> &Problems)
+      : F(F), Problems(Problems) {}
+
+  bool run() {
+    size_t Before = Problems.size();
+    if (F.blocks().empty())
+      problem("function has no blocks");
+    for (const auto &BB : F.blocks())
+      checkBlock(*BB);
+    return Problems.size() == Before;
+  }
+
+private:
+  const Function &F;
+  std::vector<std::string> &Problems;
+  const BasicBlock *CurBB = nullptr;
+  const Instruction *CurInst = nullptr;
+
+  void problem(const std::string &Msg) {
+    std::string Where = "@" + F.name();
+    if (CurBB)
+      Where += ":" + CurBB->name();
+    if (CurInst)
+      Where += ": '" + printInstruction(*CurInst) + "'";
+    Problems.push_back(Where + ": " + Msg);
+  }
+
+  void checkReg(Reg R, const char *What) {
+    if (!R.isValid())
+      problem(strformat("%s register is invalid", What));
+    else if (R.Id >= F.regUpperBound())
+      problem(strformat("%s register r%u beyond allocator bound %u", What,
+                        R.Id, F.regUpperBound()));
+  }
+
+  void checkOperandPresent(const Operand &O, const char *What) {
+    if (O.isNone()) {
+      problem(strformat("missing %s operand", What));
+      return;
+    }
+    if (O.isReg())
+      checkReg(O.reg(), What);
+  }
+
+  void checkTarget(BasicBlock *T, const char *What) {
+    if (!T) {
+      problem(strformat("%s target is null", What));
+      return;
+    }
+    if (F.blockIndex(T) < 0)
+      problem(strformat("%s target '%s' not in function", What,
+                        T->name().c_str()));
+  }
+
+  void checkBlock(const BasicBlock &BB) {
+    CurBB = &BB;
+    CurInst = nullptr;
+    if (BB.empty()) {
+      problem("block is empty");
+      CurBB = nullptr;
+      return;
+    }
+    for (size_t I = 0; I < BB.size(); ++I) {
+      const Instruction &Inst = BB.insts()[I];
+      CurInst = &Inst;
+      bool IsLast = I + 1 == BB.size();
+      if (Inst.isTerminator() != IsLast) {
+        problem(IsLast ? "block does not end in a terminator"
+                       : "terminator in the middle of a block");
+      }
+      checkInstruction(Inst);
+    }
+    CurInst = nullptr;
+    CurBB = nullptr;
+  }
+
+  void checkInstruction(const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::Mov:
+    case Opcode::Ext:
+    case Opcode::CvtIF:
+    case Opcode::CvtFI:
+      checkReg(I.Dst, "destination");
+      checkOperandPresent(I.A, "source");
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::DivS:
+    case Opcode::DivU:
+    case Opcode::RemS:
+    case Opcode::RemU:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::ShrA:
+    case Opcode::ShrL:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::CmpSet:
+      checkReg(I.Dst, "destination");
+      checkOperandPresent(I.A, "lhs");
+      checkOperandPresent(I.B, "rhs");
+      break;
+    case Opcode::Select:
+      checkReg(I.Dst, "destination");
+      checkOperandPresent(I.A, "predicate");
+      checkOperandPresent(I.B, "true-value");
+      checkOperandPresent(I.C, "false-value");
+      break;
+    case Opcode::Load:
+      checkReg(I.Dst, "destination");
+      checkReg(I.Addr.Base, "address base");
+      if (I.IsFloat && I.W != MemWidth::W4 && I.W != MemWidth::W8)
+        problem("FP load width must be f32 or f64");
+      break;
+    case Opcode::LoadWideU:
+      checkReg(I.Dst, "destination");
+      checkReg(I.Addr.Base, "address base");
+      if (I.W == MemWidth::W1)
+        problem("unaligned wide load of a single byte is meaningless");
+      break;
+    case Opcode::Store:
+      if (I.Dst.isValid())
+        problem("store must not define a register");
+      checkReg(I.Addr.Base, "address base");
+      checkOperandPresent(I.A, "stored value");
+      if (I.IsFloat && I.W != MemWidth::W4 && I.W != MemWidth::W8)
+        problem("FP store width must be f32 or f64");
+      break;
+    case Opcode::ExtractF:
+    case Opcode::ExtQHi:
+      checkReg(I.Dst, "destination");
+      checkOperandPresent(I.A, "source");
+      checkOperandPresent(I.B, "byte offset");
+      break;
+    case Opcode::InsertF:
+      checkReg(I.Dst, "destination");
+      checkOperandPresent(I.A, "source");
+      checkOperandPresent(I.B, "byte offset");
+      checkOperandPresent(I.C, "field value");
+      break;
+    case Opcode::Br:
+      if (I.Dst.isValid())
+        problem("branch must not define a register");
+      checkOperandPresent(I.A, "lhs");
+      checkOperandPresent(I.B, "rhs");
+      checkTarget(I.TrueTarget, "true");
+      checkTarget(I.FalseTarget, "false");
+      break;
+    case Opcode::Jmp:
+      if (I.Dst.isValid())
+        problem("jump must not define a register");
+      checkTarget(I.TrueTarget, "jump");
+      break;
+    case Opcode::Ret:
+      if (I.Dst.isValid())
+        problem("ret must not define a register");
+      if (I.A.isReg())
+        checkReg(I.A.reg(), "return value");
+      break;
+    }
+  }
+};
+
+} // namespace
+
+bool vpo::verifyFunction(const Function &F,
+                         std::vector<std::string> &Problems) {
+  return VerifierImpl(F, Problems).run();
+}
+
+bool vpo::verifyModule(const Module &M, std::vector<std::string> &Problems) {
+  bool OK = true;
+  for (const auto &F : M.functions())
+    OK &= verifyFunction(*F, Problems);
+  return OK;
+}
+
+void vpo::verifyOrDie(const Function &F, const char *Context) {
+  std::vector<std::string> Problems;
+  if (verifyFunction(F, Problems))
+    return;
+  std::string Msg =
+      strformat("IR verification failed after %s:\n", Context);
+  for (const std::string &P : Problems)
+    Msg += "  " + P + "\n";
+  Msg += printFunction(F);
+  fatalError(Msg);
+}

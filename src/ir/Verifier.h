@@ -1,0 +1,47 @@
+//===- ir/Verifier.h - Structural IR checks ---------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks run after every transformation pass.
+/// The paper's transformation replicates and rewrites whole loops; the
+/// verifier is the first line of defence against malformed rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_VERIFIER_H
+#define VPO_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+class Module;
+
+/// Checks \p F for structural validity:
+///  - every block is non-empty and ends in exactly one terminator,
+///    with no terminator in the middle;
+///  - all branch targets are blocks of \p F;
+///  - all register ids are below the function's allocator bound and nonzero
+///    where required;
+///  - memory instructions have a valid base register and width;
+///  - FP memory widths are 4 or 8; LoadWideU width is at least 2;
+///  - Select/InsertF have all three operands, Br has both operands.
+///
+/// Appends human-readable problems to \p Problems; returns true if none.
+bool verifyFunction(const Function &F, std::vector<std::string> &Problems);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> &Problems);
+
+/// Convenience: verify and fatalError with a full report on failure.
+/// \p Context names the pass that just ran, for the diagnostic.
+void verifyOrDie(const Function &F, const char *Context);
+
+} // namespace vpo
+
+#endif // VPO_IR_VERIFIER_H

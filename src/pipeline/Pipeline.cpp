@@ -1,0 +1,129 @@
+//===- pipeline/Pipeline.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "sched/ListScheduler.h"
+#include "target/TargetMachine.h"
+
+using namespace vpo;
+
+CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
+                                   const CompileOptions &Opts) {
+  CompileReport Report;
+  verifyOrDie(F, "frontend");
+  auto Trace = [&](const char *Stage) {
+    if (Opts.TraceHook)
+      Opts.TraceHook(Stage, F);
+  };
+  Trace("input");
+
+  // Strength reduction first: front-end code addresses arrays as
+  // base + iv*scale; the coalescer needs pointer induction variables.
+  // The dead address arithmetic it leaves behind must be cleaned before
+  // the unroller checks how induction variables are used.
+  if (Opts.StrengthReduce) {
+    Report.StrengthReduce = strengthReduce(F);
+    if (Opts.Cleanup && Report.StrengthReduce.RefsRewritten > 0)
+      Report.Cleanup += runCleanupPipeline(F);
+    if (Report.StrengthReduce.RefsRewritten > 0)
+      Trace("strength-reduce");
+  }
+
+  // Recurrence optimization runs first: removing the loop-carried load
+  // both saves a reference per iteration and clears the Fig. 4 hazard
+  // that would otherwise block store coalescing of the recurrent stream.
+  if (Opts.OptimizeRecurrences) {
+    Report.Recurrence = optimizeRecurrences(F);
+    if (Report.Recurrence.RecurrencesOptimized > 0)
+      Trace("recurrence");
+  }
+
+  // Register blocking: adjacent-subscript loads carried across
+  // iterations in registers.
+  if (Opts.ScalarReplace) {
+    Report.ScalarReplace = replaceSubscriptedScalars(F);
+    if (Report.ScalarReplace.ChainsReplaced > 0)
+      Trace("scalar-replace");
+  }
+
+  // Coalescing subsumes unrolling (paper Fig. 2). With Mode == None and
+  // Unroll on, only the unrolling step runs — the unrolled-baseline
+  // configurations of Tables II/III.
+  CoalesceOptions CO;
+  CO.Mode = Opts.Mode;
+  CO.Unroll = Opts.Unroll;
+  CO.UnrollFactor = Opts.UnrollFactor;
+  CO.IgnoreICacheHeuristic = Opts.IgnoreICacheHeuristic;
+  CO.UseRuntimeChecks = Opts.UseRuntimeChecks;
+  CO.RequireProfitability = Opts.RequireProfitability;
+  CO.MaxWideBytes = Opts.MaxWideBytes;
+  Report.Coalesce = coalesceMemoryAccesses(F, TM, CO);
+  Trace("coalesce");
+
+  if (Opts.Cleanup) {
+    Report.Cleanup += runCleanupPipeline(F);
+    verifyOrDie(F, "cleanup");
+  }
+
+  Report.Legalize = legalizeFunction(F, TM);
+  Trace("legalize");
+
+  if (Opts.Cleanup) {
+    Report.Cleanup += runCleanupPipeline(F);
+    verifyOrDie(F, "cleanup-post-legalize");
+  }
+
+  if (Opts.Schedule) {
+    for (const auto &BB : F.blocks()) {
+      ScheduleResult S = scheduleBlock(*BB, TM);
+      applySchedule(*BB, S);
+      ++Report.BlocksScheduled;
+    }
+    verifyOrDie(F, "schedule");
+    Trace("schedule");
+  }
+  return Report;
+}
+
+std::vector<PipelineConfig> vpo::paperConfigs() {
+  std::vector<PipelineConfig> Configs;
+  {
+    PipelineConfig C;
+    C.Name = "cc -O (model)";
+    C.Options.Mode = CoalesceMode::None;
+    C.Options.Unroll = true;
+    C.Options.Schedule = false;
+    Configs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "vpo -O";
+    C.Options.Mode = CoalesceMode::None;
+    C.Options.Unroll = true;
+    C.Options.Schedule = true;
+    Configs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "coalesce loads";
+    C.Options.Mode = CoalesceMode::Loads;
+    C.Options.Unroll = true;
+    C.Options.Schedule = true;
+    Configs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "coalesce loads+stores";
+    C.Options.Mode = CoalesceMode::LoadsAndStores;
+    C.Options.Unroll = true;
+    C.Options.Schedule = true;
+    Configs.push_back(C);
+  }
+  return Configs;
+}

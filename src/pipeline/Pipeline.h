@@ -1,0 +1,92 @@
+//===- pipeline/Pipeline.h - Optimization pipeline ---------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vpo-style compilation pipeline: coalescing (which includes its own
+/// unrolling per the paper's Fig. 2), target legalization, and list
+/// scheduling. Named configurations reproduce the compiler columns of the
+/// paper's Tables II/III:
+///
+///   cc -O (model)    unrolled, no coalescing, no scheduling
+///   vpo -O           unrolled, no coalescing, scheduled
+///   coalesce-loads   unrolled, loads coalesced, scheduled
+///   coalesce-all     unrolled, loads and stores coalesced, scheduled
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_PIPELINE_PIPELINE_H
+#define VPO_PIPELINE_PIPELINE_H
+
+#include "coalesce/Coalesce.h"
+#include "target/Legalize.h"
+#include "transform/Cleanup.h"
+#include "transform/Recurrence.h"
+#include "transform/ScalarReplace.h"
+#include "transform/StrengthReduce.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+class TargetMachine;
+
+struct CompileOptions {
+  CoalesceMode Mode = CoalesceMode::None;
+  bool Unroll = true;
+  unsigned UnrollFactor = 0; ///< 0 = automatic
+  bool IgnoreICacheHeuristic = false; ///< ablation use only
+  bool Schedule = true;
+  bool Cleanup = true; ///< DCE / copy propagation / constant folding
+  /// Rewrite `base + iv*scale` addressing into pointer induction
+  /// variables (Fig. 2's EliminateInductionVariables). Required for
+  /// front-end-generated code; a no-op on kernels already written with
+  /// pointer IVs.
+  bool StrengthReduce = true;
+  /// Recurrence detection and optimization [Beni91] (paper section 1.1):
+  /// carry loop-carried loads in registers. Off by default so the paper's
+  /// tables measure coalescing in isolation.
+  bool OptimizeRecurrences = false;
+  /// Scalar replacement of subscripted variables [Cal90] (section 1.1's
+  /// register blocking). Off by default for the same reason.
+  bool ScalarReplace = false;
+  bool UseRuntimeChecks = true;
+  bool RequireProfitability = true;
+  unsigned MaxWideBytes = 0;
+  /// Observability hook: called with the function after every pipeline
+  /// stage that ran (stage name, current IR). Print with printFunction
+  /// to watch the transformation unfold.
+  std::function<void(const char *Stage, const Function &F)> TraceHook;
+};
+
+struct CompileReport {
+  CoalesceStats Coalesce;
+  LegalizeStats Legalize;
+  CleanupStats Cleanup;
+  RecurrenceStats Recurrence;
+  ScalarReplaceStats ScalarReplace;
+  StrengthReduceStats StrengthReduce;
+  unsigned BlocksScheduled = 0;
+};
+
+/// Runs the full pipeline over \p F in place.
+CompileReport compileFunction(Function &F, const TargetMachine &TM,
+                              const CompileOptions &Opts);
+
+/// A named pipeline configuration (one column of Table II/III).
+struct PipelineConfig {
+  std::string Name;
+  CompileOptions Options;
+};
+
+/// The four configurations of the paper's tables, in column order.
+std::vector<PipelineConfig> paperConfigs();
+
+} // namespace vpo
+
+#endif // VPO_PIPELINE_PIPELINE_H

@@ -1,0 +1,87 @@
+//===- sched/DepGraph.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/DepGraph.h"
+
+#include "ir/Function.h"
+#include "target/TargetMachine.h"
+
+#include <unordered_map>
+
+using namespace vpo;
+
+DepGraph::DepGraph(const BasicBlock &BB, const TargetMachine &TM) {
+  NumNodes = BB.size();
+  Succs.resize(NumNodes);
+  Preds.resize(NumNodes);
+  Heights.assign(NumNodes, 0);
+
+  std::unordered_map<unsigned, size_t> LastDef;             // reg -> node
+  std::unordered_map<unsigned, std::vector<size_t>> Readers; // since last def
+  std::vector<size_t> MemNodes; // loads and stores in order
+  std::vector<Reg> Uses;
+
+  const auto &Insts = BB.insts();
+  for (size_t N = 0; N < NumNodes; ++N) {
+    const Instruction &I = Insts[N];
+
+    // Register dependences.
+    Uses.clear();
+    I.collectUses(Uses);
+    for (Reg U : Uses) {
+      auto It = LastDef.find(U.Id);
+      if (It != LastDef.end())
+        addEdge(It->second, N, TM.latency(Insts[It->second]), DepKind::RAW);
+      Readers[U.Id].push_back(N);
+    }
+    if (auto D = I.def()) {
+      auto It = LastDef.find(D->Id);
+      if (It != LastDef.end())
+        addEdge(It->second, N, 1, DepKind::WAW);
+      for (size_t Reader : Readers[D->Id])
+        if (Reader != N)
+          addEdge(Reader, N, 0, DepKind::WAR);
+      Readers[D->Id].clear();
+      LastDef[D->Id] = N;
+    }
+
+    // Memory ordering: conservative — a store is ordered against every
+    // earlier memory operation; a load is ordered against earlier stores.
+    if (I.isMemory()) {
+      for (size_t M : MemNodes) {
+        bool EarlierIsStore = Insts[M].isStore();
+        if (I.isStore() || EarlierIsStore)
+          addEdge(M, N, 1, DepKind::Mem);
+      }
+      MemNodes.push_back(N);
+    }
+
+    // The terminator is ordered after everything.
+    if (I.isTerminator())
+      for (size_t P = 0; P < N; ++P)
+        addEdge(P, N, 0, DepKind::Ctrl);
+  }
+
+  // Critical-path heights (reverse topological order = reverse program
+  // order, since all edges go forward).
+  for (size_t N = NumNodes; N-- > 0;) {
+    unsigned H = TM.latency(Insts[N]);
+    for (size_t EIdx : Succs[N]) {
+      const DepEdge &E = Edges[EIdx];
+      if (Heights[E.To] + E.Latency + 1 > H)
+        H = Heights[E.To] + E.Latency + 1;
+    }
+    Heights[N] = H;
+  }
+}
+
+void DepGraph::addEdge(size_t From, size_t To, unsigned Latency,
+                       DepKind Kind) {
+  assert(From < To && "dependence edges must go forward in program order");
+  Edges.push_back(DepEdge{From, To, Latency, Kind});
+  Succs[From].push_back(Edges.size() - 1);
+  Preds[To].push_back(Edges.size() - 1);
+}

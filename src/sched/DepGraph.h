@@ -1,0 +1,67 @@
+//===- sched/DepGraph.h - Basic-block dependence DAG -------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence DAG over one basic block: register RAW/WAR/WAW edges,
+/// conservative memory-ordering edges, and control edges keeping the
+/// terminator last. Feeds the list scheduler.
+///
+/// The paper notes that coalescing "collects memory accesses that are
+/// distributed throughout the loop into a single reference", concentrating
+/// dependences on one instruction — which is why profitability must be
+/// judged on *scheduled* cycles, not instruction counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SCHED_DEPGRAPH_H
+#define VPO_SCHED_DEPGRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class TargetMachine;
+
+enum class DepKind : uint8_t { RAW, WAR, WAW, Mem, Ctrl };
+
+struct DepEdge {
+  size_t From;
+  size_t To;
+  unsigned Latency;
+  DepKind Kind;
+};
+
+class DepGraph {
+public:
+  DepGraph(const BasicBlock &BB, const TargetMachine &TM);
+
+  size_t size() const { return NumNodes; }
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Successor edge indices of node \p N.
+  const std::vector<size_t> &succs(size_t N) const { return Succs[N]; }
+  /// Predecessor edge indices of node \p N.
+  const std::vector<size_t> &preds(size_t N) const { return Preds[N]; }
+
+  /// Length of the longest latency path from \p N to any sink (critical
+  /// path height, the list scheduler's priority).
+  unsigned height(size_t N) const { return Heights[N]; }
+
+private:
+  void addEdge(size_t From, size_t To, unsigned Latency, DepKind Kind);
+
+  size_t NumNodes;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<size_t>> Succs, Preds;
+  std::vector<unsigned> Heights;
+};
+
+} // namespace vpo
+
+#endif // VPO_SCHED_DEPGRAPH_H

@@ -1,0 +1,129 @@
+//===- sched/ListScheduler.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "ir/Function.h"
+#include "sched/DepGraph.h"
+#include "target/TargetMachine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vpo;
+
+ScheduleResult vpo::scheduleBlock(const BasicBlock &BB,
+                                  const TargetMachine &TM) {
+  DepGraph DG(BB, TM);
+  size_t N = DG.size();
+  ScheduleResult Res;
+  Res.Order.reserve(N);
+  if (N == 0)
+    return Res;
+
+  std::vector<unsigned> UnscheduledPreds(N, 0);
+  std::vector<uint64_t> EarliestStart(N, 0);
+  for (size_t I = 0; I < N; ++I)
+    UnscheduledPreds[I] = static_cast<unsigned>(DG.preds(I).size());
+
+  std::vector<size_t> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (UnscheduledPreds[I] == 0)
+      Ready.push_back(I);
+
+  uint64_t Clock = 0;
+  size_t Scheduled = 0;
+  while (Scheduled < N) {
+    // Pick the ready node with the greatest critical-path height that can
+    // start at or before the current clock; if none can, the one with the
+    // smallest start time (stall).
+    assert(!Ready.empty() && "dependence cycle in a basic block DAG?");
+    size_t BestIdx = 0;
+    bool BestStartable = false;
+    for (size_t RI = 0; RI < Ready.size(); ++RI) {
+      size_t Cand = Ready[RI];
+      size_t Best = Ready[BestIdx];
+      bool CandStartable = EarliestStart[Cand] <= Clock;
+      if (CandStartable != BestStartable) {
+        if (CandStartable) {
+          BestIdx = RI;
+          BestStartable = true;
+        }
+        continue;
+      }
+      if (CandStartable) {
+        if (DG.height(Cand) > DG.height(Best) ||
+            (DG.height(Cand) == DG.height(Best) && Cand < Best))
+          BestIdx = RI;
+      } else {
+        if (EarliestStart[Cand] < EarliestStart[Best] ||
+            (EarliestStart[Cand] == EarliestStart[Best] &&
+             DG.height(Cand) > DG.height(Best)))
+          BestIdx = RI;
+      }
+    }
+    size_t Node = Ready[BestIdx];
+    Ready.erase(Ready.begin() + static_cast<ptrdiff_t>(BestIdx));
+
+    uint64_t Start = std::max(Clock, EarliestStart[Node]);
+    Res.Order.push_back(Node);
+    ++Scheduled;
+    // Single issue; memory references may occupy the port for several
+    // cycles, and non-pipelined machines block for the full latency.
+    Clock = Start + TM.issueCycles(BB.insts()[Node]);
+
+    for (size_t EIdx : DG.succs(Node)) {
+      const DepEdge &E = DG.edges()[EIdx];
+      uint64_t Avail = Start + E.Latency;
+      if (Avail > EarliestStart[E.To])
+        EarliestStart[E.To] = Avail;
+      if (--UnscheduledPreds[E.To] == 0)
+        Ready.push_back(E.To);
+    }
+    // Track the makespan: completion of this node.
+    uint64_t Finish = Start + TM.latency(BB.insts()[Node]);
+    if (Finish > Res.Cycles)
+      Res.Cycles = static_cast<unsigned>(Finish);
+  }
+  return Res;
+}
+
+unsigned vpo::estimateBlockCycles(const BasicBlock &BB,
+                                  const TargetMachine &TM) {
+  // Simulate the scoreboard over the existing order.
+  DepGraph DG(BB, TM);
+  size_t N = DG.size();
+  std::vector<uint64_t> Start(N, 0);
+  uint64_t Clock = 0, Makespan = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t S = Clock;
+    for (size_t EIdx : DG.preds(I)) {
+      const DepEdge &E = DG.edges()[EIdx];
+      uint64_t Avail = Start[E.From] + E.Latency;
+      if (Avail > S)
+        S = Avail;
+    }
+    Start[I] = S;
+    Clock = S + TM.issueCycles(BB.insts()[I]);
+    uint64_t Finish = S + TM.latency(BB.insts()[I]);
+    if (Finish > Makespan)
+      Makespan = Finish;
+    if (Clock > Makespan)
+      Makespan = Clock;
+  }
+  return static_cast<unsigned>(Makespan);
+}
+
+void vpo::applySchedule(BasicBlock &BB, const ScheduleResult &S) {
+  assert(S.Order.size() == BB.size() && "schedule does not match block");
+  std::vector<Instruction> NewInsts;
+  NewInsts.reserve(BB.size());
+  for (size_t Idx : S.Order)
+    NewInsts.push_back(BB.insts()[Idx]);
+  BB.insts() = std::move(NewInsts);
+  assert(BB.insts().back().isTerminator() &&
+         "schedule moved the terminator off the end");
+}

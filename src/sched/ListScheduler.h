@@ -1,0 +1,49 @@
+//===- sched/ListScheduler.h - Latency-driven list scheduling ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic critical-path list scheduler for one basic block, used two
+/// ways (paper Fig. 3):
+///
+///  1. `Schedule(LOOP)` / `Schedule(LCOPY)`: estimate the cycle count of
+///     the original and the coalesced loop bodies to decide profitability;
+///  2. reorder the surviving loop body to hide load latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SCHED_LISTSCHEDULER_H
+#define VPO_SCHED_LISTSCHEDULER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class TargetMachine;
+
+struct ScheduleResult {
+  /// New order: Order[i] = index of the instruction (in the original
+  /// block) to place at position i.
+  std::vector<size_t> Order;
+  /// Estimated makespan of the block in cycles on a single-issue,
+  /// scoreboarded machine.
+  unsigned Cycles = 0;
+};
+
+/// Computes a schedule for \p BB without modifying it.
+ScheduleResult scheduleBlock(const BasicBlock &BB, const TargetMachine &TM);
+
+/// Estimated cycles of \p BB *as currently ordered* (no reordering):
+/// used to cost a block whose order will not change.
+unsigned estimateBlockCycles(const BasicBlock &BB, const TargetMachine &TM);
+
+/// Reorders \p BB in place according to \p S.
+void applySchedule(BasicBlock &BB, const ScheduleResult &S);
+
+} // namespace vpo
+
+#endif // VPO_SCHED_LISTSCHEDULER_H

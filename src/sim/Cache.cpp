@@ -1,0 +1,74 @@
+//===- sim/Cache.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "support/Error.h"
+#include "support/MathExtras.h"
+
+using namespace vpo;
+
+DataCache::DataCache(const CacheParams &P) : P(P) {
+  if (P.LineBytes == 0 || !isPowerOf2(P.LineBytes))
+    fatalError("cache line size must be a power of two");
+  if (P.Ways == 0 || P.SizeBytes % (P.LineBytes * P.Ways) != 0)
+    fatalError("cache size must be a multiple of line size times ways");
+  NumSets = P.SizeBytes / (P.LineBytes * P.Ways);
+  if (!isPowerOf2(NumSets))
+    fatalError("cache set count must be a power of two");
+  Lines.resize(static_cast<size_t>(NumSets) * P.Ways);
+}
+
+unsigned DataCache::access(uint64_t Addr, unsigned NumBytes, bool IsStore) {
+  uint64_t FirstLine = Addr / P.LineBytes;
+  uint64_t LastLine = (Addr + NumBytes - 1) / P.LineBytes;
+  unsigned Cycles = 0;
+  for (uint64_t L = FirstLine; L <= LastLine; ++L)
+    Cycles += accessLine(L, IsStore);
+  return Cycles;
+}
+
+unsigned DataCache::accessLine(uint64_t LineAddr, bool IsStore) {
+  ++Tick;
+  ++S.Accesses;
+  uint64_t Set = LineAddr & (NumSets - 1);
+  uint64_t Tag = LineAddr >> log2Floor(NumSets);
+  Line *Base = &Lines[Set * P.Ways];
+
+  // Hit?
+  for (unsigned W = 0; W < P.Ways; ++W) {
+    Line &Ln = Base[W];
+    if (Ln.Valid && Ln.Tag == Tag) {
+      Ln.LastUse = Tick;
+      Ln.Dirty |= IsStore;
+      ++S.Hits;
+      return P.HitCycles;
+    }
+  }
+
+  // Miss: fill an invalid way if there is one, else evict the LRU line
+  // (write-allocate for both loads and stores).
+  ++S.Misses;
+  Line *Victim = nullptr;
+  for (unsigned W = 0; W < P.Ways; ++W)
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+  if (!Victim) {
+    Victim = Base;
+    for (unsigned W = 1; W < P.Ways; ++W)
+      if (Base[W].LastUse < Victim->LastUse)
+        Victim = &Base[W];
+  }
+  if (Victim->Valid && Victim->Dirty)
+    ++S.WriteBacks;
+  Victim->Valid = true;
+  Victim->Dirty = IsStore;
+  Victim->Tag = Tag;
+  Victim->LastUse = Tick;
+  return P.HitCycles + P.MissPenalty;
+}

@@ -1,0 +1,63 @@
+//===- sim/Cache.h - Set-associative data-cache model ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-back, write-allocate, LRU set-associative data cache. Redundant
+/// narrow loads usually *hit* in this cache — the paper's point is that even
+/// cache hits consume issue slots and load latency, so coalescing pays on
+/// top of caching; the model reflects that by charging the load latency on
+/// hits and an additional penalty on misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SIM_CACHE_H
+#define VPO_SIM_CACHE_H
+
+#include "target/TargetMachine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vpo {
+
+class DataCache {
+public:
+  struct Stats {
+    uint64_t Accesses = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t WriteBacks = 0;
+  };
+
+  explicit DataCache(const CacheParams &P);
+
+  /// Simulates an access to [Addr, Addr+NumBytes). An access spanning two
+  /// lines touches both. \returns the added cycles (hit/miss costs).
+  unsigned access(uint64_t Addr, unsigned NumBytes, bool IsStore);
+
+  const Stats &stats() const { return S; }
+  void resetStats() { S = Stats(); }
+
+private:
+  struct Line {
+    uint64_t Tag = ~uint64_t(0);
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t LastUse = 0;
+  };
+
+  unsigned accessLine(uint64_t LineAddr, bool IsStore);
+
+  CacheParams P;
+  unsigned NumSets;
+  std::vector<Line> Lines; // NumSets x Ways
+  uint64_t Tick = 0;
+  Stats S;
+};
+
+} // namespace vpo
+
+#endif // VPO_SIM_CACHE_H

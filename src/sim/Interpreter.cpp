@@ -1,0 +1,418 @@
+//===- sim/Interpreter.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+#include "target/TargetMachine.h"
+
+#include <bit>
+#include <unordered_map>
+#include <cmath>
+
+using namespace vpo;
+
+const char *vpo::runStatusName(RunResult::Status S) {
+  switch (S) {
+  case RunResult::Status::Ok:
+    return "ok";
+  case RunResult::Status::UnalignedTrap:
+    return "unaligned-trap";
+  case RunResult::Status::OutOfBounds:
+    return "out-of-bounds";
+  case RunResult::Status::DivideByZero:
+    return "divide-by-zero";
+  case RunResult::Status::StepLimit:
+    return "step-limit";
+  case RunResult::Status::MalformedIR:
+    return "malformed-ir";
+  }
+  vpo_unreachable("invalid status");
+}
+
+namespace {
+
+class Machine {
+public:
+  Machine(const TargetMachine &TM, Memory &Mem, const Function &F,
+          const std::vector<int64_t> &Args, uint64_t MaxSteps)
+      : TM(TM), Mem(Mem), F(F), MaxSteps(MaxSteps),
+        Cache(TM.dataCache()), ICache(makeICacheParams(TM)),
+        Regs(F.regUpperBound(), 0) {
+    size_t N = std::min(Args.size(), F.params().size());
+    for (size_t I = 0; I < N; ++I)
+      Regs[F.params()[I].Id] = static_cast<uint64_t>(Args[I]);
+    // Lay the code out: each block gets a synthetic address range so the
+    // instruction cache sees realistic fetch locality.
+    uint64_t Addr = 0;
+    for (const auto &BB : F.blocks()) {
+      CodeAddr[BB.get()] = Addr;
+      Addr += BB->size() * TM.encodingBytes();
+    }
+  }
+
+  static CacheParams makeICacheParams(const TargetMachine &TM) {
+    CacheParams P;
+    P.SizeBytes = TM.iCacheBytes();
+    P.LineBytes = 16;
+    P.Ways = 1;
+    P.HitCycles = 0;
+    // Refilling an instruction line costs about what a data miss does.
+    P.MissPenalty = TM.dataCache().MissPenalty / 2 + 4;
+    return P;
+  }
+
+  RunResult run() {
+    if (F.blocks().empty())
+      return fail(RunResult::Status::MalformedIR, "function has no blocks");
+    RegReady.assign(Regs.size(), 0);
+    const BasicBlock *BB = F.entry();
+    size_t Idx = 0;
+    std::vector<Reg> Uses;
+    while (true) {
+      if (Idx >= BB->size())
+        return fail(RunResult::Status::MalformedIR,
+                    "fell off the end of block " + BB->name());
+      if (R.Instructions >= MaxSteps)
+        return fail(RunResult::Status::StepLimit, "step limit exceeded");
+      const Instruction &I = BB->insts()[Idx];
+      ++R.Instructions;
+
+      // Instruction fetch: a miss stalls the front end outright.
+      unsigned FetchStall = ICache.access(
+          CodeAddr[BB] + Idx * TM.encodingBytes(), TM.encodingBytes(),
+          /*IsStore=*/false);
+
+      // In-order single-issue scoreboard: the instruction issues one cycle
+      // after its predecessor, or later if a source register is still being
+      // produced (load-use and multi-cycle-ALU stalls).
+      uint64_t Issue = Clock + 1 + FetchStall;
+      Uses.clear();
+      I.collectUses(Uses);
+      for (Reg U : Uses)
+        if (RegReady[U.Id] > Issue)
+          Issue = RegReady[U.Id];
+
+      MemPenalty = 0;
+      if (!step(I, BB, Idx))
+        return R;
+
+      unsigned Lat = TM.latency(I);
+      unsigned Occ = TM.issueCycles(I);
+      if (auto D = I.def())
+        RegReady[D->Id] = Issue + Lat + MemPenalty;
+      if (I.isStore())
+        Clock = Issue + Occ - 1 + MemPenalty; // write misses stall the pipe
+      else if (I.isTerminator())
+        Clock = Issue + std::max(Occ, Lat) - 1; // taken-branch bubbles
+      else
+        Clock = Issue + Occ - 1;
+
+      if (Done) {
+        R.Cycles = Clock;
+        R.Cache = Cache.stats();
+        R.ICache = ICache.stats();
+        return R;
+      }
+    }
+  }
+
+private:
+  const TargetMachine &TM;
+  Memory &Mem;
+  const Function &F;
+  uint64_t MaxSteps;
+  DataCache Cache;
+  DataCache ICache;
+  std::unordered_map<const BasicBlock *, uint64_t> CodeAddr;
+  std::vector<uint64_t> Regs;
+  std::vector<uint64_t> RegReady; ///< cycle at which each register is ready
+  uint64_t Clock = 0;             ///< issue cycle of the last instruction
+  uint64_t MemPenalty = 0;        ///< cache cycles of the current memory op
+  RunResult R;
+  bool Done = false;
+
+  RunResult fail(RunResult::Status S, const std::string &Msg) {
+    R.Exit = S;
+    R.Error = Msg;
+    R.Cycles = Clock;
+    R.Cache = Cache.stats();
+    R.ICache = ICache.stats();
+    return R;
+  }
+
+  uint64_t eval(const Operand &O) const {
+    if (O.isReg())
+      return Regs[O.reg().Id];
+    if (O.isImm())
+      return static_cast<uint64_t>(O.imm());
+    return 0;
+  }
+
+  double evalF(const Operand &O) const {
+    return std::bit_cast<double>(eval(O));
+  }
+
+  void setReg(Reg Dst, uint64_t V) { Regs[Dst.Id] = V; }
+  void setRegF(Reg Dst, double V) { Regs[Dst.Id] = std::bit_cast<uint64_t>(V); }
+
+  static bool evalCond(CondCode CC, uint64_t A, uint64_t B) {
+    int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+    switch (CC) {
+    case CondCode::EQ:
+      return A == B;
+    case CondCode::NE:
+      return A != B;
+    case CondCode::LTs:
+      return SA < SB;
+    case CondCode::LEs:
+      return SA <= SB;
+    case CondCode::GTs:
+      return SA > SB;
+    case CondCode::GEs:
+      return SA >= SB;
+    case CondCode::LTu:
+      return A < B;
+    case CondCode::LEu:
+      return A <= B;
+    case CondCode::GTu:
+      return A > B;
+    case CondCode::GEu:
+      return A >= B;
+    }
+    vpo_unreachable("invalid condition");
+  }
+
+  /// Executes \p I. Updates \p BB / \p Idx for control flow. \returns false
+  /// if the run has failed (R.Exit already set).
+  bool step(const Instruction &I, const BasicBlock *&BB, size_t &Idx) {
+    uint64_t A = eval(I.A), B = eval(I.B);
+    switch (I.Op) {
+    case Opcode::Mov:
+      setReg(I.Dst, A);
+      break;
+    case Opcode::Add:
+      setReg(I.Dst, A + B);
+      break;
+    case Opcode::Sub:
+      setReg(I.Dst, A - B);
+      break;
+    case Opcode::Mul:
+      setReg(I.Dst, A * B);
+      break;
+    case Opcode::DivS:
+    case Opcode::RemS: {
+      int64_t SB = static_cast<int64_t>(B);
+      if (SB == 0) {
+        fail(RunResult::Status::DivideByZero, printInstruction(I));
+        return false;
+      }
+      int64_t SA = static_cast<int64_t>(A);
+      setReg(I.Dst, static_cast<uint64_t>(I.Op == Opcode::DivS ? SA / SB
+                                                               : SA % SB));
+      break;
+    }
+    case Opcode::DivU:
+    case Opcode::RemU:
+      if (B == 0) {
+        fail(RunResult::Status::DivideByZero, printInstruction(I));
+        return false;
+      }
+      setReg(I.Dst, I.Op == Opcode::DivU ? A / B : A % B);
+      break;
+    case Opcode::And:
+      setReg(I.Dst, A & B);
+      break;
+    case Opcode::Or:
+      setReg(I.Dst, A | B);
+      break;
+    case Opcode::Xor:
+      setReg(I.Dst, A ^ B);
+      break;
+    case Opcode::Shl:
+      setReg(I.Dst, A << (B & 63));
+      break;
+    case Opcode::ShrA:
+      setReg(I.Dst,
+             static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63)));
+      break;
+    case Opcode::ShrL:
+      setReg(I.Dst, A >> (B & 63));
+      break;
+    case Opcode::CmpSet:
+      setReg(I.Dst, evalCond(I.CC, A, B) ? 1 : 0);
+      break;
+    case Opcode::Select:
+      setReg(I.Dst, A != 0 ? B : eval(I.C));
+      break;
+    case Opcode::Ext:
+      setReg(I.Dst, I.SignExtend
+                        ? static_cast<uint64_t>(
+                              signExtend64(A, widthBits(I.W)))
+                        : zeroExtend64(A, widthBits(I.W)));
+      break;
+    case Opcode::FAdd:
+      setRegF(I.Dst, evalF(I.A) + evalF(I.B));
+      break;
+    case Opcode::FSub:
+      setRegF(I.Dst, evalF(I.A) - evalF(I.B));
+      break;
+    case Opcode::FMul:
+      setRegF(I.Dst, evalF(I.A) * evalF(I.B));
+      break;
+    case Opcode::FDiv:
+      setRegF(I.Dst, evalF(I.A) / evalF(I.B));
+      break;
+    case Opcode::CvtIF:
+      setRegF(I.Dst, static_cast<double>(static_cast<int64_t>(A)));
+      break;
+    case Opcode::CvtFI:
+      setReg(I.Dst, static_cast<uint64_t>(
+                        static_cast<int64_t>(std::trunc(evalF(I.A)))));
+      break;
+    case Opcode::Load:
+    case Opcode::LoadWideU:
+    case Opcode::Store:
+      if (!memOp(I))
+        return false;
+      break;
+    case Opcode::ExtQHi: {
+      unsigned Off = static_cast<unsigned>(B & 7);
+      setReg(I.Dst, Off == 0 ? 0 : A << (8 * (8 - Off)));
+      break;
+    }
+    case Opcode::ExtractF: {
+      unsigned Off = static_cast<unsigned>(B & 7);
+      if (I.W != MemWidth::W8 && Off + widthBytes(I.W) > 8) {
+        fail(RunResult::Status::MalformedIR,
+             "extractf field exceeds the register: " + printInstruction(I));
+        return false;
+      }
+      uint64_t Field = A >> (8 * Off);
+      if (I.IsFloat && I.W == MemWidth::W4) {
+        // Lane holds float bits; registers hold doubles.
+        float FV = std::bit_cast<float>(
+            static_cast<uint32_t>(zeroExtend64(Field, 32)));
+        setRegF(I.Dst, static_cast<double>(FV));
+        break;
+      }
+      setReg(I.Dst, I.SignExtend
+                        ? static_cast<uint64_t>(
+                              signExtend64(Field, widthBits(I.W)))
+                        : zeroExtend64(Field, widthBits(I.W)));
+      break;
+    }
+    case Opcode::InsertF: {
+      unsigned Off = static_cast<unsigned>(B & 7);
+      if (Off + widthBytes(I.W) > 8) {
+        fail(RunResult::Status::MalformedIR,
+             "insertf field exceeds the register: " + printInstruction(I));
+        return false;
+      }
+      unsigned Bits = widthBits(I.W);
+      uint64_t FieldMask =
+          Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+      uint64_t C = eval(I.C);
+      if (I.IsFloat && I.W == MemWidth::W4) {
+        // Value register holds a double; the lane stores float bits.
+        float FV = static_cast<float>(std::bit_cast<double>(C));
+        C = std::bit_cast<uint32_t>(FV);
+      }
+      C &= FieldMask;
+      uint64_t Cleared = A & ~(FieldMask << (8 * Off));
+      setReg(I.Dst, Cleared | (C << (8 * Off)));
+      break;
+    }
+    case Opcode::Br:
+      ++R.Branches;
+      BB = evalCond(I.CC, A, B) ? I.TrueTarget : I.FalseTarget;
+      Idx = 0;
+      return true;
+    case Opcode::Jmp:
+      ++R.Branches;
+      BB = I.TrueTarget;
+      Idx = 0;
+      return true;
+    case Opcode::Ret:
+      R.ReturnValue = static_cast<int64_t>(A);
+      Done = true;
+      return true;
+    }
+    ++Idx;
+    return true;
+  }
+
+  bool memOp(const Instruction &I) {
+    uint64_t Addr = Regs[I.Addr.Base.Id] + static_cast<uint64_t>(I.Addr.Disp);
+    unsigned NumBytes = widthBytes(I.W);
+
+    if (I.Op == Opcode::LoadWideU) {
+      // Loads the aligned block containing Addr; never traps on alignment.
+      Addr &= ~static_cast<uint64_t>(NumBytes - 1);
+    } else if (TM.requiresNaturalAlignment() &&
+               !isAligned(Addr, NumBytes)) {
+      fail(RunResult::Status::UnalignedTrap,
+           strformat("address 0x%llx not %u-aligned in: ",
+                     static_cast<unsigned long long>(Addr), NumBytes) +
+               printInstruction(I));
+      return false;
+    }
+
+    if (!Mem.inBounds(Addr, NumBytes)) {
+      fail(RunResult::Status::OutOfBounds,
+           strformat("address 0x%llx in: ",
+                     static_cast<unsigned long long>(Addr)) +
+               printInstruction(I));
+      return false;
+    }
+
+    MemPenalty = Cache.access(Addr, NumBytes, I.isStore());
+
+    if (I.Op == Opcode::Store) {
+      ++R.Stores;
+      R.StoreBytes += NumBytes;
+      uint64_t V = eval(I.A);
+      if (I.IsFloat && I.W == MemWidth::W4) {
+        float FV = static_cast<float>(std::bit_cast<double>(V));
+        V = std::bit_cast<uint32_t>(FV);
+      }
+      Mem.write(Addr, NumBytes, V);
+      return true;
+    }
+
+    ++R.Loads;
+    R.LoadBytes += NumBytes;
+    uint64_t Raw = Mem.read(Addr, NumBytes);
+    if (I.Op == Opcode::Load && I.IsFloat) {
+      double D = I.W == MemWidth::W4
+                     ? static_cast<double>(
+                           std::bit_cast<float>(static_cast<uint32_t>(Raw)))
+                     : std::bit_cast<double>(Raw);
+      setRegF(I.Dst, D);
+      return true;
+    }
+    uint64_t V = Raw;
+    if (I.Op == Opcode::Load && I.SignExtend)
+      V = static_cast<uint64_t>(signExtend64(Raw, widthBits(I.W)));
+    setReg(I.Dst, V);
+    return true;
+  }
+};
+
+} // namespace
+
+Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem)
+    : TM(TM), Mem(Mem) {}
+
+RunResult Interpreter::run(const Function &F,
+                           const std::vector<int64_t> &Args,
+                           uint64_t MaxSteps) {
+  return Machine(TM, Mem, F, Args, MaxSteps).run();
+}

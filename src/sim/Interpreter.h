@@ -1,0 +1,92 @@
+//===- sim/Interpreter.h - RTL interpreter with cost model -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes RTL functions over a simulated memory with a target cost model,
+/// producing both the architectural result (memory contents, return value)
+/// and performance metrics (cycles, memory references, cache behaviour).
+/// This stands in for the paper's three hardware platforms: the paper's
+/// claims are relative execution-time improvements, which the cycle model
+/// preserves.
+///
+/// The interpreter also enforces the safety properties the paper's run-time
+/// checks exist to protect: on targets that require natural alignment, an
+/// unaligned load/store terminates the run with Status::UnalignedTrap —
+/// exactly what would happen on a real DEC Alpha if the coalescer emitted a
+/// wide reference to an unaligned address.
+///
+/// Instruction fetch is modeled too: each block is assigned a code address
+/// in layout order and every executed instruction probes an instruction
+/// cache of the target's declared size. This is what makes over-unrolling
+/// genuinely expensive (the premise of the paper's i-cache-fit heuristic,
+/// section 2.2) rather than free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SIM_INTERPRETER_H
+#define VPO_SIM_INTERPRETER_H
+
+#include "sim/Cache.h"
+#include "sim/Memory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+class TargetMachine;
+
+/// Outcome and metrics of one simulated run.
+struct RunResult {
+  enum class Status {
+    Ok,
+    UnalignedTrap, ///< aligned-only target saw an unaligned reference
+    OutOfBounds,
+    DivideByZero,
+    StepLimit,
+    MalformedIR,
+  };
+
+  Status Exit = Status::Ok;
+  std::string Error; ///< diagnostic for non-Ok exits
+
+  int64_t ReturnValue = 0;
+
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  uint64_t Loads = 0;        ///< executed Load + LoadWideU
+  uint64_t Stores = 0;
+  uint64_t MemRefs() const { return Loads + Stores; }
+  uint64_t LoadBytes = 0;
+  uint64_t StoreBytes = 0;
+  uint64_t Branches = 0;
+  DataCache::Stats Cache;
+  DataCache::Stats ICache;
+
+  bool ok() const { return Exit == Status::Ok; }
+};
+
+/// \returns a printable name for a run status.
+const char *runStatusName(RunResult::Status S);
+
+class Interpreter {
+public:
+  Interpreter(const TargetMachine &TM, Memory &Mem);
+
+  /// Runs \p F with \p Args bound to its parameter registers.
+  RunResult run(const Function &F, const std::vector<int64_t> &Args,
+                uint64_t MaxSteps = 500'000'000);
+
+private:
+  const TargetMachine &TM;
+  Memory &Mem;
+};
+
+} // namespace vpo
+
+#endif // VPO_SIM_INTERPRETER_H

@@ -1,0 +1,42 @@
+//===- sim/Memory.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Memory.h"
+
+#include "support/Error.h"
+#include "support/MathExtras.h"
+
+using namespace vpo;
+
+Memory::Memory(size_t Size) : Bytes(Size, 0) {}
+
+uint64_t Memory::allocate(size_t Size, size_t Align, size_t Skew) {
+  if (Align == 0 || !isPowerOf2(Align))
+    fatalError("Memory::allocate: alignment must be a power of two");
+  uint64_t Addr = alignTo(NextAlloc, Align) + Skew;
+  // Red zone between allocations so out-of-bounds kernels corrupt a gap,
+  // not a neighbouring array (made visible by golden-output comparison).
+  NextAlloc = Addr + Size + 64;
+  if (NextAlloc > Bytes.size())
+    fatalError("Memory::allocate: out of simulated memory");
+  return Addr;
+}
+
+uint64_t Memory::read(uint64_t Addr, unsigned NumBytes) const {
+  if (!inBounds(Addr, NumBytes))
+    fatalError("Memory::read out of bounds");
+  uint64_t V = 0;
+  for (unsigned I = 0; I < NumBytes; ++I)
+    V |= static_cast<uint64_t>(Bytes[Addr + I]) << (8 * I);
+  return V;
+}
+
+void Memory::write(uint64_t Addr, unsigned NumBytes, uint64_t V) {
+  if (!inBounds(Addr, NumBytes))
+    fatalError("Memory::write out of bounds");
+  for (unsigned I = 0; I < NumBytes; ++I)
+    Bytes[Addr + I] = static_cast<uint8_t>(V >> (8 * I));
+}

@@ -1,0 +1,60 @@
+//===- sim/Memory.h - Byte-addressable simulated memory ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian byte-addressable memory for the RTL interpreter. The
+/// allocator supports explicit alignment *and* deliberate misalignment
+/// ("skew"), because the paper's run-time alignment checks are only
+/// meaningful if arrays can legitimately arrive unaligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SIM_MEMORY_H
+#define VPO_SIM_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpo {
+
+class Memory {
+public:
+  /// Creates a memory of \p Size bytes, zero-initialized. Address 0 up to
+  /// the first allocation is kept unmapped-in-spirit (allocations start at
+  /// 4096) so stray null-based accesses are distinguishable.
+  explicit Memory(size_t Size = size_t(1) << 24);
+
+  size_t size() const { return Bytes.size(); }
+
+  /// Allocates \p Size bytes. The returned address is \p Align-aligned and
+  /// then advanced by \p Skew bytes; use a nonzero skew to produce arrays
+  /// that are, e.g., 2-aligned but deliberately not 8-aligned.
+  uint64_t allocate(size_t Size, size_t Align = 8, size_t Skew = 0);
+
+  /// \returns true if [Addr, Addr+Bytes) is inside the memory.
+  bool inBounds(uint64_t Addr, unsigned NumBytes) const {
+    return Addr >= 4096 && Addr + NumBytes <= Bytes.size() &&
+           Addr + NumBytes >= Addr;
+  }
+
+  /// Little-endian read of \p NumBytes (1..8), zero-extended.
+  uint64_t read(uint64_t Addr, unsigned NumBytes) const;
+
+  /// Little-endian write of the low \p NumBytes of \p V.
+  void write(uint64_t Addr, unsigned NumBytes, uint64_t V);
+
+  uint8_t *data() { return Bytes.data(); }
+  const uint8_t *data() const { return Bytes.data(); }
+
+private:
+  std::vector<uint8_t> Bytes;
+  uint64_t NextAlloc = 4096;
+};
+
+} // namespace vpo
+
+#endif // VPO_SIM_MEMORY_H

@@ -1,0 +1,24 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vpo;
+
+void vpo::fatalError(std::string_view Msg) {
+  std::fprintf(stderr, "vpo fatal error: %.*s\n",
+               static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}
+
+void vpo::vpoUnreachableImpl(const char *Msg, const char *File,
+                             unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

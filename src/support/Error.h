@@ -1,0 +1,35 @@
+//===- support/Error.h - Fatal error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the vpo-mac project: a reproduction of "Memory Access Coalescing"
+// (Davidson & Jinturkar, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers used across the library. The library follows
+/// the LLVM convention of not using exceptions: invariant violations abort
+/// via fatalError/vpoUnreachable with a diagnostic message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_ERROR_H
+#define VPO_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace vpo {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// cannot be recovered from (never for bad user input in library code).
+[[noreturn]] void fatalError(std::string_view Msg);
+
+/// Marks a point in control flow that must be unreachable if the program
+/// invariants hold. Prints the message, file, and line, then aborts.
+[[noreturn]] void vpoUnreachableImpl(const char *Msg, const char *File,
+                                     unsigned Line);
+
+} // namespace vpo
+
+#define vpo_unreachable(MSG) ::vpo::vpoUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // VPO_SUPPORT_ERROR_H

@@ -1,0 +1,77 @@
+//===- support/MathExtras.h - Bit and alignment utilities ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer/bit utilities used by the IR, the coalescer (alignment
+/// reasoning), and the simulator (address arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_MATHEXTRAS_H
+#define VPO_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vpo {
+
+/// \returns true if \p V is a power of two (0 is not).
+constexpr bool isPowerOf2(uint64_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+/// \returns floor(log2(V)). \p V must be nonzero.
+constexpr unsigned log2Floor(uint64_t V) {
+  unsigned R = 0;
+  while (V >>= 1)
+    ++R;
+  return R;
+}
+
+/// \returns \p V rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t V, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+/// \returns true if \p V is a multiple of \p Align (power of two).
+constexpr bool isAligned(uint64_t V, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return (V & (Align - 1)) == 0;
+}
+
+/// Sign-extends the low \p Bits bits of \p V to 64 bits.
+constexpr int64_t signExtend64(uint64_t V, unsigned Bits) {
+  assert(Bits > 0 && Bits <= 64 && "invalid bit count");
+  if (Bits == 64)
+    return static_cast<int64_t>(V);
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  uint64_t X = V & Mask;
+  uint64_t SignBit = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>((X ^ SignBit) - SignBit);
+}
+
+/// Zero-extends the low \p Bits bits of \p V (masks the rest away).
+constexpr uint64_t zeroExtend64(uint64_t V, unsigned Bits) {
+  assert(Bits > 0 && Bits <= 64 && "invalid bit count");
+  if (Bits == 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+/// \returns the largest power of two that divides \p V (its alignment).
+/// For V == 0 returns a very large power of two (2^63): zero is "infinitely"
+/// aligned, which is the identity for the gcd-style alignment lattice used
+/// by the coalescer.
+constexpr uint64_t knownAlignmentOf(int64_t V) {
+  if (V == 0)
+    return uint64_t(1) << 63;
+  uint64_t U = static_cast<uint64_t>(V < 0 ? -V : V);
+  return U & (~U + 1); // lowest set bit
+}
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,70 @@
+//===- support/RNG.h - Deterministic pseudo-random generator ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic xorshift128+ generator. Workload data (synthetic
+/// 500x500 images, eqntott bit vectors, ...) must be reproducible across
+/// runs and platforms, so we do not use std::mt19937 whose distributions
+/// are implementation-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_RNG_H
+#define VPO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vpo {
+
+/// Deterministic xorshift128+ PRNG.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    auto Next = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// \returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// \returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// \returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_RNG_H

@@ -1,0 +1,58 @@
+//===- support/StringUtils.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace vpo;
+
+std::string vpo::strformat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Len), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::vector<std::string> vpo::splitString(const std::string &S,
+                                          const std::string &Seps) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (Start < S.size()) {
+    size_t End = S.find_first_of(Seps, Start);
+    if (End == std::string::npos)
+      End = S.size();
+    if (End > Start)
+      Pieces.push_back(S.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Pieces;
+}
+
+std::string vpo::trimString(const std::string &S) {
+  const char *WS = " \t\r\n";
+  size_t B = S.find_first_not_of(WS);
+  if (B == std::string::npos)
+    return std::string();
+  size_t E = S.find_last_not_of(WS);
+  return S.substr(B, E - B + 1);
+}
+
+bool vpo::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}

@@ -1,0 +1,37 @@
+//===- support/StringUtils.h - printf-style std::string helpers -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal string formatting helpers used by the IR printer, statistics
+/// reporting, and the benchmark table writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_STRINGUTILS_H
+#define VPO_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+/// printf into a std::string.
+std::string strformat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on any character in \p Seps, dropping empty pieces.
+std::vector<std::string> splitString(const std::string &S,
+                                     const std::string &Seps);
+
+/// \returns \p S with leading/trailing whitespace removed.
+std::string trimString(const std::string &S);
+
+/// \returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,255 @@
+//===- transform/Cleanup.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cleanup.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+#include "support/MathExtras.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace vpo;
+
+namespace {
+
+/// True if removing \p I (assuming its result is unused) changes program
+/// behaviour. Dead loads are removable: they have no architectural effect
+/// in this memory model.
+bool hasSideEffects(const Instruction &I) {
+  return I.isStore() || I.isTerminator();
+}
+
+/// Evaluates a two-operand ALU op over immediates with the interpreter's
+/// semantics. \returns nullopt when the operation must not be folded
+/// (division by zero).
+std::optional<uint64_t> evalALU(Opcode Op, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::DivS:
+    if (B == 0)
+      return std::nullopt;
+    return static_cast<uint64_t>(static_cast<int64_t>(A) /
+                                 static_cast<int64_t>(B));
+  case Opcode::DivU:
+    if (B == 0)
+      return std::nullopt;
+    return A / B;
+  case Opcode::RemS:
+    if (B == 0)
+      return std::nullopt;
+    return static_cast<uint64_t>(static_cast<int64_t>(A) %
+                                 static_cast<int64_t>(B));
+  case Opcode::RemU:
+    if (B == 0)
+      return std::nullopt;
+    return A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & 63);
+  case Opcode::ShrA:
+    return static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+  case Opcode::ShrL:
+    return A >> (B & 63);
+  default:
+    return std::nullopt;
+  }
+}
+
+bool isALU(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivS:
+  case Opcode::DivU:
+  case Opcode::RemS:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::ShrA:
+  case Opcode::ShrL:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+CleanupStats vpo::eliminateDeadCode(Function &F) {
+  CleanupStats Stats;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    CFG G(F);
+    Liveness LV(G);
+    for (const auto &BBPtr : F.blocks()) {
+      BasicBlock &BB = *BBPtr;
+      // Walk backward with a running live set seeded from live-out.
+      std::vector<bool> Live(F.regUpperBound(), false);
+      for (unsigned R = 1; R < F.regUpperBound(); ++R)
+        Live[R] = LV.liveOut(&BB, Reg(R));
+      std::vector<Reg> Uses;
+      for (size_t I = BB.size(); I-- > 0;) {
+        Instruction &Inst = BB.insts()[I];
+        auto D = Inst.def();
+        bool Dead = D && !Live[D->Id] && !hasSideEffects(Inst);
+        if (Dead) {
+          BB.eraseAt(I);
+          ++Stats.DeadRemoved;
+          Changed = true;
+          continue;
+        }
+        if (D)
+          Live[D->Id] = false;
+        Uses.clear();
+        Inst.collectUses(Uses);
+        for (Reg U : Uses)
+          Live[U.Id] = true;
+      }
+    }
+  }
+  return Stats;
+}
+
+CleanupStats vpo::propagateCopies(Function &F) {
+  CleanupStats Stats;
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock &BB = *BBPtr;
+    // Known copies: destination register -> forwarded operand.
+    std::unordered_map<unsigned, Operand> Copies;
+    auto Invalidate = [&Copies](Reg R) {
+      Copies.erase(R.Id);
+      for (auto It = Copies.begin(); It != Copies.end();) {
+        if (It->second.isReg() && It->second.reg() == R)
+          It = Copies.erase(It);
+        else
+          ++It;
+      }
+    };
+    for (Instruction &I : BB.insts()) {
+      // Rewrite register operands through the copy map. Address bases may
+      // only be replaced by other registers (not immediates).
+      auto Forward = [&](Operand &O) {
+        if (!O.isReg())
+          return;
+        auto It = Copies.find(O.reg().Id);
+        if (It != Copies.end()) {
+          O = It->second;
+          ++Stats.CopiesPropagated;
+        }
+      };
+      Forward(I.A);
+      Forward(I.B);
+      Forward(I.C);
+      if (I.isMemory()) {
+        auto It = Copies.find(I.Addr.Base.Id);
+        if (It != Copies.end() && It->second.isReg()) {
+          I.Addr.Base = It->second.reg();
+          ++Stats.CopiesPropagated;
+        }
+      }
+      if (auto D = I.def()) {
+        Invalidate(*D);
+        if (I.Op == Opcode::Mov && (I.A.isImm() || I.A.isReg()) &&
+            !(I.A.isReg() && I.A.reg() == *D))
+          Copies[D->Id] = I.A;
+      }
+    }
+  }
+  return Stats;
+}
+
+CleanupStats vpo::foldConstants(Function &F) {
+  CleanupStats Stats;
+  for (const auto &BBPtr : F.blocks()) {
+    for (Instruction &I : BBPtr->insts()) {
+      if (isALU(I.Op) && I.A.isImm() && I.B.isImm()) {
+        auto V = evalALU(I.Op, static_cast<uint64_t>(I.A.imm()),
+                         static_cast<uint64_t>(I.B.imm()));
+        if (!V)
+          continue;
+        I.Op = Opcode::Mov;
+        I.A = Operand::imm(static_cast<int64_t>(*V));
+        I.B = Operand();
+        ++Stats.Folded;
+        continue;
+      }
+      // Algebraic identities with a register LHS and immediate RHS.
+      if (!isALU(I.Op) || !I.B.isImm())
+        continue;
+      int64_t C = I.B.imm();
+      auto ToMovOfA = [&I, &Stats]() {
+        I.Op = Opcode::Mov;
+        I.B = Operand();
+        ++Stats.Folded;
+      };
+      auto ToMovImm = [&I, &Stats](int64_t V) {
+        I.Op = Opcode::Mov;
+        I.A = Operand::imm(V);
+        I.B = Operand();
+        ++Stats.Folded;
+      };
+      switch (I.Op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::ShrA:
+      case Opcode::ShrL:
+        if (C == 0)
+          ToMovOfA();
+        break;
+      case Opcode::Mul:
+        if (C == 1)
+          ToMovOfA();
+        else if (C == 0)
+          ToMovImm(0);
+        break;
+      case Opcode::And:
+        if (C == 0)
+          ToMovImm(0);
+        else if (C == -1)
+          ToMovOfA();
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Stats;
+}
+
+CleanupStats vpo::runCleanupPipeline(Function &F) {
+  CleanupStats Total;
+  while (true) {
+    CleanupStats Round;
+    Round += foldConstants(F);
+    Round += propagateCopies(F);
+    Round += eliminateDeadCode(F);
+    Total += Round;
+    if (Round.DeadRemoved == 0 && Round.CopiesPropagated == 0 &&
+        Round.Folded == 0)
+      break;
+  }
+  return Total;
+}

@@ -1,0 +1,59 @@
+//===- transform/Cleanup.h - DCE, copy propagation, folding -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar cleanup passes a vpo-style optimizer runs between major
+/// transformations:
+///
+///  * dead code elimination — removes instructions whose results are never
+///    used (loads included: a dead load has no architectural effect);
+///  * local copy propagation — forwards `r = mov X` within a block;
+///  * constant folding — evaluates ALU operations on immediates and
+///    simplifies identities (x+0, x*1, x<<0, x&0, ...).
+///
+/// Unrolling and coalescing leave behind dead induction-variable updates
+/// and redundant moves; these passes tidy them before scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_CLEANUP_H
+#define VPO_TRANSFORM_CLEANUP_H
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+
+struct CleanupStats {
+  unsigned DeadRemoved = 0;
+  unsigned CopiesPropagated = 0;
+  unsigned Folded = 0;
+
+  CleanupStats &operator+=(const CleanupStats &O) {
+    DeadRemoved += O.DeadRemoved;
+    CopiesPropagated += O.CopiesPropagated;
+    Folded += O.Folded;
+    return *this;
+  }
+};
+
+/// Removes instructions computing values that are dead (never live after
+/// the definition). Iterates to a fixpoint. Memory writes, branches, and
+/// returns are never removed.
+CleanupStats eliminateDeadCode(Function &F);
+
+/// Forwards copies and immediate moves within each block.
+CleanupStats propagateCopies(Function &F);
+
+/// Folds constant ALU operations and algebraic identities in place.
+CleanupStats foldConstants(Function &F);
+
+/// Runs fold -> copy-prop -> DCE until nothing changes.
+CleanupStats runCleanupPipeline(Function &F);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_CLEANUP_H

@@ -1,0 +1,217 @@
+//===- transform/Recurrence.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Recurrence.h"
+
+#include "analysis/BaseOrigin.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+
+#include <unordered_set>
+
+using namespace vpo;
+
+namespace {
+
+class RecurrencePass {
+public:
+  explicit RecurrencePass(Function &F) : F(F) {}
+
+  RecurrenceStats run() {
+    while (true) {
+      CFG G(F);
+      DominatorTree DT(G);
+      LoopInfo LI(G, DT);
+      Loop *Candidate = nullptr;
+      for (const auto &L : LI.loops()) {
+        if (!L->isInnermost() || !L->singleBodyBlock())
+          continue;
+        if (Done.count(L->singleBodyBlock()))
+          continue;
+        Candidate = L.get();
+        break;
+      }
+      if (!Candidate)
+        break;
+      processLoop(*Candidate, G);
+    }
+    return Stats;
+  }
+
+private:
+  Function &F;
+  RecurrenceStats Stats;
+  std::unordered_set<const BasicBlock *> Done;
+
+  void processLoop(Loop &L, CFG &G) {
+    BasicBlock *Body = L.singleBodyBlock();
+    Done.insert(Body);
+    ++Stats.LoopsExamined;
+
+    BasicBlock *Preheader = L.preheader(G);
+    if (!Preheader)
+      return;
+    LoopScalarInfo LSI(L, F);
+    MemoryPartitions MP(L, LSI);
+    if (!MP.allClassified())
+      return;
+
+    // Find a candidate (load, store) pair.
+    for (size_t PI = 0; PI < MP.partitions().size(); ++PI) {
+      const Partition &P = MP.partitions()[PI];
+      if (!P.BaseIsIV || P.Step == 0)
+        continue;
+      for (size_t LR = 0; LR < P.Refs.size(); ++LR) {
+        const MemRef &LRef = P.Refs[LR];
+        if (!LRef.IsLoad)
+          continue;
+        for (size_t SR = 0; SR < P.Refs.size(); ++SR) {
+          const MemRef &SRef = P.Refs[SR];
+          if (!SRef.IsStore || SRef.W != LRef.W ||
+              SRef.IsFloat != LRef.IsFloat)
+            continue;
+          if (LRef.Offset != SRef.Offset - P.Step)
+            continue;
+          if (LRef.InstIdx >= SRef.InstIdx)
+            continue;
+          if (!safeToCarry(MP, PI, LRef, SRef))
+            continue;
+          applyRecurrence(Preheader, Body, P, LRef, SRef);
+          ++Stats.RecurrencesOptimized;
+          ++Stats.LoadsRemoved;
+          return; // analyses are stale; revisit other loops next round
+        }
+      }
+    }
+  }
+
+  /// No other store in the loop may write the carried location.
+  bool safeToCarry(const MemoryPartitions &MP, size_t PartIdx,
+                   const MemRef &LRef, const MemRef &SRef) const {
+    const Partition &P = MP.partitions()[PartIdx];
+    int64_t Lo = LRef.Offset;
+    int64_t Hi = SRef.Offset + widthBytes(SRef.W);
+    for (size_t QI = 0; QI < MP.partitions().size(); ++QI) {
+      const Partition &Q = MP.partitions()[QI];
+      for (const MemRef &R : Q.Refs) {
+        if (!R.IsStore)
+          continue;
+        if (QI == PartIdx) {
+          if (R.InstIdx == SRef.InstIdx)
+            continue; // the recurrence store itself
+          // Same partition: exact offsets; conservative against any
+          // overlap with the carried window [Lo, Hi).
+          if (R.Offset + widthBytes(R.W) > Lo && R.Offset < Hi)
+            return false;
+          continue;
+        }
+        // Cross-partition store: only a restrict-like guarantee helps.
+        if (!baseIsNoAlias(F, P.Base) && !baseIsNoAlias(F, Q.Base))
+          return false;
+      }
+    }
+    // The loaded value must also not be clobbered by the *wide* variety
+    // of loads (LoadWideU has no store semantics), so nothing else to do.
+    return true;
+  }
+
+  /// Appends a normalization of \p Stored into \p Carry after position
+  /// \p Pos: the value a load of width W would observe after the store.
+  /// \returns the number of instructions inserted.
+  unsigned emitNormalize(BasicBlock &BB, size_t Pos, Reg Carry,
+                         Operand Stored, const MemRef &LRef) {
+    if (LRef.IsFloat) {
+      // f32 store/load round trip: double -> float bits -> double.
+      Reg Tmp = F.newReg();
+      Instruction Ins;
+      Ins.Op = Opcode::InsertF;
+      Ins.Dst = Tmp;
+      Ins.A = Operand::imm(0);
+      Ins.B = Operand::imm(0);
+      Ins.C = Stored;
+      Ins.W = MemWidth::W4;
+      Ins.IsFloat = true;
+      BB.insertAt(Pos, std::move(Ins));
+      Instruction Ext;
+      Ext.Op = Opcode::ExtractF;
+      Ext.Dst = Carry;
+      Ext.A = Tmp;
+      Ext.B = Operand::imm(0);
+      Ext.W = MemWidth::W4;
+      Ext.IsFloat = true;
+      BB.insertAt(Pos + 1, std::move(Ext));
+      return 2;
+    }
+    Instruction Ext;
+    Ext.Op = Opcode::Ext;
+    Ext.Dst = Carry;
+    Ext.A = Stored;
+    Ext.W = LRef.W;
+    Ext.SignExtend = LRef.SignExtend;
+    BB.insertAt(Pos, std::move(Ext));
+    return 1;
+  }
+
+  void applyRecurrence(BasicBlock *Preheader, BasicBlock *Body,
+                       const Partition &P, const MemRef &LRef,
+                       const MemRef &SRef) {
+    Reg Carry = F.newReg();
+
+    // Guarded pre-load block on the loop entry edge: it runs only when
+    // the loop will execute at least one iteration, so the pre-load can
+    // never access memory the original program would not have touched.
+    BasicBlock *Pre =
+        F.addBlock(F.uniqueBlockName(Body->name() + ".carry.init"));
+    {
+      Instruction Load = Body->insts()[LRef.InstIdx];
+      Load.Dst = Carry;
+      // The IV holds its entry value here; the iteration-start-relative
+      // offset (which folds in any increments that precede the load
+      // inside the body) gives the address the first iteration would
+      // have loaded.
+      Load.Addr.Disp = LRef.Offset;
+      Pre->append(std::move(Load));
+      Instruction Jmp;
+      Jmp.Op = Opcode::Jmp;
+      Jmp.TrueTarget = Body;
+      Pre->append(std::move(Jmp));
+      Instruction &PreTerm = Preheader->terminator();
+      if (PreTerm.TrueTarget == Body)
+        PreTerm.TrueTarget = Pre;
+      if (PreTerm.FalseTarget == Body)
+        PreTerm.FalseTarget = Pre;
+    }
+    Done.insert(Pre);
+
+    // Replace the load with a copy from the carry register.
+    {
+      Instruction &Old = Body->insts()[LRef.InstIdx];
+      Instruction Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.Dst = Old.Dst;
+      Mov.A = Carry;
+      Old = Mov;
+    }
+
+    // Refresh the carry register after the store.
+    (void)P;
+    const Instruction &Store = Body->insts()[SRef.InstIdx];
+    emitNormalize(*Body, SRef.InstIdx + 1, Carry, Store.A, LRef);
+
+    verifyOrDie(F, "recurrence");
+  }
+};
+
+} // namespace
+
+RecurrenceStats vpo::optimizeRecurrences(Function &F) {
+  return RecurrencePass(F).run();
+}

@@ -1,0 +1,58 @@
+//===- transform/Recurrence.h - recurrence detection + optimization -------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recurrence detection and optimization [Beni91], discussed in the
+/// paper's section 1.1 with the fifth Livermore loop:
+///
+///     for (i = 1; i < n; i++) x[i] = z[i] * (y[i] - x[i-1]);
+///
+/// "By detecting the fact that a recurrence is being evaluated, code can
+/// be generated so that the x[i] computed on one iteration of the loop is
+/// held in a register and is obtained from that register on the next
+/// iteration… the transformation yields code that saves one memory
+/// reference per loop iteration."
+///
+/// Mechanics for a single-block counted loop: find a load L and a store S
+/// in the same partition with loadOffset == storeOffset - step (L reads
+/// the location S wrote on the previous iteration), L preceding S. Then:
+///
+///   * split the loop entry edge and pre-load the carried value there
+///     (guarded: the preheader code never runs on the zero-trip path);
+///   * replace L with a copy from the carry register;
+///   * after S, refresh the carry register with the stored value,
+///     normalized through the store/load width (an Ext for integers; an
+///     insert/extract round-trip for f32, which rounds exactly as the
+///     memory round-trip would).
+///
+/// Safety: every other store in the loop must be provably unable to touch
+/// the carried location (same-partition disjoint offsets, or a NoAlias
+/// base parameter). A second benefit falls out for free: with the
+/// recurrent load gone, the store stream no longer has a Fig. 4 hazard
+/// and becomes coalescable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_RECURRENCE_H
+#define VPO_TRANSFORM_RECURRENCE_H
+
+namespace vpo {
+
+class Function;
+
+struct RecurrenceStats {
+  unsigned LoopsExamined = 0;
+  unsigned RecurrencesOptimized = 0;
+  unsigned LoadsRemoved = 0;
+};
+
+/// Detects and optimizes register-carriable recurrences in every
+/// innermost single-block loop of \p F.
+RecurrenceStats optimizeRecurrences(Function &F);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_RECURRENCE_H

@@ -1,0 +1,255 @@
+//===- transform/ScalarReplace.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ScalarReplace.h"
+
+#include "analysis/BaseOrigin.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+using namespace vpo;
+
+namespace {
+
+class ScalarReplacePass {
+public:
+  explicit ScalarReplacePass(Function &F) : F(F) {}
+
+  ScalarReplaceStats run() {
+    while (true) {
+      CFG G(F);
+      DominatorTree DT(G);
+      LoopInfo LI(G, DT);
+      Loop *Candidate = nullptr;
+      for (const auto &L : LI.loops()) {
+        if (!L->isInnermost() || !L->singleBodyBlock())
+          continue;
+        if (Done.count(L->singleBodyBlock()))
+          continue;
+        Candidate = L.get();
+        break;
+      }
+      if (!Candidate)
+        break;
+      processLoop(*Candidate, G);
+    }
+    return Stats;
+  }
+
+private:
+  Function &F;
+  ScalarReplaceStats Stats;
+  std::unordered_set<const BasicBlock *> Done;
+
+  void processLoop(Loop &L, CFG &G) {
+    BasicBlock *Body = L.singleBodyBlock();
+    Done.insert(Body);
+    ++Stats.LoopsExamined;
+
+    BasicBlock *Preheader = L.preheader(G);
+    if (!Preheader)
+      return;
+    LoopScalarInfo LSI(L, F);
+    MemoryPartitions MP(L, LSI);
+    if (!MP.allClassified())
+      return;
+
+    // Shared guarded-preheader block, created lazily for the first chain.
+    BasicBlock *Guard = nullptr;
+
+    for (size_t PI = 0; PI < MP.partitions().size(); ++PI) {
+      const Partition &P = MP.partitions()[PI];
+      if (!P.BaseIsIV || P.Step == 0)
+        continue;
+      auto Chain = findChain(MP, PI, LSI, Body);
+      if (Chain.size() < 2)
+        continue;
+      if (!Guard)
+        Guard = makeGuardBlock(Preheader, Body);
+      applyChain(Guard, Body, P, Chain);
+      ++Stats.ChainsReplaced;
+      Stats.LoadsRemoved += static_cast<unsigned>(Chain.size() - 1);
+    }
+
+    if (Guard)
+      verifyOrDie(F, "scalar-replace");
+  }
+
+  /// \returns ref indices of a maximal replaceable load chain in
+  /// partition \p PI: unique consecutive offsets spaced by the step,
+  /// same width/signedness, all with single-def destinations, safe
+  /// against every store in the loop.
+  std::vector<size_t> findChain(const MemoryPartitions &MP, size_t PI,
+                                const LoopScalarInfo &LSI,
+                                BasicBlock *Body) {
+    const Partition &P = MP.partitions()[PI];
+    int64_t Step = P.Step;
+    // Offsets must advance with the stream direction: for a positive
+    // step, o_i + s = o_{i+1} (the next iteration's lower tap); negative
+    // steps mirror.
+    std::map<int64_t, size_t> LoadAt; // offset -> ref index
+    for (size_t R = 0; R < P.Refs.size(); ++R) {
+      const MemRef &Ref = P.Refs[R];
+      if (!Ref.IsLoad)
+        continue;
+      if (LoadAt.count(Ref.Offset))
+        return {}; // duplicate loads complicate rotation; leave alone
+      LoadAt[Ref.Offset] = R;
+    }
+    if (LoadAt.size() < 2)
+      return {};
+
+    // The longest run of offsets spaced exactly |Step| apart.
+    std::vector<int64_t> Offsets;
+    for (const auto &[Off, _] : LoadAt)
+      Offsets.push_back(Off);
+    int64_t Spacing = Step > 0 ? Step : -Step;
+    size_t BestStart = 0, BestLen = 1, CurStart = 0, CurLen = 1;
+    for (size_t I = 1; I < Offsets.size(); ++I) {
+      if (Offsets[I] == Offsets[I - 1] + Spacing) {
+        ++CurLen;
+      } else {
+        CurStart = I;
+        CurLen = 1;
+      }
+      if (CurLen > BestLen) {
+        BestLen = CurLen;
+        BestStart = CurStart;
+      }
+    }
+    if (BestLen < 2)
+      return {};
+
+    std::vector<size_t> Chain;
+    for (size_t I = BestStart; I < BestStart + BestLen; ++I)
+      Chain.push_back(LoadAt[Offsets[I]]);
+    // For a negative step the *low* offset holds last iteration's value
+    // of the next-lower... reverse so Chain[0] is the one whose value
+    // arrives from the previous iteration.
+    if (Step < 0)
+      std::reverse(Chain.begin(), Chain.end());
+
+    // Uniform width/signedness and single-def destinations.
+    const MemRef &First = P.Refs[Chain[0]];
+    for (size_t R : Chain) {
+      const MemRef &Ref = P.Refs[R];
+      if (Ref.W != First.W || Ref.SignExtend != First.SignExtend ||
+          Ref.IsFloat != First.IsFloat)
+        return {};
+      Reg Dst = Body->insts()[Ref.InstIdx].Dst;
+      if (LSI.defCount(Dst) != 1)
+        return {};
+    }
+
+    // Stores anywhere in the loop must be unable to touch the carried
+    // window.
+    int64_t Lo = P.Refs[Chain.front()].Offset;
+    int64_t Hi = P.Refs[Chain.back()].Offset;
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    Hi += widthBytes(First.W);
+    // The window shifts by Step each iteration; a same-partition store is
+    // dangerous if it can hit any *future* position of the window. Exact
+    // reasoning: store offset so vs window [Lo,Hi) shifted by k*Step for
+    // k >= 0. Conservative and simple: require the store to be outside
+    // [Lo, Hi) and on the already-consumed side of the stream.
+    for (size_t QI = 0; QI < MP.partitions().size(); ++QI) {
+      const Partition &Q = MP.partitions()[QI];
+      for (const MemRef &Ref : Q.Refs) {
+        if (!Ref.IsStore)
+          continue;
+        if (QI == PI) {
+          int64_t SLo = Ref.Offset;
+          int64_t SHi = Ref.Offset + widthBytes(Ref.W);
+          bool Behind = P.Step > 0 ? (SHi <= Lo) : (SLo >= Hi);
+          if (!Behind)
+            return {};
+          continue;
+        }
+        if (!baseIsNoAlias(F, P.Base) && !baseIsNoAlias(F, Q.Base))
+          return {};
+      }
+    }
+    return Chain;
+  }
+
+  /// Splits the preheader->body edge with a guarded block for the
+  /// preloads (it executes only when the loop runs at least once).
+  BasicBlock *makeGuardBlock(BasicBlock *Preheader, BasicBlock *Body) {
+    BasicBlock *Guard =
+        F.addBlock(F.uniqueBlockName(Body->name() + ".preload"));
+    Instruction Jmp;
+    Jmp.Op = Opcode::Jmp;
+    Jmp.TrueTarget = Body;
+    Guard->append(std::move(Jmp));
+    Instruction &PreTerm = Preheader->terminator();
+    if (PreTerm.TrueTarget == Body)
+      PreTerm.TrueTarget = Guard;
+    if (PreTerm.FalseTarget == Body)
+      PreTerm.FalseTarget = Guard;
+    Done.insert(Guard);
+    return Guard;
+  }
+
+  void applyChain(BasicBlock *Guard, BasicBlock *Body, const Partition &P,
+                  const std::vector<size_t> &Chain) {
+    size_t N = Chain.size();
+    // Carries C_0..C_{n-2}: entering each iteration, C_i holds the value
+    // of the chain's i-th location for *this* iteration.
+    std::vector<Reg> Carries(N - 1);
+    for (size_t I = 0; I + 1 < N; ++I)
+      Carries[I] = F.newReg();
+
+    // Guarded preloads (inserted before the jump).
+    for (size_t I = 0; I + 1 < N; ++I) {
+      const MemRef &Ref = P.Refs[Chain[I]];
+      Instruction Load = Body->insts()[Ref.InstIdx];
+      Load.Dst = Carries[I];
+      Load.Addr = Address(P.Base, Ref.Offset);
+      Guard->insertAt(Guard->size() - 1, std::move(Load));
+    }
+
+    // Destination registers per chain position (before rewriting).
+    std::vector<Reg> Dsts(N);
+    for (size_t I = 0; I < N; ++I)
+      Dsts[I] = Body->insts()[P.Refs[Chain[I]].InstIdx].Dst;
+
+    // Replace loads 0..n-2 with copies from the carries.
+    for (size_t I = 0; I + 1 < N; ++I) {
+      Instruction &Old = Body->insts()[P.Refs[Chain[I]].InstIdx];
+      Instruction Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.Dst = Old.Dst;
+      Mov.A = Carries[I];
+      Old = Mov;
+    }
+
+    // Rotate the window just before the terminator: C_i = dst_{i+1}.
+    size_t InsertAt = Body->size() - 1;
+    for (size_t I = 0; I + 1 < N; ++I) {
+      Instruction Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.Dst = Carries[I];
+      Mov.A = Dsts[I + 1];
+      Body->insertAt(InsertAt + I, std::move(Mov));
+    }
+  }
+};
+
+} // namespace
+
+ScalarReplaceStats vpo::replaceSubscriptedScalars(Function &F) {
+  return ScalarReplacePass(F).run();
+}

@@ -1,0 +1,55 @@
+//===- transform/ScalarReplace.h - subscripted-variable reuse ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar replacement of subscripted variables [Cal90, Dues93], the
+/// "register blocking" of the paper's section 1.1: when a loop loads
+/// a[i], a[i+1], …, a[i+k] each iteration, the values loaded for the
+/// higher offsets are exactly the values the lower offsets will need on
+/// the next iteration. Carrying them in registers leaves one real load
+/// per iteration per stream.
+///
+/// The canonical customer is the convolution kernel: each output pixel
+/// loads three neighbouring pixels per row, two of which were loaded by
+/// the previous iteration — scalar replacement cuts its nine loads per
+/// pixel to three.
+///
+/// Mechanics for a consecutive offset chain o_0 < o_1 < … < o_{n-1}
+/// (spacing = the induction step s, all loads, same width):
+///
+///   * guarded preheader: C_i = load [base + o_i] for i < n-1 (the first
+///     iteration's values);
+///   * body: the load at o_i (i < n-1) becomes `dst_i = mov C_i`; only
+///     the load at o_{n-1} remains a memory reference;
+///   * before the terminator: C_i = mov dst_{i+1} (rotate the window).
+///
+/// Safety mirrors the recurrence pass: no store in the loop may be able
+/// to write the carried locations (same-partition overlap checked by
+/// offset; cross-partition stores need a NoAlias base). Loads must all
+/// precede the rotation point and each destination register must have a
+/// single definition in the body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_SCALARREPLACE_H
+#define VPO_TRANSFORM_SCALARREPLACE_H
+
+namespace vpo {
+
+class Function;
+
+struct ScalarReplaceStats {
+  unsigned LoopsExamined = 0;
+  unsigned ChainsReplaced = 0;
+  unsigned LoadsRemoved = 0;
+};
+
+/// Applies scalar replacement to every innermost single-block loop.
+ScalarReplaceStats replaceSubscriptedScalars(Function &F);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_SCALARREPLACE_H

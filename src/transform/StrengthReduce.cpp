@@ -1,0 +1,289 @@
+//===- transform/StrengthReduce.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/StrengthReduce.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+using namespace vpo;
+
+namespace {
+
+/// A recognized address computation: Base + IV * Scale (+ the memory
+/// operand's own displacement).
+struct AddrPattern {
+  Reg Base;    ///< loop-invariant array base
+  Reg IV;      ///< basic induction variable
+  int64_t Scale;
+};
+
+class StrengthReducePass {
+public:
+  explicit StrengthReducePass(Function &F) : F(F) {}
+
+  StrengthReduceStats run() {
+    while (true) {
+      CFG G(F);
+      DominatorTree DT(G);
+      LoopInfo LI(G, DT);
+      Loop *Candidate = nullptr;
+      for (const auto &L : LI.loops()) {
+        if (!L->isInnermost() || !L->singleBodyBlock())
+          continue;
+        if (Done.count(L->singleBodyBlock()))
+          continue;
+        Candidate = L.get();
+        break;
+      }
+      if (!Candidate)
+        break;
+      processLoop(*Candidate, G);
+    }
+    return Stats;
+  }
+
+private:
+  Function &F;
+  StrengthReduceStats Stats;
+  std::unordered_set<const BasicBlock *> Done;
+
+  void processLoop(Loop &L, CFG &G) {
+    BasicBlock *Body = L.singleBodyBlock();
+    Done.insert(Body);
+    ++Stats.LoopsExamined;
+
+    BasicBlock *Preheader = L.preheader(G);
+    if (!Preheader)
+      return;
+
+    // Derived pointers for this loop: (base, iv, scale) -> pointer reg.
+    // Passes restart after every structural change (pointer creation
+    // inserts instructions, shifting positions); references matching an
+    // already-derived key are rewritten in place on stable passes.
+    std::map<std::tuple<unsigned, unsigned, int64_t>, Reg> Derived;
+    bool Changed = false;
+    while (onePass(L, Preheader, Body, Derived, Changed))
+      ;
+    if (Changed)
+      verifyOrDie(F, "strength-reduce");
+  }
+
+  /// One scan over the body. \returns true if a pointer was created (the
+  /// body changed structurally and the scan must restart).
+  bool onePass(Loop &L, BasicBlock *Preheader, BasicBlock *Body,
+               std::map<std::tuple<unsigned, unsigned, int64_t>, Reg>
+                   &Derived,
+               bool &Changed) {
+    LoopScalarInfo LSI(L, F);
+    if (LSI.inductionVars().empty())
+      return false;
+
+    // Map each in-loop single-def register to its defining instruction
+    // index, for pattern matching.
+    std::map<unsigned, std::optional<size_t>> DefIdx;
+    for (size_t Idx = 0; Idx < Body->size(); ++Idx)
+      if (auto D = Body->insts()[Idx].def()) {
+        auto [It, Inserted] = DefIdx.try_emplace(D->Id, Idx);
+        if (!Inserted)
+          It->second = std::nullopt; // multiple defs: not matchable
+      }
+
+    for (size_t Idx = 0; Idx < Body->size(); ++Idx) {
+      Instruction &I = Body->insts()[Idx];
+      if (!I.isMemory())
+        continue;
+      auto Pattern = matchAddress(Body, LSI, DefIdx, I.Addr.Base, Idx);
+      if (!Pattern)
+        continue;
+
+      auto Key = std::make_tuple(Pattern->Base.Id, Pattern->IV.Id,
+                                 Pattern->Scale);
+      auto It = Derived.find(Key);
+      if (It != Derived.end()) {
+        // Pointer already exists: rewriting the base is position-stable.
+        I.Addr.Base = It->second;
+        ++Stats.RefsRewritten;
+        Changed = true;
+        continue;
+      }
+      // Create the pointer and restart; this reference is rewritten on
+      // the next pass through the already-derived path.
+      Derived[Key] = createPointer(L, Preheader, Body, LSI, *Pattern);
+      ++Stats.PointersDerived;
+      Changed = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Matches `AddrReg = Base + IV*Scale` where Base is invariant, IV is a
+  /// basic induction variable, and no IV increment executes between the
+  /// address computation chain and \p UseIdx (the front end computes the
+  /// address immediately before using it, so this holds for generated
+  /// code; hand-written IR that interleaves is left alone).
+  std::optional<AddrPattern>
+  matchAddress(BasicBlock *Body, const LoopScalarInfo &LSI,
+               const std::map<unsigned, std::optional<size_t>> &DefIdx,
+               Reg AddrReg, size_t UseIdx) {
+    auto DefOf = [&](Reg R) -> const Instruction * {
+      auto It = DefIdx.find(R.Id);
+      if (It == DefIdx.end() || !It->second)
+        return nullptr;
+      return &Body->insts()[*It->second];
+    };
+
+    const Instruction *AddrDef = DefOf(AddrReg);
+    if (!AddrDef || AddrDef->Op != Opcode::Add)
+      return std::nullopt;
+    if (!AddrDef->A.isReg() || !AddrDef->B.isReg())
+      return std::nullopt;
+
+    auto Classify = [&](Reg R, AddrPattern &P, bool &HaveBase,
+                        bool &HaveIndex) {
+      if (LSI.isInvariant(R)) {
+        if (!HaveBase) {
+          P.Base = R;
+          HaveBase = true;
+          return true;
+        }
+        return false;
+      }
+      // Index side: IV directly (scale 1)…
+      if (LSI.ivFor(R)) {
+        if (!HaveIndex) {
+          P.IV = R;
+          P.Scale = 1;
+          HaveIndex = true;
+          return true;
+        }
+        return false;
+      }
+      // …or T = IV << k / IV * c / mov IV.
+      const Instruction *TD = DefOf(R);
+      if (!TD || HaveIndex)
+        return false;
+      if (TD->Op == Opcode::Shl && TD->A.isReg() && TD->B.isImm() &&
+          LSI.ivFor(TD->A.reg())) {
+        P.IV = TD->A.reg();
+        P.Scale = int64_t(1) << (TD->B.imm() & 63);
+        HaveIndex = true;
+        return true;
+      }
+      if (TD->Op == Opcode::Mul && TD->A.isReg() && TD->B.isImm() &&
+          LSI.ivFor(TD->A.reg())) {
+        P.IV = TD->A.reg();
+        P.Scale = TD->B.imm();
+        HaveIndex = true;
+        return true;
+      }
+      if (TD->Op == Opcode::Mov && TD->A.isReg() &&
+          LSI.ivFor(TD->A.reg())) {
+        P.IV = TD->A.reg();
+        P.Scale = 1;
+        HaveIndex = true;
+        return true;
+      }
+      return false;
+    };
+
+    AddrPattern P;
+    bool HaveBase = false, HaveIndex = false;
+    if (!Classify(AddrDef->A.reg(), P, HaveBase, HaveIndex))
+      return std::nullopt;
+    if (!Classify(AddrDef->B.reg(), P, HaveBase, HaveIndex))
+      return std::nullopt;
+    if (!HaveBase || !HaveIndex || P.Scale == 0)
+      return std::nullopt;
+
+    // No IV increment may execute between the address chain's uses of IV
+    // and the reference itself (the IV value must be the same at both
+    // points). The chain's earliest instruction is the scale computation
+    // or the add; scan from there to the use.
+    size_t ChainStart = *DefIdx.at(AddrReg.Id);
+    const InductionVar *IV = LSI.ivFor(P.IV);
+    for (size_t K = ChainStart; K < UseIdx; ++K)
+      for (size_t IncIdx : IV->IncIdxs)
+        if (IncIdx == K)
+          return std::nullopt;
+    // Also between a scale temp and the add — conservatively require the
+    // whole window [min(def of scale temp), UseIdx] to be increment-free.
+    for (const Operand *O : {&AddrDef->A, &AddrDef->B}) {
+      auto It = DefIdx.find(O->reg().Id);
+      if (It == DefIdx.end() || !It->second)
+        continue;
+      for (size_t K = *It->second; K < UseIdx; ++K)
+        for (size_t IncIdx : IV->IncIdxs)
+          if (IncIdx == K)
+            return std::nullopt;
+    }
+    return P;
+  }
+
+  /// Materializes the derived pointer: preheader init + an advance beside
+  /// every increment of the driving IV.
+  Reg createPointer(Loop &L, BasicBlock *Preheader, BasicBlock *Body,
+                    const LoopScalarInfo &LSI, const AddrPattern &P) {
+    (void)L;
+    Reg Ptr = F.newReg();
+    const InductionVar *IV = LSI.ivFor(P.IV);
+
+    // Preheader: Ptr = Base + IV*Scale (IV holds its entry value there).
+    {
+      size_t InsertAt = Preheader->size() - 1; // before the terminator
+      Reg Scaled = F.newReg();
+      Instruction MulI;
+      MulI.Op = Opcode::Mul;
+      MulI.Dst = Scaled;
+      MulI.A = P.IV;
+      MulI.B = Operand::imm(P.Scale);
+      Preheader->insertAt(InsertAt, std::move(MulI));
+      Instruction AddI;
+      AddI.Op = Opcode::Add;
+      AddI.Dst = Ptr;
+      AddI.A = P.Base;
+      AddI.B = Scaled;
+      Preheader->insertAt(InsertAt + 1, std::move(AddI));
+    }
+
+    // Body: advance the pointer right after each IV increment, by that
+    // increment's step times the scale.
+    // Collect (position, step) first; inserting invalidates indices.
+    std::vector<std::pair<size_t, int64_t>> Incs;
+    for (size_t IncIdx : IV->IncIdxs) {
+      const Instruction &Inc = Body->insts()[IncIdx];
+      int64_t Step = 0;
+      if (Inc.Op == Opcode::Add)
+        Step = Inc.A.isImm() ? Inc.A.imm() : Inc.B.imm();
+      else if (Inc.Op == Opcode::Sub)
+        Step = -Inc.B.imm();
+      Incs.push_back({IncIdx, Step});
+    }
+    for (size_t K = Incs.size(); K-- > 0;) {
+      Instruction Adv;
+      Adv.Op = Opcode::Add;
+      Adv.Dst = Ptr;
+      Adv.A = Ptr;
+      Adv.B = Operand::imm(Incs[K].second * P.Scale);
+      Body->insertAt(Incs[K].first + 1, std::move(Adv));
+    }
+    return Ptr;
+  }
+};
+
+} // namespace
+
+StrengthReduceStats vpo::strengthReduce(Function &F) {
+  return StrengthReducePass(F).run();
+}

@@ -1,0 +1,44 @@
+//===- transform/StrengthReduce.h - derive pointer IVs ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Induction-variable strength reduction. The front end emits array
+/// accesses naively — `addr = base + (i << k)` recomputed per access —
+/// which leaves every memory reference with a base register that is
+/// redefined each iteration, so the coalescer's partitioning (paper
+/// Fig. 2: "a unique identifier… most probably the register containing
+/// the start address of A") finds nothing.
+///
+/// This pass rewrites each such access to use a derived pointer induction
+/// variable: initialized in the preheader to `base + i0*scale`, advanced
+/// by `step*scale` beside each increment of `i`, and used as the
+/// reference's base register with the displacement unchanged. The old
+/// address arithmetic dies and DCE removes it. This is the
+/// `EliminateInductionVariables` step of the paper's Fig. 2 (line 16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_STRENGTHREDUCE_H
+#define VPO_TRANSFORM_STRENGTHREDUCE_H
+
+namespace vpo {
+
+class Function;
+
+struct StrengthReduceStats {
+  unsigned LoopsExamined = 0;
+  unsigned PointersDerived = 0;
+  unsigned RefsRewritten = 0;
+};
+
+/// Applies strength reduction to every innermost single-block loop of
+/// \p F. Runs its own cleanup is NOT included; run the cleanup pipeline
+/// afterwards to remove the dead address arithmetic.
+StrengthReduceStats strengthReduce(Function &F);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_STRENGTHREDUCE_H

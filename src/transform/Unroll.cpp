@@ -1,0 +1,397 @@
+//===- transform/Unroll.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Unroll.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+#include "target/TargetMachine.h"
+#include "transform/Utils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vpo;
+
+const char *vpo::unrollFailureName(UnrollFailure F) {
+  switch (F) {
+  case UnrollFailure::None:
+    return "none";
+  case UnrollFailure::NotSingleBlock:
+    return "not-single-block";
+  case UnrollFailure::NoPreheader:
+    return "no-preheader";
+  case UnrollFailure::NoCanonicalBound:
+    return "no-canonical-bound";
+  case UnrollFailure::UnsupportedBound:
+    return "unsupported-bound";
+  case UnrollFailure::IVUsedOutsideAddress:
+    return "iv-used-outside-address";
+  case UnrollFailure::ICacheLimit:
+    return "icache-limit";
+  case UnrollFailure::BadFactor:
+    return "bad-factor";
+  }
+  vpo_unreachable("invalid unroll failure");
+}
+
+namespace {
+
+/// True if the bound shape is one we can dispatch on: a strict inequality
+/// whose direction matches the sign of the IV step (ascending `<`,
+/// descending `>`).
+bool boundSupported(const LoopBound &B, const LoopScalarInfo &LSI) {
+  const InductionVar *IV = LSI.ivFor(B.IV);
+  if (!IV)
+    return false;
+  int64_t Step = IV->StepPerIteration;
+  switch (B.ContinueCond) {
+  case CondCode::LTs:
+  case CondCode::LTu:
+    return Step > 0;
+  case CondCode::GTs:
+  case CondCode::GTu:
+    return Step < 0;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+unsigned vpo::chooseUnrollFactor(const Loop &L, const TargetMachine &TM,
+                                 unsigned MaxFactor) {
+  const BasicBlock *Body = L.singleBodyBlock();
+  if (!Body)
+    return 1;
+  // Paper heuristic: if the rolled loop fits in the i-cache, the unrolled
+  // one must too. Account for the rolled copy that remains as the safe
+  // version plus the dispatch code (~4 instructions).
+  size_t RolledBytes = Body->size() * TM.encodingBytes();
+  if (RolledBytes > TM.iCacheBytes())
+    return 1; // does not fit even rolled; leave it alone
+  unsigned Factor = 1;
+  for (unsigned Cand = 2; Cand <= MaxFactor; Cand *= 2) {
+    size_t UnrolledBytes = (Body->size() * (Cand + 1) + 4) *
+                           TM.encodingBytes();
+    if (UnrolledBytes <= TM.iCacheBytes())
+      Factor = Cand;
+  }
+  return Factor;
+}
+
+UnrollFailure vpo::canUnrollLoop(const Function &F, const Loop &L,
+                                 const LoopScalarInfo &LSI, unsigned Factor,
+                                 const TargetMachine &TM,
+                                 bool IgnoreICache) {
+  if (Factor < 2 || !isPowerOf2(Factor))
+    return UnrollFailure::BadFactor;
+  const BasicBlock *Body = L.singleBodyBlock();
+  if (!Body)
+    return UnrollFailure::NotSingleBlock;
+
+  CFG G(F);
+  if (!L.preheader(G))
+    return UnrollFailure::NoPreheader;
+
+  if (!LSI.bound())
+    return UnrollFailure::NoCanonicalBound;
+  const LoopBound &B = *LSI.bound();
+  if (!boundSupported(B, LSI))
+    return UnrollFailure::UnsupportedBound;
+
+  const InductionVar *BoundIV = LSI.ivFor(B.IV);
+  uint64_t Mag = static_cast<uint64_t>(BoundIV->StepPerIteration < 0
+                                           ? -BoundIV->StepPerIteration
+                                           : BoundIV->StepPerIteration);
+  if (!isPowerOf2(Mag))
+    return UnrollFailure::UnsupportedBound;
+
+  // Every use of an IV must be as an address base, inside its own
+  // increment, or in the loop-bound compare (the terminator).
+  for (size_t Idx = 0; Idx < Body->size(); ++Idx) {
+    const Instruction &I = Body->insts()[Idx];
+    bool IsTerm = Idx + 1 == Body->size();
+    bool IsInc = isIVIncrement(LSI, *Body, Idx);
+    std::vector<Reg> Uses;
+    I.collectUses(Uses);
+    for (Reg U : Uses) {
+      if (!LSI.ivFor(U))
+        continue;
+      if (IsTerm)
+        continue; // bound compare
+      if (IsInc && I.def() && *I.def() == U)
+        continue; // its own increment
+      if (I.isMemory() && I.Addr.Base == U) {
+        // Also used as a non-address operand of the same instruction?
+        bool NonAddressUse = (I.A.isReg() && I.A.reg() == U) ||
+                             (I.B.isReg() && I.B.reg() == U) ||
+                             (I.C.isReg() && I.C.reg() == U);
+        if (!NonAddressUse)
+          continue;
+      }
+      return UnrollFailure::IVUsedOutsideAddress;
+    }
+  }
+
+  // The i-cache fit requirement.
+  size_t UnrolledBytes = (Body->size() * (Factor + 1) + 4) *
+                         TM.encodingBytes();
+  if (!IgnoreICache &&
+      Body->size() * TM.encodingBytes() <= TM.iCacheBytes() &&
+      UnrolledBytes > TM.iCacheBytes())
+    return UnrollFailure::ICacheLimit;
+
+  return UnrollFailure::None;
+}
+
+UnrollFailure vpo::unrollLoop(Function &F, const Loop &L,
+                              const LoopScalarInfo &LSI, unsigned Factor,
+                              const TargetMachine &TM, UnrollResult &Result,
+                              bool IgnoreICache) {
+  UnrollFailure Fail = canUnrollLoop(F, L, LSI, Factor, TM, IgnoreICache);
+  if (Fail != UnrollFailure::None)
+    return Fail;
+
+  BasicBlock *Body = L.singleBodyBlock();
+  CFG G(F);
+  BasicBlock *Preheader = L.preheader(G);
+  const LoopBound &Bound = *LSI.bound();
+  const InductionVar *BoundIV = LSI.ivFor(Bound.IV);
+  int64_t Step = BoundIV->StepPerIteration;
+  bool Ascending = Step > 0;
+  uint64_t StepMag = static_cast<uint64_t>(Ascending ? Step : -Step);
+
+  // Identify the loop's exit successor (the terminator arm leaving Body).
+  Instruction &OldTerm = Body->terminator();
+  assert(OldTerm.Op == Opcode::Br && "canonical bound requires Br");
+  BasicBlock *ExitBB =
+      OldTerm.TrueTarget == Body ? OldTerm.FalseTarget : OldTerm.TrueTarget;
+
+  // Which registers can be renamed per copy: defined before any use inside
+  // the body, not an IV, and dead outside the loop.
+  Liveness LV(G);
+  std::unordered_set<unsigned> Renameable;
+  {
+    std::unordered_set<unsigned> UsedBeforeDef, Defined;
+    std::vector<Reg> Uses;
+    for (const Instruction &I : Body->insts()) {
+      Uses.clear();
+      I.collectUses(Uses);
+      for (Reg U : Uses)
+        if (!Defined.count(U.Id))
+          UsedBeforeDef.insert(U.Id);
+      if (auto D = I.def())
+        Defined.insert(D->Id);
+    }
+    for (unsigned Id : Defined) {
+      if (UsedBeforeDef.count(Id))
+        continue;
+      if (LSI.ivFor(Reg(Id)))
+        continue;
+      if (LV.liveIn(ExitBB, Reg(Id)))
+        continue;
+      Renameable.insert(Id);
+    }
+  }
+
+  auto Acc = accumulatedIVSteps(*Body, LSI);
+
+  // --- Build the unrolled body -----------------------------------------
+  BasicBlock *Unrolled =
+      F.addBlock(F.uniqueBlockName(Body->name() + ".unrolled"));
+  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+    std::unordered_map<unsigned, Reg> Rename;
+    for (size_t Idx = 0; Idx + 1 < Body->size(); ++Idx) {
+      if (isIVIncrement(LSI, *Body, Idx))
+        continue;
+      Instruction I = Body->insts()[Idx];
+      // Rewrite uses with this copy's renames.
+      if (Copy > 0) {
+        I.forEachUse([&](Reg &R) {
+          auto It = Rename.find(R.Id);
+          if (It != Rename.end())
+            R = It->second;
+        });
+      }
+      // Adjust address displacement by the accumulated and per-copy steps.
+      if (I.isMemory()) {
+        Reg BaseReg = I.Addr.Base;
+        // The base may have been renamed above only if it were a temp,
+        // which IV bases never are; look up its IV by the original name.
+        if (const InductionVar *IV = LSI.ivFor(BaseReg)) {
+          auto It = Acc[Idx].find(BaseReg.Id);
+          int64_t Before = It == Acc[Idx].end() ? 0 : It->second;
+          I.Addr.Disp += Before +
+                         static_cast<int64_t>(Copy) * IV->StepPerIteration;
+        }
+      }
+      // Rename this copy's definition of a copy-local temp.
+      if (Copy > 0) {
+        if (auto D = I.def()) {
+          if (Renameable.count(D->Id)) {
+            auto It = Rename.find(D->Id);
+            Reg NewReg = It != Rename.end() ? It->second : F.newReg();
+            Rename[D->Id] = NewReg;
+            I.Dst = NewReg;
+          }
+        }
+      }
+      Unrolled->append(std::move(I));
+    }
+  }
+  // Combined IV increments.
+  for (const InductionVar &IV : LSI.inductionVars()) {
+    Instruction Inc;
+    Inc.Op = Opcode::Add;
+    Inc.Dst = IV.R;
+    Inc.A = IV.R;
+    Inc.B = Operand::imm(IV.StepPerIteration * static_cast<int64_t>(Factor));
+    Unrolled->append(std::move(Inc));
+  }
+  // Back edge: same bound compare, targeting the unrolled body.
+  {
+    Instruction Br = OldTerm;
+    if (Br.TrueTarget == Body)
+      Br.TrueTarget = Unrolled;
+    if (Br.FalseTarget == Body)
+      Br.FalseTarget = Unrolled;
+    Unrolled->append(std::move(Br));
+  }
+
+  // The unrolled main loop runs while `iv CC mainLimit` with
+  // mainLimit = limit -/+ (span mod (factor*|step|)); the leftover
+  // iterations run afterwards in a rolled epilogue bounded by the original
+  // limit. Running the main loop *first* keeps its wide references at the
+  // base address's alignment phase, which is what the coalescer's
+  // `base & (wide-1)` checks test (paper section 2.2).
+  Reg MainLimit = F.newReg(); // defined in the setup block below
+
+  {
+    // Main loop back edge: continue while iv CC mainLimit.
+    Instruction Br;
+    Br.Op = Opcode::Br;
+    Br.CC = Bound.ContinueCond;
+    Br.A = Bound.IV;
+    Br.B = MainLimit;
+    Br.TrueTarget = Unrolled;
+    Br.FalseTarget = nullptr; // epilogue guard, patched below
+    Unrolled->insts().pop_back();
+    Unrolled->append(std::move(Br));
+  }
+
+  // --- Epilogue: guard + rolled clone for the leftover iterations ------
+  BasicBlock *EpiGuard =
+      F.addBlock(F.uniqueBlockName(Body->name() + ".epi.guard"));
+  BasicBlock *Epilogue = cloneBlock(F, *Body, Body->name() + ".epi");
+  {
+    // The clone's bound (original limit) and exit target are already
+    // correct; only the epilogue guard is new.
+    Instruction Br;
+    Br.Op = Opcode::Br;
+    Br.CC = Bound.ContinueCond;
+    Br.A = Bound.IV;
+    Br.B = Bound.Limit;
+    Br.TrueTarget = Epilogue;
+    Br.FalseTarget = ExitBB;
+    EpiGuard->append(std::move(Br));
+    Unrolled->terminator().FalseTarget = EpiGuard;
+  }
+
+  // --- Setup block: main-loop limit computation -------------------------
+  BasicBlock *Setup =
+      F.addBlock(F.uniqueBlockName(Body->name() + ".unroll.setup"));
+  {
+    // span = limit - iv (ascending) or iv - limit (descending): positive
+    // on entry (the loop guard in the preheader already ran).
+    Instruction SpanI;
+    SpanI.Op = Opcode::Sub;
+    SpanI.Dst = F.newReg();
+    if (Ascending) {
+      SpanI.A = Bound.Limit;
+      SpanI.B = Bound.IV;
+    } else {
+      SpanI.A = Bound.IV;
+      SpanI.B = Bound.Limit;
+    }
+    Reg Span = SpanI.Dst;
+    Setup->append(std::move(SpanI));
+
+    // A span that is not a multiple of |step| means the loop was not
+    // counting in exact strides; fall back to the untouched rolled loop.
+    BasicBlock *Tail = Setup;
+    if (StepMag > 1) {
+      Instruction ModI;
+      ModI.Op = Opcode::And;
+      ModI.Dst = F.newReg();
+      ModI.A = Span;
+      ModI.B = Operand::imm(static_cast<int64_t>(StepMag - 1));
+      Reg Mod = ModI.Dst;
+      Setup->append(std::move(ModI));
+      Instruction Br;
+      Br.Op = Opcode::Br;
+      Br.CC = CondCode::NE;
+      Br.A = Mod;
+      Br.B = Operand::imm(0);
+      Br.TrueTarget = Body; // inexact stride: run the original loop
+      Tail = F.addBlock(F.uniqueBlockName(Body->name() + ".unroll.setup2"));
+      Br.FalseTarget = Tail;
+      Setup->append(std::move(Br));
+    }
+
+    uint64_t Mask = StepMag * Factor - 1;
+    Instruction RemI;
+    RemI.Op = Opcode::And;
+    RemI.Dst = F.newReg();
+    RemI.A = Span;
+    RemI.B = Operand::imm(static_cast<int64_t>(Mask));
+    Reg Rem = RemI.Dst;
+    Tail->append(std::move(RemI));
+
+    // mainLimit = limit -/+ rem: where the unrolled main loop stops.
+    Instruction LimI;
+    LimI.Op = Ascending ? Opcode::Sub : Opcode::Add;
+    LimI.Dst = MainLimit;
+    LimI.A = Bound.Limit;
+    LimI.B = Rem;
+    Tail->append(std::move(LimI));
+
+    // Skip the main loop entirely when fewer than `factor` iterations
+    // remain (mainLimit == iv).
+    Instruction Br;
+    Br.Op = Opcode::Br;
+    Br.CC = Bound.ContinueCond;
+    Br.A = Bound.IV;
+    Br.B = MainLimit;
+    Br.TrueTarget = Unrolled;
+    Br.FalseTarget = EpiGuard;
+    Tail->append(std::move(Br));
+  }
+
+  // --- Retarget the preheader ------------------------------------------
+  Instruction &PreTerm = Preheader->terminator();
+  if (PreTerm.TrueTarget == Body)
+    PreTerm.TrueTarget = Setup;
+  if (PreTerm.FalseTarget == Body)
+    PreTerm.FalseTarget = Setup;
+
+  verifyOrDie(F, "unroll");
+
+  Result.RolledBody = Body;
+  Result.UnrolledBody = Unrolled;
+  Result.RemainderBody = Epilogue;
+  Result.Setup = Setup;
+  Result.Guard = EpiGuard;
+  Result.Factor = Factor;
+  return UnrollFailure::None;
+}

@@ -1,0 +1,100 @@
+//===- transform/Unroll.h - Loop unrolling for coalescing --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// UnRollLoopIfProfitable from the paper's Fig. 2 (line 7). Unrolling
+/// exposes narrow, consecutive memory references that the coalescer merges
+/// into wide references.
+///
+/// Shape of the transformed code (the paper's Fig. 5 runs the loop body
+/// "n mod unrollfactor" times in a rolled copy; we place that copy as an
+/// epilogue so the unrolled main loop starts at the arrays' base addresses
+/// — the alignment phase the coalescer's `base & (wide-1)` checks test):
+///
+///   preheader ─► setup: rem = (limit-iv) & (factor*step-1)
+///                       mainLimit = limit -/+ rem
+///                  │ span not a multiple of step ─► original rolled loop
+///                  │ iv CC mainLimit ─► unrolled main loop ─► epi guard
+///                  │ else ───────────────────────────────────► epi guard
+///   epi guard: iv CC limit? ─► rolled epilogue ─► exit, else exit
+///
+/// The original rolled body is kept intact: the coalescer later uses it as
+/// the safe fallback of its run-time checks (at check time the induction
+/// variables still hold their initial values).
+///
+/// The unrolled body contains `factor` copies of the original body with
+/// induction-variable increments deleted, address displacements adjusted by
+/// the accumulated step, per-copy temporaries renamed (so the scheduler is
+/// not serialized by false dependences), and a single combined increment
+/// per induction variable at the end.
+///
+/// The i-cache heuristic: "if the original loop fits in the instruction
+/// cache, the unrolled loop must fit as well" (paper section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_UNROLL_H
+#define VPO_TRANSFORM_UNROLL_H
+
+#include "ir/Instruction.h"
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+class Loop;
+class LoopScalarInfo;
+class TargetMachine;
+
+/// Result of a successful unroll.
+struct UnrollResult {
+  BasicBlock *RolledBody = nullptr;   ///< the original loop (safe version)
+  BasicBlock *UnrolledBody = nullptr; ///< the new unrolled loop
+  BasicBlock *RemainderBody = nullptr;///< runs (trips mod factor) iterations
+  BasicBlock *Setup = nullptr;        ///< remainder-count computation
+  BasicBlock *Guard = nullptr;        ///< unrolled loop's preheader/guard
+  unsigned Factor = 1;
+};
+
+/// Reasons unrolling can be refused (reported for statistics/tests).
+enum class UnrollFailure {
+  None,
+  NotSingleBlock,
+  NoPreheader,
+  NoCanonicalBound,
+  UnsupportedBound,    ///< condition not a strict </> matching the IV step
+  IVUsedOutsideAddress,///< IV read by a non-address, non-increment use
+  ICacheLimit,
+  BadFactor,
+};
+
+/// \returns a printable name for an unroll failure.
+const char *unrollFailureName(UnrollFailure F);
+
+/// Checks whether \p L can be unrolled by \p Factor on \p TM.
+/// \p IgnoreICache disables the i-cache-fit requirement (used by the
+/// ablation that measures what the heuristic protects against).
+UnrollFailure canUnrollLoop(const Function &F, const Loop &L,
+                            const LoopScalarInfo &LSI, unsigned Factor,
+                            const TargetMachine &TM,
+                            bool IgnoreICache = false);
+
+/// Unrolls \p L by \p Factor. \p Result is filled on success.
+/// On failure the function is left unchanged.
+UnrollFailure unrollLoop(Function &F, const Loop &L,
+                         const LoopScalarInfo &LSI, unsigned Factor,
+                         const TargetMachine &TM, UnrollResult &Result,
+                         bool IgnoreICache = false);
+
+/// The paper's i-cache heuristic: the largest power-of-two factor (capped
+/// at \p MaxFactor) whose unrolled body still fits in the target's
+/// instruction cache; returns 1 if even factor 2 does not fit.
+unsigned chooseUnrollFactor(const Loop &L, const TargetMachine &TM,
+                            unsigned MaxFactor);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_UNROLL_H

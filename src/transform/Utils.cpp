@@ -1,0 +1,38 @@
+//===- transform/Utils.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Utils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+
+BasicBlock *vpo::cloneBlock(Function &F, const BasicBlock &Src,
+                            const std::string &Name) {
+  BasicBlock *Clone = F.addBlock(F.uniqueBlockName(Name));
+  for (Instruction I : Src.insts()) {
+    if (I.TrueTarget == &Src)
+      I.TrueTarget = Clone;
+    if (I.FalseTarget == &Src)
+      I.FalseTarget = Clone;
+    Clone->append(std::move(I));
+  }
+  return Clone;
+}
+
+void vpo::retargetBranches(Function &F, BasicBlock *From, BasicBlock *To,
+                           const BasicBlock *ExceptIn) {
+  for (const auto &BB : F.blocks()) {
+    if (BB.get() == ExceptIn)
+      continue;
+    for (Instruction &I : BB->insts()) {
+      if (I.TrueTarget == From)
+        I.TrueTarget = To;
+      if (I.FalseTarget == From)
+        I.FalseTarget = To;
+    }
+  }
+}

@@ -1,0 +1,31 @@
+//===- transform/Utils.h - Shared transformation utilities ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TRANSFORM_UTILS_H
+#define VPO_TRANSFORM_UTILS_H
+
+#include <string>
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+
+/// Clones \p Src into a new block of \p F named \p Name (uniqued).
+/// Branch targets pointing at \p Src itself (a self loop's back edge) are
+/// retargeted to the clone; all other targets are kept. This is the
+/// DoReplication step of the paper's Fig. 3.
+BasicBlock *cloneBlock(Function &F, const BasicBlock &Src,
+                       const std::string &Name);
+
+/// Retargets every branch in \p F that points at \p From to point at \p To,
+/// except branches inside blocks listed in \p ExceptIn.
+void retargetBranches(Function &F, BasicBlock *From, BasicBlock *To,
+                      const BasicBlock *ExceptIn = nullptr);
+
+} // namespace vpo
+
+#endif // VPO_TRANSFORM_UTILS_H

@@ -1,0 +1,165 @@
+//===- workloads/Convolution.cpp - 3x3 gradient edge conv ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Gradient directional edge convolution of a black-and-white image
+/// (Lindley's "Practical Image Processing in C", as in the paper's
+/// Table I): a 3x3 kernel over 8-bit pixels with 16-bit coefficients,
+/// scaled and clamped to 0..255. Row-major inner loop over columns; three
+/// row pointers plus an output pointer advance by one byte per iteration.
+///
+/// The nine coefficient loads are hoisted to the entry block (as vpo's
+/// loop-invariant code motion would do); the nine pixel loads per output
+/// remain in the loop and — after unrolling — form long consecutive runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+using namespace vpo::workloads_detail;
+
+namespace {
+
+// Gradient-direction (Sobel-like) kernel and post-sum scaling shift.
+const int16_t Coef[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+const int64_t ScaleShift = 2;
+
+class Convolution final : public Workload {
+public:
+  const char *name() const override { return "convolution"; }
+  const char *description() const override {
+    return "3x3 gradient directional edge convolution of a B/W image";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("convolution");
+    Reg Img = F->addParam();
+    Reg Out = F->addParam();
+    Reg CoefBase = F->addParam();
+    Reg W = F->addParam();
+    Reg H = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *OuterHead = F->addBlock("rows");
+    BasicBlock *Inner = F->addBlock("cols");
+    BasicBlock *OuterLatch = F->addBlock("rows.latch");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg C[9];
+    for (int I = 0; I < 9; ++I)
+      C[I] = B.load(Address(CoefBase, 2 * I), MemWidth::W2, /*Sign=*/true);
+    // Row pointers at (row, col=0) for rows 0..2; output row 1. The
+    // window is anchored at the output pixel, so every stream starts at a
+    // row base address.
+    Reg PT = B.add(Img, Operand::imm(0));
+    Reg PM = B.add(Img, W);
+    Reg W2 = B.shl(W, Operand::imm(1));
+    Reg PB = B.add(Img, W2);
+    Reg PO = B.add(Out, W);
+    Reg RowsLeft = B.sub(H, Operand::imm(2));
+    Reg InnerCount = B.sub(W, Operand::imm(2));
+    B.br(CondCode::LEs, RowsLeft, Operand::imm(0), Exit, OuterHead);
+
+    B.setInsertBlock(OuterHead);
+    Reg ColLimit = B.add(PM, InnerCount);
+    B.jmp(Inner);
+
+    B.setInsertBlock(Inner);
+    Reg Sum;
+    bool First = true;
+    // Tap order: row by row, left to right — consecutive addresses within
+    // each row pointer's partition. The window is anchored at the output
+    // pixel (taps at columns c..c+2), the usual correlation formulation.
+    Reg RowPtr[3] = {PT, PM, PB};
+    for (int R = 0; R < 3; ++R)
+      for (int T = 0; T < 3; ++T) {
+        Reg Pix = B.load(Address(RowPtr[R], T), MemWidth::W1,
+                         /*Sign=*/false);
+        Reg Prod = B.mul(Pix, C[R * 3 + T]);
+        Sum = First ? Prod : B.add(Sum, Prod);
+        First = false;
+      }
+    Reg Scaled = B.shrA(Sum, Operand::imm(ScaleShift));
+    Reg Neg = B.cmpSet(CondCode::LTs, Scaled, Operand::imm(0));
+    Reg Lo = B.select(Neg, Operand::imm(0), Scaled);
+    Reg Hi = B.cmpSet(CondCode::GTs, Lo, Operand::imm(255));
+    Reg Clamped = B.select(Hi, Operand::imm(255), Lo);
+    B.store(Address(PO, 0), Clamped, MemWidth::W1);
+    B.aluTo(PT, Opcode::Add, PT, Operand::imm(1));
+    B.aluTo(PM, Opcode::Add, PM, Operand::imm(1));
+    B.aluTo(PB, Opcode::Add, PB, Operand::imm(1));
+    B.aluTo(PO, Opcode::Add, PO, Operand::imm(1));
+    B.br(CondCode::LTu, PM, ColLimit, Inner, OuterLatch);
+
+    B.setInsertBlock(OuterLatch);
+    // The inner loop ends at column W-2; advance to column 0 of the next
+    // row.
+    B.aluTo(PT, Opcode::Add, PT, Operand::imm(2));
+    B.aluTo(PM, Opcode::Add, PM, Operand::imm(2));
+    B.aluTo(PB, Opcode::Add, PB, Operand::imm(2));
+    B.aluTo(PO, Opcode::Add, PO, Operand::imm(2));
+    B.aluTo(RowsLeft, Opcode::Sub, RowsLeft, Operand::imm(1));
+    B.br(CondCode::GTs, RowsLeft, Operand::imm(0), OuterHead, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    // Row stride padded to 8 bytes, standard bitmap layout practice (a
+    // 500-pixel row occupies 504 bytes). The kernel sees the stride as
+    // its width; the pad columns are processed like any others.
+    int64_t Stride = (O.Width + 7) & ~int64_t(7);
+    size_t Bytes = static_cast<size_t>(Stride) * O.Height;
+    uint64_t Img = allocArray(Mem, S, Bytes, O, 1);
+    uint64_t Out = O.OverlapMode == 1 ? Img + Bytes / 3
+                                      : allocArray(Mem, S, Bytes, O, 1);
+    uint64_t CoefA = allocArray(Mem, S, 18, O, 2);
+    fillBytes(Mem, Img, Bytes, R);
+    for (int I = 0; I < 9; ++I)
+      Mem.write(CoefA + 2 * I, 2, static_cast<uint64_t>(
+                                      static_cast<uint16_t>(Coef[I])));
+    S.Args = {static_cast<int64_t>(Img), static_cast<int64_t>(Out),
+              static_cast<int64_t>(CoefA), Stride, O.Height};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t Img = static_cast<uint64_t>(S.Args[0]);
+    uint64_t Out = static_cast<uint64_t>(S.Args[1]);
+    int64_t W = S.Args[3], H = O.Height;
+    for (int64_t R = 1; R < H - 1; ++R)
+      for (int64_t Cc = 0; Cc < W - 2; ++Cc) {
+        int64_t Sum = 0;
+        for (int DR = -1; DR <= 1; ++DR)
+          for (int DC = 0; DC <= 2; ++DC)
+            Sum += static_cast<int64_t>(
+                       rd8(Image, Img + (R + DR) * W + (Cc + DC))) *
+                   Coef[(DR + 1) * 3 + DC];
+        int64_t V = Sum >> ScaleShift;
+        if (V < 0)
+          V = 0;
+        if (V > 255)
+          V = 255;
+        wr8(Image, Out + R * W + Cc, static_cast<uint8_t>(V));
+      }
+    return 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> vpo::makeConvolution() {
+  return std::make_unique<Convolution>();
+}

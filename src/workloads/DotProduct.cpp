@@ -1,0 +1,93 @@
+//===- workloads/DotProduct.cpp - the paper's Fig. 1 kernel ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// int dotproduct(short a[], short b[], int n) {
+///   int c = 0;
+///   for (int i = 0; i < n; i++) c += a[i] * b[i];
+///   return c;
+/// }
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+using namespace vpo::workloads_detail;
+
+namespace {
+
+class DotProduct final : public Workload {
+public:
+  const char *name() const override { return "dotproduct"; }
+  const char *description() const override {
+    return "16-bit dot product (paper Figure 1)";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("dotproduct");
+    Reg PA = F->addParam(); // a
+    Reg PB = F->addParam(); // b
+    Reg N = F->addParam();  // n (elements)
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg Acc = B.mov(Operand::imm(0));
+    Reg NBytes = B.shl(N, Operand::imm(1));
+    Reg Limit = B.add(PA, NBytes);
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg Va = B.load(Address(PA, 0), MemWidth::W2, /*Sign=*/true);
+    Reg Vb = B.load(Address(PB, 0), MemWidth::W2, /*Sign=*/true);
+    Reg Prod = B.mul(Va, Vb);
+    B.addTo(Acc, Acc, Prod);
+    B.aluTo(PA, Opcode::Add, PA, Operand::imm(2));
+    B.aluTo(PB, Opcode::Add, PB, Operand::imm(2));
+    B.br(CondCode::LTu, PA, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Acc);
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t Bytes = static_cast<size_t>(O.N) * 2;
+    uint64_t A = allocArray(Mem, S, Bytes + Bytes, O, 2);
+    uint64_t B = O.OverlapMode == 1
+                     ? A + (static_cast<uint64_t>(O.N) / 2) * 2
+                     : allocArray(Mem, S, Bytes, O, 2);
+    fillShorts(Mem, A, static_cast<size_t>(O.N), R, -1000, 1000);
+    if (O.OverlapMode != 1)
+      fillShorts(Mem, B, static_cast<size_t>(O.N), R, -1000, 1000);
+    S.Args = {static_cast<int64_t>(A), static_cast<int64_t>(B), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t A = static_cast<uint64_t>(S.Args[0]);
+    uint64_t B = static_cast<uint64_t>(S.Args[1]);
+    int64_t Acc = 0;
+    for (int64_t I = 0; I < O.N; ++I)
+      Acc += static_cast<int64_t>(rd16s(Image, A + 2 * I)) *
+             static_cast<int64_t>(rd16s(Image, B + 2 * I));
+    return Acc;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> vpo::makeDotProduct() {
+  return std::make_unique<DotProduct>();
+}

@@ -1,0 +1,311 @@
+//===- workloads/ImageOps.cpp - image add/xor/translate/mirror -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The pixel-stream kernels of Table I, operating on synthetic
+/// deterministic "500 by 500 black and white frames":
+///
+///   image_add    c[i] = sat8(a[i] + b[i])
+///   image_add16  c[i] = a[i] + b[i]            (16-bit samples)
+///   image_xor    c[i] = a[i] ^ b[i]
+///   translate    dst[i] = src[i]               (move to a new position)
+///   mirror       b[n-1-i] = a[i]
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+using namespace vpo::workloads_detail;
+
+namespace {
+
+/// Common scaffolding for the a/b -> c streaming kernels.
+class BinaryPixelKernel : public Workload {
+public:
+  Function *build(Module &M) const override {
+    unsigned EB = elemBytes();
+    MemWidth W = widthFromBytes(EB);
+    Function *F = M.addFunction(name());
+    Reg PA = F->addParam();
+    Reg PB = F->addParam();
+    Reg PC = F->addParam();
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Operand NBytes = N;
+    if (EB > 1)
+      NBytes = B.shl(N, Operand::imm(EB == 2 ? 1 : 2));
+    Reg Limit = B.add(PA, NBytes);
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg Va = B.load(Address(PA, 0), W, /*Sign=*/false);
+    Reg Vb = B.load(Address(PB, 0), W, /*Sign=*/false);
+    Reg Out = emitCombine(B, Va, Vb);
+    B.store(Address(PC, 0), Out, W);
+    B.aluTo(PA, Opcode::Add, PA, Operand::imm(EB));
+    B.aluTo(PB, Opcode::Add, PB, Operand::imm(EB));
+    B.aluTo(PC, Opcode::Add, PC, Operand::imm(EB));
+    B.br(CondCode::LTu, PA, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    unsigned EB = elemBytes();
+    size_t Bytes = static_cast<size_t>(O.N) * EB;
+    uint64_t A = allocArray(Mem, S, Bytes, O, EB);
+    uint64_t B = allocArray(Mem, S, Bytes, O, EB);
+    // OverlapMode 1: the output overlaps input a (in-place-ish update) —
+    // the alias check must send execution to the safe loop.
+    uint64_t C = O.OverlapMode == 1
+                     ? A + (static_cast<uint64_t>(O.N) / 2) * EB
+                     : allocArray(Mem, S, Bytes, O, EB);
+    if (EB == 1) {
+      fillBytes(Mem, A, Bytes, R);
+      fillBytes(Mem, B, Bytes, R);
+    } else {
+      fillShorts(Mem, A, static_cast<size_t>(O.N), R, -5000, 5000);
+      fillShorts(Mem, B, static_cast<size_t>(O.N), R, -5000, 5000);
+    }
+    S.Args = {static_cast<int64_t>(A), static_cast<int64_t>(B),
+              static_cast<int64_t>(C), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t A = static_cast<uint64_t>(S.Args[0]);
+    uint64_t B = static_cast<uint64_t>(S.Args[1]);
+    uint64_t C = static_cast<uint64_t>(S.Args[2]);
+    unsigned EB = elemBytes();
+    for (int64_t I = 0; I < O.N; ++I) {
+      if (EB == 1) {
+        uint8_t V = goldenCombine8(rd8(Image, A + I), rd8(Image, B + I));
+        wr8(Image, C + I, V);
+      } else {
+        uint16_t V =
+            goldenCombine16(rd16(Image, A + 2 * I), rd16(Image, B + 2 * I));
+        wr16(Image, C + 2 * I, V);
+      }
+    }
+    return 0;
+  }
+
+protected:
+  virtual unsigned elemBytes() const { return 1; }
+  virtual Reg emitCombine(IRBuilder &B, Reg Va, Reg Vb) const = 0;
+  virtual uint8_t goldenCombine8(uint8_t A, uint8_t B) const {
+    (void)A;
+    (void)B;
+    return 0;
+  }
+  virtual uint16_t goldenCombine16(uint16_t A, uint16_t B) const {
+    (void)A;
+    (void)B;
+    return 0;
+  }
+};
+
+class ImageAdd final : public BinaryPixelKernel {
+public:
+  const char *name() const override { return "image_add"; }
+  const char *description() const override {
+    return "saturating 8-bit image addition of two frames";
+  }
+
+protected:
+  Reg emitCombine(IRBuilder &B, Reg Va, Reg Vb) const override {
+    Reg Sum = B.add(Va, Vb);
+    Reg Over = B.cmpSet(CondCode::GTu, Sum, Operand::imm(255));
+    return B.select(Over, Operand::imm(255), Sum);
+  }
+  uint8_t goldenCombine8(uint8_t A, uint8_t B) const override {
+    unsigned S = unsigned(A) + unsigned(B);
+    return static_cast<uint8_t>(S > 255 ? 255 : S);
+  }
+};
+
+class ImageAdd16 final : public BinaryPixelKernel {
+public:
+  const char *name() const override { return "image_add16"; }
+  const char *description() const override {
+    return "16-bit sample addition of two frames";
+  }
+
+protected:
+  unsigned elemBytes() const override { return 2; }
+  Reg emitCombine(IRBuilder &B, Reg Va, Reg Vb) const override {
+    return B.add(Va, Vb);
+  }
+  uint16_t goldenCombine16(uint16_t A, uint16_t B) const override {
+    return static_cast<uint16_t>(A + B);
+  }
+};
+
+class ImageXor final : public BinaryPixelKernel {
+public:
+  const char *name() const override { return "image_xor"; }
+  const char *description() const override {
+    return "8-bit exclusive-or of two frames";
+  }
+
+protected:
+  Reg emitCombine(IRBuilder &B, Reg Va, Reg Vb) const override {
+    return B.xor_(Va, Vb);
+  }
+  uint8_t goldenCombine8(uint8_t A, uint8_t B) const override {
+    return A ^ B;
+  }
+};
+
+/// dst[i] = src[i]; the "new position" shows up as a destination pointer
+/// with arbitrary alignment (and optionally overlapping the source).
+class Translate final : public Workload {
+public:
+  const char *name() const override { return "translate"; }
+  const char *description() const override {
+    return "move an 8-bit image to a new position";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("translate");
+    Reg Src = F->addParam();
+    Reg Dst = F->addParam();
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg Limit = B.add(Src, N);
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg V = B.load(Address(Src, 0), MemWidth::W1, /*Sign=*/false);
+    B.store(Address(Dst, 0), V, MemWidth::W1);
+    B.aluTo(Src, Opcode::Add, Src, Operand::imm(1));
+    B.aluTo(Dst, Opcode::Add, Dst, Operand::imm(1));
+    B.br(CondCode::LTu, Src, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t Bytes = static_cast<size_t>(O.N);
+    uint64_t Src = allocArray(Mem, S, Bytes + Bytes, O, 1);
+    // Translation offset: overlapping forward copy when requested, else a
+    // fresh region whose address honours the alignment options.
+    uint64_t Dst = O.OverlapMode == 1 ? Src + Bytes / 4
+                                      : allocArray(Mem, S, Bytes, O, 1);
+    fillBytes(Mem, Src, Bytes, R);
+    S.Args = {static_cast<int64_t>(Src), static_cast<int64_t>(Dst), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t Src = static_cast<uint64_t>(S.Args[0]);
+    uint64_t Dst = static_cast<uint64_t>(S.Args[1]);
+    for (int64_t I = 0; I < O.N; ++I)
+      wr8(Image, Dst + I, rd8(Image, Src + I));
+    return 0;
+  }
+};
+
+/// b[n-1-i] = a[i]: one ascending and one descending reference stream.
+class Mirror final : public Workload {
+public:
+  const char *name() const override { return "mirror"; }
+  const char *description() const override {
+    return "mirror image of an 8-bit frame";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("mirror");
+    Reg Src = F->addParam();
+    Reg DstBase = F->addParam();
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg Limit = B.add(Src, N);
+    Reg DstEnd = B.add(DstBase, N);
+    Reg Dst = B.sub(DstEnd, Operand::imm(1));
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg V = B.load(Address(Src, 0), MemWidth::W1, /*Sign=*/false);
+    B.store(Address(Dst, 0), V, MemWidth::W1);
+    B.aluTo(Src, Opcode::Add, Src, Operand::imm(1));
+    B.aluTo(Dst, Opcode::Sub, Dst, Operand::imm(1));
+    B.br(CondCode::LTu, Src, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t Bytes = static_cast<size_t>(O.N);
+    uint64_t Src = allocArray(Mem, S, Bytes + Bytes, O, 1);
+    uint64_t Dst = O.OverlapMode == 1 ? Src + Bytes / 2
+                                      : allocArray(Mem, S, Bytes, O, 1);
+    fillBytes(Mem, Src, Bytes, R);
+    S.Args = {static_cast<int64_t>(Src), static_cast<int64_t>(Dst), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t Src = static_cast<uint64_t>(S.Args[0]);
+    uint64_t Dst = static_cast<uint64_t>(S.Args[1]);
+    for (int64_t I = 0; I < O.N; ++I)
+      wr8(Image, Dst + (O.N - 1 - I), rd8(Image, Src + I));
+    return 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> vpo::makeImageAdd() {
+  return std::make_unique<ImageAdd>();
+}
+std::unique_ptr<Workload> vpo::makeImageAdd16() {
+  return std::make_unique<ImageAdd16>();
+}
+std::unique_ptr<Workload> vpo::makeImageXor() {
+  return std::make_unique<ImageXor>();
+}
+std::unique_ptr<Workload> vpo::makeTranslate() {
+  return std::make_unique<Translate>();
+}
+std::unique_ptr<Workload> vpo::makeMirror() {
+  return std::make_unique<Mirror>();
+}

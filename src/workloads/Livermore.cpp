@@ -1,0 +1,112 @@
+//===- workloads/Livermore.cpp - Livermore loop 5 (FP) ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The fifth Livermore loop — tri-diagonal elimination below the diagonal —
+/// quoted in the paper's related-work discussion:
+///
+///   for (i = 1; i < n; i++) x[i] = z[i] * (y[i] - x[i-1]);
+///
+/// Single precision. The x[i-1] recurrence makes the x stream
+/// uncoalescable (a load of the store run's span sits between the stores),
+/// while the y and z streams coalesce into 64-bit pair loads — the wide-bus
+/// floating-point case of the paper's earlier work [Alex93].
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+using namespace vpo::workloads_detail;
+
+namespace {
+
+class Livermore5 final : public Workload {
+public:
+  const char *name() const override { return "livermore5"; }
+  const char *description() const override {
+    return "Livermore loop 5: tri-diagonal elimination (f32 recurrence)";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("livermore5");
+    Reg X = F->addParam();
+    Reg Y = F->addParam();
+    Reg Z = F->addParam();
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg PX = B.add(X, Operand::imm(4));
+    Reg PY = B.add(Y, Operand::imm(4));
+    Reg PZ = B.add(Z, Operand::imm(4));
+    Reg NBytes = B.shl(N, Operand::imm(2));
+    Reg Limit = B.add(X, NBytes);
+    B.br(CondCode::LEs, N, Operand::imm(1), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg Xm = B.load(Address(PX, -4), MemWidth::W4, /*Sign=*/false,
+                    /*IsFloat=*/true);
+    Reg Yv = B.load(Address(PY, 0), MemWidth::W4, false, true);
+    Reg Zv = B.load(Address(PZ, 0), MemWidth::W4, false, true);
+    Reg D = B.fsub(Yv, Xm);
+    Reg P = B.fmul(Zv, D);
+    B.store(Address(PX, 0), P, MemWidth::W4, /*IsFloat=*/true);
+    B.aluTo(PX, Opcode::Add, PX, Operand::imm(4));
+    B.aluTo(PY, Opcode::Add, PY, Operand::imm(4));
+    B.aluTo(PZ, Opcode::Add, PZ, Operand::imm(4));
+    B.br(CondCode::LTu, PX, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t Bytes = static_cast<size_t>(O.N) * 4;
+    uint64_t X = allocArray(Mem, S, Bytes + Bytes, O, 4);
+    uint64_t Y = O.OverlapMode == 1
+                     ? X + (static_cast<uint64_t>(O.N) / 2) * 4
+                     : allocArray(Mem, S, Bytes, O, 4);
+    uint64_t Z = allocArray(Mem, S, Bytes, O, 4);
+    fillFloats(Mem, X, static_cast<size_t>(O.N), R);
+    if (O.OverlapMode != 1)
+      fillFloats(Mem, Y, static_cast<size_t>(O.N), R);
+    fillFloats(Mem, Z, static_cast<size_t>(O.N), R);
+    S.Args = {static_cast<int64_t>(X), static_cast<int64_t>(Y),
+              static_cast<int64_t>(Z), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t X = static_cast<uint64_t>(S.Args[0]);
+    uint64_t Y = static_cast<uint64_t>(S.Args[1]);
+    uint64_t Z = static_cast<uint64_t>(S.Args[2]);
+    for (int64_t I = 1; I < O.N; ++I) {
+      // Mirror the kernel exactly: operands widen to double, one rounding
+      // to float at the store.
+      double Xm = rdf32(Image, X + 4 * (I - 1));
+      double Yv = rdf32(Image, Y + 4 * I);
+      double Zv = rdf32(Image, Z + 4 * I);
+      wrf32(Image, X + 4 * I, static_cast<float>(Zv * (Yv - Xm)));
+    }
+    return 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> vpo::makeLivermore5() {
+  return std::make_unique<Livermore5>();
+}

@@ -1,0 +1,128 @@
+//===- workloads/Workload.h - Benchmark kernels ------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compute- and memory-intensive kernels of the paper's Table I
+/// (convolution, image add, image add 16-bit, image xor, translate,
+/// eqntott, mirror) plus the Figure 1 dot product and Livermore loop 5.
+///
+/// Each workload provides:
+///  * an RTL builder producing the kernel exactly as a C front end would
+///    (narrow loads/stores, pointer induction variables, bottom-test loop);
+///  * a setup routine that allocates and fills simulated memory, with
+///    controllable alignment skew and deliberate overlap so the run-time
+///    check paths can be exercised;
+///  * a *golden* scalar C++ implementation executed against a copy of the
+///    initial memory image. A kernel run is correct iff the final memory
+///    image and return value match the golden ones byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_WORKLOADS_WORKLOAD_H
+#define VPO_WORKLOADS_WORKLOAD_H
+
+#include "sim/Memory.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+class Module;
+
+/// Controls a workload instance's data layout.
+struct SetupOptions {
+  int64_t N = 4096;      ///< element count (1-D kernels)
+  int64_t Width = 64;    ///< image width (2-D kernels)
+  int64_t Height = 64;   ///< image height (2-D kernels)
+  size_t BaseAlign = 8;  ///< allocation alignment of every array
+  size_t Skew = 0;       ///< bytes added past the alignment (misalignment)
+  /// 0 = arrays disjoint; 1 = the kernel's first two arrays overlap
+  /// (forces the run-time alias check to take the safe path).
+  int OverlapMode = 0;
+  uint64_t Seed = 12345;
+};
+
+struct SetupResult {
+  std::vector<int64_t> Args;
+  /// [address, size] of each allocated array, for diagnostics.
+  std::vector<std::pair<uint64_t, size_t>> Regions;
+};
+
+/// Base class for all kernels.
+class Workload {
+public:
+  virtual ~Workload();
+
+  virtual const char *name() const = 0;
+  virtual const char *description() const = 0;
+
+  /// Builds the kernel into \p M and returns the function.
+  virtual Function *build(Module &M) const = 0;
+
+  /// Allocates and initializes the kernel's arrays in \p Mem.
+  virtual SetupResult setup(Memory &Mem, const SetupOptions &O) const = 0;
+
+  /// Reference implementation over a raw memory image (the bytes of a
+  /// Memory at setup time). \returns the expected kernel return value and
+  /// mutates \p Image exactly as a correct kernel run would.
+  virtual int64_t golden(uint8_t *Image, const SetupOptions &O,
+                         const SetupResult &S) const = 0;
+};
+
+// Factories (one per Table I row + the paper's running examples).
+std::unique_ptr<Workload> makeDotProduct();
+std::unique_ptr<Workload> makeImageAdd();
+std::unique_ptr<Workload> makeImageAdd16();
+std::unique_ptr<Workload> makeImageXor();
+std::unique_ptr<Workload> makeTranslate();
+std::unique_ptr<Workload> makeEqntott();
+std::unique_ptr<Workload> makeMirror();
+std::unique_ptr<Workload> makeConvolution();
+std::unique_ptr<Workload> makeLivermore5();
+
+/// All workloads in Table I order (plus dotproduct and livermore5 at the
+/// end).
+std::vector<std::unique_ptr<Workload>> allWorkloads();
+
+/// \returns the workload named \p Name, or nullptr.
+std::unique_ptr<Workload> makeWorkloadByName(const std::string &Name);
+
+// --- Little-endian accessors over a raw image (golden helpers) ----------
+
+inline uint8_t rd8(const uint8_t *M, uint64_t A) { return M[A]; }
+inline void wr8(uint8_t *M, uint64_t A, uint8_t V) { M[A] = V; }
+
+inline uint16_t rd16(const uint8_t *M, uint64_t A) {
+  return static_cast<uint16_t>(M[A] | (M[A + 1] << 8));
+}
+inline int16_t rd16s(const uint8_t *M, uint64_t A) {
+  return static_cast<int16_t>(rd16(M, A));
+}
+inline void wr16(uint8_t *M, uint64_t A, uint16_t V) {
+  M[A] = static_cast<uint8_t>(V);
+  M[A + 1] = static_cast<uint8_t>(V >> 8);
+}
+
+inline uint32_t rd32(const uint8_t *M, uint64_t A) {
+  return static_cast<uint32_t>(M[A]) | (static_cast<uint32_t>(M[A + 1]) << 8) |
+         (static_cast<uint32_t>(M[A + 2]) << 16) |
+         (static_cast<uint32_t>(M[A + 3]) << 24);
+}
+inline void wr32(uint8_t *M, uint64_t A, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    M[A + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+float rdf32(const uint8_t *M, uint64_t A);
+void wrf32(uint8_t *M, uint64_t A, float V);
+
+} // namespace vpo
+
+#endif // VPO_WORKLOADS_WORKLOAD_H

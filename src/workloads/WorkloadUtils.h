@@ -1,0 +1,51 @@
+//===- workloads/WorkloadUtils.h - shared setup helpers ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project (internal header).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_WORKLOADS_WORKLOADUTILS_H
+#define VPO_WORKLOADS_WORKLOADUTILS_H
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+#include "workloads/Workload.h"
+
+namespace vpo {
+namespace workloads_detail {
+
+/// Allocates an array honouring the workload's alignment/skew options; the
+/// skew is rounded down to a multiple of \p ElemBytes so narrow references
+/// stay naturally aligned (as any C allocation would guarantee).
+inline uint64_t allocArray(Memory &Mem, SetupResult &S, size_t Bytes,
+                           const SetupOptions &O, size_t ElemBytes) {
+  size_t Skew = O.Skew - (O.Skew % ElemBytes);
+  uint64_t Addr = Mem.allocate(Bytes, O.BaseAlign, Skew);
+  S.Regions.push_back({Addr, Bytes});
+  return Addr;
+}
+
+inline void fillBytes(Memory &Mem, uint64_t Addr, size_t N, RNG &R) {
+  for (size_t I = 0; I < N; ++I)
+    Mem.write(Addr + I, 1, R.next() & 0xff);
+}
+
+inline void fillShorts(Memory &Mem, uint64_t Addr, size_t N, RNG &R,
+                       int64_t Lo, int64_t Hi) {
+  for (size_t I = 0; I < N; ++I)
+    Mem.write(Addr + 2 * I, 2,
+              static_cast<uint64_t>(R.nextInRange(Lo, Hi)));
+}
+
+inline void fillFloats(Memory &Mem, uint64_t Addr, size_t N, RNG &R) {
+  for (size_t I = 0; I < N; ++I) {
+    float V = static_cast<float>(R.nextInRange(-1000, 1000)) / 64.0f;
+    uint8_t *P = Mem.data();
+    wrf32(P, Addr + 4 * I, V);
+  }
+}
+
+} // namespace workloads_detail
+} // namespace vpo
+
+#endif // VPO_WORKLOADS_WORKLOADUTILS_H

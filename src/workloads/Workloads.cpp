@@ -1,0 +1,42 @@
+//===- workloads/Workloads.cpp - registry and shared helpers ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <bit>
+
+using namespace vpo;
+
+Workload::~Workload() = default;
+
+float vpo::rdf32(const uint8_t *M, uint64_t A) {
+  return std::bit_cast<float>(rd32(M, A));
+}
+
+void vpo::wrf32(uint8_t *M, uint64_t A, float V) {
+  wr32(M, A, std::bit_cast<uint32_t>(V));
+}
+
+std::vector<std::unique_ptr<Workload>> vpo::allWorkloads() {
+  std::vector<std::unique_ptr<Workload>> W;
+  W.push_back(makeConvolution());
+  W.push_back(makeImageAdd());
+  W.push_back(makeImageAdd16());
+  W.push_back(makeImageXor());
+  W.push_back(makeTranslate());
+  W.push_back(makeEqntott());
+  W.push_back(makeMirror());
+  W.push_back(makeDotProduct());
+  W.push_back(makeLivermore5());
+  return W;
+}
+
+std::unique_ptr<Workload> vpo::makeWorkloadByName(const std::string &Name) {
+  for (auto &W : allWorkloads())
+    if (Name == W->name())
+      return std::move(W);
+  return nullptr;
+}

@@ -1,0 +1,108 @@
+//===- tests/TestHelpers.h - shared test utilities ---------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential harness every integration test builds on: run a
+/// workload kernel through a pipeline configuration on a target, simulate
+/// it, and require that the final memory image and return value match the
+/// golden scalar implementation byte-for-byte. This is the paper's safety
+/// property ("the transformation can be done without changing the
+/// semantics of the program") made executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TESTS_TESTHELPERS_H
+#define VPO_TESTS_TESTHELPERS_H
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstring>
+#include <string>
+
+namespace vpo {
+namespace test {
+
+struct DifferentialResult {
+  RunResult Run;
+  CompileReport Report;
+  bool Match = false;
+  std::string Why;
+};
+
+/// Extra knobs layered on the workload setup.
+struct DifferentialKnobs {
+  /// Declare every pointer parameter NoAlias (static alias analysis
+  /// succeeds; no run-time overlap checks needed).
+  bool DeclareNoAlias = false;
+  /// Declare this alignment on every pointer parameter (0 = leave unknown).
+  uint64_t DeclareAlign = 0;
+};
+
+inline DifferentialResult
+runDifferential(const Workload &W, const TargetMachine &TM,
+                const CompileOptions &CO, const SetupOptions &SO,
+                const DifferentialKnobs &Knobs = DifferentialKnobs()) {
+  DifferentialResult DR;
+
+  Module M;
+  Function *F = W.build(M);
+
+  if (Knobs.DeclareNoAlias || Knobs.DeclareAlign) {
+    for (size_t P = 0; P < F->params().size(); ++P) {
+      // Pointer parameters are those used as address bases; declaring the
+      // scalar count too is harmless.
+      if (Knobs.DeclareNoAlias)
+        F->paramInfo(P).NoAlias = true;
+      if (Knobs.DeclareAlign)
+        F->paramInfo(P).KnownAlign = Knobs.DeclareAlign;
+    }
+  }
+
+  Memory Mem;
+  SetupResult S = W.setup(Mem, SO);
+
+  // Golden image: a snapshot of memory before the run.
+  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+  int64_t ExpectedRet = W.golden(Golden.data(), SO, S);
+
+  DR.Report = compileFunction(*F, TM, CO);
+
+  Interpreter Interp(TM, Mem);
+  DR.Run = Interp.run(*F, S.Args);
+  if (!DR.Run.ok()) {
+    DR.Why = std::string("run failed: ") + runStatusName(DR.Run.Exit) +
+             ": " + DR.Run.Error + "\n" + printFunction(*F);
+    return DR;
+  }
+
+  if (DR.Run.ReturnValue != ExpectedRet) {
+    DR.Why = "return value " + std::to_string(DR.Run.ReturnValue) +
+             " != expected " + std::to_string(ExpectedRet);
+    return DR;
+  }
+  if (std::memcmp(Mem.data(), Golden.data(), Mem.size()) != 0) {
+    // Find the first differing byte for the diagnostic.
+    size_t At = 0;
+    while (At < Mem.size() && Mem.data()[At] == Golden[At])
+      ++At;
+    DR.Why = "memory image differs at address " + std::to_string(At) +
+             " (got " + std::to_string(Mem.data()[At]) + ", expected " +
+             std::to_string(Golden[At]) + ")";
+    return DR;
+  }
+  DR.Match = true;
+  return DR;
+}
+
+} // namespace test
+} // namespace vpo
+
+#endif // VPO_TESTS_TESTHELPERS_H

@@ -1,0 +1,146 @@
+//===- tests/analysis/base_origin_test.cpp ---------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BaseOrigin.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+TEST(BaseOrigin, ParamItself) {
+  Parsed P("func @f(r1) {\ne:\n  ret r1\n}\n");
+  BaseOrigin O = traceBaseOrigin(*P.F, Reg(1));
+  ASSERT_TRUE(O.traced());
+  EXPECT_EQ(O.Param, Reg(1));
+  EXPECT_TRUE(O.ExactOffset);
+  EXPECT_EQ(O.Offset, 0);
+}
+
+TEST(BaseOrigin, ImmediateChain) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 16\n"
+           "  r3 = sub r2, 4\n"
+           "  r4 = mov r3\n"
+           "  ret r4\n"
+           "}\n");
+  BaseOrigin O = traceBaseOrigin(*P.F, Reg(4));
+  ASSERT_TRUE(O.traced());
+  EXPECT_EQ(O.Param, Reg(1));
+  EXPECT_TRUE(O.ExactOffset);
+  EXPECT_EQ(O.Offset, 12);
+}
+
+TEST(BaseOrigin, AlignmentThroughOffset) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 4\n"
+           "  r3 = add r1, 16\n"
+           "  ret r2\n"
+           "}\n");
+  P.F->paramInfo(0).KnownAlign = 16;
+  EXPECT_EQ(baseKnownAlignment(*P.F, Reg(1)), 16u);
+  EXPECT_EQ(baseKnownAlignment(*P.F, Reg(2)), 4u) << "16-aligned + 4";
+  EXPECT_EQ(baseKnownAlignment(*P.F, Reg(3)), 16u) << "16-aligned + 16";
+}
+
+TEST(BaseOrigin, NoAliasThroughDerivation) {
+  Parsed P("func @f(r1, r2) {\n"
+           "e:\n"
+           "  r3 = add r1, 100\n"
+           "  ret r3\n"
+           "}\n");
+  EXPECT_FALSE(baseIsNoAlias(*P.F, Reg(3)));
+  P.F->paramInfo(0).NoAlias = true;
+  EXPECT_TRUE(baseIsNoAlias(*P.F, Reg(3)));
+  EXPECT_FALSE(baseIsNoAlias(*P.F, Reg(2)));
+}
+
+TEST(BaseOrigin, RegisterPlusRegisterNeedsDistinguishedSide) {
+  Parsed P("func @f(r1, r2) {\n"
+           "e:\n"
+           "  r3 = add r1, r2\n"
+           "  ret r3\n"
+           "}\n");
+  // Neither side declared: ambiguous.
+  EXPECT_FALSE(traceBaseOrigin(*P.F, Reg(3)).traced());
+  // Declaring r1 as the pointer resolves it, with an inexact offset.
+  P.F->paramInfo(0).NoAlias = true;
+  BaseOrigin O = traceBaseOrigin(*P.F, Reg(3));
+  ASSERT_TRUE(O.traced());
+  EXPECT_EQ(O.Param, Reg(1));
+  EXPECT_FALSE(O.ExactOffset);
+  EXPECT_TRUE(baseIsNoAlias(*P.F, Reg(3)));
+  EXPECT_EQ(baseKnownAlignment(*P.F, Reg(3)), 1u)
+      << "inexact offsets prove nothing about alignment";
+  // Declaring both sides makes it ambiguous again.
+  P.F->paramInfo(1).NoAlias = true;
+  EXPECT_FALSE(traceBaseOrigin(*P.F, Reg(3)).traced());
+}
+
+TEST(BaseOrigin, InductionVariableSelfUpdatesIgnored) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = add r1, 8\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i8.u [r3]\n"
+           "  r3 = add r3, 1\n"
+           "  br.ltu r3, r2, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  BaseOrigin O = traceBaseOrigin(*P.F, Reg(3));
+  ASSERT_TRUE(O.traced());
+  EXPECT_EQ(O.Param, Reg(1));
+  EXPECT_TRUE(O.ExactOffset) << "the *initial* value is r1+8";
+  EXPECT_EQ(O.Offset, 8);
+}
+
+TEST(BaseOrigin, TwoInitializersAmbiguous) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  br.lts r1, 0, a, b\n"
+           "a:\n"
+           "  r3 = mov r1\n"
+           "  jmp join\n"
+           "b:\n"
+           "  r3 = mov r2\n"
+           "  jmp join\n"
+           "join:\n"
+           "  ret r3\n"
+           "}\n");
+  EXPECT_FALSE(traceBaseOrigin(*P.F, Reg(3)).traced());
+}
+
+TEST(BaseOrigin, LoadBreaksChain) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i64.u [r1]\n"
+           "  r3 = add r2, 8\n"
+           "  ret r3\n"
+           "}\n");
+  EXPECT_FALSE(traceBaseOrigin(*P.F, Reg(3)).traced());
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===- tests/analysis/cfg_test.cpp - CFG/dominators/loops ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vpo;
+
+namespace {
+
+/// Parses one function and keeps the module alive.
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+const char *DiamondText = "func @f(r1) {\n"
+                          "entry:\n"
+                          "  br.lts r1, 0, left, right\n"
+                          "left:\n"
+                          "  jmp join\n"
+                          "right:\n"
+                          "  jmp join\n"
+                          "join:\n"
+                          "  ret r1\n"
+                          "}\n";
+
+const char *LoopText = "func @f(r1, r2) {\n"
+                       "entry:\n"
+                       "  br.les r2, 0, exit, body\n"
+                       "body:\n"
+                       "  r1 = add r1, 1\n"
+                       "  br.ltu r1, r2, body, exit\n"
+                       "exit:\n"
+                       "  ret r1\n"
+                       "}\n";
+
+const char *NestedText = "func @f(r1, r2) {\n"
+                         "entry:\n"
+                         "  jmp outer\n"
+                         "outer:\n"
+                         "  jmp inner\n"
+                         "inner:\n"
+                         "  r1 = add r1, 1\n"
+                         "  br.ltu r1, r2, inner, latch\n"
+                         "latch:\n"
+                         "  r2 = add r2, 1\n"
+                         "  br.ltu r2, 100, outer, exit\n"
+                         "exit:\n"
+                         "  ret r1\n"
+                         "}\n";
+
+TEST(CFG, DiamondPredecessors) {
+  Parsed P(DiamondText);
+  CFG G(*P.F);
+  BasicBlock *Join = P.F->findBlock("join");
+  auto Preds = G.predecessors(Join);
+  EXPECT_EQ(Preds.size(), 2u);
+  EXPECT_TRUE(G.predecessors(P.F->findBlock("entry")).empty());
+}
+
+TEST(CFG, ReversePostOrderStartsAtEntry) {
+  Parsed P(DiamondText);
+  CFG G(*P.F);
+  ASSERT_FALSE(G.reversePostOrder().empty());
+  EXPECT_EQ(G.reversePostOrder().front(), P.F->entry());
+  // Join must come after both left and right.
+  auto &RPO = G.reversePostOrder();
+  auto Pos = [&RPO](BasicBlock *BB) {
+    return std::find(RPO.begin(), RPO.end(), BB) - RPO.begin();
+  };
+  EXPECT_GT(Pos(P.F->findBlock("join")), Pos(P.F->findBlock("left")));
+  EXPECT_GT(Pos(P.F->findBlock("join")), Pos(P.F->findBlock("right")));
+}
+
+TEST(CFG, UnreachableBlockDetected) {
+  Parsed P("func @f(r1) {\n"
+           "entry:\n"
+           "  ret r1\n"
+           "island:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  EXPECT_FALSE(G.isUnreachable(P.F->findBlock("entry")));
+  EXPECT_TRUE(G.isUnreachable(P.F->findBlock("island")));
+  // Unreachable blocks still appear in the RPO tail.
+  EXPECT_EQ(G.reversePostOrder().size(), 2u);
+}
+
+TEST(Dominators, Diamond) {
+  Parsed P(DiamondText);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  BasicBlock *Entry = P.F->findBlock("entry");
+  BasicBlock *Left = P.F->findBlock("left");
+  BasicBlock *Right = P.F->findBlock("right");
+  BasicBlock *Join = P.F->findBlock("join");
+
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(Left), Entry);
+  EXPECT_EQ(DT.idom(Right), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry) << "neither branch arm dominates join";
+
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_FALSE(DT.dominates(Join, Entry));
+}
+
+TEST(Dominators, LoopBody) {
+  Parsed P(LoopText);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  BasicBlock *Body = P.F->findBlock("body");
+  BasicBlock *Exit = P.F->findBlock("exit");
+  EXPECT_TRUE(DT.dominates(P.F->entry(), Body));
+  EXPECT_FALSE(DT.dominates(Body, Exit)) << "exit is reachable from entry";
+  EXPECT_TRUE(DT.dominates(Body, Body));
+}
+
+TEST(Dominators, UnreachableDominatesNothing) {
+  Parsed P("func @f(r1) {\n"
+           "entry:\n"
+           "  ret r1\n"
+           "island:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  BasicBlock *Island = P.F->findBlock("island");
+  EXPECT_FALSE(DT.dominates(Island, P.F->entry()));
+  EXPECT_FALSE(DT.dominates(P.F->entry(), Island));
+}
+
+TEST(LoopInfo, SimpleLoop) {
+  Parsed P(LoopText);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = *LI.loops().front();
+  BasicBlock *Body = P.F->findBlock("body");
+  EXPECT_EQ(L.header(), Body);
+  EXPECT_EQ(L.singleBodyBlock(), Body);
+  EXPECT_TRUE(L.isInnermost());
+  EXPECT_EQ(L.preheader(G), P.F->findBlock("entry"));
+  auto Exits = L.exitBlocks(G);
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0], P.F->findBlock("exit"));
+  EXPECT_EQ(LI.loopFor(Body), &L);
+  EXPECT_EQ(LI.loopFor(P.F->entry()), nullptr);
+}
+
+TEST(LoopInfo, NestedLoops) {
+  Parsed P(NestedText);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  // Innermost-first ordering.
+  const Loop &Inner = *LI.loops()[0];
+  const Loop &Outer = *LI.loops()[1];
+  EXPECT_EQ(Inner.header(), P.F->findBlock("inner"));
+  EXPECT_EQ(Outer.header(), P.F->findBlock("outer"));
+  EXPECT_TRUE(Inner.isInnermost());
+  EXPECT_FALSE(Outer.isInnermost());
+  EXPECT_EQ(Inner.parent(), &Outer);
+  EXPECT_EQ(Outer.parent(), nullptr);
+  EXPECT_TRUE(Outer.contains(P.F->findBlock("inner")));
+  EXPECT_FALSE(Inner.contains(P.F->findBlock("latch")));
+  // loopFor returns the innermost containing loop.
+  EXPECT_EQ(LI.loopFor(P.F->findBlock("inner")), &Inner);
+  EXPECT_EQ(LI.loopFor(P.F->findBlock("latch")), &Outer);
+  // The inner loop is multi-entry-free but not single-block from the
+  // outer loop's perspective.
+  EXPECT_EQ(Outer.singleBodyBlock(), nullptr);
+}
+
+TEST(LoopInfo, NoPreheaderWhenTwoOutsideEdges) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  br.lts r1, 0, pre1, pre2\n"
+           "pre1:\n"
+           "  jmp body\n"
+           "pre2:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops().front()->preheader(G), nullptr);
+}
+
+TEST(LoopInfo, MultiBlockLoopBody) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  br.lts r1, 100, then, latch\n"
+           "then:\n"
+           "  r1 = add r1, 2\n"
+           "  jmp latch\n"
+           "latch:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = *LI.loops().front();
+  EXPECT_EQ(L.blocks().size(), 3u);
+  EXPECT_EQ(L.singleBodyBlock(), nullptr);
+  ASSERT_EQ(L.latches().size(), 1u);
+  EXPECT_EQ(L.latches()[0], P.F->findBlock("latch"));
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- tests/analysis/dataflow_test.cpp - liveness/IV/partitions -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+/// A canonical counted loop: two IV pointers, one accumulator.
+const char *DotLoop = "func @f(r1, r2, r3) {\n"
+                      "entry:\n"
+                      "  r4 = mov 0\n"
+                      "  r5 = shl r3, 1\n"
+                      "  r6 = add r1, r5\n"
+                      "  br.les r3, 0, exit, body\n"
+                      "body:\n"
+                      "  r7 = load.i16.s [r1]\n"
+                      "  r8 = load.i16.s [r2+4]\n"
+                      "  r9 = mul r7, r8\n"
+                      "  r4 = add r4, r9\n"
+                      "  r1 = add r1, 2\n"
+                      "  r2 = add r2, 2\n"
+                      "  br.ltu r1, r6, body, exit\n"
+                      "exit:\n"
+                      "  ret r4\n"
+                      "}\n";
+
+TEST(Liveness, AccumulatorLiveAroundLoop) {
+  Parsed P(DotLoop);
+  CFG G(*P.F);
+  Liveness LV(G);
+  BasicBlock *Body = P.F->findBlock("body");
+  BasicBlock *Exit = P.F->findBlock("exit");
+  // r4 (accumulator) is live into the body, out of it, and into the exit.
+  EXPECT_TRUE(LV.liveIn(Body, Reg(4)));
+  EXPECT_TRUE(LV.liveOut(Body, Reg(4)));
+  EXPECT_TRUE(LV.liveIn(Exit, Reg(4)));
+  // r7 (a loaded temp) is not live into the body.
+  EXPECT_FALSE(LV.liveIn(Body, Reg(7)));
+  EXPECT_FALSE(LV.liveIn(Exit, Reg(7)));
+  // The limit r6 is live throughout the loop.
+  EXPECT_TRUE(LV.liveIn(Body, Reg(6)));
+  // r5 is consumed in the entry block only.
+  EXPECT_FALSE(LV.liveIn(Body, Reg(5)));
+}
+
+TEST(Liveness, LiveAfterWithinBlock) {
+  Parsed P(DotLoop);
+  CFG G(*P.F);
+  Liveness LV(G);
+  BasicBlock *Body = P.F->findBlock("body");
+  // After instruction 0 (load r7), r7 is live (used by the mul at 2).
+  EXPECT_TRUE(LV.liveAfter(Body, 0, Reg(7)));
+  // After the mul (index 2), r7 is dead.
+  EXPECT_FALSE(LV.liveAfter(Body, 2, Reg(7)));
+  // r9 dead after the accumulate at index 3.
+  EXPECT_TRUE(LV.liveAfter(Body, 2, Reg(9)));
+  EXPECT_FALSE(LV.liveAfter(Body, 3, Reg(9)));
+}
+
+TEST(InductionVars, BasicDetection) {
+  Parsed P(DotLoop);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  LoopScalarInfo LSI(*LI.loops().front(), *P.F);
+
+  ASSERT_EQ(LSI.inductionVars().size(), 2u);
+  const InductionVar *IV1 = LSI.ivFor(Reg(1));
+  const InductionVar *IV2 = LSI.ivFor(Reg(2));
+  ASSERT_NE(IV1, nullptr);
+  ASSERT_NE(IV2, nullptr);
+  EXPECT_EQ(IV1->StepPerIteration, 2);
+  EXPECT_EQ(IV2->StepPerIteration, 2);
+  EXPECT_EQ(IV1->IncIdxs.size(), 1u);
+
+  // r4 is redefined by a non-constant add (r4 = r4 + r9): not an IV.
+  EXPECT_EQ(LSI.ivFor(Reg(4)), nullptr);
+  EXPECT_EQ(LSI.defCount(Reg(4)), 1u);
+  EXPECT_FALSE(LSI.isInvariant(Reg(4)));
+  EXPECT_TRUE(LSI.isInvariant(Reg(6)));
+  EXPECT_TRUE(LSI.isInvariant(Operand::imm(3)));
+}
+
+TEST(InductionVars, BoundDetection) {
+  Parsed P(DotLoop);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  LoopScalarInfo LSI(*LI.loops().front(), *P.F);
+  ASSERT_TRUE(LSI.bound().has_value());
+  EXPECT_EQ(LSI.bound()->IV, Reg(1));
+  EXPECT_EQ(LSI.bound()->ContinueCond, CondCode::LTu);
+  ASSERT_TRUE(LSI.bound()->Limit.isReg());
+  EXPECT_EQ(LSI.bound()->Limit.reg(), Reg(6));
+}
+
+TEST(InductionVars, SwappedBoundOperands) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 4\n"
+           "  br.gtu r2, r1, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  LoopScalarInfo LSI(*LI.loops().front(), *P.F);
+  // `limit > iv` normalizes to `iv < limit`.
+  ASSERT_TRUE(LSI.bound().has_value());
+  EXPECT_EQ(LSI.bound()->IV, Reg(1));
+  EXPECT_EQ(LSI.bound()->ContinueCond, CondCode::LTu);
+}
+
+TEST(InductionVars, DescendingIV) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = sub r1, 1\n"
+           "  br.gtu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  LoopScalarInfo LSI(*LI.loops().front(), *P.F);
+  const InductionVar *IV = LSI.ivFor(Reg(1));
+  ASSERT_NE(IV, nullptr);
+  EXPECT_EQ(IV->StepPerIteration, -1);
+  ASSERT_TRUE(LSI.bound().has_value());
+  EXPECT_EQ(LSI.bound()->ContinueCond, CondCode::GTu);
+}
+
+TEST(InductionVars, MultipleIncrementsSum) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 2\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = add r1, 2\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  LoopScalarInfo LSI(*LI.loops().front(), *P.F);
+  const InductionVar *IV = LSI.ivFor(Reg(1));
+  ASSERT_NE(IV, nullptr);
+  EXPECT_EQ(IV->StepPerIteration, 4);
+  EXPECT_EQ(IV->IncIdxs.size(), 2u);
+}
+
+TEST(InductionVars, AccumulatedSteps) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = add r1, 1\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  auto Acc = accumulatedIVSteps(*L.singleBodyBlock(), LSI);
+  EXPECT_TRUE(Acc[0].empty());
+  EXPECT_EQ(Acc[2][1], 1); // second load sees +1
+  EXPECT_EQ(Acc[4][1], 2); // terminator sees +2
+  EXPECT_FALSE(isIVIncrement(LSI, *L.singleBodyBlock(), 0));
+  EXPECT_TRUE(isIVIncrement(LSI, *L.singleBodyBlock(), 1));
+  EXPECT_TRUE(isIVIncrement(LSI, *L.singleBodyBlock(), 3));
+}
+
+TEST(MemoryPartitions, BasicClassification) {
+  Parsed P(DotLoop);
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  ASSERT_TRUE(MP.allClassified());
+  ASSERT_EQ(MP.partitions().size(), 2u);
+  const Partition *P1 = MP.partitionForBase(Reg(1));
+  const Partition *P2 = MP.partitionForBase(Reg(2));
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_TRUE(P1->BaseIsIV);
+  EXPECT_EQ(P1->Step, 2);
+  ASSERT_EQ(P1->Refs.size(), 1u);
+  EXPECT_EQ(P1->Refs[0].Offset, 0);
+  EXPECT_EQ(P2->Refs[0].Offset, 4);
+  EXPECT_TRUE(P1->Refs[0].IsLoad);
+  EXPECT_EQ(P1->Refs[0].W, MemWidth::W2);
+  EXPECT_TRUE(P1->Refs[0].SignExtend);
+  EXPECT_EQ(MP.partitionIdFor(0), 0);
+  EXPECT_EQ(MP.partitionIdFor(1), 1);
+  EXPECT_EQ(MP.partitionIdFor(2), -1) << "mul is not a memory reference";
+}
+
+TEST(MemoryPartitions, OffsetsAccountForMidBlockIncrements) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = add r1, 1\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  ASSERT_TRUE(MP.allClassified());
+  const Partition *Part = MP.partitionForBase(Reg(1));
+  ASSERT_NE(Part, nullptr);
+  ASSERT_EQ(Part->Refs.size(), 2u);
+  // Both loads have displacement 0, but the second executes after an
+  // increment: offsets relative to iteration start are 0 and 1.
+  EXPECT_EQ(Part->Refs[0].Offset, 0);
+  EXPECT_EQ(Part->Refs[1].Offset, 1);
+}
+
+TEST(MemoryPartitions, UnclassifiableBase) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = mul r1, 2\n"
+           "  r4 = load.i8.u [r3]\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  // r3 is redefined each iteration by a non-increment: no constant offset.
+  EXPECT_FALSE(MP.allClassified());
+}
+
+TEST(MemoryPartitions, InvariantBasePartition) {
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i16.s [r3+6]\n"
+           "  store.i16 [r1], r4\n"
+           "  r1 = add r1, 2\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  ASSERT_TRUE(MP.allClassified());
+  const Partition *Inv = MP.partitionForBase(Reg(3));
+  ASSERT_NE(Inv, nullptr);
+  EXPECT_FALSE(Inv->BaseIsIV);
+  EXPECT_EQ(Inv->Step, 0);
+  EXPECT_EQ(Inv->Refs[0].Offset, 6);
+  const Partition *St = MP.partitionForBase(Reg(1));
+  ASSERT_NE(St, nullptr);
+  EXPECT_TRUE(St->Refs[0].IsStore);
+}
+
+TEST(MemoryPartitions, MultiBlockLoopRefused) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  br.lts r3, 0, skip, latch\n"
+           "skip:\n"
+           "  jmp latch\n"
+           "latch:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  EXPECT_FALSE(MP.allClassified());
+}
+
+} // namespace

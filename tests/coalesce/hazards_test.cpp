@@ -1,0 +1,254 @@
+//===- tests/coalesce/hazards_test.cpp - Fig. 4 safety analysis -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "coalesce/Hazards.h"
+#include "coalesce/Runs.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct HazardFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<CFG> G;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  Loop *L = nullptr;
+  std::unique_ptr<LoopScalarInfo> LSI;
+  std::unique_ptr<MemoryPartitions> MP;
+  std::vector<CoalesceRun> Runs;
+
+  explicit HazardFixture(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    F = M->functions().front().get();
+    G = std::make_unique<CFG>(*F);
+    DT = std::make_unique<DominatorTree>(*G);
+    LI = std::make_unique<LoopInfo>(*G, *DT);
+    L = LI->loops().front().get();
+    LSI = std::make_unique<LoopScalarInfo>(*L, *F);
+    MP = std::make_unique<MemoryPartitions>(*L, *LSI);
+    Runs = findCoalesceRuns(*MP, makeAlphaTarget(), true, true, 0);
+  }
+
+  HazardResult analyze(const CoalesceRun &R) {
+    return analyzeRunHazards(R, *MP, *L->singleBodyBlock(), *F);
+  }
+
+  const CoalesceRun *runFor(bool IsLoad, Reg Base) {
+    for (const CoalesceRun &R : Runs)
+      if (R.IsLoad == IsLoad &&
+          MP->partitions()[R.PartitionIdx].Base == Base)
+        return &R;
+    return nullptr;
+  }
+};
+
+TEST(Hazards, CleanLoadRunIsSafe) {
+  HazardFixture Fx("func @f(r1, r2) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  r5 = load.i8.u [r1+1]\n"
+                   "  r6 = add r4, r5\n"
+                   "  r1 = add r1, 2\n"
+                   "  br.ltu r1, r2, body, exit\n"
+                   "exit:\n"
+                   "  ret r6\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_TRUE(H.AliasPairs.empty());
+}
+
+TEST(Hazards, SamePartitionOverlappingStoreBetweenLoads) {
+  // A store to the run's own span between the first and last member load.
+  HazardFixture Fx("func @f(r1, r2) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  store.i8 [r1+1], r4\n"
+                   "  r5 = load.i8.u [r1+1]\n"
+                   "  r6 = add r4, r5\n"
+                   "  r1 = add r1, 2\n"
+                   "  br.ltu r1, r2, body, exit\n"
+                   "exit:\n"
+                   "  ret r6\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(Fx.analyze(*R).Safe)
+      << "wide load would read before the store writes";
+}
+
+TEST(Hazards, SamePartitionDisjointStoreIsFine) {
+  // The intervening store writes outside the run's span (offset +9).
+  HazardFixture Fx("func @f(r1, r2) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  store.i8 [r1+9], r4\n"
+                   "  r5 = load.i8.u [r1+1]\n"
+                   "  r6 = add r4, r5\n"
+                   "  r1 = add r1, 2\n"
+                   "  br.ltu r1, r2, body, exit\n"
+                   "exit:\n"
+                   "  ret r6\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_TRUE(H.AliasPairs.empty()) << "same partition: offsets decide";
+}
+
+TEST(Hazards, CrossPartitionStoreRequestsAliasCheck) {
+  HazardFixture Fx("func @f(r1, r2, r3) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  store.i8 [r2], r4\n"
+                   "  r5 = load.i8.u [r1+1]\n"
+                   "  r6 = add r4, r5\n"
+                   "  r1 = add r1, 2\n"
+                   "  r2 = add r2, 2\n"
+                   "  br.ltu r1, r3, body, exit\n"
+                   "exit:\n"
+                   "  ret r6\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_EQ(H.AliasPairs.size(), 1u)
+      << "the r1/r2 pair needs a run-time overlap check";
+}
+
+TEST(Hazards, NoAliasParamSuppressesCheck) {
+  HazardFixture Fx("func @f(r1, r2, r3) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  store.i8 [r2], r4\n"
+                   "  r5 = load.i8.u [r1+1]\n"
+                   "  r6 = add r4, r5\n"
+                   "  r1 = add r1, 2\n"
+                   "  r2 = add r2, 2\n"
+                   "  br.ltu r1, r3, body, exit\n"
+                   "exit:\n"
+                   "  ret r6\n"
+                   "}\n");
+  Fx.F->paramInfo(1).NoAlias = true; // r2 is restrict
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_TRUE(H.AliasPairs.empty());
+}
+
+TEST(Hazards, StoreRunWithInterveningOverlappingLoad) {
+  // The paper's recurrence case: a load of the store run's span sits
+  // between the member stores (x[i-1] between stores of x[i], x[i+1]).
+  HazardFixture Fx("func @f(r1, r2) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  store.i8 [r1], r2\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  store.i8 [r1+1], r4\n"
+                   "  r1 = add r1, 2\n"
+                   "  br.ltu r1, r2, body, exit\n"
+                   "exit:\n"
+                   "  ret 0\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(false, Reg(1));
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(Fx.analyze(*R).Safe)
+      << "the deferred wide store would starve the load";
+}
+
+TEST(Hazards, StoreRunWithLoadBeforeFirstMemberIsSafe) {
+  HazardFixture Fx("func @f(r1, r2) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n" // before both stores
+                   "  store.i8 [r1], r4\n"
+                   "  store.i8 [r1+1], r4\n"
+                   "  r1 = add r1, 2\n"
+                   "  br.ltu r1, r2, body, exit\n"
+                   "exit:\n"
+                   "  ret 0\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(false, Reg(1));
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(Fx.analyze(*R).Safe)
+      << "loads before the first member are unaffected by deferral";
+}
+
+TEST(Hazards, CrossPartitionLoadInStoreRunWindow) {
+  HazardFixture Fx("func @f(r1, r2, r3) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  store.i8 [r1], r3\n"
+                   "  r4 = load.i8.u [r2]\n" // other partition, in window
+                   "  store.i8 [r1+1], r4\n"
+                   "  r1 = add r1, 2\n"
+                   "  r2 = add r2, 2\n"
+                   "  br.ltu r1, r3, body, exit\n"
+                   "exit:\n"
+                   "  ret 0\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(false, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_EQ(H.AliasPairs.size(), 1u);
+}
+
+TEST(Hazards, LoadRunIgnoresOtherLoadsInWindow) {
+  HazardFixture Fx("func @f(r1, r2, r3) {\n"
+                   "entry:\n"
+                   "  jmp body\n"
+                   "body:\n"
+                   "  r4 = load.i8.u [r1]\n"
+                   "  r5 = load.i8.u [r2]\n" // load between members: fine
+                   "  r6 = load.i8.u [r1+1]\n"
+                   "  r7 = add r4, r6\n"
+                   "  r1 = add r1, 2\n"
+                   "  r2 = add r2, 1\n"
+                   "  br.ltu r1, r3, body, exit\n"
+                   "exit:\n"
+                   "  ret r7\n"
+                   "}\n");
+  const CoalesceRun *R = Fx.runFor(true, Reg(1));
+  ASSERT_NE(R, nullptr);
+  HazardResult H = Fx.analyze(*R);
+  EXPECT_TRUE(H.Safe);
+  EXPECT_TRUE(H.AliasPairs.empty()) << "load-load never conflicts";
+}
+
+} // namespace

@@ -1,0 +1,294 @@
+//===- tests/coalesce/runs_test.cpp - run detection + alignment -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "coalesce/Runs.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// Parses a single-loop function and computes the coalescing analyses.
+struct RunsFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<CFG> G;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  Loop *L = nullptr;
+  std::unique_ptr<LoopScalarInfo> LSI;
+  std::unique_ptr<MemoryPartitions> MP;
+
+  explicit RunsFixture(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    F = M->functions().front().get();
+    G = std::make_unique<CFG>(*F);
+    DT = std::make_unique<DominatorTree>(*G);
+    LI = std::make_unique<LoopInfo>(*G, *DT);
+    EXPECT_FALSE(LI->loops().empty());
+    L = LI->loops().front().get();
+    LSI = std::make_unique<LoopScalarInfo>(*L, *F);
+    MP = std::make_unique<MemoryPartitions>(*L, *LSI);
+  }
+
+  std::vector<CoalesceRun> find(const TargetMachine &TM, bool Loads = true,
+                                bool Stores = true, unsigned MaxWide = 0) {
+    return findCoalesceRuns(*MP, TM, Loads, Stores, MaxWide);
+  }
+};
+
+/// A loop body with 4 consecutive shortword loads from r1 (an unrolled
+/// dot-product-like stream) and 4 consecutive byte stores to r2.
+const char *FourWide = "func @f(r1, r2, r3) {\n"
+                       "entry:\n"
+                       "  jmp body\n"
+                       "body:\n"
+                       "  r4 = load.i16.s [r1]\n"
+                       "  r5 = load.i16.s [r1+2]\n"
+                       "  r6 = load.i16.s [r1+4]\n"
+                       "  r7 = load.i16.s [r1+6]\n"
+                       "  store.i8 [r2], r4\n"
+                       "  store.i8 [r2+1], r5\n"
+                       "  store.i8 [r2+2], r6\n"
+                       "  store.i8 [r2+3], r7\n"
+                       "  r1 = add r1, 8\n"
+                       "  r2 = add r2, 4\n"
+                       "  br.ltu r1, r3, body, exit\n"
+                       "exit:\n"
+                       "  ret 0\n"
+                       "}\n";
+
+TEST(RunFinder, FindsLoadAndStoreRuns) {
+  RunsFixture Fx(FourWide);
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 2u);
+  const CoalesceRun &LoadRun = Runs[0].IsLoad ? Runs[0] : Runs[1];
+  const CoalesceRun &StoreRun = Runs[0].IsLoad ? Runs[1] : Runs[0];
+  EXPECT_TRUE(LoadRun.IsLoad);
+  EXPECT_EQ(LoadRun.NarrowW, MemWidth::W2);
+  EXPECT_EQ(LoadRun.WideBytes, 8u);
+  EXPECT_EQ(LoadRun.StartOff, 0);
+  EXPECT_EQ(LoadRun.Members.size(), 4u);
+  EXPECT_FALSE(StoreRun.IsLoad);
+  EXPECT_EQ(StoreRun.WideBytes, 4u);
+  EXPECT_EQ(StoreRun.Members.size(), 4u);
+}
+
+TEST(RunFinder, RespectsLoadsStoresFlags) {
+  RunsFixture Fx(FourWide);
+  TargetMachine TM = makeAlphaTarget();
+  auto LoadsOnly = Fx.find(TM, true, false);
+  ASSERT_EQ(LoadsOnly.size(), 1u);
+  EXPECT_TRUE(LoadsOnly[0].IsLoad);
+  auto StoresOnly = Fx.find(TM, false, true);
+  ASSERT_EQ(StoresOnly.size(), 1u);
+  EXPECT_FALSE(StoresOnly[0].IsLoad);
+}
+
+TEST(RunFinder, MaxWideCap) {
+  RunsFixture Fx(FourWide);
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM, true, false, /*MaxWide=*/4);
+  // 4 shorts split into two 2-short (4-byte) runs.
+  ASSERT_EQ(Runs.size(), 2u);
+  EXPECT_EQ(Runs[0].WideBytes, 4u);
+  EXPECT_EQ(Runs[0].StartOff, 0);
+  EXPECT_EQ(Runs[1].StartOff, 4);
+}
+
+TEST(RunFinder, TargetBusWidthCaps) {
+  RunsFixture Fx(FourWide);
+  TargetMachine TM = makeM68030Target(); // 4-byte bus
+  auto Runs = Fx.find(TM, true, false);
+  ASSERT_EQ(Runs.size(), 2u);
+  EXPECT_EQ(Runs[0].WideBytes, 4u);
+}
+
+TEST(RunFinder, GapsBreakRuns) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i8.u [r1]\n"
+                 "  r5 = load.i8.u [r1+1]\n"
+                 "  r6 = load.i8.u [r1+3]\n" // gap at +2
+                 "  r7 = load.i8.u [r1+4]\n"
+                 "  r1 = add r1, 8\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 2u);
+  EXPECT_EQ(Runs[0].Members.size(), 2u);
+  EXPECT_EQ(Runs[0].StartOff, 0);
+  EXPECT_EQ(Runs[1].StartOff, 3);
+}
+
+TEST(RunFinder, MixedWidthsNeverMix) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i8.u [r1]\n"
+                 "  r5 = load.i16.u [r1+2]\n"
+                 "  r6 = load.i8.u [r1+1]\n"
+                 "  r1 = add r1, 4\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  // Bytes at 0,1 form a run; the lone short at 2 cannot join.
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_EQ(Runs[0].NarrowW, MemWidth::W1);
+  EXPECT_EQ(Runs[0].Members.size(), 2u);
+}
+
+TEST(RunFinder, DuplicateOffsetsJoinOneRun) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i8.u [r1]\n"
+                 "  r5 = load.i8.u [r1]\n" // same location again
+                 "  r6 = load.i8.u [r1+1]\n"
+                 "  r1 = add r1, 2\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_EQ(Runs[0].Members.size(), 3u);
+  EXPECT_EQ(Runs[0].WideBytes, 2u);
+}
+
+TEST(RunFinder, SingleRefNoRun) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i8.u [r1]\n"
+                 "  r1 = add r1, 1\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_TRUE(Fx.find(TM).empty());
+}
+
+TEST(RunFinder, F64NeverCoalesces) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.f64 [r1]\n"
+                 "  r5 = load.f64 [r1+8]\n"
+                 "  r1 = add r1, 16\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_TRUE(Fx.find(TM).empty()) << "nothing wider than the bus exists";
+}
+
+TEST(RunFinder, F32PairsCoalesce) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.f32 [r1]\n"
+                 "  r5 = load.f32 [r1+4]\n"
+                 "  r1 = add r1, 8\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_TRUE(Runs[0].IsFloat);
+  EXPECT_EQ(Runs[0].WideBytes, 8u);
+}
+
+TEST(RunAlignment, ParamAlignmentProvesAligned) {
+  RunsFixture Fx(FourWide);
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  // Unknown parameter alignment: checks needed.
+  analyzeRunAlignment(Runs, *Fx.MP, *Fx.F);
+  for (const CoalesceRun &R : Runs)
+    EXPECT_TRUE(R.NeedsAlignCheck);
+  // Declare 8-byte alignment on both pointers: no checks needed.
+  Fx.F->paramInfo(0).KnownAlign = 8;
+  Fx.F->paramInfo(1).KnownAlign = 8;
+  analyzeRunAlignment(Runs, *Fx.MP, *Fx.F);
+  for (const CoalesceRun &R : Runs)
+    EXPECT_FALSE(R.NeedsAlignCheck) << (R.IsLoad ? "load" : "store");
+}
+
+TEST(RunAlignment, OffsetMustBeMultipleOfWide) {
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i8.u [r1+1]\n"
+                 "  r5 = load.i8.u [r1+2]\n"
+                 "  r1 = add r1, 2\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 1u);
+  Fx.F->paramInfo(0).KnownAlign = 8;
+  analyzeRunAlignment(Runs, *Fx.MP, *Fx.F);
+  // Start offset 1 with wide 2: misaligned even with an aligned base.
+  EXPECT_TRUE(Runs[0].NeedsAlignCheck);
+}
+
+TEST(RunAlignment, PhaseAlternatingStepNotCheckable) {
+  // Step 2 with a 4-byte-wide run: alignment alternates per iteration.
+  RunsFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = load.i16.u [r1]\n"
+                 "  r5 = load.i16.u [r1+2]\n"
+                 "  r1 = add r1, 2\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  auto Runs = Fx.find(TM);
+  ASSERT_EQ(Runs.size(), 1u);
+  Fx.F->paramInfo(0).KnownAlign = 8;
+  analyzeRunAlignment(Runs, *Fx.MP, *Fx.F);
+  EXPECT_TRUE(Runs[0].NeedsAlignCheck);
+  EXPECT_FALSE(Runs[0].CheckableAlignment);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/coalesce/runtime_checks_test.cpp ------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the check-block builder: the emitted RTL is executed
+/// directly with controlled register values, and the branch decision is
+/// compared against the mathematical overlap/alignment predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/RuntimeChecks.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// Harness: wraps a check plan in a function returning 1 when the checks
+/// pass (fast path) and 0 when any fails (safe path). Params feed the
+/// registers referenced by the plan.
+struct CheckHarness {
+  Module M;
+  Function *F;
+  std::vector<Reg> Params;
+  unsigned InstrCount = 0;
+
+  explicit CheckHarness(size_t NumParams) {
+    F = M.addFunction("checks");
+    for (size_t I = 0; I < NumParams; ++I)
+      Params.push_back(F->addParam());
+  }
+
+  void finish(const CheckPlan &Plan) {
+    IRBuilder B(F);
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Safe = F->addBlock("safe");
+    BasicBlock *Fast = F->addBlock("fast");
+    B.setInsertBlock(Safe);
+    B.ret(Operand::imm(0));
+    B.setInsertBlock(Fast);
+    B.ret(Operand::imm(1));
+    BasicBlock *Checks = buildRuntimeChecks(*F, Plan, Safe, Fast,
+                                            InstrCount);
+    B.setInsertBlock(Entry);
+    B.jmp(Checks);
+  }
+
+  int64_t run(std::vector<int64_t> Args) {
+    TargetMachine TM = makeAlphaTarget();
+    Memory Mem;
+    Interpreter Interp(TM, Mem);
+    RunResult R = Interp.run(*F, Args);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    return R.ReturnValue;
+  }
+};
+
+TEST(RuntimeChecks, AlignmentCheckSemantics) {
+  CheckHarness H(1);
+  CheckPlan Plan;
+  Plan.AlignChecks.push_back({H.Params[0], /*StartOff=*/0,
+                              /*WideBytes=*/8});
+  H.finish(Plan);
+  EXPECT_EQ(H.run({4096}), 1) << "aligned base passes";
+  EXPECT_EQ(H.run({4097}), 0);
+  EXPECT_EQ(H.run({4100}), 0);
+  EXPECT_EQ(H.run({4104}), 1);
+}
+
+TEST(RuntimeChecks, AlignmentCheckWithOffset) {
+  CheckHarness H(1);
+  CheckPlan Plan;
+  Plan.AlignChecks.push_back({H.Params[0], /*StartOff=*/-1,
+                              /*WideBytes=*/8});
+  H.finish(Plan);
+  EXPECT_EQ(H.run({4097}), 1) << "base-1 is 8-aligned";
+  EXPECT_EQ(H.run({4096}), 0);
+}
+
+TEST(RuntimeChecks, MultipleAlignmentChecksAllMustPass) {
+  CheckHarness H(2);
+  CheckPlan Plan;
+  Plan.AlignChecks.push_back({H.Params[0], 0, 8});
+  Plan.AlignChecks.push_back({H.Params[1], 0, 4});
+  H.finish(Plan);
+  EXPECT_EQ(H.run({4096, 4096}), 1);
+  EXPECT_EQ(H.run({4096, 4098}), 0);
+  EXPECT_EQ(H.run({4098, 4096}), 0);
+}
+
+TEST(RuntimeChecks, OverlapCheckAscending) {
+  // Streams A and B, both ascending byte streams of one byte per
+  // iteration; bound IV is A's pointer, limit = A + n.
+  CheckHarness H(3); // baseA, baseB, limit
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  CheckPlan::Extent A{H.Params[0], 1, 0, 1};
+  CheckPlan::Extent B{H.Params[1], 1, 0, 1};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  // A covers [4096, 4196); B at 5000: disjoint.
+  EXPECT_EQ(H.run({4096, 5000, 4196}), 1);
+  // B inside A's range: overlap.
+  EXPECT_EQ(H.run({4096, 4150, 4196}), 0);
+  // B starting exactly at A's end: disjoint.
+  EXPECT_EQ(H.run({4096, 4196, 4196}), 1);
+  // B just below A, extending into it: overlap.
+  EXPECT_EQ(H.run({4096, 4095, 4196}), 0);
+  // B ending exactly at A's start: disjoint (B covers [4000+..,4096)).
+  EXPECT_EQ(H.run({4196, 4096, 4296}), 1)
+      << "B's 100 bytes [4096,4196) end exactly where A begins";
+}
+
+TEST(RuntimeChecks, OverlapCheckScalesSteps) {
+  // A steps 2 bytes per iteration, B steps 8: B's extent is 4x A's span.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 2;
+  CheckPlan::Extent A{H.Params[0], 2, 0, 2};
+  CheckPlan::Extent B{H.Params[1], 8, 0, 8};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  // 50 iterations: A covers [4096,4196), B covers [b, b+400).
+  EXPECT_EQ(H.run({4096, 4200, 4196}), 1) << "B above A";
+  EXPECT_EQ(H.run({4096, 3696 + 8, 4196}), 0)
+      << "B's 400-byte range reaches into A";
+  EXPECT_EQ(H.run({4096, 3696, 4196}), 1)
+      << "B [3696,4096) ends exactly at A's start";
+}
+
+TEST(RuntimeChecks, OverlapCheckDescendingStream) {
+  // B descends: its extent lies *below* its starting pointer.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  CheckPlan::Extent A{H.Params[0], 1, 0, 1};
+  CheckPlan::Extent B{H.Params[1], -1, 0, 1};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  // 100 iterations. A: [4096,4196). B starts at 5000 descending:
+  // [4901, 5001) — disjoint.
+  EXPECT_EQ(H.run({4096, 5000, 4196}), 1);
+  // B starts at 4250 descending: [4151, 4251) — overlaps A.
+  EXPECT_EQ(H.run({4096, 4250, 4196}), 0);
+  // B starts at 4095 descending: [3996, 4096) — touches nothing of A.
+  EXPECT_EQ(H.run({4096, 4095, 4196}), 1);
+}
+
+TEST(RuntimeChecks, InvariantBaseExtent) {
+  // A scalar table of 16 bytes at a fixed base.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  CheckPlan::Extent A{H.Params[0], 1, 0, 1};
+  CheckPlan::Extent T{H.Params[1], 0, 0, 16};
+  Plan.OverlapChecks.push_back({A, T});
+  H.finish(Plan);
+  EXPECT_EQ(H.run({4096, 4200, 4196}), 1);
+  EXPECT_EQ(H.run({4096, 4190, 4196}), 0) << "table tail inside A";
+  EXPECT_EQ(H.run({4096, 4080, 4196}), 1) << "[4080,4096) just below A";
+}
+
+TEST(RuntimeChecks, EmptyPlanAlwaysFast) {
+  CheckHarness H(1);
+  CheckPlan Plan;
+  H.finish(Plan);
+  EXPECT_EQ(H.run({12345}), 1);
+  EXPECT_LE(H.InstrCount, 2u);
+}
+
+TEST(RuntimeChecks, InstructionCountWithinPaperBudget) {
+  // One alignment + one overlap pair: the paper's "10 to 15 instructions"
+  // ballpark.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  Plan.AlignChecks.push_back({H.Params[0], 0, 8});
+  CheckPlan::Extent A{H.Params[0], 1, 0, 1};
+  CheckPlan::Extent B{H.Params[1], 1, 0, 1};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  EXPECT_GE(H.InstrCount, 8u);
+  EXPECT_LE(H.InstrCount, 16u);
+}
+
+} // namespace

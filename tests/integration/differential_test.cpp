@@ -1,0 +1,150 @@
+//===- tests/integration/differential_test.cpp -----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central safety suite: every workload, on every target, under every
+/// pipeline configuration, across alignment skews, overlap modes, and trip
+/// counts (including counts not divisible by the unroll factor), must
+/// produce a memory image and return value identical to the golden scalar
+/// implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+using namespace vpo::test;
+
+namespace {
+
+struct DiffCase {
+  std::string WorkloadName;
+  std::string TargetName;
+  CoalesceMode Mode;
+  bool Unroll;
+  bool Schedule;
+};
+
+std::string caseName(const testing::TestParamInfo<DiffCase> &Info) {
+  const DiffCase &C = Info.param;
+  std::string ModeName = C.Mode == CoalesceMode::None
+                             ? "none"
+                             : (C.Mode == CoalesceMode::Loads ? "loads"
+                                                              : "all");
+  return C.WorkloadName + "_" + C.TargetName + "_" + ModeName +
+         (C.Unroll ? "_unroll" : "_rolled") + (C.Schedule ? "_sched" : "");
+}
+
+class DifferentialTest : public testing::TestWithParam<DiffCase> {
+protected:
+  CompileOptions options() const {
+    CompileOptions CO;
+    CO.Mode = GetParam().Mode;
+    CO.Unroll = GetParam().Unroll;
+    CO.Schedule = GetParam().Schedule;
+    return CO;
+  }
+
+  void expectMatch(const SetupOptions &SO,
+                   const DifferentialKnobs &Knobs = DifferentialKnobs()) {
+    auto W = makeWorkloadByName(GetParam().WorkloadName);
+    ASSERT_NE(W, nullptr);
+    TargetMachine TM = makeTargetByName(GetParam().TargetName);
+    DifferentialResult DR = runDifferential(*W, TM, options(), SO, Knobs);
+    EXPECT_TRUE(DR.Match) << DR.Why;
+  }
+};
+
+TEST_P(DifferentialTest, AlignedDivisibleTrips) {
+  SetupOptions SO;
+  SO.N = 256;
+  SO.Width = 20;
+  SO.Height = 12;
+  expectMatch(SO);
+}
+
+TEST_P(DifferentialTest, NonDivisibleTrips) {
+  SetupOptions SO;
+  SO.N = 251; // prime: never divisible by the unroll factor
+  SO.Width = 19;
+  SO.Height = 11;
+  expectMatch(SO);
+}
+
+TEST_P(DifferentialTest, TinyTrips) {
+  for (int64_t N : {0, 1, 2, 3, 7}) {
+    SetupOptions SO;
+    SO.N = N;
+    SO.Width = 5;
+    SO.Height = 4;
+    expectMatch(SO);
+  }
+}
+
+TEST_P(DifferentialTest, MisalignedArrays) {
+  for (size_t Skew : {1u, 2u, 4u, 6u}) {
+    SetupOptions SO;
+    SO.N = 128;
+    SO.Width = 12;
+    SO.Height = 9;
+    SO.BaseAlign = 8;
+    SO.Skew = Skew;
+    expectMatch(SO);
+  }
+}
+
+TEST_P(DifferentialTest, OverlappingArrays) {
+  SetupOptions SO;
+  SO.N = 192;
+  SO.Width = 16;
+  SO.Height = 10;
+  SO.OverlapMode = 1;
+  expectMatch(SO);
+}
+
+TEST_P(DifferentialTest, StaticNoAliasAndAlignment) {
+  SetupOptions SO;
+  SO.N = 256;
+  SO.Width = 20;
+  SO.Height = 12;
+  SO.BaseAlign = 16;
+  DifferentialKnobs Knobs;
+  Knobs.DeclareNoAlias = true;
+  Knobs.DeclareAlign = 16;
+  expectMatch(SO, Knobs);
+}
+
+std::vector<DiffCase> allCases() {
+  std::vector<DiffCase> Cases;
+  const char *Workloads[] = {"convolution", "image_add", "image_add16",
+                             "image_xor",   "translate", "eqntott",
+                             "mirror",      "dotproduct", "livermore5"};
+  const char *Targets[] = {"alpha", "m88100", "m68030"};
+  struct ModeCfg {
+    CoalesceMode Mode;
+    bool Unroll;
+    bool Schedule;
+  } Modes[] = {
+      {CoalesceMode::None, false, false}, // frontend + legalize only
+      {CoalesceMode::None, true, false},  // cc -O model
+      {CoalesceMode::None, true, true},   // vpo -O
+      {CoalesceMode::Loads, true, true},
+      {CoalesceMode::LoadsAndStores, true, true},
+      {CoalesceMode::LoadsAndStores, false, true}, // coalesce w/o unroll
+  };
+  for (const char *W : Workloads)
+    for (const char *T : Targets)
+      for (const ModeCfg &M : Modes)
+        Cases.push_back(DiffCase{W, T, M.Mode, M.Unroll, M.Schedule});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, DifferentialTest,
+                         testing::ValuesIn(allCases()), caseName);
+
+} // namespace

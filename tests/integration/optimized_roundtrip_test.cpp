@@ -1,0 +1,98 @@
+//===- tests/integration/optimized_roundtrip_test.cpp ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Round-trips fully *optimized* functions through the textual format:
+/// the printer/parser must faithfully carry every construct the
+/// transformations emit (extqhi, float-lane extract/insert, wide
+/// references, check blocks, epilogue loops), and the reparsed function
+/// must simulate identically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct RoundTripCase {
+  std::string WorkloadName;
+  std::string TargetName;
+};
+
+class OptimizedRoundTripTest
+    : public testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(OptimizedRoundTripTest, PrintParseSimulate) {
+  auto W = makeWorkloadByName(GetParam().WorkloadName);
+  ASSERT_NE(W, nullptr);
+  TargetMachine TM = makeTargetByName(GetParam().TargetName);
+
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+
+  // Textual fixed point.
+  std::string First = printFunction(*F);
+  std::string Err;
+  auto Reparsed = parseModule(First, &Err);
+  ASSERT_NE(Reparsed, nullptr) << Err;
+  Function *F2 = Reparsed->functions().front().get();
+  EXPECT_EQ(printFunction(*F2), First);
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(verifyFunction(*F2, Problems))
+      << (Problems.empty() ? "" : Problems.front());
+
+  // Identical simulation results over identical memory.
+  SetupOptions SO;
+  SO.N = 320;
+  SO.Width = 24;
+  SO.Height = 10;
+  Memory M1, M2;
+  SetupResult S1 = W->setup(M1, SO);
+  SetupResult S2 = W->setup(M2, SO);
+  Interpreter I1(TM, M1), I2(TM, M2);
+  RunResult R1 = I1.run(*F, S1.Args);
+  RunResult R2 = I2.run(*F2, S2.Args);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_EQ(R1.ReturnValue, R2.ReturnValue);
+  EXPECT_EQ(R1.Instructions, R2.Instructions);
+  EXPECT_EQ(R1.Cycles, R2.Cycles);
+  EXPECT_EQ(std::memcmp(M1.data(), M2.data(), M1.size()), 0);
+}
+
+std::vector<RoundTripCase> allCases() {
+  std::vector<RoundTripCase> Cases;
+  for (auto &W : allWorkloads())
+    for (const char *T : {"alpha", "m88100", "m68030"})
+      Cases.push_back({W->name(), T});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, OptimizedRoundTripTest,
+                         testing::ValuesIn(allCases()),
+                         [](const auto &Info) {
+                           return Info.param.WorkloadName + "_" +
+                                  Info.param.TargetName;
+                         });
+
+} // namespace

@@ -1,0 +1,282 @@
+//===- tests/ir/ir_test.cpp - IR data structure tests ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+TEST(Reg, Validity) {
+  Reg Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  Reg R(3);
+  EXPECT_TRUE(R.isValid());
+  EXPECT_EQ(R, Reg(3));
+  EXPECT_NE(R, Reg(4));
+}
+
+TEST(Operand, Kinds) {
+  Operand None;
+  EXPECT_TRUE(None.isNone());
+  Operand R = Reg(5);
+  EXPECT_TRUE(R.isReg());
+  EXPECT_EQ(R.reg().Id, 5u);
+  Operand I = Operand::imm(-7);
+  EXPECT_TRUE(I.isImm());
+  EXPECT_EQ(I.imm(), -7);
+  EXPECT_EQ(I, Operand::imm(-7));
+  EXPECT_FALSE(I == R);
+  EXPECT_FALSE(I == None);
+}
+
+TEST(Width, Conversions) {
+  EXPECT_EQ(widthBytes(MemWidth::W1), 1u);
+  EXPECT_EQ(widthBytes(MemWidth::W8), 8u);
+  EXPECT_EQ(widthBits(MemWidth::W2), 16u);
+  EXPECT_EQ(widthFromBytes(4), MemWidth::W4);
+  EXPECT_TRUE(isValidWidthBytes(2));
+  EXPECT_FALSE(isValidWidthBytes(3));
+  EXPECT_FALSE(isValidWidthBytes(16));
+}
+
+TEST(CondCode, InvertIsInvolution) {
+  for (int C = 0; C <= static_cast<int>(CondCode::GEu); ++C) {
+    CondCode CC = static_cast<CondCode>(C);
+    EXPECT_EQ(invertCond(invertCond(CC)), CC);
+  }
+}
+
+TEST(CondCode, SwapIsInvolution) {
+  for (int C = 0; C <= static_cast<int>(CondCode::GEu); ++C) {
+    CondCode CC = static_cast<CondCode>(C);
+    EXPECT_EQ(swapCond(swapCond(CC)), CC);
+  }
+}
+
+TEST(CondCode, SwapSpecifics) {
+  EXPECT_EQ(swapCond(CondCode::LTs), CondCode::GTs);
+  EXPECT_EQ(swapCond(CondCode::LEu), CondCode::GEu);
+  EXPECT_EQ(swapCond(CondCode::EQ), CondCode::EQ);
+  EXPECT_EQ(swapCond(CondCode::NE), CondCode::NE);
+}
+
+TEST(Instruction, Classification) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  EXPECT_TRUE(I.isLoad());
+  EXPECT_TRUE(I.isMemory());
+  EXPECT_FALSE(I.isStore());
+  I.Op = Opcode::Store;
+  EXPECT_TRUE(I.isStore());
+  EXPECT_TRUE(I.isMemory());
+  I.Op = Opcode::LoadWideU;
+  EXPECT_TRUE(I.isLoad());
+  I.Op = Opcode::Br;
+  EXPECT_TRUE(I.isTerminator());
+  I.Op = Opcode::Ret;
+  EXPECT_TRUE(I.isTerminator());
+  I.Op = Opcode::FAdd;
+  EXPECT_TRUE(I.isFPALU());
+  EXPECT_FALSE(I.isTerminator());
+}
+
+TEST(Instruction, CollectUsesIncludesAddressBase) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.A = Reg(2);
+  I.Addr = Address(Reg(9), 4);
+  std::vector<Reg> Uses;
+  I.collectUses(Uses);
+  ASSERT_EQ(Uses.size(), 2u);
+  EXPECT_EQ(Uses[0], Reg(2));
+  EXPECT_EQ(Uses[1], Reg(9));
+}
+
+TEST(Instruction, DefOfStoreIsEmpty) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  EXPECT_FALSE(I.def().has_value());
+  I.Op = Opcode::Add;
+  I.Dst = Reg(1);
+  ASSERT_TRUE(I.def().has_value());
+  EXPECT_EQ(*I.def(), Reg(1));
+}
+
+TEST(Instruction, ForEachUseRewrites) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = Reg(1);
+  I.A = Reg(2);
+  I.B = Reg(3);
+  I.forEachUse([](Reg &R) { R = Reg(R.Id + 10); });
+  EXPECT_EQ(I.A.reg().Id, 12u);
+  EXPECT_EQ(I.B.reg().Id, 13u);
+  EXPECT_EQ(I.Dst.Id, 1u) << "defs are not uses";
+}
+
+TEST(Instruction, ForEachUseRewritesAddressBase) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Dst = Reg(1);
+  I.Addr = Address(Reg(4), 0);
+  I.forEachUse([](Reg &R) { R = Reg(99); });
+  EXPECT_EQ(I.Addr.Base.Id, 99u);
+}
+
+TEST(Function, RegisterAllocationMonotonic) {
+  Function F("f");
+  Reg A = F.newReg();
+  Reg B = F.newReg();
+  EXPECT_LT(A.Id, B.Id);
+  EXPECT_EQ(F.regUpperBound(), B.Id + 1);
+  F.noteRegUsed(100);
+  EXPECT_EQ(F.regUpperBound(), 101u);
+  EXPECT_EQ(F.newReg().Id, 101u);
+}
+
+TEST(Function, Params) {
+  Function F("f");
+  Reg P0 = F.addParam();
+  Reg P1 = F.addParam();
+  ASSERT_EQ(F.params().size(), 2u);
+  EXPECT_EQ(F.params()[0], P0);
+  EXPECT_EQ(F.params()[1], P1);
+  F.paramInfo(0).NoAlias = true;
+  F.paramInfo(1).KnownAlign = 16;
+  EXPECT_TRUE(F.paramInfoFor(P0).NoAlias);
+  EXPECT_EQ(F.paramInfoFor(P1).KnownAlign, 16u);
+  // Non-parameter registers report nothing known.
+  EXPECT_FALSE(F.paramInfoFor(F.newReg()).NoAlias);
+}
+
+TEST(Function, BlockManagement) {
+  Function F("f");
+  BasicBlock *A = F.addBlock("a");
+  BasicBlock *B = F.addBlock("b");
+  EXPECT_EQ(F.entry(), A);
+  EXPECT_EQ(F.blockIndex(A), 0);
+  EXPECT_EQ(F.blockIndex(B), 1);
+  EXPECT_EQ(F.findBlock("b"), B);
+  EXPECT_EQ(F.findBlock("zzz"), nullptr);
+  BasicBlock *Mid = F.addBlockBefore(B, "mid");
+  EXPECT_EQ(F.blockIndex(Mid), 1);
+  EXPECT_EQ(F.blockIndex(B), 2);
+  F.removeBlock(Mid);
+  EXPECT_EQ(F.blockIndex(B), 1);
+}
+
+TEST(Function, UniqueBlockNames) {
+  Function F("f");
+  F.addBlock("loop");
+  EXPECT_EQ(F.uniqueBlockName("loop"), "loop.1");
+  F.addBlock("loop.1");
+  EXPECT_EQ(F.uniqueBlockName("loop"), "loop.2");
+  EXPECT_EQ(F.uniqueBlockName("fresh"), "fresh");
+}
+
+TEST(BasicBlock, Successors) {
+  Function F("f");
+  BasicBlock *A = F.addBlock("a");
+  BasicBlock *B = F.addBlock("b");
+  BasicBlock *C = F.addBlock("c");
+  IRBuilder Bld(&F);
+  Bld.setInsertBlock(A);
+  Bld.br(CondCode::EQ, Operand::imm(0), Operand::imm(0), B, C);
+  auto Succs = A->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], B);
+  EXPECT_EQ(Succs[1], C);
+
+  Bld.setInsertBlock(B);
+  Bld.jmp(C);
+  ASSERT_EQ(B->successors().size(), 1u);
+
+  Bld.setInsertBlock(C);
+  Bld.ret();
+  EXPECT_TRUE(C->successors().empty());
+}
+
+TEST(BasicBlock, BranchWithIdenticalArmsHasOneSuccessor) {
+  Function F("f");
+  BasicBlock *A = F.addBlock("a");
+  BasicBlock *B = F.addBlock("b");
+  IRBuilder Bld(&F);
+  Bld.setInsertBlock(A);
+  Bld.br(CondCode::EQ, Operand::imm(0), Operand::imm(0), B, B);
+  EXPECT_EQ(A->successors().size(), 1u);
+}
+
+TEST(BasicBlock, InsertErase) {
+  Function F("f");
+  BasicBlock *A = F.addBlock("a");
+  IRBuilder Bld(&F);
+  Bld.setInsertBlock(A);
+  Reg R1 = Bld.mov(Operand::imm(1));
+  Bld.mov(Operand::imm(2));
+  Bld.ret();
+  ASSERT_EQ(A->size(), 3u);
+
+  Instruction Extra;
+  Extra.Op = Opcode::Mov;
+  Extra.Dst = F.newReg();
+  Extra.A = R1;
+  A->insertAt(1, Extra);
+  EXPECT_EQ(A->size(), 4u);
+  EXPECT_EQ(A->insts()[1].A.reg(), R1);
+  A->eraseAt(1);
+  EXPECT_EQ(A->size(), 3u);
+  EXPECT_TRUE(A->terminator().isTerminator());
+}
+
+TEST(Module, Functions) {
+  Module M;
+  Function *F = M.addFunction("alpha");
+  Function *G = M.addFunction("beta");
+  EXPECT_EQ(M.findFunction("alpha"), F);
+  EXPECT_EQ(M.findFunction("beta"), G);
+  EXPECT_EQ(M.findFunction("gamma"), nullptr);
+  EXPECT_EQ(M.functions().size(), 2u);
+}
+
+TEST(IRBuilder, EmitsExpectedShapes) {
+  Function F("f");
+  IRBuilder B(&F);
+  B.createBlock("entry");
+  Reg X = B.mov(Operand::imm(5));
+  Reg Y = B.add(X, Operand::imm(1));
+  Reg Cmp = B.cmpSet(CondCode::LTs, X, Y);
+  Reg Sel = B.select(Cmp, X, Y);
+  Reg L = B.load(Address(X, 8), MemWidth::W2, /*Sign=*/true);
+  B.store(Address(X, 8), L, MemWidth::W2);
+  B.ret(Sel);
+
+  const auto &Insts = B.block()->insts();
+  ASSERT_EQ(Insts.size(), 7u);
+  EXPECT_EQ(Insts[0].Op, Opcode::Mov);
+  EXPECT_EQ(Insts[1].Op, Opcode::Add);
+  EXPECT_EQ(Insts[2].Op, Opcode::CmpSet);
+  EXPECT_EQ(Insts[2].CC, CondCode::LTs);
+  EXPECT_EQ(Insts[3].Op, Opcode::Select);
+  EXPECT_EQ(Insts[4].Op, Opcode::Load);
+  EXPECT_TRUE(Insts[4].SignExtend);
+  EXPECT_EQ(Insts[4].Addr.Disp, 8);
+  EXPECT_EQ(Insts[5].Op, Opcode::Store);
+  EXPECT_EQ(Insts[6].Op, Opcode::Ret);
+}
+
+TEST(IRBuilder, AluToRedefines) {
+  Function F("f");
+  IRBuilder B(&F);
+  B.createBlock("entry");
+  Reg Acc = B.mov(Operand::imm(0));
+  B.addTo(Acc, Acc, Operand::imm(1));
+  B.ret(Acc);
+  const auto &Insts = B.block()->insts();
+  EXPECT_EQ(Insts[1].Dst, Acc);
+  EXPECT_EQ(Insts[1].A.reg(), Acc);
+}

@@ -1,0 +1,204 @@
+//===- tests/ir/printer_parser_test.cpp ------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+std::string roundTrip(const std::string &Text, std::string *Err = nullptr) {
+  auto M = parseModule(Text, Err);
+  if (!M)
+    return std::string();
+  return printModule(*M);
+}
+
+TEST(Printer, InstructionForms) {
+  Function F("f");
+  IRBuilder B(&F);
+  BasicBlock *Entry = B.createBlock("entry");
+  (void)Entry;
+  Reg X = B.mov(Operand::imm(5));
+  EXPECT_EQ(printInstruction(B.block()->insts().back()), "r1 = mov 5");
+  Reg Y = B.add(X, Operand::imm(-3));
+  EXPECT_EQ(printInstruction(B.block()->insts().back()), "r2 = add r1, -3");
+  B.cmpSet(CondCode::GEu, X, Y);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r3 = cmpset.geu r1, r2");
+  B.load(Address(X, 4), MemWidth::W2, true);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r4 = load.i16.s [r1+4]");
+  B.load(Address(X, -4), MemWidth::W4, false, /*IsFloat=*/true);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r5 = load.f32 [r1-4]");
+  B.store(Address(Y, 0), X, MemWidth::W1);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "store.i8 [r2], r1");
+  B.loadWideU(Address(X, 0), MemWidth::W8);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r6 = loadwu.i64 [r1]");
+  B.extractF(Reg(6), Operand::imm(2), MemWidth::W2, true);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r7 = extractf.i16.s r6, 2");
+  B.insertF(Reg(6), Operand::imm(3), X, MemWidth::W1);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r8 = insertf.i8 r6, 3, r1");
+  B.select(X, Y, Operand::imm(0));
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r9 = select r1, r2, 0");
+  B.ext(X, MemWidth::W2, false);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()),
+            "r10 = ext.i16.u r1");
+  B.ret(X);
+  EXPECT_EQ(printInstruction(B.block()->insts().back()), "ret r1");
+}
+
+TEST(Printer, ControlFlowForms) {
+  Function F("f");
+  BasicBlock *A = F.addBlock("a");
+  BasicBlock *B2 = F.addBlock("b");
+  IRBuilder B(&F);
+  B.setInsertBlock(A);
+  B.br(CondCode::LTu, Reg(F.newReg()), Operand::imm(10), A, B2);
+  EXPECT_EQ(printInstruction(A->insts().back()),
+            "br.ltu r1, 10, a, b");
+  B.setInsertBlock(B2);
+  B.jmp(A);
+  EXPECT_EQ(printInstruction(B2->insts().back()), "jmp a");
+}
+
+TEST(Parser, RoundTripAllWorkloads) {
+  // The strongest printer/parser property: every kernel round-trips to a
+  // fixed point.
+  for (auto &W : allWorkloads()) {
+    Module M;
+    W->build(M);
+    std::string First = printModule(M);
+    std::string Err;
+    auto Reparsed = parseModule(First, &Err);
+    ASSERT_NE(Reparsed, nullptr) << W->name() << ": " << Err;
+    EXPECT_EQ(printModule(*Reparsed), First) << W->name();
+    std::vector<std::string> Problems;
+    EXPECT_TRUE(verifyModule(*Reparsed, Problems)) << Problems.front();
+  }
+}
+
+TEST(Parser, SimpleFunction) {
+  std::string Text = "func @f(r1, r2) {\n"
+                     "entry:\n"
+                     "  r3 = add r1, r2\n"
+                     "  ret r3\n"
+                     "}\n";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function *F = M->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->params().size(), 2u);
+  EXPECT_EQ(F->entry()->size(), 2u);
+  EXPECT_EQ(roundTrip(Text), Text);
+}
+
+TEST(Parser, ForwardBranchTargets) {
+  std::string Text = "func @f(r1) {\n"
+                     "entry:\n"
+                     "  br.lts r1, 0, neg, pos\n"
+                     "neg:\n"
+                     "  ret 0\n"
+                     "pos:\n"
+                     "  ret 1\n"
+                     "}\n";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(roundTrip(Text), Text);
+}
+
+TEST(Parser, CommentsAndBlanksIgnored) {
+  std::string Text = "// leading comment\n"
+                     "\n"
+                     "func @f(r1) {\n"
+                     "entry:\n"
+                     "  // about to return\n"
+                     "  ret r1\n"
+                     "}\n";
+  ASSERT_NE(parseModule(Text), nullptr);
+}
+
+TEST(Parser, MultipleFunctions) {
+  std::string Text = "func @a(r1) {\n"
+                     "e:\n"
+                     "  ret r1\n"
+                     "}\n"
+                     "func @b(r1) {\n"
+                     "e:\n"
+                     "  ret\n"
+                     "}\n";
+  auto M = parseModule(Text);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->functions().size(), 2u);
+}
+
+struct ParserErrorCase {
+  const char *Name;
+  const char *Text;
+  const char *ExpectSubstring;
+};
+
+class ParserErrorTest : public testing::TestWithParam<ParserErrorCase> {};
+
+TEST_P(ParserErrorTest, ReportsDiagnostic) {
+  std::string Err;
+  auto M = parseModule(GetParam().Text, &Err);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Err.find(GetParam().ExpectSubstring), std::string::npos)
+      << "actual: " << Err;
+}
+
+const ParserErrorCase ErrorCases[] = {
+    {"NotAFunction", "garbage\n", "expected 'func"},
+    {"BadHeader", "func @f(r1 {\n}\n", "malformed function header"},
+    {"BadParam", "func @f(x1) {\ne:\n  ret\n}\n", "malformed parameter"},
+    {"NonSequentialParams", "func @f(r2) {\ne:\n  ret\n}\n",
+     "parameters must be r1..rN"},
+    {"DuplicateLabel",
+     "func @f(r1) {\ne:\n  ret\ne:\n  ret\n}\n", "duplicate label"},
+    {"InstrBeforeLabel", "func @f(r1) {\n  ret\n}\n",
+     "instruction before any label"},
+    {"UnknownMnemonic", "func @f(r1) {\ne:\n  frobnicate r1\n  ret\n}\n",
+     "unknown mnemonic"},
+    {"UnknownBranchTarget",
+     "func @f(r1) {\ne:\n  jmp nowhere\n}\n", "unknown jump target"},
+    {"BadOperand", "func @f(r1) {\ne:\n  r2 = add r1, zzz\n  ret\n}\n",
+     "malformed operand"},
+    {"BadWidth", "func @f(r1) {\ne:\n  r2 = load.i13.s [r1]\n  ret\n}\n",
+     "bad width"},
+    {"MissingSign", "func @f(r1) {\ne:\n  r2 = load.i16 [r1]\n  ret\n}\n",
+     "missing .s/.u"},
+    {"BadCondition", "func @f(r1) {\ne:\n  br.zz r1, 0, e, e\n}\n",
+     "bad condition"},
+    {"WrongArity", "func @f(r1) {\ne:\n  r2 = add r1\n  ret\n}\n",
+     "expects 2 operands"},
+    {"BadAddress", "func @f(r1) {\ne:\n  r2 = load.i8.u r1\n  ret\n}\n",
+     "malformed address"},
+    {"MissingBrace", "func @f(r1) {\ne:\n  ret\n", "missing closing"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Errors, ParserErrorTest,
+                         testing::ValuesIn(ErrorCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+} // namespace

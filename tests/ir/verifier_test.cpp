@@ -1,0 +1,201 @@
+//===- tests/ir/verifier_test.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// Builds a minimal valid function: entry: r2 = mov r1; ret r2.
+std::unique_ptr<Function> makeValid() {
+  auto F = std::make_unique<Function>("f");
+  Reg P = F->addParam();
+  IRBuilder B(F.get());
+  B.createBlock("entry");
+  Reg X = B.mov(P);
+  B.ret(X);
+  return F;
+}
+
+std::vector<std::string> problemsOf(const Function &F) {
+  std::vector<std::string> Problems;
+  verifyFunction(F, Problems);
+  return Problems;
+}
+
+bool hasProblemContaining(const Function &F, const std::string &Sub) {
+  for (const std::string &P : problemsOf(F))
+    if (P.find(Sub) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Verifier, ValidFunctionPasses) {
+  auto F = makeValid();
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(verifyFunction(*F, Problems));
+  EXPECT_TRUE(Problems.empty());
+}
+
+TEST(Verifier, NoBlocks) {
+  Function F("f");
+  EXPECT_TRUE(hasProblemContaining(F, "no blocks"));
+}
+
+TEST(Verifier, EmptyBlock) {
+  auto F = makeValid();
+  F->addBlock("empty");
+  EXPECT_TRUE(hasProblemContaining(*F, "block is empty"));
+}
+
+TEST(Verifier, MissingTerminator) {
+  auto F = makeValid();
+  F->entry()->eraseAt(F->entry()->size() - 1);
+  EXPECT_TRUE(hasProblemContaining(*F, "does not end in a terminator"));
+}
+
+TEST(Verifier, TerminatorInMiddle) {
+  auto F = makeValid();
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  F->entry()->insertAt(0, Ret);
+  EXPECT_TRUE(hasProblemContaining(*F, "terminator in the middle"));
+}
+
+TEST(Verifier, RegisterBeyondBound) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Mov;
+  Bad.Dst = Reg(1);
+  Bad.A = Reg(9999);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "beyond allocator bound"));
+}
+
+TEST(Verifier, MissingDestination) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Add;
+  Bad.A = Operand::imm(1);
+  Bad.B = Operand::imm(2);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "destination register is invalid"));
+}
+
+TEST(Verifier, MissingOperand) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Add;
+  Bad.Dst = Reg(1);
+  Bad.A = Operand::imm(1);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "missing rhs operand"));
+}
+
+TEST(Verifier, SelectNeedsThreeOperands) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Select;
+  Bad.Dst = Reg(1);
+  Bad.A = Operand::imm(1);
+  Bad.B = Operand::imm(2);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "missing false-value operand"));
+}
+
+TEST(Verifier, StoreMustNotDefine) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Store;
+  Bad.Dst = Reg(1);
+  Bad.A = Operand::imm(0);
+  Bad.Addr = Address(Reg(1), 0);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "store must not define"));
+}
+
+TEST(Verifier, LoadNeedsBase) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Load;
+  Bad.Dst = Reg(1);
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "address base register is invalid"));
+}
+
+TEST(Verifier, FPLoadWidth) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Load;
+  Bad.Dst = Reg(1);
+  Bad.Addr = Address(Reg(1), 0);
+  Bad.IsFloat = true;
+  Bad.W = MemWidth::W2;
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "FP load width"));
+}
+
+TEST(Verifier, LoadWideUByteWidth) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::LoadWideU;
+  Bad.Dst = Reg(1);
+  Bad.Addr = Address(Reg(1), 0);
+  Bad.W = MemWidth::W1;
+  F->entry()->insertAt(0, Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "single byte"));
+}
+
+TEST(Verifier, NullBranchTarget) {
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Br;
+  Bad.A = Operand::imm(0);
+  Bad.B = Operand::imm(0);
+  Bad.TrueTarget = F->entry();
+  Bad.FalseTarget = nullptr;
+  // Replace the ret so the block still ends in one terminator.
+  F->entry()->eraseAt(F->entry()->size() - 1);
+  F->entry()->append(Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "false target is null"));
+}
+
+TEST(Verifier, ForeignBranchTarget) {
+  auto F = makeValid();
+  Function Other("other");
+  BasicBlock *Foreign = Other.addBlock("foreign");
+  Instruction Bad;
+  Bad.Op = Opcode::Jmp;
+  Bad.TrueTarget = Foreign;
+  F->entry()->eraseAt(F->entry()->size() - 1);
+  F->entry()->append(Bad);
+  EXPECT_TRUE(hasProblemContaining(*F, "not in function"));
+}
+
+TEST(Verifier, BranchMustNotDefine) {
+  auto F = makeValid();
+  Instruction &Term = F->entry()->terminator();
+  Term.Op = Opcode::Jmp;
+  Term.Dst = Reg(1);
+  Term.TrueTarget = F->entry();
+  EXPECT_TRUE(hasProblemContaining(*F, "jump must not define"));
+}
+
+TEST(Verifier, ModuleAggregates) {
+  Module M;
+  M.addFunction("empty1");
+  M.addFunction("empty2");
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(verifyModule(M, Problems));
+  EXPECT_EQ(Problems.size(), 2u);
+}
+
+} // namespace

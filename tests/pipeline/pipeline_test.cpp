@@ -1,0 +1,191 @@
+//===- tests/pipeline/pipeline_test.cpp ------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vpo;
+
+namespace {
+
+TEST(Pipeline, PaperConfigsShape) {
+  auto Configs = paperConfigs();
+  ASSERT_EQ(Configs.size(), 4u);
+  EXPECT_EQ(Configs[0].Name, "cc -O (model)");
+  EXPECT_FALSE(Configs[0].Options.Schedule);
+  EXPECT_EQ(Configs[0].Options.Mode, CoalesceMode::None);
+  EXPECT_EQ(Configs[1].Name, "vpo -O");
+  EXPECT_TRUE(Configs[1].Options.Schedule);
+  EXPECT_EQ(Configs[2].Options.Mode, CoalesceMode::Loads);
+  EXPECT_EQ(Configs[3].Options.Mode, CoalesceMode::LoadsAndStores);
+  for (const PipelineConfig &C : Configs)
+    EXPECT_TRUE(C.Options.Unroll);
+}
+
+TEST(Pipeline, ReportCarriesAllStageStats) {
+  auto W = makeWorkloadByName("image_add");
+  Module M;
+  Function *F = W->build(M);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  CompileReport R = compileFunction(*F, TM, CO);
+  EXPECT_GE(R.Coalesce.LoopsExamined, 1u);
+  EXPECT_GE(R.Legalize.NarrowLoadsExpanded + R.Legalize.NarrowStoresExpanded,
+            1u)
+      << "byte refs must be expanded somewhere (safe loop at least)";
+  EXPECT_EQ(R.BlocksScheduled, F->blocks().size());
+}
+
+TEST(Pipeline, CleanupShrinksCode) {
+  // The pipeline's cleanup should never grow the function, and on the
+  // coalesced kernels it removes dead address arithmetic.
+  auto W = makeWorkloadByName("dotproduct");
+  TargetMachine TM = makeAlphaTarget();
+  size_t WithCleanup, WithoutCleanup;
+  for (bool Clean : {false, true}) {
+    Module M;
+    Function *F = W->build(M);
+    CompileOptions CO;
+    CO.Mode = CoalesceMode::LoadsAndStores;
+    CO.Unroll = true;
+    CO.Cleanup = Clean;
+    compileFunction(*F, TM, CO);
+    (Clean ? WithCleanup : WithoutCleanup) = F->instructionCount();
+  }
+  EXPECT_LE(WithCleanup, WithoutCleanup);
+}
+
+TEST(Pipeline, SchedulingDoesNotChangeResults) {
+  auto W = makeWorkloadByName("convolution");
+  TargetMachine TM = makeM88100Target();
+  int64_t Results[2];
+  uint64_t Cycles[2];
+  for (int Sched = 0; Sched < 2; ++Sched) {
+    Module M;
+    Function *F = W->build(M);
+    CompileOptions CO;
+    CO.Mode = CoalesceMode::Loads;
+    CO.Unroll = true;
+    CO.Schedule = Sched == 1;
+    compileFunction(*F, TM, CO);
+    Memory Mem;
+    SetupOptions SO;
+    SO.Width = 24;
+    SO.Height = 10;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter Interp(TM, Mem);
+    RunResult R = Interp.run(*F, S.Args);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    Results[Sched] = R.ReturnValue;
+    Cycles[Sched] = R.Cycles;
+  }
+  EXPECT_EQ(Results[0], Results[1]);
+  EXPECT_LE(Cycles[1], Cycles[0]) << "scheduling should not hurt";
+}
+
+TEST(Pipeline, UnrollFactorOverrideRespected) {
+  auto W = makeWorkloadByName("image_xor");
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::Loads;
+  CO.Unroll = true;
+  CO.UnrollFactor = 2;
+  CO.MaxWideBytes = 2;
+  CompileReport R = compileFunction(*F, TM, CO);
+  EXPECT_EQ(R.Coalesce.LoopsUnrolled, 1u);
+  // With factor 2 and MaxWide 2, runs have exactly 2 byte members.
+  EXPECT_EQ(R.Coalesce.NarrowLoadsRemoved,
+            R.Coalesce.LoadRunsCoalesced * 2);
+}
+
+TEST(Pipeline, IdempotentOnAlreadyOptimizedCode) {
+  // Running the pipeline twice must keep the code valid and the second
+  // run must find nothing more to coalesce.
+  auto W = makeWorkloadByName("image_add");
+  Module M;
+  Function *F = W->build(M);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  compileFunction(*F, TM, CO);
+  CompileReport Second = compileFunction(*F, TM, CO);
+  EXPECT_EQ(Second.Coalesce.LoadRunsCoalesced +
+                Second.Coalesce.StoreRunsCoalesced,
+            0u);
+
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 512;
+  SetupResult S = W->setup(Mem, SO);
+  Interpreter Interp(TM, Mem);
+  EXPECT_TRUE(Interp.run(*F, S.Args).ok());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Pipeline, TraceHookSeesStages) {
+  auto W = makeWorkloadByName("image_add");
+  Module M;
+  Function *F = W->build(M);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  std::vector<std::string> Stages;
+  CO.TraceHook = [&Stages](const char *Stage, const Function &Fn) {
+    (void)Fn;
+    Stages.push_back(Stage);
+  };
+  compileFunction(*F, TM, CO);
+  ASSERT_GE(Stages.size(), 4u);
+  EXPECT_EQ(Stages.front(), "input");
+  EXPECT_NE(std::find(Stages.begin(), Stages.end(), "coalesce"),
+            Stages.end());
+  EXPECT_NE(std::find(Stages.begin(), Stages.end(), "legalize"),
+            Stages.end());
+  EXPECT_EQ(Stages.back(), "schedule");
+}
+
+TEST(Pipeline, InstructionCacheStatsReported) {
+  auto W = makeWorkloadByName("image_add");
+  Module M;
+  Function *F = W->build(M);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::None;
+  CO.Unroll = true;
+  compileFunction(*F, TM, CO);
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 2048;
+  SetupResult S = W->setup(Mem, SO);
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*F, S.Args);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ICache.Accesses, R.Instructions);
+  EXPECT_GT(R.ICache.Hits, 0u);
+  // A small hot loop: nearly every fetch hits.
+  EXPECT_GT(double(R.ICache.Hits) / double(R.ICache.Accesses), 0.99);
+}
+
+} // namespace

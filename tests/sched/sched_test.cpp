@@ -1,0 +1,239 @@
+//===- tests/sched/sched_test.cpp - dependence DAG + scheduler -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "sched/DepGraph.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "support/RNG.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+bool hasEdge(const DepGraph &DG, size_t From, size_t To, DepKind Kind) {
+  for (const DepEdge &E : DG.edges())
+    if (E.From == From && E.To == To && E.Kind == Kind)
+      return true;
+  return false;
+}
+
+TEST(DepGraph, RegisterDependences) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 1\n"  // 0
+           "  r3 = add r2, 1\n"  // 1: RAW on 0
+           "  r2 = add r1, 2\n"  // 2: WAW on 0, WAR on 1
+           "  ret r3\n"          // 3
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  DepGraph DG(*P.F->entry(), TM);
+  EXPECT_TRUE(hasEdge(DG, 0, 1, DepKind::RAW));
+  EXPECT_TRUE(hasEdge(DG, 0, 2, DepKind::WAW));
+  EXPECT_TRUE(hasEdge(DG, 1, 2, DepKind::WAR));
+  EXPECT_TRUE(hasEdge(DG, 0, 3, DepKind::Ctrl));
+  EXPECT_FALSE(hasEdge(DG, 1, 2, DepKind::RAW));
+}
+
+TEST(DepGraph, MemoryOrdering) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i8.u [r1]\n"   // 0
+           "  r3 = load.i8.u [r1+1]\n" // 1: no edge to 0 (load-load)
+           "  store.i8 [r1], r2\n"     // 2: Mem edges from 0 and 1
+           "  r4 = load.i8.u [r1+2]\n" // 3: Mem edge from 2
+           "  ret r4\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  DepGraph DG(*P.F->entry(), TM);
+  EXPECT_FALSE(hasEdge(DG, 0, 1, DepKind::Mem));
+  EXPECT_TRUE(hasEdge(DG, 0, 2, DepKind::Mem));
+  EXPECT_TRUE(hasEdge(DG, 1, 2, DepKind::Mem));
+  EXPECT_TRUE(hasEdge(DG, 2, 3, DepKind::Mem));
+}
+
+TEST(DepGraph, HeightsReflectCriticalPath) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i32.u [r1]\n" // long-latency producer
+           "  r3 = add r2, 1\n"
+           "  r4 = mov 7\n" // independent
+           "  ret r3\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  DepGraph DG(*P.F->entry(), TM);
+  // The load heads the critical path; the independent mov has a smaller
+  // height.
+  EXPECT_GT(DG.height(0), DG.height(2));
+  EXPECT_GT(DG.height(0), DG.height(1));
+}
+
+TEST(ListScheduler, KeepsTerminatorLast) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i32.u [r1]\n"
+           "  r3 = mov 1\n"
+           "  r4 = add r2, r3\n"
+           "  ret r4\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  ScheduleResult S = scheduleBlock(*P.F->entry(), TM);
+  ASSERT_EQ(S.Order.size(), 4u);
+  EXPECT_EQ(S.Order.back(), 3u);
+  // Permutation property.
+  std::set<size_t> Seen(S.Order.begin(), S.Order.end());
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(ListScheduler, HidesLoadLatency) {
+  // Two independent load->use chains: a good schedule interleaves them.
+  Parsed P("func @f(r1, r2) {\n"
+           "e:\n"
+           "  r3 = load.i32.u [r1]\n"
+           "  r4 = add r3, 1\n"
+           "  r5 = load.i32.u [r2]\n"
+           "  r6 = add r5, 1\n"
+           "  r7 = add r4, r6\n"
+           "  ret r7\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  unsigned Before = estimateBlockCycles(*P.F->entry(), TM);
+  ScheduleResult S = scheduleBlock(*P.F->entry(), TM);
+  EXPECT_LE(S.Cycles, Before);
+  applySchedule(*P.F->entry(), S);
+  unsigned After = estimateBlockCycles(*P.F->entry(), TM);
+  EXPECT_LT(After, Before) << "interleaving should hide a load latency";
+}
+
+TEST(ListScheduler, RespectsDependences) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i8.u [r1]\n"
+           "  store.i8 [r1+1], r2\n"
+           "  r3 = load.i8.u [r1+1]\n"
+           "  store.i8 [r1+2], r3\n"
+           "  ret r3\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  ScheduleResult S = scheduleBlock(*P.F->entry(), TM);
+  // Memory order must be preserved: position of each memory op in the new
+  // order must be increasing.
+  std::vector<size_t> PosOf(S.Order.size());
+  for (size_t I = 0; I < S.Order.size(); ++I)
+    PosOf[S.Order[I]] = I;
+  EXPECT_LT(PosOf[0], PosOf[1]);
+  EXPECT_LT(PosOf[1], PosOf[2]);
+  EXPECT_LT(PosOf[2], PosOf[3]);
+}
+
+/// Property test: scheduling a random straight-line block never changes
+/// its final architectural state.
+TEST(ListScheduler, RandomBlocksPreserveSemantics) {
+  TargetMachine TM = makeAlphaTarget();
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    RNG R(Seed);
+    Module M;
+    Function *F = M.addFunction("f");
+    Reg Base = F->addParam();
+    IRBuilder B(F);
+    B.createBlock("e");
+
+    std::vector<Reg> Vals = {Base};
+    auto AnyVal = [&]() { return Vals[R.nextBelow(Vals.size())]; };
+    for (int I = 0; I < 24; ++I) {
+      switch (R.nextBelow(6)) {
+      case 0:
+        Vals.push_back(B.add(AnyVal(), Operand::imm(R.nextInRange(-8, 8))));
+        break;
+      case 1:
+        Vals.push_back(B.mul(AnyVal(), AnyVal()));
+        break;
+      case 2:
+        Vals.push_back(B.xor_(AnyVal(), AnyVal()));
+        break;
+      case 3:
+        Vals.push_back(
+            B.load(Address(Base, R.nextInRange(0, 15) * 4), MemWidth::W4,
+                   false));
+        break;
+      case 4:
+        B.store(Address(Base, R.nextInRange(0, 15) * 4), AnyVal(),
+                MemWidth::W4);
+        break;
+      case 5:
+        Vals.push_back(B.shrL(AnyVal(), Operand::imm(R.nextBelow(8))));
+        break;
+      }
+    }
+    // Return a hash of all produced values so everything is live.
+    Reg Acc = B.mov(Operand::imm(0));
+    for (Reg V : Vals)
+      B.aluTo(Acc, Opcode::Add, Acc, V);
+    B.ret(Acc);
+
+    auto RunOnce = [&](bool Scheduled) {
+      Module M2;
+      std::string Err;
+      auto Clone = parseModule(
+          // Round-trip through text for an easy deep copy.
+          printFunction(*F), &Err);
+      EXPECT_NE(Clone, nullptr) << Err;
+      Function *FC = Clone->functions().front().get();
+      if (Scheduled)
+        applySchedule(*FC->entry(), scheduleBlock(*FC->entry(), TM));
+      Memory Mem;
+      uint64_t Addr = Mem.allocate(256, 8);
+      for (unsigned I = 0; I < 256; ++I)
+        Mem.write(Addr + I, 1, (Seed * 13 + I * 7) & 0xff);
+      Interpreter Interp(TM, Mem);
+      RunResult RR = Interp.run(*FC, {static_cast<int64_t>(Addr)});
+      EXPECT_TRUE(RR.ok()) << RR.Error;
+      std::vector<uint8_t> Bytes(Mem.data() + Addr, Mem.data() + Addr + 256);
+      return std::make_pair(RR.ReturnValue, Bytes);
+    };
+    auto [RetA, MemA] = RunOnce(false);
+    auto [RetB, MemB] = RunOnce(true);
+    EXPECT_EQ(RetA, RetB) << "seed " << Seed;
+    EXPECT_EQ(MemA, MemB) << "seed " << Seed;
+  }
+}
+
+TEST(EstimateBlockCycles, SerialChainCostsLatencySum) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mul r1, 3\n"
+           "  r3 = mul r2, 3\n"
+           "  r4 = mul r3, 3\n"
+           "  ret r4\n"
+           "}\n");
+  TargetMachine TM = makeAlphaTarget(); // MulLatency = 5
+  unsigned Cycles = estimateBlockCycles(*P.F->entry(), TM);
+  EXPECT_GE(Cycles, 15u);
+}
+
+} // namespace

@@ -1,0 +1,408 @@
+//===- tests/sim/sim_test.cpp - memory, cache, interpreter -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "sim/Cache.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+TEST(Memory, LittleEndianReadWrite) {
+  Memory M;
+  uint64_t A = M.allocate(64, 8);
+  M.write(A, 4, 0x11223344);
+  EXPECT_EQ(M.read(A, 1), 0x44u);
+  EXPECT_EQ(M.read(A + 1, 1), 0x33u);
+  EXPECT_EQ(M.read(A, 2), 0x3344u);
+  EXPECT_EQ(M.read(A, 4), 0x11223344u);
+  M.write(A, 8, 0x0102030405060708ULL);
+  EXPECT_EQ(M.read(A, 8), 0x0102030405060708ULL);
+  EXPECT_EQ(M.read(A + 7, 1), 0x01u);
+}
+
+TEST(Memory, AllocationAlignmentAndSkew) {
+  Memory M;
+  uint64_t A = M.allocate(100, 16);
+  EXPECT_EQ(A % 16, 0u);
+  uint64_t B = M.allocate(100, 16, 3);
+  EXPECT_EQ(B % 16, 3u);
+  // Allocations never overlap (red zone between them).
+  EXPECT_GE(B, A + 100);
+}
+
+TEST(Memory, Bounds) {
+  Memory M(1 << 16);
+  EXPECT_FALSE(M.inBounds(0, 1)) << "null page is unmapped";
+  EXPECT_FALSE(M.inBounds(4095, 1));
+  EXPECT_TRUE(M.inBounds(4096, 8));
+  EXPECT_FALSE(M.inBounds((1 << 16) - 4, 8));
+  EXPECT_FALSE(M.inBounds(~uint64_t(0) - 2, 8)) << "wraparound rejected";
+}
+
+TEST(Cache, HitsAfterMiss) {
+  DataCache C(CacheParams{1024, 32, 1, 0, 10});
+  EXPECT_EQ(C.access(0x1000, 4, false), 10u);
+  EXPECT_EQ(C.access(0x1004, 4, false), 0u) << "same line hits";
+  EXPECT_EQ(C.stats().Misses, 1u);
+  EXPECT_EQ(C.stats().Hits, 1u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  DataCache C(CacheParams{1024, 32, 1, 0, 10});
+  C.access(0x0000, 4, false);
+  C.access(0x0400, 4, false); // same set (1024-byte apart), evicts
+  EXPECT_EQ(C.access(0x0000, 4, false), 10u) << "conflict miss";
+  EXPECT_EQ(C.stats().Misses, 3u);
+}
+
+TEST(Cache, TwoWayAvoidsConflict) {
+  DataCache C(CacheParams{1024, 32, 2, 0, 10});
+  C.access(0x0000, 4, false);
+  C.access(0x0400, 4, false);
+  EXPECT_EQ(C.access(0x0000, 4, false), 0u) << "both lines fit in the set";
+  // A third conflicting line evicts the LRU (0x0400).
+  C.access(0x0800, 4, false);
+  EXPECT_EQ(C.access(0x0000, 4, false), 0u);
+  EXPECT_EQ(C.access(0x0400, 4, false), 10u);
+}
+
+TEST(Cache, WriteBackCountsDirtyEvictions) {
+  DataCache C(CacheParams{1024, 32, 1, 0, 10});
+  C.access(0x0000, 4, /*IsStore=*/true);
+  C.access(0x0400, 4, false); // evicts dirty line
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+  C.access(0x0800, 4, false); // evicts clean line
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+}
+
+TEST(Cache, LineStraddlingAccessTouchesBothLines) {
+  DataCache C(CacheParams{1024, 32, 1, 0, 10});
+  unsigned Cycles = C.access(30, 4, false); // bytes 30..33 span two lines
+  EXPECT_EQ(Cycles, 20u);
+  EXPECT_EQ(C.stats().Accesses, 2u);
+}
+
+// --- Interpreter opcode semantics ----------------------------------------
+
+/// Runs a single-block function text with the given args on the Alpha
+/// model and returns the result.
+RunResult runText(const std::string &Text, std::vector<int64_t> Args,
+                  Memory &Mem, const TargetMachine &TM) {
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  Interpreter I(TM, Mem);
+  return I.run(*M->functions().front(), Args);
+}
+
+RunResult runText(const std::string &Text, std::vector<int64_t> Args = {}) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  return runText(Text, std::move(Args), Mem, TM);
+}
+
+int64_t evalExpr(const std::string &Body, std::vector<int64_t> Args = {}) {
+  std::string Params;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Params += (I ? ", r" : "r") + std::to_string(I + 1);
+  RunResult R =
+      runText("func @f(" + Params + ") {\ne:\n" + Body + "\n}\n", Args);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R.ReturnValue;
+}
+
+TEST(Interpreter, IntegerALU) {
+  EXPECT_EQ(evalExpr("  r2 = add r1, 5\n  ret r2", {10}), 15);
+  EXPECT_EQ(evalExpr("  r2 = sub r1, 5\n  ret r2", {3}), -2);
+  EXPECT_EQ(evalExpr("  r2 = mul r1, -3\n  ret r2", {7}), -21);
+  EXPECT_EQ(evalExpr("  r2 = divs r1, 4\n  ret r2", {-8}), -2);
+  EXPECT_EQ(evalExpr("  r2 = rems r1, 4\n  ret r2", {-9}), -1);
+  EXPECT_EQ(evalExpr("  r2 = divu r1, 2\n  ret r2", {6}), 3);
+  EXPECT_EQ(evalExpr("  r2 = remu r1, 4\n  ret r2", {6}), 2);
+  EXPECT_EQ(evalExpr("  r2 = and r1, 12\n  ret r2", {10}), 8);
+  EXPECT_EQ(evalExpr("  r2 = or r1, 12\n  ret r2", {3}), 15);
+  EXPECT_EQ(evalExpr("  r2 = xor r1, 6\n  ret r2", {5}), 3);
+}
+
+TEST(Interpreter, Shifts) {
+  EXPECT_EQ(evalExpr("  r2 = shl r1, 4\n  ret r2", {1}), 16);
+  EXPECT_EQ(evalExpr("  r2 = shra r1, 1\n  ret r2", {-8}), -4);
+  EXPECT_EQ(evalExpr("  r2 = shrl r1, 1\n  ret r2", {-8}),
+            static_cast<int64_t>(static_cast<uint64_t>(-8) >> 1));
+  // Shift amounts are masked to 6 bits.
+  EXPECT_EQ(evalExpr("  r2 = shl r1, 64\n  ret r2", {5}), 5);
+  EXPECT_EQ(evalExpr("  r2 = shl r1, 65\n  ret r2", {5}), 10);
+}
+
+TEST(Interpreter, CmpSetAndSelect) {
+  EXPECT_EQ(evalExpr("  r2 = cmpset.lts r1, 0\n  ret r2", {-1}), 1);
+  EXPECT_EQ(evalExpr("  r2 = cmpset.lts r1, 0\n  ret r2", {1}), 0);
+  EXPECT_EQ(evalExpr("  r2 = cmpset.ltu r1, 0\n  ret r2", {-1}), 0)
+      << "-1 is huge unsigned";
+  EXPECT_EQ(evalExpr("  r2 = cmpset.geu r1, 5\n  ret r2", {5}), 1);
+  EXPECT_EQ(
+      evalExpr("  r2 = select r1, 10, 20\n  ret r2", {7}), 10);
+  EXPECT_EQ(evalExpr("  r2 = select r1, 10, 20\n  ret r2", {0}), 20);
+}
+
+TEST(Interpreter, Ext) {
+  EXPECT_EQ(evalExpr("  r2 = ext.i8.s r1\n  ret r2", {0x1ff}), -1);
+  EXPECT_EQ(evalExpr("  r2 = ext.i8.u r1\n  ret r2", {0x1ff}), 0xff);
+  EXPECT_EQ(evalExpr("  r2 = ext.i16.s r1\n  ret r2", {0x18000}),
+            -32768);
+}
+
+TEST(Interpreter, DivideByZeroTraps) {
+  RunResult R = runText("func @f(r1) {\ne:\n  r2 = divs r1, 0\n  ret r2\n}\n",
+                        {5});
+  EXPECT_EQ(R.Exit, RunResult::Status::DivideByZero);
+}
+
+TEST(Interpreter, LoadStoreWidthsAndSignedness) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  Mem.write(A, 8, 0xfedcba9876543210ULL);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i16.s [r1+6]\n" // 0xfedc -> negative
+                        "  r3 = load.i16.u [r1+6]\n"
+                        "  r4 = sub r3, r2\n"
+                        "  ret r4\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 0x10000);
+  EXPECT_EQ(R.Loads, 2u);
+  EXPECT_EQ(R.LoadBytes, 4u);
+}
+
+TEST(Interpreter, StoreWritesOnlyItsWidth) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  Mem.write(A, 8, ~uint64_t(0));
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  store.i32 [r1], 0\n"
+                        "  ret 0\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(Mem.read(A, 8), 0xffffffff00000000ULL);
+  EXPECT_EQ(R.Stores, 1u);
+}
+
+TEST(Interpreter, UnalignedTrapOnAlignedTarget) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i32.u [r1+2]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  EXPECT_EQ(R.Exit, RunResult::Status::UnalignedTrap);
+}
+
+TEST(Interpreter, UnalignedToleratedOn68030) {
+  Memory Mem;
+  TargetMachine TM = makeM68030Target();
+  uint64_t A = Mem.allocate(64, 8);
+  Mem.write(A + 2, 4, 0xdeadbeef);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i32.u [r1+2]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(static_cast<uint64_t>(R.ReturnValue), 0xdeadbeefu);
+}
+
+TEST(Interpreter, LoadWideUAlignsDown) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  Mem.write(A, 8, 0x1122334455667788ULL);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = loadwu.i64 [r1+5]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(static_cast<uint64_t>(R.ReturnValue), 0x1122334455667788ULL);
+}
+
+TEST(Interpreter, ExtractInsert) {
+  EXPECT_EQ(evalExpr("  r2 = extractf.i8.u r1, 1\n  ret r2", {0x4321}),
+            0x43);
+  EXPECT_EQ(evalExpr("  r2 = extractf.i8.s r1, 0\n  ret r2", {0xff}), -1);
+  EXPECT_EQ(
+      evalExpr("  r2 = insertf.i16 r1, 2, 52\n  ret r2", {0}),
+      52ll << 16);
+  // Insert clears the field before merging.
+  EXPECT_EQ(evalExpr("  r2 = insertf.i8 r1, 0, 0\n  ret r2", {0xabff}),
+            0xab00);
+}
+
+TEST(Interpreter, ExtractWholeRegisterActsAsFunnelLow) {
+  // extractf.i64 with offset k shifts the register right by 8k bits.
+  EXPECT_EQ(
+      static_cast<uint64_t>(evalExpr(
+          "  r2 = extractf.i64.u r1, 3\n  ret r2", {0x1122334455667788ll})),
+      0x1122334455667788ull >> 24);
+}
+
+TEST(Interpreter, ExtQHi) {
+  // Offset 0: contributes nothing.
+  EXPECT_EQ(evalExpr("  r2 = extqhi r1, 0\n  ret r2", {123}), 0);
+  // Offset 3: low 3 bytes of r1 shifted to the top.
+  EXPECT_EQ(static_cast<uint64_t>(evalExpr(
+                "  r2 = extqhi r1, 3\n  ret r2", {0x0000000000aabbccll})),
+            0xaabbcc0000000000ull);
+}
+
+TEST(Interpreter, UnalignedFunnelAssemblesBytes) {
+  // The full unaligned-load sequence the coalescer emits.
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  for (unsigned I = 0; I < 16; ++I)
+    Mem.write(A + I, 1, I + 1);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = add r1, 3\n"
+                        "  r3 = loadwu.i64 [r2]\n"
+                        "  r4 = loadwu.i64 [r2+7]\n"
+                        "  r5 = extractf.i64.u r3, r2\n"
+                        "  r6 = extqhi r4, r2\n"
+                        "  r7 = or r5, r6\n"
+                        "  ret r7\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // Bytes 4..11 little-endian.
+  EXPECT_EQ(static_cast<uint64_t>(R.ReturnValue), 0x0b0a090807060504ULL);
+}
+
+TEST(Interpreter, FloatOps) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  float F1 = 1.5f, F2 = -2.25f;
+  uint32_t B1, B2;
+  memcpy(&B1, &F1, 4);
+  memcpy(&B2, &F2, 4);
+  Mem.write(A, 4, B1);
+  Mem.write(A + 4, 4, B2);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.f32 [r1]\n"
+                        "  r3 = load.f32 [r1+4]\n"
+                        "  r4 = fmul r2, r3\n"
+                        "  store.f32 [r1+8], r4\n"
+                        "  r5 = cvtfi r4\n"
+                        "  ret r5\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ReturnValue, -3) << "trunc(1.5 * -2.25) = trunc(-3.375)";
+  float Stored;
+  uint32_t SB = static_cast<uint32_t>(Mem.read(A + 8, 4));
+  memcpy(&Stored, &SB, 4);
+  EXPECT_FLOAT_EQ(Stored, -3.375f);
+}
+
+TEST(Interpreter, CvtIF) {
+  EXPECT_EQ(evalExpr("  r2 = cvtif r1\n  r3 = cvtfi r2\n  ret r3", {-42}),
+            -42);
+}
+
+TEST(Interpreter, StepLimit) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\n"
+                       "e:\n"
+                       "  jmp e\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Interpreter I(TM, Mem);
+  RunResult R = I.run(*M->functions().front(), {0}, /*MaxSteps=*/1000);
+  EXPECT_EQ(R.Exit, RunResult::Status::StepLimit);
+  EXPECT_EQ(R.Instructions, 1000u);
+}
+
+TEST(Interpreter, OutOfBounds) {
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i8.u [r1]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {0});
+  EXPECT_EQ(R.Exit, RunResult::Status::OutOfBounds);
+}
+
+TEST(Interpreter, ScoreboardStallsOnLoadUse) {
+  // load(latency 3) immediately used: cycles > instruction count.
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  RunResult Dep = runText("func @f(r1) {\n"
+                          "e:\n"
+                          "  r2 = load.i32.u [r1]\n"
+                          "  r3 = add r2, 1\n"
+                          "  ret r3\n"
+                          "}\n",
+                          {static_cast<int64_t>(A)}, Mem, TM);
+  Memory Mem2;
+  uint64_t A2 = Mem2.allocate(64, 8);
+  RunResult Indep = runText("func @f(r1) {\n"
+                            "e:\n"
+                            "  r2 = load.i32.u [r1]\n"
+                            "  r3 = add r1, 1\n"
+                            "  ret r3\n"
+                            "}\n",
+                            {static_cast<int64_t>(A2)}, Mem2, TM);
+  ASSERT_TRUE(Dep.ok());
+  ASSERT_TRUE(Indep.ok());
+  EXPECT_GT(Dep.Cycles, Indep.Cycles)
+      << "the dependent add must stall for the load";
+}
+
+TEST(Interpreter, MemRefCounting) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(64, 8);
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i64.u [r1]\n"
+                        "  r3 = loadwu.i64 [r1+3]\n"
+                        "  store.i64 [r1+8], r2\n"
+                        "  ret 0\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, Mem, TM);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Loads, 2u);
+  EXPECT_EQ(R.Stores, 1u);
+  EXPECT_EQ(R.MemRefs(), 3u);
+  EXPECT_EQ(R.LoadBytes, 16u);
+  EXPECT_EQ(R.StoreBytes, 8u);
+}
+
+} // namespace

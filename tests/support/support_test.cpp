@@ -1,0 +1,149 @@
+//===- tests/support/support_test.cpp --------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vpo;
+
+TEST(MathExtras, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(4));
+  EXPECT_FALSE(isPowerOf2(6));
+  EXPECT_TRUE(isPowerOf2(uint64_t(1) << 63));
+  EXPECT_FALSE(isPowerOf2((uint64_t(1) << 63) + 1));
+}
+
+TEST(MathExtras, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(4), 2u);
+  EXPECT_EQ(log2Floor(255), 7u);
+  EXPECT_EQ(log2Floor(256), 8u);
+  EXPECT_EQ(log2Floor(uint64_t(1) << 63), 63u);
+}
+
+TEST(MathExtras, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(13, 1), 13u);
+  EXPECT_EQ(alignTo(100, 64), 128u);
+}
+
+TEST(MathExtras, IsAligned) {
+  EXPECT_TRUE(isAligned(0, 8));
+  EXPECT_TRUE(isAligned(16, 8));
+  EXPECT_FALSE(isAligned(12, 8));
+  EXPECT_TRUE(isAligned(12, 4));
+  EXPECT_TRUE(isAligned(7, 1));
+}
+
+TEST(MathExtras, SignExtend64) {
+  EXPECT_EQ(signExtend64(0xff, 8), -1);
+  EXPECT_EQ(signExtend64(0x7f, 8), 127);
+  EXPECT_EQ(signExtend64(0x80, 8), -128);
+  EXPECT_EQ(signExtend64(0xffff, 16), -1);
+  EXPECT_EQ(signExtend64(0x8000, 16), -32768);
+  EXPECT_EQ(signExtend64(0x7fff, 16), 32767);
+  EXPECT_EQ(signExtend64(0xffffffff, 32), -1);
+  EXPECT_EQ(signExtend64(~uint64_t(0), 64), -1);
+  // High garbage above the field is ignored.
+  EXPECT_EQ(signExtend64(0xabcd00ff, 8), -1);
+}
+
+TEST(MathExtras, ZeroExtend64) {
+  EXPECT_EQ(zeroExtend64(0xff, 8), 0xffu);
+  EXPECT_EQ(zeroExtend64(0x1ff, 8), 0xffu);
+  EXPECT_EQ(zeroExtend64(0xffffffffffffffffULL, 16), 0xffffu);
+  EXPECT_EQ(zeroExtend64(0x1234, 64), 0x1234u);
+}
+
+TEST(MathExtras, KnownAlignmentOf) {
+  EXPECT_EQ(knownAlignmentOf(1), 1u);
+  EXPECT_EQ(knownAlignmentOf(2), 2u);
+  EXPECT_EQ(knownAlignmentOf(6), 2u);
+  EXPECT_EQ(knownAlignmentOf(8), 8u);
+  EXPECT_EQ(knownAlignmentOf(-8), 8u);
+  EXPECT_EQ(knownAlignmentOf(12), 4u);
+  EXPECT_EQ(knownAlignmentOf(0), uint64_t(1) << 63);
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RNG, NextBelowInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(10), 10u);
+}
+
+TEST(RNG, NextInRangeInclusive) {
+  RNG R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values of a small range should occur";
+}
+
+TEST(StringUtils, Strformat) {
+  EXPECT_EQ(strformat("x=%d", 42), "x=42");
+  EXPECT_EQ(strformat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(strformat("%05u", 7u), "00007");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StringUtils, SplitString) {
+  auto V = splitString("a, b, c", ", ");
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], "a");
+  EXPECT_EQ(V[2], "c");
+  EXPECT_TRUE(splitString("", ",").empty());
+  EXPECT_TRUE(splitString(",,,", ",").empty());
+  auto W = splitString("one", ",");
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_EQ(W[0], "one");
+}
+
+TEST(StringUtils, TrimString) {
+  EXPECT_EQ(trimString("  x  "), "x");
+  EXPECT_EQ(trimString("\t\na b\r\n"), "a b");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("nowhitespace"), "nowhitespace");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("function", "func"));
+  EXPECT_FALSE(startsWith("fun", "func"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_FALSE(startsWith("", "x"));
+}

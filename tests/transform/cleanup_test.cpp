@@ -1,0 +1,289 @@
+//===- tests/transform/cleanup_test.cpp ------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "sim/Interpreter.h"
+#include "support/RNG.h"
+#include "target/TargetMachine.h"
+#include "transform/Cleanup.h"
+#include "transform/Utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+TEST(DCE, RemovesDeadArithmetic) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 1\n"
+           "  r3 = mul r2, 3\n" // dead
+           "  ret r2\n"
+           "}\n");
+  CleanupStats S = eliminateDeadCode(*P.F);
+  EXPECT_EQ(S.DeadRemoved, 1u);
+  EXPECT_EQ(P.F->entry()->size(), 2u);
+}
+
+TEST(DCE, RemovesDeadChains) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 1\n" // dead only after r3 removed
+           "  r3 = mul r2, 3\n" // dead
+           "  ret r1\n"
+           "}\n");
+  CleanupStats S = eliminateDeadCode(*P.F);
+  EXPECT_EQ(S.DeadRemoved, 2u);
+  EXPECT_EQ(P.F->entry()->size(), 1u);
+}
+
+TEST(DCE, RemovesDeadLoadsButNotStores) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = load.i32.u [r1]\n" // dead load: removable
+           "  store.i32 [r1+4], 7\n"  // never removable
+           "  ret 0\n"
+           "}\n");
+  CleanupStats S = eliminateDeadCode(*P.F);
+  EXPECT_EQ(S.DeadRemoved, 1u);
+  ASSERT_EQ(P.F->entry()->size(), 2u);
+  EXPECT_EQ(P.F->entry()->insts()[0].Op, Opcode::Store);
+}
+
+TEST(DCE, KeepsLoopCarriedValues) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov 0\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = add r3, 1\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  CleanupStats S = eliminateDeadCode(*P.F);
+  EXPECT_EQ(S.DeadRemoved, 0u);
+}
+
+TEST(CopyProp, ForwardsRegisterCopies) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mov r1\n"
+           "  r3 = add r2, 1\n"
+           "  ret r3\n"
+           "}\n");
+  CleanupStats S = propagateCopies(*P.F);
+  EXPECT_GE(S.CopiesPropagated, 1u);
+  EXPECT_EQ(P.F->entry()->insts()[1].A.reg(), Reg(1));
+}
+
+TEST(CopyProp, ForwardsImmediates) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mov 5\n"
+           "  r3 = add r1, r2\n"
+           "  ret r3\n"
+           "}\n");
+  propagateCopies(*P.F);
+  EXPECT_TRUE(P.F->entry()->insts()[1].B.isImm());
+  EXPECT_EQ(P.F->entry()->insts()[1].B.imm(), 5);
+}
+
+TEST(CopyProp, StopsAtRedefinitionOfSource) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mov r1\n"
+           "  r1 = add r1, 1\n" // source changes
+           "  r3 = add r2, 0\n" // must still read the old value via r2
+           "  ret r3\n"
+           "}\n");
+  propagateCopies(*P.F);
+  EXPECT_TRUE(P.F->entry()->insts()[2].A.isReg());
+  EXPECT_EQ(P.F->entry()->insts()[2].A.reg(), Reg(2));
+}
+
+TEST(CopyProp, ChainsThroughMultipleCopies) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mov r1\n"
+           "  r3 = mov r2\n"
+           "  r4 = add r3, 1\n"
+           "  ret r4\n"
+           "}\n");
+  propagateCopies(*P.F);
+  EXPECT_EQ(P.F->entry()->insts()[2].A.reg(), Reg(1));
+}
+
+TEST(CopyProp, RewritesAddressBases) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = mov r1\n"
+           "  r3 = load.i32.u [r2+4]\n"
+           "  ret r3\n"
+           "}\n");
+  propagateCopies(*P.F);
+  EXPECT_EQ(P.F->entry()->insts()[1].Addr.Base, Reg(1));
+}
+
+TEST(ConstFold, FoldsImmediateALU) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add 3, 4\n"
+           "  r3 = mul 5, -2\n"
+           "  r4 = shl 1, 10\n"
+           "  r5 = add r2, r3\n"
+           "  r6 = add r5, r4\n"
+           "  ret r6\n"
+           "}\n");
+  CleanupStats S = foldConstants(*P.F);
+  EXPECT_EQ(S.Folded, 3u);
+  EXPECT_EQ(P.F->entry()->insts()[0].Op, Opcode::Mov);
+  EXPECT_EQ(P.F->entry()->insts()[0].A.imm(), 7);
+  EXPECT_EQ(P.F->entry()->insts()[1].A.imm(), -10);
+  EXPECT_EQ(P.F->entry()->insts()[2].A.imm(), 1024);
+}
+
+TEST(ConstFold, NeverFoldsDivisionByZero) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = divs 5, 0\n"
+           "  ret r2\n"
+           "}\n");
+  CleanupStats S = foldConstants(*P.F);
+  EXPECT_EQ(S.Folded, 0u);
+  EXPECT_EQ(P.F->entry()->insts()[0].Op, Opcode::DivS);
+}
+
+TEST(ConstFold, Identities) {
+  Parsed P("func @f(r1) {\n"
+           "e:\n"
+           "  r2 = add r1, 0\n"
+           "  r3 = mul r2, 1\n"
+           "  r4 = or r3, 0\n"
+           "  r5 = shl r4, 0\n"
+           "  r6 = and r5, -1\n"
+           "  r7 = mul r6, 0\n"
+           "  r8 = and r6, 0\n"
+           "  r9 = add r7, r8\n"
+           "  r10 = add r6, r9\n"
+           "  ret r10\n"
+           "}\n");
+  CleanupStats S = foldConstants(*P.F);
+  EXPECT_EQ(S.Folded, 7u);
+  // x+0 etc. became movs of the register; x*0 and x&0 became mov 0.
+  EXPECT_EQ(P.F->entry()->insts()[0].Op, Opcode::Mov);
+  EXPECT_EQ(P.F->entry()->insts()[5].A.imm(), 0);
+}
+
+TEST(CleanupPipeline, ConvergesAndPreservesSemantics) {
+  TargetMachine TM = makeAlphaTarget();
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    RNG R(Seed);
+    // Random function with dead code, copies, and folds mixed in.
+    std::string Body;
+    unsigned NextReg = 2;
+    std::vector<unsigned> Live = {1};
+    for (int I = 0; I < 20; ++I) {
+      unsigned Src = Live[R.nextBelow(Live.size())];
+      unsigned D = NextReg++;
+      switch (R.nextBelow(4)) {
+      case 0:
+        Body += "  r" + std::to_string(D) + " = mov r" +
+                std::to_string(Src) + "\n";
+        break;
+      case 1:
+        Body += "  r" + std::to_string(D) + " = add r" +
+                std::to_string(Src) + ", " +
+                std::to_string(R.nextInRange(-4, 4)) + "\n";
+        break;
+      case 2:
+        Body += "  r" + std::to_string(D) + " = mov " +
+                std::to_string(R.nextInRange(0, 9)) + "\n";
+        break;
+      case 3:
+        Body += "  r" + std::to_string(D) + " = xor r" +
+                std::to_string(Src) + ", r" +
+                std::to_string(Live[R.nextBelow(Live.size())]) + "\n";
+        break;
+      }
+      Live.push_back(D);
+    }
+    unsigned RetReg = Live[R.nextBelow(Live.size())];
+    std::string Text = "func @f(r1) {\ne:\n" + Body + "  ret r" +
+                       std::to_string(RetReg) + "\n}\n";
+    Parsed Original(Text);
+    Parsed Cleaned(Text);
+    CleanupStats S = runCleanupPipeline(*Cleaned.F);
+    (void)S;
+    // Semantics must match for several inputs.
+    for (int64_t Arg : {0LL, 1LL, -5LL, 123456LL}) {
+      Memory M1, M2;
+      Interpreter I1(TM, M1), I2(TM, M2);
+      RunResult R1 = I1.run(*Original.F, {Arg});
+      RunResult R2 = I2.run(*Cleaned.F, {Arg});
+      ASSERT_TRUE(R1.ok() && R2.ok());
+      EXPECT_EQ(R1.ReturnValue, R2.ReturnValue)
+          << "seed " << Seed << " arg " << Arg;
+      // Cleanup should never increase the instruction count.
+      EXPECT_LE(Cleaned.F->instructionCount(),
+                Original.F->instructionCount());
+    }
+  }
+}
+
+TEST(CloneBlock, RetargetsSelfLoops) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  BasicBlock *Body = P.F->findBlock("body");
+  BasicBlock *Clone = cloneBlock(*P.F, *Body, "body.copy");
+  ASSERT_EQ(Clone->size(), Body->size());
+  const Instruction &T = Clone->terminator();
+  EXPECT_EQ(T.TrueTarget, Clone) << "self back edge retargeted";
+  EXPECT_EQ(T.FalseTarget, P.F->findBlock("exit")) << "exit edge kept";
+}
+
+TEST(RetargetBranches, RewritesAllExceptExcluded) {
+  Parsed P("func @f(r1) {\n"
+           "a:\n"
+           "  jmp c\n"
+           "b:\n"
+           "  jmp c\n"
+           "c:\n"
+           "  ret r1\n"
+           "}\n");
+  BasicBlock *A = P.F->findBlock("a");
+  BasicBlock *B = P.F->findBlock("b");
+  BasicBlock *C = P.F->findBlock("c");
+  retargetBranches(*P.F, C, A, /*ExceptIn=*/B);
+  EXPECT_EQ(A->terminator().TrueTarget, A);
+  EXPECT_EQ(B->terminator().TrueTarget, C) << "excluded block untouched";
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/transform/scalar_replace_test.cpp -----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "transform/ScalarReplace.h"
+#include "workloads/Workload.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+/// Three-tap FIR over bytes: out[i] = a[i] + a[i+1] + a[i+2].
+/// Two of the three loads per iteration are last iteration's values.
+const char *FirLoop = "func @fir(r1, r2, r3) {\n"
+                      "entry:\n"
+                      "  r4 = add r1, r3\n"
+                      "  br.les r3, 0, exit, body\n"
+                      "body:\n"
+                      "  r5 = load.i8.u [r1]\n"
+                      "  r6 = load.i8.u [r1+1]\n"
+                      "  r7 = load.i8.u [r1+2]\n"
+                      "  r8 = add r5, r6\n"
+                      "  r9 = add r8, r7\n"
+                      "  store.i8 [r2], r9\n"
+                      "  r1 = add r1, 1\n"
+                      "  r2 = add r2, 1\n"
+                      "  br.ltu r1, r4, body, exit\n"
+                      "exit:\n"
+                      "  ret 0\n"
+                      "}\n";
+
+int64_t runFir(Function &F, int64_t N, uint64_t *RefsOut = nullptr,
+               std::vector<uint8_t> *OutBytes = nullptr) {
+  TargetMachine TM = makeAlphaTarget();
+  Memory Mem;
+  uint64_t A = Mem.allocate(static_cast<size_t>(N) + 64, 8);
+  uint64_t B = Mem.allocate(static_cast<size_t>(N) + 64, 8);
+  for (int64_t I = 0; I < N + 2; ++I)
+    Mem.write(A + I, 1, static_cast<uint64_t>((I * 11 + 5) & 0xff));
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(F, {static_cast<int64_t>(A),
+                               static_cast<int64_t>(B), N});
+  EXPECT_TRUE(R.ok()) << R.Error;
+  if (RefsOut)
+    *RefsOut = R.MemRefs();
+  if (OutBytes)
+    OutBytes->assign(Mem.data() + B, Mem.data() + B + N);
+  return R.ReturnValue;
+}
+
+TEST(ScalarReplace, ReplacesFirChainWithRestrict) {
+  Parsed P(FirLoop);
+  P.F->paramInfo(1).NoAlias = true; // out does not alias a
+  ScalarReplaceStats S = replaceSubscriptedScalars(*P.F);
+  EXPECT_EQ(S.ChainsReplaced, 1u);
+  EXPECT_EQ(S.LoadsRemoved, 2u);
+  // Only one load remains in the body.
+  unsigned BodyLoads = 0;
+  for (const Instruction &I : P.F->findBlock("body")->insts())
+    BodyLoads += I.isLoad();
+  EXPECT_EQ(BodyLoads, 1u);
+}
+
+TEST(ScalarReplace, RefusedWithoutAliasInformation) {
+  Parsed P(FirLoop);
+  ScalarReplaceStats S = replaceSubscriptedScalars(*P.F);
+  EXPECT_EQ(S.ChainsReplaced, 0u)
+      << "the out stream could overwrite the carried window";
+}
+
+TEST(ScalarReplace, SemanticsAndTraffic) {
+  for (int64_t N : {0LL, 1LL, 2LL, 3LL, 17LL, 64LL}) {
+    Parsed Plain(FirLoop);
+    Parsed Opt(FirLoop);
+    Opt.F->paramInfo(1).NoAlias = true;
+    replaceSubscriptedScalars(*Opt.F);
+    uint64_t RefsPlain = 0, RefsOpt = 0;
+    std::vector<uint8_t> OutPlain, OutOpt;
+    runFir(*Plain.F, N, &RefsPlain, &OutPlain);
+    runFir(*Opt.F, N, &RefsOpt, &OutOpt);
+    EXPECT_EQ(OutPlain, OutOpt) << "N=" << N;
+    if (N > 3) {
+      EXPECT_LT(RefsOpt, RefsPlain) << "N=" << N;
+    }
+  }
+}
+
+TEST(ScalarReplace, ZeroTripNeverTouchesMemory) {
+  Parsed P(FirLoop);
+  P.F->paramInfo(1).NoAlias = true;
+  replaceSubscriptedScalars(*P.F);
+  TargetMachine TM = makeAlphaTarget();
+  Memory Mem; // nothing allocated
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*P.F, {4096, 8192, 0});
+  EXPECT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.MemRefs(), 0u);
+}
+
+TEST(ScalarReplace, DescendingStream) {
+  // out[i] = a[j] + a[j+1] with the a-pointer walking DOWN.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  r4 = add r1, r3\n" // a-pointer starts at the top window
+           "  r5 = add r2, r3\n"
+           "  br.les r3, 0, exit, body\n"
+           "body:\n"
+           "  r6 = load.i8.u [r4]\n"
+           "  r7 = load.i8.u [r4+1]\n"
+           "  r8 = add r6, r7\n"
+           "  store.i8 [r2], r8\n"
+           "  r4 = sub r4, 1\n"
+           "  r2 = add r2, 1\n"
+           "  br.ltu r2, r5, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  P.F->paramInfo(1).NoAlias = true;
+  ScalarReplaceStats S = replaceSubscriptedScalars(*P.F);
+  EXPECT_EQ(S.ChainsReplaced, 1u);
+  // Differential against the unreplaced version.
+  Parsed Plain("func @f(r1, r2, r3) {\n"
+               "entry:\n"
+               "  r4 = add r1, r3\n"
+               "  r5 = add r2, r3\n"
+               "  br.les r3, 0, exit, body\n"
+               "body:\n"
+               "  r6 = load.i8.u [r4]\n"
+               "  r7 = load.i8.u [r4+1]\n"
+               "  r8 = add r6, r7\n"
+               "  store.i8 [r2], r8\n"
+               "  r4 = sub r4, 1\n"
+               "  r2 = add r2, 1\n"
+               "  br.ltu r2, r5, body, exit\n"
+               "exit:\n"
+               "  ret 0\n"
+               "}\n");
+  auto Run = [](Function &F, int64_t N) {
+    TargetMachine TM = makeAlphaTarget();
+    Memory Mem;
+    uint64_t A = Mem.allocate(static_cast<size_t>(N) + 64, 8);
+    uint64_t B = Mem.allocate(static_cast<size_t>(N) + 64, 8);
+    for (int64_t I = 0; I < N + 2; ++I)
+      Mem.write(A + I, 1, static_cast<uint64_t>((I * 3 + 1) & 0xff));
+    Interpreter Interp(TM, Mem);
+    RunResult R = Interp.run(F, {static_cast<int64_t>(A),
+                                 static_cast<int64_t>(B), N});
+    EXPECT_TRUE(R.ok()) << R.Error;
+    return std::vector<uint8_t>(Mem.data() + B, Mem.data() + B + N);
+  };
+  for (int64_t N : {1LL, 2LL, 9LL, 32LL})
+    EXPECT_EQ(Run(*P.F, N), Run(*Plain.F, N)) << "N=" << N;
+}
+
+TEST(ScalarReplace, RefusedWhenStoreHitsWindow) {
+  // In-place smoothing: the store writes into the carried window.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = add r1, r2\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r5 = load.i8.u [r1+1]\n"
+           "  r6 = add r4, r5\n"
+           "  store.i8 [r1+1], r6\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r3, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  EXPECT_EQ(replaceSubscriptedScalars(*P.F).ChainsReplaced, 0u);
+}
+
+TEST(ScalarReplace, StoreBehindStreamIsFine) {
+  // The store writes at offset -1: already consumed, never carried.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = add r1, r2\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r5 = load.i8.u [r1+1]\n"
+           "  r6 = add r4, r5\n"
+           "  store.i8 [r1-1], r6\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r3, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  EXPECT_EQ(replaceSubscriptedScalars(*P.F).ChainsReplaced, 1u);
+}
+
+TEST(ScalarReplace, ConvolutionCutsLoadsPerPixel) {
+  // The flagship customer: 9 loads per pixel become 3.
+  auto W = makeWorkloadByName("convolution");
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t Refs[2];
+  for (int Use = 0; Use < 2; ++Use) {
+    Module M;
+    Function *F = W->build(M);
+    for (size_t P = 0; P < 3; ++P) // the three pointer parameters
+      F->paramInfo(P).NoAlias = true;
+    CompileOptions CO;
+    CO.Mode = CoalesceMode::None;
+    CO.Unroll = false;
+    CO.ScalarReplace = Use == 1;
+    CompileReport R = compileFunction(*F, TM, CO);
+    if (Use == 1) {
+      EXPECT_EQ(R.ScalarReplace.ChainsReplaced, 3u) << "three tap rows";
+      EXPECT_EQ(R.ScalarReplace.LoadsRemoved, 6u);
+    }
+
+    Memory Mem;
+    SetupOptions SO;
+    SO.Width = 40;
+    SO.Height = 12;
+    SetupResult S = W->setup(Mem, SO);
+    std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+    W->golden(Golden.data(), SO, S);
+    Interpreter Interp(TM, Mem);
+    RunResult Run = Interp.run(*F, S.Args);
+    ASSERT_TRUE(Run.ok()) << Run.Error;
+    EXPECT_EQ(std::memcmp(Mem.data(), Golden.data(), Mem.size()), 0)
+        << "scalar-replace=" << Use;
+    Refs[Use] = Run.MemRefs();
+  }
+  EXPECT_LT(Refs[1], Refs[0] * 2 / 3)
+      << "two thirds of the tap loads must disappear";
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+//===- tests/transform/strength_reduce_test.cpp ----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "transform/Cleanup.h"
+#include "transform/StrengthReduce.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+/// Naive front-end shape: addr = base + (i << 1) recomputed per access.
+/// Sums n shorts from r1; r2 = n.
+const char *NaiveIndexLoop = "func @f(r1, r2) {\n"
+                             "entry:\n"
+                             "  r3 = mov 0\n" // i
+                             "  r4 = mov 0\n" // sum
+                             "  br.les r2, 0, exit, body\n"
+                             "body:\n"
+                             "  r5 = shl r3, 1\n"
+                             "  r6 = add r1, r5\n"
+                             "  r7 = load.i16.s [r6]\n"
+                             "  r4 = add r4, r7\n"
+                             "  r3 = add r3, 1\n"
+                             "  br.lts r3, r2, body, exit\n"
+                             "exit:\n"
+                             "  ret r4\n"
+                             "}\n";
+
+int64_t runSum16(Function &F, int64_t N) {
+  TargetMachine TM = makeAlphaTarget();
+  Memory Mem;
+  uint64_t A = Mem.allocate(2 * static_cast<size_t>(N) + 64, 8);
+  for (int64_t I = 0; I < N; ++I)
+    Mem.write(A + 2 * I, 2, static_cast<uint64_t>((I * 5 - 7) & 0xffff));
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(F, {static_cast<int64_t>(A), N});
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R.ReturnValue;
+}
+
+TEST(StrengthReduce, DerivesPointerFromShiftedIndex) {
+  Parsed P(NaiveIndexLoop);
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.LoopsExamined, 1u);
+  EXPECT_EQ(S.PointersDerived, 1u);
+  EXPECT_EQ(S.RefsRewritten, 1u);
+  // The load's base register is now advanced by 2 per iteration; after
+  // cleanup the shl/add chain is gone.
+  runCleanupPipeline(*P.F);
+  BasicBlock *Body = P.F->findBlock("body");
+  unsigned Shifts = 0;
+  for (const Instruction &I : Body->insts())
+    Shifts += I.Op == Opcode::Shl;
+  EXPECT_EQ(Shifts, 0u);
+}
+
+TEST(StrengthReduce, SemanticsPreserved) {
+  for (int64_t N : {0LL, 1LL, 7LL, 32LL}) {
+    Parsed Plain(NaiveIndexLoop);
+    Parsed Reduced(NaiveIndexLoop);
+    strengthReduce(*Reduced.F);
+    runCleanupPipeline(*Reduced.F);
+    EXPECT_EQ(runSum16(*Plain.F, N), runSum16(*Reduced.F, N)) << N;
+  }
+}
+
+TEST(StrengthReduce, SharesPointerAcrossSameKeyRefs) {
+  // Two refs to the same (base, iv, scale): one derived pointer.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov 0\n"
+           "  r4 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r5 = shl r3, 1\n"
+           "  r6 = add r1, r5\n"
+           "  r7 = load.i16.s [r6]\n"
+           "  r8 = shl r3, 1\n"
+           "  r9 = add r1, r8\n"
+           "  store.i16 [r9], r7\n"
+           "  r3 = add r3, 1\n"
+           "  br.lts r3, r2, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.PointersDerived, 1u);
+  EXPECT_EQ(S.RefsRewritten, 2u);
+  BasicBlock *Body = P.F->findBlock("body");
+  // Both refs share the same base register now.
+  Reg LoadBase, StoreBase;
+  for (const Instruction &I : Body->insts()) {
+    if (I.Op == Opcode::Load)
+      LoadBase = I.Addr.Base;
+    if (I.Op == Opcode::Store)
+      StoreBase = I.Addr.Base;
+  }
+  EXPECT_EQ(LoadBase, StoreBase);
+}
+
+TEST(StrengthReduce, DistinctScalesGetDistinctPointers) {
+  // A byte table indexed by i and a short table indexed by i.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  r4 = mov 0\n"
+           "  r5 = mov 0\n"
+           "  br.les r3, 0, exit, body\n"
+           "body:\n"
+           "  r6 = add r1, r4\n"
+           "  r7 = load.i8.u [r6]\n"
+           "  r8 = shl r4, 1\n"
+           "  r9 = add r2, r8\n"
+           "  r10 = load.i16.s [r9]\n"
+           "  r5 = add r5, r7\n"
+           "  r5 = add r5, r10\n"
+           "  r4 = add r4, 1\n"
+           "  br.lts r4, r3, body, exit\n"
+           "exit:\n"
+           "  ret r5\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.PointersDerived, 2u);
+  EXPECT_EQ(S.RefsRewritten, 2u);
+}
+
+TEST(StrengthReduce, MulScaleSupported) {
+  // Scale 3 (a struct-of-3-bytes stride): mul instead of shl.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov 0\n"
+           "  r4 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r5 = mul r3, 3\n"
+           "  r6 = add r1, r5\n"
+           "  r7 = load.i8.u [r6]\n"
+           "  r4 = add r4, r7\n"
+           "  r3 = add r3, 1\n"
+           "  br.lts r3, r2, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.PointersDerived, 1u);
+  // Semantics with the odd stride.
+  TargetMachine TM = makeAlphaTarget();
+  Memory Mem;
+  uint64_t A = Mem.allocate(128, 8);
+  for (unsigned I = 0; I < 128; ++I)
+    Mem.write(A + I, 1, I);
+  runCleanupPipeline(*P.F);
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(*P.F, {static_cast<int64_t>(A), 10});
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 0 + 3 + 6 + 9 + 12 + 15 + 18 + 21 + 24 + 27);
+}
+
+TEST(StrengthReduce, LeavesPointerIVCodeAlone) {
+  // Already pointer-based: nothing to do.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.PointersDerived, 0u);
+  EXPECT_EQ(S.RefsRewritten, 0u);
+}
+
+TEST(StrengthReduce, RefusesWhenIncrementSplitsChain) {
+  // i changes between the address computation and the use: the cached
+  // address is intentionally stale and must not be rewritten.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov 0\n"
+           "  r4 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r5 = shl r3, 1\n"
+           "  r6 = add r1, r5\n"
+           "  r3 = add r3, 1\n"
+           "  r7 = load.i16.s [r6]\n"
+           "  r4 = add r4, r7\n"
+           "  br.lts r3, r2, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.RefsRewritten, 0u);
+}
+
+TEST(StrengthReduce, DescendingIndex) {
+  // i counts down; derived pointer must step negatively.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov r2\n"
+           "  r3 = sub r3, 1\n"
+           "  r4 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r5 = shl r3, 1\n"
+           "  r6 = add r1, r5\n"
+           "  r7 = load.i16.s [r6]\n"
+           "  r4 = add r4, r7\n"
+           "  r3 = sub r3, 1\n"
+           "  br.ges r3, 0, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  StrengthReduceStats S = strengthReduce(*P.F);
+  EXPECT_EQ(S.PointersDerived, 1u);
+  runCleanupPipeline(*P.F);
+  EXPECT_EQ(runSum16(*P.F, 16),
+            [] {
+              int64_t Sum = 0;
+              for (int64_t I = 0; I < 16; ++I)
+                Sum += static_cast<int16_t>((I * 5 - 7) & 0xffff);
+              return Sum;
+            }());
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+//===- tests/transform/unroll_test.cpp -------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "transform/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// A byte-summing loop: r1 = array base, r2 = byte count.
+const char *SumLoop = "func @sum(r1, r2) {\n"
+                      "entry:\n"
+                      "  r3 = mov 0\n"
+                      "  r4 = add r1, r2\n"
+                      "  br.les r2, 0, exit, body\n"
+                      "body:\n"
+                      "  r5 = load.i8.u [r1]\n"
+                      "  r3 = add r3, r5\n"
+                      "  r1 = add r1, 1\n"
+                      "  br.ltu r1, r4, body, exit\n"
+                      "exit:\n"
+                      "  ret r3\n"
+                      "}\n";
+
+struct LoopFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<CFG> G;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  Loop *L = nullptr;
+  std::unique_ptr<LoopScalarInfo> LSI;
+
+  explicit LoopFixture(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    F = M->functions().front().get();
+    G = std::make_unique<CFG>(*F);
+    DT = std::make_unique<DominatorTree>(*G);
+    LI = std::make_unique<LoopInfo>(*G, *DT);
+    EXPECT_FALSE(LI->loops().empty());
+    L = LI->loops().front().get();
+    LSI = std::make_unique<LoopScalarInfo>(*L, *F);
+  }
+};
+
+int64_t runSum(Function &F, int64_t N, const TargetMachine &TM) {
+  Memory Mem;
+  uint64_t A = Mem.allocate(static_cast<size_t>(N) + 64, 8);
+  for (int64_t I = 0; I < N; ++I)
+    Mem.write(A + I, 1, static_cast<uint64_t>((I * 7 + 3) & 0xff));
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(F, {static_cast<int64_t>(A), N});
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R.ReturnValue;
+}
+
+int64_t expectedSum(int64_t N) {
+  int64_t S = 0;
+  for (int64_t I = 0; I < N; ++I)
+    S += (I * 7 + 3) & 0xff;
+  return S;
+}
+
+TEST(Unroll, CanUnrollValidLoop) {
+  LoopFixture Fx(SumLoop);
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM),
+            UnrollFailure::None);
+}
+
+TEST(Unroll, RejectsBadFactors) {
+  LoopFixture Fx(SumLoop);
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 1, TM),
+            UnrollFailure::BadFactor);
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 3, TM),
+            UnrollFailure::BadFactor);
+}
+
+TEST(Unroll, RejectsMultiBlockLoop) {
+  LoopFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp head\n"
+                 "head:\n"
+                 "  r3 = load.i8.u [r1]\n"
+                 "  br.lts r3, 0, skip, latch\n"
+                 "skip:\n"
+                 "  jmp latch\n"
+                 "latch:\n"
+                 "  r1 = add r1, 1\n"
+                 "  br.ltu r1, r2, head, exit\n"
+                 "exit:\n"
+                 "  ret 0\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM),
+            UnrollFailure::NotSingleBlock);
+}
+
+TEST(Unroll, RejectsNonCanonicalBound) {
+  // Loop bound compares two loop-varying registers.
+  LoopFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r1 = add r1, 1\n"
+                 "  r2 = add r2, 2\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret r1\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM),
+            UnrollFailure::NoCanonicalBound);
+}
+
+TEST(Unroll, RejectsEqualityBound) {
+  LoopFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r1 = add r1, 1\n"
+                 "  br.ne r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret r1\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM),
+            UnrollFailure::UnsupportedBound);
+}
+
+TEST(Unroll, RejectsIVUsedAsValue) {
+  // The IV feeds a multiply: its per-copy value would need materializing.
+  LoopFixture Fx("func @f(r1, r2) {\n"
+                 "entry:\n"
+                 "  r3 = mov 0\n"
+                 "  jmp body\n"
+                 "body:\n"
+                 "  r4 = mul r1, 3\n"
+                 "  r3 = add r3, r4\n"
+                 "  r1 = add r1, 1\n"
+                 "  br.ltu r1, r2, body, exit\n"
+                 "exit:\n"
+                 "  ret r3\n"
+                 "}\n");
+  TargetMachine TM = makeAlphaTarget();
+  EXPECT_EQ(canUnrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM),
+            UnrollFailure::IVUsedOutsideAddress);
+}
+
+TEST(Unroll, ICacheHeuristicCapsFactor) {
+  LoopFixture Fx(SumLoop);
+  TargetMachine Tiny = makeM68030Target(); // 256-byte i-cache
+  unsigned Factor = chooseUnrollFactor(*Fx.L, Tiny, 64);
+  TargetMachine Big = makeAlphaTarget();
+  unsigned FactorBig = chooseUnrollFactor(*Fx.L, Big, 64);
+  EXPECT_LT(Factor, FactorBig);
+  EXPECT_GE(Factor, 2u);
+}
+
+TEST(Unroll, ProducesExpectedStructure) {
+  LoopFixture Fx(SumLoop);
+  TargetMachine TM = makeAlphaTarget();
+  UnrollResult UR;
+  ASSERT_EQ(unrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM, UR),
+            UnrollFailure::None);
+  EXPECT_EQ(UR.Factor, 4u);
+  ASSERT_NE(UR.UnrolledBody, nullptr);
+  ASSERT_NE(UR.RemainderBody, nullptr);
+  ASSERT_NE(UR.Setup, nullptr);
+  ASSERT_NE(UR.Guard, nullptr);
+  // The unrolled body has 4 loads with displacements 0..3 and one
+  // combined increment of 4.
+  unsigned Loads = 0;
+  int64_t CombinedInc = 0;
+  for (const Instruction &I : UR.UnrolledBody->insts()) {
+    if (I.isLoad()) {
+      EXPECT_EQ(I.Addr.Disp, Loads);
+      ++Loads;
+    }
+    if (I.Op == Opcode::Add && I.Dst == Reg(1) && I.B.isImm())
+      CombinedInc = I.B.imm();
+  }
+  EXPECT_EQ(Loads, 4u);
+  EXPECT_EQ(CombinedInc, 4);
+  // The original rolled body still exists and still has one load.
+  unsigned RolledLoads = 0;
+  for (const Instruction &I : UR.RolledBody->insts())
+    RolledLoads += I.isLoad();
+  EXPECT_EQ(RolledLoads, 1u);
+}
+
+TEST(Unroll, SemanticsAcrossTripCounts) {
+  TargetMachine TM = makeAlphaTarget();
+  for (int64_t N : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 100}) {
+    LoopFixture Fx(SumLoop);
+    UnrollResult UR;
+    ASSERT_EQ(unrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM, UR),
+              UnrollFailure::None);
+    EXPECT_EQ(runSum(*Fx.F, N, TM), expectedSum(N)) << "N=" << N;
+  }
+}
+
+TEST(Unroll, DescendingLoopSemantics) {
+  const char *DescLoop = "func @f(r1, r2) {\n"
+                         "entry:\n"
+                         "  r3 = mov 0\n"
+                         "  r4 = add r1, r2\n"
+                         "  r4 = sub r4, 1\n"
+                         "  br.les r2, 0, exit, body\n"
+                         "body:\n"
+                         "  r5 = load.i8.u [r4]\n"
+                         "  r3 = add r3, r5\n"
+                         "  r4 = sub r4, 1\n"
+                         "  br.gtu r4, r1, body, exit\n"
+                         "exit:\n"
+                         "  ret r3\n"
+                         "}\n";
+  // Note: this loop sums bytes N-1 down to 1 (it stops when the pointer
+  // equals the base), so compare against that reference.
+  TargetMachine TM = makeAlphaTarget();
+  for (int64_t N : {2, 4, 5, 8, 9, 33}) {
+    LoopFixture Fx(DescLoop);
+    UnrollResult UR;
+    ASSERT_EQ(unrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 4, TM, UR),
+              UnrollFailure::None)
+        << "N=" << N;
+    int64_t Expect = 0;
+    for (int64_t I = 1; I < N; ++I)
+      Expect += (I * 7 + 3) & 0xff;
+    EXPECT_EQ(runSum(*Fx.F, N, TM), Expect) << "N=" << N;
+  }
+}
+
+TEST(Unroll, MultipleIncrementsPerIteration) {
+  const char *TwoStep = "func @f(r1, r2) {\n"
+                        "entry:\n"
+                        "  r3 = mov 0\n"
+                        "  r4 = add r1, r2\n"
+                        "  br.les r2, 0, exit, body\n"
+                        "body:\n"
+                        "  r5 = load.i8.u [r1]\n"
+                        "  r1 = add r1, 1\n"
+                        "  r6 = load.i8.u [r1]\n"
+                        "  r1 = add r1, 1\n"
+                        "  r7 = add r5, r6\n"
+                        "  r3 = add r3, r7\n"
+                        "  br.ltu r1, r4, body, exit\n"
+                        "exit:\n"
+                        "  ret r3\n"
+                        "}\n";
+  TargetMachine TM = makeAlphaTarget();
+  for (int64_t N : {0, 2, 4, 6, 8, 10, 16, 18, 34}) {
+    LoopFixture Fx(TwoStep);
+    UnrollResult UR;
+    ASSERT_EQ(unrollLoop(*Fx.F, *Fx.L, *Fx.LSI, 2, TM, UR),
+              UnrollFailure::None);
+    EXPECT_EQ(runSum(*Fx.F, N, TM), expectedSum(N)) << "N=" << N;
+  }
+}
+
+TEST(Unroll, InexactStrideFallsBackToRolledLoop) {
+  // A shortword loop whose byte span is odd: the setup's stride check
+  // must route execution to the original loop (which then runs the
+  // partial final iteration exactly as the rolled code would).
+  const char *ShortLoop = "func @f(r1, r2) {\n"
+                          "entry:\n"
+                          "  r3 = mov 0\n"
+                          "  r4 = add r1, r2\n"
+                          "  br.les r2, 0, exit, body\n"
+                          "body:\n"
+                          "  r5 = load.i16.u [r1]\n"
+                          "  r3 = add r3, r5\n"
+                          "  r1 = add r1, 2\n"
+                          "  br.ltu r1, r4, body, exit\n"
+                          "exit:\n"
+                          "  ret r3\n"
+                          "}\n";
+  TargetMachine TM = makeAlphaTarget();
+  // Span 10 (5 shorts) and span 9 (4.5 shorts: inexact).
+  for (int64_t Span : {10, 9}) {
+    LoopFixture Rolled(ShortLoop);
+    LoopFixture Unrolled(ShortLoop);
+    UnrollResult UR;
+    ASSERT_EQ(
+        unrollLoop(*Unrolled.F, *Unrolled.L, *Unrolled.LSI, 4, TM, UR),
+        UnrollFailure::None);
+    EXPECT_EQ(runSum(*Unrolled.F, Span, TM), runSum(*Rolled.F, Span, TM))
+        << "span=" << Span;
+  }
+}
+
+} // namespace

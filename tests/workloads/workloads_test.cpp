@@ -1,0 +1,138 @@
+//===- tests/workloads/workloads_test.cpp ----------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+class WorkloadTest : public testing::TestWithParam<std::string> {
+protected:
+  std::unique_ptr<Workload> W = makeWorkloadByName(GetParam());
+};
+
+TEST_P(WorkloadTest, BuildsVerifiableIR) {
+  ASSERT_NE(W, nullptr);
+  Module M;
+  Function *F = W->build(M);
+  ASSERT_NE(F, nullptr);
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(verifyFunction(*F, Problems))
+      << (Problems.empty() ? "" : Problems.front());
+  EXPECT_FALSE(F->params().empty());
+  EXPECT_GT(F->instructionCount(), 4u);
+  EXPECT_NE(W->description()[0], '\0');
+}
+
+TEST_P(WorkloadTest, SetupIsDeterministic) {
+  Memory M1, M2;
+  SetupOptions SO;
+  SO.N = 128;
+  SO.Width = 16;
+  SO.Height = 8;
+  SetupResult R1 = W->setup(M1, SO);
+  SetupResult R2 = W->setup(M2, SO);
+  EXPECT_EQ(R1.Args, R2.Args);
+  EXPECT_EQ(std::memcmp(M1.data(), M2.data(), M1.size()), 0);
+}
+
+TEST_P(WorkloadTest, SeedChangesData) {
+  Memory M1, M2;
+  SetupOptions SO;
+  SO.N = 128;
+  SO.Width = 16;
+  SO.Height = 8;
+  W->setup(M1, SO);
+  SO.Seed = 999;
+  W->setup(M2, SO);
+  EXPECT_NE(std::memcmp(M1.data(), M2.data(), M1.size()), 0);
+}
+
+TEST_P(WorkloadTest, RegionsAreDisjointByDefault) {
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 256;
+  SO.Width = 20;
+  SO.Height = 10;
+  SetupResult R = W->setup(Mem, SO);
+  for (size_t I = 0; I < R.Regions.size(); ++I)
+    for (size_t J = I + 1; J < R.Regions.size(); ++J) {
+      auto [AStart, ASize] = R.Regions[I];
+      auto [BStart, BSize] = R.Regions[J];
+      EXPECT_TRUE(AStart + ASize <= BStart || BStart + BSize <= AStart)
+          << "regions " << I << " and " << J << " overlap";
+    }
+}
+
+TEST_P(WorkloadTest, GoldenIsSelfConsistent) {
+  // Applying the golden implementation to two identical images yields
+  // identical results (pure function of the image).
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 64;
+  SO.Width = 10;
+  SO.Height = 6;
+  SetupResult R = W->setup(Mem, SO);
+  std::vector<uint8_t> ImgA(Mem.data(), Mem.data() + Mem.size());
+  std::vector<uint8_t> ImgB = ImgA;
+  int64_t RetA = W->golden(ImgA.data(), SO, R);
+  int64_t RetB = W->golden(ImgB.data(), SO, R);
+  EXPECT_EQ(RetA, RetB);
+  EXPECT_EQ(ImgA, ImgB);
+}
+
+TEST_P(WorkloadTest, UnoptimizedKernelMatchesGolden) {
+  // The most basic differential: the raw kernel (legalized only, which
+  // the aligned-target simulator requires) equals the golden reference.
+  Memory Mem;
+  SetupOptions SO;
+  SO.N = 200;
+  SO.Width = 18;
+  SO.Height = 9;
+  SetupResult R = W->setup(Mem, SO);
+  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
+  int64_t ExpectRet = W->golden(Golden.data(), SO, R);
+
+  Module M;
+  Function *F = W->build(M);
+  TargetMachine TM = makeM68030Target(); // narrow refs run natively
+  Interpreter Interp(TM, Mem);
+  RunResult Run = Interp.run(*F, R.Args);
+  ASSERT_TRUE(Run.ok()) << Run.Error;
+  EXPECT_EQ(Run.ReturnValue, ExpectRet);
+  EXPECT_EQ(std::memcmp(Mem.data(), Golden.data(), Mem.size()), 0);
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (auto &W : allWorkloads())
+    Names.push_back(W->name());
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest, testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(WorkloadRegistry, NamesUniqueAndResolvable) {
+  auto All = allWorkloads();
+  EXPECT_EQ(All.size(), 9u);
+  for (auto &W : All) {
+    auto Found = makeWorkloadByName(W->name());
+    ASSERT_NE(Found, nullptr) << W->name();
+    EXPECT_STREQ(Found->name(), W->name());
+  }
+  EXPECT_EQ(makeWorkloadByName("no_such_kernel"), nullptr);
+}
+
+} // namespace
