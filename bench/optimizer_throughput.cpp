@@ -63,6 +63,27 @@ void BM_FullPipeline(benchmark::State &State, const char *Name) {
   }
 }
 
+/// Cost of the guard rails themselves: the full pipeline with per-pass
+/// snapshot + re-verify versus the bare pipeline. The delta is what a
+/// clean compile pays for recoverability.
+void BM_GuardRailOverhead(benchmark::State &State, const char *Name,
+                          bool GuardRails) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  CO.GuardRails = GuardRails;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Module M;
+    Function *F = W->build(M);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compileFunction(*F, TM, CO));
+  }
+}
+
 void BM_ListScheduler(benchmark::State &State, const char *Name) {
   auto W = makeWorkloadByName(Name);
   TargetMachine TM = makeAlphaTarget();
@@ -119,6 +140,10 @@ BENCHMARK_CAPTURE(BM_Analyses, dotproduct, "dotproduct");
 BENCHMARK_CAPTURE(BM_FullPipeline, convolution, "convolution");
 BENCHMARK_CAPTURE(BM_FullPipeline, image_add, "image_add");
 BENCHMARK_CAPTURE(BM_FullPipeline, dotproduct, "dotproduct");
+BENCHMARK_CAPTURE(BM_GuardRailOverhead, image_add_guarded, "image_add",
+                  /*GuardRails=*/true);
+BENCHMARK_CAPTURE(BM_GuardRailOverhead, image_add_bare, "image_add",
+                  /*GuardRails=*/false);
 BENCHMARK_CAPTURE(BM_ListScheduler, convolution, "convolution");
 BENCHMARK(BM_SimulatorThroughput);
 

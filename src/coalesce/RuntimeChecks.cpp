@@ -8,10 +8,10 @@
 
 #include "ir/Function.h"
 #include "ir/IRBuilder.h"
-#include "support/Error.h"
 #include "support/MathExtras.h"
 
 #include <map>
+#include <optional>
 
 using namespace vpo;
 
@@ -40,18 +40,27 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
 
   // --- Overlap checks ----------------------------------------------------
   if (!Plan.OverlapChecks.empty()) {
-    assert(Plan.BoundStep != 0 && "overlap checks need the loop bound");
+    // Extent arithmetic scales the traversed byte span by step ratios
+    // using shifts, which requires power-of-two steps. A non-power-of-two
+    // step (or a missing/odd loop bound step) cannot be checked cheaply;
+    // rather than aborting, such pairs are treated as *always
+    // overlapping*, so the dispatch conservatively takes the safe loop —
+    // coalescing is skipped for that invocation, never the process.
     uint64_t BStep = static_cast<uint64_t>(
         Plan.BoundStep < 0 ? -Plan.BoundStep : Plan.BoundStep);
-    assert(isPowerOf2(BStep) && "bound step must be a power of two");
+    bool BoundFeasible = Plan.BoundStep != 0 && isPowerOf2(BStep);
 
     // span = number of bytes the bound IV will traverse (positive).
-    Reg Span = Plan.BoundStep > 0 ? B.sub(Plan.Limit, Plan.BoundIV)
-                                  : B.sub(Plan.BoundIV, Plan.Limit);
+    Reg Span;
+    if (BoundFeasible)
+      Span = Plan.BoundStep > 0 ? B.sub(Plan.Limit, Plan.BoundIV)
+                                : B.sub(Plan.BoundIV, Plan.Limit);
 
     // Interval [Lo, Hi) of each partition, computed once per base+step.
-    std::map<std::pair<unsigned, int64_t>, std::pair<Reg, Reg>> Cache;
-    auto ComputeInterval = [&](const CheckPlan::Extent &E) {
+    // An empty optional means the extent cannot be bounded at run time.
+    using Interval = std::optional<std::pair<Reg, Reg>>;
+    std::map<std::pair<unsigned, int64_t>, Interval> Cache;
+    auto ComputeInterval = [&](const CheckPlan::Extent &E) -> Interval {
       auto Key = std::make_pair(E.Base.Id, E.Step);
       auto It = Cache.find(Key);
       if (It != Cache.end())
@@ -63,8 +72,10 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
         Hi = B.add(E.Base, Operand::imm(E.MaxOffEnd));
       } else {
         uint64_t SMag = static_cast<uint64_t>(E.Step < 0 ? -E.Step : E.Step);
-        if (!isPowerOf2(SMag))
-          fatalError("runtime overlap check requires a power-of-two step");
+        if (!BoundFeasible || !isPowerOf2(SMag)) {
+          Cache[Key] = std::nullopt;
+          return std::nullopt;
+        }
         // ext = span * SMag / BStep (both powers of two).
         Operand Ext = Span;
         if (SMag > BStep)
@@ -84,13 +95,20 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
           Hi = B.add(E.Base, Operand::imm(E.MaxOffEnd));
         }
       }
-      Cache[Key] = {Lo, Hi};
+      Cache[Key] = std::make_pair(Lo, Hi);
       return std::make_pair(Lo, Hi);
     };
 
     for (const CheckPlan::Overlap &O : Plan.OverlapChecks) {
-      auto [LoA, HiA] = ComputeInterval(O.A);
-      auto [LoB, HiB] = ComputeInterval(O.B);
+      Interval IA = ComputeInterval(O.A);
+      Interval IB = ComputeInterval(O.B);
+      if (!IA || !IB) {
+        // Uncheckable pair: force the safe loop.
+        B.aluTo(Bad, Opcode::Or, Bad, Operand::imm(1));
+        continue;
+      }
+      auto [LoA, HiA] = *IA;
+      auto [LoB, HiB] = *IB;
       Reg C1 = B.cmpSet(CondCode::LTu, LoA, HiB);
       Reg C2 = B.cmpSet(CondCode::LTu, LoB, HiA);
       Reg Both = B.and_(C1, C2);

@@ -71,12 +71,18 @@ struct CheckPlan {
   // Loop-bound data for trip-count/extent computation at run time.
   Reg BoundIV;
   Operand Limit;
-  int64_t BoundStep = 0; ///< signed; |BoundStep| must be a power of two
+  /// Signed bound-IV step. Extent scaling uses shifts, so overlap pairs
+  /// are only *checkable* when |BoundStep| and the partition steps are
+  /// powers of two; uncheckable pairs are emitted as an unconditional
+  /// "assume overlap", dispatching to the safe loop.
+  int64_t BoundStep = 0;
 };
 
 /// Builds a check block that branches to \p FastLoop when every check
 /// passes and to \p SafeLoop otherwise. \returns the new block; stores the
-/// number of emitted instructions in \p InstrCount.
+/// number of emitted instructions in \p InstrCount. Never aborts: checks
+/// that cannot be computed (e.g. a non-power-of-two step) degrade into a
+/// constant "take the safe loop" flag.
 BasicBlock *buildRuntimeChecks(Function &F, const CheckPlan &Plan,
                                BasicBlock *SafeLoop, BasicBlock *FastLoop,
                                unsigned &InstrCount);

@@ -1,0 +1,63 @@
+//===- ir/Snapshot.cpp - Function checkpoint / rollback ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Snapshot.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+
+FunctionSnapshot FunctionSnapshot::take(const Function &F) {
+  FunctionSnapshot Snap;
+  Snap.Blocks.reserve(F.blocks().size());
+
+  // Branch targets may legitimately be null or dangle mid-rollback only in
+  // *malformed* IR; a snapshot is always taken from verified IR, but be
+  // defensive and encode unknown targets as null rather than asserting.
+  auto IndexOf = [&F](const BasicBlock *BB) -> int {
+    if (!BB)
+      return -1;
+    return F.blockIndex(BB);
+  };
+
+  for (const auto &BB : F.blocks()) {
+    BlockState State;
+    State.Name = BB->name();
+    State.Insts = BB->insts();
+    State.Targets.reserve(State.Insts.size());
+    for (const Instruction &I : State.Insts)
+      State.Targets.emplace_back(IndexOf(I.TrueTarget),
+                                 IndexOf(I.FalseTarget));
+    Snap.Blocks.push_back(std::move(State));
+  }
+  return Snap;
+}
+
+void FunctionSnapshot::restore(Function &F) const {
+  while (!F.blocks().empty())
+    F.removeBlock(F.blocks().back().get());
+
+  std::vector<BasicBlock *> NewBlocks;
+  NewBlocks.reserve(Blocks.size());
+  for (const BlockState &State : Blocks)
+    NewBlocks.push_back(F.addBlock(State.Name));
+
+  auto BlockAt = [&NewBlocks](int Idx) -> BasicBlock * {
+    if (Idx < 0 || static_cast<size_t>(Idx) >= NewBlocks.size())
+      return nullptr;
+    return NewBlocks[static_cast<size_t>(Idx)];
+  };
+
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    const BlockState &State = Blocks[B];
+    NewBlocks[B]->insts() = State.Insts;
+    for (size_t I = 0; I < State.Insts.size(); ++I) {
+      Instruction &Inst = NewBlocks[B]->insts()[I];
+      Inst.TrueTarget = BlockAt(State.Targets[I].first);
+      Inst.FalseTarget = BlockAt(State.Targets[I].second);
+    }
+  }
+}

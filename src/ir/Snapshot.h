@@ -1,0 +1,57 @@
+//===- ir/Snapshot.h - Function checkpoint / rollback -----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value-semantic checkpoint of a Function's code, taken by the guarded
+/// pipeline driver before each pass so a pass that produces malformed IR
+/// can be *rolled back* instead of aborting the process. Function itself
+/// is non-copyable (blocks own instructions that point back at blocks);
+/// the snapshot stores instructions with branch targets re-encoded as
+/// block indices, and restore() rebuilds the block list in place —
+/// parameters and the register allocator bound are left untouched, so
+/// registers allocated by the undone pass simply become unused ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_IR_SNAPSHOT_H
+#define VPO_IR_SNAPSHOT_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+
+class FunctionSnapshot {
+public:
+  /// Captures the code of \p F (blocks, instructions, branch topology).
+  static FunctionSnapshot take(const Function &F);
+
+  /// Restores \p F's code to the captured state. \p F must be the same
+  /// function the snapshot was taken from (parameters are not captured).
+  /// Every BasicBlock pointer previously obtained from \p F is
+  /// invalidated.
+  void restore(Function &F) const;
+
+  size_t blockCount() const { return Blocks.size(); }
+
+private:
+  struct BlockState {
+    std::string Name;
+    std::vector<Instruction> Insts;
+    /// Per-instruction (TrueTarget, FalseTarget) as block indices;
+    /// -1 encodes null.
+    std::vector<std::pair<int, int>> Targets;
+  };
+  std::vector<BlockState> Blocks;
+};
+
+} // namespace vpo
+
+#endif // VPO_IR_SNAPSHOT_H

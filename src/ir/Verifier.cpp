@@ -199,6 +199,19 @@ bool vpo::verifyModule(const Module &M, std::vector<std::string> &Problems) {
   return OK;
 }
 
+std::vector<Diagnostic>
+vpo::verifyFunctionDiagnostics(const Function &F, const char *PassName) {
+  std::vector<std::string> Problems;
+  std::vector<Diagnostic> Diags;
+  if (verifyFunction(F, Problems))
+    return Diags;
+  Diags.reserve(Problems.size());
+  for (std::string &P : Problems)
+    Diags.emplace_back(ErrorCode::InvalidIR, PassName, F.name(),
+                       std::move(P));
+  return Diags;
+}
+
 void vpo::verifyOrDie(const Function &F, const char *Context) {
   std::vector<std::string> Problems;
   if (verifyFunction(F, Problems))

@@ -14,6 +14,8 @@
 #ifndef VPO_IR_VERIFIER_H
 #define VPO_IR_VERIFIER_H
 
+#include "support/Diagnostics.h"
+
 #include <string>
 #include <vector>
 
@@ -38,8 +40,19 @@ bool verifyFunction(const Function &F, std::vector<std::string> &Problems);
 /// Verifies every function in \p M.
 bool verifyModule(const Module &M, std::vector<std::string> &Problems);
 
+/// Structured form of verifyFunction for recoverable callers: every
+/// problem becomes an ErrorCode::InvalidIR Diagnostic tagged with
+/// \p PassName (the pass that just ran) and the function's name. An empty
+/// result means the function verified cleanly. The guarded pipeline
+/// driver consumes this to roll back a pass instead of aborting.
+std::vector<Diagnostic> verifyFunctionDiagnostics(const Function &F,
+                                                  const char *PassName);
+
 /// Convenience: verify and fatalError with a full report on failure.
-/// \p Context names the pass that just ran, for the diagnostic.
+/// \p Context names the pass that just ran, for the diagnostic. Reserved
+/// for invariants *inside* a transformation (mid-pass sanity checks);
+/// pipeline-level verification goes through verifyFunctionDiagnostics so
+/// a bad pass degrades instead of killing the process.
 void verifyOrDie(const Function &F, const char *Context);
 
 } // namespace vpo

@@ -1,0 +1,154 @@
+//===- pipeline/FaultInjection.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/FaultInjection.h"
+
+#include "ir/Function.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace vpo;
+
+const char *vpo::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::WrongWidth:
+    return "wrong-width";
+  case FaultKind::ClobberedBase:
+    return "clobbered-base";
+  case FaultKind::DroppedCheck:
+    return "dropped-check";
+  case FaultKind::MissingOperand:
+    return "missing-operand";
+  case FaultKind::EmptyBlock:
+    return "empty-block";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A corruptible site: instruction \p InstIdx of block \p BlockIdx (the
+/// instruction index is unused for EmptyBlock).
+struct Site {
+  size_t BlockIdx;
+  size_t InstIdx;
+};
+
+bool isBinaryAlu(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivS:
+  case Opcode::DivU:
+  case Opcode::RemS:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::ShrA:
+  case Opcode::ShrL:
+  case Opcode::CmpSet:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Collects every site \p Kind can damage.
+std::vector<Site> collectSites(const Function &F, FaultKind Kind) {
+  std::vector<Site> Sites;
+  const auto &Blocks = F.blocks();
+  for (size_t BI = 0; BI < Blocks.size(); ++BI) {
+    const BasicBlock &BB = *Blocks[BI];
+    if (Kind == FaultKind::EmptyBlock) {
+      if (!BB.empty())
+        Sites.push_back({BI, 0});
+      continue;
+    }
+    for (size_t II = 0; II < BB.size(); ++II) {
+      const Instruction &I = BB.insts()[II];
+      bool Applies = false;
+      switch (Kind) {
+      case FaultKind::WrongWidth:
+        Applies = I.Op == Opcode::Load || I.Op == Opcode::Store;
+        break;
+      case FaultKind::ClobberedBase:
+        Applies = I.isMemory();
+        break;
+      case FaultKind::DroppedCheck:
+        Applies = I.Op == Opcode::Br;
+        break;
+      case FaultKind::MissingOperand:
+        Applies = isBinaryAlu(I.Op);
+        break;
+      case FaultKind::EmptyBlock:
+        break;
+      }
+      if (Applies)
+        Sites.push_back({BI, II});
+    }
+  }
+  return Sites;
+}
+
+} // namespace
+
+std::string vpo::injectFault(Function &F, FaultKind Kind, uint64_t Seed) {
+  std::vector<Site> Sites = collectSites(F, Kind);
+  if (Sites.empty())
+    return "";
+
+  RNG R(Seed);
+  Site S = Sites[R.nextBelow(Sites.size())];
+  BasicBlock &BB = *F.blocks()[S.BlockIdx];
+
+  if (Kind == FaultKind::EmptyBlock) {
+    size_t Dropped = BB.size();
+    BB.insts().clear();
+    return strformat("emptied block '%s' (%zu instructions dropped)",
+                     BB.name().c_str(), Dropped);
+  }
+
+  Instruction &I = BB.insts()[S.InstIdx];
+  switch (Kind) {
+  case FaultKind::WrongWidth:
+    I.IsFloat = true;
+    I.W = MemWidth::W1;
+    return strformat("rewrote %s in '%s' to an f8 reference",
+                     I.Op == Opcode::Load ? "load" : "store",
+                     BB.name().c_str());
+  case FaultKind::ClobberedBase: {
+    Reg Bogus(F.regUpperBound() + 7);
+    I.Addr.Base = Bogus;
+    return strformat("clobbered base of memory reference in '%s' with r%u",
+                     BB.name().c_str(), Bogus.Id);
+  }
+  case FaultKind::DroppedCheck:
+    I.FalseTarget = nullptr;
+    return strformat("dropped false target of branch in '%s'",
+                     BB.name().c_str());
+  case FaultKind::MissingOperand:
+    I.B = Operand();
+    return strformat("cleared rhs operand of ALU instruction in '%s'",
+                     BB.name().c_str());
+  case FaultKind::EmptyBlock:
+    break; // handled above
+  }
+  return "";
+}
+
+bool FaultInjector::operator()(const char *Pass, Function &F) {
+  if (S->Fired || std::strcmp(Pass, S->AfterPass.c_str()) != 0)
+    return false;
+  S->Fired = true;
+  S->Description = injectFault(F, S->Kind, S->Seed);
+  return !S->Description.empty();
+}

@@ -1,0 +1,99 @@
+//===- pipeline/FaultInjection.h - Deterministic IR corruption ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fault-injection harness for exercising the pipeline's guard rails.
+/// injectFault deterministically corrupts one site in a function with a
+/// verifier-detectable defect — the kinds of damage a buggy transform
+/// would do (wrong reference width, clobbered base register, dropped
+/// branch target, lost operand, emptied block). FaultInjector packages
+/// that as a one-shot CompileOptions::FaultHook so a test can corrupt
+/// the IR right after a chosen pass and assert that the driver rolls it
+/// back and still produces golden-matching output.
+///
+/// Everything here is seeded through support/RNG.h: the same (function,
+/// kind, seed) triple always corrupts the same site, so failures are
+/// replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_PIPELINE_FAULTINJECTION_H
+#define VPO_PIPELINE_FAULTINJECTION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vpo {
+
+class Function;
+
+/// The classes of IR damage the harness can inflict. Each is guaranteed
+/// to be caught by verifyFunction.
+enum class FaultKind : uint8_t {
+  /// A memory reference's width is rewritten to one the type system
+  /// forbids (an f8 load) — the "coalescer picked the wrong width" bug.
+  WrongWidth,
+  /// A memory reference's base register is replaced with one beyond the
+  /// allocator bound — the "address arithmetic lost its def" bug.
+  ClobberedBase,
+  /// A conditional branch loses its false target — the "run-time check
+  /// dispatch was dropped" bug.
+  DroppedCheck,
+  /// An ALU instruction loses an operand — the "rewrite forgot to fill
+  /// in the new operand" bug.
+  MissingOperand,
+  /// A basic block is emptied — the "pass deleted the loop body" bug.
+  EmptyBlock,
+};
+
+/// \returns a printable name for a fault kind.
+const char *faultKindName(FaultKind K);
+
+/// Corrupts one deterministically chosen site in \p F with \p Kind.
+/// \returns a human-readable description of what was damaged, or the
+/// empty string when \p F has no site the kind applies to (the function
+/// is then unchanged).
+std::string injectFault(Function &F, FaultKind Kind, uint64_t Seed);
+
+/// A one-shot fault bound to a pipeline position: bindable directly to
+/// CompileOptions::FaultHook, it corrupts the IR the first time the
+/// guarded driver finishes the pass named \p AfterPass, then goes
+/// dormant — so the driver's retry of a required pass sees clean IR.
+/// Copies share state (std::function copies its callable), so fired()
+/// and description() on the original observe the hook's effect.
+class FaultInjector {
+public:
+  FaultInjector(std::string AfterPass, FaultKind Kind, uint64_t Seed)
+      : S(std::make_shared<State>()) {
+    S->AfterPass = std::move(AfterPass);
+    S->Kind = Kind;
+    S->Seed = Seed;
+  }
+
+  /// FaultHook signature. \returns true if the IR was mutated.
+  bool operator()(const char *Pass, Function &F);
+
+  /// True once the fault has been injected.
+  bool fired() const { return S->Fired; }
+
+  /// What injectFault reported; empty until fired (or if no site).
+  const std::string &description() const { return S->Description; }
+
+private:
+  struct State {
+    std::string AfterPass;
+    FaultKind Kind = FaultKind::WrongWidth;
+    uint64_t Seed = 0;
+    bool Fired = false;
+    std::string Description;
+  };
+  std::shared_ptr<State> S;
+};
+
+} // namespace vpo
+
+#endif // VPO_PIPELINE_FAULTINJECTION_H

@@ -7,86 +7,221 @@
 #include "pipeline/Pipeline.h"
 
 #include "ir/Function.h"
+#include "ir/Snapshot.h"
 #include "ir/Verifier.h"
 #include "sched/ListScheduler.h"
 #include "target/TargetMachine.h"
 
+#include <set>
+
 using namespace vpo;
+
+namespace {
+
+/// The guarded pass driver. Each pass runs between an IR snapshot and a
+/// re-verification; a pass whose output fails verification is rolled back
+/// and disabled (optional passes) or retried once and, failing that,
+/// stops the pipeline with Succeeded = false (required passes). Either
+/// way the IR the caller gets back always verifies — the compile-time
+/// analogue of the paper's run-time dispatch to the safe loop.
+class GuardedDriver {
+public:
+  GuardedDriver(Function &F, const CompileOptions &Opts,
+                CompileReport &Report)
+      : F(F), Opts(Opts), Report(Report) {}
+
+  /// Runs \p Body as the pass named \p Name. \returns true if the pass's
+  /// effects were kept.
+  template <typename BodyFn>
+  bool runPass(const char *Name, bool Required, BodyFn &&Body) {
+    if (Stopped || Disabled.count(Name))
+      return false;
+    if (!Opts.GuardRails) {
+      Body();
+      return true;
+    }
+
+    FunctionSnapshot Snap = FunctionSnapshot::take(F);
+    const CompileReport Saved = Report;
+
+    Body();
+    if (Opts.FaultHook)
+      Opts.FaultHook(Name, F);
+    std::vector<Diagnostic> Diags = verifyFunctionDiagnostics(F, Name);
+    if (Diags.empty())
+      return true;
+
+    // The pass (or the fault hook standing in for a miscompiling pass)
+    // produced bad IR: restore the snapshot and the pre-pass stats.
+    Snap.restore(F);
+    Report = Saved;
+    CompileReport::PassIncident Inc;
+    Inc.Pass = Name;
+    Inc.RolledBack = true;
+    Inc.Diags = std::move(Diags);
+
+    if (Required) {
+      // Retry once from the clean snapshot, without the fault hook: a
+      // one-shot corruption vanishes, a genuinely broken pass does not.
+      Inc.Retried = true;
+      Body();
+      std::vector<Diagnostic> RetryDiags =
+          verifyFunctionDiagnostics(F, Name);
+      if (RetryDiags.empty()) {
+        Report.Incidents.push_back(std::move(Inc));
+        return true;
+      }
+      Snap.restore(F);
+      Report = Saved;
+      Inc.Diags.insert(Inc.Diags.end(),
+                       std::make_move_iterator(RetryDiags.begin()),
+                       std::make_move_iterator(RetryDiags.end()));
+      Inc.PipelineStopped = true;
+      Report.Incidents.push_back(std::move(Inc));
+      Report.Succeeded = false;
+      Stopped = true;
+      return false;
+    }
+
+    // Optional pass: its effects are discarded and it stays off for the
+    // rest of this compilation. The pipeline continues on the last good
+    // IR (graceful degradation toward the unoptimized configuration).
+    Inc.Disabled = true;
+    Disabled.insert(Name);
+    Report.Incidents.push_back(std::move(Inc));
+    return false;
+  }
+
+  bool stopped() const { return Stopped; }
+
+private:
+  Function &F;
+  const CompileOptions &Opts;
+  CompileReport &Report;
+  std::set<std::string> Disabled;
+  bool Stopped = false;
+};
+
+} // namespace
 
 CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
                                    const CompileOptions &Opts) {
   CompileReport Report;
-  verifyOrDie(F, "frontend");
+
+  // Input verification. A malformed kernel is a user error: with guard
+  // rails it yields a failed report with diagnostics (and F untouched),
+  // not an abort.
+  if (Opts.GuardRails) {
+    std::vector<Diagnostic> InputDiags =
+        verifyFunctionDiagnostics(F, "frontend");
+    if (!InputDiags.empty()) {
+      CompileReport::PassIncident Inc;
+      Inc.Pass = "frontend";
+      Inc.PipelineStopped = true;
+      Inc.Diags = std::move(InputDiags);
+      Report.Incidents.push_back(std::move(Inc));
+      Report.Succeeded = false;
+      return Report;
+    }
+  } else {
+    verifyOrDie(F, "frontend");
+  }
+
   auto Trace = [&](const char *Stage) {
     if (Opts.TraceHook)
       Opts.TraceHook(Stage, F);
   };
   Trace("input");
 
+  GuardedDriver Driver(F, Opts, Report);
+
   // Strength reduction first: front-end code addresses arrays as
   // base + iv*scale; the coalescer needs pointer induction variables.
   // The dead address arithmetic it leaves behind must be cleaned before
   // the unroller checks how induction variables are used.
   if (Opts.StrengthReduce) {
-    Report.StrengthReduce = strengthReduce(F);
-    if (Opts.Cleanup && Report.StrengthReduce.RefsRewritten > 0)
-      Report.Cleanup += runCleanupPipeline(F);
-    if (Report.StrengthReduce.RefsRewritten > 0)
+    bool Kept = Driver.runPass("strength-reduce", /*Required=*/false, [&] {
+      Report.StrengthReduce = strengthReduce(F);
+      if (Opts.Cleanup && Report.StrengthReduce.RefsRewritten > 0)
+        Report.Cleanup += runCleanupPipeline(F);
+    });
+    if (Kept && Report.StrengthReduce.RefsRewritten > 0)
       Trace("strength-reduce");
   }
 
-  // Recurrence optimization runs first: removing the loop-carried load
+  // Recurrence optimization runs early: removing the loop-carried load
   // both saves a reference per iteration and clears the Fig. 4 hazard
   // that would otherwise block store coalescing of the recurrent stream.
   if (Opts.OptimizeRecurrences) {
-    Report.Recurrence = optimizeRecurrences(F);
-    if (Report.Recurrence.RecurrencesOptimized > 0)
+    bool Kept = Driver.runPass("recurrence", /*Required=*/false, [&] {
+      Report.Recurrence = optimizeRecurrences(F);
+    });
+    if (Kept && Report.Recurrence.RecurrencesOptimized > 0)
       Trace("recurrence");
   }
 
   // Register blocking: adjacent-subscript loads carried across
   // iterations in registers.
   if (Opts.ScalarReplace) {
-    Report.ScalarReplace = replaceSubscriptedScalars(F);
-    if (Report.ScalarReplace.ChainsReplaced > 0)
+    bool Kept = Driver.runPass("scalar-replace", /*Required=*/false, [&] {
+      Report.ScalarReplace = replaceSubscriptedScalars(F);
+    });
+    if (Kept && Report.ScalarReplace.ChainsReplaced > 0)
       Trace("scalar-replace");
   }
 
   // Coalescing subsumes unrolling (paper Fig. 2). With Mode == None and
   // Unroll on, only the unrolling step runs — the unrolled-baseline
-  // configurations of Tables II/III.
-  CoalesceOptions CO;
-  CO.Mode = Opts.Mode;
-  CO.Unroll = Opts.Unroll;
-  CO.UnrollFactor = Opts.UnrollFactor;
-  CO.IgnoreICacheHeuristic = Opts.IgnoreICacheHeuristic;
-  CO.UseRuntimeChecks = Opts.UseRuntimeChecks;
-  CO.RequireProfitability = Opts.RequireProfitability;
-  CO.MaxWideBytes = Opts.MaxWideBytes;
-  Report.Coalesce = coalesceMemoryAccesses(F, TM, CO);
+  // configurations of Tables II/III. A coalesce that miscompiles is
+  // rolled back, leaving exactly the "vpo -O" pipeline.
+  Driver.runPass("coalesce", /*Required=*/false, [&] {
+    CoalesceOptions CO;
+    CO.Mode = Opts.Mode;
+    CO.Unroll = Opts.Unroll;
+    CO.UnrollFactor = Opts.UnrollFactor;
+    CO.IgnoreICacheHeuristic = Opts.IgnoreICacheHeuristic;
+    CO.UseRuntimeChecks = Opts.UseRuntimeChecks;
+    CO.RequireProfitability = Opts.RequireProfitability;
+    CO.MaxWideBytes = Opts.MaxWideBytes;
+    Report.Coalesce = coalesceMemoryAccesses(F, TM, CO);
+  });
   Trace("coalesce");
 
-  if (Opts.Cleanup) {
-    Report.Cleanup += runCleanupPipeline(F);
-    verifyOrDie(F, "cleanup");
-  }
+  if (Opts.Cleanup)
+    Driver.runPass("cleanup", /*Required=*/false, [&] {
+      Report.Cleanup += runCleanupPipeline(F);
+      if (!Opts.GuardRails)
+        verifyOrDie(F, "cleanup");
+    });
 
-  Report.Legalize = legalizeFunction(F, TM);
-  Trace("legalize");
+  // Legalization is required: without it the target cannot issue the
+  // code. It gets the retry-once policy; if it genuinely cannot produce
+  // verified IR the compile fails recoverably.
+  Driver.runPass("legalize", /*Required=*/true, [&] {
+    Report.Legalize = legalizeFunction(F, TM);
+  });
+  if (!Driver.stopped())
+    Trace("legalize");
 
-  if (Opts.Cleanup) {
-    Report.Cleanup += runCleanupPipeline(F);
-    verifyOrDie(F, "cleanup-post-legalize");
-  }
+  if (Opts.Cleanup)
+    Driver.runPass("cleanup-post-legalize", /*Required=*/false, [&] {
+      Report.Cleanup += runCleanupPipeline(F);
+      if (!Opts.GuardRails)
+        verifyOrDie(F, "cleanup-post-legalize");
+    });
 
   if (Opts.Schedule) {
-    for (const auto &BB : F.blocks()) {
-      ScheduleResult S = scheduleBlock(*BB, TM);
-      applySchedule(*BB, S);
-      ++Report.BlocksScheduled;
-    }
-    verifyOrDie(F, "schedule");
-    Trace("schedule");
+    bool Kept = Driver.runPass("schedule", /*Required=*/false, [&] {
+      for (const auto &BB : F.blocks()) {
+        ScheduleResult S = scheduleBlock(*BB, TM);
+        applySchedule(*BB, S);
+        ++Report.BlocksScheduled;
+      }
+      if (!Opts.GuardRails)
+        verifyOrDie(F, "schedule");
+    });
+    if (Kept)
+      Trace("schedule");
   }
   return Report;
 }

@@ -21,6 +21,7 @@
 #define VPO_PIPELINE_PIPELINE_H
 
 #include "coalesce/Coalesce.h"
+#include "support/Diagnostics.h"
 #include "target/Legalize.h"
 #include "transform/Cleanup.h"
 #include "transform/Recurrence.h"
@@ -62,6 +63,18 @@ struct CompileOptions {
   /// stage that ran (stage name, current IR). Print with printFunction
   /// to watch the transformation unfold.
   std::function<void(const char *Stage, const Function &F)> TraceHook;
+  /// Guard rails: snapshot the IR before every pass, re-verify after it,
+  /// and on failure roll back, disable the pass, and keep compiling —
+  /// the compile-time mirror of the paper's run-time dispatch (a bad
+  /// coalesce degrades to the "vpo -O" column, never to a crash). Off
+  /// only for overhead measurement; without guard rails a bad pass
+  /// aborts via verifyOrDie as before.
+  bool GuardRails = true;
+  /// Test-only corruption hook, called after each guarded pass with the
+  /// pass name and the current IR; return true if the IR was mutated.
+  /// Used by pipeline/FaultInjection.h to prove the guard rails catch
+  /// in-flight miscompiles. Requires GuardRails; ignored without it.
+  std::function<bool(const char *Pass, Function &F)> FaultHook;
 };
 
 struct CompileReport {
@@ -72,6 +85,38 @@ struct CompileReport {
   ScalarReplaceStats ScalarReplace;
   StrengthReduceStats StrengthReduce;
   unsigned BlocksScheduled = 0;
+
+  /// One guard-rail intervention: a pass whose output failed verification.
+  struct PassIncident {
+    /// The pass that produced bad IR ("coalesce", "legalize", ...; or
+    /// "frontend" when the *input* failed verification).
+    std::string Pass;
+    /// The IR was restored to the pre-pass snapshot.
+    bool RolledBack = false;
+    /// The pass was re-run once after rollback (required passes only).
+    bool Retried = false;
+    /// The pass was disabled for the rest of this compilation.
+    bool Disabled = false;
+    /// A required pass kept failing; compilation stopped (Succeeded is
+    /// false and the IR is the last good snapshot).
+    bool PipelineStopped = false;
+    /// What the verifier saw.
+    std::vector<Diagnostic> Diags;
+  };
+
+  /// Guard-rail record: empty on a clean compile.
+  std::vector<PassIncident> Incidents;
+  /// False only when the input never verified or a required pass failed
+  /// even after retry. The IR is always left in a verified state.
+  bool Succeeded = true;
+
+  /// All diagnostics across incidents, in pipeline order.
+  std::vector<Diagnostic> allDiagnostics() const {
+    std::vector<Diagnostic> Out;
+    for (const PassIncident &I : Incidents)
+      Out.insert(Out.end(), I.Diags.begin(), I.Diags.end());
+    return Out;
+  }
 };
 
 /// Runs the full pipeline over \p F in place.

@@ -8,6 +8,7 @@
 
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
 #include "support/Error.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
@@ -365,31 +366,37 @@ private:
       return false;
     }
 
-    if (!Mem.inBounds(Addr, NumBytes)) {
+    // Bounds violations are a trap in the run metrics, never an abort:
+    // the non-aborting Memory accessors are the only ones the interpreter
+    // uses, so a wild kernel address cannot take the process down.
+    auto FailOOB = [&] {
       fail(RunResult::Status::OutOfBounds,
            strformat("address 0x%llx in: ",
                      static_cast<unsigned long long>(Addr)) +
                printInstruction(I));
       return false;
-    }
-
-    MemPenalty = Cache.access(Addr, NumBytes, I.isStore());
+    };
 
     if (I.Op == Opcode::Store) {
-      ++R.Stores;
-      R.StoreBytes += NumBytes;
       uint64_t V = eval(I.A);
       if (I.IsFloat && I.W == MemWidth::W4) {
         float FV = static_cast<float>(std::bit_cast<double>(V));
         V = std::bit_cast<uint32_t>(FV);
       }
-      Mem.write(Addr, NumBytes, V);
+      if (!Mem.tryWrite(Addr, NumBytes, V))
+        return FailOOB();
+      MemPenalty = Cache.access(Addr, NumBytes, /*IsStore=*/true);
+      ++R.Stores;
+      R.StoreBytes += NumBytes;
       return true;
     }
 
+    uint64_t Raw = 0;
+    if (!Mem.tryRead(Addr, NumBytes, Raw))
+      return FailOOB();
+    MemPenalty = Cache.access(Addr, NumBytes, /*IsStore=*/false);
     ++R.Loads;
     R.LoadBytes += NumBytes;
-    uint64_t Raw = Mem.read(Addr, NumBytes);
     if (I.Op == Opcode::Load && I.IsFloat) {
       double D = I.W == MemWidth::W4
                      ? static_cast<double>(
@@ -414,5 +421,19 @@ Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem)
 RunResult Interpreter::run(const Function &F,
                            const std::vector<int64_t> &Args,
                            uint64_t MaxSteps) {
+  // Verify before executing: the scoreboard and register file index by
+  // register id, so running unverified IR (e.g. a register beyond the
+  // allocator bound) would be undefined behaviour, not a clean trap.
+  // Malformed input is a user error and gets a recoverable MalformedIR
+  // result instead.
+  std::vector<std::string> Problems;
+  if (!verifyFunction(F, Problems)) {
+    RunResult R;
+    R.Exit = RunResult::Status::MalformedIR;
+    R.Error = "function failed verification before execution:";
+    for (const std::string &P : Problems)
+      R.Error += "\n  " + P;
+    return R;
+  }
   return Machine(TM, Mem, F, Args, MaxSteps).run();
 }

@@ -69,6 +69,13 @@ struct RunResult {
   DataCache::Stats ICache;
 
   bool ok() const { return Exit == Status::Ok; }
+
+  /// A run-time trap: the simulated program performed an illegal access
+  /// (as opposed to the harness rejecting the IR or hitting a limit).
+  bool trapped() const {
+    return Exit == Status::UnalignedTrap || Exit == Status::OutOfBounds ||
+           Exit == Status::DivideByZero;
+  }
 };
 
 /// \returns a printable name for a run status.

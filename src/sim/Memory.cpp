@@ -13,30 +13,56 @@ using namespace vpo;
 
 Memory::Memory(size_t Size) : Bytes(Size, 0) {}
 
-uint64_t Memory::allocate(size_t Size, size_t Align, size_t Skew) {
+bool Memory::tryAllocate(size_t Size, size_t Align, size_t Skew,
+                         uint64_t &AddrOut) {
   if (Align == 0 || !isPowerOf2(Align))
-    fatalError("Memory::allocate: alignment must be a power of two");
+    return false;
   uint64_t Addr = alignTo(NextAlloc, Align) + Skew;
   // Red zone between allocations so out-of-bounds kernels corrupt a gap,
   // not a neighbouring array (made visible by golden-output comparison).
-  NextAlloc = Addr + Size + 64;
-  if (NextAlloc > Bytes.size())
+  uint64_t Next = Addr + Size + 64;
+  if (Next > Bytes.size() || Next < Addr)
+    return false;
+  NextAlloc = Next;
+  AddrOut = Addr;
+  return true;
+}
+
+uint64_t Memory::allocate(size_t Size, size_t Align, size_t Skew) {
+  if (Align == 0 || !isPowerOf2(Align))
+    fatalError("Memory::allocate: alignment must be a power of two");
+  uint64_t Addr = 0;
+  if (!tryAllocate(Size, Align, Skew, Addr))
     fatalError("Memory::allocate: out of simulated memory");
   return Addr;
 }
 
-uint64_t Memory::read(uint64_t Addr, unsigned NumBytes) const {
+bool Memory::tryRead(uint64_t Addr, unsigned NumBytes, uint64_t &Out) const {
   if (!inBounds(Addr, NumBytes))
-    fatalError("Memory::read out of bounds");
+    return false;
   uint64_t V = 0;
   for (unsigned I = 0; I < NumBytes; ++I)
     V |= static_cast<uint64_t>(Bytes[Addr + I]) << (8 * I);
+  Out = V;
+  return true;
+}
+
+bool Memory::tryWrite(uint64_t Addr, unsigned NumBytes, uint64_t V) {
+  if (!inBounds(Addr, NumBytes))
+    return false;
+  for (unsigned I = 0; I < NumBytes; ++I)
+    Bytes[Addr + I] = static_cast<uint8_t>(V >> (8 * I));
+  return true;
+}
+
+uint64_t Memory::read(uint64_t Addr, unsigned NumBytes) const {
+  uint64_t V = 0;
+  if (!tryRead(Addr, NumBytes, V))
+    fatalError("Memory::read out of bounds");
   return V;
 }
 
 void Memory::write(uint64_t Addr, unsigned NumBytes, uint64_t V) {
-  if (!inBounds(Addr, NumBytes))
+  if (!tryWrite(Addr, NumBytes, V))
     fatalError("Memory::write out of bounds");
-  for (unsigned I = 0; I < NumBytes; ++I)
-    Bytes[Addr + I] = static_cast<uint8_t>(V >> (8 * I));
 }

@@ -33,7 +33,17 @@ public:
   /// Allocates \p Size bytes. The returned address is \p Align-aligned and
   /// then advanced by \p Skew bytes; use a nonzero skew to produce arrays
   /// that are, e.g., 2-aligned but deliberately not 8-aligned.
+  ///
+  /// Checked wrapper around tryAllocate: aborts on a bad alignment or
+  /// exhaustion. Test/workload setup code calls this (a failure there is a
+  /// harness bug); anything driven by simulated execution must use
+  /// tryAllocate and surface the failure recoverably.
   uint64_t allocate(size_t Size, size_t Align = 8, size_t Skew = 0);
+
+  /// Non-aborting allocate: \returns false (leaving \p AddrOut untouched)
+  /// if \p Align is not a power of two or the arena is exhausted.
+  bool tryAllocate(size_t Size, size_t Align, size_t Skew,
+                   uint64_t &AddrOut);
 
   /// \returns true if [Addr, Addr+Bytes) is inside the memory.
   bool inBounds(uint64_t Addr, unsigned NumBytes) const {
@@ -41,11 +51,24 @@ public:
            Addr + NumBytes >= Addr;
   }
 
-  /// Little-endian read of \p NumBytes (1..8), zero-extended.
+  /// Little-endian read of \p NumBytes (1..8), zero-extended. Checked
+  /// wrapper around tryRead: aborts when out of bounds, so only for
+  /// callers that have already validated the address (tests, workload
+  /// setup). The interpreter uses tryRead and turns failures into
+  /// RunResult::Status::OutOfBounds traps.
   uint64_t read(uint64_t Addr, unsigned NumBytes) const;
 
-  /// Little-endian write of the low \p NumBytes of \p V.
+  /// Little-endian write of the low \p NumBytes of \p V. Checked wrapper
+  /// around tryWrite (see read()).
   void write(uint64_t Addr, unsigned NumBytes, uint64_t V);
+
+  /// Non-aborting read: \returns false (leaving \p Out untouched) when
+  /// [Addr, Addr+NumBytes) is out of bounds.
+  bool tryRead(uint64_t Addr, unsigned NumBytes, uint64_t &Out) const;
+
+  /// Non-aborting write: \returns false, writing nothing, when out of
+  /// bounds.
+  bool tryWrite(uint64_t Addr, unsigned NumBytes, uint64_t V);
 
   uint8_t *data() { return Bytes.data(); }
   const uint8_t *data() const { return Bytes.data(); }

@@ -1,0 +1,57 @@
+//===- support/Diagnostics.cpp - Recoverable error plumbing -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace vpo;
+
+const char *vpo::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidIR:
+    return "invalid-ir";
+  case ErrorCode::PassFailed:
+    return "pass-failed";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::Unsupported:
+    return "unsupported";
+  case ErrorCode::ResourceExhausted:
+    return "resource-exhausted";
+  case ErrorCode::Trap:
+    return "trap";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::string Out = "[";
+  Out += errorCodeName(Code);
+  Out += "] ";
+  if (!Pass.empty()) {
+    Out += Pass;
+    Out += " ";
+  }
+  if (!Function.empty()) {
+    Out += "@";
+    Out += Function;
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string vpo::renderDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += "\n";
+  }
+  return Out;
+}

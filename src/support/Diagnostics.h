@@ -1,0 +1,152 @@
+//===- support/Diagnostics.h - Recoverable error plumbing -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, recoverable diagnostics — the compile-time analogue of the
+/// paper's run-time dispatch. Where the coalescer defers unprovable facts
+/// to a run-time check that falls back to the safe loop, the library
+/// defers unexpected pass failures to a Status/Diagnostic that falls back
+/// to the unoptimized pipeline. fatalError (support/Error.h) remains only
+/// for true programmer invariants; anything reachable from user input —
+/// a malformed kernel, a pass that produced bad IR, a simulated access
+/// out of bounds — must surface as a Diagnostic, a Status, or a trap in
+/// RunResult, never as an abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_DIAGNOSTICS_H
+#define VPO_SUPPORT_DIAGNOSTICS_H
+
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpo {
+
+/// Coarse classification of what went wrong, for dispatching on recovery
+/// policy without parsing messages.
+enum class ErrorCode : uint8_t {
+  Ok,
+  /// The IR failed structural verification.
+  InvalidIR,
+  /// A pass reported failure (and rolled back / was skipped).
+  PassFailed,
+  /// Input text could not be parsed.
+  ParseError,
+  /// The request is valid but unsupported on this target/configuration.
+  Unsupported,
+  /// A resource limit (memory arena, step budget) was exhausted.
+  ResourceExhausted,
+  /// A simulated run trapped (out of bounds, misalignment, divide by 0).
+  Trap,
+  /// Invariant violation reported without aborting (should not happen).
+  Internal,
+};
+
+/// \returns a stable lowercase name ("invalid-ir", "pass-failed", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// One structured failure record: what failed, where, and why.
+struct Diagnostic {
+  ErrorCode Code = ErrorCode::Internal;
+  /// The pipeline pass (or subsystem) that produced the diagnostic.
+  std::string Pass;
+  /// The function being compiled/run when it was produced.
+  std::string Function;
+  /// Human-readable explanation.
+  std::string Message;
+
+  Diagnostic() = default;
+  Diagnostic(ErrorCode Code, std::string Pass, std::string Function,
+             std::string Message)
+      : Code(Code), Pass(std::move(Pass)), Function(std::move(Function)),
+        Message(std::move(Message)) {}
+
+  /// "[invalid-ir] coalesce @dotproduct: <message>"
+  std::string render() const;
+};
+
+/// Success-or-diagnostic result of an operation. Deliberately tiny: the
+/// library does not use exceptions (LLVM convention), so fallible entry
+/// points return Status / StatusOr instead.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(Diagnostic D) {
+    Status S;
+    S.Diag = std::move(D);
+    return S;
+  }
+  static Status error(ErrorCode Code, std::string Pass, std::string Function,
+                      std::string Message) {
+    return error(Diagnostic(Code, std::move(Pass), std::move(Function),
+                            std::move(Message)));
+  }
+
+  bool isOk() const { return !Diag.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  ErrorCode code() const { return Diag ? Diag->Code : ErrorCode::Ok; }
+
+  /// Only valid when !isOk().
+  const Diagnostic &diagnostic() const {
+    if (!Diag)
+      fatalError("Status::diagnostic() on an OK status");
+    return *Diag;
+  }
+
+  std::string message() const { return Diag ? Diag->render() : "ok"; }
+
+private:
+  std::optional<Diagnostic> Diag;
+};
+
+/// A value or the diagnostic explaining why there is none.
+template <typename T> class StatusOr {
+public:
+  /*implicit*/ StatusOr(T Value) : Val(std::move(Value)) {}
+  /*implicit*/ StatusOr(Status S) : Stat(std::move(S)) {
+    if (Stat.isOk())
+      fatalError("StatusOr constructed from an OK status without a value");
+  }
+  /*implicit*/ StatusOr(Diagnostic D) : Stat(Status::error(std::move(D))) {}
+
+  bool isOk() const { return Val.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  const Status &status() const { return Stat; }
+  const Diagnostic &diagnostic() const { return Stat.diagnostic(); }
+
+  T &value() {
+    if (!Val)
+      fatalError("StatusOr::value() on an error: " + Stat.message());
+    return *Val;
+  }
+  const T &value() const {
+    return const_cast<StatusOr *>(this)->value();
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  std::optional<T> Val;
+  Status Stat; // OK when Val is present
+};
+
+/// Renders a diagnostic list one-per-line (for test failure messages and
+/// report dumps).
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags);
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_DIAGNOSTICS_H

@@ -10,6 +10,16 @@
 /// the LLVM convention of not using exceptions: invariant violations abort
 /// via fatalError/vpoUnreachable with a diagnostic message.
 ///
+/// Convention (see support/Diagnostics.h): fatalError is reserved for true
+/// programmer invariants — states the library's own code must never reach,
+/// regardless of input. Anything reachable from *user input* (a malformed
+/// kernel, a pass that produced bad IR, an out-of-bounds simulated access)
+/// must be reported recoverably instead: as a vpo::Status / vpo::Diagnostic
+/// from fallible entry points, as diagnostics in CompileReport from the
+/// guarded pipeline, or as a trap status in sim::RunResult. If you are
+/// about to call fatalError on a condition an adversarial kernel could
+/// trigger, return a Diagnostic instead.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VPO_SUPPORT_ERROR_H

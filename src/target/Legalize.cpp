@@ -1,0 +1,199 @@
+//===- target/Legalize.cpp - lower illegal memory references ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Legalize.h"
+
+#include "ir/Function.h"
+#include "target/TargetMachine.h"
+
+using namespace vpo;
+
+namespace {
+
+/// Materialises Base + Disp into a register (or reuses Base when Disp is
+/// zero), appending any needed add to \p Out.
+Reg effectiveAddress(Function &F, const Address &Addr,
+                     std::vector<Instruction> &Out) {
+  if (Addr.Disp == 0)
+    return Addr.Base;
+  Instruction Add;
+  Add.Op = Opcode::Add;
+  Add.Dst = F.newReg();
+  Add.A = Operand(Addr.Base);
+  Add.B = Operand::imm(Addr.Disp);
+  Out.push_back(Add);
+  return Add.Dst;
+}
+
+/// Narrow integer load on a machine without sub-word references: load the
+/// aligned wide block containing the address and extract the field
+/// (Alpha: ldq_u + extbl/extwl).
+void expandNarrowLoad(Function &F, const Instruction &I,
+                      std::vector<Instruction> &Out) {
+  Reg EA = effectiveAddress(F, I.Addr, Out);
+
+  Instruction Wide;
+  Wide.Op = Opcode::LoadWideU;
+  Wide.Dst = F.newReg();
+  Wide.Addr = Address(EA, 0);
+  Wide.W = MemWidth::W8;
+  Out.push_back(Wide);
+
+  Instruction Ext;
+  Ext.Op = Opcode::ExtractF;
+  Ext.Dst = I.Dst;
+  Ext.A = Operand(Wide.Dst);
+  Ext.B = Operand(EA); // byte offset = EA mod 8
+  Ext.W = I.W;
+  Ext.SignExtend = I.SignExtend;
+  Out.push_back(Ext);
+}
+
+/// Narrow integer store: read-modify-write of the containing wide block
+/// (Alpha: ldq_u + insbl/inswl + stq). The wide store rewrites the
+/// neighbouring bytes with the values just read, so single-threaded
+/// semantics are preserved exactly.
+void expandNarrowStore(Function &F, const Instruction &I,
+                       std::vector<Instruction> &Out) {
+  Reg EA = effectiveAddress(F, I.Addr, Out);
+
+  Instruction Wide;
+  Wide.Op = Opcode::LoadWideU;
+  Wide.Dst = F.newReg();
+  Wide.Addr = Address(EA, 0);
+  Wide.W = MemWidth::W8;
+  Out.push_back(Wide);
+
+  Instruction Ins;
+  Ins.Op = Opcode::InsertF;
+  Ins.Dst = F.newReg();
+  Ins.A = Operand(Wide.Dst);
+  Ins.B = Operand(EA); // byte offset = EA mod 8
+  Ins.C = I.A;         // the stored value
+  Ins.W = I.W;
+  Out.push_back(Ins);
+
+  Instruction Align;
+  Align.Op = Opcode::And;
+  Align.Dst = F.newReg();
+  Align.A = Operand(EA);
+  Align.B = Operand::imm(-8);
+  Out.push_back(Align);
+
+  Instruction St;
+  St.Op = Opcode::Store;
+  St.Dst = Reg();
+  St.A = Operand(Ins.Dst);
+  St.Addr = Address(Align.Dst, 0);
+  St.W = MemWidth::W8;
+  Out.push_back(St);
+}
+
+/// Field insert on a machine without a native insert instruction (88100):
+/// mask out the field, mask + shift the value into place, or them
+/// together. Only constant byte offsets can be expanded statically; the
+/// coalescer only ever emits constant lane offsets.
+void expandInsert(Function &F, const Instruction &I,
+                  std::vector<Instruction> &Out) {
+  unsigned Bytes = widthBytes(I.W);
+  unsigned Off = static_cast<unsigned>(I.B.imm()) & 7;
+  if (Bytes >= 8) {
+    Instruction Mov;
+    Mov.Op = Opcode::Mov;
+    Mov.Dst = I.Dst;
+    Mov.A = I.C;
+    Out.push_back(Mov);
+    return;
+  }
+  uint64_t Mask = (uint64_t(1) << (8 * Bytes)) - 1;
+
+  Instruction Clear;
+  Clear.Op = Opcode::And;
+  Clear.Dst = F.newReg();
+  Clear.A = I.A;
+  Clear.B = Operand::imm(static_cast<int64_t>(~(Mask << (8 * Off))));
+  Out.push_back(Clear);
+
+  Instruction Trunc;
+  Trunc.Op = Opcode::And;
+  Trunc.Dst = F.newReg();
+  Trunc.A = I.C;
+  Trunc.B = Operand::imm(static_cast<int64_t>(Mask));
+  Out.push_back(Trunc);
+
+  Operand Field = Operand(Trunc.Dst);
+  if (Off != 0) {
+    Instruction Shift;
+    Shift.Op = Opcode::Shl;
+    Shift.Dst = F.newReg();
+    Shift.A = Field;
+    Shift.B = Operand::imm(8 * Off);
+    Out.push_back(Shift);
+    Field = Operand(Shift.Dst);
+  }
+
+  Instruction Merge;
+  Merge.Op = Opcode::Or;
+  Merge.Dst = I.Dst;
+  Merge.A = Operand(Clear.Dst);
+  Merge.B = Field;
+  Out.push_back(Merge);
+}
+
+} // namespace
+
+LegalizeStats vpo::legalizeBlock(BasicBlock &BB, const TargetMachine &TM) {
+  LegalizeStats Stats;
+  Function &F = *BB.parent();
+
+  // The wide-block expansion needs a full-width unaligned load; a machine
+  // with a narrower bus necessarily issues narrow references natively.
+  bool CanExpandNarrow = TM.maxMemWidthBytes() >= 8;
+
+  bool AnyWork = false;
+  for (const Instruction &I : BB.insts()) {
+    if (I.Op == Opcode::Load && !I.IsFloat &&
+        !TM.isLegalLoad(I.W, I.IsFloat) && CanExpandNarrow)
+      AnyWork = true;
+    else if (I.Op == Opcode::Store && !I.IsFloat &&
+             !TM.isLegalStore(I.W, I.IsFloat) && CanExpandNarrow)
+      AnyWork = true;
+    else if (I.Op == Opcode::InsertF && !TM.hasNativeInsert() &&
+             I.B.isImm() && !I.IsFloat)
+      AnyWork = true;
+  }
+  if (!AnyWork)
+    return Stats;
+
+  std::vector<Instruction> Out;
+  Out.reserve(BB.insts().size() * 2);
+  for (const Instruction &I : BB.insts()) {
+    if (I.Op == Opcode::Load && !I.IsFloat &&
+        !TM.isLegalLoad(I.W, I.IsFloat) && CanExpandNarrow) {
+      expandNarrowLoad(F, I, Out);
+      ++Stats.NarrowLoadsExpanded;
+    } else if (I.Op == Opcode::Store && !I.IsFloat &&
+               !TM.isLegalStore(I.W, I.IsFloat) && CanExpandNarrow) {
+      expandNarrowStore(F, I, Out);
+      ++Stats.NarrowStoresExpanded;
+    } else if (I.Op == Opcode::InsertF && !TM.hasNativeInsert() &&
+               I.B.isImm() && !I.IsFloat) {
+      expandInsert(F, I, Out);
+      ++Stats.InsertsExpanded;
+    } else {
+      Out.push_back(I);
+    }
+  }
+  BB.insts() = std::move(Out);
+  return Stats;
+}
+
+LegalizeStats vpo::legalizeFunction(Function &F, const TargetMachine &TM) {
+  LegalizeStats Stats;
+  for (const auto &BB : F.blocks())
+    Stats += legalizeBlock(*BB, TM);
+  return Stats;
+}

@@ -1,0 +1,52 @@
+//===- target/Legalize.h - lower illegal memory references ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites memory references the target cannot issue into sequences it
+/// can. On the Alpha a byte or halfword load becomes an unaligned wide
+/// load (ldq_u) plus a field extract, and a narrow store becomes a wide
+/// load / field insert / wide store read-modify-write — the very expansion
+/// whose cost makes coalescing profitable there (paper §2). On the 88100,
+/// which has an extract but no insert, InsertF instructions are expanded
+/// into and/shl/or. The 68030 issues everything natively; legalization is
+/// the identity there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TARGET_LEGALIZE_H
+#define VPO_TARGET_LEGALIZE_H
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+class TargetMachine;
+
+struct LegalizeStats {
+  /// Narrow integer loads expanded into wide-load + extract.
+  unsigned NarrowLoadsExpanded = 0;
+  /// Narrow integer stores expanded into wide-load + insert + wide-store.
+  unsigned NarrowStoresExpanded = 0;
+  /// InsertF instructions expanded into and/shl/or (no native insert).
+  unsigned InsertsExpanded = 0;
+
+  LegalizeStats &operator+=(const LegalizeStats &O) {
+    NarrowLoadsExpanded += O.NarrowLoadsExpanded;
+    NarrowStoresExpanded += O.NarrowStoresExpanded;
+    InsertsExpanded += O.InsertsExpanded;
+    return *this;
+  }
+};
+
+/// Legalizes every instruction in \p BB in place.
+LegalizeStats legalizeBlock(BasicBlock &BB, const TargetMachine &TM);
+
+/// Legalizes every block of \p F.
+LegalizeStats legalizeFunction(Function &F, const TargetMachine &TM);
+
+} // namespace vpo
+
+#endif // VPO_TARGET_LEGALIZE_H

@@ -1,0 +1,144 @@
+//===- target/TargetMachine.cpp - machine descriptions ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/TargetMachine.h"
+
+#include "support/Error.h"
+
+using namespace vpo;
+
+unsigned TargetMachine::latency(const Instruction &I) const {
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::LoadWideU:
+  case Opcode::Store:
+    return S.LoadLatency;
+  case Opcode::Mul:
+    return S.MulLatency;
+  case Opcode::DivS:
+  case Opcode::DivU:
+  case Opcode::RemS:
+  case Opcode::RemU:
+    return S.DivLatency;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::CvtIF:
+  case Opcode::CvtFI:
+    return S.FPLatency;
+  case Opcode::FDiv:
+    return S.FPDivLatency;
+  case Opcode::ExtractF:
+  case Opcode::ExtQHi:
+    return S.ExtractLatency;
+  case Opcode::InsertF:
+    return S.InsertLatency;
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    return 1;
+  default:
+    return S.AluLatency;
+  }
+}
+
+unsigned TargetMachine::issueCycles(const Instruction &I) const {
+  if (!S.FullyPipelined) {
+    // Non-pipelined machine: the instruction occupies the machine for its
+    // full duration; memory references additionally hold the bus.
+    unsigned Lat = latency(I);
+    if (I.isMemory() && S.MemIssueCycles > Lat)
+      return S.MemIssueCycles;
+    return Lat;
+  }
+  if (I.isMemory())
+    return S.MemIssueCycles;
+  return 1;
+}
+
+TargetMachine vpo::makeAlphaTarget() {
+  TargetMachine::Spec S;
+  S.Name = "alpha";
+  S.MaxMemWidthBytes = 8;
+  S.MinIntMemBytes = 4; // no ldb/ldw: bytes and halfwords are extracted
+  S.NaturalAlignment = true;
+  S.UnalignedWideLoad = true; // ldq_u
+  S.NativeInsert = true;      // INSxx
+  S.EncodingBytes = 4;
+  S.ICacheBytes = 8192;
+  S.DCache = CacheParams{8192, 32, 1, 0, 24};
+  S.AluLatency = 1;
+  S.MulLatency = 5;
+  S.DivLatency = 35;
+  S.LoadLatency = 3;
+  S.FPLatency = 6;
+  S.FPDivLatency = 30;
+  S.ExtractLatency = 1;
+  S.InsertLatency = 1;
+  S.MemIssueCycles = 1;
+  S.FullyPipelined = true;
+  return TargetMachine(std::move(S));
+}
+
+TargetMachine vpo::makeM88100Target() {
+  TargetMachine::Spec S;
+  S.Name = "m88100";
+  S.MaxMemWidthBytes = 8; // ld.d
+  S.MinIntMemBytes = 1;   // ld.b / ld.h exist
+  S.NaturalAlignment = true;
+  S.UnalignedWideLoad = false;
+  S.NativeInsert = false; // ext but no ins: inserts expand to and/shl/or
+  S.EncodingBytes = 4;
+  S.ICacheBytes = 16384; // external CMMU cache
+  S.DCache = CacheParams{16384, 32, 4, 0, 12};
+  S.AluLatency = 1;
+  S.MulLatency = 3;
+  S.DivLatency = 38;
+  S.LoadLatency = 3;
+  S.FPLatency = 5;
+  S.FPDivLatency = 30;
+  S.ExtractLatency = 1;
+  S.InsertLatency = 1;
+  // Each reference holds the P-bus for two cycles, so halving the
+  // reference count pays even though narrow references are legal.
+  S.MemIssueCycles = 2;
+  S.FullyPipelined = true;
+  return TargetMachine(std::move(S));
+}
+
+TargetMachine vpo::makeM68030Target() {
+  TargetMachine::Spec S;
+  S.Name = "m68030";
+  S.MaxMemWidthBytes = 4; // 4-byte bus: a "wide" reference gains little
+  S.MinIntMemBytes = 1;
+  S.NaturalAlignment = false; // tolerates misalignment (extra bus cycles)
+  S.UnalignedWideLoad = false;
+  S.NativeInsert = true; // bfins exists, it is just slow
+  S.EncodingBytes = 2;   // variable-length CISC encoding, ~2 bytes average
+  S.ICacheBytes = 256;
+  S.DCache = CacheParams{256, 16, 1, 0, 8};
+  S.AluLatency = 2;
+  S.MulLatency = 28;
+  S.DivLatency = 56;
+  S.LoadLatency = 4;
+  S.FPLatency = 10;
+  S.FPDivLatency = 90;
+  S.ExtractLatency = 8; // bfextu
+  S.InsertLatency = 10; // bfins
+  S.MemIssueCycles = 3;
+  S.FullyPipelined = false;
+  return TargetMachine(std::move(S));
+}
+
+TargetMachine vpo::makeTargetByName(const std::string &Name) {
+  if (Name == "alpha")
+    return makeAlphaTarget();
+  if (Name == "m88100")
+    return makeM88100Target();
+  if (Name == "m68030")
+    return makeM68030Target();
+  fatalError("unknown target '" + Name + "' (alpha, m88100, m68030)");
+}

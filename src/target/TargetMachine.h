@@ -1,0 +1,150 @@
+//===- target/TargetMachine.h - machine descriptions ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised descriptions of the three machines the paper evaluates
+/// (Table I): the DEC Alpha (no sub-word memory references, ldq_u-style
+/// unaligned wide loads, cheap extract/insert), the Motorola 88100 (native
+/// narrow references, an extract instruction but no insert), and the
+/// Motorola 68030 (a CISC with a 4-byte bus, a 256-byte instruction cache,
+/// and expensive bit-field operations). Everything the optimizer and the
+/// simulator need to know about a machine — reference legality, alignment
+/// rules, latencies, issue occupancy, cache geometry — flows through
+/// TargetMachine so retargeting is a matter of building a new Spec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TARGET_TARGETMACHINE_H
+#define VPO_TARGET_TARGETMACHINE_H
+
+#include "ir/Instruction.h"
+#include "ir/Type.h"
+
+#include <string>
+
+namespace vpo {
+
+/// Geometry and timing of one cache (shared by the data-cache model and the
+/// instruction-cache model derived from it in the simulator).
+struct CacheParams {
+  unsigned SizeBytes = 8192;
+  unsigned LineBytes = 32;
+  unsigned Ways = 1;
+  unsigned HitCycles = 0;
+  unsigned MissPenalty = 20;
+};
+
+class TargetMachine {
+public:
+  /// The complete description of a machine. Aggregate so experiments can
+  /// copy a factory's spec, tweak a field, and build a variant (see
+  /// bench/ablation_fp.cpp).
+  struct Spec {
+    std::string Name = "generic";
+
+    // --- Memory reference legality (paper §2, Table I). ---
+    /// Widest single memory reference, in bytes (the memory bus width).
+    unsigned MaxMemWidthBytes = 8;
+    /// Narrowest *legal* integer memory reference, in bytes. The Alpha has
+    /// no byte or halfword references, so 4; everything narrower is
+    /// expanded by legalization into wide-load + extract (+ insert).
+    unsigned MinIntMemBytes = 1;
+    /// Memory references must be naturally aligned (RISC targets trap on
+    /// misalignment; the 68030 tolerates it at a bus-cycle cost).
+    bool NaturalAlignment = true;
+    /// Has an ldq_u-style unaligned wide load (loads the aligned block
+    /// *containing* the address) — the Alpha's funnel-shift idiom.
+    bool UnalignedWideLoad = false;
+    /// Has a native field-insert instruction. The 88100 has ext but no
+    /// ins, so inserts are expanded into and/shl/or by legalization.
+    bool NativeInsert = true;
+
+    // --- Code geometry. ---
+    /// Bytes per encoded instruction (fixed 4 on the RISCs, ~2 average on
+    /// the 68030) — drives the unroller's i-cache heuristic.
+    unsigned EncodingBytes = 4;
+    /// Instruction-cache capacity in bytes.
+    unsigned ICacheBytes = 8192;
+    /// Data-cache geometry for the simulator.
+    CacheParams DCache;
+
+    // --- Timing (cycles). ---
+    unsigned AluLatency = 1;
+    unsigned MulLatency = 5;
+    unsigned DivLatency = 35;
+    unsigned LoadLatency = 3;
+    unsigned FPLatency = 6;
+    unsigned FPDivLatency = 30;
+    unsigned ExtractLatency = 1;
+    unsigned InsertLatency = 1;
+    /// Issue occupancy of a memory reference (bus cycles the reference
+    /// keeps the memory port busy).
+    unsigned MemIssueCycles = 1;
+    /// Fully pipelined: a new instruction can issue every cycle regardless
+    /// of latency. False on the 68030, where an instruction occupies the
+    /// machine for its full duration.
+    bool FullyPipelined = true;
+  };
+
+  explicit TargetMachine(Spec S) : S(std::move(S)) {}
+
+  const Spec &spec() const { return S; }
+  const std::string &name() const { return S.Name; }
+
+  unsigned maxMemWidthBytes() const { return S.MaxMemWidthBytes; }
+  bool requiresNaturalAlignment() const { return S.NaturalAlignment; }
+  bool hasUnalignedWideLoad() const { return S.UnalignedWideLoad; }
+  bool hasNativeInsert() const { return S.NativeInsert; }
+  unsigned encodingBytes() const { return S.EncodingBytes; }
+  unsigned iCacheBytes() const { return S.ICacheBytes; }
+  const CacheParams &dataCache() const { return S.DCache; }
+
+  /// Whether a single memory reference of width \p W is legal on this
+  /// machine. FP references exist only at f32/f64 and are legal on every
+  /// target; integer references must be at least MinIntMemBytes wide and
+  /// no wider than the bus.
+  bool isLegalLoad(MemWidth W, bool IsFloat) const {
+    unsigned Bytes = widthBytes(W);
+    if (Bytes > S.MaxMemWidthBytes)
+      return false;
+    if (IsFloat)
+      return Bytes >= 4;
+    return Bytes >= S.MinIntMemBytes;
+  }
+  bool isLegalStore(MemWidth W, bool IsFloat) const {
+    return isLegalLoad(W, IsFloat);
+  }
+
+  /// Result latency of \p I in cycles (producer to consumer).
+  unsigned latency(const Instruction &I) const;
+
+  /// Issue occupancy of \p I: cycles before the next instruction can
+  /// issue. 1 for everything on a fully pipelined machine except memory
+  /// references (MemIssueCycles); the full latency otherwise.
+  unsigned issueCycles(const Instruction &I) const;
+
+private:
+  Spec S;
+};
+
+/// DEC Alpha (21064-flavoured): no sub-word references, unaligned wide
+/// load, cheap extract + insert. Both coalescing modes win here.
+TargetMachine makeAlphaTarget();
+
+/// Motorola 88100: native narrow references, extract but *no* insert —
+/// load coalescing wins, store coalescing does not.
+TargetMachine makeM88100Target();
+
+/// Motorola 68030: narrow references are cheap, bit-field ops expensive,
+/// 4-byte bus, 256-byte i-cache — profitability refuses coalescing.
+TargetMachine makeM68030Target();
+
+/// \returns the target named "alpha", "m88100", or "m68030".
+TargetMachine makeTargetByName(const std::string &Name);
+
+} // namespace vpo
+
+#endif // VPO_TARGET_TARGETMACHINE_H

@@ -184,6 +184,59 @@ TEST(RuntimeChecks, EmptyPlanAlwaysFast) {
   EXPECT_LE(H.InstrCount, 2u);
 }
 
+TEST(RuntimeChecks, NonPowerOfTwoStepTakesSafeLoop) {
+  // Regression: a partition stepping 3 bytes per iteration used to abort
+  // the compiler ("runtime overlap check requires a power-of-two step").
+  // It must instead degrade into an unconditional safe-loop dispatch.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  CheckPlan::Extent A{H.Params[0], 3, 0, 3};
+  CheckPlan::Extent B{H.Params[1], 1, 0, 1};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  // Even with wildly disjoint ranges, the uncheckable pair forces the
+  // safe loop.
+  EXPECT_EQ(H.run({4096, 100000, 4196}), 0);
+  EXPECT_EQ(H.run({4096, 5000, 4196}), 0);
+}
+
+TEST(RuntimeChecks, NonPowerOfTwoBoundStepTakesSafeLoop) {
+  // Same degradation when the *bound IV* steps by a non-power-of-two
+  // (or unknown, i.e. zero) amount: extents cannot be scaled by shifts.
+  for (int64_t BadStep : {3, 0, -6}) {
+    CheckHarness H(3);
+    CheckPlan Plan;
+    Plan.BoundIV = H.Params[0];
+    Plan.Limit = H.Params[2];
+    Plan.BoundStep = BadStep;
+    CheckPlan::Extent A{H.Params[0], 1, 0, 1};
+    CheckPlan::Extent B{H.Params[1], 1, 0, 1};
+    Plan.OverlapChecks.push_back({A, B});
+    H.finish(Plan);
+    EXPECT_EQ(H.run({4096, 100000, 4196}), 0)
+        << "bound step " << BadStep << " must dispatch to the safe loop";
+  }
+}
+
+TEST(RuntimeChecks, MixedCheckablePairsStillEvaluated) {
+  // One uncheckable pair poisons the dispatch, but a checkable alignment
+  // check in the same plan must still be emitted without crashing.
+  CheckHarness H(3);
+  CheckPlan Plan;
+  Plan.BoundIV = H.Params[0];
+  Plan.Limit = H.Params[2];
+  Plan.BoundStep = 1;
+  Plan.AlignChecks.push_back({H.Params[1], 0, 8});
+  CheckPlan::Extent A{H.Params[0], 5, 0, 5};
+  CheckPlan::Extent B{H.Params[1], 1, 0, 1};
+  Plan.OverlapChecks.push_back({A, B});
+  H.finish(Plan);
+  EXPECT_EQ(H.run({4096, 4096, 4196}), 0);
+}
+
 TEST(RuntimeChecks, InstructionCountWithinPaperBudget) {
   // One alignment + one overlap pair: the paper's "10 to 15 instructions"
   // ballpark.

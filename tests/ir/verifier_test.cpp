@@ -189,6 +189,40 @@ TEST(Verifier, BranchMustNotDefine) {
   EXPECT_TRUE(hasProblemContaining(*F, "jump must not define"));
 }
 
+TEST(Verifier, DiagnosticsEmptyOnValidFunction) {
+  auto F = makeValid();
+  EXPECT_TRUE(verifyFunctionDiagnostics(*F, "frontend").empty());
+}
+
+TEST(Verifier, DiagnosticsCarryCodePassAndFunction) {
+  // The non-aborting entry point: same checks as verifyFunction, but each
+  // problem becomes a structured Diagnostic instead of a fatalError.
+  auto F = makeValid();
+  Instruction Bad;
+  Bad.Op = Opcode::Add;
+  Bad.Dst = Reg(1);
+  Bad.A = Operand::imm(1);
+  F->entry()->insertAt(0, Bad);
+
+  std::vector<Diagnostic> Diags = verifyFunctionDiagnostics(*F, "coalesce");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, ErrorCode::InvalidIR);
+  EXPECT_EQ(Diags[0].Pass, "coalesce");
+  EXPECT_EQ(Diags[0].Function, "f");
+  EXPECT_NE(Diags[0].Message.find("missing rhs operand"), std::string::npos);
+  std::string R = Diags[0].render();
+  EXPECT_NE(R.find("[invalid-ir]"), std::string::npos);
+  EXPECT_NE(R.find("coalesce"), std::string::npos);
+}
+
+TEST(Verifier, DiagnosticsReportEveryProblem) {
+  auto F = makeValid();
+  F->addBlock("empty1");
+  F->addBlock("empty2");
+  std::vector<Diagnostic> Diags = verifyFunctionDiagnostics(*F, "test");
+  EXPECT_EQ(Diags.size(), 2u);
+}
+
 TEST(Verifier, ModuleAggregates) {
   Module M;
   M.addFunction("empty1");

@@ -1,0 +1,244 @@
+//===- tests/pipeline/fault_injection_test.cpp -----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proves the pipeline guard rails work: deterministic IR corruption is
+/// injected after a chosen pass, and the driver must detect it, roll the
+/// function back to the pre-pass snapshot, record a diagnostic, and still
+/// finish the compilation with output that matches the golden scalar
+/// implementation byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "pipeline/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vpo;
+using namespace vpo::test;
+
+namespace {
+
+const FaultKind AllKinds[] = {
+    FaultKind::WrongWidth,    FaultKind::ClobberedBase,
+    FaultKind::DroppedCheck,  FaultKind::MissingOperand,
+    FaultKind::EmptyBlock,
+};
+
+CompileOptions fullOptions() {
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  return CO;
+}
+
+SetupOptions smallSetup() {
+  SetupOptions SO;
+  SO.N = 512;
+  return SO;
+}
+
+/// Every fault class, injected after the coalescer: the guard rails must
+/// catch it, roll coalescing back, disable it, and the degraded (but
+/// correct) pipeline must still match the golden output.
+TEST(FaultInjection, EveryFaultKindAfterCoalesceIsCaught) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  for (FaultKind Kind : AllKinds) {
+    SCOPED_TRACE(faultKindName(Kind));
+    FaultInjector Inj("coalesce", Kind, /*Seed=*/42);
+    CompileOptions CO = fullOptions();
+    CO.FaultHook = Inj;
+    DifferentialResult DR = runDifferential(*W, TM, CO, smallSetup());
+
+    EXPECT_TRUE(Inj.fired());
+    EXPECT_FALSE(Inj.description().empty())
+        << "workload must offer a site for every fault kind";
+    ASSERT_EQ(DR.Report.Incidents.size(), 1u);
+    const CompileReport::PassIncident &Inc = DR.Report.Incidents[0];
+    EXPECT_EQ(Inc.Pass, "coalesce");
+    EXPECT_TRUE(Inc.RolledBack);
+    EXPECT_TRUE(Inc.Disabled);
+    EXPECT_FALSE(Inc.Retried);
+    EXPECT_FALSE(Inc.PipelineStopped);
+    ASSERT_FALSE(Inc.Diags.empty());
+    EXPECT_EQ(Inc.Diags[0].Code, ErrorCode::InvalidIR);
+    EXPECT_EQ(Inc.Diags[0].Pass, "coalesce");
+    EXPECT_TRUE(DR.Report.Succeeded);
+    EXPECT_TRUE(DR.Match) << DR.Why << "\nfault: " << Inj.description();
+    // The rolled-back compile really did skip coalescing.
+    EXPECT_EQ(DR.Report.Coalesce.LoadRunsCoalesced +
+                  DR.Report.Coalesce.StoreRunsCoalesced,
+              0u);
+  }
+}
+
+/// One fault class across every guarded injection point: wherever the
+/// corruption lands, compilation finishes and the output stays golden.
+TEST(FaultInjection, EveryInjectionPointRecovers) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  for (const char *Point :
+       {"coalesce", "cleanup", "legalize", "cleanup-post-legalize",
+        "schedule"}) {
+    SCOPED_TRACE(Point);
+    FaultInjector Inj(Point, FaultKind::ClobberedBase, /*Seed=*/7);
+    CompileOptions CO = fullOptions();
+    CO.FaultHook = Inj;
+    DifferentialResult DR = runDifferential(*W, TM, CO, smallSetup());
+
+    EXPECT_TRUE(Inj.fired());
+    ASSERT_EQ(DR.Report.Incidents.size(), 1u);
+    EXPECT_EQ(DR.Report.Incidents[0].Pass, Point);
+    EXPECT_TRUE(DR.Report.Incidents[0].RolledBack);
+    EXPECT_TRUE(DR.Report.Succeeded);
+    EXPECT_TRUE(DR.Match) << DR.Why << "\nfault: " << Inj.description();
+  }
+}
+
+/// Legalization is required, so its incident takes the retry path: the
+/// one-shot fault vanishes on the retry and the compile fully succeeds.
+TEST(FaultInjection, RequiredLegalizeFaultIsRetriedOnce) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  FaultInjector Inj("legalize", FaultKind::WrongWidth, /*Seed=*/11);
+  CompileOptions CO = fullOptions();
+  CO.FaultHook = Inj;
+  DifferentialResult DR = runDifferential(*W, TM, CO, smallSetup());
+
+  EXPECT_TRUE(Inj.fired());
+  ASSERT_EQ(DR.Report.Incidents.size(), 1u);
+  const CompileReport::PassIncident &Inc = DR.Report.Incidents[0];
+  EXPECT_EQ(Inc.Pass, "legalize");
+  EXPECT_TRUE(Inc.RolledBack);
+  EXPECT_TRUE(Inc.Retried);
+  EXPECT_FALSE(Inc.Disabled);
+  EXPECT_FALSE(Inc.PipelineStopped);
+  EXPECT_TRUE(DR.Report.Succeeded);
+  EXPECT_TRUE(DR.Match) << DR.Why;
+  // The retried legalization really ran: narrow byte refs were expanded.
+  EXPECT_GE(DR.Report.Legalize.NarrowLoadsExpanded +
+                DR.Report.Legalize.NarrowStoresExpanded,
+            1u);
+}
+
+/// A fault after scheduling disables the scheduler; the trace must show
+/// the stage was dropped while the output stays correct.
+TEST(FaultInjection, ScheduleFaultDropsStageFromTrace) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  FaultInjector Inj("schedule", FaultKind::EmptyBlock, /*Seed=*/3);
+  CompileOptions CO = fullOptions();
+  CO.FaultHook = Inj;
+  std::vector<std::string> Stages;
+  CO.TraceHook = [&Stages](const char *Stage, const Function &) {
+    Stages.push_back(Stage);
+  };
+  DifferentialResult DR = runDifferential(*W, TM, CO, smallSetup());
+
+  EXPECT_TRUE(Inj.fired());
+  EXPECT_TRUE(DR.Report.Succeeded);
+  EXPECT_TRUE(DR.Match) << DR.Why;
+  EXPECT_EQ(std::find(Stages.begin(), Stages.end(), "schedule"),
+            Stages.end())
+      << "rolled-back schedule must not be traced";
+  EXPECT_NE(std::find(Stages.begin(), Stages.end(), "legalize"),
+            Stages.end());
+}
+
+/// Malformed *input* is a user error: the compile fails recoverably with
+/// a frontend diagnostic and the function is left untouched. (The test
+/// finishing at all proves there is no abort on this path.)
+TEST(FaultInjection, MalformedInputFailsRecoverably) {
+  Function F("bad");
+  Reg P = F.addParam();
+  IRBuilder B(&F);
+  B.createBlock("entry");
+  Reg X = B.mov(P);
+  B.ret(X);
+  ASSERT_FALSE(injectFault(F, FaultKind::MissingOperand, 1).empty() &&
+               injectFault(F, FaultKind::EmptyBlock, 1).empty());
+  std::string Before = printFunction(F);
+
+  TargetMachine TM = makeAlphaTarget();
+  CompileReport R = compileFunction(F, TM, fullOptions());
+
+  EXPECT_FALSE(R.Succeeded);
+  ASSERT_EQ(R.Incidents.size(), 1u);
+  EXPECT_EQ(R.Incidents[0].Pass, "frontend");
+  EXPECT_TRUE(R.Incidents[0].PipelineStopped);
+  ASSERT_FALSE(R.allDiagnostics().empty());
+  EXPECT_EQ(R.allDiagnostics()[0].Code, ErrorCode::InvalidIR);
+  EXPECT_EQ(printFunction(F), Before) << "input must be left untouched";
+}
+
+/// Same function, same kind, same seed: same damage. Failures found by
+/// the harness must be replayable.
+TEST(FaultInjection, InjectionIsDeterministic) {
+  auto W = makeWorkloadByName("dotproduct");
+  std::string Descs[2];
+  std::string Prints[2];
+  for (int I = 0; I < 2; ++I) {
+    Module M;
+    Function *F = W->build(M);
+    Descs[I] = injectFault(*F, FaultKind::ClobberedBase, /*Seed=*/99);
+    Prints[I] = printFunction(*F);
+  }
+  EXPECT_FALSE(Descs[0].empty());
+  EXPECT_EQ(Descs[0], Descs[1]);
+  EXPECT_EQ(Prints[0], Prints[1]);
+}
+
+/// A fault kind with no applicable site leaves the function alone.
+TEST(FaultInjection, NoApplicableSiteIsANoOp) {
+  Function F("f");
+  Reg P = F.addParam();
+  IRBuilder B(&F);
+  B.createBlock("entry");
+  Reg X = B.mov(P);
+  B.ret(X);
+  std::string Before = printFunction(F);
+  // No branches, no memory references, no binary ALU ops.
+  EXPECT_EQ(injectFault(F, FaultKind::DroppedCheck, 5), "");
+  EXPECT_EQ(injectFault(F, FaultKind::ClobberedBase, 5), "");
+  EXPECT_EQ(injectFault(F, FaultKind::MissingOperand, 5), "");
+  EXPECT_EQ(printFunction(F), Before);
+  EXPECT_TRUE(verifyFunctionDiagnostics(F, "test").empty());
+}
+
+/// The injector is a one-shot bound to one pass name.
+TEST(FaultInjection, InjectorFiresOnceOnItsPass) {
+  auto W = makeWorkloadByName("dotproduct");
+  Module M;
+  Function *F = W->build(M);
+  FaultInjector Inj("legalize", FaultKind::MissingOperand, 1);
+  EXPECT_FALSE(Inj("coalesce", *F));
+  EXPECT_FALSE(Inj.fired());
+  EXPECT_TRUE(Inj("legalize", *F));
+  EXPECT_TRUE(Inj.fired());
+  EXPECT_FALSE(Inj("legalize", *F)) << "one-shot: second call is dormant";
+}
+
+/// With guard rails off and no fault, the legacy pipeline still works —
+/// the configuration used to measure guard-rail overhead.
+TEST(FaultInjection, GuardRailsOffCleanCompileMatches) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO = fullOptions();
+  CO.GuardRails = false;
+  DifferentialResult DR = runDifferential(*W, TM, CO, smallSetup());
+  EXPECT_TRUE(DR.Report.Succeeded);
+  EXPECT_TRUE(DR.Report.Incidents.empty());
+  EXPECT_TRUE(DR.Match) << DR.Why;
+}
+
+} // namespace

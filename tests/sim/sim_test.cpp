@@ -405,4 +405,91 @@ TEST(Interpreter, MemRefCounting) {
   EXPECT_EQ(R.StoreBytes, 8u);
 }
 
+// --- Non-aborting memory API and trap reporting --------------------------
+
+TEST(Memory, TryReadWriteReportFailureInsteadOfAborting) {
+  Memory M;
+  uint64_t A = M.allocate(16, 8);
+  EXPECT_TRUE(M.tryWrite(A, 4, 0xdeadbeef));
+  uint64_t V = 0;
+  EXPECT_TRUE(M.tryRead(A, 4, V));
+  EXPECT_EQ(V, 0xdeadbeefu);
+
+  // Past the end: failure, not abort, and the out-param is untouched.
+  uint64_t Sentinel = 0x55;
+  EXPECT_FALSE(M.tryRead(M.size(), 4, Sentinel));
+  EXPECT_EQ(Sentinel, 0x55u);
+  EXPECT_FALSE(M.tryWrite(M.size() - 2, 4, 0));
+  // Address arithmetic that wraps must also fail.
+  EXPECT_FALSE(M.tryRead(~0ULL - 1, 8, Sentinel));
+}
+
+TEST(Memory, TryAllocateRejectsBadAlignment) {
+  Memory M;
+  uint64_t A = 0;
+  EXPECT_FALSE(M.tryAllocate(16, /*Align=*/3, /*Skew=*/0, A));
+  EXPECT_FALSE(M.tryAllocate(16, /*Align=*/0, /*Skew=*/0, A));
+  EXPECT_TRUE(M.tryAllocate(16, /*Align=*/8, /*Skew=*/1, A));
+  EXPECT_EQ(A % 8, 1u);
+}
+
+TEST(Interpreter, TrappedClassifiesExits) {
+  RunResult R;
+  for (auto S : {RunResult::Status::UnalignedTrap,
+                 RunResult::Status::OutOfBounds,
+                 RunResult::Status::DivideByZero}) {
+    R.Exit = S;
+    EXPECT_TRUE(R.trapped()) << runStatusName(S);
+  }
+  for (auto S : {RunResult::Status::Ok, RunResult::Status::StepLimit,
+                 RunResult::Status::MalformedIR}) {
+    R.Exit = S;
+    EXPECT_FALSE(R.trapped()) << runStatusName(S);
+  }
+}
+
+TEST(Interpreter, MalformedIRRejectedBeforeExecution) {
+  // A function whose IR does not verify must be rejected up front with
+  // Status::MalformedIR — never executed, never aborted on.
+  Function F("bad");
+  Reg P = F.addParam();
+  IRBuilder B(&F);
+  B.createBlock("entry");
+  Instruction I;
+  I.Op = Opcode::Mov;
+  I.Dst = Reg(1);
+  I.A = Reg(9999); // beyond the allocator bound
+  F.entry()->append(I);
+  B.setInsertBlock(F.entry());
+  B.ret(P);
+
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  Interpreter Interp(TM, Mem);
+  RunResult R = Interp.run(F, {0});
+  EXPECT_EQ(R.Exit, RunResult::Status::MalformedIR);
+  EXPECT_NE(R.Error.find("verification"), std::string::npos);
+  EXPECT_FALSE(R.trapped());
+  EXPECT_EQ(R.Instructions, 0u) << "nothing may execute";
+}
+
+TEST(Interpreter, StoreOutOfBoundsTrapsWithoutSideEffects) {
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  uint64_t A = Mem.allocate(16, 8);
+  std::vector<uint8_t> Before(Mem.data(), Mem.data() + Mem.size());
+  RunResult R = runText("func @f(r1) {\n"
+                        "e:\n"
+                        "  store.i64 [r1], 255\n"
+                        "  ret 0\n"
+                        "}\n",
+                        {static_cast<int64_t>(Mem.size())}, Mem, TM);
+  (void)A;
+  EXPECT_EQ(R.Exit, RunResult::Status::OutOfBounds);
+  EXPECT_TRUE(R.trapped());
+  EXPECT_EQ(std::vector<uint8_t>(Mem.data(), Mem.data() + Mem.size()),
+            Before)
+      << "a trapping store must not partially write";
+}
+
 } // namespace
