@@ -1,0 +1,209 @@
+//===- bench/MatrixRunner.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "MatrixRunner.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+using namespace vpo;
+using namespace vpo::bench;
+
+bool BenchReport::allVerified() const {
+  for (const CellResult &C : Cells)
+    if (!C.M.Verified)
+      return false;
+  return true;
+}
+
+const CellResult *BenchReport::find(const std::string &Workload,
+                                    const std::string &Config) const {
+  for (const CellResult &C : Cells)
+    if (C.Workload == Workload && C.Config == Config)
+      return &C;
+  return nullptr;
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  Out += '"';
+}
+
+std::string formatSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", S);
+  return Buf;
+}
+
+} // namespace
+
+std::string BenchReport::toJson(bool IncludeTiming) const {
+  std::string J;
+  J += "{\n  \"name\": ";
+  appendEscaped(J, Name);
+  if (IncludeTiming)
+    J += ",\n  \"threads\": " + std::to_string(Threads);
+  J += ",\n  \"predecode\": ";
+  J += Predecode ? "true" : "false";
+  if (IncludeTiming)
+    J += ",\n  \"total_wall_seconds\": " + formatSeconds(TotalWallSeconds);
+  J += ",\n  \"cells\": [";
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const CellResult &C = Cells[I];
+    J += I ? ",\n    {" : "\n    {";
+    J += " \"workload\": ";
+    appendEscaped(J, C.Workload);
+    J += ", \"config\": ";
+    appendEscaped(J, C.Config);
+    J += ", \"target\": ";
+    appendEscaped(J, C.Target);
+    J += ", \"cycles\": " + std::to_string(C.M.Cycles);
+    J += ", \"instructions\": " + std::to_string(C.M.Instructions);
+    J += ", \"memrefs\": " + std::to_string(C.M.MemRefs);
+    J += ", \"cache_misses\": " + std::to_string(C.M.CacheMisses);
+    J += ", \"verified\": ";
+    J += C.M.Verified ? "true" : "false";
+    if (IncludeTiming)
+      J += ", \"wall_seconds\": " + formatSeconds(C.WallSeconds);
+    J += " }";
+  }
+  J += "\n  ]\n}\n";
+  return J;
+}
+
+bool BenchReport::writeFile(const std::string &Path,
+                            bool IncludeTiming) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string J = toJson(IncludeTiming);
+  bool Ok = std::fwrite(J.data(), 1, J.size(), F) == J.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+BenchReport MatrixRunner::run(const std::string &Name,
+                              const std::vector<CellSpec> &Specs) const {
+  BenchReport Report;
+  Report.Name = Name;
+  Report.Predecode = Opts.Predecode;
+  Report.Cells.resize(Specs.size());
+
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  if (Specs.size() < Threads)
+    Threads = Specs.empty() ? 1 : static_cast<unsigned>(Specs.size());
+  Report.Threads = Threads;
+
+  // Work queue: an atomic cursor over the spec list. Results are written
+  // by index, so completion order never shows in the output.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Specs.size())
+        return;
+      const CellSpec &Spec = Specs[I];
+      assert(Spec.TM && "cell spec without a target");
+      auto T0 = std::chrono::steady_clock::now();
+      auto W = makeWorkloadByName(Spec.Workload);
+      MeasureOptions MO;
+      MO.Predecode = Opts.Predecode;
+      MO.StaticParams = Spec.StaticParams;
+      CellResult &Out = Report.Cells[I];
+      Out.Workload = Spec.Workload;
+      Out.Config = Spec.Config;
+      Out.Target = Spec.TM->name();
+      Out.M = measureCell(*W, *Spec.TM, Spec.Options, Spec.Setup, MO);
+      Out.WallSeconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        T0)
+              .count();
+    }
+  };
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned T = 1; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  Worker(); // the calling thread is pool member zero
+  for (std::thread &T : Pool)
+    T.join();
+  Report.TotalWallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Report;
+}
+
+BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
+                                     const std::string &Name) {
+  BenchArgs Args;
+  Args.JsonPath = "BENCH_" + Name + ".json";
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    if (A.rfind("--threads=", 0) == 0) {
+      Args.Threads = static_cast<unsigned>(
+          std::strtoul(A.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (A == "--no-predecode") {
+      Args.Predecode = false;
+    } else if (A == "--no-json") {
+      Args.WriteJson = false;
+    } else if (A.rfind("--json=", 0) == 0) {
+      Args.JsonPath = A.substr(std::strlen("--json="));
+    } else if (A == "--json") {
+      // default path already set
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: %s [--threads=N] [--no-predecode] "
+                   "[--json[=PATH]] [--no-json]\n",
+                   A.c_str(), Argv[0]);
+      Args.Ok = false;
+      return Args;
+    }
+  }
+  return Args;
+}
+
+RunnerOptions vpo::bench::toRunnerOptions(const BenchArgs &Args) {
+  RunnerOptions RO;
+  RO.Threads = Args.Threads;
+  RO.Predecode = Args.Predecode;
+  return RO;
+}
+
+int vpo::bench::finishReport(const BenchReport &Report,
+                             const BenchArgs &Args) {
+  if (Args.WriteJson) {
+    if (!Report.writeFile(Args.JsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", Args.JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\n[%u thread%s, %.2fs wall; results in %s]\n",
+                Report.Threads, Report.Threads == 1 ? "" : "s",
+                Report.TotalWallSeconds, Args.JsonPath.c_str());
+  } else {
+    std::printf("\n[%u thread%s, %.2fs wall]\n", Report.Threads,
+                Report.Threads == 1 ? "" : "s", Report.TotalWallSeconds);
+  }
+  return Report.allVerified() ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+//===- bench/MatrixRunner.h - parallel evaluation-matrix runner -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a table's worth of (workload, target, configuration) cells through
+/// measureCell on a pool of worker threads. Cells are embarrassingly
+/// parallel — each job builds its own Module, Memory arena, and
+/// Interpreter — so the only shared state is the read-only TargetMachine
+/// each spec points at. Results land in submission order regardless of
+/// thread count or scheduling, so the rendered tables and the JSON report
+/// are byte-identical between -j1 and -jN
+/// (tests/bench/matrix_runner_test.cpp enforces this).
+///
+/// Every harness built on the runner emits its existing text table on
+/// stdout plus a machine-readable BENCH_<name>.json (schema documented at
+/// BenchReport::toJson) for CI to archive and gate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_BENCH_MATRIXRUNNER_H
+#define VPO_BENCH_MATRIXRUNNER_H
+
+#include "BenchUtils.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace bench {
+
+/// One cell of an evaluation matrix: a workload under a pipeline
+/// configuration on a target with a data-layout setup. The workload is
+/// named, not held: each worker materializes its own instance so jobs
+/// share nothing mutable. The TargetMachine is held by pointer and read
+/// concurrently; the harness keeps it alive across run().
+struct CellSpec {
+  std::string Workload;
+  std::string Config; ///< column label, e.g. "vpo -O" or "coalesce-lds"
+  const TargetMachine *TM = nullptr;
+  CompileOptions Options;
+  SetupOptions Setup;
+  /// Declare the first StaticParams parameters restrict-like (NoAlias,
+  /// KnownAlign = 8) before compiling — the static-analysis ablations.
+  unsigned StaticParams = 0;
+};
+
+/// A measured cell, in the order the specs were submitted.
+struct CellResult {
+  std::string Workload;
+  std::string Config;
+  std::string Target;
+  Measurement M;
+  double WallSeconds = 0; ///< wall-clock spent measuring this cell
+};
+
+/// Everything a harness needs to render its table and write its JSON.
+struct BenchReport {
+  std::string Name; ///< harness name, e.g. "table2_alpha"
+  unsigned Threads = 1;
+  bool Predecode = true;
+  double TotalWallSeconds = 0;
+  std::vector<CellResult> Cells;
+
+  bool allVerified() const;
+
+  /// \returns the result for (\p Workload, \p Config), or nullptr.
+  const CellResult *find(const std::string &Workload,
+                         const std::string &Config) const;
+
+  /// Serializes the report:
+  ///
+  /// \code
+  ///   {
+  ///     "name": "table2_alpha",
+  ///     "threads": 4,                       // only if IncludeTiming
+  ///     "predecode": true,
+  ///     "total_wall_seconds": 1.234,        // only if IncludeTiming
+  ///     "cells": [
+  ///       { "workload": "convolution", "config": "cc -O",
+  ///         "target": "alpha",
+  ///         "cycles": 123, "instructions": 456, "memrefs": 78,
+  ///         "cache_misses": 9, "verified": true,
+  ///         "wall_seconds": 0.01 }          // only if IncludeTiming
+  ///     ]
+  ///   }
+  /// \endcode
+  ///
+  /// \p IncludeTiming=false drops the wall-clock fields (and the thread
+  /// count, which is also run-dependent) so determinism tests can compare
+  /// the output byte-for-byte across thread counts.
+  std::string toJson(bool IncludeTiming = true) const;
+
+  /// Writes toJson() to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path, bool IncludeTiming = true) const;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned Threads = 0;
+  bool Predecode = true;
+};
+
+/// Runs cells on a thread pool.
+class MatrixRunner {
+public:
+  explicit MatrixRunner(RunnerOptions Opts = RunnerOptions()) : Opts(Opts) {}
+
+  /// Measures every cell. Blocks until all are done; Cells[i] of the
+  /// result corresponds to Specs[i].
+  BenchReport run(const std::string &Name,
+                  const std::vector<CellSpec> &Specs) const;
+
+private:
+  RunnerOptions Opts;
+};
+
+/// Command-line options shared by every table/ablation harness.
+struct BenchArgs {
+  unsigned Threads = 0;  ///< --threads=N (0 = all cores)
+  bool Predecode = true; ///< --no-predecode
+  bool WriteJson = true; ///< --no-json
+  std::string JsonPath;  ///< --json=PATH (default BENCH_<name>.json)
+  bool Ok = true;        ///< false: unknown argument (usage printed)
+};
+
+/// Parses argv for the standard harness flags. \p Name supplies the
+/// default JSON path, BENCH_<name>.json in the working directory.
+BenchArgs parseBenchArgs(int Argc, char **Argv, const std::string &Name);
+
+RunnerOptions toRunnerOptions(const BenchArgs &Args);
+
+/// Writes the JSON report if requested; prints where it landed. \returns
+/// 0 if all cells verified, 1 otherwise (the harness exit code).
+int finishReport(const BenchReport &Report, const BenchArgs &Args);
+
+} // namespace bench
+} // namespace vpo
+
+#endif // VPO_BENCH_MATRIXRUNNER_H

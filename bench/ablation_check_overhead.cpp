@@ -10,51 +10,41 @@
 ///
 /// Compares, across trip counts, the dot product compiled with run-time
 /// checks (parameters unknown) against the same kernel compiled with
-/// `restrict`-like no-alias and alignment declarations (no checks at all).
+/// `restrict`-like no-alias and alignment declarations (no checks at all)
+/// — the CellSpec::StaticParams knob.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-namespace {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "ablation_check_overhead");
+  if (!Args.Ok)
+    return 2;
 
-Measurement measureWithAttrs(const Workload &W, const TargetMachine &TM,
-                             const CompileOptions &CO,
-                             const SetupOptions &SO, bool DeclareStatic) {
-  Measurement M;
-  Module Mod;
-  Function *F = W.build(Mod);
-  if (DeclareStatic)
-    for (size_t P = 0; P < F->params().size(); ++P) {
-      F->paramInfo(P).NoAlias = true;
-      F->paramInfo(P).KnownAlign = 8;
-    }
-  Memory Mem;
-  SetupResult S = W.setup(Mem, SO);
-  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
-  int64_t ExpectedRet = W.golden(Golden.data(), SO, S);
-  CompileReport Report = compileFunction(*F, TM, CO);
-  M.Coalesce = Report.Coalesce;
-  Interpreter Interp(TM, Mem);
-  RunResult R = Interp.run(*F, S.Args);
-  M.Cycles = R.Cycles;
-  M.MemRefs = R.MemRefs();
-  M.Verified = R.ok() && R.ReturnValue == ExpectedRet &&
-               std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
-  return M;
-}
-
-} // namespace
-
-int main() {
   TargetMachine TM = makeAlphaTarget();
   CompileOptions CO;
   CO.Mode = CoalesceMode::LoadsAndStores;
   CO.Unroll = true;
   CO.Schedule = true;
+
+  const int64_t Ns[] = {16,   64,    256,   1024,
+                        4096, 65536, 250000};
+
+  std::vector<CellSpec> Specs;
+  for (int64_t N : Ns) {
+    SetupOptions SO;
+    SO.N = N;
+    Specs.push_back(CellSpec{"dotproduct", "checked", &TM, CO, SO, 0});
+    // ~UINT_MAX = every parameter declared no-alias and 8-aligned.
+    Specs.push_back(CellSpec{"dotproduct", "static", &TM, CO, SO, ~0u});
+  }
+
+  BenchReport Report = MatrixRunner(toRunnerOptions(Args))
+                           .run("ablation_check_overhead", Specs);
 
   std::printf("Ablation: run-time alias/alignment check overhead "
               "(dotproduct, Alpha model)\n\n");
@@ -62,12 +52,10 @@ int main() {
               "static cyc", "overhead%", "chk-insts", "ok");
   printRule(72);
 
-  auto W = makeWorkloadByName("dotproduct");
-  for (int64_t N : {16LL, 64LL, 256LL, 1024LL, 4096LL, 65536LL, 250000LL}) {
-    SetupOptions SO;
-    SO.N = N;
-    Measurement Checked = measureWithAttrs(*W, TM, CO, SO, false);
-    Measurement Static = measureWithAttrs(*W, TM, CO, SO, true);
+  size_t Cell = 0;
+  for (int64_t N : Ns) {
+    const Measurement &Checked = Report.Cells[Cell++].M;
+    const Measurement &Static = Report.Cells[Cell++].M;
     double Overhead = Static.Cycles == 0
                           ? 0.0
                           : (double(Checked.Cycles) - double(Static.Cycles)) /
@@ -82,5 +70,5 @@ int main() {
   std::printf("\n(the check cost is constant per loop entry, so the "
               "overhead vanishes as the trip count grows —\n the paper's "
               "'negligible impact' claim)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

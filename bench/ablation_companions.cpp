@@ -14,59 +14,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
-
-#include <cstring>
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-namespace {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "ablation_companions");
+  if (!Args.Ok)
+    return 2;
 
-Measurement measureConv(bool ScalarReplace, CoalesceMode Mode,
-                        const SetupOptions &SO, const TargetMachine &TM) {
-  auto W = makeWorkloadByName("convolution");
-  Measurement M;
-  Module Mod;
-  Function *F = W->build(Mod);
-  // restrict on the image/output/coefficient pointers.
-  for (size_t P = 0; P < 3; ++P) {
-    F->paramInfo(P).NoAlias = true;
-    F->paramInfo(P).KnownAlign = 8;
-  }
-  Memory Mem;
-  SetupResult S = W->setup(Mem, SO);
-  std::vector<uint8_t> Golden(Mem.data(), Mem.data() + Mem.size());
-  int64_t ExpectRet = W->golden(Golden.data(), SO, S);
-
-  CompileOptions CO;
-  CO.Mode = Mode;
-  CO.Unroll = true;
-  CO.Schedule = true;
-  CO.ScalarReplace = ScalarReplace;
-  CompileReport Report = compileFunction(*F, TM, CO);
-  M.Coalesce = Report.Coalesce;
-
-  Interpreter Interp(TM, Mem);
-  RunResult R = Interp.run(*F, S.Args);
-  M.Cycles = R.Cycles;
-  M.MemRefs = R.MemRefs();
-  M.Verified = R.ok() && R.ReturnValue == ExpectRet &&
-               std::memcmp(Mem.data(), Golden.data(), Mem.size()) == 0;
-  return M;
-}
-
-} // namespace
-
-int main() {
   SetupOptions SO = paperSetup();
   TargetMachine TM = makeAlphaTarget();
-
-  std::printf("Ablation: composing the section 1.1 companion techniques "
-              "(convolution, restrict, Alpha model)\n\n");
-  std::printf("%-34s %12s %12s %10s %s\n", "configuration", "Mcycles",
-              "memrefs", "%vs-base", "ok");
-  printRule(78);
 
   struct Cfg {
     const char *Name;
@@ -80,14 +39,34 @@ int main() {
        CoalesceMode::LoadsAndStores},
   };
 
-  double Base = 0;
+  std::vector<CellSpec> Specs;
   for (const Cfg &C : Cfgs) {
-    Measurement M = measureConv(C.SR, C.Mode, SO, TM);
+    CompileOptions CO;
+    CO.Mode = C.Mode;
+    CO.Unroll = true;
+    CO.Schedule = true;
+    CO.ScalarReplace = C.SR;
+    // restrict on the image/output/coefficient pointers.
+    Specs.push_back(CellSpec{"convolution", C.Name, &TM, CO, SO, 3});
+  }
+
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("ablation_companions", Specs);
+
+  std::printf("Ablation: composing the section 1.1 companion techniques "
+              "(convolution, restrict, Alpha model)\n\n");
+  std::printf("%-34s %12s %12s %10s %s\n", "configuration", "Mcycles",
+              "memrefs", "%vs-base", "ok");
+  printRule(78);
+
+  double Base = 0;
+  for (const CellResult &Cell : Report.Cells) {
+    const Measurement &M = Cell.M;
     double Mcyc = double(M.Cycles) / 1e6;
     if (Base == 0)
       Base = Mcyc;
-    std::printf("%-34s %12.3f %12llu %9.2f%% %s\n", C.Name, Mcyc,
-                (unsigned long long)M.MemRefs,
+    std::printf("%-34s %12.3f %12llu %9.2f%% %s\n", Cell.Config.c_str(),
+                Mcyc, (unsigned long long)M.MemRefs,
                 (Base - Mcyc) / Base * 100.0,
                 M.Verified ? "yes" : "MISMATCH");
   }
@@ -95,5 +74,5 @@ int main() {
               "coalescing widens what remains; the\n combination beats "
               "either alone — the paper's 'can be used with the "
               "techniques\n mentioned previously', measured)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
@@ -34,7 +34,11 @@ TargetMachine makeBusLimitedAlpha() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "ablation_fp");
+  if (!Args.Ok)
+    return 2;
+
   SetupOptions SO;
   SO.N = 250000;
   // The kernel processes elements 1..n-1, so skew the allocations by one
@@ -43,26 +47,19 @@ int main() {
   SO.BaseAlign = 8;
   SO.Skew = 4;
 
-  std::printf("Ablation: wide-bus floating-point coalescing "
-              "(livermore5, f32 streams)\n\n");
-  std::printf("%-18s %-8s %14s %14s %10s %10s %10s %s\n", "target",
-              "profit", "vpo -O Mcyc", "coal Mcyc", "%save", "loadruns",
-              "storeruns", "ok");
-  printRule(104);
+  TargetMachine Targets[2] = {makeAlphaTarget(), makeBusLimitedAlpha()};
+  struct Cfg {
+    const char *Name;
+    bool Profit;
+    bool Recurrence;
+  } Cfgs[] = {
+      {"guarded", true, false},
+      {"forced", false, false},
+      {"g+recur", true, true},
+  };
 
-  auto W = makeWorkloadByName("livermore5");
+  std::vector<CellSpec> Specs;
   for (int BusLimited = 0; BusLimited <= 1; ++BusLimited) {
-    TargetMachine TM =
-        BusLimited ? makeBusLimitedAlpha() : makeAlphaTarget();
-    struct Cfg {
-      const char *Name;
-      bool Profit;
-      bool Recurrence;
-    } Cfgs[] = {
-        {"guarded", true, false},
-        {"forced", false, false},
-        {"g+recur", true, true},
-    };
     for (const Cfg &C : Cfgs) {
       CompileOptions Base;
       Base.Mode = CoalesceMode::None;
@@ -72,14 +69,34 @@ int main() {
       Coal.Mode = CoalesceMode::LoadsAndStores;
       Coal.RequireProfitability = C.Profit;
       Coal.OptimizeRecurrences = C.Recurrence;
+      std::string Label = C.Name;
+      Specs.push_back(CellSpec{"livermore5", Label + " base",
+                               &Targets[BusLimited], Base, SO, 0});
+      Specs.push_back(CellSpec{"livermore5", Label + " coal",
+                               &Targets[BusLimited], Coal, SO, 0});
+    }
+  }
 
-      Measurement MB = measureCell(*W, TM, Base, SO);
-      Measurement MC = measureCell(*W, TM, Coal, SO);
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("ablation_fp", Specs);
+
+  std::printf("Ablation: wide-bus floating-point coalescing "
+              "(livermore5, f32 streams)\n\n");
+  std::printf("%-18s %-8s %14s %14s %10s %10s %10s %s\n", "target",
+              "profit", "vpo -O Mcyc", "coal Mcyc", "%save", "loadruns",
+              "storeruns", "ok");
+  printRule(104);
+
+  size_t Cell = 0;
+  for (int BusLimited = 0; BusLimited <= 1; ++BusLimited) {
+    for (const Cfg &C : Cfgs) {
+      const Measurement &MB = Report.Cells[Cell++].M;
+      const Measurement &MC = Report.Cells[Cell++].M;
       double Save = (double(MB.Cycles) - double(MC.Cycles)) /
                     double(MB.Cycles) * 100.0;
       std::printf("%-18s %-8s %14.3f %14.3f %9.2f%% %10u %10u %s\n",
-                  TM.name().c_str(), C.Name, double(MB.Cycles) / 1e6,
-                  double(MC.Cycles) / 1e6, Save,
+                  Targets[BusLimited].name().c_str(), C.Name,
+                  double(MB.Cycles) / 1e6, double(MC.Cycles) / 1e6, Save,
                   MC.Coalesce.LoadRunsCoalesced,
                   MC.Coalesce.StoreRunsCoalesced,
                   MB.Verified && MC.Verified ? "yes" : "MISMATCH");
@@ -91,5 +108,5 @@ int main() {
       "optimization [Beni91] carries x[i-1] in a register: that removes\n "
       "the hazard, the x store run coalesces too, and the bus-limited "
       "machine gains another ~10%%)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

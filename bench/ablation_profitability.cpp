@@ -12,40 +12,59 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "ablation_profitability");
+  if (!Args.Ok)
+    return 2;
+
   SetupOptions SO = paperSetup();
+  const char *TargetNames[] = {"alpha", "m88100", "m68030"};
+  TargetMachine Targets[] = {makeTargetByName("alpha"),
+                             makeTargetByName("m88100"),
+                             makeTargetByName("m68030")};
+
+  CompileOptions Base;
+  Base.Mode = CoalesceMode::None;
+  Base.Unroll = true;
+  Base.Schedule = true;
+  CompileOptions Forced = Base;
+  Forced.Mode = CoalesceMode::LoadsAndStores;
+  Forced.RequireProfitability = false;
+  CompileOptions Guarded = Forced;
+  Guarded.RequireProfitability = true;
+
+  const PipelineConfig Configs[] = {
+      {"vpo -O", Base}, {"forced", Forced}, {"guarded", Guarded}};
+
+  std::vector<CellSpec> Specs;
+  for (const std::string &Name : tableWorkloads())
+    for (size_t T = 0; T < 3; ++T)
+      for (const PipelineConfig &C : Configs)
+        Specs.push_back(CellSpec{Name, C.Name, &Targets[T], C.Options, SO, 0});
+
+  BenchReport Report = MatrixRunner(toRunnerOptions(Args))
+                           .run("ablation_profitability", Specs);
+
   std::printf("Ablation: profitability analysis on/off "
               "(coalesce loads+stores)\n\n");
   std::printf("%-12s %-8s %14s %14s %14s %8s\n", "Program", "target",
               "vpo -O Mcyc", "forced Mcyc", "guarded Mcyc", "ok");
   printRule(80);
 
+  size_t Cell = 0;
   for (const std::string &Name : tableWorkloads()) {
-    for (const char *Target : {"alpha", "m88100", "m68030"}) {
-      TargetMachine TM = makeTargetByName(Target);
-      auto W = makeWorkloadByName(Name);
-
-      CompileOptions Base;
-      Base.Mode = CoalesceMode::None;
-      Base.Unroll = true;
-      Base.Schedule = true;
-      CompileOptions Forced = Base;
-      Forced.Mode = CoalesceMode::LoadsAndStores;
-      Forced.RequireProfitability = false;
-      CompileOptions Guarded = Forced;
-      Guarded.RequireProfitability = true;
-
-      Measurement MB = measureCell(*W, TM, Base, SO);
-      Measurement MF = measureCell(*W, TM, Forced, SO);
-      Measurement MG = measureCell(*W, TM, Guarded, SO);
+    for (size_t T = 0; T < 3; ++T) {
+      const Measurement &MB = Report.Cells[Cell++].M;
+      const Measurement &MF = Report.Cells[Cell++].M;
+      const Measurement &MG = Report.Cells[Cell++].M;
       std::printf("%-12s %-8s %14.3f %14.3f %14.3f %8s\n", Name.c_str(),
-                  Target, double(MB.Cycles) / 1e6, double(MF.Cycles) / 1e6,
-                  double(MG.Cycles) / 1e6,
+                  TargetNames[T], double(MB.Cycles) / 1e6,
+                  double(MF.Cycles) / 1e6, double(MG.Cycles) / 1e6,
                   MB.Verified && MF.Verified && MG.Verified ? "yes"
                                                             : "MISMATCH");
     }
@@ -54,5 +73,5 @@ int main() {
               "schedule estimate's error;\n on the 68030 'guarded' "
               "equals 'vpo -O' — the paper's authors lacked this guard "
               "and measured\n slowdowns on real hardware)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

@@ -12,26 +12,22 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-int main() {
-  SetupOptions SO = paperSetup();
-  std::printf("Ablation: unroll factor sweep (image_add, coalesce "
-              "loads+stores)\n");
-  std::printf("'naive' columns disable the i-cache-fit heuristic (paper "
-              "section 2.2); 'capped' obey it\n\n");
-  std::printf("%-8s %14s %14s %14s %14s %s\n", "factor", "alpha capped",
-              "alpha naive", "m68030 capped", "m68030 naive", "ok");
-  printRule(84);
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "ablation_unroll");
+  if (!Args.Ok)
+    return 2;
 
-  for (unsigned Factor : {0u, 2u, 8u, 32u, 128u, 512u, 2048u}) {
-    auto W = makeWorkloadByName("image_add");
-    TargetMachine Targets[2] = {makeAlphaTarget(), makeM68030Target()};
-    double Mcyc[2][2];
-    bool Ok = true;
+  SetupOptions SO = paperSetup();
+  const unsigned Factors[] = {0u, 2u, 8u, 32u, 128u, 512u, 2048u};
+  TargetMachine Targets[2] = {makeAlphaTarget(), makeM68030Target()};
+
+  std::vector<CellSpec> Specs;
+  for (unsigned Factor : Factors)
     for (int T = 0; T < 2; ++T)
       for (int Naive = 0; Naive < 2; ++Naive) {
         CompileOptions CO;
@@ -42,7 +38,30 @@ int main() {
         // Forced over-unrolling is exactly what profitability would
         // refuse; disable the guard so the cost is measurable.
         CO.RequireProfitability = false;
-        Measurement M = measureCell(*W, Targets[T], CO, SO);
+        std::string Config = "factor=" + std::to_string(Factor) +
+                             (Naive ? " naive" : " capped");
+        Specs.push_back(
+            CellSpec{"image_add", Config, &Targets[T], CO, SO, 0});
+      }
+
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("ablation_unroll", Specs);
+
+  std::printf("Ablation: unroll factor sweep (image_add, coalesce "
+              "loads+stores)\n");
+  std::printf("'naive' columns disable the i-cache-fit heuristic (paper "
+              "section 2.2); 'capped' obey it\n\n");
+  std::printf("%-8s %14s %14s %14s %14s %s\n", "factor", "alpha capped",
+              "alpha naive", "m68030 capped", "m68030 naive", "ok");
+  printRule(84);
+
+  size_t Cell = 0;
+  for (unsigned Factor : Factors) {
+    double Mcyc[2][2];
+    bool Ok = true;
+    for (int T = 0; T < 2; ++T)
+      for (int Naive = 0; Naive < 2; ++Naive, ++Cell) {
+        const Measurement &M = Report.Cells[Cell].M;
         Mcyc[T][Naive] = double(M.Cycles) / 1e6;
         Ok &= M.Verified;
       }
@@ -61,5 +80,5 @@ int main() {
               " coalescing gains — the paper's motivation for the "
               "heuristic. The 68030's 256-byte\n cache turns naive "
               "unrolling into a large slowdown almost immediately.)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

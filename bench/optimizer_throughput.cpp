@@ -17,7 +17,9 @@
 #include "analysis/Dominators.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
+#include "ir/Snapshot.h"
 #include "sched/ListScheduler.h"
+#include "sim/Predecode.h"
 
 #include <benchmark/benchmark.h>
 
@@ -131,6 +133,89 @@ void BM_SimulatorThroughput(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Insts));
 }
 
+/// Lowering cost of the predecode pass itself (once per compiled
+/// function; amortized over every simulated run of it).
+void BM_Predecode(benchmark::State &State, const char *Name) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+  for (auto _ : State) {
+    DecodedFunction DF;
+    std::string Error;
+    bool Ok = predecodeFunction(*F, TM, DF, Error);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(DF.Ops.size());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(F->instructionCount()));
+}
+
+/// The two execution engines head to head on the same compiled kernel
+/// (they must agree on every metric; the differential suite enforces it —
+/// this measures the speed difference).
+void BM_Simulate(benchmark::State &State, const char *Name,
+                 bool Predecode) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+  SetupOptions SO;
+  SO.N = 4096;
+  InterpreterOptions IO;
+  IO.Predecode = Predecode;
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Memory Mem;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter Interp(TM, Mem, IO);
+    State.ResumeTiming();
+    RunResult R = Interp.run(*F, S.Args);
+    Insts += R.Instructions;
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+
+/// What the driver pays to be able to roll a pass back, per pass, on a
+/// compiled kernel-sized function: arm+commit of the lazy journal versus
+/// the eager full-copy snapshot it replaced (take alone — the old
+/// driver's per-pass cost on the happy path).
+void BM_SnapshotLazy(benchmark::State &State, const char *Name,
+                     bool Lazy) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+  for (auto _ : State) {
+    if (Lazy) {
+      SnapshotJournal J;
+      J.arm(*F);
+      J.commit();
+      benchmark::DoNotOptimize(J.armed());
+    } else {
+      FunctionSnapshot Snap = FunctionSnapshot::take(*F);
+      benchmark::DoNotOptimize(Snap.blockCount());
+    }
+  }
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_BuildKernel, convolution, "convolution");
@@ -146,5 +231,18 @@ BENCHMARK_CAPTURE(BM_GuardRailOverhead, image_add_bare, "image_add",
                   /*GuardRails=*/false);
 BENCHMARK_CAPTURE(BM_ListScheduler, convolution, "convolution");
 BENCHMARK(BM_SimulatorThroughput);
+BENCHMARK_CAPTURE(BM_Predecode, image_add, "image_add");
+BENCHMARK_CAPTURE(BM_Simulate, dotproduct_reference, "dotproduct",
+                  /*Predecode=*/false);
+BENCHMARK_CAPTURE(BM_Simulate, dotproduct_fast, "dotproduct",
+                  /*Predecode=*/true);
+BENCHMARK_CAPTURE(BM_Simulate, image_add_reference, "image_add",
+                  /*Predecode=*/false);
+BENCHMARK_CAPTURE(BM_Simulate, image_add_fast, "image_add",
+                  /*Predecode=*/true);
+BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_journal, "image_add",
+                  /*Lazy=*/true);
+BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_eager, "image_add",
+                  /*Lazy=*/false);
 
 BENCHMARK_MAIN();

@@ -14,18 +14,34 @@
 /// Image add 16-bit ~32%, Image xor ~40%, Translate ~33%, Eqntott ~4%,
 /// Mirror ~32%.
 ///
+/// Cells run on a MatrixRunner thread pool (--threads=N); the table text
+/// is identical for any thread count, and the raw per-cell metrics land
+/// in BENCH_table2_alpha.json.
+///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "table2_alpha");
+  if (!Args.Ok)
+    return 2;
+
   TargetMachine TM = makeAlphaTarget();
   double Clock = nominalClockHz("alpha");
   SetupOptions SO = paperSetup();
   auto Configs = paperConfigs();
+
+  std::vector<CellSpec> Specs;
+  for (const std::string &Name : tableWorkloads())
+    for (const PipelineConfig &C : Configs)
+      Specs.push_back(CellSpec{Name, C.Name, &TM, C.Options, SO, 0});
+
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("table2_alpha", Specs);
 
   std::printf("Table II: DEC Alpha (model) execution times and percent "
               "improvement\n");
@@ -37,13 +53,13 @@ int main() {
               "%save", "memref%", "ok");
   printRule(100);
 
+  size_t Cell = 0;
   for (const std::string &Name : tableWorkloads()) {
-    auto W = makeWorkloadByName(Name);
     double Secs[4] = {0, 0, 0, 0};
     uint64_t Refs[4] = {0, 0, 0, 0};
     bool AllOk = true;
-    for (size_t C = 0; C < Configs.size(); ++C) {
-      Measurement M = measureCell(*W, TM, Configs[C].Options, SO);
+    for (size_t C = 0; C < Configs.size(); ++C, ++Cell) {
+      const Measurement &M = Report.Cells[Cell].M;
       Secs[C] = static_cast<double>(M.Cycles) / Clock;
       Refs[C] = M.MemRefs;
       AllOk &= M.Verified;
@@ -60,5 +76,5 @@ int main() {
   std::printf("\n(paper Table II savings: convolution 11.26, image add "
               "41.05, image add 16-bit 32.36,\n image xor 40.08, translate "
               "33.11, eqntott 3.86, mirror 32.09)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

@@ -15,18 +15,33 @@
 /// image kernels 15-24, eqntott ~1.3), and column 5 >= column 4 for every
 /// program.
 ///
+/// Cells run on a MatrixRunner thread pool (--threads=N); per-cell
+/// metrics land in BENCH_table3_m88100.json.
+///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "table3_m88100");
+  if (!Args.Ok)
+    return 2;
+
   TargetMachine TM = makeM88100Target();
   double Clock = nominalClockHz("m88100");
   SetupOptions SO = paperSetup();
   auto Configs = paperConfigs();
+
+  std::vector<CellSpec> Specs;
+  for (const std::string &Name : tableWorkloads())
+    for (const PipelineConfig &C : Configs)
+      Specs.push_back(CellSpec{Name, C.Name, &TM, C.Options, SO, 0});
+
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("table3_m88100", Specs);
 
   std::printf("Table III: Motorola 88100 (model) execution times and "
               "percent improvement\n");
@@ -38,12 +53,12 @@ int main() {
               "%save", "sts-slower?", "ok");
   printRule(100);
 
+  size_t Cell = 0;
   for (const std::string &Name : tableWorkloads()) {
-    auto W = makeWorkloadByName(Name);
     double Secs[4] = {0, 0, 0, 0};
     bool AllOk = true;
-    for (size_t C = 0; C < Configs.size(); ++C) {
-      Measurement M = measureCell(*W, TM, Configs[C].Options, SO);
+    for (size_t C = 0; C < Configs.size(); ++C, ++Cell) {
+      const Measurement &M = Report.Cells[Cell].M;
       Secs[C] = static_cast<double>(M.Cycles) / Clock;
       AllOk &= M.Verified;
     }
@@ -57,5 +72,5 @@ int main() {
               "image add 15.39, image xor 15.64,\n translate 24.46, "
               "eqntott 1.3, mirror 16.64; loads+stores slower than "
               "loads-only throughout)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

@@ -16,14 +16,21 @@
 /// dual-schedule profitability test (paper Fig. 3) correctly refuses the
 /// transformation on this machine.
 ///
+/// Cells run on a MatrixRunner thread pool (--threads=N); per-cell
+/// metrics land in BENCH_table4_m68030.json.
+///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtils.h"
+#include "MatrixRunner.h"
 
 using namespace vpo;
 using namespace vpo::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv, "table4_m68030");
+  if (!Args.Ok)
+    return 2;
+
   TargetMachine TM = makeM68030Target();
   double Clock = nominalClockHz("m68030");
   SetupOptions SO = paperSetup();
@@ -45,6 +52,19 @@ int main() {
   Guarded.Mode = CoalesceMode::LoadsAndStores;
   Guarded.RequireProfitability = true;
 
+  const PipelineConfig Configs[] = {{"vpo -O", Base},
+                                    {"forced-loads", ForcedLoads},
+                                    {"forced-lds+sts", Forced},
+                                    {"with-profit", Guarded}};
+
+  std::vector<CellSpec> Specs;
+  for (const std::string &Name : tableWorkloads())
+    for (const PipelineConfig &C : Configs)
+      Specs.push_back(CellSpec{Name, C.Name, &TM, C.Options, SO, 0});
+
+  BenchReport Report =
+      MatrixRunner(toRunnerOptions(Args)).run("table4_m68030", Specs);
+
   std::printf("Table IV (paper section 3 text): Motorola 68030 (model) — "
               "coalescing makes code slower\n");
   std::printf("500x500 images / 250000 elements; seconds at a nominal "
@@ -55,12 +75,12 @@ int main() {
               "with-profit", "ok");
   printRule(96);
 
+  size_t Cell = 0;
   for (const std::string &Name : tableWorkloads()) {
-    auto W = makeWorkloadByName(Name);
-    Measurement MB = measureCell(*W, TM, Base, SO);
-    Measurement ML = measureCell(*W, TM, ForcedLoads, SO);
-    Measurement MF = measureCell(*W, TM, Forced, SO);
-    Measurement MG = measureCell(*W, TM, Guarded, SO);
+    const Measurement &MB = Report.Cells[Cell++].M;
+    const Measurement &ML = Report.Cells[Cell++].M;
+    const Measurement &MF = Report.Cells[Cell++].M;
+    const Measurement &MG = Report.Cells[Cell++].M;
     bool AllOk =
         MB.Verified && ML.Verified && MF.Verified && MG.Verified;
     double SB = double(MB.Cycles) / Clock;
@@ -79,5 +99,5 @@ int main() {
               "in slower code' for all programs;\n the with-profit column "
               "equals vpo -O because the Fig. 3 schedule comparison "
               "rejects every loop)\n");
-  return 0;
+  return finishReport(Report, Args);
 }

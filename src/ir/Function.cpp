@@ -6,6 +6,7 @@
 
 #include "ir/Function.h"
 
+#include "ir/Snapshot.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -35,7 +36,10 @@ std::vector<BasicBlock *> BasicBlock::successors() const {
 
 BasicBlock *Function::addBlock(std::string BlockName) {
   Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
-  return Blocks.back().get();
+  BasicBlock *Raw = Blocks.back().get();
+  if (Journal)
+    Journal->noteAdded(Raw);
+  return Raw;
 }
 
 BasicBlock *Function::addBlockBefore(BasicBlock *Before,
@@ -45,6 +49,8 @@ BasicBlock *Function::addBlockBefore(BasicBlock *Before,
   auto NewBB = std::make_unique<BasicBlock>(this, std::move(BlockName));
   BasicBlock *Raw = NewBB.get();
   Blocks.insert(Blocks.begin() + Idx, std::move(NewBB));
+  if (Journal)
+    Journal->noteAdded(Raw);
   return Raw;
 }
 
@@ -52,6 +58,14 @@ void Function::removeBlock(BasicBlock *BB) {
   auto It = std::find_if(Blocks.begin(), Blocks.end(),
                          [BB](const auto &P) { return P.get() == BB; });
   assert(It != Blocks.end() && "removeBlock: block not in function");
+  if (Journal) {
+    // The journal takes ownership: a rollback needs the block alive (both
+    // to re-insert it and because saved pre-images may branch to it).
+    std::unique_ptr<BasicBlock> Owned = std::move(*It);
+    Blocks.erase(It);
+    Journal->noteRemoved(std::move(Owned));
+    return;
+  }
   Blocks.erase(It);
 }
 

@@ -23,9 +23,15 @@
 namespace vpo {
 
 class Function;
+class SnapshotJournal;
 
 /// A basic block: named, single-entry, ending in exactly one terminator
 /// (enforced by the Verifier, not the type).
+///
+/// Every mutating accessor funnels through preMutate(), which lets an
+/// armed SnapshotJournal (ir/Snapshot.h) save the block's pre-image
+/// lazily, on the block's first mutation under a guarded pass. With no
+/// journal armed the hook is a single null-pointer test.
 class BasicBlock {
 public:
   BasicBlock(Function *Parent, std::string Name)
@@ -33,9 +39,15 @@ public:
 
   Function *parent() const { return Parent; }
   const std::string &name() const { return Name; }
-  void setName(std::string N) { Name = std::move(N); }
+  void setName(std::string N) {
+    preMutate();
+    Name = std::move(N);
+  }
 
-  std::vector<Instruction> &insts() { return Insts; }
+  std::vector<Instruction> &insts() {
+    preMutate();
+    return Insts;
+  }
   const std::vector<Instruction> &insts() const { return Insts; }
 
   bool empty() const { return Insts.empty(); }
@@ -45,6 +57,7 @@ public:
   /// non-empty and well-formed.
   Instruction &terminator() {
     assert(!Insts.empty() && "terminator() on empty block");
+    preMutate();
     return Insts.back();
   }
   const Instruction &terminator() const {
@@ -53,17 +66,22 @@ public:
   }
 
   /// Appends \p I to the block.
-  void append(Instruction I) { Insts.push_back(std::move(I)); }
+  void append(Instruction I) {
+    preMutate();
+    Insts.push_back(std::move(I));
+  }
 
   /// Inserts \p I before position \p Pos.
   void insertAt(size_t Pos, Instruction I) {
     assert(Pos <= Insts.size() && "insert position out of range");
+    preMutate();
     Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Pos), std::move(I));
   }
 
   /// Removes the instruction at \p Pos.
   void eraseAt(size_t Pos) {
     assert(Pos < Insts.size() && "erase position out of range");
+    preMutate();
     Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Pos));
   }
 
@@ -71,9 +89,21 @@ public:
   std::vector<BasicBlock *> successors() const;
 
 private:
+  friend class SnapshotJournal;
+
+  /// Journal hook: the first mutation under an armed journal saves this
+  /// block's pre-image; later mutations cost one pointer test.
+  void preMutate() {
+    if (Journal && !JournalSaved)
+      journalSave();
+  }
+  void journalSave(); // out of line: the once-per-block slow path
+
   Function *Parent;
   std::string Name;
   std::vector<Instruction> Insts;
+  SnapshotJournal *Journal = nullptr; ///< armed journal, if any
+  bool JournalSaved = false;          ///< pre-image already captured
 };
 
 /// Optional compile-time facts about a parameter. The paper's point is that
@@ -167,11 +197,14 @@ public:
   size_t instructionCount() const;
 
 private:
+  friend class SnapshotJournal;
+
   std::string Name;
   std::vector<Reg> Params;
   std::vector<ParamInfo> ParamInfos;
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   unsigned NextRegId = 1;
+  SnapshotJournal *Journal = nullptr; ///< armed journal, if any
 };
 
 /// A module: a named set of functions.

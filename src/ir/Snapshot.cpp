@@ -8,7 +8,103 @@
 
 #include "ir/Function.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 using namespace vpo;
+
+// The once-per-block slow path behind BasicBlock::preMutate(). Lives here
+// rather than in Function.cpp so everything the journal touches is in one
+// translation unit.
+void BasicBlock::journalSave() { Journal->noteMutation(*this); }
+
+SnapshotJournal::~SnapshotJournal() {
+  // An armed journal that is destroyed without a verdict accepts the
+  // changes (the common non-exceptional path is an explicit commit()).
+  if (armed())
+    commit();
+}
+
+void SnapshotJournal::arm(Function &Fn) {
+  assert(!armed() && "journal already armed");
+  assert(!Fn.Journal && "function already has an armed journal");
+  F = &Fn;
+  Fn.Journal = this;
+  OriginalLayout.reserve(Fn.blocks().size());
+  for (const auto &BB : Fn.blocks()) {
+    BB->Journal = this;
+    BB->JournalSaved = false;
+    OriginalLayout.push_back(BB.get());
+  }
+}
+
+void SnapshotJournal::commit() {
+  assert(armed() && "commit() on unarmed journal");
+  detach();
+}
+
+void SnapshotJournal::rollback() {
+  assert(armed() && "rollback() on unarmed journal");
+
+  // Restore mutated blocks from their pre-images. The instruction lists
+  // were captured at arm-time state, so any branch targets they contain
+  // are arm-time block pointers — all still alive, because removed blocks
+  // are owned by the journal, not destroyed.
+  for (PreImage &P : PreImages) {
+    P.BB->Name = std::move(P.Name);
+    P.BB->Insts = std::move(P.Insts);
+  }
+
+  // Restore the original layout order and block ownership. Blocks added
+  // since arm() are whatever is left over, and are destroyed.
+  std::unordered_map<BasicBlock *, std::unique_ptr<BasicBlock>> Pool;
+  Pool.reserve(F->Blocks.size() + Removed.size());
+  for (auto &BB : F->Blocks)
+    Pool.emplace(BB.get(), std::move(BB));
+  for (auto &BB : Removed)
+    Pool.emplace(BB.get(), std::move(BB));
+  Removed.clear();
+
+  F->Blocks.clear();
+  for (BasicBlock *BB : OriginalLayout) {
+    auto It = Pool.find(BB);
+    assert(It != Pool.end() && "arm-time block lost");
+    F->Blocks.push_back(std::move(It->second));
+    Pool.erase(It);
+  }
+  // ~Pool destroys the added blocks.
+
+  detach();
+}
+
+void SnapshotJournal::noteMutation(BasicBlock &BB) {
+  assert(armed() && "mutation hook fired on unarmed journal");
+  BB.JournalSaved = true;
+  PreImages.push_back(PreImage{&BB, BB.Name, BB.Insts});
+}
+
+void SnapshotJournal::noteAdded(BasicBlock *BB) {
+  // No pre-image needed: a rollback destroys the block outright. Mark it
+  // saved so preMutate() never fires for it.
+  BB->Journal = this;
+  BB->JournalSaved = true;
+}
+
+void SnapshotJournal::noteRemoved(std::unique_ptr<BasicBlock> BB) {
+  Removed.push_back(std::move(BB));
+}
+
+void SnapshotJournal::detach() {
+  for (auto &BB : F->Blocks) {
+    BB->Journal = nullptr;
+    BB->JournalSaved = false;
+  }
+  F->Journal = nullptr;
+  F = nullptr;
+  OriginalLayout.clear();
+  PreImages.clear();
+  Removed.clear(); // on commit this destroys the removed blocks for real
+}
 
 FunctionSnapshot FunctionSnapshot::take(const Function &F) {
   FunctionSnapshot Snap;

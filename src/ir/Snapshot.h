@@ -5,14 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A value-semantic checkpoint of a Function's code, taken by the guarded
-/// pipeline driver before each pass so a pass that produces malformed IR
-/// can be *rolled back* instead of aborting the process. Function itself
-/// is non-copyable (blocks own instructions that point back at blocks);
-/// the snapshot stores instructions with branch targets re-encoded as
-/// block indices, and restore() rebuilds the block list in place —
-/// parameters and the register allocator bound are left untouched, so
-/// registers allocated by the undone pass simply become unused ids.
+/// Checkpoint / rollback support for the guarded pipeline driver, so a
+/// pass that produces malformed IR can be *rolled back* instead of
+/// aborting the process. Two mechanisms:
+///
+///  * **SnapshotJournal** (what the driver uses): an undo journal armed on
+///    the function before the pass runs. Arming is O(blocks) — it records
+///    the layout order and sets a per-block hook; the first mutation of
+///    each block saves that block's pre-image (copy-on-first-write at
+///    block granularity). A pass that touches 2 of 50 blocks copies 2
+///    blocks, not 50; a pass that touches nothing copies nothing.
+///    rollback() restores the pre-images, the original layout order, and
+///    re-owns any removed blocks (they are kept alive inside the journal
+///    precisely so arm-time branch-target pointers stay valid); blocks
+///    added since arm() are destroyed. commit() simply detaches and frees
+///    the journal state.
+///
+///  * **FunctionSnapshot**: the original eager full copy, kept as the
+///    simple reference implementation the journal is tested against (and
+///    for tooling that genuinely wants a detached value-semantic copy).
+///    Function itself is non-copyable (blocks own instructions that point
+///    back at blocks); the snapshot stores instructions with branch
+///    targets re-encoded as block indices, and restore() rebuilds the
+///    block list in place.
+///
+/// Neither mechanism captures parameters or the register allocator bound:
+/// registers allocated by an undone pass simply become unused ids.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,11 +39,13 @@
 
 #include "ir/Instruction.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace vpo {
 
+class BasicBlock;
 class Function;
 
 class FunctionSnapshot {
@@ -50,6 +70,67 @@ private:
     std::vector<std::pair<int, int>> Targets;
   };
   std::vector<BlockState> Blocks;
+};
+
+/// Copy-on-first-write undo journal for one guarded pass over one
+/// Function. Lifecycle: arm() -> (pass mutates the function) -> commit()
+/// or rollback(). The armed Function must outlive the journal (or be
+/// detached first); one function supports at most one armed journal at a
+/// time.
+class SnapshotJournal {
+public:
+  SnapshotJournal() = default;
+  ~SnapshotJournal();
+
+  SnapshotJournal(const SnapshotJournal &) = delete;
+  SnapshotJournal &operator=(const SnapshotJournal &) = delete;
+
+  /// Attaches to \p Fn: records the current block layout and hooks every
+  /// block so its first mutation saves a pre-image. O(blocks), no
+  /// instruction copies.
+  void arm(Function &Fn);
+
+  /// Accepts the pass's changes: detaches all hooks and destroys any
+  /// blocks the pass removed (nothing references them any more).
+  void commit();
+
+  /// Undoes everything since arm(): restores each mutated block's
+  /// pre-image, the original layout order, and ownership of removed
+  /// blocks; destroys blocks added since arm(). Detaches when done.
+  void rollback();
+
+  bool armed() const { return F != nullptr; }
+
+  /// Number of blocks whose pre-image has been saved so far (i.e. blocks
+  /// the pass actually touched). Exposed for tests and benchmarks.
+  size_t savedBlockCount() const { return PreImages.size(); }
+
+private:
+  friend class BasicBlock;
+  friend class Function;
+
+  /// BasicBlock::preMutate() lands here (out of line, once per block per
+  /// pass): saves \p BB's pre-image.
+  void noteMutation(BasicBlock &BB);
+  /// Function::addBlock/addBlockBefore notify the journal of \p BB.
+  void noteAdded(BasicBlock *BB);
+  /// Function::removeBlock hands ownership of \p BB to the journal so the
+  /// pointer stays valid for a possible rollback.
+  void noteRemoved(std::unique_ptr<BasicBlock> BB);
+
+  /// Clears hooks on all blocks the journal knows about and resets state.
+  void detach();
+
+  struct PreImage {
+    BasicBlock *BB;
+    std::string Name;
+    std::vector<Instruction> Insts;
+  };
+
+  Function *F = nullptr;
+  std::vector<BasicBlock *> OriginalLayout;
+  std::vector<PreImage> PreImages;
+  std::vector<std::unique_ptr<BasicBlock>> Removed; ///< kept alive for rollback
 };
 
 } // namespace vpo

@@ -41,19 +41,24 @@ public:
       return true;
     }
 
-    FunctionSnapshot Snap = FunctionSnapshot::take(F);
+    // Arm an undo journal rather than copying the function: the pass pays
+    // for the blocks it actually mutates, not for the function's size.
+    SnapshotJournal Journal;
+    Journal.arm(F);
     const CompileReport Saved = Report;
 
     Body();
     if (Opts.FaultHook)
       Opts.FaultHook(Name, F);
     std::vector<Diagnostic> Diags = verifyFunctionDiagnostics(F, Name);
-    if (Diags.empty())
+    if (Diags.empty()) {
+      Journal.commit();
       return true;
+    }
 
     // The pass (or the fault hook standing in for a miscompiling pass)
-    // produced bad IR: restore the snapshot and the pre-pass stats.
-    Snap.restore(F);
+    // produced bad IR: undo its changes and restore the pre-pass stats.
+    Journal.rollback();
     Report = Saved;
     CompileReport::PassIncident Inc;
     Inc.Pass = Name;
@@ -61,17 +66,19 @@ public:
     Inc.Diags = std::move(Diags);
 
     if (Required) {
-      // Retry once from the clean snapshot, without the fault hook: a
+      // Retry once from the clean state, without the fault hook: a
       // one-shot corruption vanishes, a genuinely broken pass does not.
       Inc.Retried = true;
+      Journal.arm(F);
       Body();
       std::vector<Diagnostic> RetryDiags =
           verifyFunctionDiagnostics(F, Name);
       if (RetryDiags.empty()) {
+        Journal.commit();
         Report.Incidents.push_back(std::move(Inc));
         return true;
       }
-      Snap.restore(F);
+      Journal.rollback();
       Report = Saved;
       Inc.Diags.insert(Inc.Diags.end(),
                        std::make_move_iterator(RetryDiags.begin()),

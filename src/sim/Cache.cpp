@@ -9,6 +9,8 @@
 #include "support/Error.h"
 #include "support/MathExtras.h"
 
+#include <algorithm>
+
 using namespace vpo;
 
 DataCache::DataCache(const CacheParams &P) : P(P) {
@@ -20,6 +22,12 @@ DataCache::DataCache(const CacheParams &P) : P(P) {
   if (!isPowerOf2(NumSets))
     fatalError("cache set count must be a power of two");
   Lines.resize(static_cast<size_t>(NumSets) * P.Ways);
+}
+
+void DataCache::reset() {
+  std::fill(Lines.begin(), Lines.end(), Line());
+  Tick = 0;
+  S = Stats();
 }
 
 unsigned DataCache::access(uint64_t Addr, unsigned NumBytes, bool IsStore) {

@@ -41,6 +41,11 @@ public:
   const Stats &stats() const { return S; }
   void resetStats() { S = Stats(); }
 
+  /// Restores the cache to its just-constructed state: every line invalid,
+  /// LRU clock at zero, statistics cleared. Lets an Interpreter reuse one
+  /// cache object across runs with results identical to a fresh cache.
+  void reset();
+
 private:
   struct Line {
     uint64_t Tag = ~uint64_t(0);

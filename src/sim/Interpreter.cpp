@@ -14,9 +14,10 @@
 #include "support/StringUtils.h"
 #include "target/TargetMachine.h"
 
+#include <algorithm>
 #include <bit>
-#include <unordered_map>
 #include <cmath>
+#include <unordered_map>
 
 using namespace vpo;
 
@@ -40,13 +41,60 @@ const char *vpo::runStatusName(RunResult::Status S) {
 
 namespace {
 
+CacheParams makeICacheParams(const TargetMachine &TM) {
+  CacheParams P;
+  P.SizeBytes = TM.iCacheBytes();
+  P.LineBytes = 16;
+  P.Ways = 1;
+  P.HitCycles = 0;
+  // Refilling an instruction line costs about what a data miss does.
+  P.MissPenalty = TM.dataCache().MissPenalty / 2 + 4;
+  return P;
+}
+
+bool evalCond(CondCode CC, uint64_t A, uint64_t B) {
+  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+  switch (CC) {
+  case CondCode::EQ:
+    return A == B;
+  case CondCode::NE:
+    return A != B;
+  case CondCode::LTs:
+    return SA < SB;
+  case CondCode::LEs:
+    return SA <= SB;
+  case CondCode::GTs:
+    return SA > SB;
+  case CondCode::GEs:
+    return SA >= SB;
+  case CondCode::LTu:
+    return A < B;
+  case CondCode::LEu:
+    return A <= B;
+  case CondCode::GTu:
+    return A > B;
+  case CondCode::GEu:
+    return A >= B;
+  }
+  vpo_unreachable("invalid condition");
+}
+
+/// The reference execution engine: walks the IR directly, resolving
+/// operands per step. This is the executable specification the predecoded
+/// fast path is differentially tested against — keep its observable
+/// behaviour (metrics, trap messages) frozen. State buffers are borrowed
+/// from the owning Interpreter so repeated runs do not reallocate.
 class Machine {
 public:
   Machine(const TargetMachine &TM, Memory &Mem, const Function &F,
-          const std::vector<int64_t> &Args, uint64_t MaxSteps)
-      : TM(TM), Mem(Mem), F(F), MaxSteps(MaxSteps),
-        Cache(TM.dataCache()), ICache(makeICacheParams(TM)),
-        Regs(F.regUpperBound(), 0) {
+          const std::vector<int64_t> &Args, uint64_t MaxSteps,
+          DataCache &Cache, DataCache &ICache, std::vector<uint64_t> &Regs,
+          std::vector<uint64_t> &RegReady)
+      : TM(TM), Mem(Mem), F(F), MaxSteps(MaxSteps), Cache(Cache),
+        ICache(ICache), Regs(Regs), RegReady(RegReady) {
+    Cache.reset();
+    ICache.reset();
+    Regs.assign(F.regUpperBound(), 0);
     size_t N = std::min(Args.size(), F.params().size());
     for (size_t I = 0; I < N; ++I)
       Regs[F.params()[I].Id] = static_cast<uint64_t>(Args[I]);
@@ -57,17 +105,6 @@ public:
       CodeAddr[BB.get()] = Addr;
       Addr += BB->size() * TM.encodingBytes();
     }
-  }
-
-  static CacheParams makeICacheParams(const TargetMachine &TM) {
-    CacheParams P;
-    P.SizeBytes = TM.iCacheBytes();
-    P.LineBytes = 16;
-    P.Ways = 1;
-    P.HitCycles = 0;
-    // Refilling an instruction line costs about what a data miss does.
-    P.MissPenalty = TM.dataCache().MissPenalty / 2 + 4;
-    return P;
   }
 
   RunResult run() {
@@ -130,13 +167,13 @@ private:
   Memory &Mem;
   const Function &F;
   uint64_t MaxSteps;
-  DataCache Cache;
-  DataCache ICache;
+  DataCache &Cache;
+  DataCache &ICache;
   std::unordered_map<const BasicBlock *, uint64_t> CodeAddr;
-  std::vector<uint64_t> Regs;
-  std::vector<uint64_t> RegReady; ///< cycle at which each register is ready
-  uint64_t Clock = 0;             ///< issue cycle of the last instruction
-  uint64_t MemPenalty = 0;        ///< cache cycles of the current memory op
+  std::vector<uint64_t> &Regs;
+  std::vector<uint64_t> &RegReady; ///< cycle at which each register is ready
+  uint64_t Clock = 0;              ///< issue cycle of the last instruction
+  uint64_t MemPenalty = 0;         ///< cache cycles of the current memory op
   RunResult R;
   bool Done = false;
 
@@ -163,33 +200,6 @@ private:
 
   void setReg(Reg Dst, uint64_t V) { Regs[Dst.Id] = V; }
   void setRegF(Reg Dst, double V) { Regs[Dst.Id] = std::bit_cast<uint64_t>(V); }
-
-  static bool evalCond(CondCode CC, uint64_t A, uint64_t B) {
-    int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
-    switch (CC) {
-    case CondCode::EQ:
-      return A == B;
-    case CondCode::NE:
-      return A != B;
-    case CondCode::LTs:
-      return SA < SB;
-    case CondCode::LEs:
-      return SA <= SB;
-    case CondCode::GTs:
-      return SA > SB;
-    case CondCode::GEs:
-      return SA >= SB;
-    case CondCode::LTu:
-      return A < B;
-    case CondCode::LEu:
-      return A <= B;
-    case CondCode::GTu:
-      return A > B;
-    case CondCode::GEu:
-      return A >= B;
-    }
-    vpo_unreachable("invalid condition");
-  }
 
   /// Executes \p I. Updates \p BB / \p Idx for control flow. \returns false
   /// if the run has failed (R.Exit already set).
@@ -413,10 +423,314 @@ private:
   }
 };
 
+/// The predecoded fast path: an index-driven dispatch over DecodedOp PODs.
+/// Every observable effect — architectural state, every metric, every trap
+/// message — must match class Machine exactly; tests/sim/predecode_test.cpp
+/// enforces this differentially.
+class FastMachine {
+public:
+  FastMachine(const TargetMachine &TM, Memory &Mem, const DecodedFunction &DF,
+              const std::vector<int64_t> &Args, uint64_t MaxSteps,
+              DataCache &Cache, DataCache &ICache,
+              std::vector<uint64_t> &Vals, std::vector<uint64_t> &RegReady)
+      : TM(TM), Mem(Mem), DF(DF), MaxSteps(MaxSteps), Cache(Cache),
+        ICache(ICache), Vals(Vals), RegReady(RegReady) {
+    Cache.reset();
+    ICache.reset();
+    Vals.assign(DF.poolSize(), 0);
+    std::copy(DF.ConstPool.begin(), DF.ConstPool.end(),
+              Vals.begin() + DF.NumRegs);
+    const Function &F = *DF.source();
+    size_t N = std::min(Args.size(), F.params().size());
+    for (size_t I = 0; I < N; ++I)
+      Vals[F.params()[I].Id] = static_cast<uint64_t>(Args[I]);
+    RegReady.assign(DF.poolSize(), 0);
+  }
+
+  RunResult run() {
+    if (DF.Ops.empty())
+      return fail0(RunResult::Status::MalformedIR, "function has no blocks");
+
+    const DecodedOp *Ops = DF.Ops.data();
+    const unsigned EncBytes = TM.encodingBytes();
+    uint64_t Clock = 0;
+    uint32_t Idx = DF.EntryIdx;
+
+    while (true) {
+      const DecodedOp &D = Ops[Idx];
+      if (R.Instructions >= MaxSteps)
+        return fail(RunResult::Status::StepLimit, "step limit exceeded",
+                    Clock);
+      ++R.Instructions;
+
+      unsigned FetchStall =
+          ICache.access(D.CodeAddr, EncBytes, /*IsStore=*/false);
+
+      // Scoreboard: constant-pool slots (and slot 0, the invalid register)
+      // are never written, so their ready time stays 0 and the max can be
+      // taken unconditionally over all four source slots.
+      uint64_t Issue = Clock + 1 + FetchStall;
+      Issue = std::max(Issue, RegReady[D.A]);
+      Issue = std::max(Issue, RegReady[D.B]);
+      Issue = std::max(Issue, RegReady[D.C]);
+      Issue = std::max(Issue, RegReady[D.Base]);
+
+      uint64_t MemPenalty = 0;
+      const uint64_t A = Vals[D.A], B = Vals[D.B];
+
+      switch (D.Op) {
+      case Opcode::Mov:
+        Vals[D.Dst] = A;
+        break;
+      case Opcode::Add:
+        Vals[D.Dst] = A + B;
+        break;
+      case Opcode::Sub:
+        Vals[D.Dst] = A - B;
+        break;
+      case Opcode::Mul:
+        Vals[D.Dst] = A * B;
+        break;
+      case Opcode::DivS:
+      case Opcode::RemS: {
+        int64_t SB = static_cast<int64_t>(B);
+        if (SB == 0)
+          return fail(RunResult::Status::DivideByZero,
+                      printInstruction(DF.sourceInst(Idx)), Clock);
+        int64_t SA = static_cast<int64_t>(A);
+        Vals[D.Dst] = static_cast<uint64_t>(D.Op == Opcode::DivS ? SA / SB
+                                                                 : SA % SB);
+        break;
+      }
+      case Opcode::DivU:
+      case Opcode::RemU:
+        if (B == 0)
+          return fail(RunResult::Status::DivideByZero,
+                      printInstruction(DF.sourceInst(Idx)), Clock);
+        Vals[D.Dst] = D.Op == Opcode::DivU ? A / B : A % B;
+        break;
+      case Opcode::And:
+        Vals[D.Dst] = A & B;
+        break;
+      case Opcode::Or:
+        Vals[D.Dst] = A | B;
+        break;
+      case Opcode::Xor:
+        Vals[D.Dst] = A ^ B;
+        break;
+      case Opcode::Shl:
+        Vals[D.Dst] = A << (B & 63);
+        break;
+      case Opcode::ShrA:
+        Vals[D.Dst] =
+            static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+        break;
+      case Opcode::ShrL:
+        Vals[D.Dst] = A >> (B & 63);
+        break;
+      case Opcode::CmpSet:
+        Vals[D.Dst] = evalCond(D.CC, A, B) ? 1 : 0;
+        break;
+      case Opcode::Select:
+        Vals[D.Dst] = A != 0 ? B : Vals[D.C];
+        break;
+      case Opcode::Ext:
+        Vals[D.Dst] = D.SignExtend
+                          ? static_cast<uint64_t>(signExtend64(A, D.WBits))
+                          : zeroExtend64(A, D.WBits);
+        break;
+      case Opcode::FAdd:
+        setF(D.Dst, valF(D.A) + valF(D.B));
+        break;
+      case Opcode::FSub:
+        setF(D.Dst, valF(D.A) - valF(D.B));
+        break;
+      case Opcode::FMul:
+        setF(D.Dst, valF(D.A) * valF(D.B));
+        break;
+      case Opcode::FDiv:
+        setF(D.Dst, valF(D.A) / valF(D.B));
+        break;
+      case Opcode::CvtIF:
+        setF(D.Dst, static_cast<double>(static_cast<int64_t>(A)));
+        break;
+      case Opcode::CvtFI:
+        Vals[D.Dst] = static_cast<uint64_t>(
+            static_cast<int64_t>(std::trunc(valF(D.A))));
+        break;
+      case Opcode::Load:
+      case Opcode::LoadWideU:
+      case Opcode::Store: {
+        uint64_t Addr = Vals[D.Base] + static_cast<uint64_t>(D.Disp);
+        const unsigned NumBytes = D.WBytes;
+        if (D.Op == Opcode::LoadWideU) {
+          // Loads the aligned block containing Addr; never traps.
+          Addr &= ~static_cast<uint64_t>(NumBytes - 1);
+        } else if (D.CheckAlign && !isAligned(Addr, NumBytes)) {
+          return fail(RunResult::Status::UnalignedTrap,
+                      strformat("address 0x%llx not %u-aligned in: ",
+                                static_cast<unsigned long long>(Addr),
+                                NumBytes) +
+                          printInstruction(DF.sourceInst(Idx)),
+                      Clock);
+        }
+        if (D.Op == Opcode::Store) {
+          uint64_t V = A;
+          if (D.IsFloat && D.W == MemWidth::W4) {
+            float FV = static_cast<float>(std::bit_cast<double>(V));
+            V = std::bit_cast<uint32_t>(FV);
+          }
+          if (!Mem.tryWrite(Addr, NumBytes, V))
+            return failOOB(Addr, Idx, Clock);
+          MemPenalty = Cache.access(Addr, NumBytes, /*IsStore=*/true);
+          ++R.Stores;
+          R.StoreBytes += NumBytes;
+          break;
+        }
+        uint64_t Raw = 0;
+        if (!Mem.tryRead(Addr, NumBytes, Raw))
+          return failOOB(Addr, Idx, Clock);
+        MemPenalty = Cache.access(Addr, NumBytes, /*IsStore=*/false);
+        ++R.Loads;
+        R.LoadBytes += NumBytes;
+        if (D.Op == Opcode::Load && D.IsFloat) {
+          double FD =
+              D.W == MemWidth::W4
+                  ? static_cast<double>(
+                        std::bit_cast<float>(static_cast<uint32_t>(Raw)))
+                  : std::bit_cast<double>(Raw);
+          setF(D.Dst, FD);
+          break;
+        }
+        uint64_t V = Raw;
+        if (D.Op == Opcode::Load && D.SignExtend)
+          V = static_cast<uint64_t>(signExtend64(Raw, D.WBits));
+        Vals[D.Dst] = V;
+        break;
+      }
+      case Opcode::ExtQHi: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        Vals[D.Dst] = Off == 0 ? 0 : A << (8 * (8 - Off));
+        break;
+      }
+      case Opcode::ExtractF: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        if (D.W != MemWidth::W8 && Off + D.WBytes > 8)
+          return fail(RunResult::Status::MalformedIR,
+                      "extractf field exceeds the register: " +
+                          printInstruction(DF.sourceInst(Idx)),
+                      Clock);
+        uint64_t Field = A >> (8 * Off);
+        if (D.IsFloat && D.W == MemWidth::W4) {
+          // Lane holds float bits; registers hold doubles.
+          float FV = std::bit_cast<float>(
+              static_cast<uint32_t>(zeroExtend64(Field, 32)));
+          setF(D.Dst, static_cast<double>(FV));
+          break;
+        }
+        Vals[D.Dst] =
+            D.SignExtend
+                ? static_cast<uint64_t>(signExtend64(Field, D.WBits))
+                : zeroExtend64(Field, D.WBits);
+        break;
+      }
+      case Opcode::InsertF: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        if (Off + D.WBytes > 8)
+          return fail(RunResult::Status::MalformedIR,
+                      "insertf field exceeds the register: " +
+                          printInstruction(DF.sourceInst(Idx)),
+                      Clock);
+        unsigned Bits = D.WBits;
+        uint64_t FieldMask =
+            Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+        uint64_t C = Vals[D.C];
+        if (D.IsFloat && D.W == MemWidth::W4) {
+          // Value register holds a double; the lane stores float bits.
+          float FV = static_cast<float>(std::bit_cast<double>(C));
+          C = std::bit_cast<uint32_t>(FV);
+        }
+        C &= FieldMask;
+        uint64_t Cleared = A & ~(FieldMask << (8 * Off));
+        Vals[D.Dst] = Cleared | (C << (8 * Off));
+        break;
+      }
+      case Opcode::Br:
+        ++R.Branches;
+        Clock = Issue + std::max<uint64_t>(D.Occ, D.Lat) - 1;
+        Idx = evalCond(D.CC, A, B) ? D.TrueIdx : D.FalseIdx;
+        continue;
+      case Opcode::Jmp:
+        ++R.Branches;
+        Clock = Issue + std::max<uint64_t>(D.Occ, D.Lat) - 1;
+        Idx = D.TrueIdx;
+        continue;
+      case Opcode::Ret:
+        R.ReturnValue = static_cast<int64_t>(A);
+        R.Cycles = Issue + std::max<uint64_t>(D.Occ, D.Lat) - 1;
+        R.Cache = Cache.stats();
+        R.ICache = ICache.stats();
+        return R;
+      }
+
+      // Straight-line bookkeeping (control flow handled its own above).
+      if (D.Dst != 0)
+        RegReady[D.Dst] = Issue + D.Lat + MemPenalty;
+      if (D.Op == Opcode::Store)
+        Clock = Issue + D.Occ - 1 + MemPenalty; // write misses stall
+      else
+        Clock = Issue + D.Occ - 1;
+      ++Idx;
+    }
+  }
+
+private:
+  const TargetMachine &TM;
+  Memory &Mem;
+  const DecodedFunction &DF;
+  uint64_t MaxSteps;
+  DataCache &Cache;
+  DataCache &ICache;
+  std::vector<uint64_t> &Vals;
+  std::vector<uint64_t> &RegReady;
+  RunResult R;
+
+  double valF(uint32_t Slot) const {
+    return std::bit_cast<double>(Vals[Slot]);
+  }
+  void setF(uint32_t Dst, double V) {
+    Vals[Dst] = std::bit_cast<uint64_t>(V);
+  }
+
+  RunResult fail(RunResult::Status S, std::string Msg, uint64_t Clock) {
+    R.Exit = S;
+    R.Error = std::move(Msg);
+    R.Cycles = Clock;
+    R.Cache = Cache.stats();
+    R.ICache = ICache.stats();
+    return R;
+  }
+
+  /// fail() before any instruction ran (stats are all-zero by reset()).
+  RunResult fail0(RunResult::Status S, std::string Msg) {
+    return fail(S, std::move(Msg), 0);
+  }
+
+  RunResult failOOB(uint64_t Addr, uint32_t Idx, uint64_t Clock) {
+    return fail(RunResult::Status::OutOfBounds,
+                strformat("address 0x%llx in: ",
+                          static_cast<unsigned long long>(Addr)) +
+                    printInstruction(DF.sourceInst(Idx)),
+                Clock);
+  }
+};
+
 } // namespace
 
-Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem)
-    : TM(TM), Mem(Mem) {}
+Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem,
+                         InterpreterOptions Opts)
+    : TM(TM), Mem(Mem), Opts(Opts), DCache(TM.dataCache()),
+      IFetch(makeICacheParams(TM)) {}
 
 RunResult Interpreter::run(const Function &F,
                            const std::vector<int64_t> &Args,
@@ -435,5 +749,39 @@ RunResult Interpreter::run(const Function &F,
       R.Error += "\n  " + P;
     return R;
   }
-  return Machine(TM, Mem, F, Args, MaxSteps).run();
+  if (!Opts.Predecode)
+    return runReference(F, Args, MaxSteps);
+
+  DecodedFunction DF;
+  std::string Error;
+  if (!predecodeFunction(F, TM, DF, Error)) {
+    // Lowering refuses exactly what the reference engine would trap on
+    // (no blocks / out of index space); report it the same way.
+    RunResult R;
+    R.Exit = RunResult::Status::MalformedIR;
+    R.Error = Error;
+    return R;
+  }
+  return runDecoded(DF, Args, MaxSteps);
+}
+
+RunResult Interpreter::run(const DecodedFunction &DF,
+                           const std::vector<int64_t> &Args,
+                           uint64_t MaxSteps) {
+  return runDecoded(DF, Args, MaxSteps);
+}
+
+RunResult Interpreter::runReference(const Function &F,
+                                    const std::vector<int64_t> &Args,
+                                    uint64_t MaxSteps) {
+  return Machine(TM, Mem, F, Args, MaxSteps, DCache, IFetch, Vals, RegReady)
+      .run();
+}
+
+RunResult Interpreter::runDecoded(const DecodedFunction &DF,
+                                  const std::vector<int64_t> &Args,
+                                  uint64_t MaxSteps) {
+  return FastMachine(TM, Mem, DF, Args, MaxSteps, DCache, IFetch, Vals,
+                     RegReady)
+      .run();
 }

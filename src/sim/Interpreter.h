@@ -24,6 +24,20 @@
 /// genuinely expensive (the premise of the paper's i-cache-fit heuristic,
 /// section 2.2) rather than free.
 ///
+/// Two execution engines produce bit-identical results and metrics:
+///
+///  * the **predecoded fast path** (default): the function is lowered once
+///    into a flat decoded-op array (sim/Predecode.h) and the hot loop is an
+///    index-driven dispatch over POD structs;
+///  * the **reference path** (InterpreterOptions::Predecode = false, the
+///    harnesses' --no-predecode): the original walk of the IR, kept as the
+///    executable specification the fast path is differentially tested
+///    against.
+///
+/// One Interpreter owns its register file, scoreboard, and cache models
+/// and reuses them across run() calls, so sweeping many runs of the same
+/// function does not reallocate per run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VPO_SIM_INTERPRETER_H
@@ -31,6 +45,7 @@
 
 #include "sim/Cache.h"
 #include "sim/Memory.h"
+#include "sim/Predecode.h"
 
 #include <cstdint>
 #include <string>
@@ -81,17 +96,46 @@ struct RunResult {
 /// \returns a printable name for a run status.
 const char *runStatusName(RunResult::Status S);
 
+struct InterpreterOptions {
+  /// Execute through the predecoded fast path. The reference path exists
+  /// as an executable specification and as the --no-predecode escape
+  /// hatch; both produce identical results and metrics.
+  bool Predecode = true;
+};
+
 class Interpreter {
 public:
-  Interpreter(const TargetMachine &TM, Memory &Mem);
+  Interpreter(const TargetMachine &TM, Memory &Mem,
+              InterpreterOptions Opts = InterpreterOptions());
 
-  /// Runs \p F with \p Args bound to its parameter registers.
+  /// Runs \p F with \p Args bound to its parameter registers. Verifies
+  /// \p F first (malformed input yields Status::MalformedIR, not UB).
   RunResult run(const Function &F, const std::vector<int64_t> &Args,
                 uint64_t MaxSteps = 500'000'000);
 
+  /// Runs an already-predecoded function, skipping verification and
+  /// lowering — the repeated-run entry point for sweeps that execute one
+  /// compiled kernel many times. The source Function must be unchanged
+  /// since predecodeFunction().
+  RunResult run(const DecodedFunction &DF, const std::vector<int64_t> &Args,
+                uint64_t MaxSteps = 500'000'000);
+
+  const InterpreterOptions &options() const { return Opts; }
+
 private:
+  RunResult runReference(const Function &F,
+                         const std::vector<int64_t> &Args,
+                         uint64_t MaxSteps);
+  RunResult runDecoded(const DecodedFunction &DF,
+                       const std::vector<int64_t> &Args, uint64_t MaxSteps);
+
   const TargetMachine &TM;
   Memory &Mem;
+  InterpreterOptions Opts;
+  DataCache DCache;  ///< data-cache model, reset per run
+  DataCache IFetch;  ///< instruction-cache model, reset per run
+  std::vector<uint64_t> Vals;     ///< register file / value pool, reused
+  std::vector<uint64_t> RegReady; ///< scoreboard, reused
 };
 
 } // namespace vpo

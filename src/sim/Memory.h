@@ -30,6 +30,17 @@ public:
 
   size_t size() const { return Bytes.size(); }
 
+  /// One past the highest address the allocator has handed out (the
+  /// high-water mark). Setup code writes only below this; everything above
+  /// is still in its initial all-zero state, so verification can compare
+  /// the live prefix and merely check the tail for stray writes instead of
+  /// copying and memcmp'ing the whole arena.
+  size_t usedBytes() const {
+    return static_cast<size_t>(NextAlloc) < Bytes.size()
+               ? static_cast<size_t>(NextAlloc)
+               : Bytes.size();
+  }
+
   /// Allocates \p Size bytes. The returned address is \p Align-aligned and
   /// then advanced by \p Skew bytes; use a nonzero skew to produce arrays
   /// that are, e.g., 2-aligned but deliberately not 8-aligned.

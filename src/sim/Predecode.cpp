@@ -1,0 +1,120 @@
+//===- sim/Predecode.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Predecode.h"
+
+#include "ir/Function.h"
+#include "target/TargetMachine.h"
+
+#include <limits>
+#include <unordered_map>
+
+using namespace vpo;
+
+const Instruction &DecodedFunction::sourceInst(size_t OpIdx) const {
+  const DecodedOp &D = Ops[OpIdx];
+  return F->blocks()[D.BlockIdx]->insts()[D.InstIdx];
+}
+
+bool vpo::predecodeFunction(const Function &F, const TargetMachine &TM,
+                            DecodedFunction &Out, std::string &Error) {
+  Out = DecodedFunction();
+  Out.F = &F;
+  Out.NumRegs = F.regUpperBound();
+
+  if (F.blocks().empty()) {
+    Error = "function has no blocks";
+    return false;
+  }
+  size_t TotalOps = F.instructionCount();
+  if (TotalOps >= std::numeric_limits<uint32_t>::max() ||
+      F.blocks().size() >= std::numeric_limits<uint32_t>::max()) {
+    Error = "function too large to predecode";
+    return false;
+  }
+
+  // Pass 1: block start indices in the flat array, and the synthetic code
+  // layout (must match the reference interpreter's exactly: blocks in
+  // layout order, encodingBytes() per instruction).
+  std::vector<uint32_t> BlockStart(F.blocks().size(), 0);
+  std::vector<uint64_t> BlockAddr(F.blocks().size(), 0);
+  uint32_t Start = 0;
+  uint64_t Addr = 0;
+  for (size_t B = 0; B < F.blocks().size(); ++B) {
+    BlockStart[B] = Start;
+    BlockAddr[B] = Addr;
+    Start += static_cast<uint32_t>(F.blocks()[B]->size());
+    Addr += F.blocks()[B]->size() * TM.encodingBytes();
+  }
+
+  // Immediates are pooled behind the registers; slot 0 (the invalid
+  // register, never defined) doubles as the constant-zero slot for absent
+  // operands.
+  std::unordered_map<int64_t, uint32_t> ImmSlot;
+  auto OperandSlot = [&](const Operand &O) -> uint32_t {
+    if (O.isReg())
+      return O.reg().Id;
+    if (O.isImm()) {
+      auto It = ImmSlot.find(O.imm());
+      if (It != ImmSlot.end())
+        return It->second;
+      uint32_t Slot =
+          Out.NumRegs + static_cast<uint32_t>(Out.ConstPool.size());
+      Out.ConstPool.push_back(static_cast<uint64_t>(O.imm()));
+      ImmSlot.emplace(O.imm(), Slot);
+      return Slot;
+    }
+    return 0;
+  };
+
+  bool NeedsAlign = TM.requiresNaturalAlignment();
+  Out.Ops.reserve(TotalOps);
+  for (size_t B = 0; B < F.blocks().size(); ++B) {
+    const BasicBlock &BB = *F.blocks()[B];
+    for (size_t I = 0; I < BB.size(); ++I) {
+      const Instruction &Inst = BB.insts()[I];
+      DecodedOp D;
+      D.Op = Inst.Op;
+      D.W = Inst.W;
+      D.CC = Inst.CC;
+      D.SignExtend = Inst.SignExtend;
+      D.IsFloat = Inst.IsFloat;
+      D.WBytes = static_cast<uint8_t>(widthBytes(Inst.W));
+      D.WBits = static_cast<uint8_t>(widthBits(Inst.W));
+      D.CheckAlign =
+          NeedsAlign && Inst.isMemory() && Inst.Op != Opcode::LoadWideU;
+      D.Lat = static_cast<uint16_t>(TM.latency(Inst));
+      D.Occ = static_cast<uint16_t>(TM.issueCycles(Inst));
+      D.A = OperandSlot(Inst.A);
+      D.B = OperandSlot(Inst.B);
+      D.C = OperandSlot(Inst.C);
+      D.Dst = Inst.Dst.Id;
+      D.Base = Inst.isMemory() ? Inst.Addr.Base.Id : 0;
+      D.Disp = Inst.Addr.Disp;
+      D.CodeAddr = BlockAddr[B] + I * TM.encodingBytes();
+      D.BlockIdx = static_cast<uint32_t>(B);
+      D.InstIdx = static_cast<uint32_t>(I);
+      if (Inst.TrueTarget) {
+        int TIdx = F.blockIndex(Inst.TrueTarget);
+        if (TIdx < 0) {
+          Error = "branch target not in function: block " + BB.name();
+          return false;
+        }
+        D.TrueIdx = BlockStart[static_cast<size_t>(TIdx)];
+      }
+      if (Inst.FalseTarget) {
+        int FIdx = F.blockIndex(Inst.FalseTarget);
+        if (FIdx < 0) {
+          Error = "branch target not in function: block " + BB.name();
+          return false;
+        }
+        D.FalseIdx = BlockStart[static_cast<size_t>(FIdx)];
+      }
+      Out.Ops.push_back(D);
+    }
+  }
+  return true;
+}

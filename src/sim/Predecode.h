@@ -1,0 +1,116 @@
+//===- sim/Predecode.h - Flat decoded-op form of a function -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a verified Function into a flat, cache-friendly array of decoded
+/// operations so the interpreter's hot loop is an index-driven dispatch
+/// over POD structs instead of per-step Operand inspection, hash-map code
+/// address lookups, and use-list collection.
+///
+/// The decoded form pre-resolves everything that is invariant across a
+/// run:
+///
+///  * **Operands** become indices into one unified *value pool*: slots
+///    [0, NumRegs) are the virtual registers (slot == register id) and
+///    slots [NumRegs, poolSize()) hold the function's immediate constants
+///    (deduplicated). Absent operands map to slot 0, the invalid register,
+///    which always holds zero. Reading any operand is therefore a single
+///    indexed load with no kind branch — and the scoreboard can check
+///    operand readiness unconditionally, because constant slots are ready
+///    at cycle 0 forever.
+///  * **Latency and issue occupancy** are looked up in the TargetMachine
+///    once per static instruction instead of once per dynamic one.
+///  * **Code addresses** (for the instruction-cache model) are computed
+///    per op from the same synthetic layout the reference interpreter
+///    uses.
+///  * **Branch targets** become op indices into the flat array.
+///
+/// The decoded function keeps a pointer to the source Function purely for
+/// diagnostics (trap messages re-print the offending instruction); the
+/// Function must stay alive and unmodified while the decoded form is in
+/// use. Interpreter asserts the two paths agree: see
+/// tests/sim/predecode_test.cpp for the exhaustive differential suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SIM_PREDECODE_H
+#define VPO_SIM_PREDECODE_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Function;
+class TargetMachine;
+
+/// One predecoded instruction. Plain data; everything the execute loop
+/// needs is inline.
+struct DecodedOp {
+  Opcode Op = Opcode::Mov;
+  MemWidth W = MemWidth::W8;
+  CondCode CC = CondCode::EQ;
+  bool SignExtend = false;
+  bool IsFloat = false;
+  /// Natural-alignment trap required for this memory reference (target
+  /// requires alignment and the op is not an unaligned-tolerant wide
+  /// load).
+  bool CheckAlign = false;
+  uint8_t WBytes = 8; ///< widthBytes(W)
+  uint8_t WBits = 64; ///< widthBits(W)
+  uint16_t Lat = 1;   ///< TargetMachine::latency
+  uint16_t Occ = 1;   ///< TargetMachine::issueCycles
+  uint32_t A = 0, B = 0, C = 0; ///< value-pool indices of the sources
+  uint32_t Dst = 0;             ///< destination register id; 0 = none
+  uint32_t Base = 0;            ///< value-pool index of the address base
+  int64_t Disp = 0;             ///< address displacement
+  uint64_t CodeAddr = 0;        ///< synthetic fetch address of this op
+  uint32_t TrueIdx = 0;         ///< successor op index (Br taken / Jmp)
+  uint32_t FalseIdx = 0;        ///< successor op index (Br not taken)
+  uint32_t BlockIdx = 0;        ///< source block (diagnostics only)
+  uint32_t InstIdx = 0;         ///< index within the source block
+};
+
+/// A Function lowered for fast interpretation, tied to one TargetMachine
+/// (latencies and alignment rules are baked in).
+class DecodedFunction {
+public:
+  /// All ops, blocks concatenated in layout order.
+  std::vector<DecodedOp> Ops;
+  /// Immediate constants, in value-pool slot order (slot NumRegs + i).
+  std::vector<uint64_t> ConstPool;
+  /// Number of register slots (== Function::regUpperBound()).
+  uint32_t NumRegs = 0;
+  /// Entry op index (always 0; kept explicit for readability).
+  uint32_t EntryIdx = 0;
+
+  /// Registers plus constants: the size of the interpreter's unified
+  /// value array.
+  size_t poolSize() const { return NumRegs + ConstPool.size(); }
+
+  const Function *source() const { return F; }
+
+  /// \returns the source instruction of op \p OpIdx (diagnostics).
+  const Instruction &sourceInst(size_t OpIdx) const;
+
+private:
+  friend bool predecodeFunction(const Function &, const TargetMachine &,
+                                DecodedFunction &, std::string &);
+  const Function *F = nullptr;
+};
+
+/// Lowers \p F (which must already have passed verification) for execution
+/// on \p TM. \returns false and sets \p Error if \p F cannot be lowered
+/// (no blocks, or block/op counts exceed the 32-bit index space).
+bool predecodeFunction(const Function &F, const TargetMachine &TM,
+                       DecodedFunction &Out, std::string &Error);
+
+} // namespace vpo
+
+#endif // VPO_SIM_PREDECODE_H

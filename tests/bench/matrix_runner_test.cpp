@@ -1,0 +1,200 @@
+//===- tests/bench/matrix_runner_test.cpp - parallel determinism -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel evaluation-matrix runner must be a pure speedup: the same
+/// spec list measured on 1 thread and on N threads must produce identical
+/// cells in identical order, and (timing fields aside) byte-identical
+/// JSON. This is what lets the table harnesses default to all cores
+/// without anyone auditing their output for scheduling races.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MatrixRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+/// A small but heterogeneous matrix: two workloads, two configurations,
+/// a skewed layout, and a static-params cell.
+std::vector<CellSpec> testSpecs(const TargetMachine &TM) {
+  SetupOptions Small;
+  Small.N = 512;
+  Small.Width = 16;
+  Small.Height = 16;
+
+  CompileOptions Base;
+  Base.Mode = CoalesceMode::None;
+  CompileOptions Coal;
+  Coal.Mode = CoalesceMode::LoadsAndStores;
+
+  SetupOptions Skewed = Small;
+  Skewed.Skew = 4;
+
+  return {
+      CellSpec{"dotproduct", "base", &TM, Base, Small, 0},
+      CellSpec{"dotproduct", "coal", &TM, Coal, Small, 0},
+      CellSpec{"image_add", "base", &TM, Base, Small, 0},
+      CellSpec{"image_add", "coal", &TM, Coal, Small, 0},
+      CellSpec{"image_add", "coal-skew", &TM, Coal, Skewed, 0},
+      CellSpec{"dotproduct", "coal-static", &TM, Coal, Small, 2},
+  };
+}
+
+void expectSameCells(const BenchReport &A, const BenchReport &B) {
+  ASSERT_EQ(A.Cells.size(), B.Cells.size());
+  for (size_t I = 0; I < A.Cells.size(); ++I) {
+    const CellResult &CA = A.Cells[I];
+    const CellResult &CB = B.Cells[I];
+    EXPECT_EQ(CA.Workload, CB.Workload) << "cell " << I;
+    EXPECT_EQ(CA.Config, CB.Config) << "cell " << I;
+    EXPECT_EQ(CA.Target, CB.Target) << "cell " << I;
+    EXPECT_EQ(CA.M.Cycles, CB.M.Cycles) << "cell " << I;
+    EXPECT_EQ(CA.M.Instructions, CB.M.Instructions) << "cell " << I;
+    EXPECT_EQ(CA.M.MemRefs, CB.M.MemRefs) << "cell " << I;
+    EXPECT_EQ(CA.M.CacheMisses, CB.M.CacheMisses) << "cell " << I;
+    EXPECT_EQ(CA.M.Verified, CB.M.Verified) << "cell " << I;
+  }
+}
+
+TEST(MatrixRunner, OneThreadAndManyThreadsAgreeByteForByte) {
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = testSpecs(TM);
+
+  RunnerOptions One;
+  One.Threads = 1;
+  BenchReport ROne = MatrixRunner(One).run("determinism", Specs);
+
+  RunnerOptions Many;
+  Many.Threads = 4;
+  BenchReport RMany = MatrixRunner(Many).run("determinism", Specs);
+
+  expectSameCells(ROne, RMany);
+  EXPECT_TRUE(ROne.allVerified());
+  EXPECT_TRUE(RMany.allVerified());
+  // Everything except wall-clock/thread-count must match byte for byte.
+  EXPECT_EQ(ROne.toJson(/*IncludeTiming=*/false),
+            RMany.toJson(/*IncludeTiming=*/false));
+}
+
+TEST(MatrixRunner, ResultsLandInSubmissionOrder) {
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = testSpecs(TM);
+  RunnerOptions Opts;
+  Opts.Threads = 3;
+  BenchReport R = MatrixRunner(Opts).run("order", Specs);
+
+  ASSERT_EQ(R.Cells.size(), Specs.size());
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    EXPECT_EQ(R.Cells[I].Workload, Specs[I].Workload);
+    EXPECT_EQ(R.Cells[I].Config, Specs[I].Config);
+    EXPECT_EQ(R.Cells[I].Target, TM.name());
+  }
+  const CellResult *Found = R.find("image_add", "coal-skew");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Config, "coal-skew");
+  EXPECT_EQ(R.find("image_add", "nonexistent"), nullptr);
+}
+
+TEST(MatrixRunner, PredecodeOffMatchesPredecodeOn) {
+  // The runner's --no-predecode escape hatch flips the interpreter path;
+  // the measured metrics must not move.
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = testSpecs(TM);
+
+  RunnerOptions Fast;
+  Fast.Threads = 2;
+  RunnerOptions Ref = Fast;
+  Ref.Predecode = false;
+
+  BenchReport RFast = MatrixRunner(Fast).run("paths", Specs);
+  BenchReport RRef = MatrixRunner(Ref).run("paths", Specs);
+  expectSameCells(RFast, RRef);
+  EXPECT_TRUE(RFast.Predecode);
+  EXPECT_FALSE(RRef.Predecode);
+}
+
+TEST(MatrixRunner, JsonTimingFieldsAreOptIn) {
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = {testSpecs(TM).front()};
+  RunnerOptions Opts;
+  Opts.Threads = 1;
+  BenchReport R = MatrixRunner(Opts).run("json", Specs);
+
+  std::string Timed = R.toJson(/*IncludeTiming=*/true);
+  std::string Bare = R.toJson(/*IncludeTiming=*/false);
+  EXPECT_NE(Timed.find("\"threads\""), std::string::npos);
+  EXPECT_NE(Timed.find("\"total_wall_seconds\""), std::string::npos);
+  EXPECT_NE(Timed.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_EQ(Bare.find("\"threads\""), std::string::npos);
+  EXPECT_EQ(Bare.find("\"total_wall_seconds\""), std::string::npos);
+  EXPECT_EQ(Bare.find("\"wall_seconds\""), std::string::npos);
+  for (const char *Field :
+       {"\"name\"", "\"predecode\"", "\"cells\"", "\"workload\"",
+        "\"config\"", "\"target\"", "\"cycles\"", "\"instructions\"",
+        "\"memrefs\"", "\"cache_misses\"", "\"verified\""}) {
+    EXPECT_NE(Bare.find(Field), std::string::npos) << Field;
+  }
+}
+
+TEST(MatrixRunner, WriteFileRoundTrips) {
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = {testSpecs(TM).front()};
+  RunnerOptions Opts;
+  Opts.Threads = 1;
+  BenchReport R = MatrixRunner(Opts).run("roundtrip", Specs);
+
+  std::string Path = testing::TempDir() + "BENCH_roundtrip_test.json";
+  ASSERT_TRUE(R.writeFile(Path, /*IncludeTiming=*/false));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), R.toJson(/*IncludeTiming=*/false));
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(R.writeFile("/nonexistent-dir/x/y.json"));
+}
+
+TEST(BenchArgs, ParsesStandardFlags) {
+  const char *Argv[] = {"table2_alpha", "--threads=3", "--no-predecode",
+                        "--json=custom.json"};
+  BenchArgs A = parseBenchArgs(4, const_cast<char **>(Argv), "table2_alpha");
+  EXPECT_TRUE(A.Ok);
+  EXPECT_EQ(A.Threads, 3u);
+  EXPECT_FALSE(A.Predecode);
+  EXPECT_TRUE(A.WriteJson);
+  EXPECT_EQ(A.JsonPath, "custom.json");
+
+  RunnerOptions RO = toRunnerOptions(A);
+  EXPECT_EQ(RO.Threads, 3u);
+  EXPECT_FALSE(RO.Predecode);
+}
+
+TEST(BenchArgs, DefaultsAndNoJson) {
+  const char *Argv[] = {"t", "--no-json"};
+  BenchArgs A = parseBenchArgs(2, const_cast<char **>(Argv), "mytable");
+  EXPECT_TRUE(A.Ok);
+  EXPECT_EQ(A.Threads, 0u) << "0 = all cores";
+  EXPECT_TRUE(A.Predecode);
+  EXPECT_FALSE(A.WriteJson);
+  EXPECT_EQ(A.JsonPath, "BENCH_mytable.json");
+}
+
+TEST(BenchArgs, RejectsUnknownFlag) {
+  const char *Argv[] = {"t", "--frobnicate"};
+  BenchArgs A = parseBenchArgs(2, const_cast<char **>(Argv), "t");
+  EXPECT_FALSE(A.Ok);
+}
+
+} // namespace

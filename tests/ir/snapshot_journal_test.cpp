@@ -1,0 +1,244 @@
+//===- tests/ir/snapshot_journal_test.cpp - lazy undo journal ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The copy-on-first-write SnapshotJournal must behave exactly like the
+/// eager FunctionSnapshot it replaced in the guarded pipeline driver:
+/// commit keeps everything, rollback restores everything — mutated
+/// blocks, layout order, added blocks, removed blocks — while copying
+/// only what the pass actually touched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Snapshot.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// A three-block diamondish function plus an unreachable block (so
+/// removeBlock has a legal victim: nothing branches to `dead`).
+const char *FuncText = "func @f(r1) {\n"
+                       "entry:\n"
+                       "  r2 = add r1, 1\n"
+                       "  jmp join\n"
+                       "dead:\n"
+                       "  jmp join\n"
+                       "join:\n"
+                       "  r3 = add r2, 2\n"
+                       "  ret r3\n"
+                       "}\n";
+
+std::unique_ptr<Module> parseTest() {
+  std::string Err;
+  auto M = parseModule(FuncText, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+Instruction makeAdd(Reg Dst, Reg Src, int64_t Imm) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = Dst;
+  I.A = Src;
+  I.B = Operand::imm(Imm);
+  return I;
+}
+
+TEST(SnapshotJournal, CommitKeepsMutations) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+
+  SnapshotJournal J;
+  J.arm(F);
+  EXPECT_TRUE(J.armed());
+  F.entry()->append(makeAdd(F.newReg(), Reg(2), 7));
+  J.commit();
+  EXPECT_FALSE(J.armed());
+
+  std::string After = printFunction(F);
+  EXPECT_NE(After.find("add"), std::string::npos);
+  EXPECT_EQ(F.entry()->size(), 3u) << "the appended add survives commit";
+  // Detached: further mutation is journal-free and must not crash.
+  F.entry()->eraseAt(0);
+}
+
+TEST(SnapshotJournal, RollbackRestoresMutatedBlocks) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const std::string Before = printFunction(F);
+
+  SnapshotJournal J;
+  J.arm(F);
+  BasicBlock *Join = F.findBlock("join");
+  ASSERT_NE(Join, nullptr);
+  Join->insertAt(0, makeAdd(F.newReg(), Reg(2), 99));
+  Join->setName("renamed");
+  F.entry()->eraseAt(0);
+  J.rollback();
+
+  EXPECT_EQ(printFunction(F), Before);
+  EXPECT_NE(F.findBlock("join"), nullptr);
+  EXPECT_FALSE(J.armed());
+}
+
+TEST(SnapshotJournal, CopiesOnlyTouchedBlocks) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+
+  SnapshotJournal J;
+  J.arm(F);
+  EXPECT_EQ(J.savedBlockCount(), 0u) << "arming copies nothing";
+
+  BasicBlock *Join = F.findBlock("join");
+  Join->append(makeAdd(F.newReg(), Reg(2), 1));
+  EXPECT_EQ(J.savedBlockCount(), 1u);
+  Join->append(makeAdd(F.newReg(), Reg(2), 2));
+  EXPECT_EQ(J.savedBlockCount(), 1u) << "one pre-image per block per pass";
+  F.entry()->eraseAt(0);
+  EXPECT_EQ(J.savedBlockCount(), 2u);
+  J.rollback();
+}
+
+TEST(SnapshotJournal, RollbackDestroysAddedBlocks) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const std::string Before = printFunction(F);
+  const size_t NumBlocks = F.blocks().size();
+
+  SnapshotJournal J;
+  J.arm(F);
+  BasicBlock *Added = F.addBlock("grew");
+  Added->append(makeAdd(F.newReg(), Reg(1), 5));
+  F.addBlockBefore(F.findBlock("join"), "grew.pre");
+  EXPECT_EQ(F.blocks().size(), NumBlocks + 2);
+  J.rollback();
+
+  EXPECT_EQ(F.blocks().size(), NumBlocks);
+  EXPECT_EQ(F.findBlock("grew"), nullptr);
+  EXPECT_EQ(F.findBlock("grew.pre"), nullptr);
+  EXPECT_EQ(printFunction(F), Before);
+}
+
+TEST(SnapshotJournal, CommitKeepsAddedBlocksAndFreesRemoved) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const size_t NumBlocks = F.blocks().size();
+
+  SnapshotJournal J;
+  J.arm(F);
+  F.removeBlock(F.findBlock("dead"));
+  F.addBlock("grew");
+  J.commit();
+
+  EXPECT_EQ(F.blocks().size(), NumBlocks) << "-dead +grew";
+  EXPECT_EQ(F.findBlock("dead"), nullptr);
+  EXPECT_NE(F.findBlock("grew"), nullptr);
+}
+
+TEST(SnapshotJournal, RollbackReownsRemovedBlockAtSameAddress) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const std::string Before = printFunction(F);
+  BasicBlock *Dead = F.findBlock("dead");
+  ASSERT_NE(Dead, nullptr);
+
+  SnapshotJournal J;
+  J.arm(F);
+  F.removeBlock(Dead);
+  EXPECT_EQ(F.findBlock("dead"), nullptr);
+  J.rollback();
+
+  // Pointer identity matters: pre-images captured at arm time hold
+  // branch-target pointers into the original blocks.
+  EXPECT_EQ(F.findBlock("dead"), Dead);
+  EXPECT_EQ(printFunction(F), Before);
+}
+
+TEST(SnapshotJournal, RollbackRestoresLayoutOrder) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const std::string Before = printFunction(F);
+
+  SnapshotJournal J;
+  J.arm(F);
+  // Reorder by removing `dead` and re-adding an impostor elsewhere, and
+  // mutate `join` too — rollback must put every piece back.
+  F.removeBlock(F.findBlock("dead"));
+  F.addBlockBefore(F.entry(), "dead");
+  F.findBlock("join")->insts().clear();
+  J.rollback();
+
+  EXPECT_EQ(printFunction(F), Before);
+  EXPECT_EQ(F.blockIndex(F.findBlock("dead")), 1);
+}
+
+TEST(SnapshotJournal, RearmAfterRollback) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  const std::string Before = printFunction(F);
+
+  SnapshotJournal J;
+  J.arm(F);
+  F.entry()->append(makeAdd(F.newReg(), Reg(2), 1));
+  J.rollback();
+
+  // A fresh journal (the next guarded pass) must see clean hooks.
+  SnapshotJournal J2;
+  J2.arm(F);
+  F.entry()->append(makeAdd(F.newReg(), Reg(2), 2));
+  EXPECT_EQ(J2.savedBlockCount(), 1u);
+  J2.rollback();
+  EXPECT_EQ(printFunction(F), Before);
+}
+
+TEST(SnapshotJournal, DestructorCommits) {
+  auto M = parseTest();
+  Function &F = *M->functions().front();
+  {
+    SnapshotJournal J;
+    J.arm(F);
+    F.entry()->append(makeAdd(F.newReg(), Reg(2), 11));
+  }
+  EXPECT_EQ(F.entry()->size(), 3u)
+      << "an armed journal going out of scope keeps the changes";
+  // And the hooks are gone: mutations after destruction are safe.
+  F.entry()->eraseAt(2);
+}
+
+/// The journal and the eager snapshot must agree: apply the same
+/// mutations under both mechanisms and compare the restored text.
+TEST(SnapshotJournal, MatchesEagerSnapshotSemantics) {
+  auto MA = parseTest();
+  auto MB = parseTest();
+  Function &FJ = *MA->functions().front();
+  Function &FS = *MB->functions().front();
+  ASSERT_EQ(printFunction(FJ), printFunction(FS));
+
+  auto Mutate = [](Function &F) {
+    F.findBlock("join")->insertAt(0, makeAdd(F.newReg(), Reg(2), 123));
+    F.entry()->terminator() = F.entry()->insts().front(); // corrupt wildly
+    F.addBlock("extra");
+  };
+
+  SnapshotJournal J;
+  J.arm(FJ);
+  Mutate(FJ);
+  J.rollback();
+
+  FunctionSnapshot Snap = FunctionSnapshot::take(FS);
+  Mutate(FS);
+  Snap.restore(FS);
+
+  EXPECT_EQ(printFunction(FJ), printFunction(FS));
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+//===- tests/sim/predecode_test.cpp - fast path vs reference ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential suite for the predecoded interpreter fast path
+/// (sim/Predecode.h). The reference walk of the IR is the executable
+/// specification; the fast path must match it *bit for bit*: status,
+/// error text, return value, every performance metric, and the final
+/// memory image — across every workload, every target model, and every
+/// paper pipeline configuration, including the trap paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/Predecode.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vpo;
+
+namespace {
+
+/// Asserts every observable field of two runs is identical. \p What names
+/// the cell for failure messages.
+void expectSameResult(const RunResult &Ref, const RunResult &Fast,
+                      const std::string &What) {
+  EXPECT_EQ(Ref.Exit, Fast.Exit) << What;
+  EXPECT_EQ(Ref.Error, Fast.Error) << What;
+  EXPECT_EQ(Ref.ReturnValue, Fast.ReturnValue) << What;
+  EXPECT_EQ(Ref.Instructions, Fast.Instructions) << What;
+  EXPECT_EQ(Ref.Cycles, Fast.Cycles) << What;
+  EXPECT_EQ(Ref.Loads, Fast.Loads) << What;
+  EXPECT_EQ(Ref.Stores, Fast.Stores) << What;
+  EXPECT_EQ(Ref.LoadBytes, Fast.LoadBytes) << What;
+  EXPECT_EQ(Ref.StoreBytes, Fast.StoreBytes) << What;
+  EXPECT_EQ(Ref.Branches, Fast.Branches) << What;
+  EXPECT_EQ(Ref.Cache.Accesses, Fast.Cache.Accesses) << What;
+  EXPECT_EQ(Ref.Cache.Hits, Fast.Cache.Hits) << What;
+  EXPECT_EQ(Ref.Cache.Misses, Fast.Cache.Misses) << What;
+  EXPECT_EQ(Ref.Cache.WriteBacks, Fast.Cache.WriteBacks) << What;
+  EXPECT_EQ(Ref.ICache.Accesses, Fast.ICache.Accesses) << What;
+  EXPECT_EQ(Ref.ICache.Hits, Fast.ICache.Hits) << What;
+  EXPECT_EQ(Ref.ICache.Misses, Fast.ICache.Misses) << What;
+  EXPECT_EQ(Ref.ICache.WriteBacks, Fast.ICache.WriteBacks) << What;
+}
+
+/// Runs compiled \p F through both engines on identically-prepared
+/// memories and asserts bit-identical results and final images.
+void runBothPaths(const Workload &W, Function &F, const TargetMachine &TM,
+                  const SetupOptions &SO, const std::string &What) {
+  Memory MemRef, MemFast;
+  SetupResult SRef = W.setup(MemRef, SO);
+  SetupResult SFast = W.setup(MemFast, SO);
+  ASSERT_EQ(SRef.Args, SFast.Args) << "setup must be deterministic: " << What;
+
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  Interpreter Fast(TM, MemFast, InterpreterOptions{/*Predecode=*/true});
+  RunResult RRef = Ref.run(F, SRef.Args);
+  RunResult RFast = Fast.run(F, SFast.Args);
+
+  expectSameResult(RRef, RFast, What);
+  EXPECT_EQ(std::memcmp(MemRef.data(), MemFast.data(), MemRef.size()), 0)
+      << "final memory images differ: " << What;
+}
+
+/// The full evaluation matrix at a reduced problem size: every workload,
+/// on each of the three target models, under each paper configuration.
+TEST(PredecodeDifferential, EveryWorkloadTargetAndConfig) {
+  const char *Targets[] = {"alpha", "m88100", "m68030"};
+  SetupOptions SO;
+  SO.N = 768;
+  SO.Width = 24;
+  SO.Height = 24;
+
+  for (const auto &W : allWorkloads()) {
+    for (const char *Target : Targets) {
+      TargetMachine TM = makeTargetByName(Target);
+      for (const PipelineConfig &PC : paperConfigs()) {
+        Module M;
+        Function *F = W->build(M);
+        compileFunction(*F, TM, PC.Options);
+        runBothPaths(*W, *F, TM, SO,
+                     std::string(W->name()) + "/" + Target + "/" + PC.Name);
+      }
+    }
+  }
+}
+
+/// Skewed and overlapping layouts force the run-time alias/alignment
+/// checks onto their safe paths — the dispatch-heavy code the fast path
+/// must also model exactly.
+TEST(PredecodeDifferential, SkewedAndOverlappingLayouts) {
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+
+  for (const auto &W : allWorkloads()) {
+    for (int Overlap = 0; Overlap <= 1; ++Overlap) {
+      SetupOptions SO;
+      SO.N = 768;
+      SO.Width = 24;
+      SO.Height = 24;
+      SO.Skew = 4;
+      SO.OverlapMode = Overlap;
+      Module M;
+      Function *F = W->build(M);
+      compileFunction(*F, TM, CO);
+      runBothPaths(*W, *F, TM, SO,
+                   std::string(W->name()) + "/skew4/overlap" +
+                       std::to_string(Overlap));
+    }
+  }
+}
+
+/// Runs \p Text through both engines with \p Args and asserts identical
+/// outcomes (including the diagnostic string). \returns the shared exit.
+RunResult::Status runTextBoth(const std::string &Text,
+                              std::vector<int64_t> Args,
+                              const TargetMachine &TM,
+                              uint64_t MaxSteps = 500'000'000) {
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  Memory MemRef, MemFast;
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  Interpreter Fast(TM, MemFast, InterpreterOptions{/*Predecode=*/true});
+  RunResult RRef = Ref.run(*M->functions().front(), Args, MaxSteps);
+  RunResult RFast = Fast.run(*M->functions().front(), Args, MaxSteps);
+  expectSameResult(RRef, RFast, Text);
+  return RFast.Exit;
+}
+
+TEST(PredecodeDifferential, UnalignedTrapMessagesMatch) {
+  // The trap diagnostic embeds the faulting address and the printed
+  // instruction; both engines must produce the same string.
+  Memory Probe;
+  uint64_t A = Probe.allocate(64, 8);
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i32.u [r1+2]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, makeAlphaTarget()),
+            RunResult::Status::UnalignedTrap);
+}
+
+TEST(PredecodeDifferential, OutOfBoundsTrapMessagesMatch) {
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i8.u [r1]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {0}, makeAlphaTarget()),
+            RunResult::Status::OutOfBounds);
+  // Stores trap identically (and neither engine partially writes —
+  // checked by the image compare in runTextBoth's zero-filled arenas).
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  store.i64 [r1], 255\n"
+                        "  ret 0\n"
+                        "}\n",
+                        {int64_t(1) << 40}, makeAlphaTarget()),
+            RunResult::Status::OutOfBounds);
+}
+
+TEST(PredecodeDifferential, DivideByZeroTrapMessagesMatch) {
+  for (const char *Op : {"divs", "divu", "rems", "remu"}) {
+    EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                          "e:\n"
+                          "  r2 = " +
+                              std::string(Op) +
+                              " r1, 0\n"
+                              "  ret r2\n"
+                              "}\n",
+                          {5}, makeAlphaTarget()),
+              RunResult::Status::DivideByZero);
+  }
+}
+
+TEST(PredecodeDifferential, StepLimitMatches) {
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = add r1, 1\n"
+                        "  jmp e\n"
+                        "}\n",
+                        {0}, makeAlphaTarget(), /*MaxSteps=*/997),
+            RunResult::Status::StepLimit);
+}
+
+TEST(PredecodeDifferential, MalformedIRRejectedOnBothPaths) {
+  // Verification happens before engine selection; both options must
+  // reject without executing anything.
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\ne:\n  ret r1\n}\n", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  Instruction Bad;
+  Bad.Op = Opcode::Mov;
+  Bad.Dst = Reg(1);
+  Bad.A = Reg(9999); // beyond the allocator bound
+  F.entry()->insertAt(0, Bad);
+
+  for (bool Predecode : {false, true}) {
+    Memory Mem;
+    Interpreter I(makeAlphaTarget(), Mem, InterpreterOptions{Predecode});
+    RunResult R = I.run(F, {0});
+    EXPECT_EQ(R.Exit, RunResult::Status::MalformedIR);
+    EXPECT_EQ(R.Instructions, 0u);
+  }
+}
+
+/// The repeated-run entry point: predecode once, run the DecodedFunction
+/// many times. Must match both a fresh run(Function) and itself across
+/// repeats (the interpreter reuses its register file and scoreboard).
+TEST(PredecodeDifferential, DecodedFunctionReuse) {
+  auto W = makeWorkloadByName("image_add");
+  ASSERT_NE(W, nullptr);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+
+  DecodedFunction DF;
+  std::string Error;
+  ASSERT_TRUE(predecodeFunction(*F, TM, DF, Error)) << Error;
+
+  SetupOptions SO;
+  SO.N = 768;
+  Memory MemF;
+  SetupResult SF = W->setup(MemF, SO);
+  Interpreter IF(TM, MemF);
+  RunResult Baseline = IF.run(*F, SF.Args);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    Memory Mem;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter I(TM, Mem);
+    RunResult R = I.run(DF, S.Args);
+    expectSameResult(Baseline, R, "decoded rep " + std::to_string(Rep));
+    EXPECT_EQ(std::memcmp(MemF.data(), Mem.data(), Mem.size()), 0);
+  }
+}
+
+/// The pool layout invariant the fast path's unconditional scoreboard
+/// reads depend on: register slots precede immediate slots and absent
+/// operands map to slot 0.
+TEST(Predecode, PoolLayout) {
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\n"
+                       "e:\n"
+                       "  r2 = add r1, 42\n"
+                       "  r3 = add r2, 42\n"
+                       "  ret r3\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+  DecodedFunction DF;
+  std::string Error;
+  ASSERT_TRUE(predecodeFunction(F, TM, DF, Error)) << Error;
+
+  EXPECT_EQ(DF.NumRegs, F.regUpperBound());
+  EXPECT_EQ(DF.poolSize(), DF.NumRegs + DF.ConstPool.size());
+  // The two literal 42s deduplicate into one immediate slot.
+  unsigned Count42 = 0;
+  for (uint64_t C : DF.ConstPool)
+    if (C == 42)
+      ++Count42;
+  EXPECT_EQ(Count42, 1u);
+  EXPECT_EQ(DF.Ops.size(), F.instructionCount());
+  EXPECT_EQ(DF.source(), &F);
+}
+
+} // namespace
