@@ -56,6 +56,11 @@ struct MeasureOptions {
   /// KnownAlign = 8) before compiling, so coalescing needs no run-time
   /// checks — the static-analysis ablations.
   unsigned StaticParams = 0;
+  /// Instruction budget per simulated run (the harnesses' --max-insts);
+  /// 0 = the interpreter default. A run that exhausts it exits with
+  /// StepLimit and the cell reports Verified = false instead of hanging
+  /// the matrix.
+  uint64_t MaxInsts = 0;
 };
 
 /// \returns true if every byte in [Begin, End) is zero.
@@ -110,6 +115,8 @@ inline Measurement measureCell(const Workload &W, const TargetMachine &TM,
 
   InterpreterOptions IO;
   IO.Predecode = MO.Predecode;
+  if (MO.MaxInsts)
+    IO.MaxSteps = MO.MaxInsts;
   Interpreter Interp(TM, Mem, IO);
   RunResult R = Interp.run(*F, S.Args);
   M.Cycles = R.Cycles;

@@ -128,6 +128,7 @@ BenchReport MatrixRunner::run(const std::string &Name,
       MeasureOptions MO;
       MO.Predecode = Opts.Predecode;
       MO.StaticParams = Spec.StaticParams;
+      MO.MaxInsts = Opts.MaxInsts;
       CellResult &Out = Report.Cells[I];
       Out.Workload = Spec.Workload;
       Out.Config = Spec.Config;
@@ -171,11 +172,14 @@ BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
       Args.JsonPath = A.substr(std::strlen("--json="));
     } else if (A == "--json") {
       // default path already set
+    } else if (A.rfind("--max-insts=", 0) == 0) {
+      Args.MaxInsts =
+          std::strtoull(A.c_str() + std::strlen("--max-insts="), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--threads=N] [--no-predecode] "
-                   "[--json[=PATH]] [--no-json]\n",
+                   "[--json[=PATH]] [--no-json] [--max-insts=N]\n",
                    A.c_str(), Argv[0]);
       Args.Ok = false;
       return Args;
@@ -188,6 +192,7 @@ RunnerOptions vpo::bench::toRunnerOptions(const BenchArgs &Args) {
   RunnerOptions RO;
   RO.Threads = Args.Threads;
   RO.Predecode = Args.Predecode;
+  RO.MaxInsts = Args.MaxInsts;
   return RO;
 }
 

@@ -102,6 +102,9 @@ struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned Threads = 0;
   bool Predecode = true;
+  /// Instruction budget per simulated run (0 = interpreter default); see
+  /// MeasureOptions::MaxInsts.
+  uint64_t MaxInsts = 0;
 };
 
 /// Runs cells on a thread pool.
@@ -124,6 +127,7 @@ struct BenchArgs {
   bool Predecode = true; ///< --no-predecode
   bool WriteJson = true; ///< --no-json
   std::string JsonPath;  ///< --json=PATH (default BENCH_<name>.json)
+  uint64_t MaxInsts = 0; ///< --max-insts=N (0 = interpreter default)
   bool Ok = true;        ///< false: unknown argument (usage printed)
 };
 

@@ -1,0 +1,191 @@
+//===- fuzz/Campaign.cpp - Deterministic fuzzing campaign runner -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "fuzz/Watchdog.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+uint64_t vpo::fuzz::caseSeed(uint64_t CampaignSeed, unsigned Index) {
+  // SplitMix64 over the combined value.
+  uint64_t Z = CampaignSeed + 0x9e3779b97f4a7c15ULL * (Index + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+unsigned CampaignReport::failures() const {
+  unsigned N = 0;
+  for (const CaseOutcome &C : Outcomes)
+    if (!C.Result.passed())
+      ++N;
+  return N;
+}
+
+unsigned CampaignReport::harnessProblems() const {
+  unsigned N = 0;
+  for (const CaseOutcome &C : Outcomes)
+    if (C.Contained || C.Result.Kind == FailKind::GeneratorInvalid)
+      ++N;
+  return N;
+}
+
+std::string CampaignReport::summary() const {
+  std::ostringstream S;
+  S << "seed=" << Seed << " cases=" << Outcomes.size()
+    << " failures=" << failures()
+    << " harness-problems=" << harnessProblems() << "\n";
+  for (const CaseOutcome &C : Outcomes)
+    if (!C.Result.passed())
+      S << "case " << C.Index << " seed=" << C.Seed << ": "
+        << C.Result.render() << "\n";
+  return S.str();
+}
+
+CampaignReport vpo::fuzz::runCampaign(const CampaignOptions &O) {
+  CampaignReport Report;
+  Report.Seed = O.Seed;
+  Report.Outcomes.resize(O.Cases);
+
+  CaseExecutor Exec = O.Executor;
+  if (!Exec)
+    Exec = [](const GeneratedKernel &K, const OracleOptions &OO) {
+      return checkKernel(K, OO);
+    };
+
+  unsigned Threads = O.Threads;
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  if (O.Cases < Threads)
+    Threads = O.Cases ? O.Cases : 1;
+
+  std::atomic<unsigned> Next{0};
+  auto Worker = [&] {
+    while (true) {
+      unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= O.Cases)
+        return;
+      CaseOutcome &Out = Report.Outcomes[I];
+      Out.Index = I;
+      Out.Seed = caseSeed(O.Seed, I);
+      GeneratedKernel K = generateKernel(Out.Seed);
+      Out.Result = Exec(K, O.Oracle);
+      Out.Contained = Out.Result.Kind == FailKind::Crashed ||
+                      Out.Result.Kind == FailKind::TimedOut;
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned T = 1; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+  return Report;
+}
+
+std::string vpo::fuzz::serializeOracleResult(const OracleResult &R) {
+  // Line-oriented; Detail goes last and may not contain newlines (the
+  // oracle builds single-line details, but flatten defensively).
+  std::string Detail = R.Detail;
+  for (char &C : Detail)
+    if (C == '\n')
+      C = ' ';
+  std::ostringstream S;
+  S << "kind=" << failKindName(R.Kind) << "\n"
+    << "comparisons=" << R.Comparisons << "\n"
+    << "program=" << R.Program << "\n"
+    << "target=" << R.Target << "\n"
+    << "config=" << R.Config << "\n"
+    << "scenario=" << R.Scenario << "\n"
+    << "engine=" << R.Engine << "\n"
+    << "detail=" << Detail << "\n";
+  return S.str();
+}
+
+bool vpo::fuzz::deserializeOracleResult(const std::string &Text,
+                                        OracleResult &R) {
+  std::istringstream S(Text);
+  std::string Line;
+  bool SawKind = false;
+  while (std::getline(S, Line)) {
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      continue;
+    std::string Key = Line.substr(0, Eq), Val = Line.substr(Eq + 1);
+    if (Key == "kind") {
+      auto K = failKindFromName(Val);
+      if (!K)
+        return false;
+      R.Kind = *K;
+      SawKind = true;
+    } else if (Key == "comparisons") {
+      R.Comparisons = static_cast<unsigned>(std::strtoul(Val.c_str(),
+                                                         nullptr, 10));
+    } else if (Key == "program") {
+      R.Program = Val;
+    } else if (Key == "target") {
+      R.Target = Val;
+    } else if (Key == "config") {
+      R.Config = Val;
+    } else if (Key == "scenario") {
+      R.Scenario = Val;
+    } else if (Key == "engine") {
+      R.Engine = Val;
+    } else if (Key == "detail") {
+      R.Detail = Val;
+    }
+  }
+  return SawKind;
+}
+
+CaseExecutor vpo::fuzz::makeContainedExecutor(unsigned TimeoutMs) {
+  return [TimeoutMs](const GeneratedKernel &K,
+                     const OracleOptions &O) -> OracleResult {
+    if (!watchdogCanFork())
+      return checkKernel(K, O);
+    ContainedOutcome C = runContained(
+        [&](int WriteFd) {
+          OracleResult R = checkKernel(K, O);
+          writeAll(WriteFd, serializeOracleResult(R));
+          return R.passed() ? 0 : 1;
+        },
+        TimeoutMs);
+    OracleResult R;
+    switch (C.K) {
+    case ContainedOutcome::Kind::Completed:
+      if (deserializeOracleResult(C.Output, R))
+        return R;
+      R.Kind = FailKind::Crashed;
+      R.Detail = "child exited (" + std::to_string(C.ExitCode) +
+                 ") without a parseable result";
+      return R;
+    case ContainedOutcome::Kind::Crashed:
+      R.Kind = FailKind::Crashed;
+      R.Detail = "child killed by signal " + std::to_string(C.Signal);
+      return R;
+    case ContainedOutcome::Kind::TimedOut:
+      R.Kind = FailKind::TimedOut;
+      R.Detail = "wall-clock deadline (" + std::to_string(TimeoutMs) +
+                 " ms) expired";
+      return R;
+    case ContainedOutcome::Kind::ForkUnavailable:
+      return checkKernel(K, O);
+    }
+    return R;
+  };
+}

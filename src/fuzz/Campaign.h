@@ -1,0 +1,93 @@
+//===- fuzz/Campaign.h - Deterministic fuzzing campaign runner --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives N fuzz cases from one campaign seed. Per-case seeds are a pure
+/// mix of (campaign seed, case index), cases run on an atomic-cursor
+/// worker pool with results stored by submission index, and the summary
+/// excludes timing — so a campaign's report is byte-identical at any
+/// thread count (the seed-determinism guarantee, enforced by
+/// tests/fuzz/fuzz_determinism_test.cpp).
+///
+/// The per-case executor is pluggable: the default runs the oracle
+/// in-process; the fuzz_coalesce driver substitutes a fork-contained
+/// executor (fuzz/Watchdog.h) in single-threaded mode so a crash or hang
+/// in one case cannot take down the campaign. Serialization of an
+/// OracleResult across the containment pipe lives here too, next to its
+/// only consumer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_CAMPAIGN_H
+#define VPO_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Oracle.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace fuzz {
+
+/// \returns the seed for case \p Index of a campaign (SplitMix64 over the
+/// pair, so neighbouring cases get unrelated kernels).
+uint64_t caseSeed(uint64_t CampaignSeed, unsigned Index);
+
+struct CaseOutcome {
+  unsigned Index = 0;
+  uint64_t Seed = 0;
+  OracleResult Result;
+  /// True when the watchdog had to intervene (Result.Kind is then
+  /// Crashed or TimedOut and Detail carries the classification).
+  bool Contained = false;
+};
+
+using CaseExecutor =
+    std::function<OracleResult(const GeneratedKernel &, const OracleOptions &)>;
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  unsigned Cases = 100;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Threads = 1;
+  OracleOptions Oracle;
+  /// Per-case executor; default = checkKernel in-process.
+  CaseExecutor Executor;
+};
+
+struct CampaignReport {
+  uint64_t Seed = 0;
+  std::vector<CaseOutcome> Outcomes; ///< by case index
+
+  unsigned failures() const;
+  /// Watchdog interventions (crashes + timeouts) plus generator-invalid
+  /// verdicts — problems attributable to the harness, not the compiler.
+  unsigned harnessProblems() const;
+  /// Deterministic text: totals plus one line per failing case. No
+  /// timing, no thread count.
+  std::string summary() const;
+};
+
+/// Runs the campaign. Blocks until every case is done.
+CampaignReport runCampaign(const CampaignOptions &O);
+
+/// Serializes \p R for the containment pipe (single line-oriented block).
+std::string serializeOracleResult(const OracleResult &R);
+/// Inverse of serializeOracleResult. \returns false on malformed input.
+bool deserializeOracleResult(const std::string &Text, OracleResult &R);
+
+/// A CaseExecutor that forks per case (fuzz/Watchdog.h): crashes become
+/// FailKind::Crashed, hangs FailKind::TimedOut. Falls back to in-process
+/// execution where fork is unavailable. Only safe while the process is
+/// single-threaded.
+CaseExecutor makeContainedExecutor(unsigned TimeoutMs);
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_CAMPAIGN_H

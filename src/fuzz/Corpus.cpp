@@ -1,0 +1,160 @@
+//===- fuzz/Corpus.cpp - Minimized repro corpus I/O -------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+std::string CorpusEntry::render() const {
+  std::ostringstream S;
+  S << "# fuzz-repro specseed=" << SpecSeed << " kind=" << failKindName(Kind)
+    << " expect=" << (ExpectDetect ? "detect" : "match") << "\n";
+  if (Inject)
+    S << "# inject=" << Inject->render() << "\n";
+  if (!Note.empty())
+    S << "# note: " << Note << "\n";
+  S << IRText;
+  if (!IRText.empty() && IRText.back() != '\n')
+    S << "\n";
+  return S.str();
+}
+
+namespace {
+
+/// Splits "key=value" tokens out of a header line.
+bool parseHeaderFields(const std::string &Line, CorpusEntry &Entry,
+                       std::string &Err) {
+  std::istringstream S(Line);
+  std::string Tok;
+  while (S >> Tok) {
+    size_t Eq = Tok.find('=');
+    if (Eq == std::string::npos)
+      continue;
+    std::string Key = Tok.substr(0, Eq), Val = Tok.substr(Eq + 1);
+    if (Key == "specseed") {
+      Entry.SpecSeed = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Key == "kind") {
+      auto K = failKindFromName(Val);
+      if (!K) {
+        Err = "unknown kind '" + Val + "'";
+        return false;
+      }
+      Entry.Kind = *K;
+    } else if (Key == "expect") {
+      if (Val != "detect" && Val != "match") {
+        Err = "expect must be 'detect' or 'match', got '" + Val + "'";
+        return false;
+      }
+      Entry.ExpectDetect = Val == "detect";
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool vpo::fuzz::parseCorpusEntry(const std::string &Contents,
+                                 CorpusEntry &Entry, std::string &Err) {
+  std::istringstream S(Contents);
+  std::string Line;
+  bool SawHeader = false;
+  std::string Body;
+  while (std::getline(S, Line)) {
+    if (Line.rfind("# fuzz-repro", 0) == 0) {
+      if (!parseHeaderFields(Line.substr(12), Entry, Err))
+        return false;
+      SawHeader = true;
+      continue;
+    }
+    if (Line.rfind("# inject=", 0) == 0) {
+      auto I = InjectSpec::parse(Line.substr(9));
+      if (!I) {
+        Err = "malformed inject line: " + Line;
+        return false;
+      }
+      Entry.Inject = *I;
+      continue;
+    }
+    if (Line.rfind("# note: ", 0) == 0) {
+      Entry.Note = Line.substr(8);
+      continue;
+    }
+    Body += Line;
+    Body += '\n';
+  }
+  if (!SawHeader) {
+    Err = "missing '# fuzz-repro' header";
+    return false;
+  }
+  Entry.IRText = std::move(Body);
+  return true;
+}
+
+bool vpo::fuzz::loadCorpusFile(const std::string &Path, CorpusEntry &Entry,
+                               std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Entry.Path = Path;
+  if (!parseCorpusEntry(Buf.str(), Entry, Err)) {
+    Err = Path + ": " + Err;
+    return false;
+  }
+  return true;
+}
+
+bool vpo::fuzz::writeCorpusFile(const std::string &Path,
+                                const CorpusEntry &Entry) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Entry.render();
+  return static_cast<bool>(Out);
+}
+
+std::vector<std::string> vpo::fuzz::listCorpusFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code EC;
+  for (const auto &E : std::filesystem::directory_iterator(Dir, EC)) {
+    if (!E.is_regular_file())
+      continue;
+    if (E.path().extension() == ".ir")
+      Files.push_back(E.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+bool vpo::fuzz::replayCorpusEntry(const CorpusEntry &Entry,
+                                  OracleOptions Base, std::string &Why) {
+  KernelSpec Spec = KernelSpec::random(Entry.SpecSeed);
+  Base.Inject = Entry.ExpectDetect ? Entry.Inject : std::nullopt;
+  OracleResult R = checkIRText(Entry.IRText, Spec, Base);
+  if (Entry.ExpectDetect) {
+    if (R.Kind != Entry.Kind) {
+      Why = std::string("expected ") + failKindName(Entry.Kind) + ", got " +
+            R.render();
+      return false;
+    }
+    return true;
+  }
+  if (!R.passed()) {
+    Why = "expected clean pass, got " + R.render();
+    return false;
+  }
+  return true;
+}

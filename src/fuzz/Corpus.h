@@ -1,0 +1,81 @@
+//===- fuzz/Corpus.h - Minimized repro corpus I/O ---------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk format for minimized fuzz repros (tests/fuzz/corpus/).
+/// A corpus file is RTL text prefixed by `#` metadata lines the IR parser
+/// skips, so every repro is simultaneously a parseable kernel and a
+/// self-describing regression test:
+///
+///   # fuzz-repro specseed=17 kind=compile-incident expect=detect
+///   # inject=coalesce:wrong-width:7
+///   # note: reduced from 61 instructions
+///   func @k(r1, r2) { ... }
+///
+/// `specseed` reconstructs the KernelSpec (memory layout, trip counts)
+/// the oracle needs; the kernel text itself is the *reduced* IR, not what
+/// the seed would generate. `expect=detect` entries re-plant the recorded
+/// fault and must fail with exactly `kind` (guard-rail regressions);
+/// `expect=match` entries must pass the oracle cleanly (fixed-bug
+/// sentinels). tests/fuzz/corpus_replay_test.cpp replays the whole
+/// directory under tier-1 ctest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_CORPUS_H
+#define VPO_FUZZ_CORPUS_H
+
+#include "fuzz/Oracle.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace fuzz {
+
+struct CorpusEntry {
+  std::string Path; ///< where it was loaded from (diagnostics only)
+  uint64_t SpecSeed = 0;
+  /// The FailKind this repro reproduces (for expect=detect) or
+  /// reproduced before the fix (for expect=match).
+  FailKind Kind = FailKind::None;
+  /// True: replay must report exactly Kind. False: replay must pass.
+  bool ExpectDetect = false;
+  std::optional<InjectSpec> Inject;
+  std::string Note;
+  std::string IRText;
+
+  std::string render() const; ///< serialized file contents
+};
+
+/// Parses one corpus file's contents. \returns false (with \p Err set)
+/// on a malformed header.
+bool parseCorpusEntry(const std::string &Contents, CorpusEntry &Entry,
+                      std::string &Err);
+
+/// Loads \p Path. \returns false with \p Err on I/O or parse failure.
+bool loadCorpusFile(const std::string &Path, CorpusEntry &Entry,
+                    std::string &Err);
+
+/// Writes \p Entry to \p Path. \returns false on I/O failure.
+bool writeCorpusFile(const std::string &Path, const CorpusEntry &Entry);
+
+/// \returns the sorted .ir files directly inside \p Dir (empty when the
+/// directory is missing).
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+/// Replays \p Entry: runs the oracle (re-planting the recorded fault for
+/// expect=detect entries) and checks the expectation. \returns true on
+/// success; otherwise \p Why explains the mismatch. \p Base supplies
+/// targets/budgets; its Inject field is overridden per entry.
+bool replayCorpusEntry(const CorpusEntry &Entry, OracleOptions Base,
+                       std::string &Why);
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_CORPUS_H

@@ -1,0 +1,358 @@
+//===- fuzz/KernelGen.cpp - Seeded random kernel generator ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "sim/Memory.h"
+#include "support/RNG.h"
+
+#include <cassert>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+KernelSpec KernelSpec::random(uint64_t Seed) {
+  RNG R(Seed * 0x9e3779b9u + 11);
+  KernelSpec K;
+  K.Seed = Seed;
+
+  size_t NumStreams = 1 + R.nextBelow(4);
+  for (size_t S = 0; S < NumStreams; ++S) {
+    StreamSpec St;
+    // Bias toward the narrow widths the paper's coalescer feeds on, but
+    // keep i64 in the mix (never widenable — a pure hazard/ordering case).
+    static const unsigned WidthTable[6] = {1, 1, 2, 2, 4, 8};
+    St.ElemBytes = WidthTable[R.nextBelow(6)];
+    St.RefsPerIter = 1 + static_cast<unsigned>(R.nextBelow(4));
+    St.Descending = R.nextBelow(4) == 0;
+    St.HasLoad = R.nextBelow(3) != 0;
+    St.HasStore = !St.HasLoad || R.nextBelow(2) == 0;
+    St.SignExtend = R.nextBelow(2) == 0;
+    // Half the streams get a byte-granular base skew so the compiler can
+    // never prove alignment statically.
+    St.BaseSkew =
+        R.nextBelow(2) == 0 ? 0 : static_cast<unsigned>(1 + R.nextBelow(7));
+    if (S > 0) {
+      uint64_t P = R.nextBelow(4);
+      St.Place = P == 2   ? StreamSpec::Placement::Adjacent
+                 : P == 3 ? StreamSpec::Placement::Overlapping
+                          : StreamSpec::Placement::Disjoint;
+      St.OverlapDelta = static_cast<unsigned>(R.nextBelow(64));
+    }
+    K.Streams.push_back(St);
+  }
+
+  if (R.nextBelow(4) == 0)
+    K.Shape.OuterTrips = 2 + static_cast<int64_t>(R.nextBelow(2));
+  K.Shape.EarlyExit = R.nextBelow(4) == 0;
+  K.Shape.ExitMask = (1u << (1 + R.nextBelow(4))) - 1; // 1, 3, 7, 15
+  K.Shape.ExitValue = static_cast<unsigned>(R.nextBelow(K.Shape.ExitMask + 1));
+  K.AccInit = static_cast<int64_t>(Seed % 251);
+
+  // Trip counts pinned to the boundaries: the zero-trip guard, one below
+  // the common unroll factor of 4, and a small prime that never divides
+  // the unroll factor.
+  static const int64_t Primes[10] = {5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+  K.TripCounts = {0, 3, Primes[R.nextBelow(10)]};
+  return K;
+}
+
+namespace {
+
+/// Per-reference choices shared by the IR and C renderings so both walk
+/// the streams identically (they are still independent fuzz subjects; the
+/// sharing just keeps the generator's decision stream in one place).
+struct RefDecision {
+  Opcode Mix = Opcode::Add; ///< how a loaded value folds into acc
+  size_t StoreSrc = 0;      ///< index into the body's value list (0 = acc)
+};
+
+struct Decisions {
+  std::vector<std::vector<RefDecision>> PerStream;
+};
+
+Decisions decide(const KernelSpec &K) {
+  RNG R(K.Seed * 131 + 7);
+  Decisions D;
+  static const Opcode MixTable[4] = {Opcode::Add, Opcode::Sub, Opcode::Xor,
+                                     Opcode::Or};
+  size_t ValuesSoFar = 1; // acc
+  for (const StreamSpec &St : K.Streams) {
+    std::vector<RefDecision> Refs;
+    for (unsigned E = 0; E < St.RefsPerIter; ++E) {
+      RefDecision RD;
+      RD.Mix = MixTable[R.nextBelow(4)];
+      if (St.HasLoad)
+        ++ValuesSoFar;
+      if (St.HasStore)
+        RD.StoreSrc = R.nextBelow(ValuesSoFar);
+      Refs.push_back(RD);
+    }
+    D.PerStream.push_back(std::move(Refs));
+  }
+  return D;
+}
+
+/// The early-exit path returns `acc ^ kEarlyExitXor` so a wrong exit
+/// taken/not-taken shows up in the return value, not just in trip counts.
+constexpr int64_t kEarlyExitXor = 23130; // 0x5a5a
+
+std::string buildIR(const KernelSpec &K, const Decisions &D) {
+  Module M;
+  Function *F = M.addFunction("k");
+  std::vector<Reg> Bases;
+  for (size_t S = 0; S < K.Streams.size(); ++S)
+    Bases.push_back(F->addParam());
+  Reg N = F->addParam();
+  IRBuilder B(F);
+
+  BasicBlock *Entry = B.createBlock("entry");
+  BasicBlock *OuterHead = F->addBlock("outer");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Cont =
+      K.Shape.EarlyExit ? F->addBlock("cont") : Body;
+  BasicBlock *OuterLatch = F->addBlock("latch");
+  BasicBlock *Early = K.Shape.EarlyExit ? F->addBlock("early") : nullptr;
+  BasicBlock *Exit = F->addBlock("exit");
+
+  B.setInsertBlock(Entry);
+  Reg Acc = B.mov(Operand::imm(K.AccInit));
+  Reg Outer = B.mov(Operand::imm(0));
+  B.br(CondCode::LEs, N, Operand::imm(0), Exit, OuterHead);
+
+  // Outer head: re-derive every stream pointer from its (skewed) base, so
+  // each outer pass walks the same elements again. RTL registers are not
+  // SSA: re-executing these defs resets the pointers mutated by the body.
+  B.setInsertBlock(OuterHead);
+  std::vector<Reg> Ptrs;
+  Reg Limit = Reg();
+  for (size_t S = 0; S < K.Streams.size(); ++S) {
+    const StreamSpec &St = K.Streams[S];
+    int64_t Group = St.groupBytes();
+    Reg SBase = B.add(Bases[S], Operand::imm(int64_t(St.BaseSkew)));
+    Reg Ptr;
+    if (!St.Descending) {
+      Ptr = B.add(SBase, Operand::imm(0));
+    } else {
+      Reg Total = B.mul(N, Operand::imm(Group));
+      Reg End = B.add(SBase, Total);
+      Ptr = B.sub(End, Operand::imm(Group));
+    }
+    Ptrs.push_back(Ptr);
+    if (S == 0) {
+      // Loop bound on stream 0's pointer.
+      if (!St.Descending) {
+        Reg Total = B.mul(N, Operand::imm(Group));
+        Limit = B.add(SBase, Total);
+      } else {
+        Limit = B.sub(SBase, Operand::imm(Group));
+      }
+    }
+  }
+  B.jmp(Body);
+
+  B.setInsertBlock(Body);
+  std::vector<Reg> Values = {Acc};
+  for (size_t S = 0; S < K.Streams.size(); ++S) {
+    const StreamSpec &St = K.Streams[S];
+    MemWidth W = widthFromBytes(St.ElemBytes);
+    for (unsigned E = 0; E < St.RefsPerIter; ++E) {
+      const RefDecision &RD = D.PerStream[S][E];
+      int64_t Off = int64_t(E) * St.ElemBytes;
+      if (St.HasLoad) {
+        Reg V = B.load(Address(Ptrs[S], Off), W, St.SignExtend);
+        Values.push_back(V);
+        B.aluTo(Acc, RD.Mix, Acc, V);
+      }
+      if (St.HasStore)
+        B.store(Address(Ptrs[S], Off), Values[RD.StoreSrc], W);
+    }
+  }
+  if (K.Shape.EarlyExit) {
+    Reg Masked = B.and_(Acc, Operand::imm(int64_t(K.Shape.ExitMask)));
+    B.br(CondCode::EQ, Masked, Operand::imm(int64_t(K.Shape.ExitValue)),
+         Early, Cont);
+    B.setInsertBlock(Cont);
+  }
+  for (size_t S = 0; S < K.Streams.size(); ++S) {
+    const StreamSpec &St = K.Streams[S];
+    B.aluTo(Ptrs[S], St.Descending ? Opcode::Sub : Opcode::Add, Ptrs[S],
+            Operand::imm(St.groupBytes()));
+  }
+  CondCode CC = K.Streams[0].Descending ? CondCode::GTu : CondCode::LTu;
+  B.br(CC, Ptrs[0], Limit, Body, OuterLatch);
+
+  B.setInsertBlock(OuterLatch);
+  B.aluTo(Outer, Opcode::Add, Outer, Operand::imm(1));
+  B.br(CondCode::LTs, Outer, Operand::imm(K.Shape.OuterTrips), OuterHead,
+       Exit);
+
+  if (Early) {
+    B.setInsertBlock(Early);
+    Reg EarlyRet = B.xor_(Acc, Operand::imm(kEarlyExitXor));
+    B.ret(EarlyRet);
+  }
+
+  B.setInsertBlock(Exit);
+  B.ret(Acc);
+  return printFunction(*F);
+}
+
+const char *cTypeName(const StreamSpec &St) {
+  switch (St.ElemBytes) {
+  case 1:
+    return St.SignExtend ? "char" : "unsigned char";
+  case 2:
+    return St.SignExtend ? "short" : "unsigned short";
+  case 4:
+    return St.SignExtend ? "int" : "unsigned int";
+  default:
+    return "long";
+  }
+}
+
+const char *cMixOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Sub:
+    return "-";
+  case Opcode::Xor:
+    return "^";
+  case Opcode::Or:
+    return "|";
+  default:
+    return "+";
+  }
+}
+
+/// `pS[Refs * i + C]`, or the reversed index for descending streams.
+std::string cIndexExpr(const StreamSpec &St, unsigned E) {
+  int64_t SkewElems = int64_t(St.BaseSkew) / St.ElemBytes;
+  int64_t Addend = SkewElems + E;
+  std::string Iv = St.Descending ? "(n - 1 - i)" : "i";
+  return std::to_string(St.RefsPerIter) + " * " + Iv + " + " +
+         std::to_string(Addend);
+}
+
+std::string buildC(const KernelSpec &K, const Decisions &D) {
+  // Byte-granular skews have no typed-C spelling; those specs stay
+  // IR-only.
+  for (const StreamSpec &St : K.Streams)
+    if (St.BaseSkew % St.ElemBytes != 0)
+      return std::string();
+
+  std::string C;
+  C += "long k(";
+  for (size_t S = 0; S < K.Streams.size(); ++S) {
+    C += cTypeName(K.Streams[S]);
+    C += " *p" + std::to_string(S) + ", ";
+  }
+  C += "long n) {\n";
+  C += "  long acc = " + std::to_string(K.AccInit) + ";\n";
+  C += "  long i = 0;\n  long j = 0;\n";
+  // Hoisted temporaries, one per load in body order.
+  size_t NumLoads = 0;
+  for (const StreamSpec &St : K.Streams)
+    if (St.HasLoad)
+      NumLoads += St.RefsPerIter;
+  for (size_t T = 1; T <= NumLoads; ++T)
+    C += "  long t" + std::to_string(T) + " = 0;\n";
+
+  C += "  for (j = 0; j < " + std::to_string(K.Shape.OuterTrips) +
+       "; j++) {\n";
+  C += "    for (i = 0; i < n; i++) {\n";
+  size_t Temp = 0;
+  // Value list mirrors the IR body: index 0 is acc, then each load.
+  std::vector<std::string> Values = {"acc"};
+  for (size_t S = 0; S < K.Streams.size(); ++S) {
+    const StreamSpec &St = K.Streams[S];
+    std::string P = "p" + std::to_string(S);
+    for (unsigned E = 0; E < St.RefsPerIter; ++E) {
+      const RefDecision &RD = D.PerStream[S][E];
+      std::string Idx = P + "[" + cIndexExpr(St, E) + "]";
+      if (St.HasLoad) {
+        std::string T = "t" + std::to_string(++Temp);
+        C += "      " + T + " = " + Idx + ";\n";
+        C += "      acc = acc ";
+        C += cMixOp(RD.Mix);
+        C += " " + T + ";\n";
+        Values.push_back(T);
+      }
+      if (St.HasStore)
+        C += "      " + Idx + " = " + Values[RD.StoreSrc] + ";\n";
+    }
+  }
+  if (K.Shape.EarlyExit) {
+    C += "      if ((acc & " + std::to_string(K.Shape.ExitMask) +
+         ") == " + std::to_string(K.Shape.ExitValue) + ") {\n";
+    C += "        return acc ^ " + std::to_string(kEarlyExitXor) + ";\n";
+    C += "      }\n";
+  }
+  C += "    }\n  }\n";
+  C += "  return acc;\n}\n";
+  return C;
+}
+
+uint64_t alignUp(uint64_t X, uint64_t A) { return (X + A - 1) & ~(A - 1); }
+
+} // namespace
+
+GeneratedKernel vpo::fuzz::generateKernel(const KernelSpec &Spec) {
+  Decisions D = decide(Spec);
+  GeneratedKernel K;
+  K.Spec = Spec;
+  K.IRText = buildIR(Spec, D);
+  K.CSource = buildC(Spec, D);
+  return K;
+}
+
+std::vector<int64_t> vpo::fuzz::setupKernelMemory(const KernelSpec &Spec,
+                                                  int64_t N, Memory &Mem,
+                                                  size_t LayoutSkew) {
+  RNG Fill(Spec.Seed * 9 + 1);
+  std::vector<int64_t> Args;
+  uint64_t PrevSpanStart = 0, PrevSpanEnd = 0;
+  for (size_t S = 0; S < Spec.Streams.size(); ++S) {
+    const StreamSpec &St = Spec.Streams[S];
+    uint64_t Elem = St.ElemBytes;
+    uint64_t Span = N > 0 ? uint64_t(N) * uint64_t(St.groupBytes()) : 0;
+    uint64_t Base;
+    if (S == 0 || St.Place == StreamSpec::Placement::Disjoint) {
+      // Solve for an allocation skew that keeps the *absolute* element
+      // addresses naturally aligned despite the kernel-side BaseSkew:
+      // allocate() returns an 8-aligned address plus the skew, and every
+      // element size divides 8, so only (skew + BaseSkew) % Elem matters.
+      uint64_t Skew =
+          LayoutSkew + (Elem - (LayoutSkew + St.BaseSkew) % Elem) % Elem;
+      Base = Mem.allocate(St.BaseSkew + Span + 64, 8, Skew);
+    } else {
+      // Adjacent/overlapping placements derive the span start from the
+      // previous stream, then reserve (without using) enough fresh arena
+      // to keep every touched byte below the allocator's high-water mark.
+      uint64_t Start;
+      if (St.Place == StreamSpec::Placement::Adjacent) {
+        Start = alignUp(PrevSpanEnd, Elem);
+      } else {
+        uint64_t PrevSpan = PrevSpanEnd - PrevSpanStart;
+        uint64_t Delta =
+            PrevSpan == 0 ? 0 : St.OverlapDelta % (PrevSpan + 1);
+        Start = alignUp(PrevSpanStart + Delta, Elem);
+      }
+      Base = Start - St.BaseSkew;
+      Mem.allocate(St.BaseSkew + Span + 128, 1, 0);
+    }
+    uint64_t SpanStart = Base + St.BaseSkew;
+    for (uint64_t I = 0; I < Span; ++I)
+      Mem.write(SpanStart + I, 1, Fill.next() & 0xff);
+    PrevSpanStart = SpanStart;
+    PrevSpanEnd = SpanStart + Span;
+    Args.push_back(static_cast<int64_t>(Base));
+  }
+  Args.push_back(N);
+  return Args;
+}

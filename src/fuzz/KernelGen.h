@@ -1,0 +1,131 @@
+//===- fuzz/KernelGen.h - Seeded random kernel generator --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of small loop kernels for differential fuzzing of the
+/// coalescing pipeline. A KernelSpec is a pure function of its seed and
+/// describes one to four pointer streams (mixed element widths, ascending
+/// or descending, load and/or store per iteration) walked by a counted
+/// loop, optionally nested under an outer loop and optionally cut short by
+/// a data-dependent early exit (multi-exit control flow).
+///
+/// The spec deliberately biases toward the hazard and run-time-check
+/// boundaries the coalescer must get right: skewed base pointers (the
+/// kernel adds a small constant to each incoming base, so static alignment
+/// is unknowable), streams placed exactly adjacent to or overlapping the
+/// previous stream's region, and trip counts pinned to {0, unroll-1, a
+/// small prime} rather than round numbers.
+///
+/// Each spec renders to two independent programs over the same memory
+/// layout: direct RTL text (always) and mini-C source (when the spec stays
+/// inside the frontend/CFront.h dialect — byte-granular base skews are
+/// IR-only). The two are *separate* fuzz subjects, each checked
+/// self-differentially by the oracle; they are not required to compute the
+/// same function.
+///
+/// Generation is deterministic: the same seed produces byte-identical
+/// kernel text on every platform (support/RNG.h), which the corpus format
+/// and the seed-determinism test rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_KERNELGEN_H
+#define VPO_FUZZ_KERNELGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpo {
+
+class Memory;
+
+namespace fuzz {
+
+/// One pointer stream walked by the generated loop.
+struct StreamSpec {
+  unsigned ElemBytes = 1;   ///< 1, 2, 4, or 8
+  unsigned RefsPerIter = 1; ///< consecutive elements touched per iteration
+  bool Descending = false;
+  bool HasLoad = true;
+  bool HasStore = false;
+  bool SignExtend = false; ///< sign- vs zero-extend narrow loads
+  /// Constant byte offset the kernel adds to the incoming base
+  /// (`p = base + BaseSkew`), defeating static alignment knowledge. The
+  /// memory setup solves for an allocation that keeps the *absolute*
+  /// element addresses naturally aligned, so no scenario traps.
+  unsigned BaseSkew = 0;
+  /// Placement of this stream's region relative to the previous stream.
+  /// Stream 0 is always Disjoint. Adjacent = the two spans touch but do
+  /// not overlap (the exact boundary the overlap checks must classify as
+  /// safe); Overlapping forces the run-time checks to fail and the safe
+  /// path to run.
+  enum class Placement : uint8_t { Disjoint, Adjacent, Overlapping };
+  Placement Place = Placement::Disjoint;
+  /// For Overlapping: byte distance from the previous span's start
+  /// (clamped to that span; 0 = same start).
+  unsigned OverlapDelta = 0;
+
+  int64_t groupBytes() const {
+    return int64_t(ElemBytes) * RefsPerIter;
+  }
+};
+
+/// Loop/control shape.
+struct ShapeSpec {
+  /// Outer-loop trip count; 1 = a flat loop, >1 re-walks every stream from
+  /// its (re-derived) start so stores of one outer pass feed loads of the
+  /// next.
+  int64_t OuterTrips = 1;
+  /// Emit a data-dependent `if ((acc & ExitMask) == ExitValue) return ...`
+  /// in the loop body — a second function exit out of the middle of the
+  /// loop.
+  bool EarlyExit = false;
+  unsigned ExitMask = 7;
+  unsigned ExitValue = 0;
+};
+
+struct KernelSpec {
+  uint64_t Seed = 0;
+  std::vector<StreamSpec> Streams;
+  ShapeSpec Shape;
+  int64_t AccInit = 0;
+  /// Inner trip counts the oracle exercises; always contains 0 and values
+  /// straddling the unroll factor.
+  std::vector<int64_t> TripCounts;
+
+  /// Derives a spec from \p Seed alone (pure, deterministic).
+  static KernelSpec random(uint64_t Seed);
+};
+
+struct GeneratedKernel {
+  KernelSpec Spec;
+  std::string IRText; ///< RTL text, parseable by ir/IRParser.h
+  /// Mini-C rendering, or empty when the spec uses IR-only features
+  /// (byte-granular base skews).
+  std::string CSource;
+};
+
+/// Renders \p Spec. Deterministic: equal specs yield byte-identical text.
+GeneratedKernel generateKernel(const KernelSpec &Spec);
+
+/// Convenience: random spec for \p Seed, rendered.
+inline GeneratedKernel generateKernel(uint64_t Seed) {
+  return generateKernel(KernelSpec::random(Seed));
+}
+
+/// Allocates and seeds every stream's region in \p Mem for inner trip
+/// count \p N, honouring the spec's placements, and \returns the kernel's
+/// argument vector (stream bases, then N). \p LayoutSkew adds extra
+/// misalignment (rounded per stream so element addresses stay naturally
+/// aligned) — the scenario knob that flips the alignment run-time checks.
+std::vector<int64_t> setupKernelMemory(const KernelSpec &Spec, int64_t N,
+                                       Memory &Mem, size_t LayoutSkew);
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_KERNELGEN_H

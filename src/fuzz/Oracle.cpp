@@ -1,0 +1,375 @@
+//===- fuzz/Oracle.cpp - Multi-oracle differential checker ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "frontend/CFront.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "target/TargetMachine.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+const char *vpo::fuzz::failKindName(FailKind K) {
+  switch (K) {
+  case FailKind::None:
+    return "ok";
+  case FailKind::GeneratorInvalid:
+    return "generator-invalid";
+  case FailKind::CompileIncident:
+    return "compile-incident";
+  case FailKind::StatusDiverged:
+    return "status-diverged";
+  case FailKind::ReturnDiverged:
+    return "return-diverged";
+  case FailKind::MemoryDiverged:
+    return "memory-diverged";
+  case FailKind::EngineDiverged:
+    return "engine-diverged";
+  case FailKind::Crashed:
+    return "crash";
+  case FailKind::TimedOut:
+    return "timeout";
+  }
+  return "unknown";
+}
+
+std::optional<FailKind>
+vpo::fuzz::failKindFromName(const std::string &Name) {
+  static const FailKind All[] = {
+      FailKind::None,           FailKind::GeneratorInvalid,
+      FailKind::CompileIncident, FailKind::StatusDiverged,
+      FailKind::ReturnDiverged, FailKind::MemoryDiverged,
+      FailKind::EngineDiverged, FailKind::Crashed,
+      FailKind::TimedOut};
+  for (FailKind K : All)
+    if (Name == failKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::optional<FaultKind>
+vpo::fuzz::faultKindFromName(const std::string &Name) {
+  static const FaultKind All[] = {FaultKind::WrongWidth,
+                                  FaultKind::ClobberedBase,
+                                  FaultKind::DroppedCheck,
+                                  FaultKind::MissingOperand,
+                                  FaultKind::EmptyBlock};
+  for (FaultKind K : All)
+    if (Name == faultKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::string InjectSpec::render() const {
+  return AfterPass + ":" + faultKindName(Kind) + ":" + std::to_string(Seed);
+}
+
+std::optional<InjectSpec> InjectSpec::parse(const std::string &Text) {
+  size_t C1 = Text.find(':');
+  if (C1 == std::string::npos)
+    return std::nullopt;
+  size_t C2 = Text.find(':', C1 + 1);
+  if (C2 == std::string::npos)
+    return std::nullopt;
+  InjectSpec S;
+  S.AfterPass = Text.substr(0, C1);
+  auto K = faultKindFromName(Text.substr(C1 + 1, C2 - C1 - 1));
+  if (S.AfterPass.empty() || !K)
+    return std::nullopt;
+  S.Kind = *K;
+  errno = 0;
+  char *End = nullptr;
+  const std::string SeedStr = Text.substr(C2 + 1);
+  S.Seed = std::strtoull(SeedStr.c_str(), &End, 10);
+  if (SeedStr.empty() || (End && *End))
+    return std::nullopt;
+  return S;
+}
+
+std::string OracleResult::render() const {
+  if (passed())
+    return "ok (" + std::to_string(Comparisons) + " comparisons)";
+  std::string S = failKindName(Kind);
+  if (!Program.empty())
+    S += " program=" + Program;
+  if (!Target.empty())
+    S += " target=" + Target;
+  if (!Config.empty())
+    S += " config=" + Config;
+  if (!Scenario.empty())
+    S += " scenario=" + Scenario;
+  if (!Engine.empty())
+    S += " engine=" + Engine;
+  if (!Detail.empty())
+    S += ": " + Detail;
+  return S;
+}
+
+std::vector<PipelineConfig> vpo::fuzz::oracleConfigs() {
+  std::vector<PipelineConfig> Cfgs;
+  {
+    PipelineConfig C;
+    C.Name = "O0";
+    C.Options.Mode = CoalesceMode::None;
+    C.Options.Unroll = false;
+    C.Options.Schedule = false;
+    C.Options.Cleanup = false;
+    Cfgs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "vpo-O";
+    C.Options.Mode = CoalesceMode::None;
+    Cfgs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "coalesce-loads";
+    C.Options.Mode = CoalesceMode::Loads;
+    Cfgs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "coalesce-all";
+    C.Options.Mode = CoalesceMode::LoadsAndStores;
+    Cfgs.push_back(C);
+  }
+  {
+    PipelineConfig C;
+    C.Name = "coalesce-all+companions";
+    C.Options.Mode = CoalesceMode::LoadsAndStores;
+    C.Options.OptimizeRecurrences = true;
+    C.Options.ScalarReplace = true;
+    Cfgs.push_back(C);
+  }
+  {
+    // A pinned unroll factor so the trip-count scenarios (0, 3, prime)
+    // straddle exactly the unroll-1 boundary.
+    PipelineConfig C;
+    C.Name = "coalesce-all-u4";
+    C.Options.Mode = CoalesceMode::LoadsAndStores;
+    C.Options.UnrollFactor = 4;
+    Cfgs.push_back(C);
+  }
+  return Cfgs;
+}
+
+namespace {
+
+/// Architectural outcome of one simulated run: everything two runs must
+/// agree on (performance metrics are deliberately excluded).
+struct ArchOutcome {
+  RunResult::Status Exit = RunResult::Status::Ok;
+  int64_t Ret = 0;
+  std::vector<uint8_t> Image; ///< arena live prefix
+  bool TailZero = true;
+  std::string Error;
+};
+
+ArchOutcome runOnce(const Function &F, const TargetMachine &TM,
+                    const KernelSpec &Spec, int64_t N, size_t Skew,
+                    bool Predecode, const OracleOptions &O) {
+  Memory Mem(O.ArenaBytes);
+  std::vector<int64_t> Args = setupKernelMemory(Spec, N, Mem, Skew);
+  InterpreterOptions IO;
+  IO.Predecode = Predecode;
+  IO.MaxSteps = O.MaxInsts;
+  Interpreter Interp(TM, Mem, IO);
+  RunResult R = Interp.run(F, Args);
+  ArchOutcome Out;
+  Out.Exit = R.Exit;
+  Out.Ret = R.ReturnValue;
+  Out.Error = R.Error;
+  size_t Used = Mem.usedBytes();
+  Out.Image.assign(Mem.data(), Mem.data() + Used);
+  for (const uint8_t *P = Mem.data() + Used, *E = Mem.data() + Mem.size();
+       P != E; ++P)
+    if (*P != 0) {
+      Out.TailZero = false;
+      break;
+    }
+  return Out;
+}
+
+bool sameArch(const ArchOutcome &A, const ArchOutcome &B,
+              std::string &Why) {
+  if (A.Exit != B.Exit) {
+    Why = std::string("status ") + runStatusName(A.Exit) + " vs " +
+          runStatusName(B.Exit) + (B.Error.empty() ? "" : " (" + B.Error + ")");
+    return false;
+  }
+  if (A.Exit == RunResult::Status::Ok && A.Ret != B.Ret) {
+    Why = "return " + std::to_string(A.Ret) + " vs " + std::to_string(B.Ret);
+    return false;
+  }
+  if (A.Image != B.Image || A.TailZero != B.TailZero) {
+    Why = "memory image differs";
+    return false;
+  }
+  return true;
+}
+
+FailKind divergenceKind(const ArchOutcome &A, const ArchOutcome &B) {
+  if (A.Exit != B.Exit)
+    return FailKind::StatusDiverged;
+  if (A.Exit == RunResult::Status::Ok && A.Ret != B.Ret)
+    return FailKind::ReturnDiverged;
+  return FailKind::MemoryDiverged;
+}
+
+/// Runs the full target x config x scenario x engine matrix over one
+/// program rendering. \p Make builds a fresh module per compile.
+OracleResult checkProgram(
+    const std::string &Label,
+    const std::function<std::unique_ptr<Module>(std::string &)> &Make,
+    const KernelSpec &Spec, const OracleOptions &O) {
+  OracleResult Res;
+  Res.Program = Label;
+  auto Fail = [&](FailKind K, const std::string &Detail) {
+    Res.Kind = K;
+    Res.Detail = Detail;
+    return Res;
+  };
+
+  std::vector<PipelineConfig> Configs = oracleConfigs();
+  for (const std::string &Target : O.Targets) {
+    Res.Target = Target;
+    TargetMachine TM = makeTargetByName(Target);
+
+    // Compile once per configuration (fresh module each: the pipeline
+    // rewrites in place).
+    std::vector<std::unique_ptr<Module>> Mods;
+    std::vector<Function *> Fns;
+    for (const PipelineConfig &Cfg : Configs) {
+      Res.Config = Cfg.Name;
+      std::string Err;
+      std::unique_ptr<Module> M = Make(Err);
+      if (!M || M->functions().empty())
+        return Fail(FailKind::GeneratorInvalid,
+                    "program did not build: " + Err);
+      Function *F = M->functions().front().get();
+      CompileOptions CO = Cfg.Options;
+      CO.GuardRails = true;
+      if (O.Inject)
+        CO.FaultHook =
+            FaultInjector(O.Inject->AfterPass, O.Inject->Kind,
+                          O.Inject->Seed);
+      CompileReport Rep = compileFunction(*F, TM, CO);
+      if (!Rep.Succeeded || !Rep.Incidents.empty()) {
+        std::string D = "guard rails:";
+        for (const CompileReport::PassIncident &I : Rep.Incidents) {
+          D += " pass=" + I.Pass;
+          if (!I.Diags.empty())
+            D += " (" + I.Diags.front().Message + ")";
+        }
+        if (!Rep.Succeeded)
+          D += " [pipeline stopped]";
+        return Fail(FailKind::CompileIncident, D);
+      }
+      // Verifier cleanliness of the final IR, independent of the guard
+      // rails' own checks.
+      std::vector<Diagnostic> Diags =
+          verifyFunctionDiagnostics(*F, Cfg.Name.c_str());
+      if (!Diags.empty())
+        return Fail(FailKind::CompileIncident,
+                    "post-compile verify: " + Diags.front().Message);
+      Mods.push_back(std::move(M));
+      Fns.push_back(F);
+    }
+    Res.Config.clear();
+
+    for (int64_t N : Spec.TripCounts) {
+      for (size_t Skew : {size_t(0), size_t(3)}) {
+        Res.Scenario =
+            "n" + std::to_string(N) + ".skew" + std::to_string(Skew);
+        // Baseline: the O0 compile on the reference interpreter.
+        Res.Config = Configs[0].Name;
+        Res.Engine = "reference";
+        ArchOutcome Base =
+            runOnce(*Fns[0], TM, Spec, N, Skew, /*Predecode=*/false, O);
+        if (Base.Exit != RunResult::Status::Ok)
+          return Fail(FailKind::GeneratorInvalid,
+                      std::string("baseline run: ") +
+                          runStatusName(Base.Exit) + " " + Base.Error);
+
+        for (size_t I = 0; I < Configs.size(); ++I) {
+          Res.Config = Configs[I].Name;
+          ArchOutcome Pre =
+              runOnce(*Fns[I], TM, Spec, N, Skew, /*Predecode=*/true, O);
+          ArchOutcome Ref =
+              runOnce(*Fns[I], TM, Spec, N, Skew, /*Predecode=*/false, O);
+          std::string Why;
+          // Engine cross-check: the two interpreters must agree exactly,
+          // whatever the pipeline did.
+          ++Res.Comparisons;
+          if (!sameArch(Pre, Ref, Why)) {
+            Res.Engine = "predecode-vs-reference";
+            return Fail(FailKind::EngineDiverged, Why);
+          }
+          ++Res.Comparisons;
+          if (!sameArch(Base, Pre, Why)) {
+            Res.Engine = "predecode";
+            return Fail(divergenceKind(Base, Pre), Why);
+          }
+          ++Res.Comparisons;
+          if (!sameArch(Base, Ref, Why)) {
+            Res.Engine = "reference";
+            return Fail(divergenceKind(Base, Ref), Why);
+          }
+        }
+      }
+    }
+    Res.Config.clear();
+    Res.Scenario.clear();
+    Res.Engine.clear();
+  }
+  Res.Target.clear();
+  return Res;
+}
+
+} // namespace
+
+OracleResult vpo::fuzz::checkKernel(const GeneratedKernel &K,
+                                    const OracleOptions &O) {
+  OracleResult R = checkIRText(K.IRText, K.Spec, O);
+  if (!R.passed())
+    return R;
+  if (O.CheckCSource && !K.CSource.empty()) {
+    OracleResult C = checkProgram(
+        "c",
+        [&](std::string &Err) { return cc::compileC(K.CSource, &Err); },
+        K.Spec, O);
+    C.Comparisons += R.Comparisons;
+    return C;
+  }
+  return R;
+}
+
+OracleResult vpo::fuzz::checkIRText(const std::string &IRText,
+                                    const KernelSpec &Spec,
+                                    const OracleOptions &O) {
+  return checkProgram(
+      "ir",
+      [&](std::string &Err) {
+        std::vector<Diagnostic> Diags;
+        std::unique_ptr<Module> M = parseModule(IRText, Diags);
+        if (!M && !Diags.empty())
+          Err = Diags.front().Message;
+        return M;
+      },
+      Spec, O);
+}

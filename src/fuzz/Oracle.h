@@ -1,0 +1,121 @@
+//===- fuzz/Oracle.h - Multi-oracle differential checker --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's verdict machinery: one generated kernel is compiled under
+/// every pipeline configuration on every requested target, run under both
+/// execution engines over every memory-layout/trip-count scenario, and
+/// each run is compared against the O0 + reference-interpreter baseline.
+/// A disagreement anywhere — exit status, return value, final memory
+/// image, a guard-rail incident, or post-compile verifier noise — fails
+/// the case with a classified FailKind.
+///
+/// The oracle dimensions, per the differential-testing plan:
+///   * {O0 baseline} x {vpo -O, coalesce-loads, coalesce-all,
+///     coalesce-all + companion passes, coalesce-all at UnrollFactor 4}
+///   * {alpha, m88100, m68030}
+///   * {predecoded fast path, reference interpreter}
+///   * memory scenarios that force the run-time checks down *both* the
+///     fast (checks pass) and safe (checks fail) paths: layout skew on
+///     and off, on top of the spec's adjacent/overlapping placements.
+///
+/// An InjectSpec plants a deterministic miscompile (pipeline/
+/// FaultInjection.h) after a named pass in every compile; a healthy
+/// oracle must convert that into FailKind::CompileIncident — this is the
+/// fuzzer's own end-to-end self-test, and the acceptance gate for the
+/// reduction loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_ORACLE_H
+#define VPO_FUZZ_ORACLE_H
+
+#include "fuzz/KernelGen.h"
+#include "pipeline/FaultInjection.h"
+#include "pipeline/Pipeline.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vpo {
+namespace fuzz {
+
+/// Why a case failed. Ordered roughly by where in the pipeline the
+/// divergence surfaced.
+enum class FailKind : uint8_t {
+  None,             ///< all comparisons agreed
+  GeneratorInvalid, ///< harness bug: kernel unparseable or baseline run bad
+  CompileIncident,  ///< guard rails / verifier caught a bad pass output
+  StatusDiverged,   ///< exit status differs from the baseline
+  ReturnDiverged,   ///< return value differs
+  MemoryDiverged,   ///< final memory image differs
+  EngineDiverged,   ///< predecode and reference engines disagree
+  Crashed,          ///< (containment) the case killed its host process
+  TimedOut,         ///< (containment) the case hit the wall-clock deadline
+};
+
+const char *failKindName(FailKind K);
+/// \returns the kind for \p Name, or std::nullopt.
+std::optional<FailKind> failKindFromName(const std::string &Name);
+
+/// \returns the FaultKind for \p Name ("wrong-width", ...), or nullopt.
+std::optional<FaultKind> faultKindFromName(const std::string &Name);
+
+/// A planted miscompile: corrupt the IR after \p AfterPass in every
+/// compile the oracle performs.
+struct InjectSpec {
+  std::string AfterPass; ///< "coalesce", "legalize", "schedule", ...
+  FaultKind Kind = FaultKind::WrongWidth;
+  uint64_t Seed = 0;
+
+  std::string render() const; ///< "pass:kind:seed"
+  static std::optional<InjectSpec> parse(const std::string &Text);
+};
+
+struct OracleOptions {
+  std::vector<std::string> Targets = {"alpha", "m88100", "m68030"};
+  /// Instruction budget per simulated run (watchdog layer 1); a baseline
+  /// run that exhausts it is a harness problem (GeneratorInvalid).
+  uint64_t MaxInsts = 50'000'000;
+  /// Arena size per run; generated kernels touch a few KB.
+  size_t ArenaBytes = size_t(1) << 20;
+  /// Also check the mini-C rendering when the spec has one.
+  bool CheckCSource = true;
+  std::optional<InjectSpec> Inject;
+};
+
+struct OracleResult {
+  FailKind Kind = FailKind::None;
+  std::string Detail;   ///< first divergence, human-readable
+  std::string Program;  ///< "ir" or "c"
+  std::string Target;
+  std::string Config;
+  std::string Scenario; ///< "n13.skew3"
+  std::string Engine;   ///< "predecode" or "reference"
+  unsigned Comparisons = 0; ///< differential comparisons performed
+
+  bool passed() const { return Kind == FailKind::None; }
+  std::string render() const;
+};
+
+/// The pipeline configurations the oracle compiles each kernel under.
+/// Index 0 is the O0 baseline.
+std::vector<PipelineConfig> oracleConfigs();
+
+/// Runs the full oracle stack over \p K.
+OracleResult checkKernel(const GeneratedKernel &K, const OracleOptions &O);
+
+/// Oracle over explicit RTL text with \p Spec supplying the memory layout
+/// and trip counts — the entry point for reduced kernels and corpus
+/// replay, where the text no longer matches what the spec would generate.
+OracleResult checkIRText(const std::string &IRText, const KernelSpec &Spec,
+                         const OracleOptions &O);
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_ORACLE_H

@@ -1,0 +1,229 @@
+//===- fuzz/Reducer.cpp - Delta-debugging test-case reducer -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+
+#include <memory>
+#include <set>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+enum class MutKind : uint8_t {
+  BrToJmp,    ///< collapse a conditional branch to one side
+  DropInst,   ///< delete a non-terminator instruction
+  RetImmZero, ///< return 0 instead of a register
+  ZeroImm,    ///< immediate operand -> 0
+  HalveImm,   ///< immediate operand -> half (toward zero)
+  ZeroDisp,   ///< address displacement -> 0
+  HalveDisp,  ///< address displacement -> half
+};
+
+struct Mutation {
+  MutKind K;
+  size_t Block = 0;
+  size_t Inst = 0;
+  int Slot = 0; ///< BrToJmp: 0 = keep true side, 1 = false side;
+                ///< Zero/HalveImm: 0 = A, 1 = B, 2 = C
+};
+
+Function *firstFunction(Module &M) {
+  return M.functions().empty() ? nullptr : M.functions().front().get();
+}
+
+/// All candidate mutations of \p F, coarse first (branch collapses kill
+/// whole loops, instruction drops one line, immediate shrinks last).
+std::vector<Mutation> enumerate(const Function &F) {
+  std::vector<Mutation> Out;
+  const auto &Blocks = F.blocks();
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    const BasicBlock &BB = *Blocks[B];
+    if (!BB.empty() && BB.terminator().Op == Opcode::Br) {
+      Out.push_back({MutKind::BrToJmp, B, BB.size() - 1, 0});
+      Out.push_back({MutKind::BrToJmp, B, BB.size() - 1, 1});
+    }
+  }
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    const BasicBlock &BB = *Blocks[B];
+    if (BB.empty())
+      continue;
+    // Reverse order: later instructions usually depend on earlier ones,
+    // so deleting from the back succeeds more often.
+    for (size_t I = BB.size() - 1; I-- > 0;)
+      Out.push_back({MutKind::DropInst, B, I, 0});
+    const Instruction &T = BB.terminator();
+    if (T.Op == Opcode::Ret && T.A.isReg())
+      Out.push_back({MutKind::RetImmZero, B, BB.size() - 1, 0});
+  }
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    const BasicBlock &BB = *Blocks[B];
+    for (size_t I = 0; I < BB.size(); ++I) {
+      const Instruction &In = BB.insts()[I];
+      const Operand *Ops[3] = {&In.A, &In.B, &In.C};
+      for (int S = 0; S < 3; ++S) {
+        if (!Ops[S]->isImm())
+          continue;
+        int64_t V = Ops[S]->imm();
+        if (V != 0)
+          Out.push_back({MutKind::ZeroImm, B, I, S});
+        if (V >= 2 || V <= -2)
+          Out.push_back({MutKind::HalveImm, B, I, S});
+      }
+      if (In.Addr.Base.isValid()) {
+        if (In.Addr.Disp != 0)
+          Out.push_back({MutKind::ZeroDisp, B, I, 0});
+        if (In.Addr.Disp >= 2 || In.Addr.Disp <= -2)
+          Out.push_back({MutKind::HalveDisp, B, I, 0});
+      }
+    }
+  }
+  return Out;
+}
+
+/// Deletes blocks unreachable from the entry (collapsed branches strand
+/// them; the printer would still print them).
+void dropUnreachable(Function &F) {
+  if (F.blocks().empty())
+    return;
+  std::set<const BasicBlock *> Reached;
+  std::vector<const BasicBlock *> Work = {F.entry()};
+  while (!Work.empty()) {
+    const BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reached.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Work.push_back(S);
+  }
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F.blocks())
+    if (!Reached.count(BB.get()))
+      Dead.push_back(BB.get());
+  for (BasicBlock *BB : Dead)
+    F.removeBlock(BB);
+}
+
+/// Applies \p M to \p F. \returns false when the mutation no longer fits
+/// the (re-parsed) function shape.
+bool apply(Function &F, const Mutation &M) {
+  if (M.Block >= F.blocks().size())
+    return false;
+  BasicBlock &BB = *F.blocks()[M.Block];
+  if (M.Inst >= BB.size())
+    return false;
+  Instruction &In = BB.insts()[M.Inst];
+  switch (M.K) {
+  case MutKind::BrToJmp: {
+    if (In.Op != Opcode::Br)
+      return false;
+    BasicBlock *Kept = M.Slot == 0 ? In.TrueTarget : In.FalseTarget;
+    if (!Kept)
+      return false;
+    In.Op = Opcode::Jmp;
+    In.A = Operand();
+    In.B = Operand();
+    In.TrueTarget = Kept;
+    In.FalseTarget = nullptr;
+    dropUnreachable(F);
+    return true;
+  }
+  case MutKind::DropInst:
+    if (M.Inst + 1 == BB.size())
+      return false; // never drop the terminator
+    BB.eraseAt(M.Inst);
+    return true;
+  case MutKind::RetImmZero:
+    if (In.Op != Opcode::Ret || !In.A.isReg())
+      return false;
+    In.A = Operand::imm(0);
+    return true;
+  case MutKind::ZeroImm:
+  case MutKind::HalveImm: {
+    Operand *Ops[3] = {&In.A, &In.B, &In.C};
+    Operand &Op = *Ops[M.Slot];
+    if (!Op.isImm())
+      return false;
+    Op = Operand::imm(M.K == MutKind::ZeroImm ? 0 : Op.imm() / 2);
+    return true;
+  }
+  case MutKind::ZeroDisp:
+    In.Addr.Disp = 0;
+    return true;
+  case MutKind::HalveDisp:
+    In.Addr.Disp /= 2;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+size_t vpo::fuzz::countInstructions(const std::string &IRText) {
+  auto M = parseModule(IRText);
+  if (!M)
+    return 0;
+  Function *F = firstFunction(*M);
+  if (!F)
+    return 0;
+  size_t N = 0;
+  for (const auto &BB : F->blocks())
+    N += BB->size();
+  return N;
+}
+
+ReduceResult vpo::fuzz::reduceIRText(
+    const std::string &IRText,
+    const std::function<bool(const std::string &)> &StillInteresting,
+    const ReduceOptions &O) {
+  ReduceResult Res;
+  Res.IRText = IRText;
+  Res.OriginalInsts = countInstructions(IRText);
+  Res.FinalInsts = Res.OriginalInsts;
+  if (Res.OriginalInsts == 0)
+    return Res; // unparseable input: nothing to do
+
+  for (unsigned Sweep = 0; Sweep < O.MaxSweeps; ++Sweep) {
+    bool Progress = false;
+    size_t Idx = 0;
+    while (Res.Probes < O.MaxProbes) {
+      // Enumerate against the current text; after an acceptance the list
+      // shifts, so re-derive it and continue from the same index (the
+      // next unvisited candidate).
+      auto Cur = parseModule(Res.IRText);
+      if (!Cur)
+        break;
+      Function *F = firstFunction(*Cur);
+      if (!F)
+        break;
+      std::vector<Mutation> Cands = enumerate(*F);
+      if (Idx >= Cands.size())
+        break;
+      if (apply(*F, Cands[Idx])) {
+        std::string Cand = printFunction(*F);
+        if (Cand != Res.IRText) {
+          ++Res.Probes;
+          if (StillInteresting(Cand)) {
+            Res.IRText = std::move(Cand);
+            ++Res.Applied;
+            Progress = true;
+            continue; // same Idx, fresh enumeration
+          }
+        }
+      }
+      ++Idx;
+    }
+    if (!Progress || Res.Probes >= O.MaxProbes)
+      break;
+  }
+  Res.FinalInsts = countInstructions(Res.IRText);
+  return Res;
+}

@@ -1,0 +1,59 @@
+//===- fuzz/Reducer.h - Delta-debugging test-case reducer -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over RTL text: parse, apply one structural
+/// mutation, print, and keep the candidate iff the caller's predicate
+/// still classifies it as the same failure. Mutations shrink the kernel
+/// monotonically — drop an instruction, collapse a conditional branch to
+/// one side, delete unreachable blocks, zero or halve an immediate — so
+/// the loop terminates, and every accepted candidate is a well-formed
+/// function (mutations never remove terminators).
+///
+/// The predicate owns the definition of "still interesting" (typically:
+/// the oracle reports the same FailKind) and any containment around
+/// probing it; the reducer itself never executes the kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_REDUCER_H
+#define VPO_FUZZ_REDUCER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace vpo {
+namespace fuzz {
+
+struct ReduceOptions {
+  unsigned MaxSweeps = 8;   ///< full passes over the candidate list
+  unsigned MaxProbes = 4000; ///< total predicate evaluations
+};
+
+struct ReduceResult {
+  std::string IRText;        ///< minimized text (original if nothing held)
+  unsigned Probes = 0;       ///< predicate evaluations spent
+  unsigned Applied = 0;      ///< accepted mutations
+  size_t OriginalInsts = 0;
+  size_t FinalInsts = 0;
+};
+
+/// \returns the instruction count of the first function in \p IRText, or
+/// 0 when it does not parse.
+size_t countInstructions(const std::string &IRText);
+
+/// Minimizes \p IRText while \p StillInteresting holds. The predicate is
+/// never called on the original text (it is assumed interesting).
+ReduceResult
+reduceIRText(const std::string &IRText,
+             const std::function<bool(const std::string &)> &StillInteresting,
+             const ReduceOptions &O = ReduceOptions());
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_REDUCER_H

@@ -1,0 +1,127 @@
+//===- fuzz/Watchdog.cpp - Crash and timeout containment --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_FUZZ_HAS_FORK 1
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VPO_FUZZ_HAS_FORK 0
+#endif
+
+using namespace vpo::fuzz;
+
+bool vpo::fuzz::watchdogCanFork() { return VPO_FUZZ_HAS_FORK != 0; }
+
+#if VPO_FUZZ_HAS_FORK
+
+ContainedOutcome vpo::fuzz::runContained(
+    const std::function<int(int)> &Fn, unsigned TimeoutMs,
+    size_t MaxOutputBytes) {
+  ContainedOutcome Out;
+  int Pipe[2];
+  if (pipe(Pipe) != 0) {
+    Out.K = ContainedOutcome::Kind::ForkUnavailable;
+    return Out;
+  }
+  pid_t Child = fork();
+  if (Child < 0) {
+    close(Pipe[0]);
+    close(Pipe[1]);
+    Out.K = ContainedOutcome::Kind::ForkUnavailable;
+    return Out;
+  }
+  if (Child == 0) {
+    close(Pipe[0]);
+    // _exit, not exit: no atexit handlers or stream flushing in a child
+    // that shares the parent's buffers.
+    _exit(Fn(Pipe[1]) & 0xff);
+  }
+
+  close(Pipe[1]);
+  // Drain the pipe under the deadline. EOF before the deadline means the
+  // child is done (or dead); the final waitpid classifies which.
+  bool Timeout = false;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  while (true) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Deadline - std::chrono::steady_clock::now())
+                    .count();
+    pollfd P{Pipe[0], POLLIN, 0};
+    int R = poll(&P, 1, Left > 0 ? static_cast<int>(Left) : 0);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R == 0) {
+      Timeout = true;
+      break;
+    }
+    char Buf[4096];
+    ssize_t Got = read(Pipe[0], Buf, sizeof(Buf));
+    if (Got <= 0)
+      break; // EOF (or error): the child closed its end
+    if (Out.Output.size() < MaxOutputBytes)
+      Out.Output.append(Buf,
+                        Buf + std::min<size_t>(static_cast<size_t>(Got),
+                                               MaxOutputBytes -
+                                                   Out.Output.size()));
+  }
+  close(Pipe[0]);
+
+  if (Timeout) {
+    kill(Child, SIGKILL);
+    int St = 0;
+    while (waitpid(Child, &St, 0) < 0 && errno == EINTR)
+      ;
+    Out.K = ContainedOutcome::Kind::TimedOut;
+    return Out;
+  }
+  int St = 0;
+  while (waitpid(Child, &St, 0) < 0 && errno == EINTR)
+    ;
+  if (WIFSIGNALED(St)) {
+    Out.K = ContainedOutcome::Kind::Crashed;
+    Out.Signal = WTERMSIG(St);
+  } else {
+    Out.K = ContainedOutcome::Kind::Completed;
+    Out.ExitCode = WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  }
+  return Out;
+}
+
+void vpo::fuzz::writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t W = write(Fd, S.data() + Off, S.size() - Off);
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W <= 0)
+      break;
+    Off += static_cast<size_t>(W);
+  }
+}
+
+#else
+
+ContainedOutcome vpo::fuzz::runContained(const std::function<int(int)> &,
+                                         unsigned, size_t) {
+  ContainedOutcome Out;
+  Out.K = ContainedOutcome::Kind::ForkUnavailable;
+  return Out;
+}
+
+void vpo::fuzz::writeAll(int, const std::string &) {}
+
+#endif

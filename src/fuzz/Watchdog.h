@@ -1,0 +1,66 @@
+//===- fuzz/Watchdog.h - Crash and timeout containment ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs untrusted work (a fuzz case: compile + simulate of generated IR)
+/// in a forked child under a wall-clock deadline, so a crash or hang in
+/// the pipeline kills one case, not the campaign. The child reports its
+/// result through a pipe; the parent classifies the outcome as Completed
+/// (with the child's exit code and pipe output), Crashed (signal number),
+/// or TimedOut (SIGKILL after the deadline).
+///
+/// The interpreter's own instruction budget (InterpreterOptions::MaxSteps)
+/// is the first line of defence against runaway *simulated* code; the
+/// watchdog is the backstop for bugs in the *host* code — an infinite loop
+/// or assertion failure inside a pass.
+///
+/// fork() from a multi-threaded process is not async-signal-safe
+/// territory, so containment is only offered to single-threaded callers;
+/// the campaign runner uses in-process execution when running on a pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_FUZZ_WATCHDOG_H
+#define VPO_FUZZ_WATCHDOG_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace vpo {
+namespace fuzz {
+
+struct ContainedOutcome {
+  enum class Kind : uint8_t {
+    Completed,      ///< child exited; see ExitCode and Output
+    Crashed,        ///< child died on a signal; see Signal
+    TimedOut,       ///< deadline expired; child was SIGKILLed
+    ForkUnavailable ///< platform cannot fork; caller must run inline
+  };
+  Kind K = Kind::Completed;
+  int ExitCode = 0;
+  int Signal = 0;
+  std::string Output; ///< bytes the child wrote to its result pipe
+};
+
+/// \returns true when runContained can actually fork on this platform.
+bool watchdogCanFork();
+
+/// Forks, runs \p Fn in the child (its return value becomes the exit
+/// code; \p WriteFd is the result pipe), and waits at most \p TimeoutMs.
+/// Child output beyond \p MaxOutputBytes is discarded.
+ContainedOutcome runContained(const std::function<int(int WriteFd)> &Fn,
+                              unsigned TimeoutMs,
+                              size_t MaxOutputBytes = size_t(1) << 20);
+
+/// Writes all of \p S to \p Fd (the child side of the result pipe),
+/// retrying short writes. A no-op on platforms without fork.
+void writeAll(int Fd, const std::string &S);
+
+} // namespace fuzz
+} // namespace vpo
+
+#endif // VPO_FUZZ_WATCHDOG_H

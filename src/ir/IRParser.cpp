@@ -24,7 +24,8 @@ public:
       Lines.push_back(trimString(L));
   }
 
-  std::unique_ptr<Module> run(std::string *ErrorMsg) {
+  std::unique_ptr<Module> run(std::string *ErrorMsg,
+                              std::vector<Diagnostic> *Diags) {
     auto M = std::make_unique<Module>();
     while (CurLine < Lines.size()) {
       const std::string &L = Lines[CurLine];
@@ -42,6 +43,9 @@ public:
     if (!Error.empty()) {
       if (ErrorMsg)
         *ErrorMsg = Error;
+      if (Diags)
+        Diags->push_back(Diagnostic(ErrorCode::ParseError, "ir-parser",
+                                    CurFunction, Error));
       return nullptr;
     }
     return M;
@@ -51,6 +55,7 @@ private:
   std::vector<std::string> Lines;
   size_t CurLine = 0;
   std::string Error;
+  std::string CurFunction; ///< name of the function being parsed, if any
 
   void setError(const std::string &Msg) {
     if (Error.empty())
@@ -60,15 +65,19 @@ private:
   static std::optional<unsigned> parseRegToken(const std::string &Tok) {
     if (Tok.size() < 2 || Tok[0] != 'r')
       return std::nullopt;
-    unsigned Id = 0;
+    uint64_t Id = 0;
     for (size_t I = 1; I < Tok.size(); ++I) {
       if (!isdigit(static_cast<unsigned char>(Tok[I])))
         return std::nullopt;
-      Id = Id * 10 + static_cast<unsigned>(Tok[I] - '0');
+      Id = Id * 10 + static_cast<uint64_t>(Tok[I] - '0');
+      // Reject pathological ids instead of letting one corrupt token make
+      // every downstream pass size its register tables by it.
+      if (Id > maxParsedRegId)
+        return std::nullopt;
     }
     if (Id == 0)
       return std::nullopt;
-    return Id;
+    return static_cast<unsigned>(Id);
   }
 
   bool parseFunction(Module &M) {
@@ -82,6 +91,7 @@ private:
       return false;
     }
     std::string Name = Header.substr(NameBegin, Paren - NameBegin);
+    CurFunction = Name;
     Function *F = M.addFunction(Name);
 
     std::string ParamText = Header.substr(Paren + 1, Close - Paren - 1);
@@ -442,5 +452,10 @@ private:
 
 std::unique_ptr<Module> vpo::parseModule(const std::string &Text,
                                          std::string *ErrorMsg) {
-  return Parser(Text).run(ErrorMsg);
+  return Parser(Text).run(ErrorMsg, nullptr);
+}
+
+std::unique_ptr<Module> vpo::parseModule(const std::string &Text,
+                                         std::vector<Diagnostic> &Diags) {
+  return Parser(Text).run(nullptr, &Diags);
 }

@@ -13,8 +13,11 @@
 #ifndef VPO_IR_IRPARSER_H
 #define VPO_IR_IRPARSER_H
 
+#include "support/Diagnostics.h"
+
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace vpo {
 
@@ -24,6 +27,23 @@ class Module;
 /// \p ErrorMsg is non-null, stores a line-numbered diagnostic into it.
 std::unique_ptr<Module> parseModule(const std::string &Text,
                                     std::string *ErrorMsg = nullptr);
+
+/// Structured-diagnostic form for recoverable callers (the fuzzer and the
+/// test-case reducer feed this partial and deliberately broken programs).
+/// On failure returns nullptr and appends ErrorCode::ParseError
+/// diagnostics to \p Diags (Pass = "ir-parser", Function = the function
+/// being parsed when known, Message carries the 1-based line number).
+/// Never aborts on malformed input; pathological register ids are
+/// rejected (see maxParsedRegId) instead of poisoning the allocator
+/// bound that downstream passes size their tables by.
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    std::vector<Diagnostic> &Diags);
+
+/// Largest register id the text parser accepts. Inputs beyond this are
+/// malformed by definition: no generated or printed kernel comes close,
+/// and admitting arbitrary ids would let one corrupt token make every
+/// downstream pass allocate gigabyte-sized register tables.
+constexpr unsigned maxParsedRegId = 1u << 20;
 
 } // namespace vpo
 

@@ -735,6 +735,8 @@ Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem,
 RunResult Interpreter::run(const Function &F,
                            const std::vector<int64_t> &Args,
                            uint64_t MaxSteps) {
+  if (MaxSteps == 0)
+    MaxSteps = Opts.MaxSteps;
   // Verify before executing: the scoreboard and register file index by
   // register id, so running unverified IR (e.g. a register beyond the
   // allocator bound) would be undefined behaviour, not a clean trap.
@@ -768,7 +770,7 @@ RunResult Interpreter::run(const Function &F,
 RunResult Interpreter::run(const DecodedFunction &DF,
                            const std::vector<int64_t> &Args,
                            uint64_t MaxSteps) {
-  return runDecoded(DF, Args, MaxSteps);
+  return runDecoded(DF, Args, MaxSteps == 0 ? Opts.MaxSteps : MaxSteps);
 }
 
 RunResult Interpreter::runReference(const Function &F,

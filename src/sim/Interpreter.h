@@ -101,6 +101,13 @@ struct InterpreterOptions {
   /// as an executable specification and as the --no-predecode escape
   /// hatch; both produce identical results and metrics.
   bool Predecode = true;
+  /// Instruction budget (watchdog): a run that executes this many
+  /// instructions without returning exits with Status::StepLimit. This is
+  /// the first-class form of run()'s MaxSteps parameter, so harnesses
+  /// that execute untrusted or generated kernels (the fuzzer, the bench
+  /// matrix under --max-insts) can bound every run they make without
+  /// threading a limit through each call site.
+  uint64_t MaxSteps = 500'000'000;
 };
 
 class Interpreter {
@@ -110,15 +117,17 @@ public:
 
   /// Runs \p F with \p Args bound to its parameter registers. Verifies
   /// \p F first (malformed input yields Status::MalformedIR, not UB).
+  /// \p MaxSteps overrides the options' instruction budget for this run;
+  /// 0 means "use InterpreterOptions::MaxSteps".
   RunResult run(const Function &F, const std::vector<int64_t> &Args,
-                uint64_t MaxSteps = 500'000'000);
+                uint64_t MaxSteps = 0);
 
   /// Runs an already-predecoded function, skipping verification and
   /// lowering — the repeated-run entry point for sweeps that execute one
   /// compiled kernel many times. The source Function must be unchanged
   /// since predecodeFunction().
   RunResult run(const DecodedFunction &DF, const std::vector<int64_t> &Args,
-                uint64_t MaxSteps = 500'000'000);
+                uint64_t MaxSteps = 0);
 
   const InterpreterOptions &options() const { return Opts; }
 

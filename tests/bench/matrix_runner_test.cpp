@@ -191,6 +191,15 @@ TEST(BenchArgs, DefaultsAndNoJson) {
   EXPECT_EQ(A.JsonPath, "BENCH_mytable.json");
 }
 
+TEST(BenchArgs, ParsesMaxInsts) {
+  const char *Argv[] = {"t", "--max-insts=123456"};
+  BenchArgs A = parseBenchArgs(2, const_cast<char **>(Argv), "t");
+  EXPECT_TRUE(A.Ok);
+  EXPECT_EQ(A.MaxInsts, 123456u);
+  RunnerOptions RO = toRunnerOptions(A);
+  EXPECT_EQ(RO.MaxInsts, 123456u);
+}
+
 TEST(BenchArgs, RejectsUnknownFlag) {
   const char *Argv[] = {"t", "--frobnicate"};
   BenchArgs A = parseBenchArgs(2, const_cast<char **>(Argv), "t");

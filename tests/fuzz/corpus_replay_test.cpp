@@ -1,0 +1,71 @@
+//===- tests/fuzz/corpus_replay_test.cpp - Checked-in repro replay --------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays every minimized repro checked into tests/fuzz/corpus/ under
+// tier-1 ctest: expect=detect entries re-plant their recorded fault and
+// must fail with exactly the recorded kind, expect=match entries must
+// pass the oracle cleanly. Plus unit coverage of the corpus file format
+// itself (render/parse round trip, malformed-header rejection).
+//
+// VPO_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+TEST(CorpusFormat, RenderParseRoundTrip) {
+  CorpusEntry E;
+  E.SpecSeed = 17;
+  E.Kind = FailKind::CompileIncident;
+  E.ExpectDetect = true;
+  E.Inject = InjectSpec{"coalesce", FaultKind::WrongWidth, 7};
+  E.Note = "reduced from 61 instructions";
+  E.IRText = "func @k(r1) {\nentry:\n  ret r1\n}\n";
+
+  CorpusEntry Back;
+  std::string Err;
+  ASSERT_TRUE(parseCorpusEntry(E.render(), Back, Err)) << Err;
+  EXPECT_EQ(Back.SpecSeed, 17u);
+  EXPECT_EQ(Back.Kind, FailKind::CompileIncident);
+  EXPECT_TRUE(Back.ExpectDetect);
+  ASSERT_TRUE(Back.Inject.has_value());
+  EXPECT_EQ(Back.Inject->render(), "coalesce:wrong-width:7");
+  EXPECT_EQ(Back.Note, E.Note);
+  EXPECT_NE(Back.IRText.find("func @k"), std::string::npos);
+}
+
+TEST(CorpusFormat, MalformedHeadersAreRejected) {
+  CorpusEntry E;
+  std::string Err;
+  EXPECT_FALSE(parseCorpusEntry("func @k() {\nentry:\n  ret 0\n}\n", E, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseCorpusEntry(
+      "# fuzz-repro specseed=1 kind=no-such-kind expect=detect\nret 0\n", E,
+      Err));
+}
+
+TEST(CorpusReplay, CheckedInReprosAllReplay) {
+  std::vector<std::string> Files = listCorpusFiles(VPO_FUZZ_CORPUS_DIR);
+  // The corpus ships with the repo; an empty directory here means the
+  // regression net silently unhooked itself.
+  ASSERT_FALSE(Files.empty()) << "no .ir files under " << VPO_FUZZ_CORPUS_DIR;
+  OracleOptions Base; // all three targets, default budgets — as CI runs it
+  for (const std::string &Path : Files) {
+    CorpusEntry E;
+    std::string Err, Why;
+    ASSERT_TRUE(loadCorpusFile(Path, E, Err)) << Err;
+    EXPECT_TRUE(replayCorpusEntry(E, Base, Why)) << Path << ": " << Why;
+  }
+}
+
+} // namespace

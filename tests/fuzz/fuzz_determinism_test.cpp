@@ -1,0 +1,100 @@
+//===- tests/fuzz/fuzz_determinism_test.cpp - Seed determinism ------------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The campaign-level determinism guarantee: one campaign seed fully
+// determines every per-case kernel and verdict, and the report is
+// byte-identical at any worker-thread count — so a failure seen in CI's
+// parallel run replays exactly under --threads=1 on a laptop. Also
+// covers the containment-pipe serialization, whose round-trip fidelity
+// the fork-contained executor depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+TEST(Determinism, CaseSeedsAreStableAndSpread) {
+  std::set<uint64_t> Seen;
+  for (unsigned I = 0; I < 64; ++I) {
+    uint64_t S = caseSeed(42, I);
+    EXPECT_EQ(S, caseSeed(42, I));
+    Seen.insert(S);
+  }
+  EXPECT_EQ(Seen.size(), 64u); // neighbouring indices: unrelated kernels
+  EXPECT_NE(caseSeed(42, 0), caseSeed(43, 0));
+}
+
+CampaignOptions smallCampaign(unsigned Threads) {
+  CampaignOptions O;
+  O.Seed = 11;
+  O.Cases = 6;
+  O.Threads = Threads;
+  O.Oracle.Targets = {"alpha"};
+  return O;
+}
+
+TEST(Determinism, SummaryIsIdenticalAcrossThreadCounts) {
+  CampaignReport One = runCampaign(smallCampaign(1));
+  CampaignReport Three = runCampaign(smallCampaign(3));
+  EXPECT_EQ(One.summary(), Three.summary());
+  ASSERT_EQ(One.Outcomes.size(), Three.Outcomes.size());
+  for (size_t I = 0; I < One.Outcomes.size(); ++I) {
+    EXPECT_EQ(One.Outcomes[I].Seed, Three.Outcomes[I].Seed);
+    EXPECT_EQ(One.Outcomes[I].Result.Kind, Three.Outcomes[I].Result.Kind);
+    EXPECT_EQ(One.Outcomes[I].Result.Comparisons,
+              Three.Outcomes[I].Result.Comparisons);
+  }
+}
+
+TEST(Determinism, InjectedCampaignIsDeterministicToo) {
+  CampaignOptions A = smallCampaign(1);
+  A.Cases = 3;
+  A.Oracle.Inject = InjectSpec{"coalesce", FaultKind::WrongWidth, 7};
+  CampaignOptions B = A;
+  B.Threads = 2;
+  CampaignReport RA = runCampaign(A);
+  CampaignReport RB = runCampaign(B);
+  EXPECT_EQ(RA.summary(), RB.summary());
+  EXPECT_EQ(RA.failures(), 3u); // every case must be caught
+  EXPECT_EQ(RA.harnessProblems(), 0u);
+}
+
+TEST(Determinism, OracleResultSerializationRoundTrips) {
+  OracleResult R;
+  R.Kind = FailKind::MemoryDiverged;
+  R.Detail = "byte 12 differs\nacross two lines";
+  R.Program = "ir";
+  R.Target = "m88100";
+  R.Config = "coalesce-all";
+  R.Scenario = "n13.skew3";
+  R.Engine = "predecode";
+  R.Comparisons = 99;
+
+  OracleResult Back;
+  ASSERT_TRUE(deserializeOracleResult(serializeOracleResult(R), Back));
+  EXPECT_EQ(Back.Kind, R.Kind);
+  EXPECT_EQ(Back.Program, R.Program);
+  EXPECT_EQ(Back.Target, R.Target);
+  EXPECT_EQ(Back.Config, R.Config);
+  EXPECT_EQ(Back.Scenario, R.Scenario);
+  EXPECT_EQ(Back.Engine, R.Engine);
+  EXPECT_EQ(Back.Comparisons, R.Comparisons);
+  // Newlines are flattened for the line-oriented pipe format; content
+  // must otherwise survive.
+  EXPECT_NE(Back.Detail.find("byte 12 differs"), std::string::npos);
+
+  OracleResult Junk;
+  EXPECT_FALSE(deserializeOracleResult("not a result", Junk));
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/fuzz/oracle_test.cpp - Differential oracle tests -------------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The oracle's two obligations: stay quiet on a healthy pipeline (no
+// false positives over a seed range), and bite on every class of planted
+// miscompile (no false negatives). The second half is the fuzzer's
+// end-to-end self-test — inject each FaultKind after the coalesce pass
+// and require a CompileIncident verdict, which proves the guard-rail /
+// verifier layer actually sits between a buggy pass and the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+OracleOptions fastOptions() {
+  OracleOptions O;
+  O.Targets = {"alpha"}; // strictest alignment; keep unit runtime low
+  return O;
+}
+
+TEST(Oracle, CleanSeedsPassOnAlpha) {
+  OracleOptions O = fastOptions();
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    OracleResult R = checkKernel(generateKernel(Seed), O);
+    EXPECT_TRUE(R.passed()) << "seed " << Seed << ": " << R.render();
+    EXPECT_GT(R.Comparisons, 0u) << "seed " << Seed;
+  }
+}
+
+TEST(Oracle, CleanSeedPassesOnAllTargets) {
+  OracleOptions O; // default: alpha, m88100, m68030
+  OracleResult R = checkKernel(generateKernel(7), O);
+  EXPECT_TRUE(R.passed()) << R.render();
+}
+
+TEST(Oracle, EveryPlantedFaultKindIsCaught) {
+  const FaultKind Kinds[] = {FaultKind::WrongWidth, FaultKind::ClobberedBase,
+                             FaultKind::DroppedCheck,
+                             FaultKind::MissingOperand, FaultKind::EmptyBlock};
+  // Every generated kernel has memory references, a loop branch, and ALU
+  // address arithmetic, so each kind has an injection site.
+  GeneratedKernel K = generateKernel(3);
+  for (FaultKind Kind : Kinds) {
+    OracleOptions O = fastOptions();
+    O.Inject = InjectSpec{"coalesce", Kind, 7};
+    OracleResult R = checkKernel(K, O);
+    EXPECT_EQ(R.Kind, FailKind::CompileIncident)
+        << faultKindName(Kind) << ": " << R.render();
+  }
+}
+
+TEST(Oracle, PlantedFaultCaughtAcrossSeeds) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    OracleOptions O = fastOptions();
+    O.Inject = InjectSpec{"coalesce", FaultKind::WrongWidth, Seed};
+    OracleResult R = checkKernel(generateKernel(Seed), O);
+    EXPECT_EQ(R.Kind, FailKind::CompileIncident)
+        << "seed " << Seed << ": " << R.render();
+  }
+}
+
+TEST(Oracle, ExhaustedBudgetIsAHarnessProblem) {
+  OracleOptions O = fastOptions();
+  O.MaxInsts = 20; // below any non-trivial trip count's cost
+  OracleResult R = checkKernel(generateKernel(1), O);
+  EXPECT_EQ(R.Kind, FailKind::GeneratorInvalid) << R.render();
+}
+
+TEST(Oracle, InjectSpecParseRenderRoundTrip) {
+  auto I = InjectSpec::parse("coalesce:wrong-width:7");
+  ASSERT_TRUE(I.has_value());
+  EXPECT_EQ(I->AfterPass, "coalesce");
+  EXPECT_EQ(I->Kind, FaultKind::WrongWidth);
+  EXPECT_EQ(I->Seed, 7u);
+  EXPECT_EQ(I->render(), "coalesce:wrong-width:7");
+
+  EXPECT_FALSE(InjectSpec::parse("").has_value());
+  EXPECT_FALSE(InjectSpec::parse("coalesce").has_value());
+  EXPECT_FALSE(InjectSpec::parse("coalesce:no-such-kind:7").has_value());
+}
+
+TEST(Oracle, FailKindNamesRoundTrip) {
+  const FailKind Kinds[] = {
+      FailKind::None,           FailKind::GeneratorInvalid,
+      FailKind::CompileIncident, FailKind::StatusDiverged,
+      FailKind::ReturnDiverged, FailKind::MemoryDiverged,
+      FailKind::EngineDiverged, FailKind::Crashed,
+      FailKind::TimedOut};
+  for (FailKind K : Kinds) {
+    auto Back = failKindFromName(failKindName(K));
+    ASSERT_TRUE(Back.has_value()) << failKindName(K);
+    EXPECT_EQ(*Back, K);
+  }
+  EXPECT_FALSE(failKindFromName("bogus").has_value());
+}
+
+TEST(Oracle, ConfigListShapedForDifferentialTesting) {
+  std::vector<PipelineConfig> Configs = oracleConfigs();
+  ASSERT_GE(Configs.size(), 4u);
+  // Index 0 is the baseline every other configuration is compared to.
+  EXPECT_EQ(Configs[0].Options.Mode, CoalesceMode::None);
+  bool SawUnroll4 = false;
+  for (const PipelineConfig &C : Configs)
+    if (C.Options.UnrollFactor == 4)
+      SawUnroll4 = true;
+  // The trip-count biases (3 = unroll-1) only pay off if some config
+  // actually unrolls by 4.
+  EXPECT_TRUE(SawUnroll4);
+}
+
+} // namespace

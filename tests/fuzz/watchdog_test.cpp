@@ -1,0 +1,94 @@
+//===- tests/fuzz/watchdog_test.cpp - Containment layer tests -------------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fork/deadline containment the fuzz driver wraps around each case.
+// Exercises all three child fates — clean exit (code and pipe output
+// preserved), death by signal, and deadline expiry — plus the output cap
+// and the chatty-child case, where partial reads must not extend the
+// deadline. Skipped wholesale on platforms without fork, mirroring the
+// driver's own fallback.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Watchdog.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+#define SKIP_WITHOUT_FORK()                                                    \
+  do {                                                                         \
+    if (!watchdogCanFork())                                                    \
+      GTEST_SKIP() << "platform cannot fork";                                  \
+  } while (0)
+
+TEST(Watchdog, CompletedChildReportsExitCodeAndOutput) {
+  SKIP_WITHOUT_FORK();
+  ContainedOutcome O = runContained(
+      [](int WriteFd) {
+        writeAll(WriteFd, "hello from the child");
+        return 7;
+      },
+      /*TimeoutMs=*/10000);
+  EXPECT_EQ(O.K, ContainedOutcome::Kind::Completed);
+  EXPECT_EQ(O.ExitCode, 7);
+  EXPECT_EQ(O.Output, "hello from the child");
+}
+
+TEST(Watchdog, CrashingChildIsClassifiedNotPropagated) {
+  SKIP_WITHOUT_FORK();
+  ContainedOutcome O = runContained(
+      [](int) -> int {
+        std::abort(); // the bug class containment exists for
+      },
+      /*TimeoutMs=*/10000);
+  EXPECT_EQ(O.K, ContainedOutcome::Kind::Crashed);
+  EXPECT_NE(O.Signal, 0);
+}
+
+TEST(Watchdog, HangingChildHitsTheDeadline) {
+  SKIP_WITHOUT_FORK();
+  ContainedOutcome O = runContained(
+      [](int) -> int {
+        volatile unsigned X = 1;
+        while (X) // host-code hang: the interpreter budget can't help
+          X = X * 3 + 1;
+        return 0;
+      },
+      /*TimeoutMs=*/200);
+  EXPECT_EQ(O.K, ContainedOutcome::Kind::TimedOut);
+}
+
+TEST(Watchdog, ChattyChildCannotExtendItsDeadline) {
+  SKIP_WITHOUT_FORK();
+  // A child that hangs *while producing output* must still be killed:
+  // the deadline is absolute, not reset per read.
+  ContainedOutcome O = runContained(
+      [](int WriteFd) -> int {
+        for (;;)
+          writeAll(WriteFd, "still alive\n");
+      },
+      /*TimeoutMs=*/200);
+  EXPECT_EQ(O.K, ContainedOutcome::Kind::TimedOut);
+}
+
+TEST(Watchdog, OutputBeyondCapIsDiscarded) {
+  SKIP_WITHOUT_FORK();
+  ContainedOutcome O = runContained(
+      [](int WriteFd) {
+        writeAll(WriteFd, std::string(4096, 'x'));
+        return 0;
+      },
+      /*TimeoutMs=*/10000, /*MaxOutputBytes=*/64);
+  EXPECT_EQ(O.K, ContainedOutcome::Kind::Completed);
+  EXPECT_LE(O.Output.size(), 64u);
+}
+
+} // namespace

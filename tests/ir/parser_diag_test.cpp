@@ -1,0 +1,132 @@
+//===- tests/ir/parser_diag_test.cpp - Structured parser diagnostics ------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Negative-input coverage for the recoverable parseModule overload: the
+// fuzzer and the test-case reducer feed the parser deliberately broken
+// programs, so malformed input must produce a structured ParseError
+// diagnostic (pass "ir-parser", the enclosing function when known, a
+// line number in the message) — never an abort — and pathological
+// register ids must be rejected rather than poisoning regUpperBound().
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+/// Parses \p Text expecting failure; returns the first diagnostic.
+Diagnostic expectParseError(const std::string &Text) {
+  std::vector<Diagnostic> Diags;
+  std::unique_ptr<Module> M = parseModule(Text, Diags);
+  EXPECT_EQ(M, nullptr) << "input unexpectedly parsed:\n" << Text;
+  if (Diags.empty())
+    return Diagnostic();
+  EXPECT_EQ(Diags[0].Code, ErrorCode::ParseError);
+  EXPECT_EQ(Diags[0].Pass, "ir-parser");
+  return Diags[0];
+}
+
+TEST(ParserDiag, ValidInputYieldsNoDiagnostics) {
+  std::vector<Diagnostic> Diags;
+  std::unique_ptr<Module> M = parseModule("func @f(r1) {\n"
+                                          "entry:\n"
+                                          "  ret r1\n"
+                                          "}\n",
+                                          Diags);
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(Diags.empty());
+  EXPECT_NE(M->findFunction("f"), nullptr);
+}
+
+TEST(ParserDiag, GarbageInput) {
+  Diagnostic D = expectParseError("this is not RTL at all");
+  EXPECT_NE(D.Message.find("1"), std::string::npos) << D.render();
+}
+
+TEST(ParserDiag, UnknownMnemonic) {
+  Diagnostic D = expectParseError("func @f(r1) {\n"
+                                  "entry:\n"
+                                  "  r2 = frobnicate r1, 1\n"
+                                  "  ret r2\n"
+                                  "}\n");
+  // The function being parsed is attributed so a fuzz log names the
+  // kernel, not just a line.
+  EXPECT_EQ(D.Function, "f") << D.render();
+  EXPECT_NE(D.Message.find("3"), std::string::npos) << D.render();
+}
+
+TEST(ParserDiag, MalformedOperand) {
+  Diagnostic D = expectParseError("func @f(r1) {\n"
+                                  "entry:\n"
+                                  "  r2 = add r1, @bogus\n"
+                                  "  ret r2\n"
+                                  "}\n");
+  EXPECT_EQ(D.Function, "f") << D.render();
+}
+
+TEST(ParserDiag, TruncatedFunction) {
+  expectParseError("func @f(r1) {\n"
+                   "entry:\n"
+                   "  ret r1\n");
+}
+
+TEST(ParserDiag, BranchToUndefinedLabel) {
+  expectParseError("func @f(r1) {\n"
+                   "entry:\n"
+                   "  br.lts r1, 0, nowhere, alsonowhere\n"
+                   "}\n");
+}
+
+TEST(ParserDiag, PathologicalRegisterIdRejected) {
+  // Admitting r4294967290 would make every downstream pass size its
+  // register tables by it; the parser rejects ids past maxParsedRegId.
+  expectParseError("func @f(r1) {\n"
+                   "entry:\n"
+                   "  r4294967290 = add r1, 1\n"
+                   "  ret 0\n"
+                   "}\n");
+  // Just inside the bound still parses.
+  std::string Ok = "func @f(r1) {\n"
+                   "entry:\n"
+                   "  r" +
+                   std::to_string(maxParsedRegId) +
+                   " = add r1, 1\n"
+                   "  ret 0\n"
+                   "}\n";
+  std::vector<Diagnostic> Diags;
+  EXPECT_NE(parseModule(Ok, Diags), nullptr);
+}
+
+TEST(ParserDiag, LegacyStringOverloadStillReports) {
+  std::string Err;
+  EXPECT_EQ(parseModule("func @f(r1) {", &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ParserDiag, MultipleBrokenFunctionsAttributedSeparately) {
+  std::vector<Diagnostic> Diags;
+  std::unique_ptr<Module> M = parseModule("func @good(r1) {\n"
+                                          "e:\n"
+                                          "  ret r1\n"
+                                          "}\n"
+                                          "func @bad(r1) {\n"
+                                          "e:\n"
+                                          "  r2 = add r1,\n"
+                                          "  ret r2\n"
+                                          "}\n",
+                                          Diags);
+  EXPECT_EQ(M, nullptr);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags[0].Function, "bad") << Diags[0].render();
+}
+
+} // namespace

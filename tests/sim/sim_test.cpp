@@ -348,6 +348,34 @@ TEST(Interpreter, StepLimit) {
   EXPECT_EQ(R.Instructions, 1000u);
 }
 
+TEST(Interpreter, OptionsInstructionBudget) {
+  // The budget as a first-class option: every run made by this
+  // interpreter is bounded without threading MaxSteps through call
+  // sites (how the fuzzer and --max-insts harnesses use it).
+  Memory Mem;
+  TargetMachine TM = makeAlphaTarget();
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\n"
+                       "e:\n"
+                       "  jmp e\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  InterpreterOptions Opts;
+  Opts.MaxSteps = 250;
+  for (bool Predecode : {true, false}) {
+    Opts.Predecode = Predecode;
+    Interpreter I(TM, Mem, Opts);
+    RunResult R = I.run(*M->functions().front(), {0});
+    EXPECT_EQ(R.Exit, RunResult::Status::StepLimit) << Predecode;
+    EXPECT_EQ(R.Instructions, 250u) << Predecode;
+    // An explicit per-run limit still overrides the option.
+    RunResult R2 = I.run(*M->functions().front(), {0}, /*MaxSteps=*/10);
+    EXPECT_EQ(R2.Exit, RunResult::Status::StepLimit) << Predecode;
+    EXPECT_EQ(R2.Instructions, 10u) << Predecode;
+  }
+}
+
 TEST(Interpreter, OutOfBounds) {
   RunResult R = runText("func @f(r1) {\n"
                         "e:\n"

@@ -1,0 +1,269 @@
+//===- tools/fuzz_coalesce.cpp - Differential fuzzing driver ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the fuzzing subsystem (src/fuzz/):
+///
+///   fuzz_coalesce --seed=1 --cases=1000            # hunt
+///   fuzz_coalesce --inject=coalesce:wrong-width:7 --cases=3
+///                                                  # prove the oracle bites
+///   fuzz_coalesce --replay=tests/fuzz/corpus       # regression replay
+///
+/// In the default hunt mode every failing case is delta-reduced and
+/// written to --corpus-dir as a self-describing `.ir` repro (the file CI
+/// uploads as an artifact); the exit code is the number of genuine
+/// failures, clamped to 125. With --inject the expectation flips: every
+/// case must be *caught* (FailKind::CompileIncident), the first catch is
+/// reduced, and an expect=detect repro is written.
+///
+/// Containment: single-threaded runs fork per case (fuzz/Watchdog.h), so
+/// a crash or hang in the pipeline costs one case. --threads=N>1 or
+/// --no-fork switches to in-process execution, where the interpreter's
+/// instruction budget (--max-insts) is the only watchdog.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Reducer.h"
+#include "fuzz/Watchdog.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace vpo;
+using namespace vpo::fuzz;
+
+namespace {
+
+struct DriverArgs {
+  uint64_t Seed = 1;
+  unsigned Cases = 100;
+  unsigned Threads = 1;
+  unsigned TimeoutMs = 20000;
+  uint64_t MaxInsts = 50'000'000;
+  bool Fork = true;
+  bool Reduce = true;
+  std::vector<std::string> Targets = {"alpha", "m88100", "m68030"};
+  std::string CorpusDir = "fuzz-repros";
+  std::string ReplayPath;
+  std::string Inject;
+  bool Ok = true;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed=N] [--cases=N] [--threads=N] [--targets=a,b]\n"
+      "          [--timeout-ms=N] [--max-insts=N] [--no-fork]\n"
+      "          [--no-reduce] [--corpus-dir=PATH]\n"
+      "          [--inject=pass:kind:seed] [--replay=FILE_OR_DIR]\n",
+      Argv0);
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t C = S.find(',', Pos);
+    if (C == std::string::npos)
+      C = S.size();
+    if (C > Pos)
+      Out.push_back(S.substr(Pos, C - Pos));
+    Pos = C + 1;
+  }
+  return Out;
+}
+
+DriverArgs parseArgs(int Argc, char **Argv) {
+  DriverArgs A;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string S = Argv[I];
+    auto Val = [&](const char *Prefix) {
+      return S.substr(std::strlen(Prefix));
+    };
+    if (S.rfind("--seed=", 0) == 0) {
+      A.Seed = std::strtoull(Val("--seed=").c_str(), nullptr, 10);
+    } else if (S.rfind("--cases=", 0) == 0) {
+      A.Cases = static_cast<unsigned>(
+          std::strtoul(Val("--cases=").c_str(), nullptr, 10));
+    } else if (S.rfind("--threads=", 0) == 0) {
+      A.Threads = static_cast<unsigned>(
+          std::strtoul(Val("--threads=").c_str(), nullptr, 10));
+    } else if (S.rfind("--timeout-ms=", 0) == 0) {
+      A.TimeoutMs = static_cast<unsigned>(
+          std::strtoul(Val("--timeout-ms=").c_str(), nullptr, 10));
+    } else if (S.rfind("--max-insts=", 0) == 0) {
+      A.MaxInsts = std::strtoull(Val("--max-insts=").c_str(), nullptr, 10);
+    } else if (S.rfind("--targets=", 0) == 0) {
+      A.Targets = splitCommas(Val("--targets="));
+    } else if (S == "--no-fork") {
+      A.Fork = false;
+    } else if (S == "--no-reduce") {
+      A.Reduce = false;
+    } else if (S.rfind("--corpus-dir=", 0) == 0) {
+      A.CorpusDir = Val("--corpus-dir=");
+    } else if (S.rfind("--inject=", 0) == 0) {
+      A.Inject = Val("--inject=");
+    } else if (S.rfind("--replay=", 0) == 0) {
+      A.ReplayPath = Val("--replay=");
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", S.c_str());
+      usage(Argv[0]);
+      A.Ok = false;
+      return A;
+    }
+  }
+  return A;
+}
+
+OracleOptions oracleOptions(const DriverArgs &A) {
+  OracleOptions O;
+  O.Targets = A.Targets;
+  O.MaxInsts = A.MaxInsts;
+  if (!A.Inject.empty()) {
+    auto I = InjectSpec::parse(A.Inject);
+    if (I)
+      O.Inject = *I;
+  }
+  return O;
+}
+
+/// Reduces a failing case to the smallest kernel with the same verdict
+/// and writes it to the corpus directory. Probes run against only the
+/// failing target to keep the loop fast, and each probe inherits the
+/// interpreter budget, so a mutation that loops forever self-limits.
+void reduceAndWrite(const DriverArgs &A, const CaseOutcome &C,
+                    const OracleOptions &Base) {
+  GeneratedKernel K = generateKernel(C.Seed);
+  OracleOptions Probe = Base;
+  Probe.CheckCSource = false; // reduce the IR rendering only
+  if (!C.Result.Target.empty())
+    Probe.Targets = {C.Result.Target};
+  FailKind Want = C.Result.Kind;
+  ReduceResult R = reduceIRText(
+      K.IRText,
+      [&](const std::string &Cand) {
+        return checkIRText(Cand, K.Spec, Probe).Kind == Want;
+      });
+
+  std::error_code EC;
+  std::filesystem::create_directories(A.CorpusDir, EC);
+  CorpusEntry E;
+  E.SpecSeed = C.Seed;
+  E.Kind = Want;
+  E.ExpectDetect = Base.Inject.has_value();
+  E.Inject = Base.Inject;
+  E.Note = "reduced " + std::to_string(R.OriginalInsts) + " -> " +
+           std::to_string(R.FinalInsts) + " instructions (" +
+           std::to_string(R.Probes) + " probes); " + C.Result.render();
+  E.IRText = R.IRText;
+  std::string Path = A.CorpusDir + "/seed" + std::to_string(C.Seed) + "-" +
+                     failKindName(Want) + ".ir";
+  if (writeCorpusFile(Path, E))
+    std::printf("  reduced %zu -> %zu instructions, wrote %s\n",
+                R.OriginalInsts, R.FinalInsts, Path.c_str());
+  else
+    std::printf("  failed to write %s\n", Path.c_str());
+}
+
+int runReplay(const DriverArgs &A) {
+  std::vector<std::string> Files;
+  if (std::filesystem::is_directory(A.ReplayPath))
+    Files = listCorpusFiles(A.ReplayPath);
+  else
+    Files.push_back(A.ReplayPath);
+  if (Files.empty()) {
+    std::fprintf(stderr, "no .ir corpus files under %s\n",
+                 A.ReplayPath.c_str());
+    return 2;
+  }
+  OracleOptions Base = oracleOptions(A);
+  int Failures = 0;
+  for (const std::string &F : Files) {
+    CorpusEntry E;
+    std::string Err, Why;
+    if (!loadCorpusFile(F, E, Err)) {
+      std::printf("ERROR %s\n", Err.c_str());
+      ++Failures;
+      continue;
+    }
+    if (replayCorpusEntry(E, Base, Why)) {
+      std::printf("PASS  %s\n", F.c_str());
+    } else {
+      std::printf("FAIL  %s: %s\n", F.c_str(), Why.c_str());
+      ++Failures;
+    }
+  }
+  std::printf("%d/%zu replays failed\n", Failures, Files.size());
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverArgs A = parseArgs(Argc, Argv);
+  if (!A.Ok)
+    return 2;
+  if (!A.Inject.empty() && !InjectSpec::parse(A.Inject)) {
+    std::fprintf(stderr,
+                 "malformed --inject '%s' (want pass:kind:seed, e.g. "
+                 "coalesce:wrong-width:7)\n",
+                 A.Inject.c_str());
+    return 2;
+  }
+  if (!A.ReplayPath.empty())
+    return runReplay(A);
+
+  CampaignOptions CO;
+  CO.Seed = A.Seed;
+  CO.Cases = A.Cases;
+  CO.Threads = A.Threads;
+  CO.Oracle = oracleOptions(A);
+  const bool Contained =
+      A.Fork && A.Threads == 1 && A.TimeoutMs > 0 && watchdogCanFork();
+  if (Contained)
+    CO.Executor = makeContainedExecutor(A.TimeoutMs);
+
+  std::printf("fuzz_coalesce: seed=%llu cases=%u targets=%zu %s%s\n",
+              static_cast<unsigned long long>(A.Seed), A.Cases,
+              CO.Oracle.Targets.size(),
+              Contained ? "fork-contained" : "in-process",
+              CO.Oracle.Inject
+                  ? (" inject=" + CO.Oracle.Inject->render()).c_str()
+                  : "");
+  CampaignReport Report = runCampaign(CO);
+  std::fputs(Report.summary().c_str(), stdout);
+
+  if (CO.Oracle.Inject) {
+    // Self-test mode: the planted miscompile must be caught everywhere.
+    unsigned Caught = 0;
+    const CaseOutcome *First = nullptr;
+    for (const CaseOutcome &C : Report.Outcomes)
+      if (C.Result.Kind == FailKind::CompileIncident) {
+        ++Caught;
+        if (!First)
+          First = &C;
+      }
+    std::printf("planted fault caught in %u/%zu cases\n", Caught,
+                Report.Outcomes.size());
+    if (First && A.Reduce)
+      reduceAndWrite(A, *First, CO.Oracle);
+    return Caught == Report.Outcomes.size() ? 0 : 1;
+  }
+
+  unsigned Failures = Report.failures();
+  if (Failures && A.Reduce)
+    for (const CaseOutcome &C : Report.Outcomes)
+      if (!C.Result.passed() && !C.Contained &&
+          C.Result.Kind != FailKind::GeneratorInvalid)
+        reduceAndWrite(A, C, CO.Oracle);
+  return Failures > 125 ? 125 : static_cast<int>(Failures);
+}
