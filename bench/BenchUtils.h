@@ -46,6 +46,9 @@ struct Measurement {
   uint64_t CacheMisses = 0;
   bool Verified = false;
   CoalesceStats Coalesce;
+  /// Per-pass compile-time profile (empty unless
+  /// MeasureOptions::ProfilePasses).
+  std::vector<CompileReport::PassProfile> Passes;
 };
 
 struct MeasureOptions {
@@ -61,6 +64,13 @@ struct MeasureOptions {
   /// StepLimit and the cell reports Verified = false instead of hanging
   /// the matrix.
   uint64_t MaxInsts = 0;
+  /// Telemetry: optimization remarks from this cell's compile land here
+  /// (null = off, the default). Strictly read-only — measurements are
+  /// identical with any sink or none.
+  RemarkSink *Remarks = nullptr;
+  /// Time each pipeline pass into Measurement::Passes (for the Chrome
+  /// trace export).
+  bool ProfilePasses = false;
 };
 
 /// \returns true if every byte in [Begin, End) is zero.
@@ -110,8 +120,12 @@ inline Measurement measureCell(const Workload &W, const TargetMachine &TM,
   GoldenHigh = Used;
   int64_t ExpectedRet = W.golden(Golden.data(), SO, S);
 
-  CompileReport Report = compileFunction(*F, TM, CO);
+  CompileOptions EffCO = CO;
+  EffCO.Remarks = MO.Remarks;
+  EffCO.ProfilePasses = MO.ProfilePasses;
+  CompileReport Report = compileFunction(*F, TM, EffCO);
   M.Coalesce = Report.Coalesce;
+  M.Passes = std::move(Report.Passes);
 
   InterpreterOptions IO;
   IO.Predecode = MO.Predecode;

@@ -6,11 +6,14 @@
 
 #include "MatrixRunner.h"
 
+#include "support/Remark.h"
+
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 using namespace vpo;
@@ -113,10 +116,13 @@ BenchReport MatrixRunner::run(const std::string &Name,
     Threads = Specs.empty() ? 1 : static_cast<unsigned>(Specs.size());
   Report.Threads = Threads;
 
+  bool CollectRemarks = Opts.CollectRemarks || !Opts.RemarksDir.empty();
+
   // Work queue: an atomic cursor over the spec list. Results are written
   // by index, so completion order never shows in the output.
+  auto Start = std::chrono::steady_clock::now();
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  auto Worker = [&](unsigned WorkerId) {
     while (true) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Specs.size())
@@ -129,11 +135,20 @@ BenchReport MatrixRunner::run(const std::string &Name,
       MO.Predecode = Opts.Predecode;
       MO.StaticParams = Spec.StaticParams;
       MO.MaxInsts = Opts.MaxInsts;
+      MO.ProfilePasses = Opts.ProfilePasses;
+      CollectingRemarkSink Sink;
+      if (CollectRemarks)
+        MO.Remarks = &Sink;
       CellResult &Out = Report.Cells[I];
       Out.Workload = Spec.Workload;
       Out.Config = Spec.Config;
       Out.Target = Spec.TM->name();
+      Out.Worker = WorkerId;
+      Out.StartSeconds =
+          std::chrono::duration<double>(T0 - Start).count();
       Out.M = measureCell(*W, *Spec.TM, Spec.Options, Spec.Setup, MO);
+      if (CollectRemarks)
+        Out.Remarks = Sink.toJsonLines();
       Out.WallSeconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         T0)
@@ -141,18 +156,102 @@ BenchReport MatrixRunner::run(const std::string &Name,
     }
   };
 
-  auto Start = std::chrono::steady_clock::now();
   std::vector<std::thread> Pool;
   Pool.reserve(Threads - 1);
   for (unsigned T = 1; T < Threads; ++T)
-    Pool.emplace_back(Worker);
-  Worker(); // the calling thread is pool member zero
+    Pool.emplace_back(Worker, T);
+  Worker(0); // the calling thread is pool member zero
   for (std::thread &T : Pool)
     T.join();
   Report.TotalWallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+
+  // Remark files are written after the join, walking cells in submission
+  // order, so names and contents never depend on the thread count.
+  if (!Opts.RemarksDir.empty() &&
+      !writeRemarkFiles(Report, Opts.RemarksDir))
+    std::fprintf(stderr, "warning: failed to write remark files to %s\n",
+                 Opts.RemarksDir.c_str());
   return Report;
+}
+
+bool vpo::bench::writeRemarkFiles(const BenchReport &Report,
+                                  const std::string &Dir) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return false;
+  for (size_t I = 0; I < Report.Cells.size(); ++I) {
+    const CellResult &C = Report.Cells[I];
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "cell-%03zu.ndjson", I);
+    std::string Path = Dir + "/" + Name;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    // First line: a descriptor tying the file back to its matrix cell,
+    // with the cell's coalesce counters; then the remark stream.
+    std::string Desc = "{\"cell\":" + std::to_string(I);
+    Desc += ",\"workload\":";
+    appendJsonString(Desc, C.Workload);
+    Desc += ",\"config\":";
+    appendJsonString(Desc, C.Config);
+    Desc += ",\"target\":";
+    appendJsonString(Desc, C.Target);
+    Desc += ",\"stats\":" + C.M.Coalesce.toJson() + "}\n";
+    bool Ok = std::fwrite(Desc.data(), 1, Desc.size(), F) == Desc.size();
+    Ok &= std::fwrite(C.Remarks.data(), 1, C.Remarks.size(), F) ==
+          C.Remarks.size();
+    Ok &= std::fclose(F) == 0;
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+TraceFile vpo::bench::buildBenchTrace(const BenchReport &Report,
+                                      bool Deterministic) {
+  TraceFile T;
+  for (size_t I = 0; I < Report.Cells.size(); ++I) {
+    const CellResult &C = Report.Cells[I];
+    // Deterministic mode: logical time, one lane. Each cell occupies a
+    // fixed [I*1000, I*1000+900) microsecond slot with its passes as
+    // unit-length events inside it — same bytes at any --threads.
+    uint64_t CellTs = Deterministic
+                          ? static_cast<uint64_t>(I) * 1000
+                          : static_cast<uint64_t>(C.StartSeconds * 1e6);
+    uint64_t CellDur =
+        Deterministic ? 900
+                      : static_cast<uint64_t>(C.WallSeconds * 1e6);
+    TraceEvent E;
+    E.Name = C.Workload + "/" + C.Config;
+    E.Cat = "cell";
+    E.TsMicros = CellTs;
+    E.DurMicros = CellDur;
+    E.Tid = Deterministic ? 0 : C.Worker + 1;
+    E.Args.emplace_back("workload", C.Workload);
+    E.Args.emplace_back("config", C.Config);
+    E.Args.emplace_back("target", C.Target);
+    E.Args.emplace_back("verified", C.M.Verified ? "true" : "false");
+    T.add(std::move(E));
+
+    uint64_t PassTs = CellTs;
+    for (size_t PI = 0; PI < C.M.Passes.size(); ++PI) {
+      const CompileReport::PassProfile &P = C.M.Passes[PI];
+      TraceEvent PE;
+      PE.Name = P.Pass;
+      PE.Cat = "pass";
+      PE.TsMicros = Deterministic ? CellTs + PI : PassTs;
+      PE.DurMicros =
+          Deterministic ? 1 : static_cast<uint64_t>(P.Seconds * 1e6);
+      PE.Tid = Deterministic ? 0 : C.Worker + 1;
+      PE.Args.emplace_back("kept", P.Kept ? "true" : "false");
+      T.add(std::move(PE));
+      PassTs += PE.DurMicros;
+    }
+  }
+  return T;
 }
 
 BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
@@ -175,11 +274,16 @@ BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
     } else if (A.rfind("--max-insts=", 0) == 0) {
       Args.MaxInsts =
           std::strtoull(A.c_str() + std::strlen("--max-insts="), nullptr, 10);
+    } else if (A.rfind("--remarks-dir=", 0) == 0) {
+      Args.RemarksDir = A.substr(std::strlen("--remarks-dir="));
+    } else if (A.rfind("--trace=", 0) == 0) {
+      Args.TracePath = A.substr(std::strlen("--trace="));
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--threads=N] [--no-predecode] "
-                   "[--json[=PATH]] [--no-json] [--max-insts=N]\n",
+                   "[--json[=PATH]] [--no-json] [--max-insts=N] "
+                   "[--remarks-dir=DIR] [--trace=PATH]\n",
                    A.c_str(), Argv[0]);
       Args.Ok = false;
       return Args;
@@ -193,11 +297,24 @@ RunnerOptions vpo::bench::toRunnerOptions(const BenchArgs &Args) {
   RO.Threads = Args.Threads;
   RO.Predecode = Args.Predecode;
   RO.MaxInsts = Args.MaxInsts;
+  RO.RemarksDir = Args.RemarksDir;
+  // Pass timing feeds the trace; without a trace request it stays off so
+  // the run does no extra clock reads.
+  RO.ProfilePasses = !Args.TracePath.empty();
   return RO;
 }
 
 int vpo::bench::finishReport(const BenchReport &Report,
                              const BenchArgs &Args) {
+  if (!Args.TracePath.empty()) {
+    if (!buildBenchTrace(Report).writeFile(Args.TracePath)) {
+      std::fprintf(stderr, "failed to write %s\n", Args.TracePath.c_str());
+      return 1;
+    }
+    std::printf("[trace in %s]\n", Args.TracePath.c_str());
+  }
+  if (!Args.RemarksDir.empty())
+    std::printf("[remarks in %s/]\n", Args.RemarksDir.c_str());
   if (Args.WriteJson) {
     if (!Report.writeFile(Args.JsonPath)) {
       std::fprintf(stderr, "failed to write %s\n", Args.JsonPath.c_str());

@@ -24,6 +24,7 @@
 #define VPO_BENCH_MATRIXRUNNER_H
 
 #include "BenchUtils.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -54,7 +55,13 @@ struct CellResult {
   std::string Config;
   std::string Target;
   Measurement M;
-  double WallSeconds = 0; ///< wall-clock spent measuring this cell
+  double WallSeconds = 0;  ///< wall-clock spent measuring this cell
+  double StartSeconds = 0; ///< cell start, relative to the run start
+  unsigned Worker = 0;     ///< pool lane that measured this cell
+  /// NDJSON remark lines from this cell's compile (empty unless
+  /// RunnerOptions::CollectRemarks). Collected per cell and attached by
+  /// submission index, so content is thread-count-independent.
+  std::string Remarks;
 };
 
 /// Everything a harness needs to render its table and write its JSON.
@@ -105,6 +112,16 @@ struct RunnerOptions {
   /// Instruction budget per simulated run (0 = interpreter default); see
   /// MeasureOptions::MaxInsts.
   uint64_t MaxInsts = 0;
+  /// Collect each cell's optimization remarks into CellResult::Remarks.
+  bool CollectRemarks = false;
+  /// After the run, write one remark file per cell into this directory
+  /// (created if missing): <dir>/cell-NNN.ndjson, first line a cell
+  /// descriptor, then the remark stream. Implies CollectRemarks. Files
+  /// are written post-join in submission order, so their names and
+  /// contents are identical at any thread count.
+  std::string RemarksDir;
+  /// Time each pipeline pass (Measurement::Passes) for the trace export.
+  bool ProfilePasses = false;
 };
 
 /// Runs cells on a thread pool.
@@ -121,6 +138,20 @@ private:
   RunnerOptions Opts;
 };
 
+/// Builds a Chrome trace-event file ({"traceEvents": [...]}, load with
+/// chrome://tracing or Perfetto) from a finished report: one complete "X"
+/// event per cell on its worker's lane, with nested per-pass events when
+/// pass profiles were collected. \p Deterministic replaces wall-clock data
+/// with logical timestamps derived from submission order (tid 0, fixed
+/// durations) so the serialized trace is byte-identical at any thread
+/// count — the mode the schema tests diff.
+TraceFile buildBenchTrace(const BenchReport &Report,
+                          bool Deterministic = false);
+
+/// Writes the per-cell remark files described at
+/// RunnerOptions::RemarksDir. \returns false on I/O failure.
+bool writeRemarkFiles(const BenchReport &Report, const std::string &Dir);
+
 /// Command-line options shared by every table/ablation harness.
 struct BenchArgs {
   unsigned Threads = 0;  ///< --threads=N (0 = all cores)
@@ -128,6 +159,8 @@ struct BenchArgs {
   bool WriteJson = true; ///< --no-json
   std::string JsonPath;  ///< --json=PATH (default BENCH_<name>.json)
   uint64_t MaxInsts = 0; ///< --max-insts=N (0 = interpreter default)
+  std::string RemarksDir; ///< --remarks-dir=DIR (empty = off)
+  std::string TracePath;  ///< --trace=PATH (empty = off)
   bool Ok = true;        ///< false: unknown argument (usage printed)
 };
 

@@ -20,6 +20,7 @@
 #include "ir/Snapshot.h"
 #include "sched/ListScheduler.h"
 #include "sim/Predecode.h"
+#include "support/Remark.h"
 
 #include <benchmark/benchmark.h>
 
@@ -216,6 +217,31 @@ void BM_SnapshotLazy(benchmark::State &State, const char *Name,
   }
 }
 
+/// Cost of telemetry on the full pipeline: disabled (null sink — the
+/// acceptance bar is <=1% over no telemetry at all), collecting, and
+/// collecting + per-pass profiling. "Disabled" and BM_FullPipeline
+/// measure the same work modulo the one pointer test per decision point.
+void BM_RemarkOverhead(benchmark::State &State, const char *Name,
+                       int Level) {
+  auto W = makeWorkloadByName(Name);
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  CO.ProfilePasses = Level >= 2;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Module M;
+    Function *F = W->build(M);
+    CollectingRemarkSink Sink;
+    CO.Remarks = Level >= 1 ? &Sink : nullptr;
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compileFunction(*F, TM, CO));
+    benchmark::DoNotOptimize(Sink.remarks().size());
+  }
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_BuildKernel, convolution, "convolution");
@@ -244,5 +270,11 @@ BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_journal, "image_add",
                   /*Lazy=*/true);
 BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_eager, "image_add",
                   /*Lazy=*/false);
+BENCHMARK_CAPTURE(BM_RemarkOverhead, image_add_disabled, "image_add",
+                  /*Level=*/0);
+BENCHMARK_CAPTURE(BM_RemarkOverhead, image_add_collecting, "image_add",
+                  /*Level=*/1);
+BENCHMARK_CAPTURE(BM_RemarkOverhead, image_add_profiled, "image_add",
+                  /*Level=*/2);
 
 BENCHMARK_MAIN();

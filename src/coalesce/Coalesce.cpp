@@ -19,6 +19,7 @@
 #include "ir/Verifier.h"
 #include "sched/ListScheduler.h"
 #include "support/MathExtras.h"
+#include "support/Remark.h"
 #include "support/StringUtils.h"
 #include "target/Legalize.h"
 #include "target/TargetMachine.h"
@@ -35,23 +36,50 @@ std::string CoalesceStats::summary() const {
       "loops: examined=%u unrolled=%u transformed=%u "
       "(rejected: unclassified=%u profitability=%u)\n"
       "runs: loads=%u (unaligned=%u) stores=%u (narrow removed: loads=%u "
-      "stores=%u; rejected: hazard=%u checks-disabled=%u)\n"
+      "stores=%u; rejected: hazard=%u checks-disabled=%u; "
+      "alias-deferred=%u)\n"
       "checks: alignment=%u overlap=%u instructions=%u",
       LoopsExamined, LoopsUnrolled, LoopsTransformed,
       LoopsRejectedUnclassified, LoopsRejectedProfitability,
       LoadRunsCoalesced, UnalignedLoadRuns, StoreRunsCoalesced,
       NarrowLoadsRemoved, NarrowStoresRemoved, RunsRejectedHazard,
-      RunsRejectedChecksDisabled, AlignmentChecks, OverlapChecks,
+      RunsRejectedChecksDisabled, AliasPairsDeferred, AlignmentChecks,
+      OverlapChecks, CheckInstructions);
+}
+
+std::string CoalesceStats::toJson() const {
+  return strformat(
+      "{\"loops-examined\":%u,\"loops-unrolled\":%u,"
+      "\"loops-transformed\":%u,\"load-runs\":%u,\"store-runs\":%u,"
+      "\"unaligned-load-runs\":%u,\"narrow-loads-removed\":%u,"
+      "\"narrow-stores-removed\":%u,\"runs-rejected-hazard\":%u,"
+      "\"runs-rejected-checks-disabled\":%u,\"alias-pairs-deferred\":%u,"
+      "\"loops-rejected-profitability\":%u,"
+      "\"loops-rejected-unclassified\":%u,\"alignment-checks\":%u,"
+      "\"overlap-checks\":%u,\"check-instructions\":%u}",
+      LoopsExamined, LoopsUnrolled, LoopsTransformed, LoadRunsCoalesced,
+      StoreRunsCoalesced, UnalignedLoadRuns, NarrowLoadsRemoved,
+      NarrowStoresRemoved, RunsRejectedHazard, RunsRejectedChecksDisabled,
+      AliasPairsDeferred, LoopsRejectedProfitability,
+      LoopsRejectedUnclassified, AlignmentChecks, OverlapChecks,
       CheckInstructions);
 }
 
+bool CoalesceStats::operator==(const CoalesceStats &O) const {
+  return toJson() == O.toJson();
+}
+
 namespace {
+
+std::string regName(Reg R) { return "r" + std::to_string(R.Id); }
 
 class CoalescePass {
 public:
   CoalescePass(Function &F, const TargetMachine &TM,
                const CoalesceOptions &Opts)
-      : F(F), TM(TM), Opts(Opts) {}
+      : F(F), TM(TM), Opts(Opts),
+        RE(Opts.Remarks, "coalesce", F.name()),
+        UE(Opts.Remarks, "unroll", F.name()) {}
 
   CoalesceStats run() {
     // Iterate until no unprocessed innermost single-block loop remains.
@@ -82,6 +110,26 @@ private:
   const CoalesceOptions &Opts;
   CoalesceStats Stats;
   std::unordered_set<const BasicBlock *> Done;
+  /// Telemetry handles (no-ops when Opts.Remarks is null). Remarks are
+  /// strictly read-only: every argument is data the pass computed anyway.
+  RemarkEmitter RE; ///< pass="coalesce"
+  RemarkEmitter UE; ///< pass="unroll"
+
+  /// A remark describing one candidate run (shared arg set, so every
+  /// run-* reason renders the same identifying fields).
+  Remark runRemark(const char *Reason, const BasicBlock &Body,
+                   const CoalesceRun &Run,
+                   const MemoryPartitions &MP) const {
+    return RE.start(Reason)
+        .block(Body.name())
+        .arg("kind", Run.IsLoad ? "load" : "store")
+        .arg("partition", Run.PartitionIdx)
+        .arg("base", regName(MP.partitions()[Run.PartitionIdx].Base))
+        .arg("narrow", widthBytes(Run.NarrowW))
+        .arg("wide", Run.WideBytes)
+        .arg("start-off", Run.StartOff)
+        .arg("members", Run.Members.size());
+  }
 
   /// The unroll factor that exposes full-width runs: bus width over the
   /// narrowest classified reference width in the loop.
@@ -117,21 +165,56 @@ private:
         unsigned Capped = Opts.IgnoreICacheHeuristic
                               ? Factor
                               : chooseUnrollFactor(L, TM, Factor);
+        if (UE.enabled())
+          UE.emit(UE.start("unroll-factor")
+                      .block(Body->name())
+                      .arg("desired", Factor)
+                      .arg("capped", Capped)
+                      .arg("rolled-bytes",
+                           Body->size() * TM.encodingBytes())
+                      .arg("unrolled-bytes",
+                           (Body->size() * (Capped + 1) + 4) *
+                               TM.encodingBytes())
+                      .arg("icache-bytes", TM.iCacheBytes())
+                      .arg("icache-heuristic",
+                           !Opts.IgnoreICacheHeuristic));
         if (Capped >= 2) {
           UnrollResult UR;
-          if (unrollLoop(F, L, LSI, Capped, TM, UR,
-                         Opts.IgnoreICacheHeuristic) ==
-              UnrollFailure::None) {
+          UnrollFailure UF = unrollLoop(F, L, LSI, Capped, TM, UR,
+                                        Opts.IgnoreICacheHeuristic);
+          if (UF == UnrollFailure::None) {
             ++Stats.LoopsUnrolled;
             Done.insert(UR.UnrolledBody);
             Done.insert(UR.RemainderBody);
             Done.insert(UR.Setup);
             Done.insert(UR.Guard);
+            if (UE.enabled())
+              UE.emit(UE.start("loop-unrolled")
+                          .block(Body->name())
+                          .arg("factor", UR.Factor)
+                          .arg("unrolled-body", UR.UnrolledBody->name())
+                          .arg("inexact-stride-guard",
+                               UR.InexactStrideGuard));
             // Re-resolve analyses for the unrolled loop and coalesce it.
             coalesceBody(UR.UnrolledBody);
             return;
           }
+          if (UE.enabled())
+            UE.emit(UE.start("unroll-refused")
+                        .block(Body->name())
+                        .arg("factor", Capped)
+                        .arg("why", unrollFailureName(UF)));
+        } else if (UE.enabled()) {
+          UE.emit(UE.start("unroll-refused")
+                      .block(Body->name())
+                      .arg("factor", Factor)
+                      .arg("why", "icache-limit"));
         }
+      } else if (UE.enabled()) {
+        UE.emit(UE.start("unroll-skipped")
+                    .block(Body->name())
+                    .arg("why", !MP0.allClassified() ? "unclassified-refs"
+                                                     : "width-uniform"));
       }
     }
 
@@ -163,6 +246,10 @@ private:
     MemoryPartitions MP(*L, LSI);
     if (!MP.allClassified()) {
       ++Stats.LoopsRejectedUnclassified;
+      if (RE.enabled())
+        RE.emit(RE.start("loop-rejected-unclassified")
+                    .block(Body->name())
+                    .arg("partitions", MP.partitions().size()));
       return;
     }
 
@@ -177,15 +264,22 @@ private:
     AliasPairSet AliasPairs;
     bool NeedAlign = false;
     for (CoalesceRun &Run : Runs) {
+      if (RE.enabled())
+        RE.emit(runRemark("run-candidate", *Body, Run, MP));
       HazardResult HR = analyzeRunHazards(Run, MP, *Body, F);
       if (!HR.Safe) {
         ++Stats.RunsRejectedHazard;
+        if (RE.enabled())
+          RE.emit(runRemark("run-rejected-hazard", *Body, Run, MP)
+                      .arg("clause", hazardClauseName(HR.Clause))
+                      .arg("at", HR.HazardInstIdx));
         continue;
       }
       // Machines that tolerate unaligned references in hardware (the
       // 68030) need no alignment reasoning at all; cache-line splits are
       // priced by the simulator's cache model.
-      if (!TM.requiresNaturalAlignment()) {
+      bool HwTolerant = !TM.requiresNaturalAlignment();
+      if (HwTolerant) {
         Run.NeedsAlignCheck = false;
         Run.CheckableAlignment = true;
       }
@@ -199,6 +293,10 @@ private:
           ++Stats.UnalignedLoadRuns;
         } else {
           ++Stats.RunsRejectedHazard;
+          if (RE.enabled())
+            RE.emit(runRemark("run-rejected-uncheckable", *Body, Run, MP)
+                        .arg("why-unproven",
+                             Run.AlignWhy ? Run.AlignWhy : "none"));
           continue;
         }
       }
@@ -214,22 +312,61 @@ private:
         }
         if (Run.NeedsAlignCheck || !HR.AliasPairs.empty()) {
           ++Stats.RunsRejectedChecksDisabled;
+          if (RE.enabled())
+            RE.emit(runRemark("run-rejected-checks-disabled", *Body, Run,
+                              MP)
+                        .arg("needs",
+                             Run.NeedsAlignCheck
+                                 ? (HR.AliasPairs.empty() ? "alignment"
+                                                          : "both")
+                                 : "alias"));
           continue;
         }
       }
       NeedAlign |= Run.NeedsAlignCheck;
       for (const auto &P : HR.AliasPairs)
         AliasPairs.insert(P);
+      if (RE.enabled()) {
+        const char *Align = Run.AlignWhy == nullptr ? "static"
+                            : HwTolerant            ? "hw-tolerant"
+                            : Run.UseUnaligned      ? "unaligned-seq"
+                            : Run.NeedsAlignCheck   ? "runtime-check"
+                                                    : "static";
+        Remark R = runRemark("run-accepted", *Body, Run, MP)
+                       .arg("align", Align)
+                       .arg("alias-pairs", HR.AliasPairs.size());
+        if (Run.AlignWhy)
+          R.arg("why-unproven", Run.AlignWhy);
+        RE.emit(R);
+      }
       Accepted.push_back(Run);
     }
     if (Accepted.empty())
       return;
+
+    // Each unique partition pair deferred to a run-time overlap check is
+    // a static-analysis miss the paper's technique absorbs (and a stronger
+    // loop-pointer analysis would cut).
+    Stats.AliasPairsDeferred += static_cast<unsigned>(AliasPairs.size());
+    if (RE.enabled())
+      for (const auto &[A, B] : AliasPairs)
+        RE.emit(RE.start("alias-check-deferred")
+                    .block(Body->name())
+                    .arg("partition-a", A)
+                    .arg("base-a", regName(MP.partitions()[A].Base))
+                    .arg("partition-b", B)
+                    .arg("base-b", regName(MP.partitions()[B].Base)));
 
     // Overlap checks are only expressible when the loop bound is canonical
     // and every involved step divides evenly (powers of two).
     if (!AliasPairs.empty() && !overlapCheckFeasible(LSI, MP, AliasPairs)) {
       Stats.RunsRejectedChecksDisabled +=
           static_cast<unsigned>(Accepted.size());
+      if (RE.enabled())
+        RE.emit(RE.start("loop-rejected-overlap-infeasible")
+                    .block(Body->name())
+                    .arg("runs", Accepted.size())
+                    .arg("pairs", AliasPairs.size()));
       return;
     }
 
@@ -237,9 +374,15 @@ private:
     // profitability by dual scheduling (Fig. 3). The schedule-length
     // comparison uses legalized copies so it prices the machine's true
     // extract/insert sequences.
-    auto IsProfitable = [&](BasicBlock *Candidate) {
-      if (!Opts.RequireProfitability)
+    auto IsProfitable = [&](BasicBlock *Candidate, const char *Variant) {
+      if (!Opts.RequireProfitability) {
+        if (RE.enabled())
+          RE.emit(RE.start("profitability")
+                      .block(Body->name())
+                      .arg("variant", Variant)
+                      .arg("verdict", "waived"));
         return true;
+      }
       BasicBlock *T1 = cloneBlock(F, *Body, "prof.orig");
       BasicBlock *T2 = cloneBlock(F, *Candidate, "prof.coal");
       legalizeBlock(*T1, TM);
@@ -248,15 +391,23 @@ private:
       unsigned C2 = scheduleBlock(*T2, TM).Cycles;
       F.removeBlock(T1);
       F.removeBlock(T2);
-      return C2 < C1;
+      bool Keep = C2 < C1;
+      if (RE.enabled())
+        RE.emit(RE.start("profitability")
+                    .block(Body->name())
+                    .arg("variant", Variant)
+                    .arg("cycles-orig", C1)
+                    .arg("cycles-coalesced", C2)
+                    .arg("verdict", Keep ? "keep" : "reject"));
+      return Keep;
     };
     auto MakeCopy = [&](const std::vector<CoalesceRun> &RunSet,
-                        const char *Suffix,
+                        const char *Suffix, const char *Variant,
                         RewriteCounts &RC) -> BasicBlock * {
       BasicBlock *Copy = cloneBlock(F, *Body, Body->name() + Suffix);
       RC = applyRunsToBlock(F, *Copy, MP, LSI, RunSet);
       Done.insert(Copy);
-      if (IsProfitable(Copy))
+      if (IsProfitable(Copy, Variant))
         return Copy;
       F.removeBlock(Copy);
       Done.erase(Copy);
@@ -284,7 +435,7 @@ private:
     }
 
     RewriteCounts RCFull;
-    BasicBlock *CopyFull = MakeCopy(Accepted, ".coalesced", RCFull);
+    BasicBlock *CopyFull = MakeCopy(Accepted, ".coalesced", "full", RCFull);
     std::vector<CoalesceRun> UsedRuns = Accepted;
     RewriteCounts RCUsed = RCFull;
     if (!CopyFull) {
@@ -292,11 +443,19 @@ private:
       // (it differs whenever some run needed an alignment check).
       if (!NeedAlign || NoCheckRuns.empty()) {
         ++Stats.LoopsRejectedProfitability;
+        if (RE.enabled())
+          RE.emit(RE.start("loop-rejected-profitability")
+                      .block(Body->name())
+                      .arg("runs", Accepted.size()));
         return;
       }
-      CopyFull = MakeCopy(NoCheckRuns, ".coalesced", RCUsed);
+      CopyFull = MakeCopy(NoCheckRuns, ".coalesced", "no-check", RCUsed);
       if (!CopyFull) {
         ++Stats.LoopsRejectedProfitability;
+        if (RE.enabled())
+          RE.emit(RE.start("loop-rejected-profitability")
+                      .block(Body->name())
+                      .arg("runs", Accepted.size()));
         return;
       }
       UsedRuns = NoCheckRuns;
@@ -309,7 +468,8 @@ private:
     BasicBlock *CopyNoCheck = nullptr;
     if (NeedAlign && !NoCheckRuns.empty()) {
       RewriteCounts RCIgnore;
-      CopyNoCheck = MakeCopy(NoCheckRuns, ".coalesced.nochk", RCIgnore);
+      CopyNoCheck =
+          MakeCopy(NoCheckRuns, ".coalesced.nochk", "no-check", RCIgnore);
     }
 
     // --- Step 5: wire in, with checks if needed (Fig. 5) ---------------
@@ -336,16 +496,20 @@ private:
     } else {
       // Alignment tier: failed alignment goes to the check-free copy when
       // one exists, else to the safe loop.
+      unsigned LoopAlignChecks = 0, LoopOverlapChecks = 0,
+               LoopCheckInstrs = 0;
       if (NeedAlign) {
         CheckPlan AlignPlan = buildCheckPlan(LSI, MP, UsedRuns, {});
         AlignPlan.OverlapChecks.clear();
         unsigned NumInstrs = 0;
         BasicBlock *AlignSafe = CopyNoCheck ? CopyNoCheck : Body;
         Entry = buildRuntimeChecks(F, AlignPlan, AlignSafe, CopyFull,
-                                   NumInstrs);
+                                   NumInstrs, &RE);
         Stats.CheckInstructions += NumInstrs;
         Stats.AlignmentChecks +=
             static_cast<unsigned>(AlignPlan.AlignChecks.size());
+        LoopAlignChecks = static_cast<unsigned>(AlignPlan.AlignChecks.size());
+        LoopCheckInstrs += NumInstrs;
         Done.insert(Entry);
       }
       // Alias tier: any potential overlap goes to the safe loop.
@@ -353,13 +517,24 @@ private:
         CheckPlan AliasPlan = buildCheckPlan(LSI, MP, {}, AliasPairs);
         unsigned NumInstrs = 0;
         BasicBlock *AliasChecks =
-            buildRuntimeChecks(F, AliasPlan, Body, Entry, NumInstrs);
+            buildRuntimeChecks(F, AliasPlan, Body, Entry, NumInstrs, &RE);
         Stats.CheckInstructions += NumInstrs;
         Stats.OverlapChecks +=
             static_cast<unsigned>(AliasPlan.OverlapChecks.size());
+        LoopOverlapChecks =
+            static_cast<unsigned>(AliasPlan.OverlapChecks.size());
+        LoopCheckInstrs += NumInstrs;
         Done.insert(AliasChecks);
         Entry = AliasChecks;
       }
+      if (RE.enabled())
+        RE.emit(RE.start("checks-emitted")
+                    .block(Body->name())
+                    .arg("alignment", LoopAlignChecks)
+                    .arg("overlap", LoopOverlapChecks)
+                    .arg("instructions", LoopCheckInstrs)
+                    .arg("align-fallback",
+                         CopyNoCheck ? "coalesced-nocheck" : "safe-loop"));
       // Route the loop entry edge through the checks.
       Instruction &PreTerm = Preheader->terminator();
       if (PreTerm.TrueTarget == Body)
@@ -368,15 +543,29 @@ private:
         PreTerm.FalseTarget = Entry;
     }
 
+    unsigned LoopLoadRuns = 0, LoopStoreRuns = 0;
     for (const CoalesceRun &Run : UsedRuns) {
       if (Run.IsLoad)
-        ++Stats.LoadRunsCoalesced;
+        ++LoopLoadRuns;
       else
-        ++Stats.StoreRunsCoalesced;
+        ++LoopStoreRuns;
     }
+    Stats.LoadRunsCoalesced += LoopLoadRuns;
+    Stats.StoreRunsCoalesced += LoopStoreRuns;
     Stats.NarrowLoadsRemoved += RCUsed.NarrowLoadsRemoved;
     Stats.NarrowStoresRemoved += RCUsed.NarrowStoresRemoved;
     ++Stats.LoopsTransformed;
+    if (RE.enabled())
+      RE.emit(RE.start("loop-coalesced")
+                  .block(Body->name())
+                  .arg("runs", UsedRuns.size())
+                  .arg("load-runs", LoopLoadRuns)
+                  .arg("store-runs", LoopStoreRuns)
+                  .arg("narrow-loads-removed", RCUsed.NarrowLoadsRemoved)
+                  .arg("narrow-stores-removed",
+                       RCUsed.NarrowStoresRemoved)
+                  .arg("checked", NeedChecks)
+                  .arg("tiers", CopyNoCheck != nullptr ? 2 : 1));
     verifyOrDie(F, "coalesce");
   }
 

@@ -30,6 +30,7 @@
 namespace vpo {
 
 class Function;
+class RemarkSink;
 class TargetMachine;
 
 /// Which reference kinds to coalesce (the paper's Tables II/III evaluate
@@ -56,6 +57,10 @@ struct CoalesceOptions {
   bool RequireProfitability = true;
   /// Cap on wide-reference width in bytes (0 = target bus width).
   unsigned MaxWideBytes = 0;
+  /// Optional telemetry: every accept/reject decision is reported here as
+  /// a structured remark (support/Remark.h). Strictly read-only — the
+  /// generated code is bit-identical with any sink or none.
+  RemarkSink *Remarks = nullptr;
 };
 
 struct CoalesceStats {
@@ -69,6 +74,10 @@ struct CoalesceStats {
   unsigned NarrowStoresRemoved = 0;
   unsigned RunsRejectedHazard = 0;
   unsigned RunsRejectedChecksDisabled = 0;
+  /// Unique partition pairs hazard analysis could not discharge statically
+  /// and deferred to a run-time overlap check — the deferral rate a
+  /// stronger loop-pointer analysis (e.g. *Iterating Pointers*) would cut.
+  unsigned AliasPairsDeferred = 0;
   unsigned LoopsRejectedProfitability = 0;
   unsigned LoopsRejectedUnclassified = 0;
   unsigned AlignmentChecks = 0;
@@ -76,6 +85,14 @@ struct CoalesceStats {
   unsigned CheckInstructions = 0;
 
   std::string summary() const;
+
+  /// One JSON object on a single line with every counter under a stable
+  /// kebab-case key — the format of the checked-in stats-regression
+  /// baselines (tests/coalesce/stats_regression_test.cpp) and the per-cell
+  /// descriptor lines the bench harnesses write.
+  std::string toJson() const;
+
+  bool operator==(const CoalesceStats &O) const;
 };
 
 /// Runs the transformation over every innermost loop of \p F.

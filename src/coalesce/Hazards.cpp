@@ -27,6 +27,18 @@ Span refSpan(const MemRef &R) {
 
 } // namespace
 
+const char *vpo::hazardClauseName(HazardClause C) {
+  switch (C) {
+  case HazardClause::None:
+    return "none";
+  case HazardClause::UnclassifiedRef:
+    return "unclassified-ref";
+  case HazardClause::SamePartitionOverlap:
+    return "same-partition-overlap";
+  }
+  return "unknown";
+}
+
 HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
                                     const MemoryPartitions &MP,
                                     const BasicBlock &Body,
@@ -73,6 +85,8 @@ HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
     if (OtherPart < 0) {
       // Unclassified reference in the window: no basis for reasoning.
       Res.Safe = false;
+      Res.Clause = HazardClause::UnclassifiedRef;
+      Res.HazardInstIdx = Idx;
       return Res;
     }
     const Partition &Q = MP.partitions()[static_cast<size_t>(OtherPart)];
@@ -96,6 +110,8 @@ HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
       assert(QR && "classified reference missing from its partition");
       if (refSpan(*QR).overlaps(RunSpan)) {
         Res.Safe = false;
+        Res.Clause = HazardClause::SamePartitionOverlap;
+        Res.HazardInstIdx = Idx;
         return Res;
       }
       continue;

@@ -37,8 +37,26 @@ class Function;
 /// overlap check.
 using AliasPairSet = std::set<std::pair<size_t, size_t>>;
 
+/// Which Fig. 4 `IsHazard` clause rejected a run (None when Safe).
+enum class HazardClause : uint8_t {
+  None,
+  /// An unclassified memory reference sits in the wide reference's
+  /// movement window: no partition, so no basis for reasoning.
+  UnclassifiedRef,
+  /// A same-partition reference with a statically known offset overlaps
+  /// the run's byte span.
+  SamePartitionOverlap,
+};
+
+/// \returns the stable remark code for \p C ("unclassified-ref", ...).
+const char *hazardClauseName(HazardClause C);
+
 struct HazardResult {
   bool Safe = false;
+  /// Why the run was rejected (None when Safe). The instruction index of
+  /// the offending reference is in HazardInstIdx.
+  HazardClause Clause = HazardClause::None;
+  size_t HazardInstIdx = 0;
   /// Partition pairs whose potential aliasing must be excluded at run time
   /// for this run to be used.
   AliasPairSet AliasPairs;

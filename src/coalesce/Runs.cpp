@@ -138,5 +138,10 @@ void vpo::analyzeRunAlignment(std::vector<CoalesceRun> &Runs,
     // conclusive for all iterations only when the step preserves the
     // alignment phase.
     Run.CheckableAlignment = StepAligned;
+    // The first clause that defeated the static proof, for remarks.
+    Run.AlignWhy = !StepAligned    ? "step-breaks-phase"
+                   : !BaseAligned  ? "base-alignment-unknown"
+                   : !OffAligned   ? "offset-misaligned"
+                                   : nullptr;
   }
 }

@@ -48,6 +48,11 @@ struct CoalesceRun {
   /// wide address alternates alignment across iterations. Such runs can
   /// only use the unaligned sequence (or stay narrow).
   bool CheckableAlignment = true;
+  /// Why static analysis could not prove the wide address aligned
+  /// (nullptr when it could): "base-alignment-unknown",
+  /// "offset-misaligned", or "step-breaks-phase". Filled by
+  /// analyzeRunAlignment; surfaces verbatim in optimization remarks.
+  const char *AlignWhy = nullptr;
 };
 
 /// Finds candidate runs in every partition: for each partition and access

@@ -9,16 +9,24 @@
 #include "ir/Function.h"
 #include "ir/IRBuilder.h"
 #include "support/MathExtras.h"
+#include "support/Remark.h"
 
 #include <map>
 #include <optional>
 
 using namespace vpo;
 
+namespace {
+
+std::string regName(Reg R) { return "r" + std::to_string(R.Id); }
+
+} // namespace
+
 BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
                                     BasicBlock *SafeLoop,
                                     BasicBlock *FastLoop,
-                                    unsigned &InstrCount) {
+                                    unsigned &InstrCount,
+                                    const RemarkEmitter *RE) {
   BasicBlock *BB = F.addBlock(F.uniqueBlockName(FastLoop->name() + ".checks"));
   IRBuilder B(&F);
   B.setInsertBlock(BB);
@@ -36,6 +44,12 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
                                  A.WideBytes - 1)));
     Reg Misaligned = B.cmpSet(CondCode::NE, Low, Operand::imm(0));
     B.aluTo(Bad, Opcode::Or, Bad, Misaligned);
+    if (RE && RE->enabled())
+      RE->emit(RE->start("alignment-check")
+                   .block(BB->name())
+                   .arg("base", regName(A.Base))
+                   .arg("start-off", A.StartOff)
+                   .arg("wide", A.WideBytes));
   }
 
   // --- Overlap checks ----------------------------------------------------
@@ -105,6 +119,12 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
       if (!IA || !IB) {
         // Uncheckable pair: force the safe loop.
         B.aluTo(Bad, Opcode::Or, Bad, Operand::imm(1));
+        if (RE && RE->enabled())
+          RE->emit(RE->start("overlap-check-uncheckable")
+                       .block(BB->name())
+                       .arg("base-a", regName(O.A.Base))
+                       .arg("base-b", regName(O.B.Base))
+                       .arg("why", "non-power-of-two-step"));
         continue;
       }
       auto [LoA, HiA] = *IA;
@@ -113,6 +133,13 @@ BasicBlock *vpo::buildRuntimeChecks(Function &F, const CheckPlan &Plan,
       Reg C2 = B.cmpSet(CondCode::LTu, LoB, HiA);
       Reg Both = B.and_(C1, C2);
       B.aluTo(Bad, Opcode::Or, Bad, Both);
+      if (RE && RE->enabled())
+        RE->emit(RE->start("overlap-check")
+                     .block(BB->name())
+                     .arg("base-a", regName(O.A.Base))
+                     .arg("step-a", O.A.Step)
+                     .arg("base-b", regName(O.B.Base))
+                     .arg("step-b", O.B.Step));
     }
   }
 

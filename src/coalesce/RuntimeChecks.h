@@ -34,6 +34,7 @@ namespace vpo {
 
 class BasicBlock;
 class Function;
+class RemarkEmitter;
 
 /// What must be checked at run time before entering the coalesced loop.
 struct CheckPlan {
@@ -82,10 +83,13 @@ struct CheckPlan {
 /// passes and to \p SafeLoop otherwise. \returns the new block; stores the
 /// number of emitted instructions in \p InstrCount. Never aborts: checks
 /// that cannot be computed (e.g. a non-power-of-two step) degrade into a
-/// constant "take the safe loop" flag.
+/// constant "take the safe loop" flag. When \p RE is non-null, each
+/// emitted check — and each uncheckable pair that degraded to "assume
+/// overlap" — is reported as an optimization remark.
 BasicBlock *buildRuntimeChecks(Function &F, const CheckPlan &Plan,
                                BasicBlock *SafeLoop, BasicBlock *FastLoop,
-                               unsigned &InstrCount);
+                               unsigned &InstrCount,
+                               const RemarkEmitter *RE = nullptr);
 
 } // namespace vpo
 

@@ -9,7 +9,9 @@
 #include "frontend/CFront.h"
 #include "ir/Function.h"
 #include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "support/Remark.h"
 #include "sim/Interpreter.h"
 #include "sim/Memory.h"
 #include "target/TargetMachine.h"
@@ -39,6 +41,8 @@ const char *vpo::fuzz::failKindName(FailKind K) {
     return "memory-diverged";
   case FailKind::EngineDiverged:
     return "engine-diverged";
+  case FailKind::RemarkDiverged:
+    return "remark-diverged";
   case FailKind::Crashed:
     return "crash";
   case FailKind::TimedOut:
@@ -53,8 +57,8 @@ vpo::fuzz::failKindFromName(const std::string &Name) {
       FailKind::None,           FailKind::GeneratorInvalid,
       FailKind::CompileIncident, FailKind::StatusDiverged,
       FailKind::ReturnDiverged, FailKind::MemoryDiverged,
-      FailKind::EngineDiverged, FailKind::Crashed,
-      FailKind::TimedOut};
+      FailKind::EngineDiverged, FailKind::RemarkDiverged,
+      FailKind::Crashed,        FailKind::TimedOut};
   for (FailKind K : All)
     if (Name == failKindName(K))
       return K;
@@ -287,6 +291,38 @@ OracleResult checkProgram(
       if (!Diags.empty())
         return Fail(FailKind::CompileIncident,
                     "post-compile verify: " + Diags.front().Message);
+
+      // Telemetry oracle: the compile above ran with no sink; two more
+      // with collecting sinks must yield (a) identical code — remarks
+      // are read-only — and (b) identical remark streams — the pipeline
+      // is deterministic, so its self-description must be too.
+      if (O.CheckTelemetry) {
+        CollectingRemarkSink SinkA, SinkB;
+        std::string IRs[2];
+        std::string Streams[2];
+        CollectingRemarkSink *Sinks[2] = {&SinkA, &SinkB};
+        for (int Rep = 0; Rep < 2; ++Rep) {
+          std::string Err2;
+          std::unique_ptr<Module> M2 = Make(Err2);
+          if (!M2 || M2->functions().empty())
+            return Fail(FailKind::GeneratorInvalid,
+                        "program did not rebuild: " + Err2);
+          Function *F2 = M2->functions().front().get();
+          CompileOptions CO2 = CO;
+          CO2.Remarks = Sinks[Rep];
+          compileFunction(*F2, TM, CO2);
+          IRs[Rep] = printFunction(*F2);
+          Streams[Rep] = Sinks[Rep]->toJsonLines();
+        }
+        if (IRs[0] != printFunction(*F))
+          return Fail(FailKind::RemarkDiverged,
+                      "observer effect: attaching a remark sink changed "
+                      "the generated code");
+        if (Streams[0] != Streams[1])
+          return Fail(FailKind::RemarkDiverged,
+                      "non-deterministic remarks: two identical compiles "
+                      "produced different remark streams");
+      }
       Mods.push_back(std::move(M));
       Fns.push_back(F);
     }

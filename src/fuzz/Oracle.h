@@ -54,6 +54,10 @@ enum class FailKind : uint8_t {
   ReturnDiverged,   ///< return value differs
   MemoryDiverged,   ///< final memory image differs
   EngineDiverged,   ///< predecode and reference engines disagree
+  /// Telemetry broke its read-only contract: attaching a remark sink
+  /// changed the generated code, or two identical compiles produced
+  /// different remark streams.
+  RemarkDiverged,
   Crashed,          ///< (containment) the case killed its host process
   TimedOut,         ///< (containment) the case hit the wall-clock deadline
 };
@@ -85,6 +89,11 @@ struct OracleOptions {
   size_t ArenaBytes = size_t(1) << 20;
   /// Also check the mini-C rendering when the spec has one.
   bool CheckCSource = true;
+  /// Telemetry oracle: per configuration, compile twice more with remark
+  /// sinks attached; the sink-off and sink-on IR must print identically
+  /// (observer effect) and the two remark streams must match byte-for-
+  /// byte (determinism). Divergence is FailKind::RemarkDiverged.
+  bool CheckTelemetry = true;
   std::optional<InjectSpec> Inject;
 };
 

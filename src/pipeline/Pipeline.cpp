@@ -10,8 +10,10 @@
 #include "ir/Snapshot.h"
 #include "ir/Verifier.h"
 #include "sched/ListScheduler.h"
+#include "support/Remark.h"
 #include "target/TargetMachine.h"
 
+#include <chrono>
 #include <set>
 
 using namespace vpo;
@@ -31,11 +33,31 @@ public:
       : F(F), Opts(Opts), Report(Report) {}
 
   /// Runs \p Body as the pass named \p Name. \returns true if the pass's
-  /// effects were kept.
+  /// effects were kept. With ProfilePasses, the pass's wall time lands in
+  /// Report.Passes (appended after any rollback, so the entry survives
+  /// the report restore).
   template <typename BodyFn>
   bool runPass(const char *Name, bool Required, BodyFn &&Body) {
     if (Stopped || Disabled.count(Name))
       return false;
+    if (!Opts.ProfilePasses)
+      return runPassImpl(Name, Required, Body);
+    auto T0 = std::chrono::steady_clock::now();
+    bool Kept = runPassImpl(Name, Required, Body);
+    auto T1 = std::chrono::steady_clock::now();
+    CompileReport::PassProfile P;
+    P.Pass = Name;
+    P.Seconds = std::chrono::duration<double>(T1 - T0).count();
+    P.Kept = Kept;
+    Report.Passes.push_back(std::move(P));
+    return Kept;
+  }
+
+  bool stopped() const { return Stopped; }
+
+private:
+  template <typename BodyFn>
+  bool runPassImpl(const char *Name, bool Required, BodyFn &&Body) {
     if (!Opts.GuardRails) {
       Body();
       return true;
@@ -60,6 +82,10 @@ public:
     // produced bad IR: undo its changes and restore the pre-pass stats.
     Journal.rollback();
     Report = Saved;
+    if (Opts.Remarks)
+      Opts.Remarks->emit(Remark("pipeline", F.name(), "pass-rolled-back")
+                             .arg("pass", Name)
+                             .arg("required", Required));
     CompileReport::PassIncident Inc;
     Inc.Pass = Name;
     Inc.RolledBack = true;
@@ -87,6 +113,10 @@ public:
       Report.Incidents.push_back(std::move(Inc));
       Report.Succeeded = false;
       Stopped = true;
+      if (Opts.Remarks)
+        Opts.Remarks->emit(
+            Remark("pipeline", F.name(), "pipeline-stopped").arg("pass",
+                                                                 Name));
       return false;
     }
 
@@ -96,12 +126,12 @@ public:
     Inc.Disabled = true;
     Disabled.insert(Name);
     Report.Incidents.push_back(std::move(Inc));
+    if (Opts.Remarks)
+      Opts.Remarks->emit(
+          Remark("pipeline", F.name(), "pass-disabled").arg("pass", Name));
     return false;
   }
 
-  bool stopped() const { return Stopped; }
-
-private:
   Function &F;
   const CompileOptions &Opts;
   CompileReport &Report;
@@ -190,6 +220,7 @@ CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
     CO.UseRuntimeChecks = Opts.UseRuntimeChecks;
     CO.RequireProfitability = Opts.RequireProfitability;
     CO.MaxWideBytes = Opts.MaxWideBytes;
+    CO.Remarks = Opts.Remarks;
     Report.Coalesce = coalesceMemoryAccesses(F, TM, CO);
   });
   Trace("coalesce");

@@ -75,6 +75,16 @@ struct CompileOptions {
   /// Used by pipeline/FaultInjection.h to prove the guard rails catch
   /// in-flight miscompiles. Requires GuardRails; ignored without it.
   std::function<bool(const char *Pass, Function &F)> FaultHook;
+  /// Telemetry: every accept/reject decision the passes make is reported
+  /// here as a structured remark (support/Remark.h), plus guard-rail
+  /// events ("pass-rolled-back", ...) from the driver itself. Null =
+  /// disabled, the default. Strictly read-only: the generated code is
+  /// bit-identical with any sink or none.
+  RemarkSink *Remarks = nullptr;
+  /// Record per-pass wall time into CompileReport::Passes. Off by default
+  /// so reports compare equal across runs; timing consumers (the bench
+  /// harness's Chrome trace export) opt in.
+  bool ProfilePasses = false;
 };
 
 struct CompileReport {
@@ -103,6 +113,17 @@ struct CompileReport {
     /// What the verifier saw.
     std::vector<Diagnostic> Diags;
   };
+
+  /// One pipeline pass that ran, with its wall time. Filled only when
+  /// CompileOptions::ProfilePasses is set; execution order.
+  struct PassProfile {
+    std::string Pass;
+    double Seconds = 0.0;
+    bool Kept = true; ///< false when guard rails rolled the pass back
+  };
+
+  /// Per-pass profile (empty unless ProfilePasses).
+  std::vector<PassProfile> Passes;
 
   /// Guard-rail record: empty on a clean compile.
   std::vector<PassIncident> Incidents;

@@ -1,0 +1,117 @@
+//===- support/Remark.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Remark.h"
+
+using namespace vpo;
+
+RemarkSink::~RemarkSink() = default;
+
+void vpo::appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string Remark::render() const {
+  std::string S = Pass;
+  S += " @";
+  S += Fn;
+  if (!Block.empty()) {
+    S += " [";
+    S += Block;
+    S += ']';
+  }
+  S += ' ';
+  S += Reason;
+  for (const auto &[K, V] : Args) {
+    S += ' ';
+    S += K;
+    S += '=';
+    S += V;
+  }
+  return S;
+}
+
+std::string Remark::toJson() const {
+  std::string J = "{\"pass\":";
+  appendJsonString(J, Pass);
+  J += ",\"function\":";
+  appendJsonString(J, Fn);
+  J += ",\"block\":";
+  appendJsonString(J, Block);
+  J += ",\"reason\":";
+  appendJsonString(J, Reason);
+  J += ",\"args\":{";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      J += ',';
+    appendJsonString(J, Args[I].first);
+    J += ':';
+    appendJsonString(J, Args[I].second);
+  }
+  J += "}}";
+  return J;
+}
+
+unsigned CollectingRemarkSink::count(const char *Reason) const {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    N += std::string(R.Reason) == Reason;
+  return N;
+}
+
+std::string CollectingRemarkSink::renderAll() const {
+  std::string S;
+  for (const Remark &R : Remarks) {
+    S += R.render();
+    S += '\n';
+  }
+  return S;
+}
+
+std::string CollectingRemarkSink::toJsonLines() const {
+  std::string S;
+  for (const Remark &R : Remarks) {
+    S += R.toJson();
+    S += '\n';
+  }
+  return S;
+}
+
+void StreamingRemarkSink::emit(const Remark &R) {
+  if (!Out)
+    return;
+  std::string J = R.toJson();
+  J += '\n';
+  std::fwrite(J.data(), 1, J.size(), Out);
+}

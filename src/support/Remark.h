@@ -1,0 +1,159 @@
+//===- support/Remark.h - Structured optimization remarks --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured optimization remarks: one machine-readable record per
+/// accept/reject decision an optimization pass makes, with a stable
+/// kebab-case reason code and ordered key=value arguments. The paper's
+/// evaluation hinges on *why* each candidate run was or wasn't coalesced
+/// (Fig. 3 profitability, Fig. 4 hazards, Fig. 5 run-time checks); remarks
+/// make that reasoning observable without parsing dumps or diffing IR.
+///
+/// Telemetry is strictly read-only: a sink only ever receives copies of
+/// data the pass computed anyway, so compiling with any sink — or none —
+/// produces bit-identical IR (tests/pipeline/telemetry_observer_test.cpp
+/// enforces this). With no sink attached the cost is one pointer test per
+/// decision point.
+///
+/// Sinks:
+///   * none (nullptr)       — disabled, the default everywhere;
+///   * CollectingRemarkSink — in-memory, for tests and per-cell files;
+///   * StreamingRemarkSink  — NDJSON lines to a FILE*, for long runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_REMARK_H
+#define VPO_SUPPORT_REMARK_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpo {
+
+/// One remark. Pass and reason are static strings (stable codes); args are
+/// ordered so two equal decision sequences render byte-identically.
+struct Remark {
+  const char *Pass = "";
+  std::string Fn;
+  std::string Block;
+  const char *Reason = "";
+  std::vector<std::pair<const char *, std::string>> Args;
+
+  Remark() = default;
+  Remark(const char *Pass, std::string Fn, const char *Reason)
+      : Pass(Pass), Fn(std::move(Fn)), Reason(Reason) {}
+
+  Remark &block(std::string B) {
+    Block = std::move(B);
+    return *this;
+  }
+  Remark &arg(const char *K, std::string V) {
+    Args.emplace_back(K, std::move(V));
+    return *this;
+  }
+  Remark &arg(const char *K, const char *V) {
+    Args.emplace_back(K, std::string(V));
+    return *this;
+  }
+  Remark &arg(const char *K, int64_t V) {
+    return arg(K, std::to_string(V));
+  }
+  Remark &arg(const char *K, uint64_t V) {
+    return arg(K, std::to_string(V));
+  }
+  Remark &arg(const char *K, unsigned V) {
+    return arg(K, std::to_string(V));
+  }
+  Remark &arg(const char *K, int V) { return arg(K, std::to_string(V)); }
+  Remark &arg(const char *K, bool V) {
+    return arg(K, V ? "true" : "false");
+  }
+
+  /// "pass @fn [block] reason k=v k=v" (block omitted when empty).
+  std::string render() const;
+
+  /// One JSON object on a single line:
+  /// {"pass":"coalesce","function":"f","block":"body",
+  ///  "reason":"run-accepted","args":{"kind":"load",...}}
+  /// All arg values are JSON strings, so consumers need no type schema.
+  std::string toJson() const;
+};
+
+/// Where remarks go. Implementations must not observe or mutate compiler
+/// state — they receive value copies only.
+class RemarkSink {
+public:
+  virtual ~RemarkSink();
+  virtual void emit(const Remark &R) = 0;
+};
+
+/// Buffers remarks in memory, in emission order.
+class CollectingRemarkSink final : public RemarkSink {
+public:
+  void emit(const Remark &R) override { Remarks.push_back(R); }
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  void clear() { Remarks.clear(); }
+
+  /// \returns how many remarks carry \p Reason.
+  unsigned count(const char *Reason) const;
+
+  /// render() of every remark, one per line (golden-test format).
+  std::string renderAll() const;
+
+  /// toJson() of every remark, one per line (NDJSON, remark-query format).
+  std::string toJsonLines() const;
+
+private:
+  std::vector<Remark> Remarks;
+};
+
+/// Writes each remark as one NDJSON line to an unowned FILE*.
+class StreamingRemarkSink final : public RemarkSink {
+public:
+  explicit StreamingRemarkSink(std::FILE *Out) : Out(Out) {}
+  void emit(const Remark &R) override;
+
+private:
+  std::FILE *Out;
+};
+
+/// The handle passes carry: a sink (possibly null) plus the pass/function
+/// context every remark from this site shares. Copyable and cheap; the
+/// `enabled()` test is the only cost on the disabled path.
+class RemarkEmitter {
+public:
+  RemarkEmitter() = default;
+  RemarkEmitter(RemarkSink *Sink, const char *Pass, std::string Fn)
+      : Sink(Sink), Pass(Pass), Fn(std::move(Fn)) {}
+
+  bool enabled() const { return Sink != nullptr; }
+
+  /// A remark pre-filled with this emitter's pass/function context.
+  Remark start(const char *Reason) const { return Remark(Pass, Fn, Reason); }
+
+  void emit(const Remark &R) const {
+    if (Sink)
+      Sink->emit(R);
+  }
+
+  RemarkSink *sink() const { return Sink; }
+
+private:
+  RemarkSink *Sink = nullptr;
+  const char *Pass = "";
+  std::string Fn;
+};
+
+/// Appends \p S to \p Out as a JSON string literal (quotes + escapes).
+void appendJsonString(std::string &Out, const std::string &S);
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_REMARK_H

@@ -1,0 +1,54 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Remark.h"
+
+#include <cstdio>
+
+using namespace vpo;
+
+std::string TraceFile::toJson() const {
+  std::string J = "{\"traceEvents\":[";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    J += I ? ",\n " : "\n ";
+    J += "{\"name\":";
+    appendJsonString(J, E.Name);
+    J += ",\"cat\":";
+    appendJsonString(J, E.Cat);
+    J += ",\"ph\":\"X\"";
+    J += ",\"ts\":" + std::to_string(E.TsMicros);
+    J += ",\"dur\":" + std::to_string(E.DurMicros);
+    J += ",\"pid\":" + std::to_string(E.Pid);
+    J += ",\"tid\":" + std::to_string(E.Tid);
+    if (!E.Args.empty()) {
+      J += ",\"args\":{";
+      for (size_t A = 0; A < E.Args.size(); ++A) {
+        if (A)
+          J += ',';
+        appendJsonString(J, E.Args[A].first);
+        J += ':';
+        appendJsonString(J, E.Args[A].second);
+      }
+      J += '}';
+    }
+    J += '}';
+  }
+  J += "\n]}\n";
+  return J;
+}
+
+bool TraceFile::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string J = toJson();
+  bool Ok = std::fwrite(J.data(), 1, J.size(), F) == J.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}

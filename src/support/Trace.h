@@ -1,0 +1,61 @@
+//===- support/Trace.h - Chrome trace-event export ---------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal writer for the Chrome trace-event JSON format
+/// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+/// complete ("ph":"X") events with microsecond timestamps, grouped by
+/// pid/tid lanes, loadable in chrome://tracing or Perfetto. The bench
+/// matrix runner exports one lane per worker so a whole table run can be
+/// inspected as a timeline; a deterministic mode replaces wall-clock
+/// timestamps with logical ones so determinism tests can compare files
+/// byte-for-byte across thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_TRACE_H
+#define VPO_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpo {
+
+/// One complete ("X") trace event.
+struct TraceEvent {
+  std::string Name;
+  std::string Cat;
+  uint64_t TsMicros = 0;  ///< start, microseconds
+  uint64_t DurMicros = 0; ///< duration, microseconds
+  unsigned Pid = 1;
+  unsigned Tid = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// An event list serializable as {"traceEvents":[...]}.
+class TraceFile {
+public:
+  void add(TraceEvent E) { Events.push_back(std::move(E)); }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  bool empty() const { return Events.empty(); }
+
+  /// The full trace document. Events appear in insertion order; viewers
+  /// sort by timestamp themselves.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace vpo
+
+#endif // VPO_SUPPORT_TRACE_H

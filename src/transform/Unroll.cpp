@@ -347,6 +347,7 @@ UnrollFailure vpo::unrollLoop(Function &F, const Loop &L,
       Tail = F.addBlock(F.uniqueBlockName(Body->name() + ".unroll.setup2"));
       Br.FalseTarget = Tail;
       Setup->append(std::move(Br));
+      Result.InexactStrideGuard = true;
     }
 
     uint64_t Mask = StepMag * Factor - 1;

@@ -57,6 +57,10 @@ struct UnrollResult {
   BasicBlock *Setup = nullptr;        ///< remainder-count computation
   BasicBlock *Guard = nullptr;        ///< unrolled loop's preheader/guard
   unsigned Factor = 1;
+  /// True when the setup emitted the extra "span not a multiple of |step|"
+  /// guard branch (paper section 2.2's divisibility dispatch): only needed
+  /// for strides > 1, where the span can be inexact.
+  bool InexactStrideGuard = false;
 };
 
 /// Reasons unrolling can be refused (reported for statistics/tests).

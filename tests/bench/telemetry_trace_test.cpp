@@ -1,0 +1,228 @@
+//===- tests/bench/telemetry_trace_test.cpp - trace schema ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chrome trace export and the per-cell remark files are CI
+/// artifacts; this suite pins their schema. Every serialized event
+/// carries the complete-event key set viewers require; deterministic-mode
+/// timestamps are monotone per lane and the whole file is byte-identical
+/// at any thread count (like the bench JSON it annotates); wall-clock
+/// mode maps one lane per worker. Remark files are named, ordered, and
+/// filled identically however many threads measured the matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MatrixRunner.h"
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace vpo;
+using namespace vpo::bench;
+
+namespace {
+
+std::vector<CellSpec> traceSpecs(const TargetMachine &TM) {
+  SetupOptions Small;
+  Small.N = 256;
+  Small.Width = 16;
+  Small.Height = 16;
+  CompileOptions Base;
+  Base.Mode = CoalesceMode::None;
+  CompileOptions Coal;
+  Coal.Mode = CoalesceMode::LoadsAndStores;
+  return {
+      CellSpec{"dotproduct", "base", &TM, Base, Small, 0},
+      CellSpec{"dotproduct", "coal", &TM, Coal, Small, 0},
+      CellSpec{"image_add", "base", &TM, Base, Small, 0},
+      CellSpec{"image_add", "coal", &TM, Coal, Small, 0},
+      CellSpec{"convolution", "coal", &TM, Coal, Small, 0},
+  };
+}
+
+BenchReport measure(const TargetMachine &TM, unsigned Threads) {
+  RunnerOptions RO;
+  RO.Threads = Threads;
+  RO.CollectRemarks = true;
+  RO.ProfilePasses = true;
+  return MatrixRunner(RO).run("trace_test", traceSpecs(TM));
+}
+
+std::string readAll(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+// Serialized events must carry the complete-event ("ph":"X") key set —
+// what chrome://tracing and Perfetto require to place an event at all.
+TEST(TelemetryTrace, SerializedEventsHaveRequiredKeys) {
+  TraceFile TF;
+  TraceEvent E;
+  E.Name = "cell \"quoted\"";
+  E.Cat = "cell";
+  E.TsMicros = 10;
+  E.DurMicros = 5;
+  E.Tid = 3;
+  E.Args.emplace_back("workload", "dotproduct");
+  TF.add(E);
+  std::string J = TF.toJson();
+  EXPECT_EQ(J.find("{\"traceEvents\":["), 0u) << J;
+  for (const char *Key :
+       {"\"name\":", "\"cat\":", "\"ph\":\"X\"", "\"ts\":", "\"dur\":",
+        "\"pid\":", "\"tid\":", "\"args\":"})
+    EXPECT_NE(J.find(Key), std::string::npos) << "missing " << Key << ": "
+                                              << J;
+  // Quotes in names must be escaped, or the file is unloadable.
+  EXPECT_NE(J.find("cell \\\"quoted\\\""), std::string::npos) << J;
+
+  // writeFile round-trips the same bytes.
+  std::filesystem::path Tmp =
+      std::filesystem::temp_directory_path() / "vpo_trace_schema.json";
+  ASSERT_TRUE(TF.writeFile(Tmp.string()));
+  EXPECT_EQ(readAll(Tmp), J);
+  std::filesystem::remove(Tmp);
+}
+
+// Deterministic mode: every cell gets its slot in submission order, pass
+// events nest inside it, timestamps are monotone per lane, and the bytes
+// do not depend on the thread count.
+TEST(TelemetryTrace, DeterministicTraceIsThreadCountInvariant) {
+  TargetMachine TM = makeAlphaTarget();
+  BenchReport R1 = measure(TM, 1);
+  BenchReport R4 = measure(TM, 4);
+
+  std::string T1 = buildBenchTrace(R1, /*Deterministic=*/true).toJson();
+  std::string T4 = buildBenchTrace(R4, /*Deterministic=*/true).toJson();
+  EXPECT_EQ(T1, T4);
+
+  TraceFile TF = buildBenchTrace(R1, /*Deterministic=*/true);
+  ASSERT_FALSE(TF.empty());
+
+  // One "cell" event per spec plus at least one "pass" event each.
+  unsigned Cells = 0, Passes = 0;
+  std::map<unsigned, uint64_t> LastTsPerTid;
+  for (const TraceEvent &E : TF.events()) {
+    if (E.Cat == "cell")
+      ++Cells;
+    else if (E.Cat == "pass")
+      ++Passes;
+    EXPECT_FALSE(E.Name.empty());
+    EXPECT_EQ(E.Pid, 1u);
+    EXPECT_EQ(E.Tid, 0u) << "deterministic mode uses one logical lane";
+    auto [It, New] = LastTsPerTid.try_emplace(E.Tid, E.TsMicros);
+    if (!New) {
+      EXPECT_GE(E.TsMicros, It->second)
+          << "timestamps must be monotone within a lane";
+      It->second = E.TsMicros;
+    }
+  }
+  EXPECT_EQ(Cells, R1.Cells.size());
+  EXPECT_GE(Passes, R1.Cells.size());
+
+  // Cell slots are logical: cell I starts at I*1000us and every nested
+  // pass event fits inside the slot.
+  unsigned CellIdx = 0;
+  uint64_t SlotStart = 0, SlotEnd = 0;
+  for (const TraceEvent &E : TF.events()) {
+    if (E.Cat == "cell") {
+      SlotStart = uint64_t(CellIdx) * 1000;
+      SlotEnd = SlotStart + 1000;
+      EXPECT_EQ(E.TsMicros, SlotStart);
+      EXPECT_LE(E.TsMicros + E.DurMicros, SlotEnd);
+      ++CellIdx;
+    } else {
+      EXPECT_GE(E.TsMicros, SlotStart);
+      EXPECT_LE(E.TsMicros + E.DurMicros, SlotEnd);
+    }
+  }
+}
+
+// Wall-clock mode: one lane per worker (tid = worker + 1), real
+// durations, and cell metadata in the args so the timeline is
+// self-describing.
+TEST(TelemetryTrace, WallClockTraceMapsWorkersToLanes) {
+  TargetMachine TM = makeAlphaTarget();
+  BenchReport R = measure(TM, 2);
+  TraceFile TF = buildBenchTrace(R, /*Deterministic=*/false);
+
+  unsigned Cells = 0;
+  for (const TraceEvent &E : TF.events()) {
+    if (E.Cat != "cell")
+      continue;
+    ++Cells;
+    EXPECT_GE(E.Tid, 1u);
+    bool HasWorkload = false, HasVerified = false;
+    for (const auto &[K, V] : E.Args) {
+      HasWorkload |= K == "workload";
+      HasVerified |= K == "verified";
+    }
+    EXPECT_TRUE(HasWorkload);
+    EXPECT_TRUE(HasVerified);
+  }
+  EXPECT_EQ(Cells, R.Cells.size());
+}
+
+// Remark files: one per cell, named by submission index, descriptor line
+// first, and byte-identical at any thread count.
+TEST(TelemetryTrace, RemarkFilesAreThreadCountInvariant) {
+  TargetMachine TM = makeAlphaTarget();
+  BenchReport R1 = measure(TM, 1);
+  BenchReport R4 = measure(TM, 4);
+
+  namespace fs = std::filesystem;
+  fs::path D1 = fs::temp_directory_path() / "vpo_remarks_t1";
+  fs::path D4 = fs::temp_directory_path() / "vpo_remarks_t4";
+  fs::remove_all(D1);
+  fs::remove_all(D4);
+  ASSERT_TRUE(writeRemarkFiles(R1, D1.string()));
+  ASSERT_TRUE(writeRemarkFiles(R4, D4.string()));
+
+  for (size_t I = 0; I < R1.Cells.size(); ++I) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "cell-%03zu.ndjson", I);
+    SCOPED_TRACE(Name);
+    ASSERT_TRUE(fs::exists(D1 / Name));
+    std::string A = readAll(D1 / Name);
+    EXPECT_EQ(A, readAll(D4 / Name));
+
+    // First line is the cell descriptor carrying the stats snapshot.
+    std::string FirstLine = A.substr(0, A.find('\n'));
+    EXPECT_NE(FirstLine.find("\"workload\":"), std::string::npos);
+    EXPECT_NE(FirstLine.find("\"config\":"), std::string::npos);
+    EXPECT_NE(FirstLine.find("\"stats\":"), std::string::npos);
+    EXPECT_EQ(A.substr(A.find('\n') + 1), R1.Cells[I].Remarks)
+        << "file body must be exactly the cell's remark stream";
+  }
+  fs::remove_all(D1);
+  fs::remove_all(D4);
+}
+
+// The remark streams attached to cells are themselves thread-count
+// invariant (content comes from the compile, ordering from submission
+// index — never from scheduling).
+TEST(TelemetryTrace, CellRemarksAreThreadCountInvariant) {
+  TargetMachine TM = makeAlphaTarget();
+  BenchReport R1 = measure(TM, 1);
+  BenchReport R4 = measure(TM, 4);
+  ASSERT_EQ(R1.Cells.size(), R4.Cells.size());
+  for (size_t I = 0; I < R1.Cells.size(); ++I) {
+    EXPECT_EQ(R1.Cells[I].Remarks, R4.Cells[I].Remarks) << "cell " << I;
+    EXPECT_FALSE(R1.Cells[I].Remarks.empty()) << "cell " << I;
+  }
+  EXPECT_EQ(R1.toJson(/*IncludeTiming=*/false),
+            R4.toJson(/*IncludeTiming=*/false));
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+//===- tests/coalesce/GoldenUtils.h - golden-file comparison -----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-for-byte golden-file comparison for the telemetry suites. Golden
+/// data lives under tests/coalesce/golden/ (the VPO_GOLDEN_DIR compile
+/// definition); setting the VPO_UPDATE_GOLDEN environment variable makes
+/// every comparison rewrite its file instead of diffing, so one command
+/// regenerates the whole set:
+///
+///   VPO_UPDATE_GOLDEN=1 ctest --test-dir build -L telemetry
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_TESTS_COALESCE_GOLDENUTILS_H
+#define VPO_TESTS_COALESCE_GOLDENUTILS_H
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace vpo {
+namespace test {
+
+inline std::string goldenPath(const std::string &Name) {
+  return std::string(VPO_GOLDEN_DIR) + "/" + Name;
+}
+
+inline bool updatingGolden() {
+  return std::getenv("VPO_UPDATE_GOLDEN") != nullptr;
+}
+
+/// Diffs \p Text against the checked-in golden file \p Name byte-for-byte
+/// (or rewrites the file under VPO_UPDATE_GOLDEN).
+inline void checkGolden(const std::string &Name, const std::string &Text) {
+  const std::string Path = goldenPath(Name);
+  if (updatingGolden()) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(Out.good()) << "cannot write golden file " << Path;
+    Out << Text;
+    ASSERT_TRUE(Out.good()) << "short write to " << Path;
+    return;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good())
+      << "missing golden file " << Path
+      << " — regenerate with: VPO_UPDATE_GOLDEN=1 ctest -L telemetry";
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Text)
+      << "golden mismatch for " << Name << " — if the change is intended, "
+      << "regenerate with: VPO_UPDATE_GOLDEN=1 ctest -L telemetry";
+}
+
+} // namespace test
+} // namespace vpo
+
+#endif // VPO_TESTS_COALESCE_GOLDENUTILS_H

@@ -1,0 +1,200 @@
+//===- tests/coalesce/remark_golden_test.cpp - pinned remarks ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the coalescer's decision narrative on the paper's running example.
+/// "Figure 1" is the dot product with known-aligned restrict parameters —
+/// the pure accept path (unroll by 4, two load runs, no checks). "Figure
+/// 6" is the same kernel with nothing known about the parameters — the
+/// two-version path where alignment must be established at run time. The
+/// complete remark stream for each is diffed byte-for-byte against a
+/// checked-in golden file, so any change to a reason code, an argument
+/// key, or the order of decisions is a reviewed diff, not a silent drift.
+///
+/// The consistency suite then proves the remarks are not decorative: for
+/// every table workload under every paper configuration, the per-reason
+/// remark counts must reconcile exactly with the CoalesceStats counters
+/// the tables are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GoldenUtils.h"
+
+#include "ir/Function.h"
+#include "pipeline/Pipeline.h"
+#include "support/Remark.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace vpo;
+using namespace vpo::test;
+
+namespace {
+
+struct RemarkGolden : testing::Test {
+  TargetMachine TM = makeAlphaTarget();
+  CollectingRemarkSink Sink;
+
+  CompileOptions options() {
+    CompileOptions CO;
+    CO.Mode = CoalesceMode::LoadsAndStores;
+    CO.Unroll = true;
+    CO.Schedule = true;
+    CO.Remarks = &Sink;
+    return CO;
+  }
+
+  /// Builds and compiles \p Name with the sink attached; \p KnownParams
+  /// declares every parameter NoAlias + 8-aligned first (the static-
+  /// analysis-succeeds setup of figure1_test.cpp).
+  CoalesceStats compile(const char *Name, bool KnownParams,
+                        const CompileOptions &CO) {
+    auto W = makeWorkloadByName(Name);
+    Module M;
+    Function *F = W->build(M);
+    if (KnownParams) {
+      for (size_t P = 0; P < F->params().size(); ++P) {
+        F->paramInfo(P).NoAlias = true;
+        F->paramInfo(P).KnownAlign = 8;
+      }
+    }
+    return compileFunction(*F, TM, CO).Coalesce;
+  }
+};
+
+// Figure 1: known-aligned restrict arrays. Every decision lands on the
+// accept path and no preheader checks are emitted, so the stream is the
+// shortest complete narrative the coalescer can produce.
+TEST_F(RemarkGolden, Figure1KnownAligned) {
+  CoalesceStats S = compile("dotproduct", /*KnownParams=*/true, options());
+  EXPECT_EQ(S.LoopsTransformed, 1u);
+  ASSERT_FALSE(Sink.remarks().empty());
+  EXPECT_EQ(Sink.count("loop-unrolled"), 1u);
+  EXPECT_EQ(Sink.count("run-accepted"), 2u) << "one run per vector";
+  EXPECT_EQ(Sink.count("checks-emitted"), 0u);
+  EXPECT_EQ(Sink.count("loop-coalesced"), 1u);
+  checkGolden("figure1_remarks.txt", Sink.renderAll());
+}
+
+// Figure 6: nothing known about the parameters. The same kernel now goes
+// through alias deferral and run-time alignment checks — the two-version
+// loop of the paper's Figure 6 — and the stream records which checks were
+// emitted and why static analysis could not discharge them.
+TEST_F(RemarkGolden, Figure6RuntimeChecked) {
+  CoalesceStats S = compile("dotproduct", /*KnownParams=*/false, options());
+  EXPECT_EQ(S.LoopsTransformed, 1u);
+  EXPECT_EQ(Sink.count("alias-check-deferred"), S.AliasPairsDeferred);
+  EXPECT_EQ(Sink.count("alignment-check"), S.AlignmentChecks);
+  EXPECT_EQ(Sink.count("checks-emitted"), 1u);
+  checkGolden("figure6_remarks.txt", Sink.renderAll());
+}
+
+// The machine-readable stream (NDJSON) is pinned alongside the rendered
+// one for the Figure 1 kernel: this is the format remark-query and the
+// --remarks-dir files consume.
+TEST_F(RemarkGolden, Figure1JsonStream) {
+  compile("dotproduct", /*KnownParams=*/true, options());
+  checkGolden("figure1_remarks.ndjson", Sink.toJsonLines());
+}
+
+// Reason codes and argument keys are a stable machine interface:
+// non-empty kebab-case, nothing else.
+TEST_F(RemarkGolden, ReasonCodesAreStableKebabCase) {
+  auto IsKebab = [](const char *S) {
+    if (!S || !*S)
+      return false;
+    for (const char *C = S; *C; ++C)
+      if (!std::islower(static_cast<unsigned char>(*C)) &&
+          !std::isdigit(static_cast<unsigned char>(*C)) && *C != '-')
+        return false;
+    return true;
+  };
+  compile("dotproduct", /*KnownParams=*/false, options());
+  ASSERT_FALSE(Sink.remarks().empty());
+  for (const Remark &R : Sink.remarks()) {
+    EXPECT_TRUE(IsKebab(R.Pass)) << "pass: " << R.Pass;
+    EXPECT_TRUE(IsKebab(R.Reason)) << "reason: " << R.Reason;
+    EXPECT_FALSE(R.Fn.empty());
+    for (const auto &[K, V] : R.Args) {
+      EXPECT_TRUE(IsKebab(K)) << "arg key: " << K << " in " << R.Reason;
+      EXPECT_FALSE(V.empty()) << "empty value for " << K << " in "
+                              << R.Reason;
+    }
+  }
+}
+
+// Every accept/reject decision the stats count must have a remark behind
+// it: reconcile the per-reason counts against the CoalesceStats counters
+// for every table workload under every paper configuration. An unremarked
+// counter bump (or a remark with no counter) fails here.
+TEST_F(RemarkGolden, RemarkStatsConsistency) {
+  const char *Workloads[] = {"convolution", "image_add", "image_add16",
+                             "image_xor",   "translate", "eqntott",
+                             "mirror",      "dotproduct"};
+  for (const PipelineConfig &PC : paperConfigs()) {
+    for (const char *Name : Workloads) {
+      SCOPED_TRACE(std::string(Name) + " / " + PC.Name);
+      Sink.clear();
+      CompileOptions CO = PC.Options;
+      CO.Remarks = &Sink;
+      CoalesceStats S = compile(Name, /*KnownParams=*/false, CO);
+
+      EXPECT_EQ(Sink.count("loop-unrolled"), S.LoopsUnrolled);
+      EXPECT_EQ(Sink.count("loop-coalesced"), S.LoopsTransformed);
+      EXPECT_EQ(Sink.count("run-rejected-hazard") +
+                    Sink.count("run-rejected-uncheckable"),
+                S.RunsRejectedHazard);
+      EXPECT_EQ(Sink.count("loop-rejected-unclassified"),
+                S.LoopsRejectedUnclassified);
+      EXPECT_EQ(Sink.count("loop-rejected-profitability"),
+                S.LoopsRejectedProfitability);
+      EXPECT_EQ(Sink.count("alias-check-deferred"), S.AliasPairsDeferred);
+      EXPECT_EQ(Sink.count("alignment-check"), S.AlignmentChecks);
+      EXPECT_EQ(Sink.count("overlap-check") +
+                    Sink.count("overlap-check-uncheckable"),
+                S.OverlapChecks);
+
+      // Checks-disabled rejections come from two sites: per-run remarks,
+      // plus the bulk loop-rejected-overlap-infeasible remark whose
+      // "runs" argument carries the count.
+      unsigned Disabled = Sink.count("run-rejected-checks-disabled");
+      for (const Remark &R : Sink.remarks()) {
+        if (std::string(R.Reason) != "loop-rejected-overlap-infeasible")
+          continue;
+        for (const auto &[K, V] : R.Args)
+          if (std::string(K) == "runs")
+            Disabled += static_cast<unsigned>(std::strtoul(
+                V.c_str(), nullptr, 10));
+      }
+      EXPECT_EQ(Disabled, S.RunsRejectedChecksDisabled);
+
+      // Candidates partition completely: every run-candidate is resolved
+      // by exactly one accept/reject remark.
+      EXPECT_EQ(Sink.count("run-candidate"),
+                Sink.count("run-accepted") +
+                    Sink.count("run-rejected-hazard") +
+                    Sink.count("run-rejected-uncheckable") +
+                    Sink.count("run-rejected-checks-disabled"));
+    }
+  }
+}
+
+// Two identical compiles must produce byte-identical streams — the
+// property the fuzz oracle's telemetry dimension checks at scale.
+TEST_F(RemarkGolden, StreamIsDeterministic) {
+  compile("convolution", /*KnownParams=*/false, options());
+  std::string First = Sink.toJsonLines();
+  Sink.clear();
+  compile("convolution", /*KnownParams=*/false, options());
+  EXPECT_EQ(First, Sink.toJsonLines());
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/coalesce/stats_regression_test.cpp - stat baselines -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coalescer's behavior, frozen as numbers: CoalesceStats for every
+/// table workload under every paper configuration on all three targets,
+/// asserted exactly against a checked-in baseline. A heuristic tweak that
+/// changes how many loops unroll, how many runs coalesce, or how many
+/// check instructions get emitted anywhere in the matrix shows up as a
+/// reviewable one-line diff in the baseline file instead of a silent
+/// shift in the paper tables.
+///
+/// Regenerate after an intended change with:
+///
+///   VPO_UPDATE_GOLDEN=1 ctest --test-dir build -R StatsRegression
+///
+//===----------------------------------------------------------------------===//
+
+#include "GoldenUtils.h"
+
+#include "ir/Function.h"
+#include "pipeline/Pipeline.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace vpo;
+using namespace vpo::test;
+
+namespace {
+
+struct NamedTarget {
+  const char *Name;
+  TargetMachine TM;
+};
+
+std::vector<NamedTarget> regressionTargets() {
+  std::vector<NamedTarget> Targets;
+  Targets.push_back({"alpha", makeAlphaTarget()});
+  Targets.push_back({"m88100", makeM88100Target()});
+  Targets.push_back({"m68030", makeM68030Target()});
+  return Targets;
+}
+
+const char *const Workloads[] = {"convolution", "image_add", "image_add16",
+                                 "image_xor",   "translate", "eqntott",
+                                 "mirror",      "dotproduct"};
+
+/// One baseline line per cell: workload|target|config|static-params|json.
+std::string cellLine(const char *Workload, const char *Target,
+                     const std::string &Config, unsigned StaticParams,
+                     const CoalesceStats &S) {
+  return std::string(Workload) + "|" + Target + "|" + Config + "|static" +
+         std::to_string(StaticParams) + "|" + S.toJson() + "\n";
+}
+
+CoalesceStats compileCell(const char *Workload, const TargetMachine &TM,
+                          const CompileOptions &CO, unsigned StaticParams) {
+  auto W = makeWorkloadByName(Workload);
+  Module M;
+  Function *F = W->build(M);
+  for (size_t P = 0; P < F->params().size() && P < StaticParams; ++P) {
+    F->paramInfo(P).NoAlias = true;
+    F->paramInfo(P).KnownAlign = 8;
+  }
+  return compileFunction(*F, TM, CO).Coalesce;
+}
+
+// The full matrix — 8 workloads x 3 targets x 4 paper configurations,
+// unknown parameters (the tables' default), plus the static-params
+// ablation row for the strongest configuration.
+TEST(StatsRegression, BaselineMatrix) {
+  std::string Text;
+  auto Configs = paperConfigs();
+  for (const NamedTarget &T : regressionTargets()) {
+    for (const char *Workload : Workloads) {
+      for (const PipelineConfig &PC : Configs)
+        Text += cellLine(Workload, T.Name, PC.Name, 0,
+                         compileCell(Workload, T.TM, PC.Options, 0));
+      // Static-analysis-succeeds ablation: all parameters restrict-like.
+      Text += cellLine(Workload, T.Name, Configs.back().Name, 8,
+                       compileCell(Workload, T.TM, Configs.back().Options,
+                                   8));
+    }
+  }
+  checkGolden("stats_baseline.txt", Text);
+}
+
+// toJson is the baseline format; pin its shape so a key rename is a
+// deliberate (golden-regenerating) act, and keep it in sync with the
+// equality operator and the human-readable summary.
+TEST(StatsRegression, StatsJsonShape) {
+  CoalesceStats S;
+  S.LoopsExamined = 3;
+  S.LoadRunsCoalesced = 2;
+  S.CheckInstructions = 7;
+  std::string J = S.toJson();
+  EXPECT_NE(J.find("\"loops-examined\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"load-runs\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"check-instructions\":7"), std::string::npos) << J;
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+
+  CoalesceStats T = S;
+  EXPECT_TRUE(S == T);
+  T.OverlapChecks = 1;
+  EXPECT_FALSE(S == T);
+
+  // The summary line keeps the substrings the bench harnesses and older
+  // logs grep for.
+  std::string Sum = S.summary();
+  EXPECT_NE(Sum.find("examined="), std::string::npos) << Sum;
+  EXPECT_NE(Sum.find("loads="), std::string::npos) << Sum;
+  EXPECT_NE(Sum.find("alias-deferred="), std::string::npos) << Sum;
+}
+
+} // namespace

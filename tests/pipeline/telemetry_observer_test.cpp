@@ -1,0 +1,253 @@
+//===- tests/pipeline/telemetry_observer_test.cpp - read-only ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Telemetry must be a pure observer: compiling with no sink, a collecting
+/// sink, a streaming sink, or a sink plus per-pass profiling must produce
+/// bit-identical IR, bit-identical simulated memory images and return
+/// values, and (timing fields aside) byte-identical bench output. This is
+/// the contract that lets --remarks-dir and --trace default to cheap and
+/// safe: turning telemetry on can never change what is being measured.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "MatrixRunner.h"
+#include "pipeline/FaultInjection.h"
+#include "support/Remark.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace vpo;
+using namespace vpo::bench;
+using namespace vpo::test;
+
+namespace {
+
+CompileOptions fullOptions() {
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  return CO;
+}
+
+/// Compiles a fresh build of \p Workload on \p TM with \p CO and returns
+/// the printed IR.
+std::string compiledIR(const char *Workload, const TargetMachine &TM,
+                       const CompileOptions &CO) {
+  auto W = makeWorkloadByName(Workload);
+  Module M;
+  Function *F = W->build(M);
+  compileFunction(*F, TM, CO);
+  return printFunction(*F);
+}
+
+// Same kernel, four telemetry levels, identical code — on a RISC target
+// (checked path, extracts) and the CISC one (different legalization).
+TEST(TelemetryObserver, SinkDoesNotChangeGeneratedCode) {
+  const char *Workloads[] = {"dotproduct", "image_add", "convolution"};
+  TargetMachine Targets[] = {makeAlphaTarget(), makeM68030Target()};
+  for (const TargetMachine &TM : Targets) {
+    for (const char *Name : Workloads) {
+      SCOPED_TRACE(Name);
+      std::string Baseline = compiledIR(Name, TM, fullOptions());
+
+      CollectingRemarkSink Collecting;
+      CompileOptions WithSink = fullOptions();
+      WithSink.Remarks = &Collecting;
+      EXPECT_EQ(Baseline, compiledIR(Name, TM, WithSink));
+      EXPECT_FALSE(Collecting.remarks().empty())
+          << "sink attached but nothing was reported";
+
+      std::FILE *Null = std::tmpfile();
+      ASSERT_NE(Null, nullptr);
+      StreamingRemarkSink Streaming(Null);
+      CompileOptions WithStream = fullOptions();
+      WithStream.Remarks = &Streaming;
+      EXPECT_EQ(Baseline, compiledIR(Name, TM, WithStream));
+      std::fclose(Null);
+
+      CompileOptions WithProfile = fullOptions();
+      WithProfile.Remarks = &Collecting;
+      WithProfile.ProfilePasses = true;
+      EXPECT_EQ(Baseline, compiledIR(Name, TM, WithProfile));
+    }
+  }
+}
+
+// The streaming sink writes exactly what the collecting sink would
+// serialize — one NDJSON consumer format, two transports.
+TEST(TelemetryObserver, StreamingMatchesCollecting) {
+  TargetMachine TM = makeAlphaTarget();
+
+  CollectingRemarkSink Collecting;
+  CompileOptions CO = fullOptions();
+  CO.Remarks = &Collecting;
+  compiledIR("dotproduct", TM, CO);
+
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  StreamingRemarkSink Streaming(Tmp);
+  CompileOptions CS = fullOptions();
+  CS.Remarks = &Streaming;
+  compiledIR("dotproduct", TM, CS);
+
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  std::string Streamed;
+  int Ch;
+  while ((Ch = std::fgetc(Tmp)) != EOF)
+    Streamed += static_cast<char>(Ch);
+  std::fclose(Tmp);
+
+  EXPECT_EQ(Streamed, Collecting.toJsonLines());
+}
+
+// End to end through the simulator: the observed run (remarks + pass
+// profiling on) must produce the same return value and the same final
+// memory image as the unobserved one.
+TEST(TelemetryObserver, SimulatedExecutionIdentical) {
+  auto RunOnce = [](RemarkSink *Sink, bool Profile, int64_t &Ret,
+                    std::vector<uint8_t> &Image) {
+    auto W = makeWorkloadByName("image_add");
+    TargetMachine TM = makeAlphaTarget();
+    Module M;
+    Function *F = W->build(M);
+    CompileOptions CO = fullOptions();
+    CO.Remarks = Sink;
+    CO.ProfilePasses = Profile;
+    compileFunction(*F, TM, CO);
+
+    Memory Mem;
+    SetupOptions SO;
+    SO.Width = 64;
+    SO.Height = 64;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter Interp(TM, Mem);
+    RunResult R = Interp.run(*F, S.Args);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    Ret = R.ReturnValue;
+    Image.assign(Mem.data(), Mem.data() + Mem.size());
+  };
+
+  int64_t BaseRet = 0, SinkRet = 0;
+  std::vector<uint8_t> BaseImage, SinkImage;
+  RunOnce(nullptr, false, BaseRet, BaseImage);
+  CollectingRemarkSink Sink;
+  RunOnce(&Sink, true, SinkRet, SinkImage);
+
+  EXPECT_EQ(BaseRet, SinkRet);
+  ASSERT_EQ(BaseImage.size(), SinkImage.size());
+  EXPECT_EQ(0, std::memcmp(BaseImage.data(), SinkImage.data(),
+                           BaseImage.size()));
+}
+
+// Bench output (minus timing) is byte-identical whether a run collected
+// remarks and pass profiles or not: telemetry rides along, it never
+// steers.
+TEST(TelemetryObserver, BenchReportUnchangedByTelemetry) {
+  TargetMachine TM = makeAlphaTarget();
+  SetupOptions Small;
+  Small.N = 256;
+  Small.Width = 16;
+  Small.Height = 16;
+  CompileOptions Coal = fullOptions();
+  std::vector<CellSpec> Specs = {
+      CellSpec{"dotproduct", "coal", &TM, Coal, Small, 0},
+      CellSpec{"image_add", "coal", &TM, Coal, Small, 0},
+  };
+
+  RunnerOptions Plain;
+  Plain.Threads = 1;
+  BenchReport Base = MatrixRunner(Plain).run("observer", Specs);
+
+  RunnerOptions Observed;
+  Observed.Threads = 1;
+  Observed.CollectRemarks = true;
+  Observed.ProfilePasses = true;
+  BenchReport Full = MatrixRunner(Observed).run("observer", Specs);
+
+  EXPECT_EQ(Base.toJson(/*IncludeTiming=*/false),
+            Full.toJson(/*IncludeTiming=*/false));
+  ASSERT_EQ(Full.Cells.size(), 2u);
+  for (const CellResult &C : Full.Cells) {
+    EXPECT_FALSE(C.Remarks.empty());
+    EXPECT_FALSE(C.M.Passes.empty());
+  }
+  for (const CellResult &C : Base.Cells) {
+    EXPECT_TRUE(C.Remarks.empty());
+    EXPECT_TRUE(C.M.Passes.empty());
+  }
+}
+
+// Pass profiling covers the whole pipeline when enabled, and stays
+// strictly opt-in.
+TEST(TelemetryObserver, ProfilesRecordedAcrossAllPasses) {
+  auto W = makeWorkloadByName("dotproduct");
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO = fullOptions();
+  CO.ProfilePasses = true;
+  CompileReport R = compileFunction(*F, TM, CO);
+  ASSERT_FALSE(R.Passes.empty());
+  bool SawCoalesce = false, SawSchedule = false;
+  for (const CompileReport::PassProfile &P : R.Passes) {
+    EXPECT_FALSE(P.Pass.empty());
+    EXPECT_GE(P.Seconds, 0.0);
+    SawCoalesce |= P.Pass == "coalesce";
+    SawSchedule |= P.Pass == "schedule";
+  }
+  EXPECT_TRUE(SawCoalesce);
+  EXPECT_TRUE(SawSchedule);
+
+  // Without the flag the profile stays empty (no accidental always-on
+  // timing).
+  Module M2;
+  Function *F2 = W->build(M2);
+  CompileReport R2 = compileFunction(*F2, TM, fullOptions());
+  EXPECT_TRUE(R2.Passes.empty());
+}
+
+// A guard-rail rollback must not lose telemetry: the rolled-back pass
+// still gets its profile entry (marked not-kept, since Report restore
+// happens inside the pass body and the profile is appended after), and
+// the driver reports the intervention as a "pass-rolled-back" remark.
+TEST(TelemetryObserver, RollbackKeepsProfileAndEmitsRemark) {
+  auto W = makeWorkloadByName("image_add");
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+
+  FaultInjector Inj("coalesce", FaultKind::WrongWidth, /*Seed=*/42);
+  CollectingRemarkSink Sink;
+  CompileOptions CO = fullOptions();
+  CO.FaultHook = Inj;
+  CO.Remarks = &Sink;
+  CO.ProfilePasses = true;
+  CompileReport R = compileFunction(*F, TM, CO);
+
+  ASSERT_TRUE(Inj.fired());
+  ASSERT_EQ(R.Incidents.size(), 1u);
+  EXPECT_TRUE(R.Incidents[0].RolledBack);
+
+  bool SawRolledBackProfile = false;
+  for (const CompileReport::PassProfile &P : R.Passes)
+    if (P.Pass == "coalesce")
+      SawRolledBackProfile = !P.Kept;
+  EXPECT_TRUE(SawRolledBackProfile)
+      << "rolled-back pass missing from the profile (or marked kept)";
+  EXPECT_EQ(Sink.count("pass-rolled-back"), 1u);
+}
+
+} // namespace

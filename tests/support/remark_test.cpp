@@ -1,0 +1,142 @@
+//===- tests/support/remark_test.cpp - remark layer units -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the remark primitives themselves: the two render
+/// formats (human-readable line, NDJSON object), argument ordering, JSON
+/// escaping, the three sinks, and the emitter's disabled path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Remark.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace vpo;
+
+namespace {
+
+Remark sample() {
+  return Remark("coalesce", "dotproduct", "run-accepted")
+      .block("body")
+      .arg("kind", "load")
+      .arg("members", 4u)
+      .arg("start-off", int64_t(-8))
+      .arg("checked", true);
+}
+
+TEST(Remark, RenderFormat) {
+  EXPECT_EQ(sample().render(),
+            "coalesce @dotproduct [body] run-accepted kind=load "
+            "members=4 start-off=-8 checked=true");
+  // Block is optional and omitted entirely when empty.
+  EXPECT_EQ(Remark("unroll", "f", "unroll-skipped")
+                .arg("why", "width-uniform")
+                .render(),
+            "unroll @f unroll-skipped why=width-uniform");
+}
+
+TEST(Remark, JsonFormat) {
+  EXPECT_EQ(sample().toJson(),
+            "{\"pass\":\"coalesce\",\"function\":\"dotproduct\","
+            "\"block\":\"body\",\"reason\":\"run-accepted\","
+            "\"args\":{\"kind\":\"load\",\"members\":\"4\","
+            "\"start-off\":\"-8\",\"checked\":\"true\"}}");
+}
+
+TEST(Remark, ArgsKeepInsertionOrder) {
+  Remark R("p", "f", "r");
+  R.arg("z", "1").arg("a", "2").arg("m", "3");
+  EXPECT_EQ(R.render(), "p @f r z=1 a=2 m=3");
+}
+
+TEST(Remark, JsonEscaping) {
+  std::string Out;
+  appendJsonString(Out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(Out, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+
+  // An escaped value survives the full serialization.
+  Remark R("p", "fn\"quoted\"", "r");
+  R.arg("v", std::string("line1\nline2"));
+  std::string J = R.toJson();
+  EXPECT_NE(J.find("fn\\\"quoted\\\""), std::string::npos) << J;
+  EXPECT_NE(J.find("line1\\nline2"), std::string::npos) << J;
+  EXPECT_EQ(J.find('\n'), std::string::npos) << "NDJSON: one line only";
+}
+
+TEST(CollectingSink, CountRenderAllAndClear) {
+  CollectingRemarkSink Sink;
+  Sink.emit(sample());
+  Sink.emit(Remark("coalesce", "f", "run-rejected-hazard"));
+  Sink.emit(Remark("coalesce", "f", "run-accepted"));
+  EXPECT_EQ(Sink.remarks().size(), 3u);
+  EXPECT_EQ(Sink.count("run-accepted"), 2u);
+  EXPECT_EQ(Sink.count("run-rejected-hazard"), 1u);
+  EXPECT_EQ(Sink.count("no-such-reason"), 0u);
+
+  std::string All = Sink.renderAll();
+  EXPECT_EQ(All.find("coalesce @dotproduct"), 0u);
+  // One line per remark, each newline-terminated.
+  size_t Lines = 0;
+  for (char C : All)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 3u);
+
+  std::string Json = Sink.toJsonLines();
+  Lines = 0;
+  for (char C : Json)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 3u);
+  EXPECT_EQ(Json.find("{\"pass\":"), 0u);
+
+  Sink.clear();
+  EXPECT_TRUE(Sink.remarks().empty());
+  EXPECT_EQ(Sink.renderAll(), "");
+}
+
+TEST(StreamingSink, WritesNdjsonLines) {
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  {
+    StreamingRemarkSink Sink(Tmp);
+    Sink.emit(sample());
+    Sink.emit(Remark("p", "f", "r"));
+  }
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  std::string Got;
+  int Ch;
+  while ((Ch = std::fgetc(Tmp)) != EOF)
+    Got += static_cast<char>(Ch);
+  std::fclose(Tmp);
+
+  CollectingRemarkSink Ref;
+  Ref.emit(sample());
+  Ref.emit(Remark("p", "f", "r"));
+  EXPECT_EQ(Got, Ref.toJsonLines());
+}
+
+TEST(RemarkEmitter, DisabledPathIsInert) {
+  RemarkEmitter E; // no sink
+  EXPECT_FALSE(E.enabled());
+  E.emit(E.start("anything").arg("k", "v")); // must be a safe no-op
+  EXPECT_EQ(E.sink(), nullptr);
+}
+
+TEST(RemarkEmitter, FillsPassAndFunctionContext) {
+  CollectingRemarkSink Sink;
+  RemarkEmitter E(&Sink, "coalesce", "kernel");
+  ASSERT_TRUE(E.enabled());
+  E.emit(E.start("loop-coalesced").arg("runs", 2u));
+  ASSERT_EQ(Sink.remarks().size(), 1u);
+  EXPECT_STREQ(Sink.remarks()[0].Pass, "coalesce");
+  EXPECT_EQ(Sink.remarks()[0].Fn, "kernel");
+  EXPECT_STREQ(Sink.remarks()[0].Reason, "loop-coalesced");
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tools/remark_query.cpp - NDJSON remark filter ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Filters and summarizes the NDJSON remark streams the bench harnesses
+/// write (--remarks-dir) and the tests pin. Reads files named on the
+/// command line (or stdin), keeps lines matching every given filter, and
+/// prints them back — or counts per reason with --summary.
+///
+///   remark-query --reason=run-rejected-hazard remarks/cell-*.ndjson
+///   remark-query --pass=coalesce --function=dotproduct --count a.ndjson
+///   remark-query --summary remarks/cell-003.ndjson
+///
+/// The parser understands exactly the subset of JSON the remark writer
+/// emits: one flat object per line with string values (plus the nested
+/// "args" object), escapes included. Descriptor lines (no "reason" key)
+/// and malformed lines are skipped, never fatal.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Extracts the string value of top-level key \p Key from the single-line
+/// JSON object \p Line, or "" when absent. Good enough for the remark
+/// writer's output: keys are unescaped literals, values are JSON strings.
+std::string fieldOf(const std::string &Line, const std::string &Key) {
+  std::string Needle = "\"" + Key + "\":\"";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return "";
+  std::string Out;
+  for (size_t I = At + Needle.size(); I < Line.size(); ++I) {
+    char C = Line[I];
+    if (C == '\\' && I + 1 < Line.size()) {
+      char N = Line[++I];
+      switch (N) {
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      case 'r': Out += '\r'; break;
+      case 'u':
+        // The writer only emits \u00XX for control bytes; decode those.
+        if (I + 4 < Line.size()) {
+          Out += static_cast<char>(
+              std::strtol(Line.substr(I + 1, 4).c_str(), nullptr, 16));
+          I += 4;
+        }
+        break;
+      default: Out += N; break;
+      }
+      continue;
+    }
+    if (C == '"')
+      break;
+    Out += C;
+  }
+  return Out;
+}
+
+struct Filters {
+  std::string Pass, Reason, Function, Block;
+  bool CountOnly = false;
+  bool Summary = false;
+};
+
+bool matches(const std::string &Line, const Filters &F) {
+  if (fieldOf(Line, "reason").empty())
+    return false; // descriptor or malformed line
+  if (!F.Pass.empty() && fieldOf(Line, "pass") != F.Pass)
+    return false;
+  if (!F.Reason.empty() && fieldOf(Line, "reason") != F.Reason)
+    return false;
+  if (!F.Function.empty() && fieldOf(Line, "function") != F.Function)
+    return false;
+  if (!F.Block.empty() && fieldOf(Line, "block") != F.Block)
+    return false;
+  return true;
+}
+
+int run(std::FILE *In, const Filters &F, uint64_t &Matched,
+        std::map<std::string, uint64_t> &PerReason) {
+  std::string Line;
+  int Ch;
+  auto Flush = [&] {
+    if (!Line.empty() && matches(Line, F)) {
+      ++Matched;
+      if (F.Summary)
+        ++PerReason[fieldOf(Line, "reason")];
+      else if (!F.CountOnly)
+        std::printf("%s\n", Line.c_str());
+    }
+    Line.clear();
+  };
+  while ((Ch = std::fgetc(In)) != EOF) {
+    if (Ch == '\n')
+      Flush();
+    else
+      Line += static_cast<char>(Ch);
+  }
+  Flush();
+  return 0;
+}
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--pass=P] [--reason=R] [--function=F] "
+               "[--block=B] [--count] [--summary] [FILE...]\n"
+               "Filters NDJSON remark streams; reads stdin when no FILE "
+               "is given.\n",
+               Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Filters F;
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    if (A.rfind("--pass=", 0) == 0)
+      F.Pass = A.substr(7);
+    else if (A.rfind("--reason=", 0) == 0)
+      F.Reason = A.substr(9);
+    else if (A.rfind("--function=", 0) == 0)
+      F.Function = A.substr(11);
+    else if (A.rfind("--block=", 0) == 0)
+      F.Block = A.substr(8);
+    else if (A == "--count")
+      F.CountOnly = true;
+    else if (A == "--summary")
+      F.Summary = true;
+    else if (A.rfind("--", 0) == 0)
+      return usage(Argv[0]);
+    else
+      Files.push_back(A);
+  }
+
+  uint64_t Matched = 0;
+  std::map<std::string, uint64_t> PerReason;
+  if (Files.empty()) {
+    run(stdin, F, Matched, PerReason);
+  } else {
+    for (const std::string &Path : Files) {
+      std::FILE *In = std::fopen(Path.c_str(), "r");
+      if (!In) {
+        std::fprintf(stderr, "%s: cannot open %s\n", Argv[0], Path.c_str());
+        return 1;
+      }
+      run(In, F, Matched, PerReason);
+      std::fclose(In);
+    }
+  }
+
+  if (F.Summary)
+    for (const auto &[Reason, N] : PerReason)
+      std::printf("%8llu  %s\n", static_cast<unsigned long long>(N),
+                  Reason.c_str());
+  if (F.CountOnly)
+    std::printf("%llu\n", static_cast<unsigned long long>(Matched));
+  return 0;
+}
