@@ -1,0 +1,478 @@
+//===- bench/vpod_load.cpp - vpod load & availability harness ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load harness and availability proof for the compile service. Boots a
+/// private vpod (fault injection enabled), then drives three phases over
+/// one pipelined connection:
+///
+///   1. **Cold**: K generated kernels (fuzz/KernelGen.h), compile+run
+///      requests, every result reference-diffed against an in-process
+///      compile of the same request — latency percentiles with an empty
+///      cache.
+///   2. **Warm**: the same K requests again; every response must arrive
+///      with cached=true and a byte-identical result signature.
+///   3. **Campaign**: a seeded request mix with planted worker crashes,
+///      hangs (under a short deadline), in-flight miscompiles
+///      (pipeline/FaultInjection.h), and whitespace-variant repeats.
+///      Every response must be correct for its rung: the harness
+///      recompiles the request locally at the rung the daemon reports
+///      and diffs IR, content key, and run results byte-for-byte.
+///
+/// The run fails (exit 1) unless 100% of campaign requests produced a
+/// correct, reference-matching result and the daemon process survived
+/// from boot to shutdown. Following the MatrixRunner convention, the
+/// harness prints a summary table and writes BENCH_vpod.json:
+///
+///   { "name": "vpod_load", "workers": 3, "kernels": 24,
+///     "cold_p50_ms": ..., "cold_p99_ms": ..., "warm_p50_ms": ...,
+///     "warm_p99_ms": ..., "cache_hit_rate": 1.0,
+///     "campaign_requests": 220, "campaign_correct": 220,
+///     "availability": 1.0, "degraded": ..., "worker_crashes": ...,
+///     "worker_deadlines": ..., "respawns": ..., "daemon_restarts": 0 }
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+#include "service/Client.h"
+#include "service/Worker.h"
+#include "sim/Memory.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_LOAD_POSIX 1
+#include "service/Daemon.h"
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+using namespace vpo;
+using namespace vpo::service;
+
+namespace {
+
+struct LoadArgs {
+  std::string Socket;    ///< empty = boot a private daemon
+  unsigned Workers = 3;
+  unsigned Kernels = 24;
+  unsigned Campaign = 220;
+  uint64_t Seed = 1;
+  std::string JsonPath = "BENCH_vpod.json";
+  bool Ok = true;
+};
+
+LoadArgs parseArgs(int Argc, char **Argv) {
+  LoadArgs A;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Val = [&Arg](const char *Name) -> const char * {
+      size_t N = std::strlen(Name);
+      if (Arg.compare(0, N, Name) == 0 && Arg.size() > N && Arg[N] == '=')
+        return Arg.c_str() + N + 1;
+      return nullptr;
+    };
+    if (const char *V = Val("--socket"))
+      A.Socket = V;
+    else if (const char *V = Val("--workers"))
+      A.Workers = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--kernels"))
+      A.Kernels = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--campaign"))
+      A.Campaign = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--seed"))
+      A.Seed = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Val("--json"))
+      A.JsonPath = V;
+    else {
+      std::fprintf(stderr,
+                   "usage: vpod_load [--socket=P] [--workers=N] "
+                   "[--kernels=N] [--campaign=N] [--seed=N] [--json=P]\n");
+      A.Ok = false;
+      return A;
+    }
+  }
+  return A;
+}
+
+#ifdef VPO_LOAD_POSIX
+
+double nowSeconds() {
+  timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return double(TS.tv_sec) + double(TS.tv_nsec) * 1e-9;
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = size_t(P * double(V.size() - 1) + 0.5);
+  return V[I < V.size() ? I : V.size() - 1];
+}
+
+/// One prepared request plus everything needed to check its answer.
+struct PreparedKernel {
+  std::string IRText;
+  std::string RunArgs;
+};
+
+std::string renderArgs(const std::vector<int64_t> &Args) {
+  std::string Out;
+  for (int64_t A : Args) {
+    if (!Out.empty())
+      Out += ",";
+    Out += std::to_string(A);
+  }
+  return Out;
+}
+
+/// In-process reference: the exact code path a healthy worker runs, at
+/// the rung the daemon reported. Crash/hang plants are stripped (they
+/// would kill the harness; the daemon's answer for them came from a
+/// clean retry anyway). Pass plants are *replayed* — the guard rails
+/// deterministically roll back and disable the corrupted pass, so the
+/// correct answer for such a request is the disabled-pass compile, not
+/// the clean one.
+ServiceResponse referenceFor(const ServiceRequest &Req, unsigned Rung) {
+  ServiceRequest Ref = Req;
+  if (Ref.Fault.compare(0, 5, "crash") == 0 ||
+      Ref.Fault.compare(0, 4, "hang") == 0)
+    Ref.Fault.clear();
+  Ref.Rung = Rung;
+  WorkerLimits Limits;
+  Limits.AllowFaultInjection = !Ref.Fault.empty();
+  return compileServiceRequest(Ref, Limits);
+}
+
+/// Correct iff the service answer matches the local reference at its
+/// rung: same status, content key, optimized IR, and run outcome.
+/// Incidents/remarks are excluded — a rolled-back fault plant leaves an
+/// incident trail the clean reference doesn't have, by design.
+bool matchesReference(const ServiceResponse &Got, const ServiceRequest &Req,
+                      std::string &Why) {
+  ServiceResponse Want = referenceFor(Req, Got.Rung);
+  if (Got.Status != Want.Status) {
+    Why = std::string("status ") + errorCodeName(Got.Status) + " != " +
+          errorCodeName(Want.Status);
+    return false;
+  }
+  if (Got.Key != Want.Key) {
+    Why = "content key diverged";
+    return false;
+  }
+  if (Req.WantIR && Got.IR != Want.IR) {
+    Why = "optimized IR diverged at rung " + std::to_string(Got.Rung);
+    return false;
+  }
+  if (Got.Ran != Want.Ran || Got.RunStatus != Want.RunStatus ||
+      Got.ReturnValue != Want.ReturnValue) {
+    Why = "run outcome diverged (" + Got.RunStatus + " ret " +
+          std::to_string(Got.ReturnValue) + " vs " + Want.RunStatus +
+          " ret " + std::to_string(Want.ReturnValue) + ")";
+    return false;
+  }
+  return true;
+}
+
+int runHarness(const LoadArgs &A) {
+  std::string Socket = A.Socket;
+  long DaemonPid = -1;
+  if (Socket.empty()) {
+    Socket = "vpod_load_" + std::to_string(long(::getpid())) + ".sock";
+    long Pid = ::fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "vpod_load: fork failed\n");
+      return 1;
+    }
+    if (Pid == 0) {
+      DaemonOptions DO;
+      DO.SocketPath = Socket;
+      DO.Workers = A.Workers;
+      DO.Limits.AllowFaultInjection = true;
+      Daemon D(DO);
+      if (!D.start())
+        ::_exit(1);
+      D.run();
+      ::_exit(0);
+    }
+    DaemonPid = Pid;
+  }
+
+  ServiceClient Client;
+  bool Connected = false;
+  for (int Try = 0; Try < 100 && !Connected; ++Try) {
+    Connected = bool(Client.connectTo(Socket));
+    if (!Connected) {
+      timespec TS = {0, 50'000'000}; // 50ms
+      nanosleep(&TS, nullptr);
+    }
+  }
+  if (!Connected) {
+    std::fprintf(stderr, "vpod_load: could not connect to %s\n",
+                 Socket.c_str());
+    return 1;
+  }
+
+  // Prepare the kernel pool: seeded generated kernels with argument
+  // vectors laid out exactly as the fuzzer would (stream bases then N),
+  // so runs exercise real loads/stores over the zero-filled arena.
+  std::vector<PreparedKernel> Pool;
+  for (unsigned I = 0; I < A.Kernels; ++I) {
+    fuzz::GeneratedKernel GK = fuzz::generateKernel(A.Seed * 1000 + I);
+    Memory Scratch;
+    PreparedKernel P;
+    P.IRText = GK.IRText;
+    P.RunArgs = renderArgs(
+        fuzz::setupKernelMemory(GK.Spec, 16, Scratch, /*LayoutSkew=*/0));
+    Pool.push_back(std::move(P));
+  }
+
+  auto MakeReq = [](const PreparedKernel &P, const std::string &Config,
+                    const std::string &Id) {
+    ServiceRequest Req;
+    Req.Id = Id;
+    Req.IR = P.IRText;
+    Req.Config = Config;
+    Req.RunArgs = P.RunArgs;
+    Req.ArenaKB = 1024;
+    Req.WantRemarks = true;
+    return Req;
+  };
+
+  unsigned Failures = 0;
+  auto Fail = [&Failures](const std::string &Id, const std::string &Why) {
+    ++Failures;
+    std::fprintf(stderr, "vpod_load: FAIL %s: %s\n", Id.c_str(),
+                 Why.c_str());
+  };
+
+  // Phase 1: cold.
+  std::vector<double> ColdMs;
+  std::vector<std::string> ColdSignatures;
+  for (unsigned I = 0; I < Pool.size(); ++I) {
+    ServiceRequest Req =
+        MakeReq(Pool[I], "coalesce-all", "cold-" + std::to_string(I));
+    double T0 = nowSeconds();
+    StatusOr<ServiceResponse> R = Client.call(Req);
+    ColdMs.push_back((nowSeconds() - T0) * 1000.0);
+    if (!R) {
+      Fail(Req.Id, R.status().message());
+      ColdSignatures.emplace_back();
+      continue;
+    }
+    std::string Why;
+    if (R->Cached)
+      Fail(Req.Id, "cold request reported cached=true");
+    else if (!matchesReference(*R, Req, Why))
+      Fail(Req.Id, Why);
+    ColdSignatures.push_back(R->resultSignature());
+  }
+
+  // Phase 2: warm — every request must be a byte-identical cache hit.
+  std::vector<double> WarmMs;
+  unsigned WarmHits = 0;
+  for (unsigned I = 0; I < Pool.size(); ++I) {
+    ServiceRequest Req =
+        MakeReq(Pool[I], "coalesce-all", "warm-" + std::to_string(I));
+    double T0 = nowSeconds();
+    StatusOr<ServiceResponse> R = Client.call(Req);
+    WarmMs.push_back((nowSeconds() - T0) * 1000.0);
+    if (!R) {
+      Fail(Req.Id, R.status().message());
+      continue;
+    }
+    if (!R->Cached) {
+      Fail(Req.Id, "warm request missed the cache");
+      continue;
+    }
+    ++WarmHits;
+    if (R->resultSignature() != ColdSignatures[I])
+      Fail(Req.Id, "cached result is not byte-identical to the cold one");
+  }
+
+  // Phase 3: fault-injection campaign.
+  static const char *Configs[] = {"vpo-O", "coalesce-loads", "coalesce-all",
+                                  "coalesce-all+companions",
+                                  "coalesce-all-u4"};
+  RNG Rng(A.Seed * 7919 + 17);
+  unsigned Correct = 0, Degraded = 0, Planted = 0;
+  for (unsigned J = 0; J < A.Campaign; ++J) {
+    const PreparedKernel &P = Pool[Rng.nextBelow(Pool.size())];
+    ServiceRequest Req =
+        MakeReq(P, Configs[Rng.nextBelow(5)], "c-" + std::to_string(J));
+    uint64_t Dice = Rng.nextBelow(20);
+    bool ExpectDegraded = false;
+    if (Dice < 2) { // planted crash at rung 0
+      Req.Fault = "crash";
+      ExpectDegraded = true;
+      ++Planted;
+    } else if (Dice == 2) { // planted crash through rung 1
+      Req.Fault = "crash:1";
+      ExpectDegraded = true;
+      ++Planted;
+    } else if (Dice == 3) { // planted hang under a short deadline
+      Req.Fault = "hang";
+      Req.DeadlineMs = 250;
+      ExpectDegraded = true;
+      ++Planted;
+    } else if (Dice == 4) { // planted in-flight miscompile
+      Req.Fault = "coalesce:wrong-width:" + std::to_string(1 + J % 5);
+      ++Planted;
+    } else if (Dice == 5) { // whitespace variant: canonical-key alias path
+      Req.IR = "\n" + Req.IR + "\n  \n";
+    }
+    StatusOr<ServiceResponse> R = Client.call(Req);
+    if (!R) {
+      Fail(Req.Id, R.status().message());
+      continue;
+    }
+    if (R->Status != ErrorCode::Ok) {
+      Fail(Req.Id, std::string("status ") + errorCodeName(R->Status) +
+                       ": " + R->Error);
+      continue;
+    }
+    if (ExpectDegraded && R->Rung == 0) {
+      Fail(Req.Id, "planted " + Req.Fault + " but got a rung-0 answer");
+      continue;
+    }
+    std::string Why;
+    if (!matchesReference(*R, Req, Why)) {
+      Fail(Req.Id, Why);
+      continue;
+    }
+    ++Correct;
+    if (R->Rung > 0)
+      ++Degraded;
+  }
+
+  // The daemon must have survived the entire campaign in one process.
+  unsigned DaemonRestarts = 0;
+  if (DaemonPid > 0) {
+    int St = 0;
+    if (::waitpid(DaemonPid, &St, WNOHANG) != 0) {
+      ++DaemonRestarts; // it exited: availability was lost
+      Fail("daemon", "vpod process died during the campaign");
+    }
+  }
+
+  // Daemon-side counters, for the report.
+  uint64_t SrvCrashes = 0, SrvDeadlines = 0, SrvRespawns = 0, SrvHits = 0;
+  {
+    ServiceRequest Req;
+    Req.Op = "status";
+    Req.Id = "status";
+    if (StatusOr<ServiceResponse> R = Client.call(Req)) {
+      for (const auto &KV : R->Extra) {
+        if (KV.first == "worker_crashes")
+          SrvCrashes = std::strtoull(KV.second.c_str(), nullptr, 10);
+        else if (KV.first == "worker_deadlines")
+          SrvDeadlines = std::strtoull(KV.second.c_str(), nullptr, 10);
+        else if (KV.first == "respawns")
+          SrvRespawns = std::strtoull(KV.second.c_str(), nullptr, 10);
+        else if (KV.first == "cache_hits")
+          SrvHits = std::strtoull(KV.second.c_str(), nullptr, 10);
+      }
+    }
+  }
+
+  if (DaemonPid > 0) {
+    ServiceRequest Req;
+    Req.Op = "shutdown";
+    Req.Id = "bye";
+    (void)Client.call(Req);
+    Client.close();
+    int St = 0;
+    ::waitpid(DaemonPid, &St, 0);
+  }
+
+  double HitRate = Pool.empty() ? 0.0 : double(WarmHits) / double(Pool.size());
+  double Availability =
+      A.Campaign == 0 ? 1.0 : double(Correct) / double(A.Campaign);
+
+  std::printf("vpod_load: %u kernels, %u campaign requests (%u planted "
+              "faults)\n",
+              unsigned(Pool.size()), A.Campaign, Planted);
+  std::printf("  cold  p50 %7.2f ms   p99 %7.2f ms\n",
+              percentile(ColdMs, 0.50), percentile(ColdMs, 0.99));
+  std::printf("  warm  p50 %7.2f ms   p99 %7.2f ms   hit rate %.3f\n",
+              percentile(WarmMs, 0.50), percentile(WarmMs, 0.99), HitRate);
+  std::printf("  campaign: %u/%u correct, %u degraded, availability "
+              "%.4f\n",
+              Correct, A.Campaign, Degraded, Availability);
+  std::printf("  daemon: crashes=%llu deadlines=%llu respawns=%llu "
+              "restarts=%u\n",
+              (unsigned long long)SrvCrashes,
+              (unsigned long long)SrvDeadlines,
+              (unsigned long long)SrvRespawns, DaemonRestarts);
+
+  std::string Json = "{\n";
+  auto Num = [&Json](const char *K, double V, bool Last = false) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", V);
+    Json += std::string("  \"") + K + "\": " + Buf + (Last ? "\n" : ",\n");
+  };
+  auto Int = [&Json](const char *K, uint64_t V) {
+    Json += std::string("  \"") + K + "\": " + std::to_string(V) + ",\n";
+  };
+  Json += "  \"name\": \"vpod_load\",\n";
+  Int("workers", A.Workers);
+  Int("kernels", Pool.size());
+  Num("cold_p50_ms", percentile(ColdMs, 0.50));
+  Num("cold_p99_ms", percentile(ColdMs, 0.99));
+  Num("warm_p50_ms", percentile(WarmMs, 0.50));
+  Num("warm_p99_ms", percentile(WarmMs, 0.99));
+  Num("cache_hit_rate", HitRate);
+  Int("campaign_requests", A.Campaign);
+  Int("campaign_correct", Correct);
+  Int("planted_faults", Planted);
+  Int("degraded", Degraded);
+  Int("worker_crashes", SrvCrashes);
+  Int("worker_deadlines", SrvDeadlines);
+  Int("respawns", SrvRespawns);
+  Int("cache_hits_server", SrvHits);
+  Int("daemon_restarts", DaemonRestarts);
+  Num("availability", Availability, /*Last=*/true);
+  Json += "}\n";
+  std::FILE *F = std::fopen(A.JsonPath.c_str(), "w");
+  if (F) {
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("  wrote %s\n", A.JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "vpod_load: cannot write %s\n", A.JsonPath.c_str());
+    ++Failures;
+  }
+
+  if (Failures) {
+    std::fprintf(stderr, "vpod_load: %u failure(s)\n", Failures);
+    return 1;
+  }
+  return 0;
+}
+
+#endif // VPO_LOAD_POSIX
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadArgs A = parseArgs(Argc, Argv);
+  if (!A.Ok)
+    return 2;
+#ifdef VPO_LOAD_POSIX
+  return runHarness(A);
+#else
+  std::fprintf(stderr, "vpod_load: requires a POSIX platform\n");
+  return 0;
+#endif
+}

@@ -6,6 +6,8 @@
 
 #include "fuzz/Watchdog.h"
 
+#include "support/Posix.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -52,7 +54,10 @@ ContainedOutcome vpo::fuzz::runContained(
 
   close(Pipe[1]);
   // Drain the pipe under the deadline. EOF before the deadline means the
-  // child is done (or dead); the final waitpid classifies which.
+  // child is done (or dead); the final waitpid classifies which. A poll
+  // error other than EINTR counts as a timeout: the child may still be
+  // running, and waiting for it unbounded would hang the campaign, so it
+  // is killed and reaped like a hang (no zombie on the early-error path).
   bool Timeout = false;
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(TimeoutMs);
@@ -64,14 +69,18 @@ ContainedOutcome vpo::fuzz::runContained(
     int R = poll(&P, 1, Left > 0 ? static_cast<int>(Left) : 0);
     if (R < 0 && errno == EINTR)
       continue;
-    if (R == 0) {
+    if (R <= 0) {
       Timeout = true;
       break;
     }
     char Buf[4096];
-    ssize_t Got = read(Pipe[0], Buf, sizeof(Buf));
-    if (Got <= 0)
-      break; // EOF (or error): the child closed its end
+    long Got = posix::readRetry(Pipe[0], Buf, sizeof(Buf));
+    if (Got < 0) {
+      Timeout = true; // kill + reap rather than block in waitpid
+      break;
+    }
+    if (Got == 0)
+      break; // EOF: the child closed its end
     if (Out.Output.size() < MaxOutputBytes)
       Out.Output.append(Buf,
                         Buf + std::min<size_t>(static_cast<size_t>(Got),
@@ -81,16 +90,19 @@ ContainedOutcome vpo::fuzz::runContained(
   close(Pipe[0]);
 
   if (Timeout) {
-    kill(Child, SIGKILL);
-    int St = 0;
-    while (waitpid(Child, &St, 0) < 0 && errno == EINTR)
-      ;
+    int St = posix::reapChild(Child, /*GraceMs=*/0);
     Out.K = ContainedOutcome::Kind::TimedOut;
+    // A deadline child that beat the SIGKILL to a crash still counts as
+    // a timeout for the campaign; classification keeps the kill signal.
+    (void)St;
     return Out;
   }
-  int St = 0;
-  while (waitpid(Child, &St, 0) < 0 && errno == EINTR)
-    ;
+  int St = posix::reapChild(Child, /*GraceMs=*/5000);
+  if (St < 0) {
+    Out.K = ContainedOutcome::Kind::Completed;
+    Out.ExitCode = -1;
+    return Out;
+  }
   if (WIFSIGNALED(St)) {
     Out.K = ContainedOutcome::Kind::Crashed;
     Out.Signal = WTERMSIG(St);
@@ -102,15 +114,7 @@ ContainedOutcome vpo::fuzz::runContained(
 }
 
 void vpo::fuzz::writeAll(int Fd, const std::string &S) {
-  size_t Off = 0;
-  while (Off < S.size()) {
-    ssize_t W = write(Fd, S.data() + Off, S.size() - Off);
-    if (W < 0 && errno == EINTR)
-      continue;
-    if (W <= 0)
-      break;
-    Off += static_cast<size_t>(W);
-  }
+  posix::writeFull(Fd, S);
 }
 
 #else

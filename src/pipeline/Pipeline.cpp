@@ -69,10 +69,23 @@ private:
     Journal.arm(F);
     const CompileReport Saved = Report;
 
+    const size_t PreInsts = F.instructionCount();
     Body();
     if (Opts.FaultHook)
       Opts.FaultHook(Name, F);
     std::vector<Diagnostic> Diags = verifyFunctionDiagnostics(F, Name);
+    // Resource guard: verified-but-exploded output is rolled back too,
+    // with a resource-exhausted diagnostic rather than a generic one.
+    // Only a pass that *grew* the function is charged; an input already
+    // over budget is the frontend's problem, not this pass's.
+    if (Diags.empty() && Opts.MaxFunctionInsts != 0 &&
+        F.instructionCount() > Opts.MaxFunctionInsts &&
+        F.instructionCount() > PreInsts)
+      Diags.push_back(Diagnostic(
+          ErrorCode::ResourceExhausted, Name, F.name(),
+          "instruction budget exceeded: " +
+              std::to_string(F.instructionCount()) + " > " +
+              std::to_string(Opts.MaxFunctionInsts)));
     if (Diags.empty()) {
       Journal.commit();
       return true;
@@ -99,6 +112,14 @@ private:
       Body();
       std::vector<Diagnostic> RetryDiags =
           verifyFunctionDiagnostics(F, Name);
+      if (RetryDiags.empty() && Opts.MaxFunctionInsts != 0 &&
+          F.instructionCount() > Opts.MaxFunctionInsts &&
+          F.instructionCount() > PreInsts)
+        RetryDiags.push_back(Diagnostic(
+            ErrorCode::ResourceExhausted, Name, F.name(),
+            "instruction budget exceeded: " +
+                std::to_string(F.instructionCount()) + " > " +
+                std::to_string(Opts.MaxFunctionInsts)));
       if (RetryDiags.empty()) {
         Journal.commit();
         Report.Incidents.push_back(std::move(Inc));

@@ -70,6 +70,14 @@ struct CompileOptions {
   /// only for overhead measurement; without guard rails a bad pass
   /// aborts via verifyOrDie as before.
   bool GuardRails = true;
+  /// IR growth budget: a guarded pass whose output exceeds this many
+  /// instructions (while growing the function) is rolled back with an
+  /// ErrorCode::ResourceExhausted incident instead of being kept — the
+  /// defence against inputs crafted to make unrolling or rewriting
+  /// explode, so a service worker fails one request recoverably rather
+  /// than exhausting its memory ceiling. 0 = unlimited. Enforced only
+  /// with GuardRails (rollback is the recovery mechanism).
+  size_t MaxFunctionInsts = 0;
   /// Test-only corruption hook, called after each guarded pass with the
   /// pass name and the current IR; return true if the IR was mutated.
   /// Used by pipeline/FaultInjection.h to prove the guard rails catch

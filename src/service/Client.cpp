@@ -1,0 +1,120 @@
+//===- service/Client.cpp - Blocking vpod client ----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Posix.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_CLIENT_POSIX 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace vpo;
+using namespace vpo::service;
+
+ServiceClient &ServiceClient::operator=(ServiceClient &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+#ifdef VPO_CLIENT_POSIX
+
+Status ServiceClient::connectTo(const std::string &SocketPath) {
+  posix::ignoreSigpipe();
+  close();
+  if (SocketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Status::error(ErrorCode::Unsupported, "vpoc", "",
+                         "socket path too long: " + SocketPath);
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return Status::error(ErrorCode::Internal, "vpoc", "",
+                         std::string("socket: ") + std::strerror(errno));
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  int R;
+  do {
+    R = ::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (R < 0 && errno == EINTR);
+  if (R < 0) {
+    Status St = Status::error(ErrorCode::Internal, "vpoc", "",
+                              "connect " + SocketPath + ": " +
+                                  std::strerror(errno));
+    ::close(S);
+    return St;
+  }
+  Fd = S;
+  return Status::ok();
+}
+
+void ServiceClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Status ServiceClient::send(const ServiceRequest &Req) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::Internal, "vpoc", "", "not connected");
+  if (!writeFrame(Fd, Req.toJson()))
+    return Status::error(ErrorCode::Internal, "vpoc", "",
+                         "write failed (daemon gone?)");
+  return Status::ok();
+}
+
+StatusOr<ServiceResponse> ServiceClient::receive() {
+  if (Fd < 0)
+    return Status::error(ErrorCode::Internal, "vpoc", "", "not connected");
+  std::string Payload;
+  FrameStatus FS = readFrame(Fd, Payload);
+  if (FS == FrameStatus::Eof)
+    return Status::error(ErrorCode::Internal, "vpoc", "",
+                         "daemon closed the connection");
+  if (FS != FrameStatus::Ok)
+    return Status::error(ErrorCode::ParseError, "vpoc", "",
+                         "bad response frame from daemon");
+  std::optional<ServiceResponse> Resp = ServiceResponse::fromJson(Payload);
+  if (!Resp)
+    return Status::error(ErrorCode::ParseError, "vpoc", "",
+                         "unparseable response payload");
+  return *Resp;
+}
+
+StatusOr<ServiceResponse> ServiceClient::call(const ServiceRequest &Req) {
+  if (Status S = send(Req); !S)
+    return S;
+  return receive();
+}
+
+#else // !VPO_CLIENT_POSIX
+
+Status ServiceClient::connectTo(const std::string &) {
+  return Status::error(ErrorCode::Unsupported, "vpoc", "",
+                       "the compile service requires a POSIX platform");
+}
+void ServiceClient::close() {}
+Status ServiceClient::send(const ServiceRequest &) {
+  return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
+}
+StatusOr<ServiceResponse> ServiceClient::receive() {
+  return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
+}
+StatusOr<ServiceResponse> ServiceClient::call(const ServiceRequest &) {
+  return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
+}
+
+#endif // VPO_CLIENT_POSIX

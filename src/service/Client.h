@@ -1,0 +1,60 @@
+//===- service/Client.h - Blocking vpod client ------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synchronous client for the compile service: connect to the
+/// daemon's Unix socket, exchange framed requests and responses. One
+/// connection carries any number of requests; responses arrive in
+/// request order (the daemon serializes per connection at the framing
+/// layer). send()/receive() are exposed separately so a batch client can
+/// pipeline — write a window of requests before draining responses —
+/// which is how tools/vpoc keeps a multi-worker daemon busy from a
+/// single process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SERVICE_CLIENT_H
+#define VPO_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Diagnostics.h"
+
+namespace vpo {
+namespace service {
+
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient() { close(); }
+
+  ServiceClient(ServiceClient &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  ServiceClient &operator=(ServiceClient &&O) noexcept;
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath (blocking).
+  Status connectTo(const std::string &SocketPath);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Writes one request frame. \returns a diagnostic on I/O failure.
+  Status send(const ServiceRequest &Req);
+
+  /// Blocks for the next response frame.
+  StatusOr<ServiceResponse> receive();
+
+  /// send() + receive(): the simple one-at-a-time calling convention.
+  StatusOr<ServiceResponse> call(const ServiceRequest &Req);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace vpo
+
+#endif // VPO_SERVICE_CLIENT_H

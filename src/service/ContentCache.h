@@ -1,0 +1,144 @@
+//===- service/ContentCache.h - Content-addressed result cache --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed caching for the compile service: results are keyed
+/// by a 128-bit hash of (canonicalized IR, pipeline config, target,
+/// run-mode signature), so a repeated request is a cache hit that
+/// bypasses the worker pool entirely and returns a byte-identical
+/// result.
+///
+/// Canonicalization is parse -> print: two textually different requests
+/// for the same kernel (whitespace, comments) share a canonical key.
+/// But parsing untrusted IR is exactly the kind of work the daemon
+/// refuses to do in-process — it happens in a crash-contained worker.
+/// The cache therefore has two levels:
+///
+///   * the **store**, keyed by the canonical hash the worker computed
+///     (entries hold the full result payload);
+///   * a **raw-text alias index**, mapping the hash of the request's
+///     literal bytes to the canonical key.
+///
+/// A byte-identical repeat resolves through the alias index without any
+/// parsing. A whitespace-variant request misses the alias index, costs
+/// one worker round (which canonicalizes it), and then discovers the
+/// existing store entry — so the *result* is still served from cache,
+/// byte-identical, and the variant's raw hash is aliased for next time.
+///
+/// Eviction is LRU with a fixed entry bound; aliases of an evicted
+/// entry die lazily on their next lookup. Only clean full-pipeline
+/// results are inserted — degraded results describe transient worker
+/// state, not the content, and must not be replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SERVICE_CONTENTCACHE_H
+#define VPO_SERVICE_CONTENTCACHE_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace vpo {
+namespace service {
+
+/// 128-bit content key (two independent 64-bit FNV-1a passes — not
+/// cryptographic, but collision-proof at any realistic cache size).
+struct ContentKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const ContentKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool isZero() const { return Hi == 0 && Lo == 0; }
+
+  /// 32 lowercase hex digits.
+  std::string hex() const;
+};
+
+struct ContentKeyHash {
+  size_t operator()(const ContentKey &K) const {
+    return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Hashes one field-separated content tuple. \p RunSig encodes the
+/// run-mode part of the request ("args:arena", empty for compile-only).
+ContentKey hashContent(const std::string &IRText, const std::string &Config,
+                       const std::string &Target,
+                       const std::string &RunSig);
+
+/// Parses 32 hex digits back into a key (the wire form a worker reports
+/// via ServiceResponse::Key). \returns nullopt on malformed input.
+std::optional<ContentKey> contentKeyFromHex(const std::string &Hex);
+
+/// The run-mode part of a request's content identity: "args@arenakb"
+/// when the request executes the kernel, empty for compile-only. Both
+/// the daemon's raw-bytes key and the worker's canonical key hash this,
+/// so compile-only and run results never collide.
+std::string runSignature(const ServiceRequest &Req);
+
+/// The payload a hit replays. Everything response-visible about the
+/// *result*; serving metadata (Cached, Id) is per-request.
+struct CachedResult {
+  ErrorCode Status = ErrorCode::Ok;
+  std::string Key; ///< canonical key hex (part of the result signature)
+  std::string IR;
+  std::string Stats;
+  std::string Remarks;
+  std::string Incidents;
+  bool Ran = false;
+  std::string RunStatus;
+  int64_t ReturnValue = 0;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+};
+
+class ContentCache {
+public:
+  explicit ContentCache(size_t MaxEntries) : MaxEntries(MaxEntries) {}
+
+  /// Store lookup by canonical key; bumps LRU and the hit counter.
+  /// \returns nullptr on miss (counted).
+  const CachedResult *lookup(const ContentKey &Canon);
+
+  /// Alias-index lookup: raw-bytes key -> canonical key, then the store.
+  /// A dangling alias (entry evicted) is erased and counts as a miss.
+  const CachedResult *lookupRaw(const ContentKey &Raw);
+
+  /// Inserts (or refreshes) the store entry for \p Canon, evicting the
+  /// LRU tail beyond the bound.
+  void insert(const ContentKey &Canon, CachedResult R);
+
+  /// Records raw -> canonical. Bounded at 4x the entry bound; beyond
+  /// that the oldest aliases are dropped (they only cost a re-parse).
+  void alias(const ContentKey &Raw, const ContentKey &Canon);
+
+  size_t size() const { return Entries.size(); }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  size_t MaxEntries;
+  /// MRU-first list of (canonical key, payload).
+  std::list<std::pair<ContentKey, CachedResult>> LRU;
+  std::unordered_map<ContentKey, decltype(LRU)::iterator, ContentKeyHash>
+      Entries;
+  std::unordered_map<ContentKey, ContentKey, ContentKeyHash> Aliases;
+  std::list<ContentKey> AliasOrder; ///< insertion order, for bounding
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace service
+} // namespace vpo
+
+#endif // VPO_SERVICE_CONTENTCACHE_H

@@ -1,0 +1,193 @@
+//===- service/Daemon.h - The vpod compile service daemon -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon side of the compile service: a single-threaded poll() loop
+/// that accepts framed requests on a Unix-domain socket and farms the
+/// dangerous work (parsing, optimizing, simulating untrusted kernels)
+/// out to a pool of forked worker processes. The event loop itself never
+/// touches request IR — its availability does not depend on any property
+/// of the input.
+///
+/// Robustness model, in the order a request meets it:
+///
+///   1. **Load shedding.** Requests shard onto per-worker bounded queues
+///      (by content hash, so repeats of one kernel serialize onto one
+///      worker and populate the cache for the rest). A full queue sheds
+///      the request immediately with ErrorCode::Overloaded — the client
+///      knows nothing was attempted.
+///   2. **Content cache.** Results are keyed by canonicalized content
+///      (service/ContentCache.h); a hit bypasses the pool entirely and
+///      replays a byte-identical result.
+///   3. **Containment.** Each attempt runs in a forked worker under a
+///      wall-clock deadline. A crash (any signal) or deadline expiry
+///      kills only the worker; the daemon reaps it and respawns the
+///      slot with exponential backoff (reset on the first success).
+///   4. **Degradation ladder.** A request whose worker died is retried
+///      at the next rung — 1: no coalescing, 2: reference O0 pipeline —
+///      so optimizer bugs cost optimization, never availability. The
+///      response reports Rung and Degraded; a request that dies even at
+///      rung 2 gets a structured DeadlineExceeded / Internal error, and
+///      the daemon keeps serving.
+///
+/// Single-threadedness is load-bearing: fork() from a multi-threaded
+/// process inherits held locks in the child, so the pool would deadlock
+/// the moment a worker forked while another thread held the heap lock.
+/// The loop only shuttles bytes; the pool provides the parallelism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SERVICE_DAEMON_H
+#define VPO_SERVICE_DAEMON_H
+
+#include "service/ContentCache.h"
+#include "service/Protocol.h"
+#include "service/Worker.h"
+#include "support/Diagnostics.h"
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vpo {
+namespace service {
+
+struct DaemonOptions {
+  std::string SocketPath = "vpod.sock";
+  unsigned Workers = 4;
+  /// Bounded queue depth per worker shard; beyond it requests shed with
+  /// ErrorCode::Overloaded.
+  size_t QueueDepth = 64;
+  uint64_t DefaultDeadlineMs = 5000;
+  /// Cap on a request's own deadline_ms override.
+  uint64_t MaxDeadlineMs = 30000;
+  size_t CacheEntries = 1024;
+  size_t MaxFrameBytes = defaultMaxFrameBytes;
+  /// Worker resource fences (and --allow-fault-injection).
+  WorkerLimits Limits;
+  /// Checked each loop tick; set from a signal handler to stop cleanly.
+  volatile std::sig_atomic_t *StopFlag = nullptr;
+};
+
+/// Monotonically increasing service counters, reported by op=status and
+/// asserted on by the availability tests.
+struct DaemonCounters {
+  uint64_t Requests = 0;      ///< compile requests accepted
+  uint64_t CacheHits = 0;     ///< served without touching the pool
+  uint64_t Shed = 0;          ///< rejected with Overloaded
+  uint64_t WorkerCrashes = 0; ///< attempts that killed their worker
+  uint64_t WorkerDeadlines = 0; ///< attempts killed by the deadline
+  uint64_t Respawns = 0;      ///< worker processes forked after the initial pool
+  uint64_t Degraded = 0;      ///< responses served from rung > 0
+  uint64_t Exhausted = 0;     ///< requests that failed every rung
+};
+
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds the socket and forks the initial pool. On error nothing is
+  /// left running.
+  Status start();
+
+  /// Runs the event loop until StopFlag is raised or an op=shutdown
+  /// request arrives. Returns only after workers are reaped and the
+  /// socket unlinked.
+  void run();
+
+  /// One loop iteration (poll + dispatch), for tests that drive the
+  /// daemon in-process without committing to run()'s lifetime.
+  /// \returns false once a stop was requested.
+  bool step(int TimeoutMs);
+
+  const DaemonCounters &counters() const { return Counters; }
+  const ContentCache &cache() const { return Cache; }
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+private:
+  struct ClientConn {
+    int Fd = -1;
+    FrameDecoder Dec;
+    std::string Out;    ///< bytes not yet written
+    bool CloseAfterFlush = false;
+  };
+
+  /// One queued or in-flight compile attempt.
+  struct Pending {
+    ServiceRequest Req;
+    uint64_t ClientSeq = 0;
+    ContentKey RawKey;
+    unsigned Rung = 0;
+    std::string Degraded;   ///< why the rung moved ("worker-crash", ...)
+    uint64_t DeadlineMs = 0; ///< resolved per-attempt budget
+  };
+
+  struct WorkerSlot {
+    long Pid = -1;
+    int Fd = -1;
+    FrameDecoder Dec;
+    std::string Out;
+    bool Busy = false;
+    Pending Cur;
+    uint64_t DeadlineAt = 0; ///< monotonic ms; 0 when idle
+    std::deque<Pending> Queue;
+    unsigned Fails = 0;     ///< consecutive deaths, drives backoff
+    uint64_t RespawnAt = 0; ///< monotonic ms gate for the next fork
+  };
+
+  // Lifecycle.
+  Status spawnWorker(WorkerSlot &W);
+  void killWorker(WorkerSlot &W);
+  void respawnDueWorkers(uint64_t Now);
+
+  // Event handling.
+  void acceptClients();
+  void readClient(uint64_t Seq);
+  void flushClient(uint64_t Seq);
+  void dropClient(uint64_t Seq);
+  void handleFrame(uint64_t Seq, const std::string &Payload);
+  void handleCompile(uint64_t Seq, ServiceRequest Req);
+  void readWorker(size_t Idx);
+  void handleWorkerResponse(WorkerSlot &W, const std::string &Payload);
+  void workerDied(size_t Idx, const char *Why);
+  void checkDeadlines(uint64_t Now);
+  void pumpWorkers(uint64_t Now);
+
+  // Responses.
+  void sendResponse(uint64_t Seq, const ServiceRequest &Req,
+                    ServiceResponse Resp);
+  void sendCached(uint64_t Seq, const ServiceRequest &Req,
+                  const CachedResult &CR);
+  /// Re-queue (next rung) or fail (ladder exhausted) W.Cur.
+  void escalate(WorkerSlot &W, const char *Why, ErrorCode ExhaustedCode);
+
+  bool stopRequested() const {
+    return Stopping || (Opts.StopFlag && *Opts.StopFlag);
+  }
+
+  DaemonOptions Opts;
+  int ListenFd = -1;
+  ContentCache Cache;
+  DaemonCounters Counters;
+  uint64_t NextClientSeq = 1;
+  std::map<uint64_t, ClientConn> Clients;
+  std::unordered_map<int, uint64_t> FdToClient;
+  std::vector<WorkerSlot> Workers;
+  bool Stopping = false;
+};
+
+} // namespace service
+} // namespace vpo
+
+#endif // VPO_SERVICE_DAEMON_H

@@ -22,12 +22,29 @@ const char *vpo::errorCodeName(ErrorCode Code) {
     return "unsupported";
   case ErrorCode::ResourceExhausted:
     return "resource-exhausted";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ErrorCode::Overloaded:
+    return "overloaded";
   case ErrorCode::Trap:
     return "trap";
   case ErrorCode::Internal:
     return "internal";
   }
   return "unknown";
+}
+
+std::optional<ErrorCode> vpo::errorCodeFromName(const std::string &Name) {
+  static const ErrorCode All[] = {
+      ErrorCode::Ok,           ErrorCode::InvalidIR,
+      ErrorCode::PassFailed,   ErrorCode::ParseError,
+      ErrorCode::Unsupported,  ErrorCode::ResourceExhausted,
+      ErrorCode::DeadlineExceeded, ErrorCode::Overloaded,
+      ErrorCode::Trap,         ErrorCode::Internal};
+  for (ErrorCode C : All)
+    if (Name == errorCodeName(C))
+      return C;
+  return std::nullopt;
 }
 
 std::string Diagnostic::render() const {

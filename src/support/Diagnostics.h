@@ -41,8 +41,15 @@ enum class ErrorCode : uint8_t {
   ParseError,
   /// The request is valid but unsupported on this target/configuration.
   Unsupported,
-  /// A resource limit (memory arena, step budget) was exhausted.
+  /// A resource limit (memory arena, step budget, IR growth budget) was
+  /// exhausted.
   ResourceExhausted,
+  /// A wall-clock deadline expired before the work finished (the service
+  /// killed a worker that was still compiling).
+  DeadlineExceeded,
+  /// The request was shed before any work started: the service's bounded
+  /// queue was full. Retry later; nothing was partially done.
+  Overloaded,
   /// A simulated run trapped (out of bounds, misalignment, divide by 0).
   Trap,
   /// Invariant violation reported without aborting (should not happen).
@@ -51,6 +58,10 @@ enum class ErrorCode : uint8_t {
 
 /// \returns a stable lowercase name ("invalid-ir", "pass-failed", ...).
 const char *errorCodeName(ErrorCode Code);
+
+/// Inverse of errorCodeName. \returns the code for \p Name, or nullopt —
+/// the service protocol ships codes by name, so clients parse them back.
+std::optional<ErrorCode> errorCodeFromName(const std::string &Name);
 
 /// One structured failure record: what failed, where, and why.
 struct Diagnostic {

@@ -1,0 +1,107 @@
+//===- support/Posix.cpp - EINTR-safe syscall wrappers ----------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Posix.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_HAS_POSIX 1
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VPO_HAS_POSIX 0
+#endif
+
+using namespace vpo;
+
+bool posix::hasFork() { return VPO_HAS_POSIX != 0; }
+
+#if VPO_HAS_POSIX
+
+long posix::readRetry(int Fd, void *Buf, size_t N) {
+  while (true) {
+    ssize_t Got = read(Fd, Buf, N);
+    if (Got < 0 && errno == EINTR)
+      continue;
+    return static_cast<long>(Got);
+  }
+}
+
+bool posix::writeFull(int Fd, const void *Buf, size_t N) {
+  const char *P = static_cast<const char *>(Buf);
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = write(Fd, P + Off, N - Off);
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W <= 0)
+      return false;
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool posix::writeFull(int Fd, const std::string &S) {
+  return writeFull(Fd, S.data(), S.size());
+}
+
+void posix::ignoreSigpipe() { signal(SIGPIPE, SIG_IGN); }
+
+int posix::reapChild(long Pid, unsigned GraceMs) {
+  if (Pid <= 0)
+    return -1;
+  pid_t P = static_cast<pid_t>(Pid);
+  int St = 0;
+  // Poll for a voluntary exit through the grace period.
+  for (unsigned Waited = 0;; Waited += 2) {
+    pid_t R = waitpid(P, &St, WNOHANG);
+    if (R == P)
+      return St;
+    if (R < 0 && errno != EINTR)
+      return -1; // not our child (or already reaped)
+    if (Waited >= GraceMs)
+      break;
+    timespec TS{0, 2 * 1000 * 1000};
+    nanosleep(&TS, nullptr);
+  }
+  // Out of patience: kill, then wait for real (EINTR-retried).
+  kill(P, SIGKILL);
+  while (waitpid(P, &St, 0) < 0) {
+    if (errno != EINTR)
+      return -1;
+  }
+  return St;
+}
+
+bool posix::limitAddressSpace(size_t MaxBytes) {
+  if (MaxBytes == 0)
+    return false;
+#if defined(__SANITIZE_ADDRESS__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return false;
+#endif
+#endif
+  rlimit RL;
+  RL.rlim_cur = MaxBytes;
+  RL.rlim_max = MaxBytes;
+  return setrlimit(RLIMIT_AS, &RL) == 0;
+}
+
+#else
+
+long posix::readRetry(int, void *, size_t) { return -1; }
+bool posix::writeFull(int, const void *, size_t) { return false; }
+bool posix::writeFull(int, const std::string &) { return false; }
+void posix::ignoreSigpipe() {}
+int posix::reapChild(long, unsigned) { return -1; }
+bool posix::limitAddressSpace(size_t) { return false; }
+
+#endif

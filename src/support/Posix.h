@@ -1,0 +1,70 @@
+//===- support/Posix.h - EINTR-safe syscall wrappers ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small set of POSIX patterns every long-lived process in this repo
+/// must get right and that are easy to get subtly wrong at each call
+/// site: retrying interrupted syscalls (a SIGCHLD from a dying worker
+/// lands in the middle of every read), ignoring SIGPIPE process-wide (a
+/// client that disconnects mid-response must cost one EPIPE, not the
+/// daemon), and reaping children without leaking zombies even when the
+/// child has to be killed first.
+///
+/// Shared by the fuzzing watchdog (fuzz/Watchdog.h) and the service
+/// worker pool (service/Daemon.h); both fork untrusted work and talk to
+/// it over pipes, so they share these failure modes. On non-POSIX
+/// platforms every function degrades to a safe no-op / error return.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SUPPORT_POSIX_H
+#define VPO_SUPPORT_POSIX_H
+
+#include <cstddef>
+#include <string>
+
+namespace vpo {
+namespace posix {
+
+/// True when fork/pipe/waitpid exist on this platform.
+bool hasFork();
+
+/// read(2), retrying on EINTR. \returns bytes read, 0 at EOF, or -1 on a
+/// genuine error (errno preserved).
+long readRetry(int Fd, void *Buf, size_t N);
+
+/// Writes all \p N bytes, retrying on EINTR and short writes. \returns
+/// true when everything was written; false on a genuine error (EPIPE
+/// when the peer vanished — harmless once SIGPIPE is ignored).
+bool writeFull(int Fd, const void *Buf, size_t N);
+
+/// writeFull over a string.
+bool writeFull(int Fd, const std::string &S);
+
+/// Ignores SIGPIPE for the whole process. Daemons and tools that write
+/// to sockets/pipes call this first thing in main(): a peer closing its
+/// end then costs the writer an EPIPE return, not its life. Idempotent.
+void ignoreSigpipe();
+
+/// Reaps child \p Pid without leaving a zombie. Waits up to
+/// \p GraceMs for a voluntary exit (0 = don't wait, kill at once);
+/// a child still alive after the grace period is SIGKILLed and the wait
+/// retried until it is collected. \returns the raw waitpid status, or -1
+/// when \p Pid was not a waitable child.
+int reapChild(long Pid, unsigned GraceMs);
+
+/// Caps the process's address space at \p MaxBytes via setrlimit, so a
+/// runaway allocation in a forked worker fails with ENOMEM instead of
+/// dragging the host into swap. No-op (returns false) when \p MaxBytes
+/// is 0, on non-POSIX platforms, and under AddressSanitizer — ASan
+/// reserves terabytes of shadow VA, so an RLIMIT_AS cap would abort
+/// every sanitized run at startup.
+bool limitAddressSpace(size_t MaxBytes);
+
+} // namespace posix
+} // namespace vpo
+
+#endif // VPO_SUPPORT_POSIX_H

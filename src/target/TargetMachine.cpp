@@ -133,12 +133,25 @@ TargetMachine vpo::makeM68030Target() {
   return TargetMachine(std::move(S));
 }
 
-TargetMachine vpo::makeTargetByName(const std::string &Name) {
+std::optional<TargetMachine>
+vpo::tryMakeTargetByName(const std::string &Name) {
   if (Name == "alpha")
     return makeAlphaTarget();
   if (Name == "m88100")
     return makeM88100Target();
   if (Name == "m68030")
     return makeM68030Target();
+  return std::nullopt;
+}
+
+const std::vector<std::string> &vpo::knownTargetNames() {
+  static const std::vector<std::string> Names = {"alpha", "m88100",
+                                                 "m68030"};
+  return Names;
+}
+
+TargetMachine vpo::makeTargetByName(const std::string &Name) {
+  if (std::optional<TargetMachine> TM = tryMakeTargetByName(Name))
+    return *TM;
   fatalError("unknown target '" + Name + "' (alpha, m88100, m68030)");
 }

@@ -23,7 +23,9 @@
 #include "ir/Instruction.h"
 #include "ir/Type.h"
 
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace vpo {
 
@@ -144,6 +146,15 @@ TargetMachine makeM68030Target();
 
 /// \returns the target named "alpha", "m88100", or "m68030".
 TargetMachine makeTargetByName(const std::string &Name);
+
+/// Non-aborting lookup for callers fed untrusted names (the compile
+/// service validates requests with this). \returns nullopt for unknown
+/// names where makeTargetByName would fatalError.
+std::optional<TargetMachine> tryMakeTargetByName(const std::string &Name);
+
+/// The names tryMakeTargetByName accepts, for error messages and
+/// request validation.
+const std::vector<std::string> &knownTargetNames();
 
 } // namespace vpo
 

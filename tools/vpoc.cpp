@@ -1,0 +1,193 @@
+//===- tools/vpoc.cpp - Batch client for the compile service ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vpod batch client: submit kernels to a running daemon and print
+/// one NDJSON response line per request (remark-query-compatible).
+///
+///   vpoc --socket=vpod.sock kernel.rtl             # one compile
+///   vpoc --socket=vpod.sock --config=coalesce-all *.rtl
+///   vpoc --socket=vpod.sock --run=4096,8192,16 kernel.rtl
+///   vpoc --socket=vpod.sock --op=status            # daemon counters
+///   vpoc --socket=vpod.sock --op=shutdown
+///
+/// Requests are pipelined: the whole batch is written before responses
+/// are drained (the daemon responds in order per connection), so a
+/// multi-file batch keeps every pool worker busy. With --ir the
+/// optimized IR is printed to stdout instead of the JSON line (single
+/// file only). Exit code: 0 when every response has status "ok", 1
+/// otherwise, 2 on usage/connection errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace vpo;
+using namespace vpo::service;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vpoc [options] [kernel.rtl ...]\n"
+      "  --socket=PATH      daemon socket (default vpod.sock)\n"
+      "  --op=OP            compile | ping | status | shutdown (default "
+      "compile)\n"
+      "  --config=NAME      pipeline config (default coalesce-all)\n"
+      "  --target=NAME      target machine (default alpha)\n"
+      "  --run=ARGS         also run: comma-separated int64 args\n"
+      "  --arena-kb=N       run-mode arena size (default 64)\n"
+      "  --deadline-ms=N    per-request deadline override\n"
+      "  --fault=SPEC       fault plant (daemon must allow injection)\n"
+      "  --remarks          include remark NDJSON in responses\n"
+      "  --ir               print optimized IR instead of the JSON line\n"
+      "  --no-ir            ask the daemon not to ship IR back\n"
+      "With no kernel files, op=compile reads one kernel from stdin.\n");
+}
+
+bool readAll(std::FILE *F, std::string &Out) {
+  char Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return !std::ferror(F);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  bool Ok = readAll(F, Out);
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket = "vpod.sock";
+  ServiceRequest Proto;
+  bool PrintIR = false;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Val = [&Arg](const char *Name) -> const char * {
+      size_t N = std::strlen(Name);
+      if (Arg.compare(0, N, Name) == 0 && Arg.size() > N && Arg[N] == '=')
+        return Arg.c_str() + N + 1;
+      return nullptr;
+    };
+    if (const char *V = Val("--socket")) {
+      Socket = V;
+    } else if (const char *V = Val("--op")) {
+      Proto.Op = V;
+    } else if (const char *V = Val("--config")) {
+      Proto.Config = V;
+    } else if (const char *V = Val("--target")) {
+      Proto.Target = V;
+    } else if (const char *V = Val("--run")) {
+      Proto.RunArgs = V;
+    } else if (const char *V = Val("--arena-kb")) {
+      Proto.ArenaKB = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Val("--deadline-ms")) {
+      Proto.DeadlineMs = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Val("--fault")) {
+      Proto.Fault = V;
+    } else if (Arg == "--remarks") {
+      Proto.WantRemarks = true;
+    } else if (Arg == "--ir") {
+      PrintIR = true;
+    } else if (Arg == "--no-ir") {
+      Proto.WantIR = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "vpoc: unknown argument '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (PrintIR && Files.size() > 1) {
+    std::fprintf(stderr, "vpoc: --ir works with a single kernel\n");
+    return 2;
+  }
+
+  ServiceClient Client;
+  if (Status S = Client.connectTo(Socket); !S) {
+    std::fprintf(stderr, "vpoc: %s\n", S.message().c_str());
+    return 2;
+  }
+
+  // Control ops carry no kernel.
+  if (Proto.Op != "compile") {
+    Proto.Id = "0";
+    StatusOr<ServiceResponse> R = Client.call(Proto);
+    if (!R) {
+      std::fprintf(stderr, "vpoc: %s\n", R.status().message().c_str());
+      return 2;
+    }
+    std::printf("%s\n", R->toJson().c_str());
+    return R->Status == ErrorCode::Ok ? 0 : 1;
+  }
+
+  std::vector<ServiceRequest> Batch;
+  if (Files.empty()) {
+    ServiceRequest Req = Proto;
+    Req.Id = "stdin";
+    if (!readAll(stdin, Req.IR)) {
+      std::fprintf(stderr, "vpoc: error reading stdin\n");
+      return 2;
+    }
+    Batch.push_back(std::move(Req));
+  } else {
+    for (const std::string &Path : Files) {
+      ServiceRequest Req = Proto;
+      Req.Id = Path;
+      if (!readFile(Path, Req.IR)) {
+        std::fprintf(stderr, "vpoc: cannot read %s\n", Path.c_str());
+        return 2;
+      }
+      Batch.push_back(std::move(Req));
+    }
+  }
+
+  // Pipeline: write everything, then drain in order.
+  for (const ServiceRequest &Req : Batch)
+    if (Status S = Client.send(Req); !S) {
+      std::fprintf(stderr, "vpoc: %s\n", S.message().c_str());
+      return 2;
+    }
+  int Exit = 0;
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    StatusOr<ServiceResponse> R = Client.receive();
+    if (!R) {
+      std::fprintf(stderr, "vpoc: %s\n", R.status().message().c_str());
+      return 2;
+    }
+    if (R->Status != ErrorCode::Ok)
+      Exit = 1;
+    if (PrintIR) {
+      if (R->Status != ErrorCode::Ok)
+        std::fprintf(stderr, "vpoc: %s: %s\n",
+                     errorCodeName(R->Status), R->Error.c_str());
+      else
+        std::fputs(R->IR.c_str(), stdout);
+    } else {
+      std::printf("%s\n", R->toJson().c_str());
+    }
+  }
+  return Exit;
+}
