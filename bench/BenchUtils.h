@@ -71,6 +71,13 @@ struct MeasureOptions {
   /// Time each pipeline pass into Measurement::Passes (for the Chrome
   /// trace export).
   bool ProfilePasses = false;
+  /// Cross-check the cycle-accurate run against the functional tiered
+  /// engine (InterpreterOptions::EnableJIT) on a fresh arena and fold the
+  /// architectural agreement — exit status, return value, instruction and
+  /// memory-reference counts, final memory image — into Verified. Cheap
+  /// relative to the cycle-accurate run; the harnesses' --no-jit turns it
+  /// off, making the flag a genuine ablation in every matrix.
+  bool JIT = true;
 };
 
 /// \returns true if every byte in [Begin, End) is zero.
@@ -140,6 +147,28 @@ inline Measurement measureCell(const Workload &W, const TargetMachine &TM,
   M.Verified = R.ok() && R.ReturnValue == ExpectedRet &&
                std::memcmp(Mem.data(), Golden.data(), Used) == 0 &&
                allZero(Mem.data() + Used, Mem.data() + Mem.size());
+
+  if (MO.JIT) {
+    // Same compiled function, fresh arena, functional tiered engine: the
+    // architectural result must match the cycle-accurate run exactly.
+    Memory JMem(Mem.size());
+    SetupResult JS = W.setup(JMem, SO);
+    InterpreterOptions JO;
+    JO.EnableJIT = true;
+    if (MO.MaxInsts)
+      JO.MaxSteps = MO.MaxInsts;
+    // jit-disabled / jit-summary remarks join the cell's stream; the
+    // telemetry contract (read-only sinks) holds for the tiered engine
+    // too, so this cannot move the measurement.
+    JO.Remarks = MO.Remarks;
+    Interpreter JInterp(TM, JMem, JO);
+    RunResult JR = JInterp.run(*F, JS.Args);
+    bool Agrees = JR.Exit == R.Exit && JR.ReturnValue == R.ReturnValue &&
+                  JR.Instructions == R.Instructions && JR.Loads == R.Loads &&
+                  JR.Stores == R.Stores &&
+                  std::memcmp(JMem.data(), Mem.data(), Mem.size()) == 0;
+    M.Verified = M.Verified && Agrees;
+  }
   return M;
 }
 

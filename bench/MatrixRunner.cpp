@@ -62,6 +62,8 @@ std::string BenchReport::toJson(bool IncludeTiming) const {
     J += ",\n  \"threads\": " + std::to_string(Threads);
   J += ",\n  \"predecode\": ";
   J += Predecode ? "true" : "false";
+  J += ",\n  \"jit\": ";
+  J += JIT ? "true" : "false";
   if (IncludeTiming)
     J += ",\n  \"total_wall_seconds\": " + formatSeconds(TotalWallSeconds);
   J += ",\n  \"cells\": [";
@@ -104,6 +106,7 @@ BenchReport MatrixRunner::run(const std::string &Name,
   BenchReport Report;
   Report.Name = Name;
   Report.Predecode = Opts.Predecode;
+  Report.JIT = Opts.JIT;
   Report.Cells.resize(Specs.size());
 
   unsigned Threads = Opts.Threads;
@@ -133,6 +136,7 @@ BenchReport MatrixRunner::run(const std::string &Name,
       auto W = makeWorkloadByName(Spec.Workload);
       MeasureOptions MO;
       MO.Predecode = Opts.Predecode;
+      MO.JIT = Opts.JIT;
       MO.StaticParams = Spec.StaticParams;
       MO.MaxInsts = Opts.MaxInsts;
       MO.ProfilePasses = Opts.ProfilePasses;
@@ -265,6 +269,8 @@ BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
           std::strtoul(A.c_str() + std::strlen("--threads="), nullptr, 10));
     } else if (A == "--no-predecode") {
       Args.Predecode = false;
+    } else if (A == "--no-jit") {
+      Args.JIT = false;
     } else if (A == "--no-json") {
       Args.WriteJson = false;
     } else if (A.rfind("--json=", 0) == 0) {
@@ -281,7 +287,7 @@ BenchArgs vpo::bench::parseBenchArgs(int Argc, char **Argv,
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
-                   "usage: %s [--threads=N] [--no-predecode] "
+                   "usage: %s [--threads=N] [--no-predecode] [--no-jit] "
                    "[--json[=PATH]] [--no-json] [--max-insts=N] "
                    "[--remarks-dir=DIR] [--trace=PATH]\n",
                    A.c_str(), Argv[0]);
@@ -296,6 +302,7 @@ RunnerOptions vpo::bench::toRunnerOptions(const BenchArgs &Args) {
   RunnerOptions RO;
   RO.Threads = Args.Threads;
   RO.Predecode = Args.Predecode;
+  RO.JIT = Args.JIT;
   RO.MaxInsts = Args.MaxInsts;
   RO.RemarksDir = Args.RemarksDir;
   // Pass timing feeds the trace; without a trace request it stays off so

@@ -69,6 +69,9 @@ struct BenchReport {
   std::string Name; ///< harness name, e.g. "table2_alpha"
   unsigned Threads = 1;
   bool Predecode = true;
+  /// Cells cross-checked the cycle-accurate result against the functional
+  /// tiered engine (MeasureOptions::JIT).
+  bool JIT = true;
   double TotalWallSeconds = 0;
   std::vector<CellResult> Cells;
 
@@ -85,6 +88,7 @@ struct BenchReport {
   ///     "name": "table2_alpha",
   ///     "threads": 4,                       // only if IncludeTiming
   ///     "predecode": true,
+  ///     "jit": true,
   ///     "total_wall_seconds": 1.234,        // only if IncludeTiming
   ///     "cells": [
   ///       { "workload": "convolution", "config": "cc -O",
@@ -109,6 +113,9 @@ struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned Threads = 0;
   bool Predecode = true;
+  /// Cross-check every cell against the functional tiered engine; see
+  /// MeasureOptions::JIT. The harnesses' --no-jit clears it.
+  bool JIT = true;
   /// Instruction budget per simulated run (0 = interpreter default); see
   /// MeasureOptions::MaxInsts.
   uint64_t MaxInsts = 0;
@@ -156,6 +163,7 @@ bool writeRemarkFiles(const BenchReport &Report, const std::string &Dir);
 struct BenchArgs {
   unsigned Threads = 0;  ///< --threads=N (0 = all cores)
   bool Predecode = true; ///< --no-predecode
+  bool JIT = true;       ///< --no-jit (skip the tiered-engine cross-check)
   bool WriteJson = true; ///< --no-json
   std::string JsonPath;  ///< --json=PATH (default BENCH_<name>.json)
   uint64_t MaxInsts = 0; ///< --max-insts=N (0 = interpreter default)

@@ -157,11 +157,12 @@ void BM_Predecode(benchmark::State &State, const char *Name) {
                           int64_t(F->instructionCount()));
 }
 
-/// The two execution engines head to head on the same compiled kernel
-/// (they must agree on every metric; the differential suite enforces it —
-/// this measures the speed difference).
-void BM_Simulate(benchmark::State &State, const char *Name,
-                 bool Predecode) {
+/// The three execution engines head to head on the same compiled kernel
+/// (they must agree on every architectural result; the differential suite
+/// enforces it — this measures the speed difference). Engine 0 is the
+/// reference IR walk, 1 the predecoded fast path, 2 the functional tiered
+/// engine with native promotion (which trades the cycle model away).
+void BM_Simulate(benchmark::State &State, const char *Name, int Engine) {
   auto W = makeWorkloadByName(Name);
   TargetMachine TM = makeAlphaTarget();
   Module M;
@@ -174,7 +175,8 @@ void BM_Simulate(benchmark::State &State, const char *Name,
   SetupOptions SO;
   SO.N = 4096;
   InterpreterOptions IO;
-  IO.Predecode = Predecode;
+  IO.Predecode = Engine >= 1;
+  IO.EnableJIT = Engine >= 2;
   uint64_t Insts = 0;
   for (auto _ : State) {
     State.PauseTiming();
@@ -259,13 +261,17 @@ BENCHMARK_CAPTURE(BM_ListScheduler, convolution, "convolution");
 BENCHMARK(BM_SimulatorThroughput);
 BENCHMARK_CAPTURE(BM_Predecode, image_add, "image_add");
 BENCHMARK_CAPTURE(BM_Simulate, dotproduct_reference, "dotproduct",
-                  /*Predecode=*/false);
+                  /*Engine=*/0);
 BENCHMARK_CAPTURE(BM_Simulate, dotproduct_fast, "dotproduct",
-                  /*Predecode=*/true);
+                  /*Engine=*/1);
+BENCHMARK_CAPTURE(BM_Simulate, dotproduct_jit, "dotproduct",
+                  /*Engine=*/2);
 BENCHMARK_CAPTURE(BM_Simulate, image_add_reference, "image_add",
-                  /*Predecode=*/false);
+                  /*Engine=*/0);
 BENCHMARK_CAPTURE(BM_Simulate, image_add_fast, "image_add",
-                  /*Predecode=*/true);
+                  /*Engine=*/1);
+BENCHMARK_CAPTURE(BM_Simulate, image_add_jit, "image_add",
+                  /*Engine=*/2);
 BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_journal, "image_add",
                   /*Lazy=*/true);
 BENCHMARK_CAPTURE(BM_SnapshotLazy, image_add_eager, "image_add",

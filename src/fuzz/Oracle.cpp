@@ -184,13 +184,21 @@ struct ArchOutcome {
   std::string Error;
 };
 
+enum class Engine { Reference, Predecode, JIT };
+
 ArchOutcome runOnce(const Function &F, const TargetMachine &TM,
                     const KernelSpec &Spec, int64_t N, size_t Skew,
-                    bool Predecode, const OracleOptions &O) {
+                    Engine E, const OracleOptions &O) {
   Memory Mem(O.ArenaBytes);
   std::vector<int64_t> Args = setupKernelMemory(Spec, N, Mem, Skew);
   InterpreterOptions IO;
-  IO.Predecode = Predecode;
+  IO.Predecode = E != Engine::Reference;
+  if (E == Engine::JIT) {
+    IO.EnableJIT = true;
+    // Promote after two interpreted entries so even the short trip-count
+    // scenarios exercise compiled code, chaining and deopt paths.
+    IO.JITHotThreshold = 2;
+  }
   IO.MaxSteps = O.MaxInsts;
   Interpreter Interp(TM, Mem, IO);
   RunResult R = Interp.run(F, Args);
@@ -222,6 +230,19 @@ bool sameArch(const ArchOutcome &A, const ArchOutcome &B,
   }
   if (A.Image != B.Image || A.TailZero != B.TailZero) {
     Why = "memory image differs";
+    return false;
+  }
+  return true;
+}
+
+/// sameArch plus byte-identical diagnostics — the JIT tier's contract is
+/// that even its trap messages match the interpreters exactly.
+bool sameArchAndError(const ArchOutcome &A, const ArchOutcome &B,
+                      std::string &Why) {
+  if (!sameArch(A, B, Why))
+    return false;
+  if (A.Error != B.Error) {
+    Why = "diagnostic differs: \"" + A.Error + "\" vs \"" + B.Error + "\"";
     return false;
   }
   return true;
@@ -336,7 +357,7 @@ OracleResult checkProgram(
         Res.Config = Configs[0].Name;
         Res.Engine = "reference";
         ArchOutcome Base =
-            runOnce(*Fns[0], TM, Spec, N, Skew, /*Predecode=*/false, O);
+            runOnce(*Fns[0], TM, Spec, N, Skew, Engine::Reference, O);
         if (Base.Exit != RunResult::Status::Ok)
           return Fail(FailKind::GeneratorInvalid,
                       std::string("baseline run: ") +
@@ -345,9 +366,9 @@ OracleResult checkProgram(
         for (size_t I = 0; I < Configs.size(); ++I) {
           Res.Config = Configs[I].Name;
           ArchOutcome Pre =
-              runOnce(*Fns[I], TM, Spec, N, Skew, /*Predecode=*/true, O);
+              runOnce(*Fns[I], TM, Spec, N, Skew, Engine::Predecode, O);
           ArchOutcome Ref =
-              runOnce(*Fns[I], TM, Spec, N, Skew, /*Predecode=*/false, O);
+              runOnce(*Fns[I], TM, Spec, N, Skew, Engine::Reference, O);
           std::string Why;
           // Engine cross-check: the two interpreters must agree exactly,
           // whatever the pipeline did.
@@ -355,6 +376,17 @@ OracleResult checkProgram(
           if (!sameArch(Pre, Ref, Why)) {
             Res.Engine = "predecode-vs-reference";
             return Fail(FailKind::EngineDiverged, Why);
+          }
+          if (O.CheckJIT) {
+            // Third engine: the tiered interpreter+JIT must reproduce the
+            // predecode engine bit-for-bit, diagnostics included.
+            ArchOutcome Jit =
+                runOnce(*Fns[I], TM, Spec, N, Skew, Engine::JIT, O);
+            ++Res.Comparisons;
+            if (!sameArchAndError(Pre, Jit, Why)) {
+              Res.Engine = "jit-vs-predecode";
+              return Fail(FailKind::EngineDiverged, Why);
+            }
           }
           ++Res.Comparisons;
           if (!sameArch(Base, Pre, Why)) {

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// The fuzzer's verdict machinery: one generated kernel is compiled under
-/// every pipeline configuration on every requested target, run under both
-/// execution engines over every memory-layout/trip-count scenario, and
-/// each run is compared against the O0 + reference-interpreter baseline.
+/// every pipeline configuration on every requested target, run under all
+/// three execution engines over every memory-layout/trip-count scenario,
+/// and each run is compared against the O0 + reference-interpreter
+/// baseline.
 /// A disagreement anywhere — exit status, return value, final memory
 /// image, a guard-rail incident, or post-compile verifier noise — fails
 /// the case with a classified FailKind.
@@ -17,7 +18,8 @@
 ///   * {O0 baseline} x {vpo -O, coalesce-loads, coalesce-all,
 ///     coalesce-all + companion passes, coalesce-all at UnrollFactor 4}
 ///   * {alpha, m88100, m68030}
-///   * {predecoded fast path, reference interpreter}
+///   * {predecoded fast path, reference interpreter, tiered
+///     interpreter+JIT (forced-hot, so compiled traces and deopts run)}
 ///   * memory scenarios that force the run-time checks down *both* the
 ///     fast (checks pass) and safe (checks fail) paths: layout skew on
 ///     and off, on top of the spec's adjacent/overlapping placements.
@@ -89,6 +91,12 @@ struct OracleOptions {
   size_t ArenaBytes = size_t(1) << 20;
   /// Also check the mini-C rendering when the spec has one.
   bool CheckCSource = true;
+  /// Run the tiered interpreter+JIT as a third engine and require its
+  /// results — diagnostics included — to match the predecode engine
+  /// byte-for-byte. Harmless on platforms without native support (the
+  /// functional engine's interpreted tier runs instead). The campaign
+  /// drivers' --no-jit turns it off.
+  bool CheckJIT = true;
   /// Telemetry oracle: per configuration, compile twice more with remark
   /// sinks attached; the sink-off and sink-on IR must print identically
   /// (observer effect) and the two remark streams must match byte-for-
@@ -104,7 +112,7 @@ struct OracleResult {
   std::string Target;
   std::string Config;
   std::string Scenario; ///< "n13.skew3"
-  std::string Engine;   ///< "predecode" or "reference"
+  std::string Engine;   ///< "predecode", "reference", or "jit"
   unsigned Comparisons = 0; ///< differential comparisons performed
 
   bool passed() const { return Kind == FailKind::None; }

@@ -11,8 +11,14 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace vpo;
+
+uint64_t vpo::detail::nextFunctionEpoch() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::vector<BasicBlock *> BasicBlock::successors() const {
   if (Insts.empty())
@@ -35,6 +41,7 @@ std::vector<BasicBlock *> BasicBlock::successors() const {
 }
 
 BasicBlock *Function::addBlock(std::string BlockName) {
+  noteMutated();
   Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
   BasicBlock *Raw = Blocks.back().get();
   if (Journal)
@@ -46,6 +53,7 @@ BasicBlock *Function::addBlockBefore(BasicBlock *Before,
                                      std::string BlockName) {
   int Idx = blockIndex(Before);
   assert(Idx >= 0 && "addBlockBefore: block not in function");
+  noteMutated();
   auto NewBB = std::make_unique<BasicBlock>(this, std::move(BlockName));
   BasicBlock *Raw = NewBB.get();
   Blocks.insert(Blocks.begin() + Idx, std::move(NewBB));
@@ -58,6 +66,7 @@ void Function::removeBlock(BasicBlock *BB) {
   auto It = std::find_if(Blocks.begin(), Blocks.end(),
                          [BB](const auto &P) { return P.get() == BB; });
   assert(It != Blocks.end() && "removeBlock: block not in function");
+  noteMutated();
   if (Journal) {
     // The journal takes ownership: a rollback needs the block alive (both
     // to re-insert it and because saved pre-images may branch to it).

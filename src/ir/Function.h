@@ -25,6 +25,16 @@ namespace vpo {
 class Function;
 class SnapshotJournal;
 
+namespace detail {
+/// Process-wide monotonic counter backing Function::uid() and
+/// Function::version(). Never reused, so a (uid, version) pair identifies
+/// one revision of one live Function object for the lifetime of the
+/// process — exactly what cross-run caches of derived forms (predecoded
+/// streams, JIT code) need as a key that cannot suffer ABA across
+/// Function destruction and reallocation.
+uint64_t nextFunctionEpoch();
+} // namespace detail
+
 /// A basic block: named, single-entry, ending in exactly one terminator
 /// (enforced by the Verifier, not the type).
 ///
@@ -92,11 +102,10 @@ private:
   friend class SnapshotJournal;
 
   /// Journal hook: the first mutation under an armed journal saves this
-  /// block's pre-image; later mutations cost one pointer test.
-  void preMutate() {
-    if (Journal && !JournalSaved)
-      journalSave();
-  }
+  /// block's pre-image; later mutations cost one pointer test. Also bumps
+  /// the parent function's version so cached derived forms (predecode /
+  /// JIT, sim/ProgramCache.h) are invalidated. Defined after Function.
+  void preMutate();
   void journalSave(); // out of line: the once-per-block slow path
 
   Function *Parent;
@@ -129,8 +138,26 @@ public:
 
   const std::string &name() const { return Name; }
 
+  /// Process-unique identity of this Function object (stable across its
+  /// lifetime, never reused by another Function in this process).
+  uint64_t uid() const { return Uid; }
+
+  /// Monotonically increasing revision: bumped by every mutation of the
+  /// function or any of its blocks (via BasicBlock::preMutate). Two
+  /// observations of equal (uid, version) are guaranteed to have seen
+  /// identical IR, so derived caches key on the pair.
+  uint64_t version() const { return Version; }
+
+  /// Records a mutation by advancing the version. Block-level mutators
+  /// call this through preMutate(); function-level mutators call it
+  /// directly.
+  void noteMutated() { Version = detail::nextFunctionEpoch(); }
+
   /// Allocates a fresh virtual register.
-  Reg newReg() { return Reg(NextRegId++); }
+  Reg newReg() {
+    noteMutated();
+    return Reg(NextRegId++);
+  }
 
   /// \returns one past the largest allocated register id.
   unsigned regUpperBound() const { return NextRegId; }
@@ -138,8 +165,10 @@ public:
   /// Records that register id \p Id is in use, growing the allocator bound.
   /// Used by the text parser, which sees explicit register numbers.
   void noteRegUsed(unsigned Id) {
-    if (Id >= NextRegId)
+    if (Id >= NextRegId) {
+      noteMutated();
       NextRegId = Id + 1;
+    }
   }
 
   /// Declares a new parameter register (parameters are passed in order).
@@ -154,6 +183,7 @@ public:
   /// Mutable compile-time facts about parameter \p Idx.
   ParamInfo &paramInfo(size_t Idx) {
     assert(Idx < ParamInfos.size() && "parameter index out of range");
+    noteMutated();
     return ParamInfos[Idx];
   }
 
@@ -205,7 +235,16 @@ private:
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   unsigned NextRegId = 1;
   SnapshotJournal *Journal = nullptr; ///< armed journal, if any
+  uint64_t Uid = detail::nextFunctionEpoch();
+  uint64_t Version = Uid;
 };
+
+inline void BasicBlock::preMutate() {
+  if (Journal && !JournalSaved)
+    journalSave();
+  if (Parent)
+    Parent->noteMutated();
+}
 
 /// A module: a named set of functions.
 class Module {

@@ -74,6 +74,12 @@ void SnapshotJournal::rollback() {
   }
   // ~Pool destroys the added blocks.
 
+  // The restore wrote block contents directly (bypassing preMutate), so
+  // advance the version by hand: the function's IR changed even though it
+  // changed *back*, and version-keyed caches must not serve entries built
+  // from the rolled-back revision.
+  F->noteMutated();
+
   detach();
 }
 

@@ -1,0 +1,100 @@
+//===- jit/CodeBuffer.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeBuffer.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace vpo;
+using namespace vpo::jit;
+
+std::unique_ptr<CodeBuffer> CodeBuffer::create(size_t ReserveBytes) {
+#if VPO_JIT_HAVE_MMAP
+  long PageLong = sysconf(_SC_PAGESIZE);
+  size_t Page = PageLong > 0 ? static_cast<size_t>(PageLong) : 4096;
+  if (ReserveBytes < Page)
+    ReserveBytes = Page;
+  size_t Reserve = (ReserveBytes + Page - 1) / Page * Page;
+  void *P = mmap(nullptr, Reserve, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS,
+                 -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  return std::unique_ptr<CodeBuffer>(
+      new CodeBuffer(static_cast<uint8_t *>(P), Reserve, Page));
+#else
+  (void)ReserveBytes;
+  return nullptr;
+#endif
+}
+
+CodeBuffer::~CodeBuffer() {
+#if VPO_JIT_HAVE_MMAP
+  if (Base)
+    munmap(Base, Reserve);
+#endif
+}
+
+bool CodeBuffer::append(const void *Data, size_t N, size_t &OffOut) {
+#if VPO_JIT_HAVE_MMAP
+  if (!Writable || N > Reserve - Used)
+    return false;
+  size_t Need = (Used + N + Page - 1) / Page * Page;
+  if (Need > Committed) {
+    if (mprotect(Base + Committed, Need - Committed,
+                 PROT_READ | PROT_WRITE) != 0)
+      return false;
+    Committed = Need;
+  }
+  std::memcpy(Base + Used, Data, N);
+  OffOut = Used;
+  Used += N;
+  return true;
+#else
+  (void)Data;
+  (void)N;
+  (void)OffOut;
+  return false;
+#endif
+}
+
+void CodeBuffer::patch32(size_t Off, int32_t V) {
+  if (!Writable || Off + 4 > Used)
+    return;
+  std::memcpy(Base + Off, &V, 4);
+}
+
+bool CodeBuffer::makeWritable() {
+#if VPO_JIT_HAVE_MMAP
+  if (Writable)
+    return true;
+  if (Committed &&
+      mprotect(Base, Committed, PROT_READ | PROT_WRITE) != 0)
+    return false;
+  Writable = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CodeBuffer::makeExecutable() {
+#if VPO_JIT_HAVE_MMAP
+  if (!Writable)
+    return true;
+  if (Committed && mprotect(Base, Committed, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Writable = false;
+  return true;
+#else
+  return false;
+#endif
+}

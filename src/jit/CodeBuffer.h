@@ -1,0 +1,81 @@
+//===- jit/CodeBuffer.h - W^X native code buffer ----------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable code arena with W^X discipline. One large region of
+/// address space is *reserved* up front (PROT_NONE) and pages are
+/// committed on demand as code is appended, so every emitted byte stays
+/// within rel32 range of every other — block chaining patches 32-bit
+/// relative jumps and never needs long thunks. The region is never
+/// writable and executable at the same time: compilation windows flip the
+/// committed prefix to RW (makeWritable), execution flips it to RX
+/// (makeExecutable). Growth (committing further pages) is only legal
+/// inside a writable window.
+///
+/// On platforms without mmap/PROT_EXEC support, create() returns null and
+/// the JIT tier reports itself unavailable (jit/JIT.h probes this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_JIT_CODEBUFFER_H
+#define VPO_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace vpo {
+namespace jit {
+
+class CodeBuffer {
+public:
+  /// Reserves \p ReserveBytes of address space (rounded up to whole
+  /// pages). \returns null if the platform cannot reserve or the JIT is
+  /// compiled out. The new buffer starts in the writable state with zero
+  /// committed pages.
+  static std::unique_ptr<CodeBuffer> create(size_t ReserveBytes);
+
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  const uint8_t *base() const { return Base; }
+  size_t used() const { return Used; }
+  size_t capacity() const { return Reserve; }
+  size_t committed() const { return Committed; }
+  bool writable() const { return Writable; }
+
+  /// Appends \p N bytes, committing pages as needed. Requires a writable
+  /// window. \returns false when the reservation is exhausted (the caller
+  /// marks the block uncompilable and stays on the interpreter), true with
+  /// \p OffOut = the offset of the first appended byte otherwise.
+  bool append(const void *Data, size_t N, size_t &OffOut);
+
+  /// Rewrites 4 bytes at \p Off (jump-site patching). Requires writable.
+  void patch32(size_t Off, int32_t V);
+
+  /// Flips the committed prefix RW / RX. No-ops when already in that
+  /// state. \returns false if mprotect failed (the buffer is then unusable
+  /// for execution and run attempts must bail).
+  bool makeWritable();
+  bool makeExecutable();
+
+private:
+  CodeBuffer(uint8_t *Base, size_t Reserve, size_t Page)
+      : Base(Base), Reserve(Reserve), Page(Page) {}
+
+  uint8_t *Base = nullptr;
+  size_t Reserve = 0;
+  size_t Page = 4096;
+  size_t Used = 0;
+  size_t Committed = 0;
+  bool Writable = true;
+};
+
+} // namespace jit
+} // namespace vpo
+
+#endif // VPO_JIT_CODEBUFFER_H

@@ -1,0 +1,512 @@
+//===- jit/Emitter.h - Minimal x86-64 instruction emitter -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny, dependency-free x86-64 encoder: exactly the instruction forms
+/// the copy-and-patch block compiler (jit/JIT.cpp) needs, nothing more.
+/// Emission targets a plain byte vector; the caller appends the finished
+/// block to the executable CodeBuffer in one shot and resolves recorded
+/// jump sites afterwards.
+///
+/// Conventions used by the generated code (see JIT.cpp for the full
+/// contract): r15 = value-pool base, r14 = simulated-memory base,
+/// rbx = memory size, r13 = remaining instruction budget, r12 = &ExecState.
+/// rax/rcx/rdx/rsi/rdi and xmm0 are scratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_JIT_EMITTER_H
+#define VPO_JIT_EMITTER_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vpo {
+namespace jit {
+
+enum GpReg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// x86 condition-code nibbles (for jcc / setcc / cmovcc).
+enum CondNibble : uint8_t {
+  CC_B = 0x2,  ///< unsigned <
+  CC_AE = 0x3, ///< unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, ///< unsigned <=
+  CC_A = 0x7,  ///< unsigned >
+  CC_L = 0xC,
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+class Emitter {
+public:
+  const uint8_t *data() const { return Buf.data(); }
+  size_t size() const { return Buf.size(); }
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    size_t N = Buf.size();
+    Buf.resize(N + 4);
+    std::memcpy(Buf.data() + N, &V, 4);
+  }
+  void u64(uint64_t V) {
+    size_t N = Buf.size();
+    Buf.resize(N + 8);
+    std::memcpy(Buf.data() + N, &V, 8);
+  }
+
+  /// Rewrites a previously emitted rel32 at \p Off.
+  void patch32At(size_t Off, int32_t V) { std::memcpy(Buf.data() + Off, &V, 4); }
+
+  /// Patches the rel32 at \p SiteOff so the jump lands on \p Target (both
+  /// are offsets within this emitter's buffer).
+  void bindLocal(size_t SiteOff, size_t Target) {
+    patch32At(SiteOff, static_cast<int32_t>(Target - (SiteOff + 4)));
+  }
+
+  // --- prefixes / modrm ---------------------------------------------------
+
+  void rex(bool W, uint8_t Reg, uint8_t Index, uint8_t Base,
+           bool Force = false) {
+    uint8_t V = 0x40 | (W ? 8 : 0) | ((Reg >> 3) << 2) | ((Index >> 3) << 1) |
+                (Base >> 3);
+    if (V != 0x40 || Force)
+      u8(V);
+  }
+
+  /// modrm (+ SIB + disp) for [Base + Disp]. Handles the RSP/R12 SIB case
+  /// and the RBP/R13 zero-disp case.
+  void memOp(uint8_t Reg, GpReg Base, int32_t Disp) {
+    uint8_t RegLow = Reg & 7, BaseLow = Base & 7;
+    bool NeedSib = BaseLow == 4; // rsp/r12 encodings require SIB
+    bool Disp0 = Disp == 0 && BaseLow != 5; // rbp/r13 need an explicit disp
+    uint8_t Mod = Disp0 ? 0 : (Disp >= -128 && Disp <= 127 ? 1 : 2);
+    u8(static_cast<uint8_t>((Mod << 6) | (RegLow << 3) |
+                            (NeedSib ? 4 : BaseLow)));
+    if (NeedSib)
+      u8(0x24); // scale=0, no index, base=rsp/r12
+    if (Mod == 1)
+      u8(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      u32(static_cast<uint32_t>(Disp));
+  }
+
+  /// modrm + SIB for [Base + Index] (scale 1, no displacement unless the
+  /// base requires one). Index must not be RSP.
+  void memOpIndex(uint8_t Reg, GpReg Base, GpReg Index) {
+    uint8_t BaseLow = Base & 7;
+    uint8_t Mod = BaseLow == 5 ? 1 : 0;
+    u8(static_cast<uint8_t>((Mod << 6) | ((Reg & 7) << 3) | 4));
+    u8(static_cast<uint8_t>(((Index & 7) << 3) | BaseLow));
+    if (Mod == 1)
+      u8(0);
+  }
+
+  void regOp(uint8_t Reg, uint8_t Rm) {
+    u8(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+  }
+
+  // --- moves --------------------------------------------------------------
+
+  /// mov Dst, qword [Base+Disp]
+  void movRM(GpReg Dst, GpReg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    u8(0x8B);
+    memOp(Dst, Base, Disp);
+  }
+  /// mov Dst32, dword [Base+Disp] (zero-extends)
+  void movRM32(GpReg Dst, GpReg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    u8(0x8B);
+    memOp(Dst, Base, Disp);
+  }
+  /// mov qword [Base+Disp], Src
+  void movMR(GpReg Base, int32_t Disp, GpReg Src) {
+    rex(true, Src, 0, Base);
+    u8(0x89);
+    memOp(Src, Base, Disp);
+  }
+  /// mov qword [Base+Disp], imm32 (sign-extended)
+  void movMemImm32(GpReg Base, int32_t Disp, int32_t Imm) {
+    rex(true, 0, 0, Base);
+    u8(0xC7);
+    memOp(0, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// mov Dst, Src (64-bit)
+  void movRR(GpReg Dst, GpReg Src) {
+    rex(true, Dst, 0, Src);
+    u8(0x8B);
+    regOp(Dst, Src);
+  }
+  /// mov Dst32, Src32 (zero-extends to 64)
+  void movRR32(GpReg Dst, GpReg Src) {
+    rex(false, Dst, 0, Src);
+    u8(0x8B);
+    regOp(Dst, Src);
+  }
+  /// movabs Dst, imm64
+  void movImm64(GpReg Dst, uint64_t V) {
+    rex(true, 0, 0, Dst);
+    u8(static_cast<uint8_t>(0xB8 | (Dst & 7)));
+    u64(V);
+  }
+
+  /// movzx Dst32, byte/word [Base+Disp]
+  void movzxRM(GpReg Dst, GpReg Base, int32_t Disp, unsigned Bytes) {
+    rex(false, Dst, 0, Base);
+    u8(0x0F);
+    u8(Bytes == 1 ? 0xB6 : 0xB7);
+    memOp(Dst, Base, Disp);
+  }
+  /// movsx Dst64, byte/word/dword [Base+Disp]
+  void movsxRM(GpReg Dst, GpReg Base, int32_t Disp, unsigned Bytes) {
+    rex(true, Dst, 0, Base);
+    if (Bytes == 4) {
+      u8(0x63); // movsxd
+    } else {
+      u8(0x0F);
+      u8(Bytes == 1 ? 0xBE : 0xBF);
+    }
+    memOp(Dst, Base, Disp);
+  }
+  /// movzx Dst32, Src8/Src16 (register form)
+  void movzxRR(GpReg Dst, GpReg Src, unsigned Bytes) {
+    rex(false, Dst, 0, Src, /*Force=*/Src >= RSP);
+    u8(0x0F);
+    u8(Bytes == 1 ? 0xB6 : 0xB7);
+    regOp(Dst, Src);
+  }
+  /// movsx Dst64, Src8/16/32 (register form)
+  void movsxRR(GpReg Dst, GpReg Src, unsigned Bytes) {
+    rex(true, Dst, 0, Src);
+    if (Bytes == 4) {
+      u8(0x63);
+    } else {
+      u8(0x0F);
+      u8(Bytes == 1 ? 0xBE : 0xBF);
+    }
+    regOp(Dst, Src);
+  }
+
+  // --- loads/stores through [Base + Index] --------------------------------
+
+  /// Zero-extending load of Bytes (1/2/4/8) into Dst from [Base+Index].
+  void loadIndex(GpReg Dst, GpReg Base, GpReg Index, unsigned Bytes) {
+    switch (Bytes) {
+    case 1:
+      rex(false, Dst, Index, Base);
+      u8(0x0F);
+      u8(0xB6);
+      break;
+    case 2:
+      rex(false, Dst, Index, Base);
+      u8(0x0F);
+      u8(0xB7);
+      break;
+    case 4:
+      rex(false, Dst, Index, Base);
+      u8(0x8B);
+      break;
+    default:
+      rex(true, Dst, Index, Base);
+      u8(0x8B);
+      break;
+    }
+    memOpIndex(Dst, Base, Index);
+  }
+  /// Sign-extending load of Bytes (1/2/4) into Dst64.
+  void loadIndexSext(GpReg Dst, GpReg Base, GpReg Index, unsigned Bytes) {
+    rex(true, Dst, Index, Base);
+    if (Bytes == 4) {
+      u8(0x63);
+    } else {
+      u8(0x0F);
+      u8(Bytes == 1 ? 0xBE : 0xBF);
+    }
+    memOpIndex(Dst, Base, Index);
+  }
+  /// Store of the low Bytes (1/2/4/8) of Src to [Base+Index].
+  void storeIndex(GpReg Base, GpReg Index, GpReg Src, unsigned Bytes) {
+    if (Bytes == 2)
+      u8(0x66);
+    if (Bytes == 1) {
+      rex(false, Src, Index, Base, /*Force=*/Src >= RSP);
+      u8(0x88);
+    } else {
+      rex(Bytes == 8, Src, Index, Base);
+      u8(0x89);
+    }
+    memOpIndex(Src, Base, Index);
+  }
+
+  // --- ALU ----------------------------------------------------------------
+
+  /// 64-bit <op> Dst, qword [Base+Disp]. Opc: add 03, sub 2B, and 23,
+  /// or 0B, xor 33, cmp 3B.
+  void aluRM(uint8_t Opc, GpReg Dst, GpReg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    u8(Opc);
+    memOp(Dst, Base, Disp);
+  }
+  /// 64-bit <op> Dst, Src (same opcodes as aluRM).
+  void aluRR(uint8_t Opc, GpReg Dst, GpReg Src) {
+    rex(true, Dst, 0, Src);
+    u8(Opc);
+    regOp(Dst, Src);
+  }
+  /// imul Dst, qword [Base+Disp]
+  void imulRM(GpReg Dst, GpReg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    u8(0x0F);
+    u8(0xAF);
+    memOp(Dst, Base, Disp);
+  }
+  /// 64-bit <grp1 ext> Reg, imm (81/83 forms; add=0, and=4, sub=5, cmp=7).
+  void aluImm(uint8_t Ext, GpReg Reg, int32_t Imm) {
+    rex(true, 0, 0, Reg);
+    if (Imm >= -128 && Imm <= 127) {
+      u8(0x83);
+      regOp(Ext, Reg);
+      u8(static_cast<uint8_t>(Imm));
+    } else {
+      u8(0x81);
+      regOp(Ext, Reg);
+      u32(static_cast<uint32_t>(Imm));
+    }
+  }
+  /// 32-bit <grp1 ext> Reg32, imm8 (and ecx,7 style).
+  void aluImm32(uint8_t Ext, GpReg Reg, int8_t Imm) {
+    rex(false, 0, 0, Reg);
+    u8(0x83);
+    regOp(Ext, Reg);
+    u8(static_cast<uint8_t>(Imm));
+  }
+  /// 64-bit <grp1 ext> qword [Base+Disp], imm32.
+  void aluMemImm(uint8_t Ext, GpReg Base, int32_t Disp, int32_t Imm) {
+    rex(true, 0, 0, Base);
+    u8(0x81);
+    memOp(Ext, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// test Dst, Src (64-bit)
+  void testRR(GpReg A, GpReg B) {
+    rex(true, B, 0, A);
+    u8(0x85);
+    regOp(B, A);
+  }
+  /// test A32, B32
+  void testRR32(GpReg A, GpReg B) {
+    rex(false, B, 0, A);
+    u8(0x85);
+    regOp(B, A);
+  }
+  /// test Reg8, imm8 (REX forced so dil/sil encode correctly)
+  void test8Imm(GpReg Reg, uint8_t Imm) {
+    rex(false, 0, 0, Reg, /*Force=*/Reg >= RSP);
+    u8(0xF6);
+    regOp(0, Reg);
+    u8(Imm);
+  }
+  /// 64-bit shift by cl. Ext: shl=4, shr=5, sar=7.
+  void shiftCl(uint8_t Ext, GpReg Reg) {
+    rex(true, 0, 0, Reg);
+    u8(0xD3);
+    regOp(Ext, Reg);
+  }
+  /// 32-bit shl Reg32, imm8
+  void shlImm32(GpReg Reg, uint8_t Imm) {
+    rex(false, 0, 0, Reg);
+    u8(0xC1);
+    regOp(4, Reg);
+    u8(Imm);
+  }
+  /// neg Reg32
+  void negR32(GpReg Reg) {
+    rex(false, 0, 0, Reg);
+    u8(0xF7);
+    regOp(3, Reg);
+  }
+  /// not Reg (64-bit)
+  void notR(GpReg Reg) {
+    rex(true, 0, 0, Reg);
+    u8(0xF7);
+    regOp(2, Reg);
+  }
+  /// xor Reg32, Reg32 (the canonical zeroing idiom)
+  void xorR32(GpReg Dst, GpReg Src) {
+    rex(false, Dst, 0, Src);
+    u8(0x33);
+    regOp(Dst, Src);
+  }
+  void cqo() {
+    u8(0x48);
+    u8(0x99);
+  }
+  /// div/idiv by Reg (64-bit). Signed selects idiv.
+  void divR(GpReg Reg, bool Signed) {
+    rex(true, 0, 0, Reg);
+    u8(0xF7);
+    regOp(Signed ? 7 : 6, Reg);
+  }
+  /// setcc Reg8 (REX forced; pair with movzxRR to widen)
+  void setcc(uint8_t CC, GpReg Reg) {
+    rex(false, 0, 0, Reg, /*Force=*/Reg >= RSP);
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x90 | CC));
+    regOp(0, Reg);
+  }
+  /// cmovcc Dst, Src (64-bit)
+  void cmovcc(uint8_t CC, GpReg Dst, GpReg Src) {
+    rex(true, Dst, 0, Src);
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x40 | CC));
+    regOp(Dst, Src);
+  }
+
+  // --- control flow -------------------------------------------------------
+
+  /// jcc rel32 with a zero placeholder. \returns the rel32 site offset.
+  size_t jcc32(uint8_t CC) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | CC));
+    size_t Site = Buf.size();
+    u32(0);
+    return Site;
+  }
+  /// jmp rel32 with a zero placeholder. \returns the rel32 site offset.
+  size_t jmp32() {
+    u8(0xE9);
+    size_t Site = Buf.size();
+    u32(0);
+    return Site;
+  }
+  /// jmp Reg
+  void jmpR(GpReg Reg) {
+    rex(false, 0, 0, Reg);
+    u8(0xFF);
+    regOp(4, Reg);
+  }
+  void push(GpReg Reg) {
+    rex(false, 0, 0, Reg);
+    u8(static_cast<uint8_t>(0x50 | (Reg & 7)));
+  }
+  void pop(GpReg Reg) {
+    rex(false, 0, 0, Reg);
+    u8(static_cast<uint8_t>(0x58 | (Reg & 7)));
+  }
+  void ret() { u8(0xC3); }
+
+  // --- SSE2 scalar double/float ------------------------------------------
+
+  /// movsd Xmm, qword [Base+Disp]
+  void movsdRM(uint8_t Xmm, GpReg Base, int32_t Disp) {
+    u8(0xF2);
+    rex(false, Xmm, 0, Base);
+    u8(0x0F);
+    u8(0x10);
+    memOp(Xmm, Base, Disp);
+  }
+  /// movsd qword [Base+Disp], Xmm
+  void movsdMR(GpReg Base, int32_t Disp, uint8_t Xmm) {
+    u8(0xF2);
+    rex(false, Xmm, 0, Base);
+    u8(0x0F);
+    u8(0x11);
+    memOp(Xmm, Base, Disp);
+  }
+  /// movss Xmm, dword [Base+Index]
+  void movssIndex(uint8_t Xmm, GpReg Base, GpReg Index) {
+    u8(0xF3);
+    rex(false, Xmm, Index, Base);
+    u8(0x0F);
+    u8(0x10);
+    memOpIndex(Xmm, Base, Index);
+  }
+  /// addsd/subsd/mulsd/divsd Xmm, qword [Base+Disp].
+  /// Opc: add 58, mul 59, sub 5C, div 5E.
+  void sseArithRM(uint8_t Opc, uint8_t Xmm, GpReg Base, int32_t Disp) {
+    u8(0xF2);
+    rex(false, Xmm, 0, Base);
+    u8(0x0F);
+    u8(Opc);
+    memOp(Xmm, Base, Disp);
+  }
+  /// cvtsi2sd Xmm, qword [Base+Disp]
+  void cvtsi2sdRM(uint8_t Xmm, GpReg Base, int32_t Disp) {
+    u8(0xF2);
+    rex(true, Xmm, 0, Base);
+    u8(0x0F);
+    u8(0x2A);
+    memOp(Xmm, Base, Disp);
+  }
+  /// cvttsd2si Dst64, qword [Base+Disp]
+  void cvttsd2siRM(GpReg Dst, GpReg Base, int32_t Disp) {
+    u8(0xF2);
+    rex(true, Dst, 0, Base);
+    u8(0x0F);
+    u8(0x2C);
+    memOp(Dst, Base, Disp);
+  }
+  /// cvtss2sd Dst, Src (register form)
+  void cvtss2sd(uint8_t Dst, uint8_t Src) {
+    u8(0xF3);
+    u8(0x0F);
+    u8(0x5A);
+    regOp(Dst, Src);
+  }
+  /// cvtsd2ss Dst, Src (register form)
+  void cvtsd2ss(uint8_t Dst, uint8_t Src) {
+    u8(0xF2);
+    u8(0x0F);
+    u8(0x5A);
+    regOp(Dst, Src);
+  }
+  /// movd Xmm, Src32
+  void movdToXmm(uint8_t Xmm, GpReg Src) {
+    u8(0x66);
+    rex(false, Xmm, 0, Src);
+    u8(0x0F);
+    u8(0x6E);
+    regOp(Xmm, Src);
+  }
+  /// movd Dst32, Xmm (zero-extends to 64)
+  void movdFromXmm(GpReg Dst, uint8_t Xmm) {
+    u8(0x66);
+    rex(false, Xmm, 0, Dst);
+    u8(0x0F);
+    u8(0x7E);
+    regOp(Xmm, Dst);
+  }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+} // namespace jit
+} // namespace vpo
+
+#endif // VPO_JIT_EMITTER_H

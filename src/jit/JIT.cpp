@@ -1,0 +1,733 @@
+//===- jit/JIT.cpp - Copy-and-patch block compiler ------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Code generation contract (shared with the emitted code — keep in sync
+// with the register conventions documented in Emitter.h):
+//
+//   r15 = value-pool base        (ExecState::Vals)
+//   r14 = simulated-memory base  (ExecState::MemData)
+//   rbx = memory size            (ExecState::MemSize)
+//   r13 = remaining step budget  (ExecState::StepsRemaining)
+//   r12 = &ExecState             (counter/exit writebacks are r12-relative)
+//   rax, rcx, rdx, rsi, rdi, xmm0 are scratch.
+//
+// Each compiled block:
+//   1. guards the budget: `cmp r13, L; jb budget-stub; sub r13, L` — a
+//      block never starts unless every one of its L ops fits the budget,
+//      so MaxSteps can only be hit at a block boundary and the interpreter
+//      re-executes the block per-op to fault at the reference point;
+//   2. runs its straight-line ops with checks (alignment, bounds, divide,
+//      field range) inline, each failing check jumping to a per-site trap
+//      stub that rewinds the budget to "prefix + faulting op" and adds the
+//      prefix's memory counters before exiting;
+//   3. batches its memory/branch counter increments at the terminator
+//      (adds are emitted *before* the branch condition's cmp — they
+//      clobber flags) and leaves through rel32 jumps: directly to compiled
+//      successor blocks, or through a per-target cold stub (deopt) that is
+//      patched to a direct jump the moment the target compiles.
+//
+// Bounds checks compare against [4096, MemSize - WBytes] to mirror
+// Memory::inBounds; `MemSize - WBytes` only stays in range because the
+// driver refuses native entry for arenas smaller than 4096 + 8 bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JIT.h"
+
+#include "jit/CodeBuffer.h"
+#include "jit/Emitter.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+using namespace vpo;
+using namespace vpo::jit;
+
+static_assert(offsetof(ExecState, Vals) == 0, "ABI");
+static_assert(offsetof(ExecState, MemData) == 8, "ABI");
+static_assert(offsetof(ExecState, MemSize) == 16, "ABI");
+static_assert(offsetof(ExecState, StepsRemaining) == 24, "ABI");
+static_assert(offsetof(ExecState, Loads) == 32, "ABI");
+static_assert(offsetof(ExecState, Stores) == 40, "ABI");
+static_assert(offsetof(ExecState, LoadBytes) == 48, "ABI");
+static_assert(offsetof(ExecState, StoreBytes) == 56, "ABI");
+static_assert(offsetof(ExecState, Branches) == 64, "ABI");
+static_assert(offsetof(ExecState, ReturnValue) == 72, "ABI");
+static_assert(offsetof(ExecState, Exit) == 80, "ABI");
+static_assert(offsetof(ExecState, ResumeBlock) == 88, "ABI");
+static_assert(offsetof(ExecState, Trap) == 96, "ABI");
+static_assert(offsetof(ExecState, TrapOp) == 104, "ABI");
+static_assert(offsetof(ExecState, TrapAddr) == 112, "ABI");
+static_assert(offsetof(ExecState, Deopt) == 120, "ABI");
+
+namespace {
+
+// ExecState field displacements, for r12-relative addressing.
+enum StateOff : int32_t {
+  OffLoads = 32,
+  OffStores = 40,
+  OffLoadBytes = 48,
+  OffStoreBytes = 56,
+  OffBranches = 64,
+  OffReturnValue = 72,
+  OffExit = 80,
+  OffResumeBlock = 88,
+  OffTrap = 96,
+  OffTrapOp = 104,
+  OffTrapAddr = 112,
+  OffDeopt = 120,
+};
+
+// grp1 /ext values for aluImm / aluMemImm.
+constexpr uint8_t ALU_ADD = 0, ALU_AND = 4, ALU_SUB = 5, ALU_CMP = 7;
+// opcode bytes for aluRM / aluRR.
+constexpr uint8_t OP_ADD = 0x03, OP_SUB = 0x2B, OP_AND = 0x23, OP_OR = 0x0B,
+                  OP_XOR = 0x33, OP_CMP = 0x3B;
+
+uint8_t condNibble(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return CC_E;
+  case CondCode::NE:
+    return CC_NE;
+  case CondCode::LTs:
+    return CC_L;
+  case CondCode::LEs:
+    return CC_LE;
+  case CondCode::GTs:
+    return CC_G;
+  case CondCode::GEs:
+    return CC_GE;
+  case CondCode::LTu:
+    return CC_B;
+  case CondCode::LEu:
+    return CC_BE;
+  case CondCode::GTu:
+    return CC_A;
+  case CondCode::GEu:
+    return CC_AE;
+  }
+  return CC_E;
+}
+
+/// A pending rel32 in a block's local emitter buffer that targets
+/// something outside it (the shared epilogue or another block's entry).
+struct Reloc {
+  enum Kind { Epilogue, Block } K;
+  size_t Site;     ///< rel32 offset within the local emitter buffer
+  uint32_t Target; ///< block index when K == Block
+};
+
+/// One inline check's jump to its (not yet emitted) trap stub, plus
+/// everything the stub needs to reconstruct exact counters.
+struct TrapFixup {
+  size_t Site; ///< jcc rel32 offset in the local buffer
+  TrapKind Kind;
+  uint32_t OpIdx; ///< global (DF.Ops) index of the faulting op
+  bool HasAddr;   ///< rdi holds the faulting address at the jump
+  // Memory-counter deltas of the ops *before* the faulting one (the
+  // faulting op's own reference/bytes never commit), and the budget to
+  // hand back so r13 reflects "prefix + faulting op" executed.
+  int32_t PrefLoads, PrefStores, PrefLoadBytes, PrefStoreBytes;
+  int32_t BudgetRefund;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Capability probe
+//===----------------------------------------------------------------------===//
+
+static Availability probeNative() {
+  Availability A;
+#if !(defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__)))
+  A.Reason = "arch";
+  return A;
+#else
+  if (const char *Env = std::getenv("VPO_NO_JIT")) {
+    if (Env[0] != '\0' && !(Env[0] == '0' && Env[1] == '\0')) {
+      A.Reason = "env-vpo-no-jit";
+      return A;
+    }
+  }
+  // End-to-end smoke: map a page, emit `mov eax, 42; ret`, flip to RX and
+  // call it. Catches mmap-less sandboxes, W^X-hostile kernels and
+  // PROT_EXEC-denying mounts in one shot.
+  std::unique_ptr<CodeBuffer> Buf = CodeBuffer::create(4096);
+  if (!Buf) {
+    A.Reason = "mmap-failed";
+    return A;
+  }
+  static const uint8_t Probe[] = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};
+  size_t Off = 0;
+  if (!Buf->append(Probe, sizeof(Probe), Off) || !Buf->makeExecutable()) {
+    A.Reason = "mmap-noexec";
+    return A;
+  }
+  auto Fn = reinterpret_cast<int (*)()>(
+      reinterpret_cast<uintptr_t>(Buf->base() + Off));
+  if (Fn() != 42) {
+    A.Reason = "probe-misexec";
+    return A;
+  }
+  A.Ok = true;
+  A.Reason = "";
+  return A;
+#endif
+}
+
+const Availability &vpo::jit::nativeAvailability() {
+  static const Availability A = probeNative();
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// JITProgram
+//===----------------------------------------------------------------------===//
+
+JITProgram::JITProgram(const DecodedFunction &DF,
+                       std::unique_ptr<CodeBuffer> Buf)
+    : DF(DF), Buf(std::move(Buf)), Blocks(DF.BlockStart.size()),
+      Pending(DF.BlockStart.size()),
+      ColdStubs(DF.BlockStart.size(), kNoOffset) {}
+
+JITProgram::~JITProgram() = default;
+
+size_t JITProgram::codeBytes() const { return Buf->used(); }
+size_t JITProgram::codeCapacity() const { return Buf->capacity(); }
+
+std::shared_ptr<JITProgram> JITProgram::create(const DecodedFunction &DF,
+                                               size_t MaxCodeBytes) {
+  if (!nativeAvailability().Ok)
+    return nullptr;
+  if (DF.Ops.empty() || DF.BlockStart.empty())
+    return nullptr;
+  // Value-pool slots address as [r15 + slot*8] with an int32 displacement,
+  // and op indices / block lengths are emitted as imm32.
+  if (DF.poolSize() >= (size_t(1) << 28) ||
+      DF.Ops.size() >= (size_t(1) << 31))
+    return nullptr;
+  std::unique_ptr<CodeBuffer> Buf = CodeBuffer::create(MaxCodeBytes);
+  if (!Buf)
+    return nullptr;
+  std::shared_ptr<JITProgram> P(new JITProgram(DF, std::move(Buf)));
+  if (!P->emitProlog())
+    return nullptr;
+  return P;
+}
+
+bool JITProgram::emitProlog() {
+  // Trampoline: `uint64_t run(ExecState *S /*rdi*/, const void *Entry
+  // /*rsi*/)` — spill callee-saved registers, load the execution context
+  // and jump into block code.
+  Emitter E;
+  E.push(RBX);
+  E.push(RBP);
+  E.push(R12);
+  E.push(R13);
+  E.push(R14);
+  E.push(R15);
+  E.movRR(R12, RDI);
+  E.movRM(R15, R12, 0);  // Vals
+  E.movRM(R14, R12, 8);  // MemData
+  E.movRM(RBX, R12, 16); // MemSize
+  E.movRM(R13, R12, 24); // StepsRemaining
+  E.jmpR(RSI);
+  if (!Buf->append(E.data(), E.size(), TrampOff))
+    return false;
+
+  // Shared epilogue: every exit path (ret / deopt / trap stubs) jumps
+  // here after filling in its ExecState exit fields.
+  Emitter Ep;
+  Ep.movMR(R12, 24, R13); // write back the remaining budget
+  Ep.pop(R15);
+  Ep.pop(R14);
+  Ep.pop(R13);
+  Ep.pop(R12);
+  Ep.pop(RBP);
+  Ep.pop(RBX);
+  Ep.ret();
+  if (!Buf->append(Ep.data(), Ep.size(), EpilogueOff))
+    return false;
+  Stats.BytesEmitted += E.size() + Ep.size();
+  return true;
+}
+
+size_t JITProgram::coldStub(uint32_t Target) {
+  if (ColdStubs[Target] != kNoOffset)
+    return ColdStubs[Target];
+  Emitter E;
+  E.movMemImm32(R12, OffResumeBlock, static_cast<int32_t>(Target));
+  E.movMemImm32(R12, OffDeopt,
+                static_cast<int32_t>(DeoptReason::ColdTarget));
+  E.movMemImm32(R12, OffExit, static_cast<int32_t>(ExitKind::Deopt));
+  size_t JmpSite = E.jmp32();
+  size_t Off = 0;
+  if (!Buf->append(E.data(), E.size(), Off))
+    return kNoOffset;
+  Buf->patch32(Off + JmpSite,
+               static_cast<int32_t>(EpilogueOff - (Off + JmpSite + 4)));
+  Stats.BytesEmitted += E.size();
+  ColdStubs[Target] = Off;
+  return Off;
+}
+
+bool JITProgram::compileBlock(uint32_t B) {
+  if (B >= Blocks.size())
+    return false;
+  if (compiled(B))
+    return true;
+  if (Blocks[B].Failed)
+    return false;
+  auto Fail = [&]() {
+    // A block can fail after its entry went live (cold-stub emission ran
+    // out of buffer mid-relocation); pull the entry back so nothing ever
+    // jumps into half-relocated code. Sites other blocks parked for us
+    // stay on their cold stubs — Pending[B] is only drained on success.
+    Blocks[B].EntryOff = kNoOffset;
+    Blocks[B].Failed = true;
+    ++Stats.CompileFailures;
+    return false;
+  };
+  if (Broken || !Buf->makeWritable())
+    return Fail();
+
+  const uint32_t Start = DF.BlockStart[B];
+  const uint32_t End = B + 1 < DF.BlockStart.size()
+                           ? DF.BlockStart[B + 1]
+                           : static_cast<uint32_t>(DF.Ops.size());
+  if (End <= Start)
+    return Fail();
+  const int32_t Len = static_cast<int32_t>(End - Start);
+
+  Emitter E;
+  std::vector<Reloc> Relocs;
+  std::vector<TrapFixup> Traps;
+
+  // Running memory-counter totals for the ops emitted so far — the values
+  // a trap stub must commit for its prefix, and the block totals batched
+  // at the terminator.
+  int64_t NLoads = 0, NStores = 0, NLoadBytes = 0, NStoreBytes = 0;
+
+  auto Slot = [&](uint32_t S) { return static_cast<int32_t>(S) * 8; };
+  auto addTrap = [&](size_t Site, TrapKind K, uint32_t OpIdx, bool HasAddr,
+                     int32_t Refund) {
+    Traps.push_back({Site, K, OpIdx, HasAddr, static_cast<int32_t>(NLoads),
+                     static_cast<int32_t>(NStores),
+                     static_cast<int32_t>(NLoadBytes),
+                     static_cast<int32_t>(NStoreBytes), Refund});
+  };
+  // Batched counter adds clobber flags: terminators emit them before the
+  // branch condition's cmp.
+  auto addCounters = [&](int32_t ExtraBranches) {
+    if (NLoads)
+      E.aluMemImm(ALU_ADD, R12, OffLoads, static_cast<int32_t>(NLoads));
+    if (NStores)
+      E.aluMemImm(ALU_ADD, R12, OffStores, static_cast<int32_t>(NStores));
+    if (NLoadBytes)
+      E.aluMemImm(ALU_ADD, R12, OffLoadBytes,
+                  static_cast<int32_t>(NLoadBytes));
+    if (NStoreBytes)
+      E.aluMemImm(ALU_ADD, R12, OffStoreBytes,
+                  static_cast<int32_t>(NStoreBytes));
+    if (ExtraBranches)
+      E.aluMemImm(ALU_ADD, R12, OffBranches, ExtraBranches);
+  };
+
+  // Budget guard: refuse to start the block unless all Len ops fit, so the
+  // step limit is only ever crossed at a block boundary.
+  E.aluImm(ALU_CMP, R13, Len);
+  size_t BudgetSite = E.jcc32(CC_B);
+  E.aluImm(ALU_SUB, R13, Len);
+
+  bool SawTerminator = false;
+  for (uint32_t Idx = Start; Idx < End; ++Idx) {
+    const DecodedOp &D = DF.Ops[Idx];
+    const bool IsLast = Idx + 1 == End;
+    const int32_t Refund = Len - static_cast<int32_t>(Idx - Start) - 1;
+    const int32_t VA = Slot(D.A), VB = Slot(D.B), VC = Slot(D.C),
+                  VD = Slot(D.Dst);
+
+    switch (D.Op) {
+    case Opcode::Mov:
+      E.movRM(RAX, R15, VA);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Add:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_ADD, RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Sub:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_SUB, RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Mul:
+      E.movRM(RAX, R15, VA);
+      E.imulRM(RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::And:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_AND, RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Or:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_OR, RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Xor:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_XOR, RAX, R15, VB);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::DivS:
+    case Opcode::RemS:
+    case Opcode::DivU:
+    case Opcode::RemU: {
+      const bool Signed = D.Op == Opcode::DivS || D.Op == Opcode::RemS;
+      const bool IsRem = D.Op == Opcode::RemS || D.Op == Opcode::RemU;
+      E.movRM(RCX, R15, VB);
+      E.testRR(RCX, RCX);
+      addTrap(E.jcc32(CC_E), TrapKind::DivideByZero, Idx, /*HasAddr=*/false,
+              Refund);
+      E.movRM(RAX, R15, VA);
+      if (Signed)
+        E.cqo();
+      else
+        E.xorR32(RDX, RDX);
+      // INT64_MIN / -1 faults in idiv exactly as the interpreter's C++
+      // division does — undefined behaviour stays undefined identically.
+      E.divR(RCX, Signed);
+      E.movMR(R15, VD, IsRem ? RDX : RAX);
+      break;
+    }
+    case Opcode::Shl:
+    case Opcode::ShrA:
+    case Opcode::ShrL:
+      E.movRM(RCX, R15, VB);
+      E.movRM(RAX, R15, VA);
+      // D3-group shifts mask the count to 63, matching `B & 63`.
+      E.shiftCl(D.Op == Opcode::Shl ? 4 : (D.Op == Opcode::ShrL ? 5 : 7),
+                RAX);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::CmpSet:
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_CMP, RAX, R15, VB);
+      E.setcc(condNibble(D.CC), RCX);
+      E.movzxRR(RAX, RCX, 1);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Select:
+      E.movRM(RAX, R15, VB);
+      E.movRM(RCX, R15, VC);
+      E.movRM(RDX, R15, VA);
+      E.testRR(RDX, RDX);
+      E.cmovcc(CC_E, RAX, RCX); // A == 0 selects C
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Ext:
+      if (D.WBytes == 8) {
+        E.movRM(RAX, R15, VA);
+      } else if (D.SignExtend) {
+        E.movsxRM(RAX, R15, VA, D.WBytes);
+      } else if (D.WBytes == 4) {
+        E.movRM32(RAX, R15, VA);
+      } else {
+        E.movzxRM(RAX, R15, VA, D.WBytes);
+      }
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      uint8_t Opc = D.Op == Opcode::FAdd   ? 0x58
+                    : D.Op == Opcode::FMul ? 0x59
+                    : D.Op == Opcode::FSub ? 0x5C
+                                           : 0x5E;
+      E.movsdRM(0, R15, VA);
+      E.sseArithRM(Opc, 0, R15, VB);
+      E.movsdMR(R15, VD, 0);
+      break;
+    }
+    case Opcode::CvtIF:
+      E.cvtsi2sdRM(0, R15, VA);
+      E.movsdMR(R15, VD, 0);
+      break;
+    case Opcode::CvtFI:
+      // cvttsd2si truncates toward zero; NaN and out-of-range produce the
+      // 0x8000...0 sentinel, the same code the interpreter's
+      // trunc-then-cast compiles to on this target.
+      E.cvttsd2siRM(RAX, R15, VA);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::Load:
+    case Opcode::LoadWideU:
+    case Opcode::Store: {
+      // rdi = Base + Disp. rdi must survive untouched into the trap stubs
+      // (they record it as the faulting address).
+      E.movRM(RDI, R15, Slot(D.Base));
+      if (D.Disp != 0) {
+        if (D.Disp >= INT32_MIN && D.Disp <= INT32_MAX) {
+          E.aluImm(ALU_ADD, RDI, static_cast<int32_t>(D.Disp));
+        } else {
+          E.movImm64(RSI, static_cast<uint64_t>(D.Disp));
+          E.aluRR(OP_ADD, RDI, RSI);
+        }
+      }
+      if (D.Op == Opcode::LoadWideU) {
+        // Loads the aligned block containing the address; never an
+        // alignment trap.
+        E.aluImm(ALU_AND, RDI, -static_cast<int32_t>(D.WBytes));
+      } else if (D.CheckAlign && D.WBytes > 1) {
+        E.test8Imm(RDI, static_cast<uint8_t>(D.WBytes - 1));
+        addTrap(E.jcc32(CC_NE), TrapKind::Unaligned, Idx, /*HasAddr=*/true,
+                Refund);
+      }
+      // Memory::inBounds — addr in [4096, MemSize - WBytes]. The driver
+      // only enters native code when MemSize >= 4096 + 8, so the
+      // subtraction cannot wrap.
+      E.aluImm(ALU_CMP, RDI, 4096);
+      addTrap(E.jcc32(CC_B), TrapKind::OutOfBounds, Idx, /*HasAddr=*/true,
+              Refund);
+      E.movRR(RSI, RBX);
+      E.aluImm(ALU_SUB, RSI, D.WBytes);
+      E.aluRR(OP_CMP, RDI, RSI);
+      addTrap(E.jcc32(CC_A), TrapKind::OutOfBounds, Idx, /*HasAddr=*/true,
+              Refund);
+      if (D.Op == Opcode::Store) {
+        if (D.IsFloat && D.W == MemWidth::W4) {
+          // Register holds a double; the memory lane stores float bits.
+          E.movsdRM(0, R15, VA);
+          E.cvtsd2ss(0, 0);
+          E.movdFromXmm(RAX, 0);
+        } else {
+          E.movRM(RAX, R15, VA);
+        }
+        E.storeIndex(R14, RDI, RAX, D.WBytes);
+        ++NStores;
+        NStoreBytes += D.WBytes;
+        break;
+      }
+      if (D.Op == Opcode::Load && D.IsFloat && D.W == MemWidth::W4) {
+        // The 32-bit lane holds float bits; registers hold doubles.
+        // Wider float loads are raw bit copies and share the integer path.
+        E.movssIndex(0, R14, RDI);
+        E.cvtss2sd(0, 0);
+        E.movsdMR(R15, VD, 0);
+        ++NLoads;
+        NLoadBytes += D.WBytes;
+        break;
+      }
+      if (D.Op == Opcode::Load && D.SignExtend && D.WBytes < 8)
+        E.loadIndexSext(RAX, R14, RDI, D.WBytes);
+      else
+        E.loadIndex(RAX, R14, RDI, D.WBytes);
+      E.movMR(R15, VD, RAX);
+      ++NLoads;
+      NLoadBytes += D.WBytes;
+      break;
+    }
+    case Opcode::ExtQHi:
+      // Off = B & 7; Dst = Off == 0 ? 0 : A << (8 * (8 - Off)).
+      // neg(8*Off) & 63 == 64 - 8*Off for Off > 0; the Off == 0 case
+      // (shift count masks to 0) is patched with a cmov from zero.
+      E.movRM(RCX, R15, VB);
+      E.aluImm32(ALU_AND, RCX, 7);
+      E.shlImm32(RCX, 3);
+      E.negR32(RCX);
+      E.movRM(RAX, R15, VA);
+      E.shiftCl(4, RAX);
+      E.xorR32(RDX, RDX);
+      E.testRR32(RCX, RCX);
+      E.cmovcc(CC_E, RAX, RDX);
+      E.movMR(R15, VD, RAX);
+      break;
+    case Opcode::ExtractF: {
+      E.movRM(RCX, R15, VB);
+      E.aluImm32(ALU_AND, RCX, 7);
+      if (D.W != MemWidth::W8) {
+        E.aluImm32(ALU_CMP, RCX, static_cast<int8_t>(8 - D.WBytes));
+        addTrap(E.jcc32(CC_A), TrapKind::ExtractField, Idx,
+                /*HasAddr=*/false, Refund);
+      }
+      E.shlImm32(RCX, 3);
+      E.movRM(RAX, R15, VA);
+      E.shiftCl(5, RAX); // Field = A >> (8 * Off)
+      if (D.IsFloat && D.W == MemWidth::W4) {
+        E.movdToXmm(0, RAX); // low 32 bits are the float lane
+        E.cvtss2sd(0, 0);
+        E.movsdMR(R15, VD, 0);
+        break;
+      }
+      if (D.WBytes < 8) {
+        if (D.SignExtend)
+          E.movsxRR(RAX, RAX, D.WBytes);
+        else if (D.WBytes == 4)
+          E.movRR32(RAX, RAX);
+        else
+          E.movzxRR(RAX, RAX, D.WBytes);
+      }
+      E.movMR(R15, VD, RAX);
+      break;
+    }
+    case Opcode::InsertF: {
+      const uint64_t FieldMask =
+          D.WBits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << D.WBits) - 1);
+      E.movRM(RCX, R15, VB);
+      E.aluImm32(ALU_AND, RCX, 7);
+      E.aluImm32(ALU_CMP, RCX, static_cast<int8_t>(8 - D.WBytes));
+      addTrap(E.jcc32(CC_A), TrapKind::InsertField, Idx, /*HasAddr=*/false,
+              Refund);
+      E.shlImm32(RCX, 3); // cl = 8 * Off
+      E.movImm64(RDX, FieldMask);
+      E.movRR(RSI, RDX);
+      E.shiftCl(4, RSI); // FieldMask << (8 * Off)
+      E.notR(RSI);
+      if (D.IsFloat && D.W == MemWidth::W4) {
+        // Value register holds a double; the lane stores float bits.
+        E.movsdRM(0, R15, VC);
+        E.cvtsd2ss(0, 0);
+        E.movdFromXmm(RAX, 0);
+      } else {
+        E.movRM(RAX, R15, VC);
+      }
+      E.aluRR(OP_AND, RAX, RDX);
+      E.shiftCl(4, RAX);
+      E.movRM(RDI, R15, VA);
+      E.aluRR(OP_AND, RDI, RSI);
+      E.aluRR(OP_OR, RAX, RDI);
+      E.movMR(R15, VD, RAX);
+      break;
+    }
+    case Opcode::Br: {
+      if (!IsLast)
+        return Fail();
+      SawTerminator = true;
+      addCounters(/*ExtraBranches=*/1);
+      E.movRM(RAX, R15, VA);
+      E.aluRM(OP_CMP, RAX, R15, VB);
+      Relocs.push_back({Reloc::Block, E.jcc32(condNibble(D.CC)),
+                        DF.Ops[D.TrueIdx].BlockIdx});
+      Relocs.push_back(
+          {Reloc::Block, E.jmp32(), DF.Ops[D.FalseIdx].BlockIdx});
+      break;
+    }
+    case Opcode::Jmp:
+      if (!IsLast)
+        return Fail();
+      SawTerminator = true;
+      addCounters(/*ExtraBranches=*/1);
+      Relocs.push_back(
+          {Reloc::Block, E.jmp32(), DF.Ops[D.TrueIdx].BlockIdx});
+      break;
+    case Opcode::Ret:
+      if (!IsLast)
+        return Fail();
+      SawTerminator = true;
+      addCounters(/*ExtraBranches=*/0);
+      E.movRM(RAX, R15, VA);
+      E.movMR(R12, OffReturnValue, RAX);
+      E.movMemImm32(R12, OffExit, static_cast<int32_t>(ExitKind::Ret));
+      Relocs.push_back({Reloc::Epilogue, E.jmp32(), 0});
+      break;
+    }
+    // Per-block counter deltas are emitted as imm32 adds.
+    if (NLoadBytes > INT32_MAX || NStoreBytes > INT32_MAX)
+      return Fail();
+  }
+  if (!SawTerminator)
+    return Fail();
+
+  // Trap stubs: land each failed check here, commit the prefix counters,
+  // refund the unexecuted suffix's budget and report the trap site.
+  for (const TrapFixup &T : Traps) {
+    E.bindLocal(T.Site, E.size());
+    if (T.PrefLoads)
+      E.aluMemImm(ALU_ADD, R12, OffLoads, T.PrefLoads);
+    if (T.PrefStores)
+      E.aluMemImm(ALU_ADD, R12, OffStores, T.PrefStores);
+    if (T.PrefLoadBytes)
+      E.aluMemImm(ALU_ADD, R12, OffLoadBytes, T.PrefLoadBytes);
+    if (T.PrefStoreBytes)
+      E.aluMemImm(ALU_ADD, R12, OffStoreBytes, T.PrefStoreBytes);
+    if (T.BudgetRefund)
+      E.aluImm(ALU_ADD, R13, T.BudgetRefund);
+    E.movMemImm32(R12, OffTrap, static_cast<int32_t>(T.Kind));
+    E.movMemImm32(R12, OffTrapOp, static_cast<int32_t>(T.OpIdx));
+    if (T.HasAddr)
+      E.movMR(R12, OffTrapAddr, RDI);
+    E.movMemImm32(R12, OffExit, static_cast<int32_t>(ExitKind::Trap));
+    Relocs.push_back({Reloc::Epilogue, E.jmp32(), 0});
+  }
+
+  // Budget stub: nothing has executed; deopt so the interpreter replays
+  // the block per-op and hits the step limit (or an earlier trap) exactly
+  // where the reference engine does.
+  E.bindLocal(BudgetSite, E.size());
+  E.movMemImm32(R12, OffResumeBlock, static_cast<int32_t>(B));
+  E.movMemImm32(R12, OffDeopt, static_cast<int32_t>(DeoptReason::Budget));
+  E.movMemImm32(R12, OffExit, static_cast<int32_t>(ExitKind::Deopt));
+  Relocs.push_back({Reloc::Epilogue, E.jmp32(), 0});
+
+  size_t BaseOff = 0;
+  if (!Buf->append(E.data(), E.size(), BaseOff))
+    return Fail();
+  // Entry is live before relocation so this block's own branches (and any
+  // block compiled by coldStub below) chain straight back to it.
+  Blocks[B].EntryOff = BaseOff;
+
+  for (const Reloc &R : Relocs) {
+    size_t Site = BaseOff + R.Site;
+    size_t Target;
+    if (R.K == Reloc::Epilogue) {
+      Target = EpilogueOff;
+    } else if (compiled(R.Target)) {
+      Target = Blocks[R.Target].EntryOff;
+    } else {
+      Target = coldStub(R.Target);
+      if (Target == kNoOffset)
+        return Fail();
+      Pending[R.Target].push_back(Site);
+    }
+    Buf->patch32(Site,
+                 static_cast<int32_t>(static_cast<int64_t>(Target) -
+                                      static_cast<int64_t>(Site + 4)));
+  }
+
+  // Chain every site that was waiting on this block.
+  for (size_t Site : Pending[B])
+    Buf->patch32(Site,
+                 static_cast<int32_t>(static_cast<int64_t>(BaseOff) -
+                                      static_cast<int64_t>(Site + 4)));
+  Pending[B].clear();
+
+  ++Stats.BlocksCompiled;
+  Stats.BytesEmitted += E.size();
+  return true;
+}
+
+ExitKind JITProgram::run(uint32_t B, ExecState &S) {
+  if (Broken || !Buf->makeExecutable()) {
+    // Can't flip to RX: poison the program so the driver stops trying
+    // native entry, and report a deopt at the entry block.
+    Broken = true;
+    S.Exit = static_cast<uint64_t>(ExitKind::Deopt);
+    S.Deopt = static_cast<uint64_t>(DeoptReason::ColdTarget);
+    S.ResumeBlock = B;
+    return ExitKind::Deopt;
+  }
+  using EntryFn = uint64_t (*)(ExecState *, const void *);
+  auto Fn = reinterpret_cast<EntryFn>(
+      reinterpret_cast<uintptr_t>(Buf->base() + TrampOff));
+  Fn(&S, Buf->base() + Blocks[B].EntryOff);
+  return static_cast<ExitKind>(S.Exit);
+}

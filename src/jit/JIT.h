@@ -1,0 +1,201 @@
+//===- jit/JIT.h - Copy-and-patch native tier for the simulator -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native execution tier of the *functional* engine: basic blocks of a
+/// predecoded function (sim/Predecode.h) are compiled to x86-64 on demand
+/// and chained together with patchable jumps, so a hot loop whose blocks
+/// have all compiled runs entirely in native code. The tier is purely
+/// architectural — it produces exact results, memory images, trap points
+/// and instruction/memory-reference counts, but no cycle model; the
+/// cycle-accurate interpreter remains the timing oracle.
+///
+/// Contract with the driver (sim/Interpreter.cpp):
+///
+///  * All architectural state lives in the caller's value pool
+///    (ExecState::Vals) and simulated memory; compiled code addresses both
+///    memory-to-memory, so any exit leaves a state the interpreter can
+///    resume from with no reconstruction.
+///  * Every block entry guards the remaining instruction budget: if the
+///    block might cross MaxSteps it deopts *before* any of its effects, and
+///    the interpreter re-executes the block per-op to hit the limit (or a
+///    trap) at exactly the reference point.
+///  * Bounds, alignment, divide-by-zero and field-range checks are inline;
+///    a failing check jumps to a per-site trap stub that compensates the
+///    instruction/memory counters to the faulting op's prefix and reports
+///    the trap kind, op index and address. The driver rebuilds the
+///    byte-identical diagnostic from those.
+///  * Exits to not-yet-compiled blocks leave through per-target deopt
+///    stubs; when the target compiles, every recorded site is patched to a
+///    direct jump (block chaining).
+///
+/// Runtime capability: nativeAvailability() probes once per process for
+/// x86-64 + a working PROT_EXEC mapping and honors VPO_NO_JIT; when native
+/// execution is unavailable the driver stays on the portable interpreter
+/// tier and reports a structured `jit-disabled` remark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_JIT_JIT_H
+#define VPO_JIT_JIT_H
+
+#include "sim/Predecode.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace vpo {
+namespace jit {
+
+class CodeBuffer;
+
+/// Result of the once-per-process native-capability probe.
+struct Availability {
+  bool Ok = false;
+  /// Stable reason token when !Ok: "arch" (not x86-64/unix),
+  /// "env-vpo-no-jit", "mmap-failed", "mmap-noexec", "probe-misexec".
+  const char *Reason = "";
+};
+
+/// Probes (once) whether native code can be emitted and executed here.
+const Availability &nativeAvailability();
+
+enum class ExitKind : uint64_t {
+  Ret = 0,   ///< the function returned; ExecState::ReturnValue is set
+  Deopt = 1, ///< resume interpretation at block ExecState::ResumeBlock
+  Trap = 2,  ///< run ended at a trap; Trap/TrapOp/TrapAddr describe it
+};
+
+enum class TrapKind : uint64_t {
+  OutOfBounds = 0,
+  Unaligned = 1,
+  DivideByZero = 2,
+  ExtractField = 3, ///< extractf field exceeds the register (MalformedIR)
+  InsertField = 4,  ///< insertf field exceeds the register (MalformedIR)
+};
+
+enum class DeoptReason : uint64_t {
+  Budget = 0,     ///< block-entry budget guard fired
+  ColdTarget = 1, ///< branch to a block that has not compiled yet
+};
+
+/// The register block native code runs against. Layout is part of the ABI
+/// between the driver and emitted code (fixed r12-relative offsets);
+/// JIT.cpp static_asserts every offset.
+struct ExecState {
+  uint64_t *Vals = nullptr;    ///< value pool base (r15)
+  uint8_t *MemData = nullptr;  ///< simulated memory base (r14)
+  uint64_t MemSize = 0;        ///< simulated memory size (rbx)
+  uint64_t StepsRemaining = 0; ///< instruction budget (r13)
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t LoadBytes = 0;
+  uint64_t StoreBytes = 0;
+  uint64_t Branches = 0;
+  uint64_t ReturnValue = 0;
+  uint64_t Exit = 0;        ///< ExitKind
+  uint64_t ResumeBlock = 0; ///< valid when Exit == Deopt
+  uint64_t Trap = 0;        ///< TrapKind, valid when Exit == Trap
+  uint64_t TrapOp = 0;      ///< faulting op index (global, DF.Ops)
+  uint64_t TrapAddr = 0;    ///< faulting address (OOB / unaligned traps)
+  uint64_t Deopt = 0;       ///< DeoptReason, valid when Exit == Deopt
+};
+
+/// Aggregate compilation counters, exposed through JIT remarks.
+struct ProgramStats {
+  uint64_t BlocksCompiled = 0;
+  uint64_t BytesEmitted = 0;
+  uint64_t CompileFailures = 0;
+};
+
+/// Compiled-code container for one DecodedFunction: per-block native
+/// entries, hotness counters, the chain-patching tables and the W^X code
+/// buffer. Cached alongside the decoded form (sim/ProgramCache.h) so
+/// hotness and code persist across run() calls.
+///
+/// Concurrency: one driver at a time. A driver must hold tryAcquire() for
+/// the whole run to count hotness, compile or execute; if the lock is
+/// contested (two threads simulating the same function) the loser simply
+/// runs the interpreter tier.
+class JITProgram {
+public:
+  /// \returns null when native execution is unavailable or \p DF is not
+  /// JIT-able (no blocks, or the value pool exceeds addressable range).
+  /// \p DF must outlive the program. \p MaxCodeBytes bounds the code
+  /// reservation.
+  static std::shared_ptr<JITProgram> create(const DecodedFunction &DF,
+                                            size_t MaxCodeBytes);
+
+  ~JITProgram();
+
+  bool tryAcquire() { return RunLock.try_lock(); }
+  void release() { RunLock.unlock(); }
+
+  uint32_t numBlocks() const {
+    return static_cast<uint32_t>(Blocks.size());
+  }
+  bool compiled(uint32_t B) const { return Blocks[B].EntryOff != kNoOffset; }
+  bool compileFailed(uint32_t B) const { return Blocks[B].Failed; }
+  /// True after an unrecoverable native failure (W^X flip refused); the
+  /// driver must stop attempting native entry for this program.
+  bool broken() const { return Broken; }
+
+  /// Counts one interpreter-tier entry of block \p B; \returns the new
+  /// count (the driver compiles when it crosses its threshold).
+  uint64_t bumpHot(uint32_t B) { return ++Blocks[B].Hot; }
+  uint64_t hotCount(uint32_t B) const { return Blocks[B].Hot; }
+
+  /// Compiles block \p B and patches every recorded jump site that waits
+  /// on it. \returns false (and marks the block failed, permanently) when
+  /// emission or buffer space fails.
+  bool compileBlock(uint32_t B);
+
+  /// Enters native code at block \p B (which must be compiled). \p S.Vals,
+  /// MemData, MemSize and StepsRemaining must be live; counters accumulate
+  /// in place.
+  ExitKind run(uint32_t B, ExecState &S);
+
+  const ProgramStats &stats() const { return Stats; }
+
+  // Introspection for tests.
+  size_t codeBytes() const;
+  size_t codeCapacity() const;
+
+private:
+  static constexpr size_t kNoOffset = ~size_t(0);
+
+  struct BlockInfo {
+    size_t EntryOff = kNoOffset;
+    uint64_t Hot = 0;
+    bool Failed = false;
+  };
+
+  JITProgram(const DecodedFunction &DF, std::unique_ptr<CodeBuffer> Buf);
+
+  bool emitProlog();
+  size_t coldStub(uint32_t Target); ///< deopt stub for an uncompiled target
+
+  const DecodedFunction &DF;
+  std::unique_ptr<CodeBuffer> Buf;
+  std::vector<BlockInfo> Blocks;
+  /// Per-target-block list of rel32 site offsets waiting to be patched to
+  /// the target's entry when it compiles.
+  std::vector<std::vector<size_t>> Pending;
+  /// Per-target-block shared deopt stub offset (kNoOffset = none yet).
+  std::vector<size_t> ColdStubs;
+  size_t TrampOff = kNoOffset;
+  size_t EpilogueOff = kNoOffset;
+  bool Broken = false;
+  ProgramStats Stats;
+  std::mutex RunLock;
+};
+
+} // namespace jit
+} // namespace vpo
+
+#endif // VPO_JIT_JIT_H

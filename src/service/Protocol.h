@@ -178,6 +178,9 @@ struct ServiceResponse {
   bool Ran = false;
   std::string RunStatus; ///< sim/Interpreter.h runStatusName
   int64_t ReturnValue = 0;
+  /// Always 0 from current workers: run mode executes on the functional
+  /// tiered engine, which carries no cycle model. The field stays on the
+  /// wire for compatibility.
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
   /// Extra counters for op=status responses (key order preserved).

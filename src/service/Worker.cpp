@@ -347,6 +347,14 @@ ServiceResponse vpo::service::compileServiceRequest(const ServiceRequest &Req,
     Memory Mem(ArenaBytes);
     InterpreterOptions IO;
     IO.MaxSteps = Limits.MaxInsts;
+    // Run mode answers "what does this kernel compute" — return value,
+    // memory effects, trap point — not "how fast", so it executes on the
+    // functional tiered engine: exact architectural results (including
+    // byte-identical trap diagnostics) with Cycles reported as 0. Native
+    // promotion is withheld at the last ladder rung: an input that has
+    // already killed workers stays on the portable interpreter tier.
+    IO.EnableJIT = true;
+    IO.JITNative = Limits.JITNative && Req.Rung < maxServiceRung;
     Interpreter Interp(*TM, Mem, IO);
     RunResult RR = Interp.run(F, RunArgs);
     R.Ran = true;

@@ -53,6 +53,11 @@ struct WorkerLimits {
   /// Honor ServiceRequest::Fault plants (test/benchmark daemons only).
   bool AllowFaultInjection = false;
   size_t MaxFrameBytes = defaultMaxFrameBytes;
+  /// Allow run-mode simulations to promote hot blocks to native code
+  /// (jit/JIT.h). The daemon's --no-jit clears it; rung-2 requests never
+  /// promote regardless, keeping crash-suspect inputs on the portable
+  /// interpreter tier.
+  bool JITNative = true;
 };
 
 /// The named pipeline configurations the service accepts, mirroring the

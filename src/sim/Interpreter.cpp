@@ -9,14 +9,18 @@
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "jit/JIT.h"
+#include "sim/ProgramCache.h"
 #include "support/Error.h"
 #include "support/MathExtras.h"
+#include "support/Remark.h"
 #include "support/StringUtils.h"
 #include "target/TargetMachine.h"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 using namespace vpo;
@@ -725,6 +729,396 @@ private:
   }
 };
 
+/// The functional tiered engine: exact architectural execution with no
+/// cycle model. Blocks are interpreted until their entry counter crosses
+/// the promotion threshold, then compiled (jit/JIT.h) and entered
+/// natively; native code falls back here at side exits (cold branch
+/// targets, budget guards) and terminal traps. The interpreted tier below
+/// is FastMachine's execute loop with the clock, scoreboard and cache
+/// models deleted — keep the two switch bodies in lockstep, the
+/// differential suites compare all three engines op-for-op.
+class FuncMachine {
+public:
+  FuncMachine(Memory &Mem, const DecodedFunction &DF,
+              const std::vector<int64_t> &Args, uint64_t MaxSteps,
+              std::vector<uint64_t> &Vals, jit::JITProgram *JP,
+              uint64_t HotThreshold)
+      : Mem(Mem), DF(DF), MaxSteps(MaxSteps), Vals(Vals), JP(JP),
+        HotThreshold(HotThreshold) {
+    Vals.assign(DF.poolSize(), 0);
+    std::copy(DF.ConstPool.begin(), DF.ConstPool.end(),
+              Vals.begin() + DF.NumRegs);
+    const Function &F = *DF.source();
+    size_t N = std::min(Args.size(), F.params().size());
+    for (size_t I = 0; I < N; ++I)
+      Vals[F.params()[I].Id] = static_cast<uint64_t>(Args[I]);
+  }
+
+  // Per-run tier telemetry, read by the driver after run().
+  uint64_t Promotions = 0;
+  uint64_t NativeEntries = 0;
+  uint64_t DeoptBudget = 0;
+  uint64_t DeoptCold = 0;
+
+  RunResult run() {
+    if (DF.Ops.empty())
+      return fail(RunResult::Status::MalformedIR, "function has no blocks");
+
+    const DecodedOp *Ops = DF.Ops.data();
+    uint32_t Idx = DF.EntryIdx;
+    bool AtBlockHead = true;
+    // After a budget deopt the interpreter must replay the resumed block
+    // per-op (to fault at the exact reference instruction) instead of
+    // re-entering native code and deopting forever.
+    uint32_t SkipNativeBlock = UINT32_MAX;
+
+    while (true) {
+      if (AtBlockHead && JP) {
+        uint32_t B = Ops[Idx].BlockIdx;
+        if (B == SkipNativeBlock) {
+          SkipNativeBlock = UINT32_MAX; // replay interpreted, once
+        } else {
+          bool Enter = JP->compiled(B);
+          if (!Enter && !JP->compileFailed(B) &&
+              JP->bumpHot(B) >= HotThreshold) {
+            ++Promotions;
+            Enter = JP->compileBlock(B);
+          }
+          if (Enter) {
+            jit::ExecState S;
+            S.Vals = Vals.data();
+            S.MemData = Mem.data();
+            S.MemSize = Mem.size();
+            S.StepsRemaining = MaxSteps - R.Instructions;
+            S.Loads = R.Loads;
+            S.Stores = R.Stores;
+            S.LoadBytes = R.LoadBytes;
+            S.StoreBytes = R.StoreBytes;
+            S.Branches = R.Branches;
+            jit::ExitKind EK = JP->run(B, S);
+            ++NativeEntries;
+            R.Instructions = MaxSteps - S.StepsRemaining;
+            R.Loads = S.Loads;
+            R.Stores = S.Stores;
+            R.LoadBytes = S.LoadBytes;
+            R.StoreBytes = S.StoreBytes;
+            R.Branches = S.Branches;
+            if (EK == jit::ExitKind::Ret) {
+              R.ReturnValue = static_cast<int64_t>(S.ReturnValue);
+              return R;
+            }
+            if (EK == jit::ExitKind::Trap)
+              return trapResult(S);
+            uint32_t RB = static_cast<uint32_t>(S.ResumeBlock);
+            Idx = DF.BlockStart[RB];
+            if (static_cast<jit::DeoptReason>(S.Deopt) ==
+                jit::DeoptReason::Budget) {
+              ++DeoptBudget;
+              SkipNativeBlock = RB;
+            } else {
+              ++DeoptCold;
+              SkipNativeBlock = UINT32_MAX;
+            }
+            if (JP->broken())
+              JP = nullptr; // native execution denied; stay interpreted
+            continue;
+          }
+        }
+      }
+      AtBlockHead = false;
+
+      const DecodedOp &D = Ops[Idx];
+      if (R.Instructions >= MaxSteps)
+        return fail(RunResult::Status::StepLimit, "step limit exceeded");
+      ++R.Instructions;
+
+      const uint64_t A = Vals[D.A], B = Vals[D.B];
+
+      switch (D.Op) {
+      case Opcode::Mov:
+        Vals[D.Dst] = A;
+        break;
+      case Opcode::Add:
+        Vals[D.Dst] = A + B;
+        break;
+      case Opcode::Sub:
+        Vals[D.Dst] = A - B;
+        break;
+      case Opcode::Mul:
+        Vals[D.Dst] = A * B;
+        break;
+      case Opcode::DivS:
+      case Opcode::RemS: {
+        int64_t SB = static_cast<int64_t>(B);
+        if (SB == 0)
+          return fail(RunResult::Status::DivideByZero,
+                      printInstruction(DF.sourceInst(Idx)));
+        int64_t SA = static_cast<int64_t>(A);
+        Vals[D.Dst] = static_cast<uint64_t>(D.Op == Opcode::DivS ? SA / SB
+                                                                 : SA % SB);
+        break;
+      }
+      case Opcode::DivU:
+      case Opcode::RemU:
+        if (B == 0)
+          return fail(RunResult::Status::DivideByZero,
+                      printInstruction(DF.sourceInst(Idx)));
+        Vals[D.Dst] = D.Op == Opcode::DivU ? A / B : A % B;
+        break;
+      case Opcode::And:
+        Vals[D.Dst] = A & B;
+        break;
+      case Opcode::Or:
+        Vals[D.Dst] = A | B;
+        break;
+      case Opcode::Xor:
+        Vals[D.Dst] = A ^ B;
+        break;
+      case Opcode::Shl:
+        Vals[D.Dst] = A << (B & 63);
+        break;
+      case Opcode::ShrA:
+        Vals[D.Dst] =
+            static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+        break;
+      case Opcode::ShrL:
+        Vals[D.Dst] = A >> (B & 63);
+        break;
+      case Opcode::CmpSet:
+        Vals[D.Dst] = evalCond(D.CC, A, B) ? 1 : 0;
+        break;
+      case Opcode::Select:
+        Vals[D.Dst] = A != 0 ? B : Vals[D.C];
+        break;
+      case Opcode::Ext:
+        Vals[D.Dst] = D.SignExtend
+                          ? static_cast<uint64_t>(signExtend64(A, D.WBits))
+                          : zeroExtend64(A, D.WBits);
+        break;
+      case Opcode::FAdd:
+        setF(D.Dst, valF(D.A) + valF(D.B));
+        break;
+      case Opcode::FSub:
+        setF(D.Dst, valF(D.A) - valF(D.B));
+        break;
+      case Opcode::FMul:
+        setF(D.Dst, valF(D.A) * valF(D.B));
+        break;
+      case Opcode::FDiv:
+        setF(D.Dst, valF(D.A) / valF(D.B));
+        break;
+      case Opcode::CvtIF:
+        setF(D.Dst, static_cast<double>(static_cast<int64_t>(A)));
+        break;
+      case Opcode::CvtFI:
+        Vals[D.Dst] = static_cast<uint64_t>(
+            static_cast<int64_t>(std::trunc(valF(D.A))));
+        break;
+      case Opcode::Load:
+      case Opcode::LoadWideU:
+      case Opcode::Store: {
+        uint64_t Addr = Vals[D.Base] + static_cast<uint64_t>(D.Disp);
+        const unsigned NumBytes = D.WBytes;
+        if (D.Op == Opcode::LoadWideU) {
+          Addr &= ~static_cast<uint64_t>(NumBytes - 1);
+        } else if (D.CheckAlign && !isAligned(Addr, NumBytes)) {
+          return fail(RunResult::Status::UnalignedTrap,
+                      strformat("address 0x%llx not %u-aligned in: ",
+                                static_cast<unsigned long long>(Addr),
+                                NumBytes) +
+                          printInstruction(DF.sourceInst(Idx)));
+        }
+        if (D.Op == Opcode::Store) {
+          uint64_t V = A;
+          if (D.IsFloat && D.W == MemWidth::W4) {
+            float FV = static_cast<float>(std::bit_cast<double>(V));
+            V = std::bit_cast<uint32_t>(FV);
+          }
+          if (!Mem.tryWrite(Addr, NumBytes, V))
+            return failOOB(Addr, Idx);
+          ++R.Stores;
+          R.StoreBytes += NumBytes;
+          break;
+        }
+        uint64_t Raw = 0;
+        if (!Mem.tryRead(Addr, NumBytes, Raw))
+          return failOOB(Addr, Idx);
+        ++R.Loads;
+        R.LoadBytes += NumBytes;
+        if (D.Op == Opcode::Load && D.IsFloat) {
+          double FD =
+              D.W == MemWidth::W4
+                  ? static_cast<double>(
+                        std::bit_cast<float>(static_cast<uint32_t>(Raw)))
+                  : std::bit_cast<double>(Raw);
+          setF(D.Dst, FD);
+          break;
+        }
+        uint64_t V = Raw;
+        if (D.Op == Opcode::Load && D.SignExtend)
+          V = static_cast<uint64_t>(signExtend64(Raw, D.WBits));
+        Vals[D.Dst] = V;
+        break;
+      }
+      case Opcode::ExtQHi: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        Vals[D.Dst] = Off == 0 ? 0 : A << (8 * (8 - Off));
+        break;
+      }
+      case Opcode::ExtractF: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        if (D.W != MemWidth::W8 && Off + D.WBytes > 8)
+          return fail(RunResult::Status::MalformedIR,
+                      "extractf field exceeds the register: " +
+                          printInstruction(DF.sourceInst(Idx)));
+        uint64_t Field = A >> (8 * Off);
+        if (D.IsFloat && D.W == MemWidth::W4) {
+          float FV = std::bit_cast<float>(
+              static_cast<uint32_t>(zeroExtend64(Field, 32)));
+          setF(D.Dst, static_cast<double>(FV));
+          break;
+        }
+        Vals[D.Dst] =
+            D.SignExtend
+                ? static_cast<uint64_t>(signExtend64(Field, D.WBits))
+                : zeroExtend64(Field, D.WBits);
+        break;
+      }
+      case Opcode::InsertF: {
+        unsigned Off = static_cast<unsigned>(B & 7);
+        if (Off + D.WBytes > 8)
+          return fail(RunResult::Status::MalformedIR,
+                      "insertf field exceeds the register: " +
+                          printInstruction(DF.sourceInst(Idx)));
+        unsigned Bits = D.WBits;
+        uint64_t FieldMask =
+            Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+        uint64_t C = Vals[D.C];
+        if (D.IsFloat && D.W == MemWidth::W4) {
+          float FV = static_cast<float>(std::bit_cast<double>(C));
+          C = std::bit_cast<uint32_t>(FV);
+        }
+        C &= FieldMask;
+        uint64_t Cleared = A & ~(FieldMask << (8 * Off));
+        Vals[D.Dst] = Cleared | (C << (8 * Off));
+        break;
+      }
+      case Opcode::Br:
+        ++R.Branches;
+        Idx = evalCond(D.CC, A, B) ? D.TrueIdx : D.FalseIdx;
+        AtBlockHead = true;
+        continue;
+      case Opcode::Jmp:
+        ++R.Branches;
+        Idx = D.TrueIdx;
+        AtBlockHead = true;
+        continue;
+      case Opcode::Ret:
+        R.ReturnValue = static_cast<int64_t>(A);
+        return R;
+      }
+      ++Idx;
+    }
+  }
+
+private:
+  Memory &Mem;
+  const DecodedFunction &DF;
+  uint64_t MaxSteps;
+  std::vector<uint64_t> &Vals;
+  jit::JITProgram *JP;
+  uint64_t HotThreshold;
+  RunResult R;
+
+  double valF(uint32_t Slot) const {
+    return std::bit_cast<double>(Vals[Slot]);
+  }
+  void setF(uint32_t Dst, double V) {
+    Vals[Dst] = std::bit_cast<uint64_t>(V);
+  }
+
+  RunResult fail(RunResult::Status S, std::string Msg) {
+    R.Exit = S;
+    R.Error = std::move(Msg);
+    return R;
+  }
+
+  RunResult failOOB(uint64_t Addr, uint32_t Idx) {
+    return fail(RunResult::Status::OutOfBounds,
+                strformat("address 0x%llx in: ",
+                          static_cast<unsigned long long>(Addr)) +
+                    printInstruction(DF.sourceInst(Idx)));
+  }
+
+  /// Rebuilds the reference engines' exact diagnostic from a native trap
+  /// record (kind, faulting op, faulting address).
+  RunResult trapResult(const jit::ExecState &S) {
+    const size_t OpIdx = static_cast<size_t>(S.TrapOp);
+    const DecodedOp &D = DF.Ops[OpIdx];
+    const std::string Inst = printInstruction(DF.sourceInst(OpIdx));
+    switch (static_cast<jit::TrapKind>(S.Trap)) {
+    case jit::TrapKind::OutOfBounds:
+      return fail(RunResult::Status::OutOfBounds,
+                  strformat("address 0x%llx in: ",
+                            static_cast<unsigned long long>(S.TrapAddr)) +
+                      Inst);
+    case jit::TrapKind::Unaligned:
+      return fail(RunResult::Status::UnalignedTrap,
+                  strformat("address 0x%llx not %u-aligned in: ",
+                            static_cast<unsigned long long>(S.TrapAddr),
+                            static_cast<unsigned>(D.WBytes)) +
+                      Inst);
+    case jit::TrapKind::DivideByZero:
+      return fail(RunResult::Status::DivideByZero, Inst);
+    case jit::TrapKind::ExtractField:
+      return fail(RunResult::Status::MalformedIR,
+                  "extractf field exceeds the register: " + Inst);
+    case jit::TrapKind::InsertField:
+      return fail(RunResult::Status::MalformedIR,
+                  "insertf field exceeds the register: " + Inst);
+    }
+    return fail(RunResult::Status::MalformedIR, "unknown native trap");
+  }
+};
+
+/// Resolves the native program for \p DF (creating it on first use) or
+/// names the reason there is none. \p InitLock guards slot creation for
+/// shared CachedProgram entries; the Interpreter-local memo passes null.
+jit::JITProgram *resolveNative(const InterpreterOptions &Opts, Memory &Mem,
+                               const DecodedFunction &DF,
+                               std::shared_ptr<void> &Slot, bool &Tried,
+                               std::mutex *InitLock, const char *&Reason) {
+  if (!Opts.JITNative) {
+    Reason = "native-off";
+    return nullptr;
+  }
+  const jit::Availability &Av = jit::nativeAvailability();
+  if (!Av.Ok) {
+    Reason = Av.Reason;
+    return nullptr;
+  }
+  // The compiled bounds check computes MemSize - WBytes unsigned; gate
+  // arenas too small for that to be meaningful (allocations start at
+  // 4096, so such arenas cannot hold a single addressable byte anyway).
+  if (Mem.size() < 4096 + 8) {
+    Reason = "arena-too-small";
+    return nullptr;
+  }
+  {
+    std::unique_lock<std::mutex> Lock;
+    if (InitLock)
+      Lock = std::unique_lock<std::mutex>(*InitLock);
+    if (!Tried) {
+      Slot = jit::JITProgram::create(DF, Opts.JITMaxCodeBytes);
+      Tried = true;
+    }
+  }
+  auto *JP = static_cast<jit::JITProgram *>(Slot.get());
+  if (!JP)
+    Reason = "create-failed";
+  return JP;
+}
+
 } // namespace
 
 Interpreter::Interpreter(const TargetMachine &TM, Memory &Mem,
@@ -741,36 +1135,103 @@ RunResult Interpreter::run(const Function &F,
   // register id, so running unverified IR (e.g. a register beyond the
   // allocator bound) would be undefined behaviour, not a clean trap.
   // Malformed input is a user error and gets a recoverable MalformedIR
-  // result instead.
-  std::vector<std::string> Problems;
-  if (!verifyFunction(F, Problems)) {
+  // result instead. Both the verification verdict and the predecoded form
+  // come from the identity-keyed program cache, so repeated runs of an
+  // unmodified function pay for neither.
+  std::shared_ptr<CachedProgram> P = getOrBuildProgram(F, TM);
+  if (!P->VerifyOk) {
     RunResult R;
     R.Exit = RunResult::Status::MalformedIR;
-    R.Error = "function failed verification before execution:";
-    for (const std::string &P : Problems)
-      R.Error += "\n  " + P;
+    R.Error = "function failed verification before execution:" +
+              P->VerifyProblems;
     return R;
   }
-  if (!Opts.Predecode)
+  // The functional engine needs the decoded form; EnableJIT takes
+  // precedence over the reference-path escape hatch.
+  if (!Opts.Predecode && !Opts.EnableJIT)
     return runReference(F, Args, MaxSteps);
 
-  DecodedFunction DF;
-  std::string Error;
-  if (!predecodeFunction(F, TM, DF, Error)) {
+  if (!P->DecodeOk) {
     // Lowering refuses exactly what the reference engine would trap on
     // (no blocks / out of index space); report it the same way.
     RunResult R;
     R.Exit = RunResult::Status::MalformedIR;
-    R.Error = Error;
+    R.Error = P->DecodeError;
     return R;
   }
-  return runDecoded(DF, Args, MaxSteps);
+  if (Opts.EnableJIT) {
+    const char *Reason = nullptr;
+    jit::JITProgram *JP = resolveNative(Opts, Mem, P->DF, P->JIT,
+                                        P->JITInitTried, &P->JITInit, Reason);
+    return runFunctional(P->DF, Args, MaxSteps, JP, Reason);
+  }
+  return runDecoded(P->DF, Args, MaxSteps);
 }
 
 RunResult Interpreter::run(const DecodedFunction &DF,
                            const std::vector<int64_t> &Args,
                            uint64_t MaxSteps) {
-  return runDecoded(DF, Args, MaxSteps == 0 ? Opts.MaxSteps : MaxSteps);
+  if (MaxSteps == 0)
+    MaxSteps = Opts.MaxSteps;
+  if (!Opts.EnableJIT)
+    return runDecoded(DF, Args, MaxSteps);
+  // Caller-predecoded functions bypass the program cache; memoize their
+  // native program per Interpreter, revalidated against the DF's address
+  // and source identity so a re-predecode or mutation can never reuse
+  // stale code.
+  if (MemoDF != &DF || MemoUid != DF.SourceUid ||
+      MemoVersion != DF.SourceVersion) {
+    MemoDF = &DF;
+    MemoUid = DF.SourceUid;
+    MemoVersion = DF.SourceVersion;
+    MemoJIT.reset();
+    MemoJITTried = false;
+  }
+  const char *Reason = nullptr;
+  jit::JITProgram *JP = resolveNative(Opts, Mem, DF, MemoJIT, MemoJITTried,
+                                      /*InitLock=*/nullptr, Reason);
+  return runFunctional(DF, Args, MaxSteps, JP, Reason);
+}
+
+RunResult Interpreter::runFunctional(const DecodedFunction &DF,
+                                     const std::vector<int64_t> &Args,
+                                     uint64_t MaxSteps, jit::JITProgram *JP,
+                                     const char *DisabledReason) {
+  if (JP) {
+    if (JP->broken()) {
+      JP = nullptr;
+      DisabledReason = "native-broken";
+    } else if (!JP->tryAcquire()) {
+      // Another thread is running this program; its hotness counters and
+      // code buffer are single-driver, so this run stays interpreted.
+      JP = nullptr;
+      DisabledReason = "contended";
+    }
+  }
+  RemarkEmitter RE(Opts.Remarks, "jit",
+                   DF.source() ? DF.source()->name() : std::string());
+  if (!JP && RE.enabled())
+    RE.emit(RE.start("jit-disabled")
+                .arg("reason", DisabledReason ? DisabledReason : "unknown"));
+
+  FuncMachine M(Mem, DF, Args, MaxSteps, Vals, JP, Opts.JITHotThreshold);
+  RunResult R = M.run();
+
+  if (JP) {
+    if (RE.enabled()) {
+      const jit::ProgramStats &St = JP->stats();
+      RE.emit(RE.start("jit-summary")
+                  .arg("blocks-compiled", St.BlocksCompiled)
+                  .arg("bytes-emitted", St.BytesEmitted)
+                  .arg("compile-failures", St.CompileFailures)
+                  .arg("promotions", M.Promotions)
+                  .arg("native-entries", M.NativeEntries)
+                  .arg("deopt-budget", M.DeoptBudget)
+                  .arg("deopt-cold", M.DeoptCold));
+    }
+    JP->release();
+  }
+  return R;
 }
 
 RunResult Interpreter::runReference(const Function &F,

@@ -24,7 +24,7 @@
 /// genuinely expensive (the premise of the paper's i-cache-fit heuristic,
 /// section 2.2) rather than free.
 ///
-/// Two execution engines produce bit-identical results and metrics:
+/// Two cycle-accurate engines produce bit-identical results and metrics:
 ///
 ///  * the **predecoded fast path** (default): the function is lowered once
 ///    into a flat decoded-op array (sim/Predecode.h) and the hot loop is an
@@ -34,9 +34,23 @@
 ///    executable specification the fast path is differentially tested
 ///    against.
 ///
+/// A third, **functional tiered engine** (InterpreterOptions::EnableJIT)
+/// trades the cycle model for throughput: blocks start on a portable
+/// functional interpreter, per-block counters promote hot blocks to
+/// copy-and-patch native code (jit/JIT.h), and compiled traces fall back
+/// to the interpreter at side exits. It reproduces the architectural
+/// results of the other two engines exactly — return value, memory image,
+/// instruction/memory-reference counts, trap points and byte-identical
+/// trap diagnostics — but reports Cycles = 0 and empty cache stats; the
+/// cycle-accurate engines remain the timing oracle.
+///
 /// One Interpreter owns its register file, scoreboard, and cache models
 /// and reuses them across run() calls, so sweeping many runs of the same
-/// function does not reallocate per run.
+/// function does not reallocate per run. run(Function) resolves its
+/// verified + predecoded (and JIT-compiled) form through the process-wide
+/// program cache (sim/ProgramCache.h), keyed on the function's identity
+/// epoch — repeated runs of an unmodified function skip verification and
+/// lowering entirely.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,15 +60,21 @@
 #include "sim/Cache.h"
 #include "sim/Memory.h"
 #include "sim/Predecode.h"
+#include "target/TargetMachine.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace vpo {
 
 class Function;
-class TargetMachine;
+class RemarkSink;
+
+namespace jit {
+class JITProgram;
+}
 
 /// Outcome and metrics of one simulated run.
 struct RunResult {
@@ -108,6 +128,23 @@ struct InterpreterOptions {
   /// matrix under --max-insts) can bound every run they make without
   /// threading a limit through each call site.
   uint64_t MaxSteps = 500'000'000;
+
+  /// Run through the functional tiered engine instead of the
+  /// cycle-accurate simulator: exact architectural results (including
+  /// trap diagnostics and instruction/memory counts) at interpreter+JIT
+  /// speed, with Cycles = 0 and empty cache stats.
+  bool EnableJIT = false;
+  /// Allow promotion to native code within the tiered engine. Off keeps
+  /// the functional engine purely interpreted — the crash-blast-radius
+  /// setting for degraded service rungs, and the --no-jit escape hatch.
+  bool JITNative = true;
+  /// Interpreted entries of a block before it is compiled.
+  uint64_t JITHotThreshold = 32;
+  /// Reserved native-code address space per function.
+  size_t JITMaxCodeBytes = 16u << 20;
+  /// Optional sink for jit-disabled / jit-summary remarks (read-only
+  /// telemetry; never observed by execution).
+  RemarkSink *Remarks = nullptr;
 };
 
 class Interpreter {
@@ -137,14 +174,31 @@ private:
                          uint64_t MaxSteps);
   RunResult runDecoded(const DecodedFunction &DF,
                        const std::vector<int64_t> &Args, uint64_t MaxSteps);
+  /// The functional tiered engine. \p JP is the (possibly null) native
+  /// program resolved by the caller; \p DisabledReason names why it is
+  /// null, for the jit-disabled remark.
+  RunResult runFunctional(const DecodedFunction &DF,
+                          const std::vector<int64_t> &Args,
+                          uint64_t MaxSteps, jit::JITProgram *JP,
+                          const char *DisabledReason);
 
-  const TargetMachine &TM;
+  // Held by value: callers routinely pass a freshly-made TargetMachine
+  // temporary to the constructor, and run() consults the target spec (the
+  // program-cache key fingerprints it), so a reference would dangle.
+  TargetMachine TM;
   Memory &Mem;
   InterpreterOptions Opts;
   DataCache DCache;  ///< data-cache model, reset per run
   DataCache IFetch;  ///< instruction-cache model, reset per run
   std::vector<uint64_t> Vals;     ///< register file / value pool, reused
   std::vector<uint64_t> RegReady; ///< scoreboard, reused
+  // Native-program memo for the run(DecodedFunction) entry point, which
+  // bypasses the program cache. Revalidated against the DF's address and
+  // source identity epoch; run(Function) uses the shared cache instead.
+  std::shared_ptr<void> MemoJIT;
+  bool MemoJITTried = false;
+  const DecodedFunction *MemoDF = nullptr;
+  uint64_t MemoUid = 0, MemoVersion = 0;
 };
 
 } // namespace vpo

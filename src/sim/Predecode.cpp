@@ -24,6 +24,8 @@ bool vpo::predecodeFunction(const Function &F, const TargetMachine &TM,
   Out = DecodedFunction();
   Out.F = &F;
   Out.NumRegs = F.regUpperBound();
+  Out.SourceUid = F.uid();
+  Out.SourceVersion = F.version();
 
   if (F.blocks().empty()) {
     Error = "function has no blocks";
@@ -39,7 +41,8 @@ bool vpo::predecodeFunction(const Function &F, const TargetMachine &TM,
   // Pass 1: block start indices in the flat array, and the synthetic code
   // layout (must match the reference interpreter's exactly: blocks in
   // layout order, encodingBytes() per instruction).
-  std::vector<uint32_t> BlockStart(F.blocks().size(), 0);
+  Out.BlockStart.assign(F.blocks().size(), 0);
+  std::vector<uint32_t> &BlockStart = Out.BlockStart;
   std::vector<uint64_t> BlockAddr(F.blocks().size(), 0);
   uint32_t Start = 0;
   uint64_t Addr = 0;

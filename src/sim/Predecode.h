@@ -85,10 +85,19 @@ public:
   std::vector<DecodedOp> Ops;
   /// Immediate constants, in value-pool slot order (slot NumRegs + i).
   std::vector<uint64_t> ConstPool;
+  /// First op index of each source block, in layout order. Ops[BlockStart[b]]
+  /// is the block head every branch into block b lands on; the JIT tier
+  /// compiles and chains code at exactly these boundaries.
+  std::vector<uint32_t> BlockStart;
   /// Number of register slots (== Function::regUpperBound()).
   uint32_t NumRegs = 0;
   /// Entry op index (always 0; kept explicit for readability).
   uint32_t EntryIdx = 0;
+  /// Identity of the source revision this form was lowered from
+  /// (Function::uid() / version() at predecode time). Caches key on these
+  /// so a mutated function can never be served a stale decoded stream.
+  uint64_t SourceUid = 0;
+  uint64_t SourceVersion = 0;
 
   /// Registers plus constants: the size of the interpreter's unified
   /// value array.

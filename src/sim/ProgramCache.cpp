@@ -1,0 +1,152 @@
+//===- sim/ProgramCache.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ProgramCache.h"
+
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "target/TargetMachine.h"
+
+#include <list>
+#include <unordered_map>
+
+using namespace vpo;
+
+namespace {
+
+/// FNV-1a over the full TargetMachine::Spec — two targets with identical
+/// specs may share cached programs (latencies are baked into DecodedOp, so
+/// every field that can differ must feed the hash).
+uint64_t fnv1a(uint64_t H, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xFF;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+uint64_t specFingerprint(const TargetMachine &TM) {
+  const TargetMachine::Spec &S = TM.spec();
+  uint64_t H = 14695981039346656037ULL;
+  for (char C : S.Name)
+    H = fnv1a(H, static_cast<uint8_t>(C));
+  H = fnv1a(H, S.MaxMemWidthBytes);
+  H = fnv1a(H, S.MinIntMemBytes);
+  H = fnv1a(H, S.NaturalAlignment);
+  H = fnv1a(H, S.UnalignedWideLoad);
+  H = fnv1a(H, S.NativeInsert);
+  H = fnv1a(H, S.EncodingBytes);
+  H = fnv1a(H, S.ICacheBytes);
+  H = fnv1a(H, S.DCache.SizeBytes);
+  H = fnv1a(H, S.DCache.LineBytes);
+  H = fnv1a(H, S.DCache.Ways);
+  H = fnv1a(H, S.DCache.HitCycles);
+  H = fnv1a(H, S.DCache.MissPenalty);
+  H = fnv1a(H, S.AluLatency);
+  H = fnv1a(H, S.MulLatency);
+  H = fnv1a(H, S.DivLatency);
+  H = fnv1a(H, S.LoadLatency);
+  H = fnv1a(H, S.FPLatency);
+  H = fnv1a(H, S.FPDivLatency);
+  H = fnv1a(H, S.ExtractLatency);
+  H = fnv1a(H, S.InsertLatency);
+  H = fnv1a(H, S.MemIssueCycles);
+  H = fnv1a(H, S.FullyPipelined);
+  return H;
+}
+
+struct Key {
+  uint64_t Uid, Version, TargetFp;
+  bool operator==(const Key &O) const {
+    return Uid == O.Uid && Version == O.Version && TargetFp == O.TargetFp;
+  }
+};
+
+struct KeyHash {
+  size_t operator()(const Key &K) const {
+    uint64_t H = 14695981039346656037ULL;
+    H = fnv1a(H, K.Uid);
+    H = fnv1a(H, K.Version);
+    H = fnv1a(H, K.TargetFp);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Mutex-guarded LRU. 64 entries comfortably covers a fuzz oracle's
+/// per-case function set times its target matrix while bounding how much
+/// compiled code an unbounded workload stream can pin.
+class Cache {
+public:
+  static constexpr size_t MaxEntries = 64;
+
+  std::shared_ptr<CachedProgram> get(const Function &F,
+                                     const TargetMachine &TM) {
+    Key K{F.uid(), F.version(), specFingerprint(TM)};
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++Stats.Hits;
+      Order.splice(Order.begin(), Order, It->second.Pos);
+      return It->second.Prog;
+    }
+    ++Stats.Misses;
+    auto Prog = std::make_shared<CachedProgram>();
+    std::vector<std::string> Problems;
+    if (verifyFunction(F, Problems)) {
+      Prog->VerifyOk = true;
+      Prog->DecodeOk = predecodeFunction(F, TM, Prog->DF, Prog->DecodeError);
+    } else {
+      for (const std::string &P : Problems)
+        Prog->VerifyProblems += "\n  " + P;
+    }
+    if (Map.size() >= MaxEntries) {
+      Map.erase(Order.back());
+      Order.pop_back();
+      ++Stats.Evictions;
+    }
+    Order.push_front(K);
+    Map.emplace(K, Entry{Prog, Order.begin()});
+    return Prog;
+  }
+
+  ProgramCacheStats stats() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Stats;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.clear();
+    Order.clear();
+  }
+
+private:
+  struct Entry {
+    std::shared_ptr<CachedProgram> Prog;
+    std::list<Key>::iterator Pos;
+  };
+
+  std::mutex M;
+  std::unordered_map<Key, Entry, KeyHash> Map;
+  std::list<Key> Order;
+  ProgramCacheStats Stats;
+};
+
+Cache &cache() {
+  static Cache C;
+  return C;
+}
+
+} // namespace
+
+std::shared_ptr<CachedProgram> vpo::getOrBuildProgram(const Function &F,
+                                                      const TargetMachine &TM) {
+  return cache().get(F, TM);
+}
+
+ProgramCacheStats vpo::programCacheStats() { return cache().stats(); }
+
+void vpo::programCacheClear() { cache().clear(); }

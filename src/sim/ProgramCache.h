@@ -1,0 +1,88 @@
+//===- sim/ProgramCache.h - Cached verify/predecode/JIT programs -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global cache of executable program forms, keyed on function
+/// identity. Interpreter::run(F) historically re-verified and re-predecoded
+/// the function on *every* call — measurable pure overhead for benchmark
+/// and fuzz drivers that run the same function thousands of times. The
+/// cache keys on (Function::uid(), Function::version(), target-spec
+/// fingerprint), so:
+///
+///  * an unmodified function re-run on the same target is a pure hit:
+///    verification, predecoding and any compiled native code are reused;
+///  * any IR mutation bumps version() (BasicBlock::preMutate and the
+///    function-level mutators route through Function::noteMutated), which
+///    changes the key — stale forms are unreachable, no explicit
+///    invalidation hooks needed;
+///  * uids are never reused (process-global epoch counter), so a destroyed
+///    function's entries can never be hit by a later allocation at the
+///    same address.
+///
+/// Entries also carry the (type-erased) JIT program so block hotness and
+/// compiled code survive across runs — that is what lets the tiered
+/// driver actually reach native speed on repeated benchmark iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SIM_PROGRAMCACHE_H
+#define VPO_SIM_PROGRAMCACHE_H
+
+#include "sim/Predecode.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vpo {
+
+class Function;
+class TargetMachine;
+
+/// Everything derived from one (function revision, target) pair.
+struct CachedProgram {
+  /// Verification outcome. When !VerifyOk, VerifyProblems carries the
+  /// pre-formatted problem list (one "\n  "-prefixed line per problem).
+  bool VerifyOk = false;
+  std::string VerifyProblems;
+
+  /// Predecode outcome (only attempted when VerifyOk).
+  bool DecodeOk = false;
+  std::string DecodeError;
+  DecodedFunction DF;
+
+  /// Lazily created jit::JITProgram, type-erased so sim's public headers
+  /// stay free of the jit dependency. Guarded by JITInit; null until the
+  /// tiered driver first promotes a block, and left null forever when the
+  /// platform has no native support.
+  std::shared_ptr<void> JIT;
+  bool JITInitTried = false;
+  std::mutex JITInit;
+};
+
+/// Cache observability for tests and telemetry.
+struct ProgramCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Looks up (or verifies + predecodes and inserts) the program for \p F on
+/// \p TM's spec. Never returns null. The returned entry is shared — the
+/// Function must outlive any use of entry->DF (same rule as
+/// predecodeFunction), and concurrent runs of the same entry coordinate
+/// through the JIT program's own run lock.
+std::shared_ptr<CachedProgram> getOrBuildProgram(const Function &F,
+                                                 const TargetMachine &TM);
+
+ProgramCacheStats programCacheStats();
+/// Drops every cached entry (tests; also frees compiled code).
+void programCacheClear();
+
+} // namespace vpo
+
+#endif // VPO_SIM_PROGRAMCACHE_H

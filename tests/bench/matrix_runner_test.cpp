@@ -125,6 +125,27 @@ TEST(MatrixRunner, PredecodeOffMatchesPredecodeOn) {
   EXPECT_FALSE(RRef.Predecode);
 }
 
+TEST(MatrixRunner, JitCrossCheckDoesNotMoveMetrics) {
+  // The tiered-engine cross-check runs on its own arena after the timed
+  // simulation; disabling it (--no-jit) must not change any reported
+  // number, only the report's jit flag.
+  TargetMachine TM = makeAlphaTarget();
+  std::vector<CellSpec> Specs = testSpecs(TM);
+
+  RunnerOptions On;
+  On.Threads = 2;
+  RunnerOptions Off = On;
+  Off.JIT = false;
+
+  BenchReport ROn = MatrixRunner(On).run("jitcheck", Specs);
+  BenchReport ROff = MatrixRunner(Off).run("jitcheck", Specs);
+  expectSameCells(ROn, ROff);
+  EXPECT_TRUE(ROn.allVerified())
+      << "tiered engine disagreed with the cycle-accurate result";
+  EXPECT_TRUE(ROn.JIT);
+  EXPECT_FALSE(ROff.JIT);
+}
+
 TEST(MatrixRunner, JsonTimingFieldsAreOptIn) {
   TargetMachine TM = makeAlphaTarget();
   std::vector<CellSpec> Specs = {testSpecs(TM).front()};
@@ -141,7 +162,7 @@ TEST(MatrixRunner, JsonTimingFieldsAreOptIn) {
   EXPECT_EQ(Bare.find("\"total_wall_seconds\""), std::string::npos);
   EXPECT_EQ(Bare.find("\"wall_seconds\""), std::string::npos);
   for (const char *Field :
-       {"\"name\"", "\"predecode\"", "\"cells\"", "\"workload\"",
+       {"\"name\"", "\"predecode\"", "\"jit\"", "\"cells\"", "\"workload\"",
         "\"config\"", "\"target\"", "\"cycles\"", "\"instructions\"",
         "\"memrefs\"", "\"cache_misses\"", "\"verified\""}) {
     EXPECT_NE(Bare.find(Field), std::string::npos) << Field;
@@ -189,6 +210,15 @@ TEST(BenchArgs, DefaultsAndNoJson) {
   EXPECT_TRUE(A.Predecode);
   EXPECT_FALSE(A.WriteJson);
   EXPECT_EQ(A.JsonPath, "BENCH_mytable.json");
+}
+
+TEST(BenchArgs, ParsesNoJit) {
+  const char *Argv[] = {"t", "--no-jit"};
+  BenchArgs A = parseBenchArgs(2, const_cast<char **>(Argv), "t");
+  EXPECT_TRUE(A.Ok);
+  EXPECT_FALSE(A.JIT);
+  RunnerOptions RO = toRunnerOptions(A);
+  EXPECT_FALSE(RO.JIT);
 }
 
 TEST(BenchArgs, ParsesMaxInsts) {

@@ -1,0 +1,458 @@
+//===- tests/jit/jit_differential_test.cpp - three-engine oracle -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential suite for the functional tiered engine (interpreter + JIT,
+/// InterpreterOptions::EnableJIT). The cycle-accurate reference walk is
+/// the executable specification; the tiered engine must reproduce every
+/// *architectural* observable bit for bit — status, diagnostic text,
+/// return value, instruction and memory-reference counts, and the final
+/// memory image — while reporting Cycles = 0 and empty cache stats.
+///
+/// Thresholds are forced low so hot blocks actually promote to native
+/// code (where the platform supports it); on platforms without native
+/// support the same tests exercise the interpreted tier, which must be
+/// equally exact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "jit/JIT.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/Predecode.h"
+#include "support/Remark.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vpo;
+
+namespace {
+
+/// Interpreter options for the tiered engine with promotion forced early,
+/// so even short runs reach native code where the platform has it.
+InterpreterOptions jitOptions(uint64_t Threshold = 2) {
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = Threshold;
+  return O;
+}
+
+/// Asserts the tiered engine reproduced every architectural observable of
+/// the reference run, and that it reported no timing (the functional
+/// engine's contract: Cycles = 0, no cache model).
+void expectSameArch(const RunResult &Ref, const RunResult &Jit,
+                    const std::string &What) {
+  EXPECT_EQ(Ref.Exit, Jit.Exit) << What;
+  EXPECT_EQ(Ref.Error, Jit.Error) << What;
+  EXPECT_EQ(Ref.ReturnValue, Jit.ReturnValue) << What;
+  EXPECT_EQ(Ref.Instructions, Jit.Instructions) << What;
+  EXPECT_EQ(Ref.Loads, Jit.Loads) << What;
+  EXPECT_EQ(Ref.Stores, Jit.Stores) << What;
+  EXPECT_EQ(Ref.LoadBytes, Jit.LoadBytes) << What;
+  EXPECT_EQ(Ref.StoreBytes, Jit.StoreBytes) << What;
+  EXPECT_EQ(Ref.Branches, Jit.Branches) << What;
+  EXPECT_EQ(Jit.Cycles, 0u) << "functional engine must not model cycles: "
+                            << What;
+  EXPECT_EQ(Jit.Cache.Accesses, 0u) << What;
+  EXPECT_EQ(Jit.ICache.Accesses, 0u) << What;
+}
+
+/// Runs compiled \p F through the reference engine and the tiered engine
+/// on identically-prepared memories and asserts architectural equality,
+/// including the final memory image.
+void runRefVsJit(const Workload &W, Function &F, const TargetMachine &TM,
+                 const SetupOptions &SO, const std::string &What) {
+  Memory MemRef, MemJit;
+  SetupResult SRef = W.setup(MemRef, SO);
+  SetupResult SJit = W.setup(MemJit, SO);
+  ASSERT_EQ(SRef.Args, SJit.Args) << "setup must be deterministic: " << What;
+
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  Interpreter Jit(TM, MemJit, jitOptions());
+  RunResult RRef = Ref.run(F, SRef.Args);
+  RunResult RJit = Jit.run(F, SJit.Args);
+
+  expectSameArch(RRef, RJit, What);
+  EXPECT_EQ(std::memcmp(MemRef.data(), MemJit.data(), MemRef.size()), 0)
+      << "final memory images differ: " << What;
+}
+
+/// The full evaluation matrix at a reduced problem size: every workload,
+/// on each of the three target models, under each paper configuration.
+/// (predecode_test.cpp covers reference-vs-predecode on the same matrix;
+/// together the two suites pin all three engines to each other.)
+TEST(JITDifferential, EveryWorkloadTargetAndConfig) {
+  const char *Targets[] = {"alpha", "m88100", "m68030"};
+  SetupOptions SO;
+  SO.N = 768;
+  SO.Width = 24;
+  SO.Height = 24;
+
+  for (const auto &W : allWorkloads()) {
+    for (const char *Target : Targets) {
+      TargetMachine TM = makeTargetByName(Target);
+      for (const PipelineConfig &PC : paperConfigs()) {
+        Module M;
+        Function *F = W->build(M);
+        compileFunction(*F, TM, PC.Options);
+        runRefVsJit(*W, *F, TM, SO,
+                    std::string(W->name()) + "/" + Target + "/" + PC.Name);
+      }
+    }
+  }
+}
+
+/// Skewed and overlapping layouts push the coalescer's run-time checks
+/// onto their safe paths — heavy branching the compiled traces must
+/// side-exit through exactly like the interpreter.
+TEST(JITDifferential, SkewedAndOverlappingLayouts) {
+  TargetMachine TM = makeAlphaTarget();
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+
+  for (const auto &W : allWorkloads()) {
+    for (int Overlap = 0; Overlap <= 1; ++Overlap) {
+      SetupOptions SO;
+      SO.N = 768;
+      SO.Width = 24;
+      SO.Height = 24;
+      SO.Skew = 4;
+      SO.OverlapMode = Overlap;
+      Module M;
+      Function *F = W->build(M);
+      compileFunction(*F, TM, CO);
+      runRefVsJit(*W, *F, TM, SO,
+                  std::string(W->name()) + "/skew4/overlap" +
+                      std::to_string(Overlap));
+    }
+  }
+}
+
+/// Runs \p Text through the reference engine and the tiered engine (with
+/// promotion at the *first* block entry, so trap and deopt paths execute
+/// natively where supported) and asserts identical outcomes including the
+/// diagnostic string. \returns the shared exit status.
+RunResult::Status runTextBoth(const std::string &Text,
+                              std::vector<int64_t> Args,
+                              const TargetMachine &TM,
+                              uint64_t MaxSteps = 500'000'000) {
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  Memory MemRef, MemJit;
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  Interpreter Jit(TM, MemJit, jitOptions(/*Threshold=*/1));
+  RunResult RRef = Ref.run(*M->functions().front(), Args, MaxSteps);
+  RunResult RJit = Jit.run(*M->functions().front(), Args, MaxSteps);
+  expectSameArch(RRef, RJit, Text);
+  EXPECT_EQ(std::memcmp(MemRef.data(), MemJit.data(), MemRef.size()), 0)
+      << "final memory images differ: " << Text;
+  return RJit.Exit;
+}
+
+TEST(JITDifferential, UnalignedTrapMessagesMatch) {
+  // The diagnostic embeds the faulting address and the printed
+  // instruction; the native trap stub's (kind, op, address) record must
+  // rebuild the same string.
+  Memory Probe;
+  uint64_t A = Probe.allocate(64, 8);
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i32.u [r1+2]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {static_cast<int64_t>(A)}, makeAlphaTarget()),
+            RunResult::Status::UnalignedTrap);
+}
+
+TEST(JITDifferential, OutOfBoundsTrapMessagesMatch) {
+  // Below the 4 KB guard page and beyond the arena, loads and stores.
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = load.i8.u [r1]\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {0}, makeAlphaTarget()),
+            RunResult::Status::OutOfBounds);
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  store.i64 [r1], 255\n"
+                        "  ret 0\n"
+                        "}\n",
+                        {int64_t(1) << 40}, makeAlphaTarget()),
+            RunResult::Status::OutOfBounds);
+}
+
+TEST(JITDifferential, DivideByZeroTrapMessagesMatch) {
+  for (const char *Op : {"divs", "divu", "rems", "remu"}) {
+    EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                          "e:\n"
+                          "  r2 = " +
+                              std::string(Op) +
+                              " r1, 0\n"
+                              "  ret r2\n"
+                              "}\n",
+                          {5}, makeAlphaTarget()),
+              RunResult::Status::DivideByZero);
+  }
+}
+
+/// A trap in the middle of a hot loop body: the loop spins natively for
+/// many iterations before the faulting one, so the trap stub's counter
+/// compensation (prefix-only effects of the faulting iteration) is what
+/// keeps Instructions/Loads exact.
+TEST(JITDifferential, TrapAfterHotLoopMatches) {
+  Memory Probe;
+  uint64_t Base = Probe.allocate(4096, 8);
+  // Walks 8 bytes per iteration until it runs off the end of the arena
+  // (~2M natively-executed iterations in), faulting on a load with a
+  // partially-updated iteration state.
+  EXPECT_EQ(runTextBoth("func @f(r1, r2) {\n"
+                        "e:\n"
+                        "  r3 = mov 0\n"
+                        "  jmp body\n"
+                        "body:\n"
+                        "  r4 = load.i64.u [r1]\n"
+                        "  r3 = add r3, r4\n"
+                        "  r1 = add r1, 8\n"
+                        "  r2 = sub r2, 1\n"
+                        "  br.gts r2, 0, body, done\n"
+                        "done:\n"
+                        "  ret r3\n"
+                        "}\n",
+                        {static_cast<int64_t>(Base), 3 << 20},
+                        makeAlphaTarget()),
+            RunResult::Status::OutOfBounds);
+}
+
+/// Zero-trip loops: the body block never becomes hot, and on forced-hot
+/// settings the compiled entry block must branch around it exactly like
+/// the interpreter.
+TEST(JITDifferential, ZeroTripLoopMatches) {
+  EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                        "e:\n"
+                        "  r2 = mov 0\n"
+                        "  br.gts r1, 0, body, done\n"
+                        "body:\n"
+                        "  r2 = add r2, r1\n"
+                        "  r1 = sub r1, 1\n"
+                        "  br.gts r1, 0, body, done\n"
+                        "done:\n"
+                        "  ret r2\n"
+                        "}\n",
+                        {0}, makeAlphaTarget()),
+            RunResult::Status::Ok);
+}
+
+/// MaxSteps exhaustion inside a compiled trace: the block-entry budget
+/// guard deopts, the interpreter replays the block per-op, and the run
+/// stops at exactly the reference instruction with the same diagnostic.
+TEST(JITDifferential, StepLimitExhaustionDeoptMatches) {
+  for (uint64_t MaxSteps : {997u, 998u, 999u, 1000u}) {
+    EXPECT_EQ(runTextBoth("func @f(r1) {\n"
+                          "e:\n"
+                          "  r2 = add r1, 1\n"
+                          "  jmp e\n"
+                          "}\n",
+                          {0}, makeAlphaTarget(), MaxSteps),
+              RunResult::Status::StepLimit);
+  }
+}
+
+TEST(JITDifferential, MalformedIRRejectedBeforeExecution) {
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\ne:\n  ret r1\n}\n", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  Instruction Bad;
+  Bad.Op = Opcode::Mov;
+  Bad.Dst = Reg(1);
+  Bad.A = Reg(9999); // beyond the allocator bound
+  F.entry()->insertAt(0, Bad);
+
+  Memory Mem;
+  Interpreter I(makeAlphaTarget(), Mem, jitOptions());
+  RunResult R = I.run(F, {0});
+  EXPECT_EQ(R.Exit, RunResult::Status::MalformedIR);
+  EXPECT_EQ(R.Instructions, 0u);
+
+  // And the diagnostic matches the reference engine's byte for byte.
+  Memory MemRef;
+  Interpreter Ref(makeAlphaTarget(), MemRef,
+                  InterpreterOptions{/*Predecode=*/false});
+  EXPECT_EQ(Ref.run(F, {0}).Error, R.Error);
+}
+
+/// The repeated-run entry point run(DecodedFunction): the JIT program is
+/// memoized inside the Interpreter, hotness accumulates across calls, and
+/// every repeat must still match the one-shot reference result.
+TEST(JITDifferential, DecodedFunctionReuseMatches) {
+  auto W = makeWorkloadByName("image_add");
+  ASSERT_NE(W, nullptr);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  CO.Unroll = true;
+  CO.Schedule = true;
+  compileFunction(*F, TM, CO);
+
+  DecodedFunction DF;
+  std::string Error;
+  ASSERT_TRUE(predecodeFunction(*F, TM, DF, Error)) << Error;
+
+  SetupOptions SO;
+  SO.N = 768;
+  Memory MemRef;
+  SetupResult SRef = W->setup(MemRef, SO);
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  RunResult Baseline = Ref.run(*F, SRef.Args);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    Memory Mem;
+    SetupResult S = W->setup(Mem, SO);
+    Interpreter I(TM, Mem, jitOptions());
+    RunResult R = I.run(DF, S.Args);
+    expectSameArch(Baseline, R, "decoded rep " + std::to_string(Rep));
+    EXPECT_EQ(std::memcmp(MemRef.data(), Mem.data(), Mem.size()), 0);
+  }
+}
+
+/// Looks up \p Key in a remark's ordered args. \returns "" when absent.
+std::string remarkArg(const Remark &R, const char *Key) {
+  for (const auto &KV : R.Args)
+    if (std::strcmp(KV.first, Key) == 0)
+      return KV.second;
+  return "";
+}
+
+/// The telemetry contract: a hot run emits one jit-summary remark, and on
+/// native-capable hosts it proves promotion + native entries actually
+/// happened (this is the test that fails if the tier silently never
+/// engages).
+TEST(JITTelemetry, SummaryRemarkProvesNativeExecution) {
+  std::string Err;
+  auto M = parseModule("func @hot(r1) {\n"
+                       "e:\n"
+                       "  r2 = mov 0\n"
+                       "  jmp body\n"
+                       "body:\n"
+                       "  r2 = add r2, r1\n"
+                       "  r1 = sub r1, 1\n"
+                       "  br.gts r1, 0, body, done\n"
+                       "done:\n"
+                       "  ret r2\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+
+  CollectingRemarkSink Sink;
+  InterpreterOptions O = jitOptions(/*Threshold=*/4);
+  O.Remarks = &Sink;
+  Memory Mem;
+  Interpreter I(makeAlphaTarget(), Mem, O);
+  RunResult R = I.run(*M->functions().front(), {10000});
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ReturnValue, int64_t(10000) * 10001 / 2);
+
+  if (jit::nativeAvailability().Ok) {
+    ASSERT_EQ(Sink.count("jit-summary"), 1u) << Sink.renderAll();
+    const Remark *Summary = nullptr;
+    for (const Remark &Rm : Sink.remarks())
+      if (std::strcmp(Rm.Reason, "jit-summary") == 0)
+        Summary = &Rm;
+    ASSERT_NE(Summary, nullptr);
+    EXPECT_EQ(Summary->Fn, "hot");
+    EXPECT_NE(remarkArg(*Summary, "blocks-compiled"), "0");
+    EXPECT_NE(remarkArg(*Summary, "native-entries"), "0");
+    EXPECT_NE(remarkArg(*Summary, "promotions"), "0");
+  } else {
+    // No native tier: the engine must say why, once, with the probe's
+    // stable reason token.
+    ASSERT_EQ(Sink.count("jit-disabled"), 1u) << Sink.renderAll();
+    EXPECT_EQ(Sink.count("jit-summary"), 0u);
+  }
+}
+
+/// JITNative = false (service rung-2 / --no-jit): the engine stays on the
+/// interpreted tier, reports reason "native-off", and still matches the
+/// reference exactly.
+TEST(JITTelemetry, NativeOffStaysInterpretedAndExact) {
+  std::string Err;
+  auto M = parseModule("func @f(r1) {\n"
+                       "e:\n"
+                       "  r2 = mov 0\n"
+                       "  jmp body\n"
+                       "body:\n"
+                       "  r2 = add r2, r1\n"
+                       "  r1 = sub r1, 1\n"
+                       "  br.gts r1, 0, body, done\n"
+                       "done:\n"
+                       "  ret r2\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+
+  CollectingRemarkSink Sink;
+  InterpreterOptions O = jitOptions();
+  O.JITNative = false;
+  O.Remarks = &Sink;
+  Memory MemJit, MemRef;
+  Interpreter Jit(makeAlphaTarget(), MemJit, O);
+  Interpreter Ref(makeAlphaTarget(), MemRef,
+                  InterpreterOptions{/*Predecode=*/false});
+  RunResult RJit = Jit.run(F, {500});
+  RunResult RRef = Ref.run(F, {500});
+  expectSameArch(RRef, RJit, "native-off");
+
+  ASSERT_EQ(Sink.count("jit-disabled"), 1u) << Sink.renderAll();
+  const Remark &D = Sink.remarks().front();
+  EXPECT_EQ(remarkArg(D, "reason"), "native-off");
+}
+
+/// Remarks are read-only telemetry: running with and without a sink must
+/// produce identical results (observer-effect guard for the jit remarks).
+TEST(JITTelemetry, SinkDoesNotPerturbExecution) {
+  auto W = makeWorkloadByName("image_add");
+  ASSERT_NE(W, nullptr);
+  TargetMachine TM = makeAlphaTarget();
+  Module M;
+  Function *F = W->build(M);
+  CompileOptions CO;
+  CO.Mode = CoalesceMode::LoadsAndStores;
+  compileFunction(*F, TM, CO);
+
+  SetupOptions SO;
+  SO.N = 768;
+
+  Memory MemA, MemB;
+  SetupResult SA = W->setup(MemA, SO);
+  SetupResult SB = W->setup(MemB, SO);
+  CollectingRemarkSink Sink;
+  InterpreterOptions WithSink = jitOptions();
+  WithSink.Remarks = &Sink;
+  Interpreter A(TM, MemA, jitOptions());
+  Interpreter B(TM, MemB, WithSink);
+  RunResult RA = A.run(*F, SA.Args);
+  RunResult RB = B.run(*F, SB.Args);
+  expectSameArch(RA, RB, "observer effect");
+  EXPECT_EQ(RA.Cycles, RB.Cycles);
+  EXPECT_EQ(std::memcmp(MemA.data(), MemB.data(), MemA.size()), 0);
+}
+
+} // namespace

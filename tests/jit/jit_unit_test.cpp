@@ -1,0 +1,341 @@
+//===- tests/jit/jit_unit_test.cpp - JIT building blocks --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the native tier's building blocks: the W^X code buffer
+/// (reservation, on-demand commit, jump patching, protection flips), the
+/// JITProgram compile/chain/run surface, the run-lock used to serialize
+/// drivers, and side-exit state reconstruction across repeated runs of
+/// one memoized program.
+///
+/// Everything native is guarded on jit::nativeAvailability() — on hosts
+/// without executable mappings these tests degrade to checking the clean
+/// refusal paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "jit/CodeBuffer.h"
+#include "jit/JIT.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/Predecode.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vpo;
+
+namespace {
+
+bool nativeOk() { return jit::nativeAvailability().Ok; }
+
+TEST(NativeAvailability, ProbeIsStableAndReasoned) {
+  const jit::Availability &A = jit::nativeAvailability();
+  // Once probed, the answer never changes for the process lifetime.
+  EXPECT_EQ(&A, &jit::nativeAvailability());
+  if (!A.Ok) {
+    EXPECT_STRNE(A.Reason, "") << "refusals must carry a reason token";
+  }
+}
+
+TEST(CodeBuffer, CommitsPagesOnDemandAndPatches) {
+  auto Buf = jit::CodeBuffer::create(1 << 20);
+  if (!Buf) {
+    EXPECT_FALSE(nativeOk()) << "native probe passed but create() failed";
+    return;
+  }
+  EXPECT_EQ(Buf->used(), 0u);
+  EXPECT_EQ(Buf->committed(), 0u);
+  EXPECT_TRUE(Buf->writable());
+
+  // Append well past one page in odd-sized chunks; offsets are dense and
+  // the committed prefix grows to cover them.
+  uint8_t Chunk[197];
+  std::memset(Chunk, 0x90, sizeof(Chunk)); // nop sled
+  size_t Expected = 0;
+  for (int I = 0; I < 50; ++I) {
+    size_t Off = ~size_t(0);
+    ASSERT_TRUE(Buf->append(Chunk, sizeof(Chunk), Off));
+    EXPECT_EQ(Off, Expected);
+    Expected += sizeof(Chunk);
+  }
+  EXPECT_EQ(Buf->used(), Expected);
+  EXPECT_GE(Buf->committed(), Expected);
+  EXPECT_GT(Buf->committed(), size_t(4096));
+
+  // patch32 rewrites exactly four bytes.
+  Buf->patch32(100, int32_t(0xdeadbeef));
+  int32_t V = 0;
+  std::memcpy(&V, Buf->base() + 100, 4);
+  EXPECT_EQ(V, int32_t(0xdeadbeef));
+
+  // Exhaustion: a reservation-sized append must fail cleanly.
+  std::vector<uint8_t> Huge((1 << 20) + 1, 0x90);
+  size_t Off = 0;
+  EXPECT_FALSE(Buf->append(Huge.data(), Huge.size(), Off));
+}
+
+TEST(CodeBuffer, ExecutesEmittedCode) {
+  auto Buf = jit::CodeBuffer::create(1 << 16);
+  if (!Buf || !nativeOk())
+    return;
+  // mov eax, 0x2a; ret
+  const uint8_t Code[] = {0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3};
+  size_t Off = 0;
+  ASSERT_TRUE(Buf->append(Code, sizeof(Code), Off));
+  ASSERT_TRUE(Buf->makeExecutable());
+  EXPECT_FALSE(Buf->writable());
+  using Fn = int (*)();
+  EXPECT_EQ(reinterpret_cast<Fn>(const_cast<uint8_t *>(Buf->base()))(), 42);
+  // Flip back and patch the immediate: W^X round trip.
+  ASSERT_TRUE(Buf->makeWritable());
+  Buf->patch32(1, 7);
+  ASSERT_TRUE(Buf->makeExecutable());
+  EXPECT_EQ(reinterpret_cast<Fn>(const_cast<uint8_t *>(Buf->base()))(), 7);
+}
+
+/// Parses \p Text and predecodes its first function for alpha.
+struct DecodedFixture {
+  std::unique_ptr<Module> M;
+  TargetMachine TM = makeAlphaTarget();
+  DecodedFunction DF;
+
+  explicit DecodedFixture(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    std::string DecErr;
+    EXPECT_TRUE(predecodeFunction(*M->functions().front(), TM, DF, DecErr))
+        << DecErr;
+  }
+};
+
+const char *kSumLoop = "func @sum(r1) {\n"
+                       "e:\n"
+                       "  r2 = mov 0\n"
+                       "  jmp body\n"
+                       "body:\n"
+                       "  r2 = add r2, r1\n"
+                       "  r1 = sub r1, 1\n"
+                       "  br.gts r1, 0, body, done\n"
+                       "done:\n"
+                       "  ret r2\n"
+                       "}\n";
+
+TEST(JITProgram, CompileChainsAndRuns) {
+  DecodedFixture FX(kSumLoop);
+  auto JP = jit::JITProgram::create(FX.DF, 1 << 20);
+  if (!nativeOk()) {
+    EXPECT_EQ(JP, nullptr);
+    return;
+  }
+  ASSERT_NE(JP, nullptr);
+  ASSERT_EQ(JP->numBlocks(), 3u);
+  EXPECT_FALSE(JP->compiled(0));
+
+  // Compile the loop body first (as promotion would), then the others.
+  ASSERT_TRUE(JP->compileBlock(1));
+  ASSERT_TRUE(JP->compileBlock(0));
+  ASSERT_TRUE(JP->compileBlock(2));
+  EXPECT_TRUE(JP->compiled(0) && JP->compiled(1) && JP->compiled(2));
+  EXPECT_EQ(JP->stats().BlocksCompiled, 3u);
+  EXPECT_GT(JP->stats().BytesEmitted, 0u);
+  EXPECT_EQ(JP->codeBytes(), JP->stats().BytesEmitted);
+
+  // Run the whole function natively from the entry block.
+  Memory Mem;
+  std::vector<uint64_t> Vals(FX.DF.poolSize());
+  for (size_t I = 0; I < FX.DF.ConstPool.size(); ++I)
+    Vals[FX.DF.NumRegs + I] = FX.DF.ConstPool[I];
+  Vals[1] = 1000; // r1
+  jit::ExecState S;
+  S.Vals = Vals.data();
+  S.MemData = Mem.data();
+  S.MemSize = Mem.size();
+  S.StepsRemaining = 1 << 20;
+  ASSERT_EQ(JP->run(0, S), jit::ExitKind::Ret);
+  EXPECT_EQ(S.ReturnValue, uint64_t(1000) * 1001 / 2);
+  // 2 entry ops + 3 * 1000 body ops + 1 ret.
+  EXPECT_EQ((uint64_t(1) << 20) - S.StepsRemaining, 2u + 3000u + 1u);
+  EXPECT_EQ(S.Branches, 1000u + 1u); // jmp + 999 back-edges + exit br
+}
+
+TEST(JITProgram, BudgetGuardDeoptsBeforeBlockEffects) {
+  DecodedFixture FX(kSumLoop);
+  auto JP = jit::JITProgram::create(FX.DF, 1 << 20);
+  if (!JP)
+    return;
+  ASSERT_TRUE(JP->compileBlock(0));
+  ASSERT_TRUE(JP->compileBlock(1));
+  ASSERT_TRUE(JP->compileBlock(2));
+
+  Memory Mem;
+  std::vector<uint64_t> Vals(FX.DF.poolSize());
+  for (size_t I = 0; I < FX.DF.ConstPool.size(); ++I)
+    Vals[FX.DF.NumRegs + I] = FX.DF.ConstPool[I];
+  Vals[1] = 1000;
+  jit::ExecState S;
+  S.Vals = Vals.data();
+  S.MemData = Mem.data();
+  S.MemSize = Mem.size();
+  S.StepsRemaining = 4; // entry (2) fits; first body entry (3) does not
+  ASSERT_EQ(JP->run(0, S), jit::ExitKind::Deopt);
+  EXPECT_EQ(static_cast<jit::DeoptReason>(S.Deopt),
+            jit::DeoptReason::Budget);
+  EXPECT_EQ(S.ResumeBlock, 1u);
+  // The guard fired before any body effect: exactly the entry block's two
+  // ops were charged, and r2 still holds the pre-body value.
+  EXPECT_EQ(S.StepsRemaining, 2u);
+  EXPECT_EQ(Vals[2], 0u);
+  EXPECT_EQ(Vals[1], 1000u);
+}
+
+TEST(JITProgram, ColdTargetDeoptRecordsResumeBlock) {
+  DecodedFixture FX(kSumLoop);
+  auto JP = jit::JITProgram::create(FX.DF, 1 << 20);
+  if (!JP)
+    return;
+  // Only the entry compiles; its jmp to the (cold) body must deopt with
+  // ResumeBlock = 1 and the entry's effects committed.
+  ASSERT_TRUE(JP->compileBlock(0));
+
+  Memory Mem;
+  std::vector<uint64_t> Vals(FX.DF.poolSize());
+  for (size_t I = 0; I < FX.DF.ConstPool.size(); ++I)
+    Vals[FX.DF.NumRegs + I] = FX.DF.ConstPool[I];
+  Vals[1] = 5;
+  jit::ExecState S;
+  S.Vals = Vals.data();
+  S.MemData = Mem.data();
+  S.MemSize = Mem.size();
+  S.StepsRemaining = 100;
+  ASSERT_EQ(JP->run(0, S), jit::ExitKind::Deopt);
+  EXPECT_EQ(static_cast<jit::DeoptReason>(S.Deopt),
+            jit::DeoptReason::ColdTarget);
+  EXPECT_EQ(S.ResumeBlock, 1u);
+  EXPECT_EQ(S.StepsRemaining, 98u); // entry's 2 ops charged
+  EXPECT_EQ(S.Branches, 1u);        // the jmp itself
+
+  // Compiling the body later patches the recorded site: the same entry
+  // now chains straight through to Ret.
+  ASSERT_TRUE(JP->compileBlock(1));
+  ASSERT_TRUE(JP->compileBlock(2));
+  Vals[1] = 5;
+  Vals[2] = 0;
+  S.StepsRemaining = 100;
+  S.Branches = 0;
+  ASSERT_EQ(JP->run(0, S), jit::ExitKind::Ret);
+  EXPECT_EQ(S.ReturnValue, 15u);
+}
+
+TEST(JITProgram, RunLockSerializesDrivers) {
+  DecodedFixture FX(kSumLoop);
+  auto JP = jit::JITProgram::create(FX.DF, 1 << 20);
+  if (!JP)
+    return;
+  ASSERT_TRUE(JP->tryAcquire());
+  EXPECT_FALSE(JP->tryAcquire()) << "second driver must lose the lock";
+  JP->release();
+  EXPECT_TRUE(JP->tryAcquire());
+  JP->release();
+}
+
+TEST(JITProgram, ExhaustedCodeReservationFailsBlockCleanly) {
+  // One giant block whose emitted code cannot fit a single-page
+  // reservation: the compile fails, is remembered as failed, and the
+  // driver keeps interpreting — nothing crashes, nothing half-patches.
+  std::string Text = "func @big(r1) {\ne:\n";
+  for (int I = 0; I < 2000; ++I)
+    Text += "  r1 = add r1, 7\n";
+  Text += "  ret r1\n}\n";
+  DecodedFixture FX(Text);
+  auto JP = jit::JITProgram::create(FX.DF, 4096);
+  if (!JP)
+    return;
+  EXPECT_FALSE(JP->compileBlock(0));
+  EXPECT_TRUE(JP->compileFailed(0));
+  EXPECT_FALSE(JP->compiled(0));
+  EXPECT_GT(JP->stats().CompileFailures, 0u);
+
+  // And the tiered engine still produces the exact result through the
+  // interpreter tier despite the permanently-failed block.
+  Memory Mem;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 1;
+  O.JITMaxCodeBytes = 4096;
+  Interpreter I(FX.TM, Mem, O);
+  RunResult R = I.run(*FX.M->functions().front(), {1});
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 1 + 2000 * 7);
+}
+
+/// Hotness accumulates across run(DecodedFunction) calls on one
+/// Interpreter (the memoized program), and a later mutation of the source
+/// function is caught by the identity revalidation.
+TEST(JITMemo, HotnessPersistsAcrossRuns) {
+  std::string Err;
+  auto M = parseModule(kSumLoop, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+  DecodedFunction DF;
+  std::string DecErr;
+  ASSERT_TRUE(predecodeFunction(F, TM, DF, DecErr)) << DecErr;
+
+  Memory Mem;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 6; // crossed only by accumulation across runs
+  Interpreter I(TM, Mem, O);
+  for (int Rep = 0; Rep < 20; ++Rep) {
+    RunResult R = I.run(DF, {50});
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.ReturnValue, 50 * 51 / 2);
+    EXPECT_EQ(R.Instructions, 2u + 3u * 50u + 1u);
+  }
+}
+
+/// Trace invalidation end to end: a cached-and-compiled function that is
+/// then mutated must execute its *new* body (stale native code would
+/// return the old sum).
+TEST(JITMemo, MutationInvalidatesCompiledTraces) {
+  std::string Err;
+  auto M = parseModule(kSumLoop, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+
+  Memory Mem;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 1;
+  Interpreter I(TM, Mem, O);
+  RunResult Before = I.run(F, {100});
+  ASSERT_TRUE(Before.ok()) << Before.Error;
+  EXPECT_EQ(Before.ReturnValue, 100 * 101 / 2);
+  uint64_t V0 = F.version();
+
+  // Mutate the body: add r2, r1 -> add r2, 1 turns sum into a count.
+  BasicBlock *Body = F.blocks()[1].get();
+  Body->insts()[0].B = Operand::imm(1);
+  EXPECT_NE(F.version(), V0) << "mutation must bump the version";
+
+  RunResult After = I.run(F, {100});
+  ASSERT_TRUE(After.ok()) << After.Error;
+  EXPECT_EQ(After.ReturnValue, 100);
+
+  // And the reference engine agrees on the mutated body.
+  Memory MemRef;
+  Interpreter Ref(TM, MemRef, InterpreterOptions{/*Predecode=*/false});
+  EXPECT_EQ(Ref.run(F, {100}).ReturnValue, 100);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/jit/program_cache_test.cpp - program cache ---------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the process-global program cache (sim/ProgramCache.h): the
+/// identity-keyed reuse of verified + predecoded (+ JIT) forms across
+/// Interpreter::run(Function) calls, invalidation-by-version on IR
+/// mutation, target-fingerprint separation, and LRU eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/ProgramCache.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+std::unique_ptr<Module> parseOne(const std::string &Text) {
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+const char *kAddFunc = "func @f(r1) {\n"
+                       "e:\n"
+                       "  r2 = add r1, 1\n"
+                       "  ret r2\n"
+                       "}\n";
+
+TEST(ProgramCache, RepeatedLookupsHitAndShare) {
+  programCacheClear();
+  auto M = parseOne(kAddFunc);
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+
+  ProgramCacheStats S0 = programCacheStats();
+  auto P1 = getOrBuildProgram(F, TM);
+  auto P2 = getOrBuildProgram(F, TM);
+  ASSERT_NE(P1, nullptr);
+  EXPECT_EQ(P1.get(), P2.get()) << "same revision must share one entry";
+  EXPECT_TRUE(P1->VerifyOk);
+  EXPECT_TRUE(P1->DecodeOk);
+  EXPECT_EQ(P1->DF.source(), &F);
+
+  ProgramCacheStats S1 = programCacheStats();
+  EXPECT_EQ(S1.Misses, S0.Misses + 1);
+  EXPECT_EQ(S1.Hits, S0.Hits + 1);
+}
+
+TEST(ProgramCache, MutationChangesTheKey) {
+  programCacheClear();
+  auto M = parseOne(kAddFunc);
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+
+  auto P1 = getOrBuildProgram(F, TM);
+  F.entry()->insts()[0].B = Operand::imm(2); // bumps version()
+  auto P2 = getOrBuildProgram(F, TM);
+  EXPECT_NE(P1.get(), P2.get()) << "mutated function must rebuild";
+
+  // Both entries stay alive and usable (shared_ptr ownership): the old
+  // revision's decoded form still points at the function object.
+  EXPECT_TRUE(P1->DecodeOk);
+  EXPECT_TRUE(P2->DecodeOk);
+}
+
+TEST(ProgramCache, TargetSpecSeparatesEntries) {
+  programCacheClear();
+  auto M = parseOne(kAddFunc);
+  Function &F = *M->functions().front();
+
+  auto PAlpha = getOrBuildProgram(F, makeTargetByName("alpha"));
+  auto PM88 = getOrBuildProgram(F, makeTargetByName("m88100"));
+  EXPECT_NE(PAlpha.get(), PM88.get())
+      << "different target specs must not share predecoded forms";
+  // Re-requesting either is a pure hit.
+  EXPECT_EQ(getOrBuildProgram(F, makeTargetByName("alpha")).get(),
+            PAlpha.get());
+}
+
+TEST(ProgramCache, VerificationFailureIsCachedToo) {
+  programCacheClear();
+  auto M = parseOne(kAddFunc);
+  Function &F = *M->functions().front();
+  Instruction Bad;
+  Bad.Op = Opcode::Mov;
+  Bad.Dst = Reg(1);
+  Bad.A = Reg(9999);
+  F.entry()->insertAt(0, Bad);
+
+  TargetMachine TM = makeAlphaTarget();
+  ProgramCacheStats S0 = programCacheStats();
+  auto P1 = getOrBuildProgram(F, TM);
+  EXPECT_FALSE(P1->VerifyOk);
+  EXPECT_FALSE(P1->VerifyProblems.empty());
+  // The negative result is reused, not recomputed.
+  auto P2 = getOrBuildProgram(F, TM);
+  EXPECT_EQ(P1.get(), P2.get());
+  EXPECT_EQ(programCacheStats().Misses, S0.Misses + 1);
+
+  // And the interpreter surfaces it as MalformedIR on every engine.
+  Memory Mem;
+  Interpreter I(TM, Mem);
+  RunResult R = I.run(F, {0});
+  EXPECT_EQ(R.Exit, RunResult::Status::MalformedIR);
+}
+
+TEST(ProgramCache, EvictsLeastRecentlyUsed) {
+  programCacheClear();
+  TargetMachine TM = makeAlphaTarget();
+  ProgramCacheStats S0 = programCacheStats();
+
+  // More distinct functions than the cache holds: the tail must be
+  // evicted without disturbing correctness of later lookups.
+  std::vector<std::unique_ptr<Module>> Keep;
+  for (int I = 0; I < 80; ++I) {
+    auto M = parseOne(kAddFunc);
+    getOrBuildProgram(*M->functions().front(), TM);
+    Keep.push_back(std::move(M));
+  }
+  ProgramCacheStats S1 = programCacheStats();
+  EXPECT_EQ(S1.Misses, S0.Misses + 80);
+  EXPECT_GT(S1.Evictions, S0.Evictions);
+
+  // An evicted function simply rebuilds on next use.
+  auto P = getOrBuildProgram(*Keep.front()->functions().front(), TM);
+  EXPECT_TRUE(P->DecodeOk);
+}
+
+/// End to end through the interpreter: repeated run(F) calls stop paying
+/// verify + predecode after the first (this was the PR's first satellite
+/// fix — run() used to re-lower every call).
+TEST(ProgramCache, InterpreterRunsHitTheCache) {
+  programCacheClear();
+  auto M = parseOne(kAddFunc);
+  Function &F = *M->functions().front();
+  TargetMachine TM = makeAlphaTarget();
+
+  Memory Mem;
+  Interpreter I(TM, Mem);
+  ProgramCacheStats S0 = programCacheStats();
+  for (int Rep = 0; Rep < 10; ++Rep) {
+    RunResult R = I.run(F, {int64_t(Rep)});
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.ReturnValue, Rep + 1);
+  }
+  ProgramCacheStats S1 = programCacheStats();
+  EXPECT_EQ(S1.Misses, S0.Misses + 1);
+  EXPECT_GE(S1.Hits, S0.Hits + 9);
+}
+
+} // namespace

@@ -51,6 +51,7 @@ struct DriverArgs {
   uint64_t MaxInsts = 50'000'000;
   bool Fork = true;
   bool Reduce = true;
+  bool JIT = true;
   std::vector<std::string> Targets = {"alpha", "m88100", "m68030"};
   std::string CorpusDir = "fuzz-repros";
   std::string ReplayPath;
@@ -63,7 +64,7 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s [--seed=N] [--cases=N] [--threads=N] [--targets=a,b]\n"
       "          [--timeout-ms=N] [--max-insts=N] [--no-fork]\n"
-      "          [--no-reduce] [--corpus-dir=PATH]\n"
+      "          [--no-reduce] [--no-jit] [--corpus-dir=PATH]\n"
       "          [--inject=pass:kind:seed] [--replay=FILE_OR_DIR]\n",
       Argv0);
 }
@@ -108,6 +109,8 @@ DriverArgs parseArgs(int Argc, char **Argv) {
       A.Fork = false;
     } else if (S == "--no-reduce") {
       A.Reduce = false;
+    } else if (S == "--no-jit") {
+      A.JIT = false;
     } else if (S.rfind("--corpus-dir=", 0) == 0) {
       A.CorpusDir = Val("--corpus-dir=");
     } else if (S.rfind("--inject=", 0) == 0) {
@@ -128,6 +131,7 @@ OracleOptions oracleOptions(const DriverArgs &A) {
   OracleOptions O;
   O.Targets = A.Targets;
   O.MaxInsts = A.MaxInsts;
+  O.CheckJIT = A.JIT;
   if (!A.Inject.empty()) {
     auto I = InjectSpec::parse(A.Inject);
     if (I)

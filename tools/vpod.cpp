@@ -55,7 +55,9 @@ void usage() {
       "  --mem-limit-mb=N        worker address-space ceiling, 0 = off "
       "(default 0)\n"
       "  --allow-fault-injection honor request fault plants (test rigs "
-      "only)\n");
+      "only)\n"
+      "  --no-jit                keep run-mode simulations on the "
+      "portable interpreter tier\n");
 }
 
 bool parseU64(const char *S, uint64_t &Out) {
@@ -134,6 +136,8 @@ int main(int Argc, char **Argv) {
       Opts.Limits.MemLimitMB = size_t(U);
     } else if (Arg == "--allow-fault-injection") {
       Opts.Limits.AllowFaultInjection = true;
+    } else if (Arg == "--no-jit") {
+      Opts.Limits.JITNative = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
