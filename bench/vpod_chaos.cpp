@@ -1,0 +1,676 @@
+//===- bench/vpod_chaos.cpp - vpod crash/recovery chaos soak ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos soak for the self-healing service tier. Where vpod_load proves
+/// availability under *worker* faults, this harness attacks the daemon
+/// process itself and the persistent cache journal, and checks that no
+/// failure mode ever surfaces as a wrong answer:
+///
+///   - The daemon is SIGKILLed at scheduled points in the campaign and
+///     restarted on the same socket and journal. A subset of kills are
+///     "mid-write": a burst of novel compile requests is pipelined in,
+///     partially drained, and the kill lands while journal appends are
+///     in flight; the journal tail is then truncated by a few bytes to
+///     force the torn-write recovery path (fsync makes a real torn
+///     record rare, so the tear is simulated deterministically).
+///   - Worker crash/hang plants and JIT wild-store plants
+///     ("jit-wild-store", caught by the native-fault quarantine) run
+///     throughout, so recovery overlaps degradation.
+///   - Every response — including re-requests of kernels whose journal
+///     records were just torn off — is reference-diffed against an
+///     in-process compile at the rung the daemon reports. A recovered
+///     cache entry must replay byte-identical; a discarded one must be
+///     recomputed, never served corrupt.
+///   - After each restart the harness re-requests a kernel journaled
+///     before the first kill and counts warm cache hits, proving the
+///     journal actually survives the crash.
+///   - op=reload is exercised after the first restart (journal re-open +
+///     probation probes), and the final daemon is stopped with SIGTERM:
+///     it must drain and exit 0, not die on the signal.
+///
+/// Exit is nonzero unless corrupt_serves == 0 and every campaign request
+/// was eventually answered correctly (availability 1.0 with retries).
+/// Writes BENCH_vpod_chaos.json; the vpod-chaos CI job greps its gates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+#include "jit/JIT.h"
+#include "service/Client.h"
+#include "service/Worker.h"
+#include "sim/Memory.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPO_CHAOS_POSIX 1
+#include "service/Daemon.h"
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+using namespace vpo;
+using namespace vpo::service;
+
+namespace {
+
+struct ChaosArgs {
+  unsigned Workers = 3;
+  unsigned Kernels = 20;
+  unsigned Requests = 300;
+  unsigned Kills = 6;
+  unsigned MidwriteKills = 3;
+  unsigned JitFaults = 4;
+  uint64_t Seed = 1;
+  std::string JsonPath = "BENCH_vpod_chaos.json";
+  bool Ok = true;
+};
+
+ChaosArgs parseArgs(int Argc, char **Argv) {
+  ChaosArgs A;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Val = [&Arg](const char *Name) -> const char * {
+      size_t N = std::strlen(Name);
+      if (Arg.compare(0, N, Name) == 0 && Arg.size() > N && Arg[N] == '=')
+        return Arg.c_str() + N + 1;
+      return nullptr;
+    };
+    if (const char *V = Val("--workers"))
+      A.Workers = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--kernels"))
+      A.Kernels = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--requests"))
+      A.Requests = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--kills"))
+      A.Kills = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--midwrite-kills"))
+      A.MidwriteKills = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--jit-faults"))
+      A.JitFaults = unsigned(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Val("--seed"))
+      A.Seed = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Val("--json"))
+      A.JsonPath = V;
+    else {
+      std::fprintf(stderr,
+                   "usage: vpod_chaos [--workers=N] [--kernels=N] "
+                   "[--requests=N] [--kills=N] [--midwrite-kills=N] "
+                   "[--jit-faults=N] [--seed=N] [--json=P]\n");
+      A.Ok = false;
+      return A;
+    }
+  }
+  if (A.MidwriteKills > A.Kills)
+    A.MidwriteKills = A.Kills;
+  return A;
+}
+
+#ifdef VPO_CHAOS_POSIX
+
+volatile std::sig_atomic_t ChaosDrainFlag = 0;
+void onChaosTerm(int) { ChaosDrainFlag = 1; }
+
+/// Forks a daemon on \p Socket backed by \p Journal. The child installs
+/// a SIGTERM handler wired to the daemon's drain flag, so the final
+/// SIGTERM in the harness tests the graceful-drain path, not signal
+/// death. \returns the child pid, or -1.
+long startDaemon(const std::string &Socket, const std::string &Journal,
+                 unsigned Workers) {
+  long Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  ChaosDrainFlag = 0;
+  std::signal(SIGTERM, onChaosTerm);
+  DaemonOptions DO;
+  DO.SocketPath = Socket;
+  DO.Workers = Workers;
+  DO.Limits.AllowFaultInjection = true;
+  DO.CacheJournalPath = Journal;
+  DO.DrainFlag = &ChaosDrainFlag;
+  DO.DrainDeadlineMs = 3000;
+  Daemon D(DO);
+  if (!D.start())
+    ::_exit(1);
+  D.run();
+  ::_exit(0);
+}
+
+/// Blocks until a ping round-trips (the restarted daemon owns the
+/// socket again). \returns false after ~5s of refusals.
+bool awaitUp(const std::string &Socket) {
+  for (int Try = 0; Try < 100; ++Try) {
+    ServiceClient C;
+    if (C.connectTo(Socket)) {
+      ServiceRequest Req;
+      Req.Op = "ping";
+      Req.Id = "up";
+      if (StatusOr<ServiceResponse> R = C.call(Req))
+        return true;
+    }
+    timespec TS = {0, 50'000'000};
+    nanosleep(&TS, nullptr);
+  }
+  return false;
+}
+
+void killHard(long Pid) {
+  ::kill(pid_t(Pid), SIGKILL);
+  int St = 0;
+  ::waitpid(pid_t(Pid), &St, 0);
+}
+
+/// Simulated torn write: chop 1..CutMax bytes off the journal tail, as
+/// if the daemon died inside an append. Recovery must truncate back to
+/// the last committed record and serve the lost entry as a clean miss.
+bool tearJournalTail(const std::string &Path, uint64_t Cut) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return false;
+  if (uint64_t(St.st_size) <= Cut + 64)
+    return false; // keep at least the first records intact
+  return ::truncate(Path.c_str(), off_t(uint64_t(St.st_size) - Cut)) == 0;
+}
+
+struct PreparedKernel {
+  std::string IRText;
+  std::string RunArgs;
+};
+
+std::string renderArgs(const std::vector<int64_t> &Args) {
+  std::string Out;
+  for (int64_t A : Args) {
+    if (!Out.empty())
+      Out += ",";
+    Out += std::to_string(A);
+  }
+  return Out;
+}
+
+PreparedKernel prepareKernel(uint64_t Seed) {
+  fuzz::GeneratedKernel GK = fuzz::generateKernel(Seed);
+  Memory Scratch;
+  PreparedKernel P;
+  P.IRText = GK.IRText;
+  P.RunArgs =
+      renderArgs(fuzz::setupKernelMemory(GK.Spec, 16, Scratch, /*Skew=*/0));
+  return P;
+}
+
+ServiceRequest makeReq(const PreparedKernel &P, const std::string &Config,
+                       const std::string &Id) {
+  ServiceRequest Req;
+  Req.Id = Id;
+  Req.IR = P.IRText;
+  Req.Config = Config;
+  Req.RunArgs = P.RunArgs;
+  Req.ArenaKB = 1024;
+  Req.WantRemarks = true;
+  return Req;
+}
+
+/// In-process reference at the rung the daemon reported. Crash, hang,
+/// and jit-wild-store plants are stripped: the first two killed a worker
+/// and were answered by a clean retry, and a quarantined wild store is
+/// replayed per-op on the interpreter, so the architecturally exact
+/// clean answer is the correct one for all three.
+ServiceResponse referenceFor(const ServiceRequest &Req, unsigned Rung) {
+  ServiceRequest Ref = Req;
+  if (Ref.Fault.compare(0, 5, "crash") == 0 ||
+      Ref.Fault.compare(0, 4, "hang") == 0 ||
+      Ref.Fault.compare(0, 14, "jit-wild-store") == 0)
+    Ref.Fault.clear();
+  Ref.Rung = Rung;
+  WorkerLimits Limits;
+  Limits.AllowFaultInjection = !Ref.Fault.empty();
+  return compileServiceRequest(Ref, Limits);
+}
+
+bool matchesReference(const ServiceResponse &Got, const ServiceRequest &Req,
+                      std::string &Why) {
+  ServiceResponse Want = referenceFor(Req, Got.Rung);
+  if (Got.Status != Want.Status) {
+    Why = std::string("status ") + errorCodeName(Got.Status) + " != " +
+          errorCodeName(Want.Status);
+    return false;
+  }
+  if (Got.Key != Want.Key) {
+    Why = "content key diverged (rung " + std::to_string(Got.Rung) +
+          (Got.Cached ? ", cached" : "") + "): " + Got.Key +
+          " != " + Want.Key;
+    return false;
+  }
+  if (Req.WantIR && Got.IR != Want.IR) {
+    Why = "optimized IR diverged at rung " + std::to_string(Got.Rung);
+    return false;
+  }
+  if (Got.Ran != Want.Ran || Got.RunStatus != Want.RunStatus ||
+      Got.ReturnValue != Want.ReturnValue) {
+    Why = "run outcome diverged (" + Got.RunStatus + " ret " +
+          std::to_string(Got.ReturnValue) + " vs " + Want.RunStatus +
+          " ret " + std::to_string(Want.ReturnValue) + ")";
+    return false;
+  }
+  return true;
+}
+
+uint64_t extraOf(const ServiceResponse &R, const char *Key) {
+  for (const auto &KV : R.Extra)
+    if (KV.first == Key)
+      return std::strtoull(KV.second.c_str(), nullptr, 10);
+  return 0;
+}
+
+int runChaos(const ChaosArgs &A) {
+  std::string Tag = std::to_string(long(::getpid()));
+  std::string Socket = "vpod_chaos_" + Tag + ".sock";
+  std::string Journal = "vpod_chaos_" + Tag + ".vpj";
+  ::unlink(Journal.c_str());
+  ::unlink((Journal + ".tmp").c_str());
+
+  long Pid = startDaemon(Socket, Journal, A.Workers);
+  if (Pid < 0) {
+    std::fprintf(stderr, "vpod_chaos: fork failed\n");
+    return 1;
+  }
+  if (!awaitUp(Socket)) {
+    std::fprintf(stderr, "vpod_chaos: daemon never came up\n");
+    killHard(Pid);
+    return 1;
+  }
+
+  std::vector<PreparedKernel> Pool;
+  for (unsigned I = 0; I < A.Kernels; ++I)
+    Pool.push_back(prepareKernel(A.Seed * 1000 + I));
+
+  RNG Rng(A.Seed * 7919 + 29);
+
+  // Kill schedule: spread across the middle of the campaign so the
+  // journal is warm before the first kill; the first MidwriteKills of
+  // them land mid-journal-write with a simulated torn tail.
+  std::set<unsigned> KillSet;
+  std::vector<unsigned> KillAt;
+  unsigned Lo = std::max(1u, A.Requests / 10);
+  unsigned Span = A.Requests > Lo + A.Kills ? A.Requests - Lo : A.Kills;
+  for (unsigned K = 0; K < A.Kills; ++K) {
+    unsigned At = Lo + (K * Span) / std::max(1u, A.Kills) +
+                  unsigned(Rng.nextBelow(std::max<uint64_t>(
+                      1, Span / (2 * std::max(1u, A.Kills)))));
+    while (KillSet.count(At))
+      ++At;
+    KillSet.insert(At);
+  }
+  KillAt.assign(KillSet.begin(), KillSet.end());
+
+  // JIT wild-store plants, spread evenly, dodging kill points.
+  std::set<unsigned> JitAt;
+  for (unsigned K = 0; K < A.JitFaults; ++K) {
+    unsigned At = 2 + (K * A.Requests) / std::max(1u, A.JitFaults + 1);
+    while (KillSet.count(At) || JitAt.count(At))
+      ++At;
+    JitAt.insert(At);
+  }
+  bool JitAvailable = jit::nativeAvailability().Ok;
+
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 15;
+  Policy.BaseDelayMs = 25;
+  Policy.MaxDelayMs = 1000;
+  Policy.JitterSeed = A.Seed;
+  RetryingClient Client(Socket, Policy);
+
+  unsigned CorruptServes = 0, Unanswered = 0, Correct = 0, Failures = 0;
+  auto Fail = [&Failures](const std::string &Id, const std::string &Why) {
+    ++Failures;
+    std::fprintf(stderr, "vpod_chaos: FAIL %s: %s\n", Id.c_str(),
+                 Why.c_str());
+  };
+
+  // Journal the warm-hit sentinel before any kill: pool[0] at rung 0.
+  ServiceRequest Sentinel = makeReq(Pool[0], "coalesce-all", "sentinel");
+  {
+    StatusOr<ServiceResponse> R = Client.call(Sentinel);
+    std::string Why;
+    if (!R)
+      Fail("sentinel", R.status().message());
+    else if (R->Status != ErrorCode::Ok || !matchesReference(*R, Sentinel, Why))
+      Fail("sentinel", Why.empty() ? R->Error : Why);
+  }
+
+  static const char *Configs[] = {"vpo-O", "coalesce-loads", "coalesce-all",
+                                  "coalesce-all+companions",
+                                  "coalesce-all-u4"};
+  unsigned Restarts = 0, MidwriteDone = 0, Truncations = 0;
+  unsigned WarmHitsAfterRestart = 0, BurstChecked = 0;
+  unsigned JitPlanted = 0, JitRemarks = 0, CrashPlants = 0, HangPlants = 0;
+  unsigned DegradedSeen = 0, ReloadsSent = 0;
+  uint64_t RecoveredTotal = 0, DiscardedTotal = 0, TornSeen = 0;
+  uint64_t BurstSeed = A.Seed * 500000 + 1;
+  size_t KillCursor = 0;
+
+  for (unsigned J = 0; J < A.Requests; ++J) {
+    // ---- Scheduled daemon kill (before request J is issued). ----
+    if (KillCursor < KillAt.size() && J == KillAt[KillCursor]) {
+      bool Midwrite = KillCursor < A.MidwriteKills;
+      std::vector<ServiceRequest> Burst;
+      if (Midwrite) {
+        // Pipeline novel kernels so journal appends are in flight when
+        // the kill lands; drain half so some records are committed and
+        // the tail tear lands on real data.
+        ServiceClient Raw;
+        if (Raw.connectTo(Socket)) {
+          for (unsigned B = 0; B < 6; ++B) {
+            PreparedKernel PK = prepareKernel(BurstSeed++);
+            ServiceRequest BReq =
+                makeReq(PK, "coalesce-all",
+                        "burst-" + std::to_string(KillCursor) + "-" +
+                            std::to_string(B));
+            if (Raw.send(BReq))
+              Burst.push_back(std::move(BReq));
+          }
+          for (unsigned B = 0; B < 3 && B < Burst.size(); ++B) {
+            StatusOr<ServiceResponse> R = Raw.receive();
+            if (!R)
+              break;
+            std::string Why;
+            ++BurstChecked;
+            if (R->Id != Burst[B].Id) {
+              ++CorruptServes;
+              Fail(Burst[B].Id, "response misordered: got id " + R->Id);
+            } else if (R->Status != ErrorCode::Ok ||
+                       !matchesReference(*R, Burst[B], Why)) {
+              ++CorruptServes;
+              Fail(Burst[B].Id, Why.empty() ? R->Error : Why);
+            }
+          }
+        }
+        timespec TS = {0, 5'000'000}; // 5ms: appends still in flight
+        nanosleep(&TS, nullptr);
+      }
+      killHard(Pid);
+      ++Restarts;
+      Client.disconnect();
+      if (Midwrite) {
+        ++MidwriteDone;
+        if (tearJournalTail(Journal, 1 + Rng.nextBelow(23)))
+          ++Truncations;
+      }
+      Pid = startDaemon(Socket, Journal, A.Workers);
+      if (Pid < 0 || !awaitUp(Socket)) {
+        Fail("restart", "daemon did not come back after kill " +
+                            std::to_string(KillCursor));
+        ++KillCursor;
+        continue;
+      }
+      // Recovery stats for the boot that just happened.
+      ServiceRequest StReq;
+      StReq.Op = "status";
+      StReq.Id = "st-" + std::to_string(KillCursor);
+      if (StatusOr<ServiceResponse> R = Client.call(StReq)) {
+        RecoveredTotal += extraOf(*R, "cache_recovered");
+        DiscardedTotal += extraOf(*R, "cache_discarded");
+        TornSeen += extraOf(*R, "cache_torn_tail");
+      }
+      // Warm-hit probe: the sentinel was journaled before the first
+      // kill; the recovered cache must serve it without the pool.
+      ServiceRequest Probe = Sentinel;
+      Probe.Id = "warm-" + std::to_string(KillCursor);
+      if (StatusOr<ServiceResponse> R = Client.call(Probe)) {
+        std::string Why;
+        if (R->Status == ErrorCode::Ok && !matchesReference(*R, Probe, Why)) {
+          ++CorruptServes;
+          Fail(Probe.Id, "recovered cache served a corrupt sentinel: " + Why);
+        } else if (R->Cached) {
+          ++WarmHitsAfterRestart;
+        }
+      }
+      // Burst kernels whose journal records were possibly torn off:
+      // each must now be either an exact warm hit or a clean recompute.
+      for (const ServiceRequest &BReq : Burst) {
+        ServiceRequest Re = BReq;
+        Re.Id = BReq.Id + "-re";
+        StatusOr<ServiceResponse> R = Client.call(Re);
+        if (!R)
+          continue; // availability of extras is not gated; bytes are
+        std::string Why;
+        ++BurstChecked;
+        if (R->Status != ErrorCode::Ok || !matchesReference(*R, Re, Why)) {
+          ++CorruptServes;
+          Fail(Re.Id, Why.empty() ? R->Error : Why);
+        }
+      }
+      // Exercise op=reload once: journal re-open plus probation probes.
+      if (ReloadsSent == 0) {
+        ServiceRequest RReq;
+        RReq.Op = "reload";
+        RReq.Id = "reload-0";
+        if (StatusOr<ServiceResponse> R = Client.call(RReq)) {
+          ++ReloadsSent;
+          if (R->Status != ErrorCode::Ok)
+            Fail(RReq.Id, "reload failed: " + R->Error);
+        }
+      }
+      ++KillCursor;
+    }
+
+    // ---- One campaign request through the retrying client. ----
+    const PreparedKernel &P = Pool[Rng.nextBelow(Pool.size())];
+    ServiceRequest Req =
+        makeReq(P, Configs[Rng.nextBelow(5)], "c-" + std::to_string(J));
+    uint64_t Dice = Rng.nextBelow(20);
+    bool ExpectDegraded = false;
+    if (JitAt.count(J)) {
+      Req.Fault = "jit-wild-store";
+      ++JitPlanted;
+    } else if (Dice < 2) {
+      Req.Fault = "crash";
+      ExpectDegraded = true;
+      ++CrashPlants;
+    } else if (Dice == 2) {
+      Req.Fault = "crash:1";
+      ExpectDegraded = true;
+      ++CrashPlants;
+    } else if (Dice == 3) {
+      Req.Fault = "hang";
+      Req.DeadlineMs = 250;
+      ExpectDegraded = true;
+      ++HangPlants;
+    } else if (Dice == 4) {
+      Req.IR = "\n" + Req.IR + "\n  \n";
+    }
+    StatusOr<ServiceResponse> R = Client.call(Req);
+    if (!R) {
+      ++Unanswered;
+      Fail(Req.Id, R.status().message());
+      continue;
+    }
+    if (R->Status != ErrorCode::Ok) {
+      Fail(Req.Id, std::string("status ") + errorCodeName(R->Status) + ": " +
+                       R->Error);
+      continue;
+    }
+    if (ExpectDegraded && R->Rung == 0) {
+      Fail(Req.Id, "planted " + Req.Fault + " but got a rung-0 answer");
+      continue;
+    }
+    std::string Why;
+    if (!matchesReference(*R, Req, Why)) {
+      ++CorruptServes;
+      Fail(Req.Id, Why);
+      continue;
+    }
+    if (JitAt.count(J) && JitAvailable &&
+        R->Remarks.find("jit-native-fault") != std::string::npos)
+      ++JitRemarks;
+    ++Correct;
+    if (R->Rung > 0)
+      ++DegradedSeen;
+  }
+
+  // Final counters from the surviving daemon.
+  uint64_t SrvCrashes = 0, SrvRespawns = 0, SrvHits = 0, SrvProbes = 0;
+  uint64_t SrvSticky = 0, FinalRecovered = 0;
+  uint64_t SrvJournalBytes = 0, SrvCompactions = 0;
+  {
+    ServiceRequest Req;
+    Req.Op = "status";
+    Req.Id = "status-final";
+    if (StatusOr<ServiceResponse> R = Client.call(Req)) {
+      SrvCrashes = extraOf(*R, "worker_crashes");
+      SrvRespawns = extraOf(*R, "respawns");
+      SrvHits = extraOf(*R, "cache_hits");
+      SrvProbes = extraOf(*R, "probes");
+      SrvSticky = extraOf(*R, "sticky_degraded");
+      FinalRecovered = extraOf(*R, "cache_recovered");
+      SrvJournalBytes = extraOf(*R, "journal_bytes");
+      SrvCompactions = extraOf(*R, "compactions");
+    } else {
+      Fail("status-final", R.status().message());
+    }
+  }
+
+  // Graceful drain: SIGTERM must produce a clean exit 0, never signal
+  // death, with the journal fsynced and closed on the way out.
+  bool DrainCleanExit = false;
+  {
+    ::kill(pid_t(Pid), SIGTERM);
+    int St = 0;
+    ::waitpid(pid_t(Pid), &St, 0);
+    DrainCleanExit = WIFEXITED(St) && WEXITSTATUS(St) == 0;
+    if (!DrainCleanExit)
+      Fail("drain", WIFSIGNALED(St)
+                        ? "daemon died on SIGTERM (signal " +
+                              std::to_string(WTERMSIG(St)) + ")"
+                        : "daemon exited " + std::to_string(WEXITSTATUS(St)) +
+                              " from drain");
+  }
+
+  double Availability =
+      A.Requests == 0 ? 1.0 : double(Correct) / double(A.Requests);
+
+  // Hard gates beyond per-request failures.
+  if (CorruptServes > 0)
+    Fail("gate", "corrupt serves: " + std::to_string(CorruptServes));
+  if (WarmHitsAfterRestart == 0 && Restarts > 0)
+    Fail("gate", "no warm cache hit from the recovered journal");
+  if (RecoveredTotal == 0 && Restarts > 0)
+    Fail("gate", "no boot ever recovered journal entries");
+  if (JitAvailable && JitPlanted >= 3 && JitRemarks < 3)
+    Fail("gate", "expected >=3 jit-native-fault remarks, saw " +
+                     std::to_string(JitRemarks));
+
+  std::printf("vpod_chaos: %u requests, %u kills (%u mid-write, %u tail "
+              "tears), %u restarts\n",
+              A.Requests, unsigned(KillAt.size()), MidwriteDone, Truncations,
+              Restarts);
+  std::printf("  correct %u/%u  availability %.4f  corrupt serves %u  "
+              "unanswered %u\n",
+              Correct, A.Requests, Availability, CorruptServes, Unanswered);
+  std::printf("  recovery: entries=%llu discarded=%llu torn-boots=%llu "
+              "warm-hits-after-restart=%u burst-rechecked=%u\n",
+              (unsigned long long)RecoveredTotal,
+              (unsigned long long)DiscardedTotal, (unsigned long long)TornSeen,
+              WarmHitsAfterRestart, BurstChecked);
+  std::printf("  faults: crash=%u hang=%u jit-planted=%u jit-remarks=%u "
+              "degraded=%u (native jit %s)\n",
+              CrashPlants, HangPlants, JitPlanted, JitRemarks, DegradedSeen,
+              JitAvailable ? "on" : "off");
+  std::printf("  daemon: crashes=%llu respawns=%llu hits=%llu probes=%llu "
+              "sticky=%llu reloads-sent=%u drain-exit=%s\n",
+              (unsigned long long)SrvCrashes, (unsigned long long)SrvRespawns,
+              (unsigned long long)SrvHits, (unsigned long long)SrvProbes,
+              (unsigned long long)SrvSticky, ReloadsSent,
+              DrainCleanExit ? "clean" : "DIRTY");
+
+  std::string Json = "{\n";
+  auto Num = [&Json](const char *K, double V, bool Last = false) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", V);
+    Json += std::string("  \"") + K + "\": " + Buf + (Last ? "\n" : ",\n");
+  };
+  auto Int = [&Json](const char *K, uint64_t V) {
+    Json += std::string("  \"") + K + "\": " + std::to_string(V) + ",\n";
+  };
+  Json += "  \"name\": \"vpod_chaos\",\n";
+  Int("workers", A.Workers);
+  Int("requests", A.Requests);
+  Int("correct", Correct);
+  Int("corrupt_serves", CorruptServes);
+  Int("unanswered", Unanswered);
+  Int("kills", KillAt.size());
+  Int("midwrite_kills", MidwriteDone);
+  Int("journal_truncations", Truncations);
+  Int("daemon_restarts", Restarts);
+  Int("warm_hits_after_restart", WarmHitsAfterRestart);
+  Int("burst_rechecked", BurstChecked);
+  Int("cache_recovered_total", RecoveredTotal);
+  Int("cache_recovered_last", FinalRecovered);
+  Int("cache_discarded_total", DiscardedTotal);
+  Int("torn_tail_boots", TornSeen);
+  Int("journal_bytes", SrvJournalBytes);
+  Int("compactions", SrvCompactions);
+  Int("crash_plants", CrashPlants);
+  Int("hang_plants", HangPlants);
+  Int("jit_native_available", JitAvailable ? 1 : 0);
+  Int("jit_faults_planted", JitPlanted);
+  Int("jit_fault_remarks", JitRemarks);
+  Int("degraded", DegradedSeen);
+  Int("worker_crashes", SrvCrashes);
+  Int("respawns", SrvRespawns);
+  Int("probes", SrvProbes);
+  Int("sticky_degraded", SrvSticky);
+  Int("reloads_sent", ReloadsSent);
+  Int("client_retries", unsigned(Client.retries()));
+  Int("client_reconnects", unsigned(Client.reconnects()));
+  Int("drain_clean_exit", DrainCleanExit ? 1 : 0);
+  Num("availability", Availability, /*Last=*/true);
+  Json += "}\n";
+  std::FILE *F = std::fopen(A.JsonPath.c_str(), "w");
+  if (F) {
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("  wrote %s\n", A.JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "vpod_chaos: cannot write %s\n", A.JsonPath.c_str());
+    ++Failures;
+  }
+
+  ::unlink(Journal.c_str());
+  ::unlink((Journal + ".tmp").c_str());
+
+  if (Failures) {
+    std::fprintf(stderr, "vpod_chaos: %u failure(s)\n", Failures);
+    return 1;
+  }
+  return 0;
+}
+
+#endif // VPO_CHAOS_POSIX
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ChaosArgs A = parseArgs(Argc, Argv);
+  if (!A.Ok)
+    return 2;
+#ifdef VPO_CHAOS_POSIX
+  return runChaos(A);
+#else
+  std::fprintf(stderr, "vpod_chaos: requires a POSIX platform\n");
+  return 0;
+#endif
+}

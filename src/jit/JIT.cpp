@@ -39,7 +39,10 @@
 
 #include "jit/CodeBuffer.h"
 #include "jit/Emitter.h"
+#include "jit/NativeFault.h"
 
+#include <algorithm>
+#include <csetjmp>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
@@ -201,7 +204,8 @@ size_t JITProgram::codeBytes() const { return Buf->used(); }
 size_t JITProgram::codeCapacity() const { return Buf->capacity(); }
 
 std::shared_ptr<JITProgram> JITProgram::create(const DecodedFunction &DF,
-                                               size_t MaxCodeBytes) {
+                                               size_t MaxCodeBytes,
+                                               uint32_t PlantWildStore) {
   if (!nativeAvailability().Ok)
     return nullptr;
   if (DF.Ops.empty() || DF.BlockStart.empty())
@@ -215,6 +219,7 @@ std::shared_ptr<JITProgram> JITProgram::create(const DecodedFunction &DF,
   if (!Buf)
     return nullptr;
   std::shared_ptr<JITProgram> P(new JITProgram(DF, std::move(Buf)));
+  P->PlantWildStoreOnCompile = PlantWildStore;
   if (!P->emitProlog())
     return nullptr;
   return P;
@@ -290,6 +295,8 @@ bool JITProgram::compileBlock(uint32_t B) {
     // stay on their cold stubs — Pending[B] is only drained on success.
     Blocks[B].EntryOff = kNoOffset;
     Blocks[B].Failed = true;
+    Blocks[B].CodeStart = Blocks[B].CodeEnd = kNoOffset;
+    Blocks[B].Sites.clear();
     ++Stats.CompileFailures;
     return false;
   };
@@ -344,8 +351,26 @@ bool JITProgram::compileBlock(uint32_t B) {
   size_t BudgetSite = E.jcc32(CC_B);
   E.aluImm(ALU_SUB, R13, Len);
 
+  // Fault injector: corrupt this block (if it is the chosen compile
+  // ordinal) with a store to a non-canonical address, placed before the
+  // first op so the faulting op's prefix is empty and quarantine replay
+  // re-executes the whole block on the interpreter.
+  const bool PlantHere = PlantWildStoreOnCompile != 0 &&
+                         Stats.BlocksCompiled + 1 == PlantWildStoreOnCompile;
+
   bool SawTerminator = false;
   for (uint32_t Idx = Start; Idx < End; ++Idx) {
+    // The op-site table drives fault attribution: each entry marks where
+    // an op's emitted sequence begins (still local offsets here; rebased
+    // after append) and the memory-counter prefix committed before it.
+    Blocks[B].Sites.push_back({E.size(), Idx, static_cast<int32_t>(NLoads),
+                               static_cast<int32_t>(NStores),
+                               static_cast<int32_t>(NLoadBytes),
+                               static_cast<int32_t>(NStoreBytes)});
+    if (Idx == Start && PlantHere) {
+      E.movImm64(RAX, 0xdead'beef'dead'beefULL); // non-canonical: #GP/SIGSEGV
+      E.movMR(RAX, 0, RAX);
+    }
     const DecodedOp &D = DF.Ops[Idx];
     const bool IsLast = Idx + 1 == End;
     const int32_t Refund = Len - static_cast<int32_t>(Idx - Start) - 1;
@@ -647,6 +672,11 @@ bool JITProgram::compileBlock(uint32_t B) {
   if (!SawTerminator)
     return Fail();
 
+  // Sentinel site marking the end of op code: everything after it (trap
+  // and budget stubs) is exit plumbing where a hardware fault cannot be
+  // attributed to an op — attributeFault() refuses it.
+  Blocks[B].Sites.push_back({E.size(), UINT32_MAX, 0, 0, 0, 0});
+
   // Trap stubs: land each failed check here, commit the prefix counters,
   // refund the unexecuted suffix's budget and report the trap site.
   for (const TrapFixup &T : Traps) {
@@ -684,6 +714,10 @@ bool JITProgram::compileBlock(uint32_t B) {
   // Entry is live before relocation so this block's own branches (and any
   // block compiled by coldStub below) chain straight back to it.
   Blocks[B].EntryOff = BaseOff;
+  Blocks[B].CodeStart = BaseOff;
+  Blocks[B].CodeEnd = BaseOff + E.size();
+  for (OpSite &S : Blocks[B].Sites)
+    S.CodeOff += BaseOff; // rebase local offsets to buffer-absolute
 
   for (const Reloc &R : Relocs) {
     size_t Site = BaseOff + R.Site;
@@ -692,6 +726,8 @@ bool JITProgram::compileBlock(uint32_t B) {
       Target = EpilogueOff;
     } else if (compiled(R.Target)) {
       Target = Blocks[R.Target].EntryOff;
+      // Quarantine must be able to un-chain this direct jump later.
+      Blocks[R.Target].ChainSites.push_back(Site);
     } else {
       Target = coldStub(R.Target);
       if (Target == kNoOffset)
@@ -703,16 +739,72 @@ bool JITProgram::compileBlock(uint32_t B) {
                                       static_cast<int64_t>(Site + 4)));
   }
 
-  // Chain every site that was waiting on this block.
-  for (size_t Site : Pending[B])
+  // Chain every site that was waiting on this block, and remember each
+  // one — quarantine re-points them at the deopt stub.
+  for (size_t Site : Pending[B]) {
     Buf->patch32(Site,
                  static_cast<int32_t>(static_cast<int64_t>(BaseOff) -
                                       static_cast<int64_t>(Site + 4)));
+    Blocks[B].ChainSites.push_back(Site);
+  }
   Pending[B].clear();
 
   ++Stats.BlocksCompiled;
   Stats.BytesEmitted += E.size();
   return true;
+}
+
+bool JITProgram::attributeFault(uint64_t PcOff, uint32_t &B,
+                                const OpSite *&Site) const {
+  for (uint32_t I = 0; I < Blocks.size(); ++I) {
+    const BlockInfo &BI = Blocks[I];
+    if (BI.CodeStart == kNoOffset || PcOff < BI.CodeStart ||
+        PcOff >= BI.CodeEnd)
+      continue;
+    // Last site whose code starts at or before the pc. A pc before the
+    // first site is the block's budget guard; a pc at or past the
+    // sentinel is a trap/budget stub — neither is an op.
+    auto It = std::upper_bound(
+        BI.Sites.begin(), BI.Sites.end(), PcOff,
+        [](uint64_t P, const OpSite &S) { return P < S.CodeOff; });
+    if (It == BI.Sites.begin())
+      return false;
+    --It;
+    if (It->OpIdx == UINT32_MAX)
+      return false;
+    B = I;
+    Site = &*It;
+    return true;
+  }
+  return false;
+}
+
+void JITProgram::quarantineBlock(uint32_t B) {
+  BlockInfo &BI = Blocks[B];
+  if (BI.Quarantined)
+    return;
+  // Permanent deopt: every jump that chained to this block goes back to
+  // the per-target deopt stub, the entry is cleared so the driver
+  // interprets it, and Failed pins it out of future promotion.
+  if (!Buf->makeWritable()) {
+    Broken = true;
+  } else {
+    size_t Stub = coldStub(B);
+    if (Stub == kNoOffset) {
+      Broken = true;
+    } else {
+      for (size_t Site : BI.ChainSites)
+        Buf->patch32(Site,
+                     static_cast<int32_t>(static_cast<int64_t>(Stub) -
+                                          static_cast<int64_t>(Site + 4)));
+    }
+  }
+  BI.EntryOff = kNoOffset;
+  BI.Failed = true;
+  BI.Quarantined = true;
+  BI.CodeStart = BI.CodeEnd = kNoOffset;
+  BI.ChainSites.clear();
+  ++Stats.BlocksQuarantined;
 }
 
 ExitKind JITProgram::run(uint32_t B, ExecState &S) {
@@ -728,6 +820,51 @@ ExitKind JITProgram::run(uint32_t B, ExecState &S) {
   using EntryFn = uint64_t (*)(ExecState *, const void *);
   auto Fn = reinterpret_cast<EntryFn>(
       reinterpret_cast<uintptr_t>(Buf->base() + TrampOff));
+
+  // Hardware-fault containment: handlers live only across the native
+  // call. A SIGSEGV/SIGBUS/SIGFPE inside the code buffer longjmps back
+  // here instead of killing the process.
+  NativeFaultScope Scope(Buf->base(), Buf->used());
+  if (sigsetjmp(Scope.jmp(), 1) != 0) {
+    const NativeFaultInfo &FI = Scope.fault();
+    ++Stats.NativeFaults;
+    LastFault = NativeFaultRecord();
+    LastFault.Sig = FI.Sig;
+    LastFault.PcOff = FI.PcOff;
+    uint32_t FB = 0;
+    const OpSite *Site = nullptr;
+    if (FI.PcInCode && FI.HaveRegs && attributeFault(FI.PcOff, FB, Site)) {
+      // The faulting op's emitted sequence began but none of its effects
+      // are observable through ExecState: value-pool/memory writes are
+      // each op's last emission, and counter adds batch at terminators.
+      // So the architectural state *is* "every op before Site->OpIdx in
+      // this block committed" — rebuild the budget from the live r13 the
+      // handler captured (entry guard pre-subtracted the whole block)
+      // plus the unexecuted suffix, add the compile-time counter prefix,
+      // quarantine, and let the interpreter resume at the faulting op.
+      const uint32_t BStart = DF.BlockStart[FB];
+      const uint32_t BEnd = FB + 1 < DF.BlockStart.size()
+                                ? DF.BlockStart[FB + 1]
+                                : static_cast<uint32_t>(DF.Ops.size());
+      const uint64_t Executed = Site->OpIdx - BStart;
+      S.StepsRemaining = FI.R13 + (uint64_t(BEnd - BStart) - Executed);
+      S.Loads += static_cast<uint64_t>(Site->PrefLoads);
+      S.Stores += static_cast<uint64_t>(Site->PrefStores);
+      S.LoadBytes += static_cast<uint64_t>(Site->PrefLoadBytes);
+      S.StoreBytes += static_cast<uint64_t>(Site->PrefStoreBytes);
+      quarantineBlock(FB);
+      LastFault.Block = FB;
+      LastFault.ResumeOp = Site->OpIdx;
+      LastFault.Attributed = true;
+    } else {
+      // Stub, trampoline or wild pc: nothing is known about what
+      // committed. The program is unusable and the run unrecoverable.
+      Broken = true;
+      LastFault.Attributed = false;
+    }
+    S.Exit = static_cast<uint64_t>(ExitKind::NativeFault);
+    return ExitKind::NativeFault;
+  }
   Fn(&S, Buf->base() + Blocks[B].EntryOff);
   return static_cast<ExitKind>(S.Exit);
 }

@@ -69,6 +69,11 @@ enum class ExitKind : uint64_t {
   Ret = 0,   ///< the function returned; ExecState::ReturnValue is set
   Deopt = 1, ///< resume interpretation at block ExecState::ResumeBlock
   Trap = 2,  ///< run ended at a trap; Trap/TrapOp/TrapAddr describe it
+  /// A hardware fault (SIGSEGV/SIGBUS/SIGFPE) escaped the emitted code;
+  /// the faulting block is quarantined and lastFault() describes it.
+  /// Never stored in ExecState::Exit by emitted code — synthesized by
+  /// run() after the fault handler longjmps out.
+  NativeFault = 3,
 };
 
 enum class TrapKind : uint64_t {
@@ -111,6 +116,22 @@ struct ProgramStats {
   uint64_t BlocksCompiled = 0;
   uint64_t BytesEmitted = 0;
   uint64_t CompileFailures = 0;
+  uint64_t NativeFaults = 0;      ///< hardware faults contained in run()
+  uint64_t BlocksQuarantined = 0; ///< blocks permanently deopted by faults
+};
+
+/// Description of the last contained hardware fault (ExitKind::NativeFault).
+struct NativeFaultRecord {
+  int Sig = 0;            ///< SIGSEGV, SIGBUS or SIGFPE
+  uint64_t PcOff = 0;     ///< fault pc offset into the code buffer
+  uint32_t Block = ~0u;   ///< quarantined block (valid when Attributed)
+  uint32_t ResumeOp = 0;  ///< global op index to resume interpretation at
+  /// True when the pc mapped to an op site: the ExecState counters and
+  /// budget have been compensated to "everything before ResumeOp
+  /// committed" and the interpreter can resume exactly there. False means
+  /// the fault hit a stub or a wild pc — nothing is known about what
+  /// committed, the program is broken() and the run must be abandoned.
+  bool Attributed = false;
 };
 
 /// Compiled-code container for one DecodedFunction: per-block native
@@ -127,9 +148,14 @@ public:
   /// \returns null when native execution is unavailable or \p DF is not
   /// JIT-able (no blocks, or the value pool exceeds addressable range).
   /// \p DF must outlive the program. \p MaxCodeBytes bounds the code
-  /// reservation.
+  /// reservation. \p PlantWildStoreOnCompile is the seeded fault
+  /// injector: when nonzero, the Nth block to compile gets a wild store
+  /// to a non-canonical address planted before its first op — the
+  /// "miscompiled template" the quarantine tests and the chaos harness
+  /// prove containment against. Never set outside test rigs.
   static std::shared_ptr<JITProgram> create(const DecodedFunction &DF,
-                                            size_t MaxCodeBytes);
+                                            size_t MaxCodeBytes,
+                                            uint32_t PlantWildStoreOnCompile = 0);
 
   ~JITProgram();
 
@@ -141,6 +167,11 @@ public:
   }
   bool compiled(uint32_t B) const { return Blocks[B].EntryOff != kNoOffset; }
   bool compileFailed(uint32_t B) const { return Blocks[B].Failed; }
+  /// True when a hardware fault permanently deopted \p B: its chain sites
+  /// are patched back to the deopt stub and it will never recompile
+  /// (quarantined blocks report compileFailed() so the driver's promotion
+  /// logic needs no special case).
+  bool quarantined(uint32_t B) const { return Blocks[B].Quarantined; }
   /// True after an unrecoverable native failure (W^X flip refused); the
   /// driver must stop attempting native entry for this program.
   bool broken() const { return Broken; }
@@ -160,6 +191,9 @@ public:
   /// in place.
   ExitKind run(uint32_t B, ExecState &S);
 
+  /// Valid after run() returned ExitKind::NativeFault.
+  const NativeFaultRecord &lastFault() const { return LastFault; }
+
   const ProgramStats &stats() const { return Stats; }
 
   // Introspection for tests.
@@ -169,16 +203,41 @@ public:
 private:
   static constexpr size_t kNoOffset = ~size_t(0);
 
+  /// Maps a code offset back to the op whose emitted sequence contains
+  /// it, with the memory-counter prefix of the ops before it — what fault
+  /// attribution needs to rebuild exact architectural state mid-block.
+  struct OpSite {
+    size_t CodeOff;  ///< absolute buffer offset where the op's code starts
+    uint32_t OpIdx;  ///< global (DF.Ops) index
+    int32_t PrefLoads, PrefStores, PrefLoadBytes, PrefStoreBytes;
+  };
+
   struct BlockInfo {
     size_t EntryOff = kNoOffset;
     uint64_t Hot = 0;
     bool Failed = false;
+    bool Quarantined = false;
+    /// Absolute extent of the block's emitted code (entry guard, ops,
+    /// trap stubs) — the fault-attribution range.
+    size_t CodeStart = kNoOffset;
+    size_t CodeEnd = kNoOffset;
+    std::vector<OpSite> Sites;
+    /// Every rel32 site ever patched to jump to this block's entry
+    /// (chained jumps from other blocks and itself). Quarantine re-points
+    /// them at the deopt stub.
+    std::vector<size_t> ChainSites;
   };
 
   JITProgram(const DecodedFunction &DF, std::unique_ptr<CodeBuffer> Buf);
 
   bool emitProlog();
   size_t coldStub(uint32_t Target); ///< deopt stub for an uncompiled target
+  /// Permanent deopt after a hardware fault in \p B: chain sites back to
+  /// the deopt stub, entry cleared, never recompiled.
+  void quarantineBlock(uint32_t B);
+  /// Maps an absolute fault pc offset to (block, op site). \returns false
+  /// for stub/trampoline/wild addresses.
+  bool attributeFault(uint64_t PcOff, uint32_t &B, const OpSite *&Site) const;
 
   const DecodedFunction &DF;
   std::unique_ptr<CodeBuffer> Buf;
@@ -191,6 +250,9 @@ private:
   size_t TrampOff = kNoOffset;
   size_t EpilogueOff = kNoOffset;
   bool Broken = false;
+  /// Fault injector (see create()): compile ordinal to corrupt, 0 = off.
+  uint32_t PlantWildStoreOnCompile = 0;
+  NativeFaultRecord LastFault;
   ProgramStats Stats;
   std::mutex RunLock;
 };

@@ -1,0 +1,216 @@
+//===- jit/NativeFault.cpp - Scoped hardware-fault containment --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Installation is refcounted under a mutex: the first live scope swaps in
+// the handlers (saving the previous dispositions), the last one swaps
+// them back. The thread-local active-region pointer is what makes the
+// handler safe to share across threads: a fault on a thread that is not
+// inside a native call sees no active scope and falls through to the
+// saved disposition by *reinstalling it and returning* — for fault-type
+// signals the kernel then re-delivers the signal at the same instruction
+// under the original handler (ASan's, the default core-dumping one, ...),
+// which is the only async-signal-safe way to chain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/NativeFault.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <ucontext.h>
+#include <unistd.h>
+#define VPO_NATIVE_FAULT_POSIX 1
+#endif
+
+using namespace vpo;
+using namespace vpo::jit;
+
+namespace {
+
+#ifdef VPO_NATIVE_FAULT_POSIX
+
+struct ScopeCtx {
+  sigjmp_buf Jmp;
+  uintptr_t Base = 0;
+  size_t Size = 0;
+  NativeFaultInfo Info;
+  ScopeCtx *Prev = nullptr; ///< nesting guard (two programs on one thread)
+};
+
+thread_local ScopeCtx *TLActive = nullptr;
+
+std::mutex InstallMu;
+int InstallDepth = 0;
+struct sigaction OldSegv, OldBus, OldFpe;
+std::atomic<uint64_t> Installs{0};
+std::atomic<int> ActiveDepth{0};
+
+const int GuardedSigs[] = {SIGSEGV, SIGBUS, SIGFPE};
+
+struct sigaction *savedFor(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return &OldSegv;
+  case SIGBUS:
+    return &OldBus;
+  default:
+    return &OldFpe;
+  }
+}
+
+void handleFault(int Sig, siginfo_t *, void *UCtx) {
+  ScopeCtx *C = TLActive;
+  if (C) {
+    C->Info.Sig = Sig;
+    C->Info.HaveRegs = false;
+    C->Info.PcInCode = false;
+#if defined(__x86_64__) && defined(__linux__)
+    auto *U = static_cast<ucontext_t *>(UCtx);
+    uintptr_t Pc = static_cast<uintptr_t>(U->uc_mcontext.gregs[REG_RIP]);
+    C->Info.R13 = static_cast<uint64_t>(U->uc_mcontext.gregs[REG_R13]);
+    C->Info.HaveRegs = true;
+#elif defined(__x86_64__) && defined(__APPLE__)
+    auto *U = static_cast<ucontext_t *>(UCtx);
+    uintptr_t Pc = static_cast<uintptr_t>(U->uc_mcontext->__ss.__rip);
+    C->Info.R13 = static_cast<uint64_t>(U->uc_mcontext->__ss.__r13);
+    C->Info.HaveRegs = true;
+#else
+    uintptr_t Pc = 0;
+    (void)UCtx;
+#endif
+    if (C->Info.HaveRegs && Pc >= C->Base && Pc < C->Base + C->Size) {
+      C->Info.PcOff = Pc - C->Base;
+      C->Info.PcInCode = true;
+    } else {
+      // The thread *is* inside a native call (nothing else runs while the
+      // scope is active on this thread), so even a wild pc — corrupted
+      // code jumping out of the buffer — is the JIT's fault to contain.
+      // It just cannot be attributed to an op site.
+      C->Info.PcOff = Pc;
+    }
+    siglongjmp(C->Jmp, 1);
+  }
+  // Not our thread's fault: put the previous disposition back and return.
+  // The faulting instruction re-executes and the kernel re-delivers the
+  // signal to the original handler. (sigaction is async-signal-safe.)
+  sigaction(Sig, savedFor(Sig), nullptr);
+}
+
+void installHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_sigaction = handleFault;
+  SA.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&SA.sa_mask);
+  for (int Sig : GuardedSigs)
+    sigaction(Sig, &SA, savedFor(Sig));
+  Installs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void restoreHandlers() {
+  for (int Sig : GuardedSigs)
+    sigaction(Sig, savedFor(Sig), nullptr);
+}
+
+/// Ensures this thread has an alternate signal stack: a wild store can
+/// corrupt or overrun the thread's own stack, and the handler must still
+/// run. Installed once per thread, intentionally leaked at thread exit
+/// (freeing it would race the kernel's view of the stack).
+void ensureAltStack() {
+  thread_local bool Installed = false;
+  if (Installed)
+    return;
+  stack_t Cur;
+  if (sigaltstack(nullptr, &Cur) == 0 && !(Cur.ss_flags & SS_DISABLE) &&
+      Cur.ss_size > 0) {
+    Installed = true; // someone (e.g. ASan) already provided one
+    return;
+  }
+  const size_t Size = SIGSTKSZ * 4;
+  void *Mem = std::malloc(Size);
+  if (!Mem)
+    return; // degrade: handler runs on the normal stack
+  stack_t SS;
+  SS.ss_sp = Mem;
+  SS.ss_size = Size;
+  SS.ss_flags = 0;
+  if (sigaltstack(&SS, nullptr) == 0)
+    Installed = true;
+  else
+    std::free(Mem);
+}
+
+#endif // VPO_NATIVE_FAULT_POSIX
+
+} // namespace
+
+#ifdef VPO_NATIVE_FAULT_POSIX
+
+NativeFaultScope::NativeFaultScope(const void *CodeBase, size_t CodeSize) {
+  auto *C = new ScopeCtx();
+  C->Base = reinterpret_cast<uintptr_t>(CodeBase);
+  C->Size = CodeSize;
+  C->Prev = TLActive;
+  Ctx = C;
+  ensureAltStack();
+  {
+    std::lock_guard<std::mutex> Lock(InstallMu);
+    if (++InstallDepth == 1)
+      installHandlers();
+  }
+  ActiveDepth.fetch_add(1, std::memory_order_relaxed);
+  Installed = true;
+  TLActive = C; // armed last: the handler must never see a half-built ctx
+}
+
+NativeFaultScope::~NativeFaultScope() {
+  auto *C = static_cast<ScopeCtx *>(Ctx);
+  TLActive = C->Prev;
+  if (Installed) {
+    ActiveDepth.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(InstallMu);
+    if (--InstallDepth == 0)
+      restoreHandlers();
+  }
+  delete C;
+}
+
+sigjmp_buf &NativeFaultScope::jmp() {
+  return static_cast<ScopeCtx *>(Ctx)->Jmp;
+}
+
+const NativeFaultInfo &NativeFaultScope::fault() const {
+  return static_cast<ScopeCtx *>(Ctx)->Info;
+}
+
+uint64_t NativeFaultScope::installCount() {
+  return Installs.load(std::memory_order_relaxed);
+}
+
+bool NativeFaultScope::handlersActive() {
+  return ActiveDepth.load(std::memory_order_relaxed) > 0;
+}
+
+#else // !VPO_NATIVE_FAULT_POSIX
+
+// Non-POSIX stub: the JIT never runs here (nativeAvailability() refuses
+// non-unix hosts), but the symbols must link.
+NativeFaultScope::NativeFaultScope(const void *, size_t) : Ctx(nullptr) {}
+NativeFaultScope::~NativeFaultScope() = default;
+static sigjmp_buf DummyJmp;
+static NativeFaultInfo DummyInfo;
+sigjmp_buf &NativeFaultScope::jmp() { return DummyJmp; }
+const NativeFaultInfo &NativeFaultScope::fault() const { return DummyInfo; }
+uint64_t NativeFaultScope::installCount() { return 0; }
+bool NativeFaultScope::handlersActive() { return false; }
+
+#endif

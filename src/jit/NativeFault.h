@@ -1,0 +1,89 @@
+//===- jit/NativeFault.h - Scoped hardware-fault containment ----*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped SIGSEGV/SIGBUS/SIGFPE containment for native JIT entries. A
+/// NativeFaultScope installs process-wide signal handlers for exactly the
+/// duration of one native call (refcounted, so concurrent drivers share
+/// one installation) and records a thread-local "active region" — the RX
+/// code buffer the current thread is about to enter. When a hardware
+/// fault fires on a thread with an active scope, the handler captures the
+/// faulting pc and the live budget register (r13) from the ucontext and
+/// siglongjmps back to the caller; faults on threads *without* an active
+/// scope are re-raised under the previously-installed disposition, so
+/// sanitizer runtimes and host crash reporting keep working.
+///
+/// The handler runs on a per-thread sigaltstack: a wild store that lands
+/// on the thread's own stack guard page must still be catchable.
+///
+/// Usage (the only caller is JITProgram::run):
+///
+///   NativeFaultScope Scope(Buf->base(), Buf->used());
+///   if (sigsetjmp(Scope.jmp(), 1) != 0) {
+///     const NativeFaultInfo &FI = Scope.fault();  // pc, r13, signal
+///     ... quarantine the faulting block, resume interpretation ...
+///   } else {
+///     Fn(&S, Entry);  // the native call
+///   }
+///
+/// installCount() exposes the total number of handler installations for
+/// the VPO_NO_JIT contract test: with native execution vetoed, no scope
+/// is ever constructed and the count stays zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_JIT_NATIVEFAULT_H
+#define VPO_JIT_NATIVEFAULT_H
+
+#include <csetjmp>
+#include <cstddef>
+#include <cstdint>
+
+namespace vpo {
+namespace jit {
+
+/// What the signal handler captured before longjmping out.
+struct NativeFaultInfo {
+  int Sig = 0;         ///< SIGSEGV, SIGBUS or SIGFPE
+  uint64_t PcOff = 0;  ///< faulting pc offset into the code buffer
+  uint64_t R13 = 0;    ///< the budget register at the fault
+  bool PcInCode = false; ///< pc landed inside the scope's code region
+  bool HaveRegs = false; ///< the platform exposed pc/r13 in the ucontext
+};
+
+class NativeFaultScope {
+public:
+  /// Arms fault containment for code in [CodeBase, CodeBase + CodeSize).
+  NativeFaultScope(const void *CodeBase, size_t CodeSize);
+  ~NativeFaultScope();
+
+  NativeFaultScope(const NativeFaultScope &) = delete;
+  NativeFaultScope &operator=(const NativeFaultScope &) = delete;
+
+  /// The jump target the handler returns through. The *caller* must run
+  /// sigsetjmp on it (a saved context must outlive the frame that created
+  /// it, so it cannot be hidden behind a member function call).
+  sigjmp_buf &jmp();
+
+  /// Valid after the sigsetjmp returned nonzero.
+  const NativeFaultInfo &fault() const;
+
+  /// Total handler installations this process has ever performed.
+  /// VPO_NO_JIT contract: stays 0 when native execution never runs.
+  static uint64_t installCount();
+
+  /// True while any scope (on any thread) holds the handlers installed.
+  static bool handlersActive();
+
+private:
+  void *Ctx; ///< opaque per-scope state (thread-local registration)
+  bool Installed = false;
+};
+
+} // namespace jit
+} // namespace vpo
+
+#endif // VPO_JIT_NATIVEFAULT_H

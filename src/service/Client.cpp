@@ -13,8 +13,10 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define VPO_CLIENT_POSIX 1
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 #endif
 
@@ -45,10 +47,28 @@ Status ServiceClient::connectTo(const std::string &SocketPath) {
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
-  int R;
-  do {
-    R = ::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
-  } while (R < 0 && errno == EINTR);
+  int R = ::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (R < 0 && errno == EINTR) {
+    // The attempt keeps progressing in the kernel after EINTR; calling
+    // connect() again on the same fd yields EALREADY/EISCONN, not a
+    // clean retry. Wait for completion and read the real outcome.
+    pollfd P{S, POLLOUT, 0};
+    int PR;
+    do {
+      PR = ::poll(&P, 1, -1);
+    } while (PR < 0 && errno == EINTR);
+    int SoErr = 0;
+    socklen_t L = sizeof(SoErr);
+    if (PR > 0 &&
+        ::getsockopt(S, SOL_SOCKET, SO_ERROR, &SoErr, &L) == 0 &&
+        SoErr == 0) {
+      R = 0;
+    } else {
+      if (SoErr)
+        errno = SoErr;
+      R = -1;
+    }
+  }
   if (R < 0) {
     Status St = Status::error(ErrorCode::Internal, "vpoc", "",
                               "connect " + SocketPath + ": " +
@@ -100,6 +120,63 @@ StatusOr<ServiceResponse> ServiceClient::call(const ServiceRequest &Req) {
   return receive();
 }
 
+//===----------------------------------------------------------------------===//
+// RetryingClient
+//===----------------------------------------------------------------------===//
+
+uint64_t RetryingClient::nextDelayMs(unsigned Attempt) {
+  uint64_t Delay = Policy.BaseDelayMs;
+  for (unsigned I = 0; I < Attempt && Delay < Policy.MaxDelayMs; ++I)
+    Delay *= 2;
+  if (Delay > Policy.MaxDelayMs)
+    Delay = Policy.MaxDelayMs;
+  // xorshift64 jitter in [0, Delay/2]: de-synchronizes a fleet of
+  // clients hammering a rebooting daemon, deterministically per seed.
+  Rng ^= Rng << 13;
+  Rng ^= Rng >> 7;
+  Rng ^= Rng << 17;
+  return Delay + (Delay ? Rng % (Delay / 2 + 1) : 0);
+}
+
+StatusOr<ServiceResponse> RetryingClient::call(const ServiceRequest &Req) {
+  Status Last = Status::ok();
+  for (unsigned Attempt = 0; Attempt < Policy.MaxAttempts; ++Attempt) {
+    if (Attempt > 0) {
+      ++Retries;
+      uint64_t Ms = nextDelayMs(Attempt - 1);
+      timespec TS{time_t(Ms / 1000), long(Ms % 1000) * 1000000};
+      nanosleep(&TS, nullptr);
+    }
+    if (!C.connected()) {
+      if (Status S = C.connectTo(Path); !S) {
+        Last = S; // daemon restarting: socket refused or unlinked
+        continue;
+      }
+      if (EverConnected)
+        ++Reconnects;
+      EverConnected = true;
+    }
+    StatusOr<ServiceResponse> R = C.call(Req);
+    if (!R) {
+      // Transport failure mid-exchange (daemon killed with our request
+      // in flight): the connection is unusable, reconnect and resend.
+      Last = R.status();
+      C.close();
+      continue;
+    }
+    if (Policy.RetryOverloaded && R->Status == ErrorCode::Overloaded &&
+        Attempt + 1 < Policy.MaxAttempts)
+      continue; // explicit shed: connection stays good, just back off
+    return R;
+  }
+  if (Last.ok())
+    return Status::error(ErrorCode::Overloaded, "vpoc", "",
+                         "still overloaded after " +
+                             std::to_string(Policy.MaxAttempts) +
+                             " attempts");
+  return Last;
+}
+
 #else // !VPO_CLIENT_POSIX
 
 Status ServiceClient::connectTo(const std::string &) {
@@ -114,6 +191,10 @@ StatusOr<ServiceResponse> ServiceClient::receive() {
   return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
 }
 StatusOr<ServiceResponse> ServiceClient::call(const ServiceRequest &) {
+  return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
+}
+uint64_t RetryingClient::nextDelayMs(unsigned) { return 0; }
+StatusOr<ServiceResponse> RetryingClient::call(const ServiceRequest &) {
   return Status::error(ErrorCode::Unsupported, "vpoc", "", "no POSIX");
 }
 

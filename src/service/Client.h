@@ -54,6 +54,51 @@ private:
   int Fd = -1;
 };
 
+/// How a RetryingClient paces itself. The backoff is exponential with
+/// deterministic xorshift jitter (seeded, so test campaigns replay).
+struct RetryPolicy {
+  unsigned MaxAttempts = 5; ///< total tries per call (1 = no retry)
+  uint64_t BaseDelayMs = 50;
+  uint64_t MaxDelayMs = 2000;
+  uint64_t JitterSeed = 1;
+  /// Also retry structured ErrorCode::Overloaded responses (shed load,
+  /// drain mode) — they are explicit "try again later" signals.
+  bool RetryOverloaded = true;
+};
+
+/// A ServiceClient wrapper that survives daemon restarts: connect
+/// failures (refused/absent socket while the daemon reboots), transport
+/// errors mid-exchange, and Overloaded shedding are all retried with
+/// exponential backoff + jitter, up to the policy bound. Requests are
+/// resent after a reconnect, so callers see exactly one response per
+/// call() — or the final error once the budget is exhausted.
+class RetryingClient {
+public:
+  explicit RetryingClient(std::string SocketPath, RetryPolicy Policy = {})
+      : Path(std::move(SocketPath)), Policy(Policy),
+        Rng(Policy.JitterSeed ? Policy.JitterSeed : 1) {}
+
+  StatusOr<ServiceResponse> call(const ServiceRequest &Req);
+
+  /// Drops the connection so the next call() reconnects (used by tests
+  /// that kill the daemon between calls).
+  void disconnect() { C.close(); }
+
+  uint64_t retries() const { return Retries; }
+  uint64_t reconnects() const { return Reconnects; }
+
+private:
+  uint64_t nextDelayMs(unsigned Attempt);
+
+  std::string Path;
+  RetryPolicy Policy;
+  ServiceClient C;
+  uint64_t Retries = 0;    ///< sleeps taken (any reason)
+  uint64_t Reconnects = 0; ///< successful re-connections after a drop
+  bool EverConnected = false;
+  uint64_t Rng;
+};
+
 } // namespace service
 } // namespace vpo
 

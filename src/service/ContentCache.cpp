@@ -128,6 +128,8 @@ void ContentCache::insert(const ContentKey &Canon, CachedResult R) {
   LRU.emplace_front(Canon, std::move(R));
   Entries[Canon] = LRU.begin();
   while (Entries.size() > MaxEntries) {
+    if (OnEvict)
+      OnEvict(LRU.back().first);
     Entries.erase(LRU.back().first);
     LRU.pop_back();
   }

@@ -41,6 +41,7 @@
 #include "service/Protocol.h"
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <string>
@@ -126,6 +127,32 @@ public:
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
 
+  /// Called with the canonical key of every entry evicted by the LRU
+  /// bound (not for refreshes). The persistent journal (CacheStore) uses
+  /// it for garbage accounting so compaction knows when to run.
+  void setEvictHook(std::function<void(const ContentKey &)> H) {
+    OnEvict = std::move(H);
+  }
+
+  /// Walks live entries oldest-first (LRU tail to MRU head) — the order
+  /// a compacted journal must append in so replaying it reproduces this
+  /// cache's recency order.
+  void forEachOldestFirst(
+      const std::function<void(const ContentKey &, const CachedResult &)>
+          &Fn) const {
+    for (auto It = LRU.rbegin(); It != LRU.rend(); ++It)
+      Fn(It->first, It->second);
+  }
+
+  /// Walks raw -> canonical aliases in insertion order.
+  void forEachAlias(
+      const std::function<void(const ContentKey &, const ContentKey &)> &Fn)
+      const {
+    for (const ContentKey &Raw : AliasOrder)
+      if (auto It = Aliases.find(Raw); It != Aliases.end())
+        Fn(Raw, It->second);
+  }
+
 private:
   size_t MaxEntries;
   /// MRU-first list of (canonical key, payload).
@@ -136,6 +163,7 @@ private:
   std::list<ContentKey> AliasOrder; ///< insertion order, for bounding
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  std::function<void(const ContentKey &)> OnEvict;
 };
 
 } // namespace service

@@ -103,6 +103,16 @@ Status Daemon::start() {
     return Status::error(ErrorCode::Unsupported, "vpod", "",
                          "socket path too long: " + Opts.SocketPath);
 
+  // Recover the persistent cache before anything can query it, and
+  // before forking workers (children abandon the inherited fd).
+  if (!Opts.CacheJournalPath.empty()) {
+    Store.Opts.SyncEveryWrite = Opts.JournalSyncEveryInsert;
+    Recovery = CacheRecoveryStats();
+    std::string Err;
+    if (!Store.open(Opts.CacheJournalPath, Cache, Recovery, Err))
+      return Status::error(ErrorCode::Internal, "vpod", "", Err);
+  }
+
   ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (ListenFd < 0)
     return Status::error(ErrorCode::Internal, "vpod", "",
@@ -160,6 +170,7 @@ Status Daemon::spawnWorker(WorkerSlot &W) {
     for (WorkerSlot &O : Workers)
       if (O.Fd >= 0)
         ::close(O.Fd);
+    Store.abandon(); // never let a worker touch the parent's journal
     workerMain(Pair[1], Opts.Limits); // noreturn
   }
   ::close(Pair[1]);
@@ -211,7 +222,9 @@ void Daemon::escalate(WorkerSlot &W, const char *Why,
   Pending P = std::move(W.Cur);
   W.Busy = false;
   W.DeadlineAt = 0;
-  ++P.Rung;
+  // The failed attempt may already have been lifted above P.Rung by the
+  // worker's sticky floor; the ladder continues from where it died.
+  P.Rung = P.AttemptRung + 1;
   P.Degraded = Why;
   if (P.Rung > maxServiceRung) {
     ++Counters.Exhausted;
@@ -224,7 +237,7 @@ void Daemon::escalate(WorkerSlot &W, const char *Why,
                              "failed every rung (last: ") +
                  Why + " at rung " + std::to_string(maxServiceRung) +
                  ", the reference pipeline)";
-    sendResponse(P.ClientSeq, P.Req, std::move(Resp));
+    sendResponse(P.ClientSeq, P.Ticket, P.Req, std::move(Resp));
     return;
   }
   // Back to the front of its own shard: the retry keeps its position
@@ -239,11 +252,24 @@ void Daemon::workerDied(size_t Idx, const char *Why) {
     ++Counters.WorkerDeadlines;
   else
     ++Counters.WorkerCrashes;
+  if (W.Busy && W.Cur.Probe)
+    ++Counters.ProbeFailures; // probation continues at the sticky rung
+  if (!W.Busy || W.Cur.Serial != W.LastDeathSerial) {
+    ++W.DistinctFails; // idle deaths (boot trouble) always count
+    if (W.Busy)
+      W.LastDeathSerial = W.Cur.Serial;
+  }
   if (W.Busy)
     escalate(W, Why,
              Deadline ? ErrorCode::DeadlineExceeded : ErrorCode::Internal);
   killWorker(W);
   W.Fails = W.Fails < 16 ? W.Fails + 1 : W.Fails;
+  // Deaths on three distinct requests with no success in between make
+  // the degradation sticky: the slot serves at the degraded rung until
+  // an op=reload probe succeeds, instead of burning a crash per request
+  // on a poisoned environment.
+  if (W.DistinctFails >= 3 && W.StickyRung < maxServiceRung)
+    ++W.StickyRung;
   // Exponential backoff, 50ms..5s: a worker dying on its *input* is
   // respawned almost immediately; a worker dying at boot (environment
   // trouble) stops eating fork bandwidth.
@@ -272,12 +298,25 @@ void Daemon::pumpWorkers(uint64_t Now) {
       if (P.Req.Fault.empty() && P.Rung == 0) {
         if (const CachedResult *CR = Cache.lookupRaw(P.RawKey)) {
           ++Counters.CacheHits;
-          sendCached(P.ClientSeq, P.Req, *CR);
+          sendCached(P.ClientSeq, P.Ticket, P.Req, *CR);
           continue;
         }
       }
+      // A sticky-degraded slot lifts every attempt to its floor — except
+      // the single armed probe, which runs at rung 0 to test recovery.
+      P.AttemptRung = P.Rung;
+      P.Probe = false;
+      if (W.StickyRung > P.Rung) {
+        if (W.ProbeArmed && P.Rung == 0 && P.Req.Fault.empty()) {
+          W.ProbeArmed = false;
+          P.Probe = true;
+          ++Counters.Probes;
+        } else {
+          P.AttemptRung = W.StickyRung;
+        }
+      }
       ServiceRequest WReq = P.Req;
-      WReq.Rung = P.Rung;
+      WReq.Rung = P.AttemptRung;
       appendFrame(W.Out, WReq.toJson());
       W.Busy = true;
       W.Cur = std::move(P);
@@ -362,18 +401,25 @@ void Daemon::readClient(uint64_t Seq) {
 }
 
 void Daemon::handleFrame(uint64_t Seq, const std::string &Payload) {
+  auto ConnIt = Clients.find(Seq);
+  if (ConnIt == Clients.end())
+    return;
+  // Every frame takes the connection's next response ticket, so answers
+  // computed out of order (pipelined requests land on different
+  // workers) still go back in request order.
+  uint64_t Ticket = ConnIt->second.NextTicket++;
   std::optional<ServiceRequest> Req = ServiceRequest::fromJson(Payload);
   if (!Req) {
     ServiceResponse Resp;
     Resp.Status = ErrorCode::ParseError;
     Resp.Error = "malformed request payload";
-    sendResponse(Seq, ServiceRequest(), std::move(Resp));
+    sendResponse(Seq, Ticket, ServiceRequest(), std::move(Resp));
     return;
   }
   if (Req->Op == "ping") {
     ServiceResponse Resp;
     Resp.Id = Req->Id;
-    sendResponse(Seq, *Req, std::move(Resp));
+    sendResponse(Seq, Ticket, *Req, std::move(Resp));
     return;
   }
   if (Req->Op == "status") {
@@ -398,40 +444,102 @@ void Daemon::handleFrame(uint64_t Seq, const std::string &Payload) {
     for (const WorkerSlot &W : Workers)
       Queued += W.Queue.size() + (W.Busy ? 1 : 0);
     Put("queued", Queued);
-    sendResponse(Seq, *Req, std::move(Resp));
+    Put("cache_recovered", Recovery.RecoveredEntries);
+    Put("cache_discarded", Recovery.DiscardedRecords);
+    Put("cache_torn_tail", Recovery.TornTail ? 1 : 0);
+    Put("journal_bytes", Store.journalBytes());
+    Put("journal_garbage", Store.garbageBytes());
+    Put("compactions", Store.compactions());
+    Put("reloads", Counters.Reloads);
+    Put("probes", Counters.Probes);
+    Put("probe_failures", Counters.ProbeFailures);
+    size_t Sticky = 0;
+    for (const WorkerSlot &W : Workers)
+      Sticky += W.StickyRung > 0 ? 1 : 0;
+    Put("sticky_degraded", Sticky);
+    Put("draining", Draining ? 1 : 0);
+    sendResponse(Seq, Ticket, *Req, std::move(Resp));
+    return;
+  }
+  if (Req->Op == "reload") {
+    handleReload(Seq, Ticket, *Req);
     return;
   }
   if (Req->Op == "shutdown") {
     ServiceResponse Resp;
     Resp.Id = Req->Id;
-    sendResponse(Seq, *Req, std::move(Resp));
+    sendResponse(Seq, Ticket, *Req, std::move(Resp));
     Stopping = true;
     return;
   }
   if (Req->Op == "compile") {
-    handleCompile(Seq, std::move(*Req));
+    handleCompile(Seq, Ticket, std::move(*Req));
     return;
   }
   ServiceResponse Resp;
   Resp.Id = Req->Id;
   Resp.Status = ErrorCode::Unsupported;
   Resp.Error = "unknown op \"" + Req->Op + "\"";
-  sendResponse(Seq, *Req, std::move(Resp));
+  sendResponse(Seq, Ticket, *Req, std::move(Resp));
 }
 
-void Daemon::handleCompile(uint64_t Seq, ServiceRequest Req) {
+void Daemon::handleReload(uint64_t Seq, uint64_t Ticket,
+                          const ServiceRequest &Req) {
+  ++Counters.Reloads;
+  ServiceResponse Resp;
+  Resp.Id = Req.Id;
+  // Re-open the journal (picks up an operator-swapped file, compacts
+  // accumulated garbage into a fresh replay baseline).
+  if (!Opts.CacheJournalPath.empty()) {
+    Store.close();
+    CacheRecoveryStats RS;
+    std::string Err;
+    if (Store.open(Opts.CacheJournalPath, Cache, RS, Err)) {
+      Recovery = RS;
+    } else {
+      Resp.Status = ErrorCode::Internal;
+      Resp.Error = Err;
+    }
+  }
+  // Reset the probation ladder: every sticky-degraded slot gets exactly
+  // one rung-0 probe; it re-promotes only if the probe survives.
+  size_t Armed = 0;
+  for (WorkerSlot &W : Workers)
+    if (W.StickyRung > 0) {
+      W.ProbeArmed = true;
+      ++Armed;
+    }
+  Resp.Extra.emplace_back("probes_armed", std::to_string(Armed));
+  Resp.Extra.emplace_back("cache_recovered",
+                          std::to_string(Recovery.RecoveredEntries));
+  sendResponse(Seq, Ticket, Req, std::move(Resp));
+}
+
+void Daemon::handleCompile(uint64_t Seq, uint64_t Ticket,
+                           ServiceRequest Req) {
   ++Counters.Requests;
+  if (Draining) {
+    ++Counters.Shed;
+    ServiceResponse Resp;
+    Resp.Id = Req.Id;
+    Resp.Status = ErrorCode::Overloaded;
+    Resp.Error = "draining: daemon is shutting down; retry the next one";
+    sendResponse(Seq, Ticket, Req, std::move(Resp));
+    return;
+  }
   if (!Req.Fault.empty() && !Opts.Limits.AllowFaultInjection) {
     ServiceResponse Resp;
     Resp.Id = Req.Id;
     Resp.Status = ErrorCode::Unsupported;
     Resp.Error = "fault plants require --allow-fault-injection";
-    sendResponse(Seq, Req, std::move(Resp));
+    sendResponse(Seq, Ticket, Req, std::move(Resp));
     return;
   }
 
   Pending P;
   P.ClientSeq = Seq;
+  P.Ticket = Ticket;
+  P.Serial = NextRequestSerial++;
   P.Rung = 0;
   P.DeadlineMs = Req.DeadlineMs == 0
                      ? Opts.DefaultDeadlineMs
@@ -445,7 +553,7 @@ void Daemon::handleCompile(uint64_t Seq, ServiceRequest Req) {
   if (Req.Fault.empty()) {
     if (const CachedResult *CR = Cache.lookupRaw(P.RawKey)) {
       ++Counters.CacheHits;
-      sendCached(Seq, Req, *CR);
+      sendCached(Seq, Ticket, Req, *CR);
       return;
     }
   }
@@ -462,7 +570,7 @@ void Daemon::handleCompile(uint64_t Seq, ServiceRequest Req) {
     Resp.Status = ErrorCode::Overloaded;
     Resp.Error = "queue full (" + std::to_string(Opts.QueueDepth) +
                  " deep); retry later";
-    sendResponse(Seq, Req, std::move(Resp));
+    sendResponse(Seq, Ticket, Req, std::move(Resp));
     return;
   }
   P.Req = std::move(Req);
@@ -514,19 +622,25 @@ void Daemon::handleWorkerResponse(WorkerSlot &W, const std::string &Payload) {
   Pending P = std::move(W.Cur);
   W.Busy = false;
   W.DeadlineAt = 0;
-  W.Fails = 0; // success resets the backoff ladder
+  W.Fails = 0; // success resets the backoff and distinct-death ladders
+  W.DistinctFails = 0;
+  if (P.Probe)
+    W.StickyRung = 0; // probation passed: the slot re-promotes
 
   ServiceResponse Resp = std::move(*Parsed);
   Resp.Id = P.Req.Id;
-  Resp.Rung = P.Rung; // authoritative: the daemon chose the rung
-  Resp.Degraded = P.Degraded;
-  if (P.Rung > 0)
+  Resp.Rung = P.AttemptRung; // authoritative: the daemon chose the rung
+  Resp.Degraded = P.AttemptRung > P.Rung && P.Degraded.empty()
+                      ? "sticky-degraded"
+                      : P.Degraded;
+  if (P.AttemptRung > 0)
     ++Counters.Degraded;
 
   // Only clean, full-pipeline, unplanted results are cacheable: a
   // degraded rung describes transient pool state, and a planted fault
   // describes the request, not the content.
-  if (P.Rung == 0 && Resp.Status == ErrorCode::Ok && P.Req.Fault.empty()) {
+  if (P.AttemptRung == 0 && Resp.Status == ErrorCode::Ok &&
+      P.Req.Fault.empty()) {
     if (std::optional<ContentKey> Canon = contentKeyFromHex(Resp.Key)) {
       CachedResult CR;
       CR.Status = Resp.Status;
@@ -540,15 +654,21 @@ void Daemon::handleWorkerResponse(WorkerSlot &W, const std::string &Payload) {
       CR.ReturnValue = Resp.ReturnValue;
       CR.Cycles = Resp.Cycles;
       CR.Instructions = Resp.Instructions;
+      // Write-ahead: journal first, so a crash between the two costs a
+      // recompile rather than leaving a served-but-unjournaled entry.
+      Store.noteInsert(*Canon, CR);
       Cache.insert(*Canon, std::move(CR));
+      if (!(P.RawKey == *Canon))
+        Store.noteAlias(P.RawKey, *Canon);
       Cache.alias(P.RawKey, *Canon);
+      Store.maybeCompact(Cache);
     }
   }
-  sendResponse(P.ClientSeq, P.Req, std::move(Resp));
+  sendResponse(P.ClientSeq, P.Ticket, P.Req, std::move(Resp));
 }
 
-void Daemon::sendCached(uint64_t Seq, const ServiceRequest &Req,
-                        const CachedResult &CR) {
+void Daemon::sendCached(uint64_t Seq, uint64_t Ticket,
+                        const ServiceRequest &Req, const CachedResult &CR) {
   ServiceResponse Resp;
   Resp.Id = Req.Id;
   Resp.Status = CR.Status;
@@ -563,11 +683,11 @@ void Daemon::sendCached(uint64_t Seq, const ServiceRequest &Req,
   Resp.Cycles = CR.Cycles;
   Resp.Instructions = CR.Instructions;
   Resp.Cached = true;
-  sendResponse(Seq, Req, std::move(Resp));
+  sendResponse(Seq, Ticket, Req, std::move(Resp));
 }
 
-void Daemon::sendResponse(uint64_t Seq, const ServiceRequest &Req,
-                          ServiceResponse Resp) {
+void Daemon::sendResponse(uint64_t Seq, uint64_t Ticket,
+                          const ServiceRequest &Req, ServiceResponse Resp) {
   auto It = Clients.find(Seq);
   if (It == Clients.end())
     return; // client left; result (if cacheable) is already cached
@@ -578,7 +698,22 @@ void Daemon::sendResponse(uint64_t Seq, const ServiceRequest &Req,
   if (!Req.WantRemarks)
     Resp.Remarks.clear();
   ClientConn &C = It->second;
+  // A response ahead of its turn waits; releasing one may release a run
+  // of held successors. Request order is the wire order, always.
+  if (Ticket != C.NextSend) {
+    std::string Framed;
+    appendFrame(Framed, Resp.toJson());
+    C.Held.emplace(Ticket, std::move(Framed));
+    return;
+  }
   appendFrame(C.Out, Resp.toJson());
+  ++C.NextSend;
+  for (auto H = C.Held.find(C.NextSend); H != C.Held.end();
+       H = C.Held.find(C.NextSend)) {
+    C.Out += H->second;
+    C.Held.erase(H);
+    ++C.NextSend;
+  }
   if (!flushBuffer(C.Fd, C.Out))
     dropClient(Seq);
 }
@@ -596,15 +731,47 @@ void Daemon::flushClient(uint64_t Seq) {
     dropClient(Seq);
 }
 
+void Daemon::beginDrain(uint64_t Now) {
+  if (Draining)
+    return;
+  Draining = true;
+  DrainDeadlineAt = Now + Opts.DrainDeadlineMs;
+  // Stop accepting: close and unlink the socket immediately so new
+  // connects fail fast (and a replacement daemon can bind the path).
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+bool Daemon::drainComplete() const {
+  for (const WorkerSlot &W : Workers)
+    if (W.Busy || !W.Queue.empty())
+      return false;
+  for (const auto &KV : Clients)
+    if (!KV.second.Out.empty() || !KV.second.Held.empty())
+      return false;
+  return true;
+}
+
 bool Daemon::step(int TimeoutMs) {
   if (stopRequested())
     return false;
   uint64_t Now = nowMs();
+  if (Opts.DrainFlag && *Opts.DrainFlag)
+    beginDrain(Now);
+  if (Draining && (drainComplete() || Now >= DrainDeadlineAt)) {
+    Stopping = true;
+    return false;
+  }
   respawnDueWorkers(Now);
   pumpWorkers(Now);
 
   std::vector<pollfd> Fds;
-  // Index bookkeeping: [0] listen, then clients, then workers.
+  // Index bookkeeping: [0] listen, then clients, then workers. A
+  // negative fd (listen socket closed by drain) is legally ignored by
+  // poll(), keeping the indexing stable.
   Fds.push_back({ListenFd, POLLIN, 0});
   std::vector<uint64_t> ClientSeqs;
   for (auto &KV : Clients) {
@@ -630,7 +797,7 @@ bool Daemon::step(int TimeoutMs) {
   Now = nowMs();
 
   if (R > 0) {
-    if (Fds[0].revents & POLLIN)
+    if (ListenFd >= 0 && (Fds[0].revents & POLLIN))
       acceptClients();
     for (size_t I = 1; I < WorkerBase; ++I) {
       uint64_t Seq = ClientSeqs[I - 1];
@@ -695,6 +862,9 @@ void Daemon::run() {
   }
   for (WorkerSlot &W : Workers)
     killWorker(W);
+  // Everything served is journaled; make it durable before exit 0.
+  Store.sync();
+  Store.close();
 }
 
 #else // !VPO_SERVICE_POSIX
@@ -715,15 +885,19 @@ void Daemon::readClient(uint64_t) {}
 void Daemon::flushClient(uint64_t) {}
 void Daemon::dropClient(uint64_t) {}
 void Daemon::handleFrame(uint64_t, const std::string &) {}
-void Daemon::handleCompile(uint64_t, ServiceRequest) {}
+void Daemon::handleCompile(uint64_t, uint64_t, ServiceRequest) {}
 void Daemon::readWorker(size_t) {}
 void Daemon::handleWorkerResponse(WorkerSlot &, const std::string &) {}
 void Daemon::workerDied(size_t, const char *) {}
 void Daemon::checkDeadlines(uint64_t) {}
 void Daemon::pumpWorkers(uint64_t) {}
-void Daemon::sendResponse(uint64_t, const ServiceRequest &, ServiceResponse) {}
-void Daemon::sendCached(uint64_t, const ServiceRequest &,
+void Daemon::sendResponse(uint64_t, uint64_t, const ServiceRequest &,
+                          ServiceResponse) {}
+void Daemon::sendCached(uint64_t, uint64_t, const ServiceRequest &,
                         const CachedResult &) {}
 void Daemon::escalate(WorkerSlot &, const char *, ErrorCode) {}
+void Daemon::beginDrain(uint64_t) {}
+bool Daemon::drainComplete() const { return true; }
+void Daemon::handleReload(uint64_t, uint64_t, const ServiceRequest &) {}
 
 #endif // VPO_SERVICE_POSIX

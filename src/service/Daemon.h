@@ -43,6 +43,7 @@
 #ifndef VPO_SERVICE_DAEMON_H
 #define VPO_SERVICE_DAEMON_H
 
+#include "service/CacheStore.h"
 #include "service/ContentCache.h"
 #include "service/Protocol.h"
 #include "service/Worker.h"
@@ -74,6 +75,15 @@ struct DaemonOptions {
   WorkerLimits Limits;
   /// Checked each loop tick; set from a signal handler to stop cleanly.
   volatile std::sig_atomic_t *StopFlag = nullptr;
+  /// Checked each loop tick; set from SIGTERM to drain: stop accepting,
+  /// finish queued work under DrainDeadlineMs, flush the journal, exit.
+  volatile std::sig_atomic_t *DrainFlag = nullptr;
+  uint64_t DrainDeadlineMs = 5000;
+  /// Path of the persistent cache journal (service/CacheStore.h).
+  /// Empty disables persistence.
+  std::string CacheJournalPath;
+  /// fsync the journal after every insert (the crash-safety default).
+  bool JournalSyncEveryInsert = true;
 };
 
 /// Monotonically increasing service counters, reported by op=status and
@@ -87,6 +97,9 @@ struct DaemonCounters {
   uint64_t Respawns = 0;      ///< worker processes forked after the initial pool
   uint64_t Degraded = 0;      ///< responses served from rung > 0
   uint64_t Exhausted = 0;     ///< requests that failed every rung
+  uint64_t Probes = 0;        ///< rung-0 probation probes dispatched
+  uint64_t ProbeFailures = 0; ///< probes whose worker died again
+  uint64_t Reloads = 0;       ///< op=reload requests honored
 };
 
 class Daemon {
@@ -114,6 +127,8 @@ public:
   const DaemonCounters &counters() const { return Counters; }
   const ContentCache &cache() const { return Cache; }
   const std::string &socketPath() const { return Opts.SocketPath; }
+  const CacheRecoveryStats &recovery() const { return Recovery; }
+  bool draining() const { return Draining; }
 
 private:
   struct ClientConn {
@@ -121,6 +136,15 @@ private:
     FrameDecoder Dec;
     std::string Out;    ///< bytes not yet written
     bool CloseAfterFlush = false;
+    /// Per-connection response ordering. Pipelined requests shard onto
+    /// different workers and complete in any order; each incoming frame
+    /// takes a ticket, and a response whose ticket is ahead of NextSend
+    /// is held until the gap closes. Clients therefore always see
+    /// responses in request order, which is what lets them pipeline
+    /// without correlating by id.
+    uint64_t NextTicket = 0;
+    uint64_t NextSend = 0;
+    std::map<uint64_t, std::string> Held; ///< framed, early responses
   };
 
   /// One queued or in-flight compile attempt.
@@ -131,6 +155,12 @@ private:
     unsigned Rung = 0;
     std::string Degraded;   ///< why the rung moved ("worker-crash", ...)
     uint64_t DeadlineMs = 0; ///< resolved per-attempt budget
+    /// Rung actually dispatched: max(Rung, worker's sticky rung) unless
+    /// this attempt is a probation probe.
+    unsigned AttemptRung = 0;
+    bool Probe = false; ///< rung-0 probe of a sticky-degraded worker
+    uint64_t Serial = 0; ///< per-request token for distinct-death counting
+    uint64_t Ticket = 0; ///< position in the connection's response order
   };
 
   struct WorkerSlot {
@@ -144,6 +174,16 @@ private:
     std::deque<Pending> Queue;
     unsigned Fails = 0;     ///< consecutive deaths, drives backoff
     uint64_t RespawnAt = 0; ///< monotonic ms gate for the next fork
+    /// Probation floor: a worker that keeps dying serves at this rung
+    /// until an op=reload arms a probe and the probe succeeds.
+    unsigned StickyRung = 0;
+    bool ProbeArmed = false; ///< next rung-0 request runs as the probe
+    /// Deaths on *distinct* requests since the last success. A single
+    /// request escalating its own ladder counts once: its retries are
+    /// already contained by the per-request ladder, and one poisoned
+    /// input must not demote the slot for everyone else.
+    unsigned DistinctFails = 0;
+    uint64_t LastDeathSerial = 0;
   };
 
   // Lifecycle.
@@ -157,17 +197,20 @@ private:
   void flushClient(uint64_t Seq);
   void dropClient(uint64_t Seq);
   void handleFrame(uint64_t Seq, const std::string &Payload);
-  void handleCompile(uint64_t Seq, ServiceRequest Req);
+  void handleCompile(uint64_t Seq, uint64_t Ticket, ServiceRequest Req);
   void readWorker(size_t Idx);
   void handleWorkerResponse(WorkerSlot &W, const std::string &Payload);
   void workerDied(size_t Idx, const char *Why);
   void checkDeadlines(uint64_t Now);
   void pumpWorkers(uint64_t Now);
+  void beginDrain(uint64_t Now);
+  bool drainComplete() const;
+  void handleReload(uint64_t Seq, uint64_t Ticket, const ServiceRequest &Req);
 
   // Responses.
-  void sendResponse(uint64_t Seq, const ServiceRequest &Req,
+  void sendResponse(uint64_t Seq, uint64_t Ticket, const ServiceRequest &Req,
                     ServiceResponse Resp);
-  void sendCached(uint64_t Seq, const ServiceRequest &Req,
+  void sendCached(uint64_t Seq, uint64_t Ticket, const ServiceRequest &Req,
                   const CachedResult &CR);
   /// Re-queue (next rung) or fail (ladder exhausted) W.Cur.
   void escalate(WorkerSlot &W, const char *Why, ErrorCode ExhaustedCode);
@@ -179,7 +222,12 @@ private:
   DaemonOptions Opts;
   int ListenFd = -1;
   ContentCache Cache;
+  CacheStore Store;
+  CacheRecoveryStats Recovery;
   DaemonCounters Counters;
+  bool Draining = false;
+  uint64_t DrainDeadlineAt = 0;
+  uint64_t NextRequestSerial = 1;
   uint64_t NextClientSeq = 1;
   std::map<uint64_t, ClientConn> Clients;
   std::unordered_map<int, uint64_t> FdToClient;

@@ -355,8 +355,23 @@ ServiceResponse vpo::service::compileServiceRequest(const ServiceRequest &Req,
     // already killed workers stays on the portable interpreter tier.
     IO.EnableJIT = true;
     IO.JITNative = Limits.JITNative && Req.Rung < maxServiceRung;
+    // "jit-wild-store[:N]" plants a wild store into the Nth native block
+    // (jit/JIT.h fault injector): the quarantine machinery must catch
+    // the fault, permanently deopt the block, and replay per-op on the
+    // interpreter — the response must still be architecturally exact.
+    unsigned PlantBlock = 0;
+    if (Limits.AllowFaultInjection && IO.JITNative &&
+        parsePlant(Req.Fault, "jit-wild-store", PlantBlock)) {
+      IO.JITPlantWildStore = PlantBlock ? PlantBlock : 1;
+      // Service kernels iterate only a handful of times; promote almost
+      // immediately so the planted block actually compiles and faults.
+      IO.JITHotThreshold = 2;
+      IO.Remarks = &Sink; // surface jit-native-fault / jit-summary
+    }
     Interpreter Interp(*TM, Mem, IO);
     RunResult RR = Interp.run(F, RunArgs);
+    if (IO.Remarks)
+      R.Remarks = Sink.toJsonLines(); // re-render: include run remarks
     R.Ran = true;
     R.RunStatus = runStatusName(RR.Exit);
     R.ReturnValue = RR.ReturnValue;

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <csignal>
 #include <mutex>
 #include <unordered_map>
 
@@ -759,6 +760,9 @@ public:
   uint64_t NativeEntries = 0;
   uint64_t DeoptBudget = 0;
   uint64_t DeoptCold = 0;
+  /// Hardware faults contained during this run (quarantined blocks); the
+  /// driver turns each into a structured jit-native-fault remark.
+  std::vector<jit::NativeFaultRecord> Faults;
 
   RunResult run() {
     if (DF.Ops.empty())
@@ -809,6 +813,27 @@ public:
             }
             if (EK == jit::ExitKind::Trap)
               return trapResult(S);
+            if (EK == jit::ExitKind::NativeFault) {
+              // A hardware fault escaped the emitted code. run() already
+              // quarantined the faulting block (permanent deopt) and — for
+              // an attributed fault — compensated S so the counters above
+              // read "everything before the faulting op committed". The
+              // interpreter resumes at that exact op, so the run still
+              // produces the reference result. Unattributed faults (stub
+              // or wild pc) leave no recoverable state: hard error.
+              const jit::NativeFaultRecord &FR = JP->lastFault();
+              Faults.push_back(FR);
+              if (JP->broken())
+                JP = nullptr; // native execution denied; stay interpreted
+              if (!FR.Attributed)
+                return fail(
+                    RunResult::Status::MalformedIR,
+                    "native code fault could not be attributed to an "
+                    "instruction; run aborted");
+              Idx = FR.ResumeOp;
+              SkipNativeBlock = UINT32_MAX;
+              continue;
+            }
             uint32_t RB = static_cast<uint32_t>(S.ResumeBlock);
             Idx = DF.BlockStart[RB];
             if (static_cast<jit::DeoptReason>(S.Deopt) ==
@@ -1109,7 +1134,8 @@ jit::JITProgram *resolveNative(const InterpreterOptions &Opts, Memory &Mem,
     if (InitLock)
       Lock = std::unique_lock<std::mutex>(*InitLock);
     if (!Tried) {
-      Slot = jit::JITProgram::create(DF, Opts.JITMaxCodeBytes);
+      Slot = jit::JITProgram::create(DF, Opts.JITMaxCodeBytes,
+                                     Opts.JITPlantWildStore);
       Tried = true;
     }
   }
@@ -1217,6 +1243,19 @@ RunResult Interpreter::runFunctional(const DecodedFunction &DF,
   FuncMachine M(Mem, DF, Args, MaxSteps, Vals, JP, Opts.JITHotThreshold);
   RunResult R = M.run();
 
+  if (JP || !M.Faults.empty()) {
+    if (RE.enabled()) {
+      for (const jit::NativeFaultRecord &FR : M.Faults)
+        RE.emit(RE.start("jit-native-fault")
+                    .arg("kind", FR.Sig == SIGSEGV   ? "segv"
+                                 : FR.Sig == SIGBUS ? "bus"
+                                                    : "fpe")
+                    .arg("block", static_cast<uint64_t>(FR.Block))
+                    .arg("pc-off", FR.PcOff)
+                    .arg("resume-op", static_cast<uint64_t>(FR.ResumeOp))
+                    .arg("attributed", FR.Attributed));
+    }
+  }
   if (JP) {
     if (RE.enabled()) {
       const jit::ProgramStats &St = JP->stats();
@@ -1227,7 +1266,9 @@ RunResult Interpreter::runFunctional(const DecodedFunction &DF,
                   .arg("promotions", M.Promotions)
                   .arg("native-entries", M.NativeEntries)
                   .arg("deopt-budget", M.DeoptBudget)
-                  .arg("deopt-cold", M.DeoptCold));
+                  .arg("deopt-cold", M.DeoptCold)
+                  .arg("native-faults", St.NativeFaults)
+                  .arg("blocks-quarantined", St.BlocksQuarantined));
     }
     JP->release();
   }

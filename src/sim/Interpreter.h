@@ -142,6 +142,10 @@ struct InterpreterOptions {
   uint64_t JITHotThreshold = 32;
   /// Reserved native-code address space per function.
   size_t JITMaxCodeBytes = 16u << 20;
+  /// Seeded fault injector (test rigs only): corrupt the Nth block the
+  /// JIT compiles with a wild store to a non-canonical address, proving
+  /// the native-fault quarantine end to end. 0 = off.
+  uint32_t JITPlantWildStore = 0;
   /// Optional sink for jit-disabled / jit-summary remarks (read-only
   /// telemetry; never observed by execution).
   RemarkSink *Remarks = nullptr;

@@ -1,0 +1,284 @@
+//===- tests/jit/jit_quarantine_test.cpp - native-fault quarantine --------===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-healing contract of the native tier: a hardware fault inside
+/// emitted code (proved with the seeded wild-store injector,
+/// InterpreterOptions::JITPlantWildStore) must be contained — the
+/// faulting block is quarantined (permanent deopt, chain sites
+/// un-patched, never recompiled), the run resumes on the interpreter at
+/// the exact faulting op and produces the byte-identical reference
+/// result, and telemetry records a structured jit-native-fault remark
+/// plus native-faults / blocks-quarantined counters in jit-summary.
+///
+/// The VPO_NO_JIT / JITNative=false side of the contract rides along:
+/// with native execution off, the fault handlers are never installed
+/// (NativeFaultScope::installCount() stays zero) and results are
+/// byte-identical anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "jit/JIT.h"
+#include "jit/NativeFault.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "support/Remark.h"
+#include "target/TargetMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+using namespace vpo;
+
+namespace {
+
+/// A two-block hot loop with memory traffic: the load/store counters and
+/// the memory image make corrupted-but-unquarantined execution visible.
+const char *LoopKernel = "func @k(r1, r2) {\n"
+                         "e:\n"
+                         "  r3 = mov 0\n"
+                         "  r4 = mov 0\n"
+                         "  jmp head\n"
+                         "head:\n"
+                         "  br.lts r4, r2, body, done\n"
+                         "body:\n"
+                         "  r5 = load.i16.s [r1]\n"
+                         "  r3 = add r3, r5\n"
+                         "  r1 = add r1, 2\n"
+                         "  r4 = add r4, 1\n"
+                         "  jmp head\n"
+                         "done:\n"
+                         "  ret r3\n"
+                         "}\n";
+
+void fillArena(Memory &Mem) {
+  for (uint64_t A = 4096; A < 4096 + 2048; A += 2)
+    Mem.tryWrite(A, 2, (A / 2) % 251);
+}
+
+std::string remarkArg(const Remark &R, const char *Key) {
+  for (const auto &KV : R.Args)
+    if (std::strcmp(KV.first, Key) == 0)
+      return KV.second;
+  return "";
+}
+
+const Remark *findRemark(const CollectingRemarkSink &Sink,
+                         const char *Reason) {
+  for (const Remark &R : Sink.remarks())
+    if (std::strcmp(R.Reason, Reason) == 0)
+      return &R;
+  return nullptr;
+}
+
+/// Reference result: the cycle-accurate IR walk, no JIT anywhere near it.
+RunResult referenceRun(Function &F, int64_t N) {
+  Memory Mem;
+  fillArena(Mem);
+  Interpreter I(makeAlphaTarget(), Mem,
+                InterpreterOptions{/*Predecode=*/false});
+  return I.run(F, {4096, N});
+}
+
+void expectSameArch(const RunResult &Ref, const RunResult &Got) {
+  EXPECT_EQ(Ref.Exit, Got.Exit);
+  EXPECT_EQ(Ref.Error, Got.Error);
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue);
+  EXPECT_EQ(Ref.Instructions, Got.Instructions);
+  EXPECT_EQ(Ref.Loads, Got.Loads);
+  EXPECT_EQ(Ref.Stores, Got.Stores);
+  EXPECT_EQ(Ref.LoadBytes, Got.LoadBytes);
+  EXPECT_EQ(Ref.StoreBytes, Got.StoreBytes);
+  EXPECT_EQ(Ref.Branches, Got.Branches);
+}
+
+/// Plant a wild store in the first compiled block: the fault must yield
+/// the reference-identical result, one jit-native-fault remark, and a
+/// quarantine recorded in jit-summary.
+TEST(Quarantine, PlantedWildStoreMatchesReference) {
+  if (!jit::nativeAvailability().Ok)
+    GTEST_SKIP() << "native tier unavailable: "
+                 << jit::nativeAvailability().Reason;
+
+  std::string Err;
+  auto M = parseModule(LoopKernel, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  RunResult Ref = referenceRun(F, 200);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  CollectingRemarkSink Sink;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 2;
+  O.JITPlantWildStore = 1;
+  O.Remarks = &Sink;
+  Memory MemJit, MemRef;
+  fillArena(MemJit);
+  fillArena(MemRef);
+  Interpreter I(makeAlphaTarget(), MemJit, O);
+  RunResult R = I.run(F, {4096, 200});
+
+  ASSERT_TRUE(R.ok()) << R.Error;
+  expectSameArch(Ref, R);
+  EXPECT_EQ(std::memcmp(MemJit.data(), MemRef.data(), MemJit.size()), 0)
+      << "quarantine replay corrupted the memory image";
+
+  ASSERT_EQ(Sink.count("jit-native-fault"), 1u) << Sink.renderAll();
+  const Remark *Fault = findRemark(Sink, "jit-native-fault");
+  ASSERT_NE(Fault, nullptr);
+  EXPECT_EQ(remarkArg(*Fault, "kind"), "segv");
+  EXPECT_EQ(remarkArg(*Fault, "attributed"), "true");
+  EXPECT_FALSE(remarkArg(*Fault, "block").empty());
+  EXPECT_FALSE(remarkArg(*Fault, "pc-off").empty());
+
+  const Remark *Summary = findRemark(Sink, "jit-summary");
+  ASSERT_NE(Summary, nullptr) << Sink.renderAll();
+  EXPECT_EQ(remarkArg(*Summary, "native-faults"), "1");
+  EXPECT_EQ(remarkArg(*Summary, "blocks-quarantined"), "1");
+
+  // Second run of the same function: the quarantined block must never
+  // recompile — no new fault, cumulative counters unchanged, result
+  // still exact (the block runs interpreted forever).
+  CollectingRemarkSink Sink2;
+  InterpreterOptions O2 = O;
+  O2.Remarks = &Sink2;
+  Memory MemJit2, MemRef2;
+  fillArena(MemJit2);
+  fillArena(MemRef2);
+  Interpreter I2(makeAlphaTarget(), MemJit2, O2);
+  RunResult R2 = I2.run(F, {4096, 200});
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  expectSameArch(Ref, R2);
+  EXPECT_EQ(std::memcmp(MemJit2.data(), MemRef2.data(), MemJit2.size()), 0);
+  EXPECT_EQ(Sink2.count("jit-native-fault"), 0u) << Sink2.renderAll();
+  const Remark *Summary2 = findRemark(Sink2, "jit-summary");
+  ASSERT_NE(Summary2, nullptr) << Sink2.renderAll();
+  EXPECT_EQ(remarkArg(*Summary2, "native-faults"), "1");
+  EXPECT_EQ(remarkArg(*Summary2, "blocks-quarantined"), "1");
+}
+
+/// Plant in the *second* compiled block: by then the first block has
+/// chained a direct jump to it, and quarantine must un-patch that chain
+/// site back to the deopt stub — otherwise the next native entry jumps
+/// straight back into the corrupted code.
+TEST(Quarantine, ChainSitesUnpatchedOnQuarantine) {
+  if (!jit::nativeAvailability().Ok)
+    GTEST_SKIP() << "native tier unavailable: "
+                 << jit::nativeAvailability().Reason;
+
+  std::string Err;
+  auto M = parseModule(LoopKernel, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  RunResult Ref = referenceRun(F, 500);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  CollectingRemarkSink Sink;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 2;
+  O.JITPlantWildStore = 2;
+  O.Remarks = &Sink;
+  Memory MemJit, MemRef;
+  fillArena(MemJit);
+  fillArena(MemRef);
+  Interpreter I(makeAlphaTarget(), MemJit, O);
+  RunResult R = I.run(F, {4096, 500});
+
+  ASSERT_TRUE(R.ok()) << R.Error;
+  expectSameArch(Ref, R);
+  EXPECT_EQ(std::memcmp(MemJit.data(), MemRef.data(), MemJit.size()), 0);
+  // Exactly one fault: were the chain site still patched to the
+  // quarantined entry, the loop would re-fault (or worse) every
+  // iteration.
+  EXPECT_EQ(Sink.count("jit-native-fault"), 1u) << Sink.renderAll();
+  const Remark *Summary = findRemark(Sink, "jit-summary");
+  ASSERT_NE(Summary, nullptr) << Sink.renderAll();
+  EXPECT_EQ(remarkArg(*Summary, "native-faults"), "1");
+  EXPECT_EQ(remarkArg(*Summary, "blocks-quarantined"), "1");
+}
+
+/// With native execution off, the plant is inert and the fault handlers
+/// are never installed — the VPO_NO_JIT=1 CI pass runs this same test
+/// with nativeAvailability() vetoed, proving byte-identical interpreted
+/// behavior with zero signal-handler footprint.
+TEST(Quarantine, NativeOffNeverInstallsHandlers) {
+  const uint64_t Before = jit::NativeFaultScope::installCount();
+  EXPECT_FALSE(jit::NativeFaultScope::handlersActive());
+
+  std::string Err;
+  auto M = parseModule(LoopKernel, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+  RunResult Ref = referenceRun(F, 300);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+
+  CollectingRemarkSink Sink;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITNative = false; // interpreted tier only
+  O.JITHotThreshold = 2;
+  O.JITPlantWildStore = 1; // must be inert with the native tier off
+  O.Remarks = &Sink;
+  Memory MemJit, MemRef;
+  fillArena(MemJit);
+  fillArena(MemRef);
+  Interpreter I(makeAlphaTarget(), MemJit, O);
+  RunResult R = I.run(F, {4096, 300});
+
+  ASSERT_TRUE(R.ok()) << R.Error;
+  expectSameArch(Ref, R);
+  EXPECT_EQ(std::memcmp(MemJit.data(), MemRef.data(), MemJit.size()), 0);
+  EXPECT_EQ(Sink.count("jit-native-fault"), 0u);
+  EXPECT_EQ(jit::NativeFaultScope::installCount(), Before)
+      << "fault handlers must only exist while native code runs";
+  // When the probe vetoed native execution for the whole process
+  // (VPO_NO_JIT=1, non-x86-64), no test can ever have installed them.
+  if (!jit::nativeAvailability().Ok) {
+    EXPECT_EQ(jit::NativeFaultScope::installCount(), 0u);
+  }
+}
+
+/// Handlers are scoped: installed during a native run, gone after it.
+TEST(Quarantine, HandlersRemovedAfterCleanNativeRun) {
+  if (!jit::nativeAvailability().Ok)
+    GTEST_SKIP() << "native tier unavailable: "
+                 << jit::nativeAvailability().Reason;
+
+  std::string Err;
+  auto M = parseModule(LoopKernel, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Function &F = *M->functions().front();
+
+  const uint64_t Before = jit::NativeFaultScope::installCount();
+  CollectingRemarkSink Sink;
+  InterpreterOptions O;
+  O.EnableJIT = true;
+  O.JITHotThreshold = 2;
+  O.Remarks = &Sink;
+  Memory Mem;
+  fillArena(Mem);
+  Interpreter I(makeAlphaTarget(), Mem, O);
+  RunResult R = I.run(F, {4096, 200});
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  const Remark *Summary = findRemark(Sink, "jit-summary");
+  ASSERT_NE(Summary, nullptr) << Sink.renderAll();
+  ASSERT_NE(remarkArg(*Summary, "native-entries"), "0")
+      << "loop never promoted; the scope was never exercised";
+  EXPECT_GT(jit::NativeFaultScope::installCount(), Before)
+      << "native entries must have armed the fault scope";
+  EXPECT_FALSE(jit::NativeFaultScope::handlersActive())
+      << "handlers must be removed once native code is not running";
+  EXPECT_EQ(Sink.count("jit-native-fault"), 0u) << Sink.renderAll();
+}
+
+} // namespace

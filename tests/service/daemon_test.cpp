@@ -402,6 +402,44 @@ TEST(DaemonLadder, DegradedResultsAreNotCached) {
 }
 
 //===----------------------------------------------------------------------===//
+// Pipelining
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonPipeline, ResponsesComeBackInRequestOrder) {
+  DaemonHarness H;
+  ServiceClient C;
+  ASSERT_TRUE(H.connect(C));
+
+  // Distinct kernels shard onto different workers, so completion order
+  // is a race — but the ticketed response path must put answers back on
+  // the wire in request order, which is what lets a batch client
+  // pipeline without correlating by id. The trailing ping is answered
+  // instantly by the event loop yet must still arrive last.
+  const int N = 12;
+  for (int I = 0; I < N; ++I) {
+    ServiceRequest Req = compileReq("p-" + std::to_string(I));
+    size_t At = Req.IR.find("@sum");
+    ASSERT_NE(At, std::string::npos);
+    Req.IR.replace(At, 4, "@k" + std::to_string(I));
+    ASSERT_TRUE(C.send(Req).isOk());
+  }
+  ServiceRequest Ping;
+  Ping.Op = "ping";
+  Ping.Id = "after";
+  ASSERT_TRUE(C.send(Ping).isOk());
+
+  for (int I = 0; I < N; ++I) {
+    StatusOr<ServiceResponse> R = C.receive();
+    ASSERT_TRUE(R.isOk()) << R.status().message();
+    EXPECT_EQ(R->Id, "p-" + std::to_string(I));
+    EXPECT_EQ(R->Status, ErrorCode::Ok) << R->Error;
+  }
+  StatusOr<ServiceResponse> Last = C.receive();
+  ASSERT_TRUE(Last.isOk()) << Last.status().message();
+  EXPECT_EQ(Last->Id, "after");
+}
+
+//===----------------------------------------------------------------------===//
 // Load shedding
 //===----------------------------------------------------------------------===//
 

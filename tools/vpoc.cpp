@@ -18,8 +18,12 @@
 /// are drained (the daemon responds in order per connection), so a
 /// multi-file batch keeps every pool worker busy. With --ir the
 /// optimized IR is printed to stdout instead of the JSON line (single
-/// file only). Exit code: 0 when every response has status "ok", 1
-/// otherwise, 2 on usage/connection errors.
+/// file only).
+///
+/// Transport failures (daemon restarting, connection refused, killed
+/// mid-exchange) and Overloaded shedding are retried with exponential
+/// backoff + jitter; unanswered requests are resent after a reconnect.
+/// Exit codes separate the failure domains — see --help.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -51,7 +56,19 @@ void usage() {
       "  --remarks          include remark NDJSON in responses\n"
       "  --ir               print optimized IR instead of the JSON line\n"
       "  --no-ir            ask the daemon not to ship IR back\n"
-      "With no kernel files, op=compile reads one kernel from stdin.\n");
+      "  --retries=N        extra attempts on transport failure or\n"
+      "                     overloaded responses (default 4)\n"
+      "  --no-retry         fail fast: equivalent to --retries=0\n"
+      "With no kernel files, op=compile reads one kernel from stdin.\n"
+      "\n"
+      "Exit codes:\n"
+      "  0  every response arrived with status \"ok\"\n"
+      "  1  the daemon answered, but some response carries a structured\n"
+      "     error status (parse-error, overloaded after retries, ...)\n"
+      "  2  usage error or unreadable local input file\n"
+      "  3  transport failure that outlived the retry budget: could not\n"
+      "     connect, or the connection died and could not be re-"
+      "established\n");
 }
 
 bool readAll(std::FILE *F, std::string &Out) {
@@ -77,6 +94,7 @@ int main(int Argc, char **Argv) {
   std::string Socket = "vpod.sock";
   ServiceRequest Proto;
   bool PrintIR = false;
+  unsigned Retries = 4;
   std::vector<std::string> Files;
 
   for (int I = 1; I < Argc; ++I) {
@@ -103,6 +121,10 @@ int main(int Argc, char **Argv) {
       Proto.DeadlineMs = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Val("--fault")) {
       Proto.Fault = V;
+    } else if (const char *V = Val("--retries")) {
+      Retries = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--no-retry") {
+      Retries = 0;
     } else if (Arg == "--remarks") {
       Proto.WantRemarks = true;
     } else if (Arg == "--ir") {
@@ -125,19 +147,17 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  ServiceClient Client;
-  if (Status S = Client.connectTo(Socket); !S) {
-    std::fprintf(stderr, "vpoc: %s\n", S.message().c_str());
-    return 2;
-  }
+  RetryPolicy Policy;
+  Policy.MaxAttempts = Retries + 1;
 
-  // Control ops carry no kernel.
+  // Control ops carry no kernel; one retried call does it.
   if (Proto.Op != "compile") {
     Proto.Id = "0";
+    RetryingClient Client(Socket, Policy);
     StatusOr<ServiceResponse> R = Client.call(Proto);
     if (!R) {
       std::fprintf(stderr, "vpoc: %s\n", R.status().message().c_str());
-      return 2;
+      return 3;
     }
     std::printf("%s\n", R->toJson().c_str());
     return R->Status == ErrorCode::Ok ? 0 : 1;
@@ -164,29 +184,107 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Pipeline: write everything, then drain in order.
-  for (const ServiceRequest &Req : Batch)
-    if (Status S = Client.send(Req); !S) {
-      std::fprintf(stderr, "vpoc: %s\n", S.message().c_str());
-      return 2;
+  // Pipeline with bounded retry: write the whole window, drain in
+  // order; a transport failure reconnects and resends only the
+  // still-unanswered requests, an Overloaded response re-queues that
+  // request for the next pass. Each recovery costs one attempt plus an
+  // exponential backoff with deterministic jitter.
+  std::vector<ServiceResponse> Results(Batch.size());
+  std::vector<bool> Done(Batch.size(), false);
+  std::vector<size_t> Todo;
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Todo.push_back(I);
+
+  ServiceClient Client;
+  uint64_t Rng = 1;
+  auto backoff = [&Rng](unsigned Attempt) {
+    uint64_t Delay = 50;
+    for (unsigned I = 0; I < Attempt && Delay < 2000; ++I)
+      Delay *= 2;
+    if (Delay > 2000)
+      Delay = 2000;
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    Delay += Rng % (Delay / 2 + 1);
+    timespec TS{time_t(Delay / 1000), long(Delay % 1000) * 1000000};
+    nanosleep(&TS, nullptr);
+  };
+
+  unsigned Attempt = 0;
+  std::string LastTransportError;
+  while (!Todo.empty()) {
+    if (Attempt > Retries) {
+      std::fprintf(stderr,
+                   "vpoc: giving up after %u attempts, %zu request(s) "
+                   "unanswered: %s\n",
+                   Attempt, Todo.size(), LastTransportError.c_str());
+      return 3;
     }
+    if (Attempt > 0)
+      backoff(Attempt - 1);
+    if (!Client.connected()) {
+      if (Status S = Client.connectTo(Socket); !S) {
+        LastTransportError = S.message();
+        ++Attempt;
+        continue;
+      }
+    }
+    bool SendFailed = false;
+    for (size_t I : Todo)
+      if (Status S = Client.send(Batch[I]); !S) {
+        LastTransportError = S.message();
+        SendFailed = true;
+        break;
+      }
+    if (SendFailed) {
+      Client.close();
+      ++Attempt;
+      continue;
+    }
+    std::vector<size_t> Unanswered;
+    size_t Got = 0;
+    for (size_t K = 0; K < Todo.size(); ++K) {
+      StatusOr<ServiceResponse> R = Client.receive();
+      if (!R) {
+        // The daemon died mid-drain: everything not yet answered in
+        // this pass is resent after the reconnect.
+        LastTransportError = R.status().message();
+        Client.close();
+        break;
+      }
+      ++Got;
+      size_t I = Todo[K];
+      if (R->Status == ErrorCode::Overloaded && Attempt < Retries) {
+        Unanswered.push_back(I); // explicit shed: next pass retries it
+        continue;
+      }
+      Results[I] = std::move(*R);
+      Done[I] = true;
+    }
+    for (size_t K = Got; K < Todo.size(); ++K)
+      Unanswered.push_back(Todo[K]);
+    bool Recovering = Got < Todo.size() || !Unanswered.empty();
+    Todo = std::move(Unanswered);
+    if (Recovering)
+      ++Attempt;
+  }
+
   int Exit = 0;
   for (size_t I = 0; I < Batch.size(); ++I) {
-    StatusOr<ServiceResponse> R = Client.receive();
-    if (!R) {
-      std::fprintf(stderr, "vpoc: %s\n", R.status().message().c_str());
-      return 2;
-    }
-    if (R->Status != ErrorCode::Ok)
+    if (!Done[I])
+      continue; // unreachable: Todo drained
+    const ServiceResponse &R = Results[I];
+    if (R.Status != ErrorCode::Ok)
       Exit = 1;
     if (PrintIR) {
-      if (R->Status != ErrorCode::Ok)
-        std::fprintf(stderr, "vpoc: %s: %s\n",
-                     errorCodeName(R->Status), R->Error.c_str());
+      if (R.Status != ErrorCode::Ok)
+        std::fprintf(stderr, "vpoc: %s: %s\n", errorCodeName(R.Status),
+                     R.Error.c_str());
       else
-        std::fputs(R->IR.c_str(), stdout);
+        std::fputs(R.IR.c_str(), stdout);
     } else {
-      std::printf("%s\n", R->toJson().c_str());
+      std::printf("%s\n", R.toJson().c_str());
     }
   }
   return Exit;
