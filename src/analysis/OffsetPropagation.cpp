@@ -1,0 +1,415 @@
+//===- analysis/OffsetPropagation.cpp - loop-pointer fixed point *- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OffsetPropagation.h"
+
+#include "analysis/CFG.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace vpo;
+
+namespace {
+
+/// Every sweep visits every block once; widening bounds the number of
+/// productive sweeps by the lattice height, so this cap is a backstop for
+/// pathological inputs, not a tuning knob.
+constexpr unsigned MaxSweeps = 48;
+
+/// Footprints with more distinct references than this give up rather than
+/// risk quadratic residue checks (an unrolled body stays well under it).
+constexpr size_t MaxFootprintRefs = 128;
+
+OffsetRange evalOperand(const OffsetPropagation::State &St, const Operand &O) {
+  if (O.isImm())
+    return OffsetRange::number(O.imm());
+  if (!O.isReg())
+    return OffsetRange::unknown();
+  auto It = St.find(O.reg().Id);
+  return It == St.end() ? OffsetRange::unknown() : It->second;
+}
+
+void setReg(OffsetPropagation::State &St, Reg R, const OffsetRange &V) {
+  if (V.isTop())
+    St.erase(R.Id); // absent = top keeps states canonical and small
+  else
+    St[R.Id] = V;
+}
+
+/// Pointwise state join. Registers present in only one side join with top
+/// and disappear.
+OffsetPropagation::State joinStates(const OffsetPropagation::State &A,
+                                    const OffsetPropagation::State &B) {
+  OffsetPropagation::State R;
+  for (const auto &[Id, VA] : A) {
+    auto It = B.find(Id);
+    if (It == B.end())
+      continue;
+    OffsetRange J = OffsetRange::join(VA, It->second);
+    if (!J.isTop())
+      R.emplace(Id, J);
+  }
+  return R;
+}
+
+/// Pointwise widening of \p NewIn against the previous header state.
+OffsetPropagation::State widenStates(const OffsetPropagation::State &Old,
+                                     const OffsetPropagation::State &NewIn,
+                                     bool &Widened) {
+  OffsetPropagation::State R;
+  for (const auto &[Id, VN] : NewIn) {
+    auto It = Old.find(Id);
+    if (It == Old.end())
+      continue; // was already top
+    OffsetRange W = OffsetRange::widen(It->second, VN);
+    if (W != VN)
+      Widened = true;
+    if (!W.isTop())
+      R.emplace(Id, W);
+  }
+  if (R.size() != NewIn.size())
+    Widened = true;
+  return R;
+}
+
+bool statesEqual(const OffsetPropagation::State &A,
+                 const OffsetPropagation::State &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const auto &[Id, VA] : A) {
+    auto It = B.find(Id);
+    if (It == B.end() || !(VA == It->second))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void OffsetPropagation::applyInstruction(State &St, const Instruction &I) {
+  auto Def = I.def();
+  if (!Def)
+    return; // stores and control flow bind no register
+  OffsetRange V = OffsetRange::unknown();
+  switch (I.Op) {
+  case Opcode::Mov:
+    V = evalOperand(St, I.A);
+    break;
+  case Opcode::Add:
+    V = OffsetRange::add(evalOperand(St, I.A), evalOperand(St, I.B));
+    break;
+  case Opcode::Sub:
+    V = OffsetRange::sub(evalOperand(St, I.A), evalOperand(St, I.B));
+    break;
+  case Opcode::Mul: {
+    int64_t C;
+    if (evalOperand(St, I.B).isExact(C))
+      V = OffsetRange::mulConst(evalOperand(St, I.A), C);
+    else if (evalOperand(St, I.A).isExact(C))
+      V = OffsetRange::mulConst(evalOperand(St, I.B), C);
+    break;
+  }
+  case Opcode::Shl: {
+    int64_t C;
+    if (evalOperand(St, I.B).isExact(C))
+      V = OffsetRange::shlConst(evalOperand(St, I.A), C);
+    break;
+  }
+  case Opcode::And: {
+    int64_t C;
+    if (evalOperand(St, I.B).isExact(C))
+      V = OffsetRange::andMask(evalOperand(St, I.A), C);
+    else if (evalOperand(St, I.A).isExact(C))
+      V = OffsetRange::andMask(evalOperand(St, I.B), C);
+    break;
+  }
+  case Opcode::CmpSet:
+    V = OffsetRange::boolRange();
+    break;
+  case Opcode::Select:
+    V = OffsetRange::join(evalOperand(St, I.B), evalOperand(St, I.C));
+    break;
+  case Opcode::Ext:
+    V = OffsetRange::extRange(evalOperand(St, I.A), widthBits(I.W),
+                              I.SignExtend);
+    break;
+  default:
+    // Loads, divisions, FP, field manipulation: no offset tracking.
+    break;
+  }
+  setReg(St, *Def, V);
+}
+
+OffsetPropagation::OffsetPropagation(const Function &Fn) : F(Fn) {
+  CFG G(F);
+  const std::vector<BasicBlock *> &RPO = G.reversePostOrder();
+  std::unordered_map<const BasicBlock *, size_t> RPOIdx;
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RPOIdx[RPO[I]] = I;
+
+  // Widening points: targets of back edges w.r.t. the RPO numbering
+  // (covers all natural-loop headers, plus any irreducible entries).
+  std::unordered_map<const BasicBlock *, bool> WidenPoint;
+  for (BasicBlock *BB : RPO)
+    for (BasicBlock *P : G.predecessors(BB))
+      if (RPOIdx[P] >= RPOIdx[BB])
+        WidenPoint[BB] = true;
+
+  State Entry;
+  const std::vector<Reg> &Params = F.params();
+  for (size_t I = 0; I < Params.size(); ++I)
+    Entry[Params[I].Id] = OffsetRange::param(static_cast<unsigned>(I));
+
+  const BasicBlock *EntryBB = F.blocks().empty() ? nullptr : F.entry();
+  if (!EntryBB) {
+    Converged = true;
+    return;
+  }
+
+  auto Transfer = [](const State &In, const BasicBlock *BB) {
+    State Out = In;
+    for (const Instruction &I : BB->insts())
+      applyInstruction(Out, I);
+    return Out;
+  };
+
+  InStates[EntryBB] = Entry;
+  OutStates[EntryBB] = Transfer(Entry, EntryBB);
+
+  for (unsigned Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    ++S.Sweeps;
+    bool Changed = false;
+    for (BasicBlock *BB : RPO) {
+      State In;
+      bool AnyPred = false;
+      if (BB == EntryBB) {
+        In = Entry;
+        AnyPred = true;
+      }
+      for (BasicBlock *P : G.predecessors(BB)) {
+        auto It = OutStates.find(P);
+        if (It == OutStates.end())
+          continue; // predecessor not yet reached: bottom contributes nothing
+        In = AnyPred ? joinStates(In, It->second) : It->second;
+        AnyPred = true;
+      }
+      if (!AnyPred)
+        continue; // unreachable block: stays bottom
+      auto OldIt = InStates.find(BB);
+      if (OldIt != InStates.end()) {
+        if (WidenPoint[BB]) {
+          bool Widened = false;
+          In = widenStates(OldIt->second, In, Widened);
+          if (Widened)
+            ++S.Widenings;
+        }
+        if (statesEqual(OldIt->second, In))
+          continue;
+      }
+      InStates[BB] = In;
+      OutStates[BB] = Transfer(In, BB);
+      Changed = true;
+    }
+    if (!Changed) {
+      Converged = true;
+      break;
+    }
+  }
+}
+
+OffsetRange OffsetPropagation::valueAt(const BasicBlock *BB, Reg R) const {
+  if (!Converged)
+    return OffsetRange::unknown();
+  auto It = InStates.find(BB);
+  if (It == InStates.end())
+    return OffsetRange::bottom(); // unreachable
+  auto VIt = It->second.find(R.Id);
+  return VIt == It->second.end() ? OffsetRange::unknown() : VIt->second;
+}
+
+OffsetRange OffsetPropagation::valueAfter(const BasicBlock *BB, Reg R) const {
+  if (!Converged)
+    return OffsetRange::unknown();
+  auto It = OutStates.find(BB);
+  if (It == OutStates.end())
+    return OffsetRange::bottom();
+  auto VIt = It->second.find(R.Id);
+  return VIt == It->second.end() ? OffsetRange::unknown() : VIt->second;
+}
+
+PartitionFootprint vpo::computePartitionFootprint(const OffsetPropagation &OP,
+                                                  const Loop &L,
+                                                  const LoopScalarInfo &LSI,
+                                                  const Partition &P) {
+  PartitionFootprint FP;
+  OffsetRange V = OP.valueAt(L.header(), P.Base);
+  if (!V.isParam() || P.Refs.empty())
+    return FP;
+  FP.ParamIdx = V.paramIdx();
+  FP.Mod = V.mod();
+  FP.Rem = V.rem();
+  FP.HasLo = V.hasLo();
+  FP.Lo = V.lo();
+  FP.HasHi = V.hasHi();
+  FP.Hi = V.hi();
+
+  // Bound clamp: when this partition's base is the loop-bound IV, the
+  // continuation condition caps the iteration-start offset against the
+  // limit's offset from the same parameter. (No-wrap assumption: see the
+  // header comment.)
+  if (const std::optional<LoopBound> &B = LSI.bound();
+      B && B->IV == P.Base) {
+    OffsetRange LV = B->Limit.isImm()
+                         ? OffsetRange::number(B->Limit.imm())
+                         : OP.valueAt(L.header(), B->Limit.reg());
+    if (LV.isParam() && LV.paramIdx() == FP.ParamIdx) {
+      auto ClampHi = [&](int64_t NewHi) {
+        FP.Hi = FP.HasHi ? std::min(FP.Hi, NewHi) : NewHi;
+        FP.HasHi = true;
+      };
+      auto ClampLo = [&](int64_t NewLo) {
+        FP.Lo = FP.HasLo ? std::max(FP.Lo, NewLo) : NewLo;
+        FP.HasLo = true;
+      };
+      int64_t Adj;
+      switch (B->ContinueCond) {
+      case CondCode::LTu:
+      case CondCode::LTs:
+        if (LV.hasHi() && !__builtin_sub_overflow(LV.hi(), int64_t(1), &Adj))
+          ClampHi(Adj);
+        break;
+      case CondCode::LEu:
+      case CondCode::LEs:
+        if (LV.hasHi())
+          ClampHi(LV.hi());
+        break;
+      case CondCode::GTu:
+      case CondCode::GTs:
+        if (LV.hasLo() && !__builtin_add_overflow(LV.lo(), int64_t(1), &Adj))
+          ClampLo(Adj);
+        break;
+      case CondCode::GEu:
+      case CondCode::GEs:
+        if (LV.hasLo())
+          ClampLo(LV.lo());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  for (const MemRef &R : P.Refs) {
+    std::pair<int64_t, unsigned> E{R.Offset, widthBytes(R.W)};
+    if (std::find(FP.Refs.begin(), FP.Refs.end(), E) == FP.Refs.end())
+      FP.Refs.push_back(E);
+  }
+  if (FP.Refs.size() > MaxFootprintRefs)
+    return FP; // Valid stays false: give up rather than scan quadratically
+  FP.MinOff = FP.Refs.front().first;
+  FP.MaxOffEnd = FP.Refs.front().first;
+  for (const auto &[Off, W] : FP.Refs) {
+    FP.MinOff = std::min(FP.MinOff, Off);
+    int64_t End;
+    if (__builtin_add_overflow(Off, static_cast<int64_t>(W), &End))
+      return FP;
+    FP.MaxOffEnd = std::max(FP.MaxOffEnd, End);
+  }
+  FP.Valid = true;
+  return FP;
+}
+
+namespace {
+
+/// [SA, SA+LA) and [SB, SB+LB) disjoint on the circle of size M.
+bool wrappedDisjoint(uint64_t M, int64_t SA, uint64_t LA, int64_t SB,
+                     uint64_t LB) {
+  return static_cast<uint64_t>(floorMod(SB - SA, M)) >= LA &&
+         static_cast<uint64_t>(floorMod(SA - SB, M)) >= LB;
+}
+
+} // namespace
+
+bool vpo::provablyDisjoint(const PartitionFootprint &A,
+                           const PartitionFootprint &B, const char **Why) {
+  if (!A.Valid || !B.Valid || A.ParamIdx != B.ParamIdx)
+    return false;
+
+  // Interval rule: the two absolute touched spans never meet.
+  int64_t AHiEnd = 0, BLoStart = 0, BHiEnd = 0, ALoStart = 0;
+  bool AHiOk = A.HasHi && !__builtin_add_overflow(A.Hi, A.MaxOffEnd, &AHiEnd);
+  bool ALoOk = A.HasLo && !__builtin_add_overflow(A.Lo, A.MinOff, &ALoStart);
+  bool BHiOk = B.HasHi && !__builtin_add_overflow(B.Hi, B.MaxOffEnd, &BHiEnd);
+  bool BLoOk = B.HasLo && !__builtin_add_overflow(B.Lo, B.MinOff, &BLoStart);
+  if ((AHiOk && BLoOk && AHiEnd <= BLoStart) ||
+      (BHiOk && ALoOk && BHiEnd <= ALoStart)) {
+    if (Why)
+      *Why = "interval";
+    return true;
+  }
+
+  // Residue rule: both footprints are periodic modulo a common stride and
+  // occupy disjoint residue classes on that circle.
+  if (A.Mod == 0 && B.Mod == 0) {
+    // Both pointers are loop-invariant with exact offsets: compare the
+    // finite byte sets directly.
+    for (const auto &[OffA, WA] : A.Refs)
+      for (const auto &[OffB, WB] : B.Refs) {
+        int64_t SA = A.Rem + OffA, SB = B.Rem + OffB;
+        if (SA < SB + static_cast<int64_t>(WB) &&
+            SB < SA + static_cast<int64_t>(WA))
+          return false;
+      }
+    if (Why)
+      *Why = "interval";
+    return true;
+  }
+  uint64_t M = A.Mod == 0 ? B.Mod : (B.Mod == 0 ? A.Mod : std::gcd(A.Mod, B.Mod));
+  if (M <= 1)
+    return false;
+  for (const auto &[OffA, WA] : A.Refs) {
+    if (WA >= M)
+      return false; // one reference covers the whole circle
+    for (const auto &[OffB, WB] : B.Refs) {
+      if (WB >= M)
+        return false;
+      int64_t SA = floorMod(A.Rem + OffA, M);
+      int64_t SB = floorMod(B.Rem + OffB, M);
+      if (!wrappedDisjoint(M, SA, WA, SB, WB))
+        return false;
+    }
+  }
+  if (Why)
+    *Why = "residue-classes";
+  return true;
+}
+
+bool vpo::provablyAligned(const OffsetPropagation &OP, const BasicBlock *Header,
+                          Reg Base, int64_t StartOff, unsigned WideBytes) {
+  if (WideBytes == 0)
+    return false;
+  OffsetRange V = OP.valueAt(Header, Base);
+  int64_t R;
+  if (!V.offsetCongruentTo(WideBytes, R))
+    return false;
+  bool OffsetAligned = floorMod(R + StartOff, WideBytes) == 0;
+  if (!OffsetAligned)
+    return false;
+  if (V.isNumber())
+    return true; // absolute address residue known
+  if (!V.isParam())
+    return false;
+  const Function &F = OP.function();
+  if (V.paramIdx() >= F.params().size())
+    return false;
+  uint64_t Align = F.paramInfoFor(F.params()[V.paramIdx()]).KnownAlign;
+  return Align != 0 && Align % WideBytes == 0;
+}

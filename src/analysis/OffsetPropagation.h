@@ -1,0 +1,131 @@
+//===- analysis/OffsetPropagation.h - loop-pointer fixed point --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward fixed-point propagation of OffsetRange values over a whole
+/// function: every register at every block entry is bound to an abstract
+/// `param + interval + congruence` value, with widening at back-edge
+/// targets for termination. On top of the per-register facts sit the two
+/// queries the coalescer needs:
+///
+///  - provablyDisjoint: two memory partitions whose pointers derive from
+///    the *same* parameter never touch a common byte — either their
+///    absolute offset intervals are separated (bounded cursor vs distant
+///    block) or their footprints occupy disjoint residue classes modulo a
+///    common stride (interleaved channels of one record stream). Such
+///    pairs need no Fig. 5 preheader overlap check.
+///
+///  - provablyAligned: the wide address `base + StartOff` is a multiple of
+///    the wide width on every iteration, from the base's offset congruence
+///    at the loop header combined with the parameter's declared alignment
+///    (or an absolute residue for Number-valued bases). Such runs need no
+///    preheader alignment check.
+///
+/// Soundness caveat (documented in DESIGN.md): interval comparisons across
+/// a loop bound assume pointer arithmetic over live objects does not wrap
+/// the 64-bit address space, which the memory model guarantees (all
+/// allocations live far from the top of the address space).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_OFFSETPROPAGATION_H
+#define VPO_ANALYSIS_OFFSETPROPAGATION_H
+
+#include "analysis/OffsetRange.h"
+#include "ir/Instruction.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class Function;
+class Loop;
+class LoopScalarInfo;
+struct Partition;
+
+/// Whole-function forward propagation of OffsetRange values.
+class OffsetPropagation {
+public:
+  /// Abstract register file at one program point. Registers absent from
+  /// the map are unconstrained (top).
+  using State = std::unordered_map<unsigned, OffsetRange>;
+
+  explicit OffsetPropagation(const Function &F);
+
+  const Function &function() const { return F; }
+
+  /// False if the fixed point did not stabilize within the iteration
+  /// budget; all queries conservatively fail in that case.
+  bool converged() const { return Converged; }
+
+  struct Stats {
+    unsigned Sweeps = 0;    ///< RPO passes until stabilization
+    unsigned Widenings = 0; ///< header states that required widening
+  };
+  const Stats &stats() const { return S; }
+
+  /// Abstract value of \p R on entry to \p BB (bottom if unreachable).
+  OffsetRange valueAt(const BasicBlock *BB, Reg R) const;
+
+  /// Abstract value of \p R after the last instruction of \p BB.
+  OffsetRange valueAfter(const BasicBlock *BB, Reg R) const;
+
+  /// Applies one instruction's transfer function to \p St in place.
+  /// Exposed for the soundness test suite, which replays concrete
+  /// executions against the abstract semantics one step at a time.
+  static void applyInstruction(State &St, const Instruction &I);
+
+private:
+  const Function &F;
+  bool Converged = false;
+  Stats S;
+  std::unordered_map<const BasicBlock *, State> InStates;
+  std::unordered_map<const BasicBlock *, State> OutStates;
+};
+
+/// The byte footprint of one memory partition over the whole loop
+/// execution, relative to one parameter.
+struct PartitionFootprint {
+  bool Valid = false;
+  unsigned ParamIdx = 0;
+  /// Congruence of the iteration-start pointer offset (0 = exact).
+  uint64_t Mod = 1;
+  int64_t Rem = 0;
+  /// Interval of the iteration-start pointer offset across all
+  /// iterations, after clamping against the loop bound.
+  bool HasLo = false, HasHi = false;
+  int64_t Lo = 0, Hi = 0;
+  /// Constant (offset, width) of each reference relative to the
+  /// iteration-start pointer, duplicates removed.
+  std::vector<std::pair<int64_t, unsigned>> Refs;
+  int64_t MinOff = 0;    ///< min over Refs of offset
+  int64_t MaxOffEnd = 0; ///< max over Refs of offset + width
+};
+
+/// Builds the footprint of \p P for loop \p L. Invalid when the base
+/// pointer does not resolve to `parameter + offset` at the loop header.
+PartitionFootprint computePartitionFootprint(const OffsetPropagation &OP,
+                                             const Loop &L,
+                                             const LoopScalarInfo &LSI,
+                                             const Partition &P);
+
+/// True if no byte touched by \p A can be touched by \p B. On success
+/// \p Why (when non-null) names the rule that fired: "interval" or
+/// "residue-classes".
+bool provablyDisjoint(const PartitionFootprint &A, const PartitionFootprint &B,
+                      const char **Why = nullptr);
+
+/// True if `Base + StartOff` is provably WideBytes-aligned on every
+/// iteration of the loop headed by \p Header. \p WideBytes must be a
+/// power of two.
+bool provablyAligned(const OffsetPropagation &OP, const BasicBlock *Header,
+                     Reg Base, int64_t StartOff, unsigned WideBytes);
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_OFFSETPROPAGATION_H

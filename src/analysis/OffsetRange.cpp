@@ -1,0 +1,431 @@
+//===- analysis/OffsetRange.cpp - offset/stride abstract domain -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OffsetRange.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace vpo;
+
+int64_t vpo::floorMod(int64_t V, uint64_t M) {
+  if (M <= 1)
+    return 0;
+  int64_t SM = static_cast<int64_t>(M);
+  int64_t R = V % SM;
+  return R < 0 ? R + SM : R;
+}
+
+namespace {
+
+/// |A - B| as an unsigned 64-bit value (exact for any int64 pair).
+uint64_t absDiff(int64_t A, int64_t B) {
+  return A >= B ? static_cast<uint64_t>(A) - static_cast<uint64_t>(B)
+                : static_cast<uint64_t>(B) - static_cast<uint64_t>(A);
+}
+
+/// Moduli too large for floorMod's signed arithmetic carry no useful
+/// stride information; collapse them to "unknown".
+constexpr uint64_t ModCap = uint64_t(1) << 62;
+
+struct Cong {
+  uint64_t Mod; // 0 = exact, 1 = unknown
+  int64_t Rem;
+};
+
+Cong congUnknown() { return {1, 0}; }
+
+Cong canonCong(uint64_t M, int64_t R) {
+  if (M == 1 || M > ModCap)
+    return congUnknown();
+  if (M == 0)
+    return {0, R};
+  return {M, floorMod(R, M)};
+}
+
+/// gcd treating 0 as the identity (an exact value joins like modulus 0).
+uint64_t gcd0(uint64_t A, uint64_t B) {
+  if (A == 0)
+    return B;
+  if (B == 0)
+    return A;
+  return std::gcd(A, B);
+}
+
+Cong joinCong(Cong A, Cong B) {
+  uint64_t G = gcd0(gcd0(A.Mod, B.Mod), absDiff(A.Rem, B.Rem));
+  if (G == 0) // both exact and equal
+    return {0, A.Rem};
+  return canonCong(G, A.Rem);
+}
+
+Cong addCong(Cong A, Cong B) {
+  uint64_t G = gcd0(A.Mod, B.Mod);
+  int64_t S;
+  if (__builtin_add_overflow(A.Rem, B.Rem, &S))
+    return G == 0 ? congUnknown() : canonCong(G, floorMod(A.Rem, G) +
+                                                     floorMod(B.Rem, G));
+  return canonCong(G, S);
+}
+
+Cong subCong(Cong A, Cong B) {
+  uint64_t G = gcd0(A.Mod, B.Mod);
+  int64_t S;
+  if (__builtin_sub_overflow(A.Rem, B.Rem, &S))
+    return G == 0 ? congUnknown() : canonCong(G, floorMod(A.Rem, G) -
+                                                     floorMod(B.Rem, G));
+  return canonCong(G, S);
+}
+
+Cong mulCongConst(Cong A, int64_t C) {
+  if (C == 0)
+    return {0, 0};
+  uint64_t AC = C < 0 ? -static_cast<uint64_t>(C) : static_cast<uint64_t>(C);
+  int64_t RC;
+  bool RemOv = __builtin_mul_overflow(A.Rem, C, &RC);
+  if (A.Mod == 0)
+    return RemOv ? congUnknown() : Cong{0, RC};
+  uint64_t MC;
+  if (__builtin_mul_overflow(A.Mod, AC, &MC) || MC > ModCap)
+    // value = C * x is still a multiple of C.
+    return canonCong(AC, 0);
+  if (RemOv)
+    return canonCong(AC, 0);
+  return canonCong(MC, RC);
+}
+
+} // namespace
+
+void OffsetRange::normalize() {
+  if (K == Kind::Bottom) {
+    HasLo = HasHi = false;
+    Lo = Hi = 0;
+    Mod = 1;
+    Rem = 0;
+    ParamIdx = 0;
+    return;
+  }
+  if (K == Kind::Number)
+    ParamIdx = 0;
+  Cong C = canonCong(Mod, Rem);
+  Mod = C.Mod;
+  Rem = C.Rem;
+  if (HasLo && HasHi && Lo == Hi) {
+    Mod = 0;
+    Rem = Lo;
+  }
+  if (Mod == 0) {
+    HasLo = HasHi = true;
+    Lo = Hi = Rem;
+  }
+}
+
+OffsetRange OffsetRange::bottom() {
+  OffsetRange R;
+  R.K = Kind::Bottom;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::unknown() { return OffsetRange(); }
+
+OffsetRange OffsetRange::number(int64_t V) {
+  OffsetRange R;
+  R.K = Kind::Number;
+  R.Mod = 0;
+  R.Rem = V;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::param(unsigned ParamIdx) {
+  OffsetRange R;
+  R.K = Kind::Param;
+  R.ParamIdx = ParamIdx;
+  R.Mod = 0;
+  R.Rem = 0;
+  R.normalize();
+  return R;
+}
+
+bool OffsetRange::isTop() const {
+  return K == Kind::Number && !HasLo && !HasHi && Mod == 1;
+}
+
+bool OffsetRange::isExact(int64_t &V) const {
+  if (K == Kind::Bottom || Mod != 0)
+    return false;
+  V = Rem;
+  return true;
+}
+
+bool OffsetRange::offsetCongruentTo(uint64_t M, int64_t &R) const {
+  if (K == Kind::Bottom || M == 0)
+    return false;
+  if (M == 1) {
+    R = 0;
+    return true;
+  }
+  if (Mod == 0) {
+    R = floorMod(Rem, M);
+    return true;
+  }
+  if (Mod % M == 0) {
+    R = floorMod(Rem, M);
+    return true;
+  }
+  return false;
+}
+
+OffsetRange OffsetRange::join(const OffsetRange &A, const OffsetRange &B) {
+  if (A.K == Kind::Bottom)
+    return B;
+  if (B.K == Kind::Bottom)
+    return A;
+  if (A.K != B.K || (A.K == Kind::Param && A.ParamIdx != B.ParamIdx))
+    return unknown();
+  OffsetRange R;
+  R.K = A.K;
+  R.ParamIdx = A.ParamIdx;
+  R.HasLo = A.HasLo && B.HasLo;
+  R.Lo = std::min(A.Lo, B.Lo);
+  R.HasHi = A.HasHi && B.HasHi;
+  R.Hi = std::max(A.Hi, B.Hi);
+  Cong C = joinCong({A.Mod, A.Rem}, {B.Mod, B.Rem});
+  R.Mod = C.Mod;
+  R.Rem = C.Rem;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::widen(const OffsetRange &Old, const OffsetRange &New) {
+  if (Old.K == Kind::Bottom)
+    return New;
+  OffsetRange J = join(Old, New);
+  if (J.K == Kind::Bottom)
+    return J;
+  if (J.Mod == 0) // pinned exact value: already stable
+    return J;
+  if (J.HasLo && (!Old.HasLo || J.Lo < Old.Lo))
+    J.HasLo = false;
+  if (J.HasHi && (!Old.HasHi || J.Hi > Old.Hi))
+    J.HasHi = false;
+  J.normalize();
+  return J;
+}
+
+bool OffsetRange::leq(const OffsetRange &O) const {
+  if (K == Kind::Bottom)
+    return true;
+  if (O.K == Kind::Bottom)
+    return false;
+  if (O.isTop())
+    return true;
+  if (K != O.K || (K == Kind::Param && ParamIdx != O.ParamIdx))
+    return false;
+  if (O.HasLo && (!HasLo || Lo < O.Lo))
+    return false;
+  if (O.HasHi && (!HasHi || Hi > O.Hi))
+    return false;
+  if (O.Mod == 0)
+    return Mod == 0 && Rem == O.Rem;
+  if (O.Mod == 1)
+    return true;
+  if (Mod == 0)
+    return floorMod(Rem, O.Mod) == O.Rem;
+  return Mod % O.Mod == 0 && floorMod(Rem, O.Mod) == O.Rem;
+}
+
+bool OffsetRange::operator==(const OffsetRange &O) const {
+  if (K != O.K)
+    return false;
+  if (K == Kind::Bottom)
+    return true;
+  return ParamIdx == O.ParamIdx && HasLo == O.HasLo && HasHi == O.HasHi &&
+         (!HasLo || Lo == O.Lo) && (!HasHi || Hi == O.Hi) && Mod == O.Mod &&
+         Rem == O.Rem;
+}
+
+OffsetRange OffsetRange::add(const OffsetRange &A, const OffsetRange &B) {
+  if (A.K == Kind::Bottom || B.K == Kind::Bottom)
+    return bottom();
+  if (A.K == Kind::Param && B.K == Kind::Param)
+    return unknown(); // param + param: no single base survives
+  OffsetRange R;
+  R.K = (A.K == Kind::Param || B.K == Kind::Param) ? Kind::Param : Kind::Number;
+  R.ParamIdx = A.K == Kind::Param ? A.ParamIdx : B.ParamIdx;
+  R.HasLo = A.HasLo && B.HasLo && !__builtin_add_overflow(A.Lo, B.Lo, &R.Lo);
+  R.HasHi = A.HasHi && B.HasHi && !__builtin_add_overflow(A.Hi, B.Hi, &R.Hi);
+  Cong C = addCong({A.Mod, A.Rem}, {B.Mod, B.Rem});
+  R.Mod = C.Mod;
+  R.Rem = C.Rem;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::sub(const OffsetRange &A, const OffsetRange &B) {
+  if (A.K == Kind::Bottom || B.K == Kind::Bottom)
+    return bottom();
+  if (B.K == Kind::Param) {
+    if (A.K != Kind::Param || A.ParamIdx != B.ParamIdx)
+      return unknown(); // -param or cross-param difference
+    // Same-parameter difference: the bases cancel to a Number.
+  }
+  OffsetRange R;
+  R.K = (A.K == Kind::Param && B.K != Kind::Param) ? Kind::Param : Kind::Number;
+  R.ParamIdx = R.K == Kind::Param ? A.ParamIdx : 0;
+  R.HasLo = A.HasLo && B.HasHi && !__builtin_sub_overflow(A.Lo, B.Hi, &R.Lo);
+  R.HasHi = A.HasHi && B.HasLo && !__builtin_sub_overflow(A.Hi, B.Lo, &R.Hi);
+  Cong C = subCong({A.Mod, A.Rem}, {B.Mod, B.Rem});
+  R.Mod = C.Mod;
+  R.Rem = C.Rem;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::mulConst(const OffsetRange &A, int64_t C) {
+  if (A.K == Kind::Bottom)
+    return bottom();
+  if (C == 0)
+    return number(0);
+  if (A.K == Kind::Param) {
+    // (param + off) * C: no base survives, but the product is a multiple
+    // of C — the key alignment fact for scaled indices.
+    OffsetRange R;
+    Cong G = canonCong(C < 0 ? -static_cast<uint64_t>(C)
+                             : static_cast<uint64_t>(C),
+                       0);
+    R.Mod = G.Mod;
+    R.Rem = G.Rem;
+    R.normalize();
+    return R;
+  }
+  OffsetRange R;
+  R.K = Kind::Number;
+  int64_t LoC, HiC;
+  bool LoOk = A.HasLo && !__builtin_mul_overflow(A.Lo, C, &LoC);
+  bool HiOk = A.HasHi && !__builtin_mul_overflow(A.Hi, C, &HiC);
+  if (C > 0) {
+    R.HasLo = LoOk;
+    R.Lo = LoC;
+    R.HasHi = HiOk;
+    R.Hi = HiC;
+  } else {
+    R.HasLo = HiOk;
+    R.Lo = HiC;
+    R.HasHi = LoOk;
+    R.Hi = LoC;
+  }
+  Cong G = mulCongConst({A.Mod, A.Rem}, C);
+  R.Mod = G.Mod;
+  R.Rem = G.Rem;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::shlConst(const OffsetRange &A, int64_t Sh) {
+  if (A.K == Kind::Bottom)
+    return bottom();
+  if (Sh < 0 || Sh >= 63)
+    return unknown();
+  return mulConst(A, int64_t(1) << Sh);
+}
+
+OffsetRange OffsetRange::andMask(const OffsetRange &A, int64_t Mask) {
+  if (A.K == Kind::Bottom)
+    return bottom();
+  if (Mask < 0)
+    return unknown(); // sign-extended masks clear nothing useful here
+  OffsetRange R;
+  R.K = Kind::Number;
+  R.HasLo = true;
+  R.Lo = 0;
+  R.HasHi = true;
+  R.Hi = Mask;
+  // x & Mask with Mask+1 a power of two is x mod (Mask+1): exact when the
+  // operand's residue modulo Mask+1 is known. Only meaningful for Number
+  // operands — a Param operand's absolute residue is unknown.
+  uint64_t M1 = static_cast<uint64_t>(Mask) + 1;
+  int64_t Res;
+  if (A.K == Kind::Number && (M1 & (M1 - 1)) == 0 &&
+      A.offsetCongruentTo(M1, Res)) {
+    R.Mod = 0;
+    R.Rem = Res;
+  }
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::boolRange() {
+  OffsetRange R;
+  R.K = Kind::Number;
+  R.HasLo = true;
+  R.Lo = 0;
+  R.HasHi = true;
+  R.Hi = 1;
+  R.normalize();
+  return R;
+}
+
+OffsetRange OffsetRange::extRange(const OffsetRange &A, unsigned Bits,
+                                  bool SignExtend) {
+  if (A.K == Kind::Bottom)
+    return bottom();
+  if (Bits >= 64)
+    return A;
+  int64_t Lo = SignExtend ? -(int64_t(1) << (Bits - 1)) : 0;
+  int64_t Hi = SignExtend ? (int64_t(1) << (Bits - 1)) - 1
+                          : (int64_t(1) << Bits) - 1;
+  // If the operand is a Number already inside the representable window the
+  // extension is the identity.
+  if (A.K == Kind::Number && A.HasLo && A.HasHi && A.Lo >= Lo && A.Hi <= Hi)
+    return A;
+  OffsetRange R;
+  R.K = Kind::Number;
+  R.HasLo = true;
+  R.Lo = Lo;
+  R.HasHi = true;
+  R.Hi = Hi;
+  R.normalize();
+  return R;
+}
+
+bool OffsetRange::containsConcrete(int64_t BaseVal, int64_t V) const {
+  if (K == Kind::Bottom)
+    return false;
+  int64_t Off;
+  if (K == Kind::Param) {
+    if (__builtin_sub_overflow(V, BaseVal, &Off))
+      return false; // offset not representable; tests avoid this region
+  } else {
+    Off = V;
+  }
+  if (HasLo && Off < Lo)
+    return false;
+  if (HasHi && Off > Hi)
+    return false;
+  if (Mod == 0)
+    return Off == Rem;
+  if (Mod >= 2)
+    return floorMod(Off, Mod) == Rem;
+  return true;
+}
+
+std::string OffsetRange::str() const {
+  if (K == Kind::Bottom)
+    return "bottom";
+  std::string S;
+  if (K == Kind::Param)
+    S += "param" + std::to_string(ParamIdx) + "+";
+  S += HasLo ? "[" + std::to_string(Lo) : "(-inf";
+  S += ",";
+  S += HasHi ? std::to_string(Hi) + "]" : "+inf)";
+  if (Mod == 0)
+    S += " exact";
+  else if (Mod >= 2)
+    S += " mod " + std::to_string(Mod) + " rem " + std::to_string(Rem);
+  return S;
+}

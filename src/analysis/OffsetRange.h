@@ -1,0 +1,142 @@
+//===- analysis/OffsetRange.h - offset/stride abstract domain ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract domain behind the loop-pointer analysis (OffsetPropagation):
+/// each 64-bit register value is approximated as
+///
+///     base + offset,   offset in [Lo, Hi],  offset == Rem (mod Mod)
+///
+/// where `base` is either nothing (a plain number) or one of the function's
+/// parameters. The interval component bounds how far a pointer can stray
+/// from its originating parameter; the congruence component captures stride
+/// and alignment facts ("this cursor is always 8 bytes past a multiple of
+/// 16 from x") that survive arbitrary unroll factors. Modeled on GPUCheck's
+/// OffsetVal lattice and the *Iterating Pointers* affine-pointer domain.
+///
+/// Lattice structure, bottom to top:
+///
+///   Bottom  <  { Number with constraints }  |  { Param(i) + constraints }
+///           <  Top (= Number, unbounded interval, no congruence)
+///
+/// Join weakens pointwise (interval hull, congruence gcd-join); joining
+/// values relative to different bases forgets the base. widen() drops any
+/// interval bound that grew, so header states stabilize in two visits per
+/// bound while the congruence component descends a finite divisor chain.
+///
+/// Congruence encoding: Mod == 0 means the offset is *exactly* Rem (the
+/// interval is pinned to [Rem, Rem] by normalization); Mod == 1 means no
+/// congruence information; Mod >= 2 means offset == Rem (mod Mod) with
+/// 0 <= Rem < Mod.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_ANALYSIS_OFFSETRANGE_H
+#define VPO_ANALYSIS_OFFSETRANGE_H
+
+#include <cstdint>
+#include <string>
+
+namespace vpo {
+
+/// floor-modulus: result in [0, M) for M >= 1 regardless of V's sign.
+int64_t floorMod(int64_t V, uint64_t M);
+
+class OffsetRange {
+public:
+  enum class Kind : uint8_t {
+    Bottom, ///< unreachable: concretizes to nothing
+    Number, ///< value = offset (no symbolic base)
+    Param,  ///< value = parameter(ParamIdx) + offset
+  };
+
+  /// Defaults to top: any value at all.
+  OffsetRange() = default;
+
+  static OffsetRange bottom();
+  /// Top: a Number with unbounded interval and no congruence.
+  static OffsetRange unknown();
+  /// The exact constant \p V.
+  static OffsetRange number(int64_t V);
+  /// Exactly parameter \p ParamIdx (offset 0).
+  static OffsetRange param(unsigned ParamIdx);
+
+  Kind kind() const { return K; }
+  bool isBottom() const { return K == Kind::Bottom; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isParam() const { return K == Kind::Param; }
+  /// True for the top element (Number, unbounded, congruence-free).
+  bool isTop() const;
+
+  unsigned paramIdx() const { return ParamIdx; }
+
+  bool hasLo() const { return HasLo; }
+  bool hasHi() const { return HasHi; }
+  int64_t lo() const { return Lo; }
+  int64_t hi() const { return Hi; }
+
+  uint64_t mod() const { return Mod; }
+  int64_t rem() const { return Rem; }
+
+  /// If the offset is known exactly, returns true and sets \p V.
+  bool isExact(int64_t &V) const;
+
+  /// If the offset's residue modulo \p M (M >= 1) is known, returns true
+  /// and sets \p R to it (in [0, M)).
+  bool offsetCongruentTo(uint64_t M, int64_t &R) const;
+
+  /// Least upper bound.
+  static OffsetRange join(const OffsetRange &A, const OffsetRange &B);
+
+  /// Widening: an upper bound of join(Old, New) that drops any interval
+  /// bound which grew relative to \p Old, guaranteeing termination of
+  /// ascending chains at loop headers.
+  static OffsetRange widen(const OffsetRange &Old, const OffsetRange &New);
+
+  /// Partial order: true if every concrete value of *this is a concrete
+  /// value of \p O (syntactic sufficient check; exact on matching kinds).
+  bool leq(const OffsetRange &O) const;
+
+  bool operator==(const OffsetRange &O) const;
+  bool operator!=(const OffsetRange &O) const { return !(*this == O); }
+
+  // Transfer-function building blocks. All are sound over-approximations
+  // of the corresponding 64-bit machine arithmetic; interval bounds that
+  // would overflow are dropped rather than wrapped.
+  static OffsetRange add(const OffsetRange &A, const OffsetRange &B);
+  static OffsetRange sub(const OffsetRange &A, const OffsetRange &B);
+  static OffsetRange mulConst(const OffsetRange &A, int64_t C);
+  static OffsetRange shlConst(const OffsetRange &A, int64_t Sh);
+  static OffsetRange andMask(const OffsetRange &A, int64_t Mask);
+  /// The result range of CmpSet: {0, 1}.
+  static OffsetRange boolRange();
+  /// The result range of Ext with \p Bits value bits, sign- or zero-extended.
+  static OffsetRange extRange(const OffsetRange &A, unsigned Bits,
+                              bool SignExtend);
+
+  /// Concretization membership test (the property-test oracle): with the
+  /// base parameter bound to \p BaseVal (ignored for Number kind), is the
+  /// concrete value \p V inside this abstract value?
+  bool containsConcrete(int64_t BaseVal, int64_t V) const;
+
+  /// Rendering like "param3+[0,+inf) mod 16 rem 8" for test failures and
+  /// remark arguments.
+  std::string str() const;
+
+private:
+  void normalize();
+
+  Kind K = Kind::Number;
+  unsigned ParamIdx = 0;
+  bool HasLo = false, HasHi = false;
+  int64_t Lo = 0, Hi = 0;
+  uint64_t Mod = 1; ///< 0 = exact, 1 = unknown, >= 2 = congruence modulus
+  int64_t Rem = 0;
+};
+
+} // namespace vpo
+
+#endif // VPO_ANALYSIS_OFFSETRANGE_H

@@ -11,6 +11,7 @@
 #include "analysis/InductionVars.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/MemoryPartitions.h"
+#include "analysis/OffsetPropagation.h"
 #include "coalesce/Hazards.h"
 #include "coalesce/Rewrite.h"
 #include "coalesce/Runs.h"
@@ -27,6 +28,8 @@
 #include "transform/Utils.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <unordered_set>
 
 using namespace vpo;
@@ -37,13 +40,14 @@ std::string CoalesceStats::summary() const {
       "(rejected: unclassified=%u profitability=%u)\n"
       "runs: loads=%u (unaligned=%u) stores=%u (narrow removed: loads=%u "
       "stores=%u; rejected: hazard=%u checks-disabled=%u; "
-      "alias-deferred=%u)\n"
+      "alias-deferred=%u alias-proven=%u align-proven=%u)\n"
       "checks: alignment=%u overlap=%u instructions=%u",
       LoopsExamined, LoopsUnrolled, LoopsTransformed,
       LoopsRejectedUnclassified, LoopsRejectedProfitability,
       LoadRunsCoalesced, UnalignedLoadRuns, StoreRunsCoalesced,
       NarrowLoadsRemoved, NarrowStoresRemoved, RunsRejectedHazard,
-      RunsRejectedChecksDisabled, AliasPairsDeferred, AlignmentChecks,
+      RunsRejectedChecksDisabled, AliasPairsDeferred,
+      AliasPairsProvenDisjoint, AlignmentProvenStatic, AlignmentChecks,
       OverlapChecks, CheckInstructions);
 }
 
@@ -54,15 +58,16 @@ std::string CoalesceStats::toJson() const {
       "\"unaligned-load-runs\":%u,\"narrow-loads-removed\":%u,"
       "\"narrow-stores-removed\":%u,\"runs-rejected-hazard\":%u,"
       "\"runs-rejected-checks-disabled\":%u,\"alias-pairs-deferred\":%u,"
+      "\"alias-pairs-proven-disjoint\":%u,\"alignment-proven-static\":%u,"
       "\"loops-rejected-profitability\":%u,"
       "\"loops-rejected-unclassified\":%u,\"alignment-checks\":%u,"
       "\"overlap-checks\":%u,\"check-instructions\":%u}",
       LoopsExamined, LoopsUnrolled, LoopsTransformed, LoadRunsCoalesced,
       StoreRunsCoalesced, UnalignedLoadRuns, NarrowLoadsRemoved,
       NarrowStoresRemoved, RunsRejectedHazard, RunsRejectedChecksDisabled,
-      AliasPairsDeferred, LoopsRejectedProfitability,
-      LoopsRejectedUnclassified, AlignmentChecks, OverlapChecks,
-      CheckInstructions);
+      AliasPairsDeferred, AliasPairsProvenDisjoint, AlignmentProvenStatic,
+      LoopsRejectedProfitability, LoopsRejectedUnclassified,
+      AlignmentChecks, OverlapChecks, CheckInstructions);
 }
 
 bool CoalesceStats::operator==(const CoalesceStats &O) const {
@@ -253,6 +258,38 @@ private:
       return;
     }
 
+    // --- Loop-pointer offset analysis --------------------------------
+    // Whole-function abstract interpretation; the partition footprints at
+    // the loop header feed two static proofs that absorb Fig. 5 run-time
+    // checks: pairwise disjointness (overlap checks) and wide-address
+    // congruence (alignment checks).
+    std::unique_ptr<OffsetPropagation> OP;
+    AliasPairSet ProvenSet;
+    std::map<std::pair<size_t, size_t>, const char *> ProvenWhy;
+    if (Opts.OffsetAnalysis) {
+      OP = std::make_unique<OffsetPropagation>(F);
+      std::vector<PartitionFootprint> Footprints;
+      Footprints.reserve(MP.partitions().size());
+      for (const Partition &P : MP.partitions())
+        Footprints.push_back(computePartitionFootprint(*OP, *L, LSI, P));
+      for (size_t A = 0; A < Footprints.size(); ++A)
+        for (size_t B = A + 1; B < Footprints.size(); ++B) {
+          const char *Why = nullptr;
+          if (provablyDisjoint(Footprints[A], Footprints[B], &Why)) {
+            ProvenSet.insert({A, B});
+            ProvenWhy[{A, B}] = Why;
+          }
+        }
+      if (RE.enabled())
+        RE.emit(RE.start("offset-propagation")
+                    .block(Body->name())
+                    .arg("converged", OP->converged())
+                    .arg("sweeps", OP->stats().Sweeps)
+                    .arg("widenings", OP->stats().Widenings)
+                    .arg("partitions", MP.partitions().size())
+                    .arg("pairs-proven", ProvenSet.size()));
+    }
+
     // --- Step 2: candidate runs + safety (Fig. 4) ----------------------
     std::vector<CoalesceRun> Runs = findCoalesceRuns(
         MP, TM, /*Loads=*/true,
@@ -260,13 +297,36 @@ private:
         Opts.MaxWideBytes);
     analyzeRunAlignment(Runs, MP, F);
 
+    // Congruence supplement: analyzeRunAlignment's exact-chain reasoning
+    // gives up on scaled or symbolic base offsets; the fixed-point
+    // congruence of the header pointer value can still pin the wide
+    // address's residue. Skipped on targets that tolerate misalignment in
+    // hardware — no check was at stake there.
+    if (OP && TM.requiresNaturalAlignment())
+      for (CoalesceRun &Run : Runs) {
+        if (!Run.NeedsAlignCheck)
+          continue;
+        const Partition &P = MP.partitions()[Run.PartitionIdx];
+        if (!provablyAligned(*OP, L->header(), P.Base, Run.StartOff,
+                             Run.WideBytes))
+          continue;
+        Run.NeedsAlignCheck = false;
+        Run.AlignWhy = nullptr;
+        Run.CheckableAlignment = true;
+        Run.AlignProvenStatic = true;
+        ++Stats.AlignmentProvenStatic;
+        if (RE.enabled())
+          RE.emit(runRemark("alignment-proven-static", *Body, Run, MP));
+      }
+
     std::vector<CoalesceRun> Accepted;
     AliasPairSet AliasPairs;
+    AliasPairSet ProvenPairs;
     bool NeedAlign = false;
     for (CoalesceRun &Run : Runs) {
       if (RE.enabled())
         RE.emit(runRemark("run-candidate", *Body, Run, MP));
-      HazardResult HR = analyzeRunHazards(Run, MP, *Body, F);
+      HazardResult HR = analyzeRunHazards(Run, MP, *Body, F, &ProvenSet);
       if (!HR.Safe) {
         ++Stats.RunsRejectedHazard;
         if (RE.enabled())
@@ -326,6 +386,8 @@ private:
       NeedAlign |= Run.NeedsAlignCheck;
       for (const auto &P : HR.AliasPairs)
         AliasPairs.insert(P);
+      for (const auto &P : HR.ProvenDisjointPairs)
+        ProvenPairs.insert(P);
       if (RE.enabled()) {
         const char *Align = Run.AlignWhy == nullptr ? "static"
                             : HwTolerant            ? "hw-tolerant"
@@ -356,6 +418,24 @@ private:
                     .arg("base-a", regName(MP.partitions()[A].Base))
                     .arg("partition-b", B)
                     .arg("base-b", regName(MP.partitions()[B].Base)));
+
+    // Pairs the offset analysis discharged: they would have deferred to a
+    // run-time overlap check (the NoAlias reasoning had no answer) but are
+    // accepted with no check at all.
+    Stats.AliasPairsProvenDisjoint +=
+        static_cast<unsigned>(ProvenPairs.size());
+    if (RE.enabled())
+      for (const auto &[A, B] : ProvenPairs) {
+        auto It = ProvenWhy.find({A, B});
+        RE.emit(RE.start("alias-check-proven-disjoint")
+                    .block(Body->name())
+                    .arg("partition-a", A)
+                    .arg("base-a", regName(MP.partitions()[A].Base))
+                    .arg("partition-b", B)
+                    .arg("base-b", regName(MP.partitions()[B].Base))
+                    .arg("why",
+                         It == ProvenWhy.end() ? "unknown" : It->second));
+      }
 
     // Overlap checks are only expressible when the loop bound is canonical
     // and every involved step divides evenly (powers of two).

@@ -51,6 +51,12 @@ struct CoalesceOptions {
   /// Emit run-time alias/alignment checks when static analysis is
   /// inconclusive. With this off, such loops are left untouched.
   bool UseRuntimeChecks = true;
+  /// Run the loop-pointer offset/stride abstract interpretation
+  /// (analysis/OffsetPropagation.h) so same-parameter streams proven
+  /// disjoint or aligned are accepted statically instead of deferring to
+  /// preheader checks. Off reproduces the pre-analysis pipeline exactly
+  /// (ablation knob).
+  bool OffsetAnalysis = true;
   /// Keep the coalesced loop only if its schedule beats the original
   /// (Fig. 3). Turning this off reproduces "always coalesce" — the
   /// configuration that loses on the Motorola 68030.
@@ -78,6 +84,13 @@ struct CoalesceStats {
   /// and deferred to a run-time overlap check — the deferral rate a
   /// stronger loop-pointer analysis (e.g. *Iterating Pointers*) would cut.
   unsigned AliasPairsDeferred = 0;
+  /// Unique partition pairs the offset-propagation analysis proved
+  /// disjoint, which would otherwise have been deferred to a run-time
+  /// overlap check.
+  unsigned AliasPairsProvenDisjoint = 0;
+  /// Runs whose wide-address alignment the congruence analysis proved
+  /// after exact-chain reasoning gave up (no preheader alignment check).
+  unsigned AlignmentProvenStatic = 0;
   unsigned LoopsRejectedProfitability = 0;
   unsigned LoopsRejectedUnclassified = 0;
   unsigned AlignmentChecks = 0;

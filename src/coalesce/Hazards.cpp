@@ -41,8 +41,8 @@ const char *vpo::hazardClauseName(HazardClause C) {
 
 HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
                                     const MemoryPartitions &MP,
-                                    const BasicBlock &Body,
-                                    const Function &F) {
+                                    const BasicBlock &Body, const Function &F,
+                                    const AliasPairSet *ProvenDisjoint) {
   HazardResult Res;
   const Partition &P = MP.partitions()[Run.PartitionIdx];
   Span RunSpan{Run.StartOff,
@@ -64,6 +64,7 @@ HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
   };
 
   bool PBaseNoAlias = baseIsNoAlias(F, P.Base);
+  BaseOrigin POrigin = traceBaseOrigin(F, P.Base);
 
   // The window of instruction indices whose memory operations the wide
   // reference moves across: (WidePos, lastMember] for loads is empty —
@@ -118,12 +119,22 @@ HazardResult vpo::analyzeRunHazards(const CoalesceRun &Run,
     }
 
     // Cross-partition: defer to a run-time overlap check, unless parameter
-    // attributes already exclude aliasing.
+    // attributes already exclude aliasing. NoAlias only separates one
+    // parameter's object from *other* objects, so it proves nothing when
+    // both bases derive from the same parameter.
+    BaseOrigin QOrigin = traceBaseOrigin(F, Q.Base);
+    bool SameObject = POrigin.traced() && QOrigin.traced() &&
+                      POrigin.Param == QOrigin.Param;
     bool QBaseNoAlias = baseIsNoAlias(F, Q.Base);
-    if (PBaseNoAlias || QBaseNoAlias)
+    if (!SameObject && (PBaseNoAlias || QBaseNoAlias))
       continue;
     size_t A = Run.PartitionIdx, B = static_cast<size_t>(OtherPart);
-    Res.AliasPairs.insert({std::min(A, B), std::max(A, B)});
+    std::pair<size_t, size_t> Key{std::min(A, B), std::max(A, B)};
+    if (ProvenDisjoint && ProvenDisjoint->count(Key)) {
+      Res.ProvenDisjointPairs.insert(Key);
+      continue;
+    }
+    Res.AliasPairs.insert(Key);
   }
 
   Res.Safe = true;

@@ -60,13 +60,22 @@ struct HazardResult {
   /// Partition pairs whose potential aliasing must be excluded at run time
   /// for this run to be used.
   AliasPairSet AliasPairs;
+  /// Partition pairs that would have needed a run-time check but were
+  /// statically proven disjoint by the offset analysis (accepted with no
+  /// check; reported separately so telemetry can reconcile the counts).
+  AliasPairSet ProvenDisjointPairs;
 };
 
 /// Analyzes one run inside \p Body. \p F supplies parameter no-alias facts
-/// (a pair involving a NoAlias parameter base needs no check).
+/// (a pair involving a NoAlias parameter base needs no check, unless both
+/// bases derive from the *same* parameter — NoAlias says nothing about
+/// overlap within one object). \p ProvenDisjoint, when given, lists
+/// partition pairs the offset analysis proved disjoint: those are accepted
+/// without a check and reported in HazardResult::ProvenDisjointPairs.
 HazardResult analyzeRunHazards(const CoalesceRun &Run,
                                const MemoryPartitions &MP,
-                               const BasicBlock &Body, const Function &F);
+                               const BasicBlock &Body, const Function &F,
+                               const AliasPairSet *ProvenDisjoint = nullptr);
 
 } // namespace vpo
 

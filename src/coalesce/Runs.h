@@ -53,6 +53,11 @@ struct CoalesceRun {
   /// "offset-misaligned", or "step-breaks-phase". Filled by
   /// analyzeRunAlignment; surfaces verbatim in optimization remarks.
   const char *AlignWhy = nullptr;
+  /// Set when the offset-propagation congruence analysis proved the wide
+  /// address aligned after the exact-chain reasoning of
+  /// analyzeRunAlignment had given up (drives the alignment-proven-static
+  /// remark and CoalesceStats::AlignmentProvenStatic).
+  bool AlignProvenStatic = false;
 };
 
 /// Finds candidate runs in every partition: for each partition and access

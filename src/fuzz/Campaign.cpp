@@ -81,7 +81,8 @@ CampaignReport vpo::fuzz::runCampaign(const CampaignOptions &O) {
       CaseOutcome &Out = Report.Outcomes[I];
       Out.Index = I;
       Out.Seed = caseSeed(O.Seed, I);
-      GeneratedKernel K = generateKernel(Out.Seed);
+      GeneratedKernel K = generateKernel(
+          O.NearMiss ? nearMissSpec(Out.Seed) : KernelSpec::random(Out.Seed));
       Out.Result = Exec(K, O.Oracle);
       Out.Contained = Out.Result.Kind == FailKind::Crashed ||
                       Out.Result.Kind == FailKind::TimedOut;

@@ -56,6 +56,9 @@ struct CampaignOptions {
   /// Worker threads; 0 = hardware concurrency.
   unsigned Threads = 1;
   OracleOptions Oracle;
+  /// Generate near-miss layouts (nearMissSpec: shared-base streams at the
+  /// exact disjoint/overlap boundaries) instead of fully random specs.
+  bool NearMiss = false;
   /// Per-case executor; default = checkKernel in-process.
   CaseExecutor Executor;
 };

@@ -18,7 +18,10 @@ using namespace vpo::fuzz;
 std::string CorpusEntry::render() const {
   std::ostringstream S;
   S << "# fuzz-repro specseed=" << SpecSeed << " kind=" << failKindName(Kind)
-    << " expect=" << (ExpectDetect ? "detect" : "match") << "\n";
+    << " expect=" << (ExpectDetect ? "detect" : "match");
+  if (NearMiss)
+    S << " mode=near-miss";
+  S << "\n";
   if (Inject)
     S << "# inject=" << Inject->render() << "\n";
   if (!Note.empty())
@@ -56,6 +59,12 @@ bool parseHeaderFields(const std::string &Line, CorpusEntry &Entry,
         return false;
       }
       Entry.ExpectDetect = Val == "detect";
+    } else if (Key == "mode") {
+      if (Val != "near-miss" && Val != "random") {
+        Err = "mode must be 'near-miss' or 'random', got '" + Val + "'";
+        return false;
+      }
+      Entry.NearMiss = Val == "near-miss";
     }
   }
   return true;
@@ -141,7 +150,8 @@ std::vector<std::string> vpo::fuzz::listCorpusFiles(const std::string &Dir) {
 
 bool vpo::fuzz::replayCorpusEntry(const CorpusEntry &Entry,
                                   OracleOptions Base, std::string &Why) {
-  KernelSpec Spec = KernelSpec::random(Entry.SpecSeed);
+  KernelSpec Spec = Entry.NearMiss ? nearMissSpec(Entry.SpecSeed)
+                                   : KernelSpec::random(Entry.SpecSeed);
   Base.Inject = Entry.ExpectDetect ? Entry.Inject : std::nullopt;
   OracleResult R = checkIRText(Entry.IRText, Spec, Base);
   if (Entry.ExpectDetect) {

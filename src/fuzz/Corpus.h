@@ -16,7 +16,8 @@
 ///   func @k(r1, r2) { ... }
 ///
 /// `specseed` reconstructs the KernelSpec (memory layout, trip counts)
-/// the oracle needs; the kernel text itself is the *reduced* IR, not what
+/// the oracle needs — via nearMissSpec when the header carries
+/// `mode=near-miss`; the kernel text itself is the *reduced* IR, not what
 /// the seed would generate. `expect=detect` entries re-plant the recorded
 /// fault and must fail with exactly `kind` (guard-rail regressions);
 /// `expect=match` entries must pass the oracle cleanly (fixed-bug
@@ -45,6 +46,10 @@ struct CorpusEntry {
   FailKind Kind = FailKind::None;
   /// True: replay must report exactly Kind. False: replay must pass.
   bool ExpectDetect = false;
+  /// True when SpecSeed reconstructs through nearMissSpec (the shared-base
+  /// near-miss generator) rather than KernelSpec::random. Serialized as
+  /// `mode=near-miss` in the header.
+  bool NearMiss = false;
   std::optional<InjectSpec> Inject;
   std::string Note;
   std::string IRText;

@@ -63,6 +63,91 @@ KernelSpec KernelSpec::random(uint64_t Seed) {
   return K;
 }
 
+KernelSpec vpo::fuzz::nearMissSpec(uint64_t Seed) {
+  RNG R(Seed * 0x2545f491u + 5);
+  KernelSpec K;
+  K.Seed = Seed;
+  K.SharedBase = true;
+
+  // Two interleaved streams inside one record: a loader at the record
+  // start and a storer placed at one of the exact boundaries the
+  // disjointness proofs must classify. Byte elements keep every access
+  // naturally aligned under any layout skew, so the only question each
+  // layout asks is the aliasing one.
+  StreamSpec A;
+  A.ElemBytes = 1;
+  A.RefsPerIter = 1 + static_cast<unsigned>(R.nextBelow(4));
+  A.HasLoad = true;
+  A.HasStore = false;
+  StreamSpec St;
+  St.ElemBytes = 1;
+  St.RefsPerIter = 1 + static_cast<unsigned>(R.nextBelow(4));
+  St.HasLoad = R.nextBelow(2) == 0;
+  St.HasStore = true;
+  const int64_t G0 = A.groupBytes(), G1 = St.groupBytes();
+
+  enum Pattern {
+    ExactAdjacent, ///< store span starts exactly where the load span ends
+    DisjointByOne, ///< a single dead byte between the spans
+    OverlapByOne,  ///< spans share exactly one byte — must NOT be proven
+    PrimeStride,   ///< disjoint spans, prime (non-power-of-two) stride
+    OverlapSame,   ///< identical starts — definite overlap
+  };
+  switch (static_cast<Pattern>(R.nextBelow(5))) {
+  case ExactAdjacent:
+    St.SharedSkew = G0;
+    K.RecordStride = G0 + G1;
+    break;
+  case DisjointByOne:
+    St.SharedSkew = G0 + 1;
+    K.RecordStride = G0 + G1 + 1;
+    break;
+  case OverlapByOne:
+    St.SharedSkew = G0 > 1 ? G0 - 1 : 0;
+    K.RecordStride = G0 + G1;
+    break;
+  case PrimeStride: {
+    // All larger than the 8-byte worst-case payload, so the spans stay
+    // disjoint mod the stride while the stride itself defeats any
+    // power-of-two reasoning.
+    static const int64_t StridePrimes[6] = {11, 13, 17, 19, 23, 29};
+    St.SharedSkew = G0;
+    K.RecordStride = StridePrimes[R.nextBelow(6)];
+    break;
+  }
+  case OverlapSame:
+    St.SharedSkew = 0;
+    K.RecordStride = G0 > G1 ? G0 : G1;
+    break;
+  }
+  K.Streams.push_back(A);
+  K.Streams.push_back(St);
+
+  // Sometimes a third, load-only stream exactly adjacent to the record's
+  // end — one more partition pair on the proven-disjoint side.
+  if (R.nextBelow(3) == 0) {
+    StreamSpec C;
+    C.ElemBytes = 1;
+    C.RefsPerIter = 1 + static_cast<unsigned>(R.nextBelow(3));
+    C.HasLoad = true;
+    C.HasStore = false;
+    C.SharedSkew = K.RecordStride;
+    K.RecordStride += C.groupBytes();
+    K.Streams.push_back(C);
+  }
+
+  if (R.nextBelow(4) == 0)
+    K.Shape.OuterTrips = 2;
+  K.Shape.EarlyExit = R.nextBelow(8) == 0;
+  K.Shape.ExitMask = (1u << (1 + R.nextBelow(4))) - 1;
+  K.Shape.ExitValue = static_cast<unsigned>(R.nextBelow(K.Shape.ExitMask + 1));
+  K.AccInit = static_cast<int64_t>(Seed % 251);
+
+  static const int64_t Primes[10] = {5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+  K.TripCounts = {0, 3, Primes[R.nextBelow(10)]};
+  return K;
+}
+
 namespace {
 
 /// Per-reference choices shared by the IR and C renderings so both walk
@@ -107,8 +192,14 @@ std::string buildIR(const KernelSpec &K, const Decisions &D) {
   Module M;
   Function *F = M.addFunction("k");
   std::vector<Reg> Bases;
-  for (size_t S = 0; S < K.Streams.size(); ++S)
-    Bases.push_back(F->addParam());
+  if (K.SharedBase) {
+    // One pointer parameter; every stream cursor derives from it.
+    Reg Shared = F->addParam();
+    Bases.assign(K.Streams.size(), Shared);
+  } else {
+    for (size_t S = 0; S < K.Streams.size(); ++S)
+      Bases.push_back(F->addParam());
+  }
   Reg N = F->addParam();
   IRBuilder B(F);
 
@@ -134,8 +225,10 @@ std::string buildIR(const KernelSpec &K, const Decisions &D) {
   Reg Limit = Reg();
   for (size_t S = 0; S < K.Streams.size(); ++S) {
     const StreamSpec &St = K.Streams[S];
-    int64_t Group = St.groupBytes();
-    Reg SBase = B.add(Bases[S], Operand::imm(int64_t(St.BaseSkew)));
+    int64_t Group = K.SharedBase ? K.RecordStride : St.groupBytes();
+    int64_t Skew =
+        int64_t(St.BaseSkew) + (K.SharedBase ? St.SharedSkew : 0);
+    Reg SBase = B.add(Bases[S], Operand::imm(Skew));
     Reg Ptr;
     if (!St.Descending) {
       Ptr = B.add(SBase, Operand::imm(0));
@@ -182,8 +275,9 @@ std::string buildIR(const KernelSpec &K, const Decisions &D) {
   }
   for (size_t S = 0; S < K.Streams.size(); ++S) {
     const StreamSpec &St = K.Streams[S];
+    int64_t Step = K.SharedBase ? K.RecordStride : St.groupBytes();
     B.aluTo(Ptrs[S], St.Descending ? Opcode::Sub : Opcode::Add, Ptrs[S],
-            Operand::imm(St.groupBytes()));
+            Operand::imm(Step));
   }
   CondCode CC = K.Streams[0].Descending ? CondCode::GTu : CondCode::LTu;
   B.br(CC, Ptrs[0], Limit, Body, OuterLatch);
@@ -240,6 +334,10 @@ std::string cIndexExpr(const StreamSpec &St, unsigned E) {
 }
 
 std::string buildC(const KernelSpec &K, const Decisions &D) {
+  // Shared-base specs (all cursors derived from one parameter, stepping
+  // by a uniform record stride) have no typed-C spelling; IR-only.
+  if (K.SharedBase)
+    return std::string();
   // Byte-granular skews have no typed-C spelling; those specs stay
   // IR-only.
   for (const StreamSpec &St : K.Streams)
@@ -316,6 +414,27 @@ std::vector<int64_t> vpo::fuzz::setupKernelMemory(const KernelSpec &Spec,
                                                   size_t LayoutSkew) {
   RNG Fill(Spec.Seed * 9 + 1);
   std::vector<int64_t> Args;
+  if (Spec.SharedBase) {
+    // One allocation covering every stream's walk. Near-miss specs use
+    // byte elements throughout, so any base alignment is access-safe and
+    // LayoutSkew passes straight through.
+    uint64_t MaxSkewEnd = 0;
+    for (const StreamSpec &St : Spec.Streams) {
+      uint64_t End = uint64_t(St.SharedSkew + int64_t(St.BaseSkew) +
+                              St.groupBytes());
+      if (End > MaxSkewEnd)
+        MaxSkewEnd = End;
+    }
+    uint64_t Span =
+        N > 0 ? uint64_t(N) * uint64_t(Spec.RecordStride) : 0;
+    uint64_t Touched = MaxSkewEnd + Span;
+    uint64_t Base = Mem.allocate(Touched + 64, 8, LayoutSkew);
+    for (uint64_t I = 0; I < Touched; ++I)
+      Mem.write(Base + I, 1, Fill.next() & 0xff);
+    Args.push_back(static_cast<int64_t>(Base));
+    Args.push_back(N);
+    return Args;
+  }
   uint64_t PrevSpanStart = 0, PrevSpanEnd = 0;
   for (size_t S = 0; S < Spec.Streams.size(); ++S) {
     const StreamSpec &St = Spec.Streams[S];

@@ -68,6 +68,12 @@ struct StreamSpec {
   /// For Overlapping: byte distance from the previous span's start
   /// (clamped to that span; 0 = same start).
   unsigned OverlapDelta = 0;
+  /// Shared-base mode only (KernelSpec::SharedBase): byte offset of this
+  /// stream's cursor from the single shared base parameter. Every cursor
+  /// advances by the spec's RecordStride, so the stream's footprint is the
+  /// residue classes [SharedSkew, SharedSkew + groupBytes()) mod stride —
+  /// exactly what the offset-propagation residue rule reasons about.
+  int64_t SharedSkew = 0;
 
   int64_t groupBytes() const {
     return int64_t(ElemBytes) * RefsPerIter;
@@ -96,10 +102,24 @@ struct KernelSpec {
   /// Inner trip counts the oracle exercises; always contains 0 and values
   /// straddling the unroll factor.
   std::vector<int64_t> TripCounts;
+  /// Near-miss layout mode: the kernel takes ONE pointer parameter and
+  /// every stream cursor is derived from it (`base + SharedSkew`), so
+  /// no-alias parameter facts can never separate the streams — only the
+  /// offset analysis (or a run-time check) can. All cursors step by
+  /// RecordStride bytes per iteration.
+  bool SharedBase = false;
+  int64_t RecordStride = 0; ///< uniform per-iteration step (SharedBase only)
 
   /// Derives a spec from \p Seed alone (pure, deterministic).
   static KernelSpec random(uint64_t Seed);
 };
+
+/// Derives a shared-base *near-miss* spec from \p Seed: streams interleaved
+/// within a record at the exact boundaries the disjointness proofs must
+/// classify correctly — exactly adjacent, disjoint by a single byte,
+/// overlapping by a single byte, prime (non-power-of-two) record strides,
+/// and identical starts. Pure and deterministic, like KernelSpec::random.
+KernelSpec nearMissSpec(uint64_t Seed);
 
 struct GeneratedKernel {
   KernelSpec Spec;
@@ -119,9 +139,10 @@ inline GeneratedKernel generateKernel(uint64_t Seed) {
 
 /// Allocates and seeds every stream's region in \p Mem for inner trip
 /// count \p N, honouring the spec's placements, and \returns the kernel's
-/// argument vector (stream bases, then N). \p LayoutSkew adds extra
-/// misalignment (rounded per stream so element addresses stay naturally
-/// aligned) — the scenario knob that flips the alignment run-time checks.
+/// argument vector (stream bases, then N; for SharedBase specs the single
+/// shared base, then N). \p LayoutSkew adds extra misalignment (rounded
+/// per stream so element addresses stay naturally aligned) — the scenario
+/// knob that flips the alignment run-time checks.
 std::vector<int64_t> setupKernelMemory(const KernelSpec &Spec, int64_t N,
                                        Memory &Mem, size_t LayoutSkew);
 

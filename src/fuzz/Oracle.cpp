@@ -71,7 +71,8 @@ vpo::fuzz::faultKindFromName(const std::string &Name) {
                                   FaultKind::ClobberedBase,
                                   FaultKind::DroppedCheck,
                                   FaultKind::MissingOperand,
-                                  FaultKind::EmptyBlock};
+                                  FaultKind::EmptyBlock,
+                                  FaultKind::UnsoundProve};
   for (FaultKind K : All)
     if (Name == faultKindName(K))
       return K;
@@ -331,6 +332,14 @@ OracleResult checkProgram(
           Function *F2 = M2->functions().front().get();
           CompileOptions CO2 = CO;
           CO2.Remarks = Sinks[Rep];
+          // Re-plant the fault fresh: the injector is one-shot with
+          // shared state, so reusing CO's hook would leave the recompiles
+          // clean and misreport a verifier-clean fault (unsound-prove) as
+          // an observer effect. Injection is deterministic, so the
+          // re-planted compiles still match the original exactly.
+          if (O.Inject)
+            CO2.FaultHook = FaultInjector(O.Inject->AfterPass,
+                                          O.Inject->Kind, O.Inject->Seed);
           compileFunction(*F2, TM, CO2);
           IRs[Rep] = printFunction(*F2);
           Streams[Rep] = Sinks[Rep]->toJsonLines();

@@ -27,6 +27,8 @@ const char *vpo::faultKindName(FaultKind K) {
     return "missing-operand";
   case FaultKind::EmptyBlock:
     return "empty-block";
+  case FaultKind::UnsoundProve:
+    return "unsound-prove";
   }
   return "unknown";
 }
@@ -89,6 +91,13 @@ std::vector<Site> collectSites(const Function &F, FaultKind Kind) {
       case FaultKind::MissingOperand:
         Applies = isBinaryAlu(I.Op);
         break;
+      case FaultKind::UnsoundProve:
+        // The dispatch out of a run-time check block: RuntimeChecks names
+        // these '<fastloop>.checks', and each ends in a conditional
+        // branch whose false target is the fast loop.
+        Applies = I.Op == Opcode::Br && I.FalseTarget &&
+                  BB.name().find(".checks") != std::string::npos;
+        break;
       case FaultKind::EmptyBlock:
         break;
       }
@@ -139,6 +148,18 @@ std::string vpo::injectFault(Function &F, FaultKind Kind, uint64_t Seed) {
     I.B = Operand();
     return strformat("cleared rhs operand of ALU instruction in '%s'",
                      BB.name().c_str());
+  case FaultKind::UnsoundProve: {
+    // Verifier-clean by construction: a well-formed unconditional jump
+    // that always claims the checks passed.
+    BasicBlock *Fast = I.FalseTarget;
+    I.Op = Opcode::Jmp;
+    I.A = Operand();
+    I.B = Operand();
+    I.TrueTarget = Fast;
+    I.FalseTarget = nullptr;
+    return strformat("short-circuited check dispatch in '%s' to '%s'",
+                     BB.name().c_str(), Fast->name().c_str());
+  }
   case FaultKind::EmptyBlock:
     break; // handled above
   }

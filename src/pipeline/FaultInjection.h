@@ -32,7 +32,9 @@ namespace vpo {
 class Function;
 
 /// The classes of IR damage the harness can inflict. Each is guaranteed
-/// to be caught by verifyFunction.
+/// to be caught by verifyFunction — except UnsoundProve, which is
+/// deliberately verifier-clean and can only be caught by a differential
+/// oracle observing the program's behavior.
 enum class FaultKind : uint8_t {
   /// A memory reference's width is rewritten to one the type system
   /// forbids (an f8 load) — the "coalescer picked the wrong width" bug.
@@ -48,6 +50,14 @@ enum class FaultKind : uint8_t {
   MissingOperand,
   /// A basic block is emptied — the "pass deleted the loop body" bug.
   EmptyBlock,
+  /// A run-time check dispatch (the branch terminating a `*.checks`
+  /// block) is rewritten into an unconditional jump to its false target,
+  /// the fast coalesced loop — the "static analysis proved the checks
+  /// unnecessary when they weren't" bug. Unlike every other kind this
+  /// leaves the IR verifier-clean: the resulting function is well-formed
+  /// and merely computes the wrong thing on overlapping or misaligned
+  /// inputs, so only the behavioral oracle can catch it.
+  UnsoundProve,
 };
 
 /// \returns a printable name for a fault kind.

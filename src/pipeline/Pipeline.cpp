@@ -239,6 +239,7 @@ CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
     CO.UnrollFactor = Opts.UnrollFactor;
     CO.IgnoreICacheHeuristic = Opts.IgnoreICacheHeuristic;
     CO.UseRuntimeChecks = Opts.UseRuntimeChecks;
+    CO.OffsetAnalysis = Opts.OffsetAnalysis;
     CO.RequireProfitability = Opts.RequireProfitability;
     CO.MaxWideBytes = Opts.MaxWideBytes;
     CO.Remarks = Opts.Remarks;

@@ -57,6 +57,10 @@ struct CompileOptions {
   /// register blocking). Off by default for the same reason.
   bool ScalarReplace = false;
   bool UseRuntimeChecks = true;
+  /// Loop-pointer offset/stride abstract interpretation: proves partition
+  /// pairs disjoint and wide addresses aligned so fewer loops defer to
+  /// run-time checks. Off reproduces the pre-analysis pipeline (ablation).
+  bool OffsetAnalysis = true;
   bool RequireProfitability = true;
   unsigned MaxWideBytes = 0;
   /// Observability hook: called with the function after every pipeline

@@ -1,0 +1,175 @@
+//===- workloads/Blocks.cpp - same-object record/tile kernels --*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Kernels whose reference streams all derive from *one* array parameter —
+/// the shapes the offset-propagation analysis exists for. Parameter
+/// no-alias facts say nothing about overlap within a single object, so
+/// without the analysis every partition pair defers to a run-time check:
+///
+///   deinterleave  rec[8+i] = rec[i] ^ 0xff over 16-byte records: the read
+///                 and write cursors occupy disjoint residue classes mod
+///                 the record stride (proven by the residue rule).
+///   tileblit      dst16[i] = src16[i] with dst = base + 64*k, k a run-time
+///                 tile index: the copy distance is unknown (overlap still
+///                 checked at run time) but dst's congruence mod 64 proves
+///                 the wide-store alignment the exact chain cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtils.h"
+
+#include "ir/Function.h"
+
+using namespace vpo;
+using namespace vpo::workloads_detail;
+
+namespace {
+
+/// rec[8+i] = rec[i] ^ 0xff for i in 0..7, over n 16-byte records: derive
+/// the low half of each record into the high half. Both cursors step by 16
+/// from the same parameter; loads touch residues 0..7 and stores residues
+/// 8..15 (mod 16), so the streams interleave without ever sharing a byte.
+class Deinterleave final : public Workload {
+public:
+  const char *name() const override { return "deinterleave"; }
+  const char *description() const override {
+    return "derive the high half of 16-byte records from the low half";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("deinterleave");
+    Reg X = F->addParam(); // record cursor (reads bytes 0..7)
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg NBytes = B.shl(N, Operand::imm(4));
+    Reg Limit = B.add(X, NBytes);
+    Reg Q = B.add(X, Operand::imm(8)); // write cursor (bytes 8..15)
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    // Loads and stores interleaved per byte, so the wide reference's
+    // movement window always crosses the other partition.
+    for (int I = 0; I < 8; ++I) {
+      Reg V = B.load(Address(X, I), MemWidth::W1, /*Sign=*/false);
+      Reg D = B.xor_(V, Operand::imm(0xff));
+      B.store(Address(Q, I), D, MemWidth::W1);
+    }
+    B.aluTo(X, Opcode::Add, X, Operand::imm(16));
+    B.aluTo(Q, Opcode::Add, Q, Operand::imm(16));
+    B.br(CondCode::LTu, X, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t Bytes = static_cast<size_t>(O.N) * 16;
+    uint64_t X = allocArray(Mem, S, Bytes, O, 1);
+    fillBytes(Mem, X, Bytes, R);
+    // Both streams live in the same object by construction; OverlapMode
+    // has nothing extra to arrange.
+    S.Args = {static_cast<int64_t>(X), O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t X = static_cast<uint64_t>(S.Args[0]);
+    for (int64_t Rec = 0; Rec < O.N; ++Rec)
+      for (int64_t I = 0; I < 8; ++I) {
+        uint64_t Base = X + static_cast<uint64_t>(Rec) * 16;
+        wr8(Image, Base + 8 + I,
+            static_cast<uint8_t>(rd8(Image, Base + I) ^ 0xff));
+      }
+    return 0;
+  }
+};
+
+/// dst16[i] = src16[i] where dst = base + 64*k and k is a run-time tile
+/// index: blit one row of 16-bit pixels to a tile-aligned position in the
+/// same frame. The copy distance is unknown at compile time, so overlap
+/// stays a run-time question — but dst's offset is congruent to 0 modulo
+/// the tile stride, which pins the wide-store alignment statically.
+class Tileblit final : public Workload {
+public:
+  const char *name() const override { return "tileblit"; }
+  const char *description() const override {
+    return "copy 16-bit pixels to a 64-byte tile boundary in one frame";
+  }
+
+  Function *build(Module &M) const override {
+    Function *F = M.addFunction("tileblit");
+    Reg X = F->addParam(); // frame base; also the read cursor
+    Reg K = F->addParam(); // destination tile index
+    Reg N = F->addParam();
+    IRBuilder B(F);
+
+    BasicBlock *Entry = B.createBlock("entry");
+    BasicBlock *Body = F->addBlock("loop");
+    BasicBlock *Exit = F->addBlock("exit");
+
+    B.setInsertBlock(Entry);
+    Reg Off = B.shl(K, Operand::imm(6));
+    Reg Q = B.add(X, Off); // write cursor: base + 64*k
+    Reg NBytes = B.shl(N, Operand::imm(1));
+    Reg Limit = B.add(X, NBytes);
+    B.br(CondCode::LEs, N, Operand::imm(0), Exit, Body);
+
+    B.setInsertBlock(Body);
+    Reg V = B.load(Address(X, 0), MemWidth::W2, /*Sign=*/false);
+    B.store(Address(Q, 0), V, MemWidth::W2);
+    B.aluTo(X, Opcode::Add, X, Operand::imm(2));
+    B.aluTo(Q, Opcode::Add, Q, Operand::imm(2));
+    B.br(CondCode::LTu, X, Limit, Body, Exit);
+
+    B.setInsertBlock(Exit);
+    B.ret(Operand::imm(0));
+    return F;
+  }
+
+  SetupResult setup(Memory &Mem, const SetupOptions &O) const override {
+    SetupResult S;
+    RNG R(O.Seed);
+    size_t SrcBytes = static_cast<size_t>(O.N) * 2;
+    // Disjoint: first tile boundary at or past the end of the source row.
+    // Overlap: the second tile, which the source row crosses for N > 32.
+    int64_t K = O.OverlapMode == 1
+                    ? 1
+                    : static_cast<int64_t>((SrcBytes + 63) / 64);
+    size_t Bytes = static_cast<size_t>(K) * 64 + SrcBytes;
+    uint64_t X = allocArray(Mem, S, Bytes, O, 2);
+    fillShorts(Mem, X, static_cast<size_t>(O.N), R, -5000, 5000);
+    S.Args = {static_cast<int64_t>(X), K, O.N};
+    return S;
+  }
+
+  int64_t golden(uint8_t *Image, const SetupOptions &O,
+                 const SetupResult &S) const override {
+    uint64_t X = static_cast<uint64_t>(S.Args[0]);
+    uint64_t Dst = X + static_cast<uint64_t>(S.Args[1]) * 64;
+    for (int64_t I = 0; I < O.N; ++I)
+      wr16(Image, Dst + 2 * I, rd16(Image, X + 2 * I));
+    return 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> vpo::makeDeinterleave() {
+  return std::make_unique<Deinterleave>();
+}
+std::unique_ptr<Workload> vpo::makeTileblit() {
+  return std::make_unique<Tileblit>();
+}

@@ -86,6 +86,8 @@ std::unique_ptr<Workload> makeEqntott();
 std::unique_ptr<Workload> makeMirror();
 std::unique_ptr<Workload> makeConvolution();
 std::unique_ptr<Workload> makeLivermore5();
+std::unique_ptr<Workload> makeDeinterleave();
+std::unique_ptr<Workload> makeTileblit();
 
 /// All workloads in Table I order (plus dotproduct and livermore5 at the
 /// end).

@@ -31,6 +31,8 @@ std::vector<std::unique_ptr<Workload>> vpo::allWorkloads() {
   W.push_back(makeMirror());
   W.push_back(makeDotProduct());
   W.push_back(makeLivermore5());
+  W.push_back(makeDeinterleave());
+  W.push_back(makeTileblit());
   return W;
 }
 

@@ -1,0 +1,248 @@
+//===- tests/analysis/induction_vars_test.cpp - IV edge cases ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases of induction-variable recognition that the dataflow suite's
+/// happy paths do not cover: the exact increment shapes accepted, the
+/// zero-net-step disqualification, multi-block loops, non-canonical latch
+/// compares, and descending accumulated steps. These pin down the
+/// contract the offset analysis and the coalescer's footprint clamping
+/// rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+/// Runs loop discovery and wraps the innermost loop's scalar info.
+struct LoopEnv {
+  CFG G;
+  DominatorTree DT;
+  LoopInfo LI;
+
+  explicit LoopEnv(Function &F) : G(F), DT(G), LI(G, DT) {}
+
+  const Loop &inner() const { return *LI.loops().front(); }
+};
+
+TEST(InductionVars, ZeroNetStepIsNotAnIV) {
+  // r1 += 2 then r1 -= 2 is loop-invariant in effect, but it is not a
+  // usable IV: partitions keyed on it would have stride 0.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 2\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = sub r1, 2\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, 100, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  EXPECT_EQ(LSI.ivFor(Reg(1)), nullptr);
+  ASSERT_NE(LSI.ivFor(Reg(2)), nullptr);
+  EXPECT_EQ(LSI.ivFor(Reg(2))->StepPerIteration, 1);
+}
+
+TEST(InductionVars, RegisterAmountIncrementIsNotAnIV) {
+  // The step must be an immediate: r1 += r3 with invariant r3 is still
+  // rejected (the partition stride would not be a compile-time constant).
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r1 = add r1, r3\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, 100, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  EXPECT_EQ(LSI.ivFor(Reg(1)), nullptr);
+  EXPECT_TRUE(LSI.isInvariant(Reg(3)));
+}
+
+TEST(InductionVars, ImmediateMinusRegIsNotAnIncrement) {
+  // r1 = 100 - r1 redefines r1 every iteration but is a reflection, not
+  // a step; treating it as one would corrupt accumulated offsets.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = sub 100, r1\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, 100, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  EXPECT_EQ(LSI.ivFor(Reg(1)), nullptr);
+  EXPECT_FALSE(LSI.isInvariant(Reg(1)));
+}
+
+TEST(InductionVars, ImmediateLimitBound) {
+  Parsed P("func @f(r1) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  br.lts r1, 100, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  auto B = LSI.bound();
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->IV.Id, 1u);
+  ASSERT_TRUE(B->Limit.isImm());
+  EXPECT_EQ(B->Limit.imm(), 100);
+  EXPECT_EQ(B->ContinueCond, CondCode::LTs);
+}
+
+TEST(InductionVars, BothOperandsVariantMeansNoBound) {
+  // Two IVs racing each other: neither side of the latch compare is
+  // invariant, so there is no normalized bound to clamp footprints with.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  r2 = add r2, 2\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  ASSERT_NE(LSI.ivFor(Reg(1)), nullptr);
+  ASSERT_NE(LSI.ivFor(Reg(2)), nullptr);
+  EXPECT_FALSE(LSI.bound().has_value());
+}
+
+TEST(InductionVars, MultiBlockLoopIncrementInLatch) {
+  // In a multi-block loop the unique latch is the increment block; an IV
+  // stepped there is recognized.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  br.eq r3, 0, latch, latch\n"
+           "latch:\n"
+           "  r1 = add r1, 4\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  const Loop &L = E.inner();
+  ASSERT_EQ(L.latches().size(), 1u);
+  LoopScalarInfo LSI(L, *P.F);
+  const InductionVar *IV = LSI.ivFor(Reg(1));
+  ASSERT_NE(IV, nullptr);
+  EXPECT_EQ(IV->StepPerIteration, 4);
+}
+
+TEST(InductionVars, MultiBlockLoopIncrementOutsideLatchRejected) {
+  // The same step placed in the header of a two-block loop is not
+  // counted: accumulated offsets are only well-defined relative to the
+  // increment block, and that block is pinned to the latch.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  r1 = add r1, 4\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  br.eq r3, 0, latch, latch\n"
+           "latch:\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  EXPECT_EQ(LSI.ivFor(Reg(1)), nullptr);
+}
+
+TEST(InductionVars, MixedStepsAndDescendingAccumulation) {
+  // add 8 / sub 3 nets +5 per iteration; a descending partner nets -4.
+  // accumulatedIVSteps must expose the per-increment prefix sums the
+  // partition offsets are built from, in both directions.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i8.u [r1]\n"
+           "  r1 = add r1, 8\n"
+           "  r5 = load.i8.u [r2]\n"
+           "  r2 = sub r2, 4\n"
+           "  r1 = sub r1, 3\n"
+           "  br.ltu r1, r3, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  LoopScalarInfo LSI(E.inner(), *P.F);
+  const InductionVar *Up = LSI.ivFor(Reg(1));
+  const InductionVar *Down = LSI.ivFor(Reg(2));
+  ASSERT_NE(Up, nullptr);
+  ASSERT_NE(Down, nullptr);
+  EXPECT_EQ(Up->StepPerIteration, 5);
+  EXPECT_EQ(Down->StepPerIteration, -4);
+  EXPECT_EQ(Up->IncIdxs.size(), 2u);
+
+  const BasicBlock *Body = P.F->findBlock("body");
+  auto Acc = accumulatedIVSteps(*Body, LSI);
+  ASSERT_EQ(Acc.size(), Body->size());
+  // Before each instruction: nothing accumulated until the add at index
+  // 1, then +8 until the sub at index 4, then +5.
+  EXPECT_EQ(Acc[0][1], 0);
+  EXPECT_EQ(Acc[1][1], 0);
+  EXPECT_EQ(Acc[2][1], 8);
+  EXPECT_EQ(Acc[4][1], 8);
+  EXPECT_EQ(Acc[5][1], 5);
+  EXPECT_EQ(Acc[3][2], 0);
+  EXPECT_EQ(Acc[4][2], -4);
+
+  // isIVIncrement classification matches the accumulation points.
+  EXPECT_TRUE(isIVIncrement(LSI, *Body, 1));
+  EXPECT_TRUE(isIVIncrement(LSI, *Body, 3));
+  EXPECT_TRUE(isIVIncrement(LSI, *Body, 4));
+  EXPECT_FALSE(isIVIncrement(LSI, *Body, 0));
+  EXPECT_FALSE(isIVIncrement(LSI, *Body, 5));
+}
+
+} // namespace

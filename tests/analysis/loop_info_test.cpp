@@ -1,0 +1,208 @@
+//===- tests/analysis/loop_info_test.cpp - loop structure -------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural loop-discovery coverage: nesting, ordering, preheaders,
+/// exit blocks, multiple latches. The offset propagation's widening-point
+/// selection and the coalescer's dispatch splicing both consume these
+/// fields, so their exact shapes are pinned here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+struct LoopEnv {
+  CFG G;
+  DominatorTree DT;
+  LoopInfo LI;
+
+  explicit LoopEnv(Function &F) : G(F), DT(G), LI(G, DT) {}
+};
+
+TEST(LoopInfo, SingleBlockLoopStructure) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  ASSERT_EQ(E.LI.loops().size(), 1u);
+  const Loop &L = *E.LI.loops().front();
+  BasicBlock *Body = P.F->findBlock("body");
+  EXPECT_EQ(L.header(), Body);
+  ASSERT_EQ(L.latches().size(), 1u);
+  EXPECT_EQ(L.latches().front(), Body);
+  EXPECT_EQ(L.blocks().size(), 1u);
+  EXPECT_EQ(L.singleBodyBlock(), Body);
+  EXPECT_EQ(L.parent(), nullptr);
+  EXPECT_TRUE(L.isInnermost());
+  EXPECT_TRUE(L.contains(Body));
+  EXPECT_FALSE(L.contains(P.F->findBlock("exit")));
+  EXPECT_EQ(L.preheader(E.G), P.F->entry());
+  std::vector<BasicBlock *> Exits = L.exitBlocks(E.G);
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits.front(), P.F->findBlock("exit"));
+  EXPECT_EQ(E.LI.loopFor(Body), E.LI.loops().front().get());
+  EXPECT_EQ(E.LI.loopFor(P.F->entry()), nullptr);
+}
+
+TEST(LoopInfo, NestedLoopsInnermostFirst) {
+  // outer: counts r1; inner: counts r2 inside each outer iteration.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp outer\n"
+           "outer:\n"
+           "  r2 = mov 0\n"
+           "  jmp inner\n"
+           "inner:\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, inner, tail\n"
+           "tail:\n"
+           "  r1 = add r1, 1\n"
+           "  br.lts r1, r3, outer, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  ASSERT_EQ(E.LI.loops().size(), 2u);
+  const Loop *Inner = E.LI.loops()[0].get();
+  const Loop *Outer = E.LI.loops()[1].get();
+  BasicBlock *InnerBB = P.F->findBlock("inner");
+  BasicBlock *OuterBB = P.F->findBlock("outer");
+  BasicBlock *TailBB = P.F->findBlock("tail");
+  // Innermost-first ordering.
+  EXPECT_EQ(Inner->header(), InnerBB);
+  EXPECT_EQ(Outer->header(), OuterBB);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Outer->parent(), nullptr);
+  EXPECT_TRUE(Inner->isInnermost());
+  EXPECT_FALSE(Outer->isInnermost());
+  // The outer loop spans all three blocks; it is not single-body.
+  EXPECT_EQ(Outer->blocks().size(), 3u);
+  EXPECT_TRUE(Outer->contains(InnerBB));
+  EXPECT_EQ(Outer->singleBodyBlock(), nullptr);
+  // The inner loop's preheader is the outer block.
+  EXPECT_EQ(Inner->preheader(E.G), OuterBB);
+  // Exit blocks: inner exits into tail (still inside outer), outer exits
+  // into exit.
+  std::vector<BasicBlock *> InnerExits = Inner->exitBlocks(E.G);
+  ASSERT_EQ(InnerExits.size(), 1u);
+  EXPECT_EQ(InnerExits.front(), TailBB);
+  std::vector<BasicBlock *> OuterExits = Outer->exitBlocks(E.G);
+  ASSERT_EQ(OuterExits.size(), 1u);
+  EXPECT_EQ(OuterExits.front(), P.F->findBlock("exit"));
+  // loopFor returns the innermost containing loop.
+  EXPECT_EQ(E.LI.loopFor(InnerBB), Inner);
+  EXPECT_EQ(E.LI.loopFor(TailBB), Outer);
+  EXPECT_EQ(E.LI.loopFor(OuterBB), Outer);
+}
+
+TEST(LoopInfo, MultiExitLoop) {
+  // An early break gives the loop two distinct exit blocks.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  br.eq r3, 0, found, next\n"
+           "next:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, head, done\n"
+           "found:\n"
+           "  ret r1\n"
+           "done:\n"
+           "  ret 0\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  ASSERT_EQ(E.LI.loops().size(), 1u);
+  const Loop &L = *E.LI.loops().front();
+  EXPECT_EQ(L.blocks().size(), 2u);
+  std::vector<BasicBlock *> Exits = L.exitBlocks(E.G);
+  ASSERT_EQ(Exits.size(), 2u);
+  BasicBlock *Found = P.F->findBlock("found");
+  BasicBlock *Done = P.F->findBlock("done");
+  EXPECT_TRUE(std::find(Exits.begin(), Exits.end(), Found) != Exits.end());
+  EXPECT_TRUE(std::find(Exits.begin(), Exits.end(), Done) != Exits.end());
+}
+
+TEST(LoopInfo, NoPreheaderWithTwoOutsideEntries) {
+  // Two distinct outside predecessors of the header: preheader() must
+  // refuse rather than pick one (the coalescer hoists checks there).
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  br.eq r1, 0, pre_a, pre_b\n"
+           "pre_a:\n"
+           "  jmp body\n"
+           "pre_b:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  ASSERT_EQ(E.LI.loops().size(), 1u);
+  EXPECT_EQ(E.LI.loops().front()->preheader(E.G), nullptr);
+}
+
+TEST(LoopInfo, TwoLatchLoop) {
+  // Both paths through the body branch back to the header: two latches,
+  // still one loop, and singleBodyBlock stays null.
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp head\n"
+           "head:\n"
+           "  br.eq r1, 0, even, odd\n"
+           "even:\n"
+           "  r1 = add r1, 2\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "odd:\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r2, head, exit\n"
+           "exit:\n"
+           "  ret r1\n"
+           "}\n");
+  LoopEnv E(*P.F);
+  ASSERT_EQ(E.LI.loops().size(), 1u);
+  const Loop &L = *E.LI.loops().front();
+  EXPECT_EQ(L.header(), P.F->findBlock("head"));
+  EXPECT_EQ(L.latches().size(), 2u);
+  EXPECT_EQ(L.blocks().size(), 3u);
+  EXPECT_EQ(L.singleBodyBlock(), nullptr);
+  EXPECT_EQ(L.preheader(E.G), P.F->entry());
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/analysis/memory_partitions_test.cpp - partitions ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partition classification beyond the dataflow suite's happy paths:
+/// float and 64-bit widths, descending bases, mixed load/store
+/// partitions, invariant bases with several displacements, and bases
+/// clobbered by loads. The footprint builder consumes these records
+/// verbatim, so their exact contents matter to the soundness wall.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+/// Loop discovery + scalar info + partitions for the innermost loop.
+struct PartEnv {
+  CFG G;
+  DominatorTree DT;
+  LoopInfo LI;
+  LoopScalarInfo LSI;
+  MemoryPartitions MP;
+
+  explicit PartEnv(Function &F)
+      : G(F), DT(G), LI(G, DT), LSI(*LI.loops().front(), F),
+        MP(*LI.loops().front(), LSI) {}
+};
+
+TEST(MemoryPartitions, FloatAndWideWidths) {
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.f32 [r1]\n"
+           "  r5 = load.f64 [r1+8]\n"
+           "  r6 = load.i64.u [r1+16]\n"
+           "  r1 = add r1, 24\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, body, exit\n"
+           "exit:\n"
+           "  ret r2\n"
+           "}\n");
+  PartEnv E(*P.F);
+  ASSERT_TRUE(E.MP.allClassified());
+  const Partition *Part = E.MP.partitionForBase(Reg(1));
+  ASSERT_NE(Part, nullptr);
+  EXPECT_TRUE(Part->BaseIsIV);
+  EXPECT_EQ(Part->Step, 24);
+  ASSERT_EQ(Part->Refs.size(), 3u);
+  EXPECT_TRUE(Part->Refs[0].IsFloat);
+  EXPECT_EQ(Part->Refs[0].W, MemWidth::W4);
+  EXPECT_EQ(Part->Refs[0].Offset, 0);
+  EXPECT_TRUE(Part->Refs[1].IsFloat);
+  EXPECT_EQ(Part->Refs[1].W, MemWidth::W8);
+  EXPECT_EQ(Part->Refs[1].Offset, 8);
+  EXPECT_FALSE(Part->Refs[2].IsFloat);
+  EXPECT_EQ(Part->Refs[2].W, MemWidth::W8);
+  EXPECT_EQ(Part->Refs[2].Offset, 16);
+}
+
+TEST(MemoryPartitions, DescendingBaseOffsets) {
+  // The base walks down; a reference after the decrement sees -4
+  // relative to the top of the iteration.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i32.u [r1]\n"
+           "  r1 = sub r1, 4\n"
+           "  r5 = load.i32.u [r1]\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, body, exit\n"
+           "exit:\n"
+           "  ret r2\n"
+           "}\n");
+  PartEnv E(*P.F);
+  ASSERT_TRUE(E.MP.allClassified());
+  const Partition *Part = E.MP.partitionForBase(Reg(1));
+  ASSERT_NE(Part, nullptr);
+  EXPECT_EQ(Part->Step, -4);
+  ASSERT_EQ(Part->Refs.size(), 2u);
+  EXPECT_EQ(Part->Refs[0].Offset, 0);
+  EXPECT_EQ(Part->Refs[1].Offset, -4);
+}
+
+TEST(MemoryPartitions, MixedLoadStoreOnePartition) {
+  // Read-modify-write through one cursor: the load and the store land in
+  // the same partition, and partitionIdFor maps exactly the memory
+  // instructions.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i16.s [r1]\n"
+           "  r4 = add r4, 1\n"
+           "  store.i16 [r1], r4\n"
+           "  r1 = add r1, 2\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, body, exit\n"
+           "exit:\n"
+           "  ret r2\n"
+           "}\n");
+  PartEnv E(*P.F);
+  ASSERT_TRUE(E.MP.allClassified());
+  ASSERT_EQ(E.MP.partitions().size(), 1u);
+  const Partition &Part = E.MP.partitions().front();
+  ASSERT_EQ(Part.Refs.size(), 2u);
+  EXPECT_TRUE(Part.Refs[0].IsLoad);
+  EXPECT_TRUE(Part.Refs[0].SignExtend);
+  EXPECT_FALSE(Part.Refs[0].IsStore);
+  EXPECT_TRUE(Part.Refs[1].IsStore);
+  EXPECT_FALSE(Part.Refs[1].IsLoad);
+  EXPECT_EQ(Part.Refs[0].Offset, 0);
+  EXPECT_EQ(Part.Refs[1].Offset, 0);
+  // Instruction-to-partition mapping: only indices 0 and 2 are memory.
+  EXPECT_EQ(E.MP.partitionIdFor(0), 0);
+  EXPECT_EQ(E.MP.partitionIdFor(1), -1);
+  EXPECT_EQ(E.MP.partitionIdFor(2), 0);
+  EXPECT_EQ(E.MP.partitionIdFor(3), -1);
+}
+
+TEST(MemoryPartitions, InvariantBaseManyDisplacements) {
+  // A loop-invariant table pointer with several displacements: one
+  // partition, step 0, offsets straight from the displacements.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i32.u [r1]\n"
+           "  r5 = load.i32.u [r1+4]\n"
+           "  store.i32 [r1+8], r4\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, body, exit\n"
+           "exit:\n"
+           "  ret r2\n"
+           "}\n");
+  PartEnv E(*P.F);
+  ASSERT_TRUE(E.MP.allClassified());
+  const Partition *Part = E.MP.partitionForBase(Reg(1));
+  ASSERT_NE(Part, nullptr);
+  EXPECT_FALSE(Part->BaseIsIV);
+  EXPECT_EQ(Part->Step, 0);
+  ASSERT_EQ(Part->Refs.size(), 3u);
+  EXPECT_EQ(Part->Refs[0].Offset, 0);
+  EXPECT_EQ(Part->Refs[1].Offset, 4);
+  EXPECT_EQ(Part->Refs[2].Offset, 8);
+  EXPECT_TRUE(Part->Refs[2].IsStore);
+}
+
+TEST(MemoryPartitions, LoadClobberedBaseUnclassifiable) {
+  // Pointer chasing: the base is redefined by a load each iteration, so
+  // no constant relative offset exists and the loop must be refused.
+  Parsed P("func @f(r1, r2, r3) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i32.u [r1+4]\n"
+           "  r1 = load.i64.u [r1]\n"
+           "  r2 = add r2, 1\n"
+           "  br.lts r2, r3, body, exit\n"
+           "exit:\n"
+           "  ret r4\n"
+           "}\n");
+  PartEnv E(*P.F);
+  EXPECT_FALSE(E.MP.allClassified());
+  EXPECT_EQ(E.MP.partitionIdFor(0), -1);
+  EXPECT_EQ(E.MP.partitionIdFor(1), -1);
+}
+
+} // namespace

@@ -1,0 +1,816 @@
+//===- tests/analysis/offset_propagation_test.cpp - soundness ---*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The soundness wall for the loop-pointer analysis, in four layers:
+///
+///  1. Direct fixed-point checks on hand-written IR (valueAt facts,
+///     unreachable blocks, stride/bound clamping).
+///  2. A concrete mini-executor replayed against the abstract semantics
+///     over generated fuzz kernels: loads return arbitrary values (the
+///     analysis treats them as top and is path-insensitive, so *any*
+///     CFG-respecting walk must be over-approximated), and every register
+///     at every visited block entry — plus after every single
+///     applyInstruction step — must be inside its abstract value.
+///  3. Unit tests of the two coalescer queries, provablyDisjoint and
+///     provablyAligned, on hand-built footprints and on real loops.
+///  4. The differential gate: near-miss kernels (shared-base layouts at
+///     the exact disjoint/overlap boundaries) must pass the full fuzz
+///     oracle, the static disjointness proofs must actually fire on them
+///     (non-vacuity), and a planted unsound-prove fault — which is
+///     verifier-clean by construction — must be caught behaviorally.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/InductionVars.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryPartitions.h"
+#include "analysis/OffsetPropagation.h"
+#include "fuzz/Campaign.h"
+#include "fuzz/KernelGen.h"
+#include "fuzz/Oracle.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "pipeline/Pipeline.h"
+#include "support/RNG.h"
+#include "support/Remark.h"
+#include "target/TargetMachine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace vpo;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit Parsed(const std::string &Text) {
+    std::string Err;
+    M = parseModule(Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    if (M)
+      F = M->functions().front().get();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Layer 1: fixed-point facts on hand-written IR
+//===----------------------------------------------------------------------===//
+
+TEST(OffsetPropagation, PointerIVFactsAtHeader) {
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r3 = load.i8.u [r1]\n"
+           "  r1 = add r1, 2\n"
+           "  br.ltu r1, r2, body, exit\n"
+           "exit:\n"
+           "  ret r3\n"
+           "}\n");
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  EXPECT_GE(OP.stats().Sweeps, 1u);
+  BasicBlock *Body = P.F->findBlock("body");
+  // At the header, r1 is param0 plus a non-negative multiple of 2.
+  OffsetRange V = OP.valueAt(Body, Reg(1));
+  EXPECT_TRUE(V.isParam()) << V.str();
+  EXPECT_EQ(V.paramIdx(), 0u);
+  EXPECT_EQ(V.mod(), 2u);
+  EXPECT_EQ(V.rem(), 0);
+  ASSERT_TRUE(V.hasLo());
+  EXPECT_EQ(V.lo(), 0);
+  EXPECT_FALSE(V.hasHi()) << "widening must have dropped the upper bound";
+  // After the body, the cursor has advanced: lo becomes 2.
+  OffsetRange After = OP.valueAfter(Body, Reg(1));
+  ASSERT_TRUE(After.hasLo());
+  EXPECT_EQ(After.lo(), 2);
+  // The loaded byte is untracked.
+  EXPECT_TRUE(OP.valueAt(P.F->findBlock("exit"), Reg(3)).isTop());
+  // The limit parameter stays exactly param1 everywhere.
+  OffsetRange Lim = OP.valueAt(Body, Reg(2));
+  EXPECT_TRUE(Lim.isParam());
+  EXPECT_EQ(Lim.paramIdx(), 1u);
+  int64_t Off = -1;
+  EXPECT_TRUE(Lim.isExact(Off));
+  EXPECT_EQ(Off, 0);
+}
+
+TEST(OffsetPropagation, UnreachableBlockIsBottom) {
+  Parsed P("func @f(r1) {\n"
+           "entry:\n"
+           "  jmp out\n"
+           "dead:\n"
+           "  r1 = add r1, 1\n"
+           "  jmp out\n"
+           "out:\n"
+           "  ret r1\n"
+           "}\n");
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  EXPECT_TRUE(OP.valueAt(P.F->findBlock("dead"), Reg(1)).isBottom());
+  EXPECT_TRUE(OP.valueAfter(P.F->findBlock("dead"), Reg(1)).isBottom());
+  // The join over reachable predecessors ignores the dead block.
+  EXPECT_TRUE(OP.valueAt(P.F->findBlock("out"), Reg(1)).isParam());
+}
+
+TEST(OffsetPropagation, ScaledIndexKeepsAlignmentFact) {
+  // q = p + 8*i never loses "multiple of 8 from param0".
+  Parsed P("func @f(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov 0\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = shl r3, 3\n"
+           "  r5 = add r1, r4\n"
+           "  r6 = load.i64.u [r5]\n"
+           "  r3 = add r3, 1\n"
+           "  br.lts r3, r2, body, exit\n"
+           "exit:\n"
+           "  ret r6\n"
+           "}\n");
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  BasicBlock *Body = P.F->findBlock("body");
+  OffsetRange V = OP.valueAfter(Body, Reg(5));
+  EXPECT_TRUE(V.isParam()) << V.str();
+  int64_t R = -1;
+  ASSERT_TRUE(V.offsetCongruentTo(8, R)) << V.str();
+  EXPECT_EQ(R, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 2: concrete mini-executor vs the abstract semantics
+//===----------------------------------------------------------------------===//
+
+bool evalCondConcrete(CondCode CC, uint64_t A, uint64_t B) {
+  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+  switch (CC) {
+  case CondCode::EQ:
+    return A == B;
+  case CondCode::NE:
+    return A != B;
+  case CondCode::LTs:
+    return SA < SB;
+  case CondCode::LEs:
+    return SA <= SB;
+  case CondCode::GTs:
+    return SA > SB;
+  case CondCode::GEs:
+    return SA >= SB;
+  case CondCode::LTu:
+    return A < B;
+  case CondCode::LEu:
+    return A <= B;
+  case CondCode::GTu:
+    return A > B;
+  case CondCode::GEu:
+    return A >= B;
+  }
+  return false;
+}
+
+/// Replays one concrete CFG walk of \p F against the abstract semantics.
+/// Loads and other untracked definitions are havocked (pseudo-random), so
+/// the walk exercises arbitrary data-dependent paths; the abstract
+/// analysis is path-insensitive and treats those defs as top, so it must
+/// over-approximate every such walk. The walk aborts (without failing) on
+/// signed overflow in tracked arithmetic — the domain's documented no-wrap
+/// region — or when the step budget runs out.
+class ConcreteWalk {
+public:
+  ConcreteWalk(Function &F, const OffsetPropagation &OP,
+               const std::vector<int64_t> &ParamVals, uint64_t HavocSeed)
+      : F(F), OP(OP), ParamVals(ParamVals), Havoc(HavocSeed),
+        Vals(F.regUpperBound(), 0) {
+    const std::vector<Reg> &Params = F.params();
+    for (size_t I = 0; I < Params.size(); ++I) {
+      Vals[Params[I].Id] = static_cast<uint64_t>(ParamVals[I]);
+      PathState[Params[I].Id] = OffsetRange::param(static_cast<unsigned>(I));
+    }
+  }
+
+  unsigned checksPerformed() const { return Checks; }
+
+  void run() {
+    const BasicBlock *BB = F.entry();
+    checkBlockEntry(BB);
+    size_t Idx = 0;
+    for (unsigned Step = 0; Step < 50000; ++Step) {
+      if (Idx >= BB->size())
+        return; // malformed fallthrough; the verifier owns that complaint
+      const Instruction &I = BB->insts()[Idx];
+      uint64_t A = evalOp(I.A), B = evalOp(I.B);
+      // Control flow first.
+      if (I.Op == Opcode::Br) {
+        BB = evalCondConcrete(I.CC, A, B) ? I.TrueTarget : I.FalseTarget;
+        checkBlockEntry(BB);
+        Idx = 0;
+        continue;
+      }
+      if (I.Op == Opcode::Jmp) {
+        BB = I.TrueTarget;
+        checkBlockEntry(BB);
+        Idx = 0;
+        continue;
+      }
+      if (I.Op == Opcode::Ret)
+        return;
+      if (!step(I))
+        return; // overflow in tracked arithmetic: outside the test domain
+      ++Idx;
+    }
+  }
+
+private:
+  uint64_t evalOp(const Operand &O) const {
+    if (O.isImm())
+      return static_cast<uint64_t>(O.imm());
+    if (O.isReg())
+      return Vals[O.reg().Id];
+    return 0;
+  }
+
+  /// Executes one non-control instruction concretely, mirrors it
+  /// abstractly, and checks containment of the defined value. \returns
+  /// false when the walk must stop (signed overflow in an operation the
+  /// domain tracks).
+  bool step(const Instruction &I) {
+    auto Def = I.def();
+    uint64_t A = evalOp(I.A), B = evalOp(I.B);
+    int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+    uint64_t Result = 0;
+    int64_t Tmp;
+    switch (I.Op) {
+    case Opcode::Mov:
+      Result = A;
+      break;
+    case Opcode::Add:
+      if (__builtin_add_overflow(SA, SB, &Tmp))
+        return false;
+      Result = static_cast<uint64_t>(Tmp);
+      break;
+    case Opcode::Sub:
+      if (__builtin_sub_overflow(SA, SB, &Tmp))
+        return false;
+      Result = static_cast<uint64_t>(Tmp);
+      break;
+    case Opcode::Mul:
+      if (__builtin_mul_overflow(SA, SB, &Tmp))
+        return false;
+      Result = static_cast<uint64_t>(Tmp);
+      break;
+    case Opcode::Shl: {
+      unsigned Sh = static_cast<unsigned>(B & 63);
+      Result = A << Sh;
+      if (static_cast<int64_t>(Result) >> Sh != SA)
+        return false; // shifted bits out: signed overflow
+      break;
+    }
+    case Opcode::ShrA:
+      Result = static_cast<uint64_t>(SA >> (B & 63));
+      break;
+    case Opcode::ShrL:
+      Result = A >> (B & 63);
+      break;
+    case Opcode::And:
+      Result = A & B;
+      break;
+    case Opcode::Or:
+      Result = A | B;
+      break;
+    case Opcode::Xor:
+      Result = A ^ B;
+      break;
+    case Opcode::CmpSet:
+      Result = evalCondConcrete(I.CC, A, B) ? 1 : 0;
+      break;
+    case Opcode::Select:
+      Result = A != 0 ? B : evalOp(I.C);
+      break;
+    case Opcode::Ext: {
+      unsigned Bits = widthBits(I.W);
+      if (Bits >= 64) {
+        Result = A;
+      } else {
+        uint64_t Low = A & ((uint64_t(1) << Bits) - 1);
+        if (I.SignExtend && (Low & (uint64_t(1) << (Bits - 1))))
+          Low |= ~uint64_t(0) << Bits;
+        Result = Low;
+      }
+      break;
+    }
+    default:
+      // Loads, divisions, FP, field ops: untracked by the analysis, so
+      // any value is sound — havoc to explore data-dependent paths. Kept
+      // small so downstream tracked arithmetic rarely hits the no-wrap
+      // abort and walks stay long.
+      Result = Havoc.next() & 0xFFFF;
+      break;
+    }
+
+    // Mirror the step abstractly, then write the concrete register.
+    OffsetPropagation::applyInstruction(PathState, I);
+    if (!Def)
+      return true;
+    Vals[Def->Id] = Result;
+    auto It = PathState.find(Def->Id);
+    if (It != PathState.end())
+      expectContained(It->second, Def->Id, "applyInstruction step");
+    return true;
+  }
+
+  void checkBlockEntry(const BasicBlock *BB) {
+    for (unsigned Id = 1; Id < F.regUpperBound(); ++Id) {
+      OffsetRange V = OP.valueAt(BB, Reg(Id));
+      EXPECT_FALSE(V.isBottom())
+          << "walk reached '" << BB->name() << "' which the analysis "
+          << "claims unreachable";
+      if (V.isTop() || V.isBottom())
+        continue;
+      expectContained(V, Id, ("entry of '" + BB->name() + "'").c_str());
+    }
+  }
+
+  void expectContained(const OffsetRange &V, unsigned Id, const char *Where) {
+    int64_t C = static_cast<int64_t>(Vals[Id]);
+    int64_t Base = 0;
+    if (V.isParam()) {
+      ASSERT_LT(V.paramIdx(), ParamVals.size());
+      Base = ParamVals[V.paramIdx()];
+    }
+    ++Checks;
+    EXPECT_TRUE(V.containsConcrete(Base, C))
+        << "r" << Id << " = " << C << " escapes " << V.str() << " at "
+        << Where << " in @" << F.name();
+  }
+
+  Function &F;
+  const OffsetPropagation &OP;
+  std::vector<int64_t> ParamVals;
+  RNG Havoc;
+  std::vector<uint64_t> Vals;
+  OffsetPropagation::State PathState;
+  unsigned Checks = 0;
+};
+
+/// Runs the differential walk over one generated kernel for several trip
+/// counts and havoc streams. \returns the number of containment checks.
+unsigned replayKernel(const std::string &IRText, uint64_t Seed) {
+  Parsed P(IRText);
+  if (!P.F)
+    return 0;
+  OffsetPropagation OP(*P.F);
+  EXPECT_TRUE(OP.converged()) << "seed " << Seed;
+  unsigned Checks = 0;
+  const int64_t Trips[] = {0, 3, 7};
+  for (int64_t N : Trips) {
+    std::vector<int64_t> ParamVals;
+    for (size_t I = 0; I + 1 < P.F->params().size(); ++I)
+      ParamVals.push_back(int64_t(0x200000) * int64_t(I + 1) + 24);
+    ParamVals.push_back(N); // trip count is always the last parameter
+    for (uint64_t Hav = 1; Hav <= 2; ++Hav) {
+      ConcreteWalk W(*P.F, OP, ParamVals, Seed * 97 + Hav);
+      W.run();
+      Checks += W.checksPerformed();
+    }
+  }
+  return Checks;
+}
+
+TEST(OffsetPropagationSoundness, RandomKernelWalks) {
+  unsigned TotalChecks = 0;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    fuzz::GeneratedKernel K =
+        fuzz::generateKernel(fuzz::KernelSpec::random(Seed));
+    TotalChecks += replayKernel(K.IRText, Seed);
+  }
+  // The suite must not silently go vacuous.
+  EXPECT_GT(TotalChecks, 1000u);
+}
+
+TEST(OffsetPropagationSoundness, NearMissKernelWalks) {
+  unsigned TotalChecks = 0;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    fuzz::GeneratedKernel K =
+        fuzz::generateKernel(fuzz::nearMissSpec(Seed));
+    TotalChecks += replayKernel(K.IRText, Seed);
+  }
+  EXPECT_GT(TotalChecks, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 3: the coalescer queries
+//===----------------------------------------------------------------------===//
+
+PartitionFootprint footprint(unsigned ParamIdx, uint64_t Mod, int64_t Rem,
+                             std::vector<std::pair<int64_t, unsigned>> Refs) {
+  PartitionFootprint FP;
+  FP.Valid = true;
+  FP.ParamIdx = ParamIdx;
+  FP.Mod = Mod;
+  FP.Rem = Rem;
+  FP.Refs = std::move(Refs);
+  FP.MinOff = FP.Refs.front().first;
+  FP.MaxOffEnd = FP.Refs.front().first;
+  for (const auto &[Off, W] : FP.Refs) {
+    FP.MinOff = std::min(FP.MinOff, Off);
+    FP.MaxOffEnd = std::max(FP.MaxOffEnd, Off + static_cast<int64_t>(W));
+  }
+  return FP;
+}
+
+TEST(ProvablyDisjoint, IntervalRule) {
+  // Exact pointers 16 bytes apart, 4-byte refs.
+  PartitionFootprint A = footprint(0, 0, 0, {{0, 4}});
+  PartitionFootprint B = footprint(0, 0, 16, {{0, 4}});
+  A.HasLo = A.HasHi = true;
+  A.Lo = A.Hi = 0;
+  B.HasLo = B.HasHi = true;
+  B.Lo = B.Hi = 16;
+  const char *Why = nullptr;
+  EXPECT_TRUE(provablyDisjoint(A, B, &Why));
+  EXPECT_STREQ(Why, "interval");
+  EXPECT_TRUE(provablyDisjoint(B, A, &Why)) << "must be symmetric";
+  // Shrink the gap to an overlap: [0,4) vs [2,6).
+  B.Lo = B.Hi = 2;
+  B.Rem = 2;
+  EXPECT_FALSE(provablyDisjoint(A, B));
+  // Exactly adjacent spans are disjoint: [0,4) vs [4,8).
+  B.Lo = B.Hi = 4;
+  B.Rem = 4;
+  EXPECT_TRUE(provablyDisjoint(A, B, &Why));
+}
+
+TEST(ProvablyDisjoint, ResidueRule) {
+  // Interleaved channels of one record stream: stride 8, bytes [0,4) vs
+  // [4,8) in each record. No interval bound at all.
+  PartitionFootprint A = footprint(0, 8, 0, {{0, 4}});
+  PartitionFootprint B = footprint(0, 8, 4, {{0, 4}});
+  const char *Why = nullptr;
+  EXPECT_TRUE(provablyDisjoint(A, B, &Why));
+  EXPECT_STREQ(Why, "residue-classes");
+  // Overlap by one byte: [0,5) vs [4,8) mod 8.
+  PartitionFootprint A5 = footprint(0, 8, 0, {{0, 4}, {4, 1}});
+  EXPECT_FALSE(provablyDisjoint(A5, B));
+  // A reference as wide as the stride covers the whole circle.
+  PartitionFootprint Wide = footprint(0, 8, 0, {{0, 8}});
+  EXPECT_FALSE(provablyDisjoint(Wide, B));
+  // Different moduli fall back to the gcd: mod 16 rem 0 vs mod 8 rem 4
+  // agree on circle 8 and stay disjoint.
+  PartitionFootprint A16 = footprint(0, 16, 0, {{0, 4}});
+  EXPECT_TRUE(provablyDisjoint(A16, B, &Why));
+  EXPECT_STREQ(Why, "residue-classes");
+  // gcd collapses to 1: nothing provable.
+  PartitionFootprint A3 = footprint(0, 3, 0, {{0, 1}});
+  EXPECT_FALSE(provablyDisjoint(A3, B));
+}
+
+TEST(ProvablyDisjoint, RequiresSameParamAndValidity) {
+  PartitionFootprint A = footprint(0, 8, 0, {{0, 4}});
+  PartitionFootprint B = footprint(1, 8, 4, {{0, 4}});
+  EXPECT_FALSE(provablyDisjoint(A, B)) << "different parameters";
+  PartitionFootprint C = footprint(0, 8, 4, {{0, 4}});
+  C.Valid = false;
+  EXPECT_FALSE(provablyDisjoint(A, C));
+  EXPECT_FALSE(provablyDisjoint(C, A));
+}
+
+TEST(ProvablyDisjoint, InterleavedChannelsFromRealLoop) {
+  // Even bytes read, odd bytes written, both cursors from one parameter:
+  // the shape no-alias parameter facts can never separate.
+  Parsed P("func @k(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = add r1, 0\n"
+           "  r4 = add r1, 1\n"
+           "  r5 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r6 = load.i8.u [r3]\n"
+           "  store.i8 [r4], r6\n"
+           "  r3 = add r3, 2\n"
+           "  r4 = add r4, 2\n"
+           "  r5 = add r5, 1\n"
+           "  br.lts r5, r2, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  MemoryPartitions MP(L, LSI);
+  ASSERT_TRUE(MP.allClassified());
+  const Partition *PA = MP.partitionForBase(Reg(3));
+  const Partition *PB = MP.partitionForBase(Reg(4));
+  ASSERT_NE(PA, nullptr);
+  ASSERT_NE(PB, nullptr);
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  PartitionFootprint FA = computePartitionFootprint(OP, L, LSI, *PA);
+  PartitionFootprint FB = computePartitionFootprint(OP, L, LSI, *PB);
+  ASSERT_TRUE(FA.Valid);
+  ASSERT_TRUE(FB.Valid);
+  EXPECT_EQ(FA.ParamIdx, FB.ParamIdx);
+  EXPECT_EQ(FA.Mod, 2u);
+  EXPECT_EQ(FB.Mod, 2u);
+  const char *Why = nullptr;
+  EXPECT_TRUE(provablyDisjoint(FA, FB, &Why));
+  EXPECT_STREQ(Why, "residue-classes");
+}
+
+TEST(ProvablyDisjoint, BoundClampEnablesIntervalRule) {
+  // A bounded cursor walks [p, p+N) one byte at a time while a second
+  // partition sits at [p+N, ...): only the loop-bound clamp makes the
+  // interval rule fire.
+  Parsed P("func @k(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = add r1, 64\n"
+           "  br.geu r1, r3, exit, body\n"
+           "body:\n"
+           "  r5 = load.i8.u [r1]\n"
+           "  store.i8 [r3+0], r5\n"
+           "  r1 = add r1, 1\n"
+           "  br.ltu r1, r3, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  CFG G(*P.F);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = *LI.loops().front();
+  LoopScalarInfo LSI(L, *P.F);
+  ASSERT_TRUE(LSI.bound().has_value());
+  MemoryPartitions MP(L, LSI);
+  ASSERT_TRUE(MP.allClassified());
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  const Partition *Cur = MP.partitionForBase(Reg(1));
+  const Partition *Dst = MP.partitionForBase(Reg(3));
+  ASSERT_NE(Cur, nullptr);
+  ASSERT_NE(Dst, nullptr);
+  PartitionFootprint FC = computePartitionFootprint(OP, L, LSI, *Cur);
+  PartitionFootprint FD = computePartitionFootprint(OP, L, LSI, *Dst);
+  ASSERT_TRUE(FC.Valid);
+  ASSERT_TRUE(FD.Valid);
+  // The continuation condition r1 <u r3 (= param0 + 64) caps the cursor's
+  // iteration-start offset at 63.
+  ASSERT_TRUE(FC.HasHi);
+  EXPECT_EQ(FC.Hi, 63);
+  const char *Why = nullptr;
+  EXPECT_TRUE(provablyDisjoint(FC, FD, &Why));
+  EXPECT_STREQ(Why, "interval");
+}
+
+TEST(ProvablyAligned, ParamAlignmentAndCongruence) {
+  Parsed P("func @a(r1, r2) {\n"
+           "entry:\n"
+           "  r3 = mov r1\n"
+           "  r4 = mov 0\n"
+           "  br.les r2, 0, exit, body\n"
+           "body:\n"
+           "  r5 = load.i64.u [r3]\n"
+           "  r3 = add r3, 8\n"
+           "  r4 = add r4, 1\n"
+           "  br.lts r4, r2, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  BasicBlock *Body = P.F->findBlock("body");
+  {
+    // Alignment of the parameter is unknown: congruence alone is not
+    // enough, the preheader check must stay.
+    OffsetPropagation OP(*P.F);
+    ASSERT_TRUE(OP.converged());
+    EXPECT_FALSE(provablyAligned(OP, Body, Reg(3), 0, 8));
+  }
+  P.F->paramInfo(0).KnownAlign = 8;
+  {
+    OffsetPropagation OP(*P.F);
+    ASSERT_TRUE(OP.converged());
+    EXPECT_TRUE(provablyAligned(OP, Body, Reg(3), 0, 8));
+    // Misaligned start offset within the stride.
+    EXPECT_FALSE(provablyAligned(OP, Body, Reg(3), 4, 8));
+    // A full stride later is aligned again.
+    EXPECT_TRUE(provablyAligned(OP, Body, Reg(3), 8, 8));
+    // Narrower wide width divides the alignment.
+    EXPECT_TRUE(provablyAligned(OP, Body, Reg(3), 0, 4));
+    // Wider than the known alignment: congruence mod 16 is unknown.
+    EXPECT_FALSE(provablyAligned(OP, Body, Reg(3), 0, 16));
+  }
+}
+
+TEST(ProvablyAligned, AbsoluteNumberBaseNeedsNoParamFact) {
+  // A Number-valued base carries its absolute residue, so no parameter
+  // alignment declaration is needed.
+  Parsed P("func @a(r1) {\n"
+           "entry:\n"
+           "  r2 = mov 4096\n"
+           "  r3 = mov 0\n"
+           "  jmp body\n"
+           "body:\n"
+           "  r4 = load.i32.u [r2]\n"
+           "  r2 = add r2, 4\n"
+           "  r3 = add r3, 1\n"
+           "  br.lts r3, r1, body, exit\n"
+           "exit:\n"
+           "  ret 0\n"
+           "}\n");
+  OffsetPropagation OP(*P.F);
+  ASSERT_TRUE(OP.converged());
+  BasicBlock *Body = P.F->findBlock("body");
+  EXPECT_TRUE(provablyAligned(OP, Body, Reg(2), 0, 4));
+  EXPECT_FALSE(provablyAligned(OP, Body, Reg(2), 2, 4));
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 4: the differential gate over near-miss kernels
+//===----------------------------------------------------------------------===//
+
+TEST(NearMissGate, OracleCleanOnNearMissKernels) {
+  // Every near-miss layout — exactly adjacent, disjoint by one, overlapping
+  // by one, prime strides, identical starts — must survive the full
+  // differential oracle: whatever the offset analysis proves, the
+  // coalesced code must still match the O0 baseline on every scenario.
+  fuzz::OracleOptions O;
+  O.Targets = {"alpha"};
+  O.CheckJIT = false;
+  O.CheckTelemetry = false;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    fuzz::GeneratedKernel K =
+        fuzz::generateKernel(fuzz::nearMissSpec(Seed));
+    fuzz::OracleResult R = fuzz::checkKernel(K, O);
+    EXPECT_TRUE(R.passed()) << "seed " << Seed << ": " << R.render();
+  }
+}
+
+TEST(NearMissGate, AnalysisProvesPairsOnNearMissKernels) {
+  // Non-vacuity of the oracle gate, analysis level: across the near-miss
+  // seeds the footprint pass must discharge at least one partition pair
+  // (otherwise the gate above never exercises a static proof). Whether
+  // the coalescer then *consumes* a proof depends on the hazard window
+  // of an accepted run; that end-to-end path is pinned by the
+  // deinterleave test below and the remark goldens.
+  TargetMachine TM = makeTargetByName("alpha");
+  CompileOptions Opts;
+  Opts.Mode = CoalesceMode::LoadsAndStores;
+  unsigned SeedsWithProof = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    fuzz::GeneratedKernel K =
+        fuzz::generateKernel(fuzz::nearMissSpec(Seed));
+    Parsed P(K.IRText);
+    ASSERT_NE(P.F, nullptr);
+    CollectingRemarkSink Sink;
+    Opts.Remarks = &Sink;
+    compileFunction(*P.F, TM, Opts);
+    for (const Remark &R : Sink.remarks())
+      if (std::string(R.Reason) == "offset-propagation")
+        for (const auto &Arg : R.Args)
+          if (std::string(Arg.first) == "pairs-proven" &&
+              Arg.second != "0") {
+            ++SeedsWithProof;
+            break;
+          }
+  }
+  EXPECT_GT(SeedsWithProof, 0u)
+      << "no near-miss kernel had a provable partition pair; "
+         "the near-miss oracle gate is vacuous";
+}
+
+TEST(NearMissGate, DeinterleaveProofsReplaceRuntimeChecks) {
+  // End-to-end: on the paper-style deinterleave kernel (read and write
+  // cursors sharing one parameter, interleaved residue classes mod 16)
+  // the run-time overlap check is discharged by the residue rule, with
+  // no remaining deferrals, and the loop still coalesces.
+  std::unique_ptr<Workload> W = makeWorkloadByName("deinterleave");
+  ASSERT_NE(W, nullptr);
+  Module M;
+  Function *F = W->build(M);
+  ASSERT_NE(F, nullptr);
+  F->paramInfo(0).KnownAlign = 16;
+  TargetMachine TM = makeTargetByName("alpha");
+  CollectingRemarkSink Sink;
+  CompileOptions Opts;
+  Opts.Mode = CoalesceMode::LoadsAndStores;
+  Opts.Remarks = &Sink;
+  compileFunction(*F, TM, Opts);
+  EXPECT_GE(Sink.count("alias-check-proven-disjoint"), 1u)
+      << Sink.renderAll();
+  EXPECT_EQ(Sink.count("alias-check-deferred"), 0u) << Sink.renderAll();
+  EXPECT_GE(Sink.count("loop-coalesced"), 1u) << Sink.renderAll();
+}
+
+TEST(NearMissGate, ScaledStartOffsetAlignmentProvenStatic) {
+  // The cursor starts at p + 8*k: the exact-chain alignment reasoning
+  // gives up on the symbolic scaled offset, but the congruence domain
+  // knows the offset is a multiple of 8 from p, so with 8-byte declared
+  // base alignment the preheader alignment check is discharged by the
+  // supplement — the `alignment-proven-static` path.
+  Parsed P("func @a(r1, r2, r3) {\n"
+           "entry:\n"
+           "  r4 = shl r2, 3\n"
+           "  r5 = add r1, r4\n"
+           "  r6 = mov 0\n"
+           "  br.les r3, 0, exit, body\n"
+           "body:\n"
+           "  r7 = load.i8.u [r5]\n"
+           "  r8 = load.i8.u [r5+1]\n"
+           "  r9 = load.i8.u [r5+2]\n"
+           "  r10 = load.i8.u [r5+3]\n"
+           "  r11 = load.i8.u [r5+4]\n"
+           "  r12 = load.i8.u [r5+5]\n"
+           "  r13 = load.i8.u [r5+6]\n"
+           "  r14 = load.i8.u [r5+7]\n"
+           "  r5 = add r5, 8\n"
+           "  r6 = add r6, 1\n"
+           "  br.lts r6, r3, body, exit\n"
+           "exit:\n"
+           "  ret r6\n"
+           "}\n");
+  ASSERT_NE(P.F, nullptr);
+  P.F->paramInfo(0).KnownAlign = 8;
+  TargetMachine TM = makeTargetByName("alpha");
+  CollectingRemarkSink Sink;
+  CompileOptions Opts;
+  Opts.Mode = CoalesceMode::LoadsAndStores;
+  Opts.Remarks = &Sink;
+  compileFunction(*P.F, TM, Opts);
+  EXPECT_GE(Sink.count("alignment-proven-static"), 1u) << Sink.renderAll();
+  // Without the declared parameter alignment the congruence alone must
+  // NOT discharge the check (mod-8 congruence to an unaligned base
+  // proves nothing).
+  Parsed P2(
+      "func @a(r1, r2, r3) {\n"
+      "entry:\n"
+      "  r4 = shl r2, 3\n"
+      "  r5 = add r1, r4\n"
+      "  r6 = mov 0\n"
+      "  br.les r3, 0, exit, body\n"
+      "body:\n"
+      "  r7 = load.i8.u [r5]\n"
+      "  r8 = load.i8.u [r5+1]\n"
+      "  r9 = load.i8.u [r5+2]\n"
+      "  r10 = load.i8.u [r5+3]\n"
+      "  r11 = load.i8.u [r5+4]\n"
+      "  r12 = load.i8.u [r5+5]\n"
+      "  r13 = load.i8.u [r5+6]\n"
+      "  r14 = load.i8.u [r5+7]\n"
+      "  r5 = add r5, 8\n"
+      "  r6 = add r6, 1\n"
+      "  br.lts r6, r3, body, exit\n"
+      "exit:\n"
+      "  ret r6\n"
+      "}\n");
+  ASSERT_NE(P2.F, nullptr);
+  CollectingRemarkSink Sink2;
+  Opts.Remarks = &Sink2;
+  compileFunction(*P2.F, TM, Opts);
+  EXPECT_EQ(Sink2.count("alignment-proven-static"), 0u)
+      << Sink2.renderAll();
+}
+
+TEST(NearMissGate, PlantedUnsoundProveIsCaughtBehaviorally) {
+  // The unsound-prove fault short-circuits the runtime-check dispatch to
+  // the fast loop — exactly the bug an unsound disjointness proof would
+  // cause. It is verifier-clean by design, so only the behavioral oracle
+  // can catch it; a campaign over near-miss kernels must do so.
+  fuzz::OracleOptions O;
+  fuzz::InjectSpec Inject;
+  Inject.AfterPass = "coalesce";
+  Inject.Kind = FaultKind::UnsoundProve;
+  Inject.Seed = 3;
+  O.Inject = Inject;
+  bool Caught = false;
+  for (unsigned Case = 0; Case < 40 && !Caught; ++Case) {
+    uint64_t Seed = fuzz::caseSeed(1, Case);
+    fuzz::GeneratedKernel K =
+        fuzz::generateKernel(fuzz::nearMissSpec(Seed));
+    fuzz::OracleResult R = fuzz::checkKernel(K, O);
+    EXPECT_NE(R.Kind, fuzz::FailKind::CompileIncident)
+        << "unsound-prove must stay invisible to the verifier, got "
+        << R.render();
+    Caught = R.Kind == fuzz::FailKind::StatusDiverged ||
+             R.Kind == fuzz::FailKind::ReturnDiverged ||
+             R.Kind == fuzz::FailKind::MemoryDiverged ||
+             R.Kind == fuzz::FailKind::EngineDiverged;
+  }
+  EXPECT_TRUE(Caught)
+      << "a planted soundness bug survived the whole near-miss campaign";
+}
+
+} // namespace

@@ -1,0 +1,461 @@
+//===- tests/analysis/offset_range_test.cpp - domain properties -*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the OffsetRange abstract domain. Random abstract
+/// values are built exclusively through the public constructors and
+/// transfer functions (so every tested value is one the analysis can
+/// actually produce), then checked against the lattice laws and against
+/// the concretization oracle containsConcrete:
+///
+///   * join is commutative, associative, idempotent, and an upper bound;
+///   * every transfer function over-approximates the corresponding
+///     concrete 64-bit operation on sampled members;
+///   * widening chains terminate;
+///   * the congruence/exactness queries agree with the samples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OffsetRange.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace vpo;
+
+namespace {
+
+/// Fixed concrete bindings for the four parameters random values may
+/// reference. Mid-range so sampled offsets never overflow.
+const int64_t ParamVals[4] = {1 << 20, (1 << 20) + 4096, 3 << 20,
+                              (3 << 20) + 37};
+
+/// Membership in gamma(V) with the parameter environment above.
+bool contains(const OffsetRange &V, int64_t C) {
+  int64_t Base = V.isParam() ? ParamVals[V.paramIdx()] : 0;
+  return V.containsConcrete(Base, C);
+}
+
+/// A random "leaf" abstract value: one of the public constructors.
+OffsetRange randomLeaf(RNG &R) {
+  switch (R.nextBelow(6)) {
+  case 0:
+    return OffsetRange::bottom();
+  case 1:
+    return OffsetRange::unknown();
+  case 2:
+    return OffsetRange::boolRange();
+  case 3:
+    return OffsetRange::param(static_cast<unsigned>(R.nextBelow(4)));
+  default:
+    return OffsetRange::number(static_cast<int64_t>(R.nextBelow(512)) - 128);
+  }
+}
+
+/// A random abstract value reachable through the transfer functions: a
+/// leaf mutated by a few random domain operations. Constants stay small
+/// so concrete mirrors of the operations cannot overflow.
+OffsetRange randomValue(RNG &R) {
+  OffsetRange V = randomLeaf(R);
+  unsigned Ops = static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned I = 0; I < Ops; ++I) {
+    switch (R.nextBelow(7)) {
+    case 0:
+      V = OffsetRange::add(V, randomLeaf(R));
+      break;
+    case 1:
+      V = OffsetRange::sub(V, randomLeaf(R));
+      break;
+    case 2:
+      V = OffsetRange::mulConst(V, static_cast<int64_t>(R.nextBelow(17)) - 8);
+      break;
+    case 3:
+      V = OffsetRange::shlConst(V, static_cast<int64_t>(R.nextBelow(7)));
+      break;
+    case 4:
+      V = OffsetRange::andMask(V, (int64_t(1) << R.nextInRange(1, 12)) - 1);
+      break;
+    case 5:
+      V = OffsetRange::join(V, randomLeaf(R));
+      break;
+    default:
+      V = OffsetRange::extRange(V, R.nextBelow(2) ? 16 : 8,
+                                R.nextBelow(2) != 0);
+      break;
+    }
+  }
+  return V;
+}
+
+/// Samples concrete members of gamma(V): candidate offsets from the
+/// interval endpoints and the congruence residue, filtered through
+/// containsConcrete. Empty for bottom (and possibly for values whose
+/// members all lie outside the candidate window, which is fine — the
+/// properties are vacuous on an empty sample).
+std::vector<int64_t> sampleMembers(const OffsetRange &V, RNG &R) {
+  std::vector<int64_t> Out;
+  if (V.isBottom())
+    return Out;
+  int64_t Base = V.isParam() ? ParamVals[V.paramIdx()] : 0;
+  std::vector<int64_t> Offs;
+  if (V.hasLo())
+    Offs.push_back(V.lo());
+  if (V.hasHi())
+    Offs.push_back(V.hi());
+  int64_t Anchor = V.hasLo() ? V.lo() : (V.hasHi() ? V.hi() - 64 : 0);
+  if (V.mod() >= 2) {
+    // First congruence-class member at or above the anchor, plus a few
+    // strides onward.
+    int64_t First =
+        Anchor + floorMod(V.rem() - Anchor, V.mod());
+    for (int K = 0; K < 4; ++K)
+      Offs.push_back(First + K * static_cast<int64_t>(V.mod()));
+  } else {
+    for (int K = -2; K <= 4; ++K)
+      Offs.push_back(Anchor + K);
+    Offs.push_back(V.rem()); // exact values
+  }
+  Offs.push_back(static_cast<int64_t>(R.nextBelow(256)) - 64);
+  for (int64_t Off : Offs) {
+    int64_t C;
+    if (__builtin_add_overflow(Base, Off, &C))
+      continue;
+    if (V.containsConcrete(Base, C))
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+TEST(OffsetRange, ConstructorsAndPredicates) {
+  OffsetRange N = OffsetRange::number(5);
+  EXPECT_TRUE(N.isNumber());
+  int64_t V = 0;
+  EXPECT_TRUE(N.isExact(V));
+  EXPECT_EQ(V, 5);
+  EXPECT_TRUE(contains(N, 5));
+  EXPECT_FALSE(contains(N, 6));
+  // Exact values get a pinned interval from normalization.
+  EXPECT_TRUE(N.hasLo() && N.hasHi());
+  EXPECT_EQ(N.lo(), 5);
+  EXPECT_EQ(N.hi(), 5);
+
+  OffsetRange P = OffsetRange::param(2);
+  EXPECT_TRUE(P.isParam());
+  EXPECT_EQ(P.paramIdx(), 2u);
+  EXPECT_TRUE(contains(P, ParamVals[2]));
+  EXPECT_FALSE(contains(P, ParamVals[2] + 1));
+
+  OffsetRange B = OffsetRange::bottom();
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_FALSE(contains(B, 0));
+
+  OffsetRange T = OffsetRange::unknown();
+  EXPECT_TRUE(T.isTop());
+  EXPECT_TRUE(contains(T, INT64_MIN));
+  EXPECT_TRUE(contains(T, INT64_MAX));
+  EXPECT_EQ(OffsetRange(), T);
+}
+
+TEST(OffsetRange, FloorModBasics) {
+  EXPECT_EQ(floorMod(-1, 8), 7);
+  EXPECT_EQ(floorMod(15, 8), 7);
+  EXPECT_EQ(floorMod(-16, 16), 0);
+  EXPECT_EQ(floorMod(5, 1), 0);
+  EXPECT_EQ(floorMod(5, 0), 0);
+}
+
+TEST(OffsetRange, JoinLattice) {
+  RNG R(101);
+  for (int I = 0; I < 500; ++I) {
+    OffsetRange A = randomValue(R), B = randomValue(R), C = randomValue(R);
+    // Commutativity, idempotence, associativity (values are normalized,
+    // so structural equality is the right comparison).
+    EXPECT_EQ(OffsetRange::join(A, B), OffsetRange::join(B, A))
+        << A.str() << " | " << B.str();
+    EXPECT_EQ(OffsetRange::join(A, A), A) << A.str();
+    OffsetRange AB_C = OffsetRange::join(OffsetRange::join(A, B), C);
+    OffsetRange A_BC = OffsetRange::join(A, OffsetRange::join(B, C));
+    EXPECT_EQ(AB_C, A_BC)
+        << A.str() << " | " << B.str() << " | " << C.str();
+    // Upper bound.
+    OffsetRange J = OffsetRange::join(A, B);
+    EXPECT_TRUE(A.leq(J)) << A.str() << " !<= " << J.str();
+    EXPECT_TRUE(B.leq(J)) << B.str() << " !<= " << J.str();
+  }
+}
+
+TEST(OffsetRange, LeqOrder) {
+  RNG R(202);
+  OffsetRange Top = OffsetRange::unknown();
+  OffsetRange Bot = OffsetRange::bottom();
+  for (int I = 0; I < 300; ++I) {
+    OffsetRange A = randomValue(R);
+    EXPECT_TRUE(A.leq(A)) << A.str();
+    EXPECT_TRUE(Bot.leq(A));
+    EXPECT_TRUE(A.leq(Top));
+    // leq is a sound inclusion: members of A are members of any upper B.
+    OffsetRange B = OffsetRange::join(A, randomValue(R));
+    for (int64_t C : sampleMembers(A, R))
+      EXPECT_TRUE(contains(B, C))
+          << C << " in " << A.str() << " but not in join " << B.str();
+  }
+}
+
+TEST(OffsetRange, JoinSoundOnSamples) {
+  RNG R(303);
+  for (int I = 0; I < 400; ++I) {
+    OffsetRange A = randomValue(R), B = randomValue(R);
+    OffsetRange J = OffsetRange::join(A, B);
+    for (int64_t C : sampleMembers(A, R))
+      EXPECT_TRUE(contains(J, C))
+          << C << " in " << A.str() << " lost by join " << J.str();
+    for (int64_t C : sampleMembers(B, R))
+      EXPECT_TRUE(contains(J, C))
+          << C << " in " << B.str() << " lost by join " << J.str();
+  }
+}
+
+TEST(OffsetRange, AddSubSoundOnSamples) {
+  RNG R(404);
+  for (int I = 0; I < 400; ++I) {
+    OffsetRange A = randomValue(R), B = randomValue(R);
+    OffsetRange Sum = OffsetRange::add(A, B);
+    OffsetRange Diff = OffsetRange::sub(A, B);
+    for (int64_t CA : sampleMembers(A, R))
+      for (int64_t CB : sampleMembers(B, R)) {
+        int64_t S, D;
+        if (!__builtin_add_overflow(CA, CB, &S))
+          EXPECT_TRUE(contains(Sum, S))
+              << CA << "+" << CB << " not in add(" << A.str() << ", "
+              << B.str() << ") = " << Sum.str();
+        if (!__builtin_sub_overflow(CA, CB, &D))
+          EXPECT_TRUE(contains(Diff, D))
+              << CA << "-" << CB << " not in sub(" << A.str() << ", "
+              << B.str() << ") = " << Diff.str();
+      }
+  }
+}
+
+TEST(OffsetRange, UnaryTransfersSoundOnSamples) {
+  RNG R(505);
+  for (int I = 0; I < 400; ++I) {
+    OffsetRange A = randomValue(R);
+    int64_t Mul = static_cast<int64_t>(R.nextBelow(19)) - 9;
+    int64_t Sh = static_cast<int64_t>(R.nextBelow(7));
+    int64_t Mask = (int64_t(1) << R.nextInRange(1, 12)) - 1;
+    unsigned Bits = R.nextBelow(2) ? 16 : 8;
+    bool SE = R.nextBelow(2) != 0;
+    OffsetRange VMul = OffsetRange::mulConst(A, Mul);
+    OffsetRange VShl = OffsetRange::shlConst(A, Sh);
+    OffsetRange VAnd = OffsetRange::andMask(A, Mask);
+    OffsetRange VExt = OffsetRange::extRange(A, Bits, SE);
+    for (int64_t C : sampleMembers(A, R)) {
+      int64_t P;
+      if (!__builtin_mul_overflow(C, Mul, &P))
+        EXPECT_TRUE(contains(VMul, P))
+            << C << "*" << Mul << " not in " << VMul.str() << " from "
+            << A.str();
+      if (!__builtin_mul_overflow(C, int64_t(1) << Sh, &P))
+        EXPECT_TRUE(contains(VShl, P))
+            << C << "<<" << Sh << " not in " << VShl.str() << " from "
+            << A.str();
+      EXPECT_TRUE(contains(VAnd, C & Mask))
+          << C << "&" << Mask << " not in " << VAnd.str() << " from "
+          << A.str();
+      // Concrete Ext: take the low Bits of the 64-bit pattern, extend.
+      uint64_t U = static_cast<uint64_t>(C) & ((uint64_t(1) << Bits) - 1);
+      int64_t E;
+      if (SE && (U & (uint64_t(1) << (Bits - 1))))
+        E = static_cast<int64_t>(U | (~uint64_t(0) << Bits));
+      else
+        E = static_cast<int64_t>(U);
+      EXPECT_TRUE(contains(VExt, E))
+          << "ext" << Bits << "(" << C << ")=" << E << " not in "
+          << VExt.str() << " from " << A.str();
+    }
+  }
+}
+
+TEST(OffsetRange, BoolRangeIsZeroOne) {
+  OffsetRange B = OffsetRange::boolRange();
+  EXPECT_TRUE(contains(B, 0));
+  EXPECT_TRUE(contains(B, 1));
+  EXPECT_FALSE(contains(B, 2));
+  EXPECT_FALSE(contains(B, -1));
+}
+
+TEST(OffsetRange, WidenIsUpperBoundOfJoin) {
+  RNG R(606);
+  for (int I = 0; I < 400; ++I) {
+    OffsetRange Old = randomValue(R), New = randomValue(R);
+    OffsetRange J = OffsetRange::join(Old, New);
+    OffsetRange W = OffsetRange::widen(Old, New);
+    EXPECT_TRUE(J.leq(W))
+        << "join " << J.str() << " !<= widen " << W.str() << " (old "
+        << Old.str() << ", new " << New.str() << ")";
+  }
+}
+
+TEST(OffsetRange, WideningChainsTerminate) {
+  RNG R(707);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    // Emulate a loop header: Seed flows in from the preheader, the body
+    // adds a random step (and occasionally another random contribution),
+    // widen folds the back edge.
+    OffsetRange Seed = randomValue(R);
+    OffsetRange Step =
+        OffsetRange::number(static_cast<int64_t>(R.nextBelow(64)) - 16);
+    OffsetRange H = Seed;
+    int Iters = 0;
+    for (; Iters < 200; ++Iters) {
+      OffsetRange Body = OffsetRange::add(H, Step);
+      if (R.nextBelow(4) == 0)
+        Body = OffsetRange::join(Body, randomLeaf(R));
+      OffsetRange NewIn = OffsetRange::join(Seed, Body);
+      OffsetRange W = OffsetRange::widen(H, NewIn);
+      if (W == H)
+        break;
+      H = W;
+    }
+    EXPECT_LT(Iters, 200)
+        << "widening chain failed to stabilize from " << Seed.str()
+        << " step " << Step.str() << "; stuck at " << H.str();
+    // Once stable, the header state is a post-fixpoint.
+    OffsetRange Again =
+        OffsetRange::widen(H, OffsetRange::join(Seed, OffsetRange::add(H, Step)));
+    EXPECT_EQ(Again, H);
+  }
+}
+
+TEST(OffsetRange, LoopJoinKeepsStrideFact) {
+  // The pattern the analysis lives on: p, p+16, p+32, ... joined at a
+  // header keeps "multiple of 16 from param" under widening.
+  OffsetRange P = OffsetRange::param(0);
+  OffsetRange H = P;
+  for (int I = 0; I < 10; ++I)
+    H = OffsetRange::widen(
+        H, OffsetRange::join(P, OffsetRange::add(H, OffsetRange::number(16))));
+  EXPECT_TRUE(H.isParam());
+  EXPECT_EQ(H.mod(), 16u);
+  EXPECT_EQ(H.rem(), 0);
+  EXPECT_TRUE(H.hasLo());
+  EXPECT_EQ(H.lo(), 0);
+  EXPECT_FALSE(H.hasHi()) << H.str();
+  int64_t Res = 0;
+  EXPECT_TRUE(H.offsetCongruentTo(8, Res));
+  EXPECT_EQ(Res, 0);
+  EXPECT_FALSE(H.offsetCongruentTo(32, Res));
+}
+
+TEST(OffsetRange, OffsetCongruentToAgreesWithSamples) {
+  RNG R(808);
+  const uint64_t Mods[] = {1, 2, 4, 8, 16, 3, 6};
+  for (int I = 0; I < 300; ++I) {
+    OffsetRange A = randomValue(R);
+    if (A.isBottom())
+      continue;
+    int64_t Base = A.isParam() ? ParamVals[A.paramIdx()] : 0;
+    for (uint64_t M : Mods) {
+      int64_t Res;
+      if (!A.offsetCongruentTo(M, Res))
+        continue;
+      for (int64_t C : sampleMembers(A, R))
+        EXPECT_EQ(floorMod(C - Base, M), Res)
+            << A.str() << " claims offset % " << M << " == " << Res
+            << " but member " << C << " disagrees";
+    }
+  }
+}
+
+TEST(OffsetRange, ExactQueries) {
+  int64_t V = 0;
+  EXPECT_TRUE(OffsetRange::add(OffsetRange::number(3), OffsetRange::number(4))
+                  .isExact(V));
+  EXPECT_EQ(V, 7);
+  // isExact reports an exact *offset*: param(1) is exactly param1 + 0.
+  ASSERT_TRUE(OffsetRange::param(1).isExact(V));
+  EXPECT_EQ(V, 0);
+  int64_t Res = 0;
+  EXPECT_TRUE(OffsetRange::number(13).offsetCongruentTo(5, Res));
+  EXPECT_EQ(Res, 3);
+  EXPECT_TRUE(OffsetRange::number(-3).offsetCongruentTo(8, Res));
+  EXPECT_EQ(Res, 5);
+}
+
+TEST(OffsetRange, AndMaskExactOnKnownResidue) {
+  // join(5, 21) = [5,21] mod 16 rem 5; masking with 15 recovers exactly 5.
+  OffsetRange V =
+      OffsetRange::join(OffsetRange::number(5), OffsetRange::number(21));
+  EXPECT_EQ(V.mod(), 16u);
+  EXPECT_EQ(V.rem(), 5);
+  OffsetRange Masked = OffsetRange::andMask(V, 15);
+  int64_t E = 0;
+  ASSERT_TRUE(Masked.isExact(E)) << Masked.str();
+  EXPECT_EQ(E, 5);
+}
+
+TEST(OffsetRange, AndMaskOnParamForgetsBaseButBounds) {
+  // A param's absolute residue is unknown, so masking must not claim
+  // exactness — only the [0, Mask] range.
+  OffsetRange P = OffsetRange::param(3);
+  OffsetRange Masked = OffsetRange::andMask(P, 15);
+  EXPECT_TRUE(Masked.isNumber());
+  int64_t E;
+  EXPECT_FALSE(Masked.isExact(E));
+  EXPECT_TRUE(contains(Masked, 0));
+  EXPECT_TRUE(contains(Masked, 15));
+  EXPECT_FALSE(contains(Masked, 16));
+}
+
+TEST(OffsetRange, OverflowingBoundsDropToTop) {
+  // Documented behavior: interval bounds that would overflow are dropped
+  // rather than wrapped, and the exactness claim is given up.
+  OffsetRange Big = OffsetRange::number(INT64_MAX);
+  OffsetRange R = OffsetRange::add(Big, OffsetRange::number(1));
+  EXPECT_TRUE(R.isTop()) << R.str();
+  OffsetRange Neg = OffsetRange::sub(OffsetRange::number(INT64_MIN),
+                                     OffsetRange::number(1));
+  EXPECT_TRUE(Neg.isTop()) << Neg.str();
+}
+
+TEST(OffsetRange, BottomPropagatesThroughTransfers) {
+  OffsetRange B = OffsetRange::bottom();
+  EXPECT_TRUE(OffsetRange::add(B, OffsetRange::number(1)).isBottom());
+  EXPECT_TRUE(OffsetRange::sub(OffsetRange::param(0), B).isBottom());
+  EXPECT_TRUE(OffsetRange::mulConst(B, 4).isBottom());
+  EXPECT_TRUE(OffsetRange::shlConst(B, 2).isBottom());
+  EXPECT_TRUE(OffsetRange::andMask(B, 7).isBottom());
+  EXPECT_TRUE(OffsetRange::extRange(B, 16, false).isBottom());
+  EXPECT_EQ(OffsetRange::join(B, OffsetRange::number(9)),
+            OffsetRange::number(9));
+  EXPECT_EQ(OffsetRange::widen(B, OffsetRange::param(1)),
+            OffsetRange::param(1));
+}
+
+TEST(OffsetRange, SameParamDifferenceCancelsBase) {
+  // (param0 + 12) - (param0 + 4) is the exact number 8.
+  OffsetRange A =
+      OffsetRange::add(OffsetRange::param(0), OffsetRange::number(12));
+  OffsetRange B =
+      OffsetRange::add(OffsetRange::param(0), OffsetRange::number(4));
+  OffsetRange D = OffsetRange::sub(A, B);
+  EXPECT_TRUE(D.isNumber());
+  int64_t V = 0;
+  ASSERT_TRUE(D.isExact(V)) << D.str();
+  EXPECT_EQ(V, 8);
+  // Cross-parameter differences know nothing.
+  OffsetRange X = OffsetRange::sub(OffsetRange::param(0),
+                                   OffsetRange::param(1));
+  EXPECT_TRUE(X.isTop());
+  // param + param has no single surviving base.
+  EXPECT_TRUE(OffsetRange::add(OffsetRange::param(0), OffsetRange::param(1))
+                  .isTop());
+}
+
+} // namespace

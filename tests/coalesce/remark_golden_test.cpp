@@ -136,9 +136,10 @@ TEST_F(RemarkGolden, ReasonCodesAreStableKebabCase) {
 // for every table workload under every paper configuration. An unremarked
 // counter bump (or a remark with no counter) fails here.
 TEST_F(RemarkGolden, RemarkStatsConsistency) {
-  const char *Workloads[] = {"convolution", "image_add", "image_add16",
-                             "image_xor",   "translate", "eqntott",
-                             "mirror",      "dotproduct"};
+  const char *Workloads[] = {"convolution", "image_add",    "image_add16",
+                             "image_xor",   "translate",    "eqntott",
+                             "mirror",      "dotproduct",   "deinterleave",
+                             "tileblit"};
   for (const PipelineConfig &PC : paperConfigs()) {
     for (const char *Name : Workloads) {
       SCOPED_TRACE(std::string(Name) + " / " + PC.Name);
@@ -157,6 +158,10 @@ TEST_F(RemarkGolden, RemarkStatsConsistency) {
       EXPECT_EQ(Sink.count("loop-rejected-profitability"),
                 S.LoopsRejectedProfitability);
       EXPECT_EQ(Sink.count("alias-check-deferred"), S.AliasPairsDeferred);
+      EXPECT_EQ(Sink.count("alias-check-proven-disjoint"),
+                S.AliasPairsProvenDisjoint);
+      EXPECT_EQ(Sink.count("alignment-proven-static"),
+                S.AlignmentProvenStatic);
       EXPECT_EQ(Sink.count("alignment-check"), S.AlignmentChecks);
       EXPECT_EQ(Sink.count("overlap-check") +
                     Sink.count("overlap-check-uncheckable"),
@@ -185,6 +190,38 @@ TEST_F(RemarkGolden, RemarkStatsConsistency) {
                     Sink.count("run-rejected-checks-disabled"));
     }
   }
+}
+
+// Deinterleave: both cursors walk one parameter's object, so no-alias
+// facts prove nothing and the pre-analysis coalescer deferred the pair to
+// a run-time overlap check. The residue rule (loads in classes 0..7,
+// stores in 8..15 mod 16) discharges it statically: the stream must show
+// alias-check-proven-disjoint and no overlap check, with nothing deferred.
+TEST_F(RemarkGolden, DeinterleaveProvenDisjoint) {
+  CoalesceStats S = compile("deinterleave", /*KnownParams=*/false,
+                            options());
+  EXPECT_EQ(S.LoopsTransformed, 1u);
+  EXPECT_GE(S.AliasPairsProvenDisjoint, 1u);
+  EXPECT_EQ(S.AliasPairsDeferred, 0u);
+  EXPECT_EQ(S.OverlapChecks, 0u);
+  EXPECT_EQ(Sink.count("alias-check-proven-disjoint"),
+            S.AliasPairsProvenDisjoint);
+  checkGolden("deinterleave_remarks.txt", Sink.renderAll());
+}
+
+// Tileblit: the destination cursor is base + 64*k with k unknown, so the
+// exact-offset chain cannot prove alignment and overlap remains a genuine
+// run-time question. The congruence analysis pins the destination to
+// residue 0 mod the unrolled step, which with an 8-aligned base proves the
+// wide stores aligned — both new reason codes coexist with a deferral.
+TEST_F(RemarkGolden, TileblitAlignmentProvenStatic) {
+  CoalesceStats S = compile("tileblit", /*KnownParams=*/true, options());
+  EXPECT_EQ(S.LoopsTransformed, 1u);
+  EXPECT_GE(S.AlignmentProvenStatic, 1u);
+  EXPECT_GE(S.AliasPairsDeferred, 1u);
+  EXPECT_EQ(Sink.count("alignment-proven-static"), S.AlignmentProvenStatic);
+  EXPECT_EQ(Sink.count("alias-check-deferred"), S.AliasPairsDeferred);
+  checkGolden("tileblit_remarks.txt", Sink.renderAll());
 }
 
 // Two identical compiles must produce byte-identical streams — the

@@ -48,9 +48,10 @@ std::vector<NamedTarget> regressionTargets() {
   return Targets;
 }
 
-const char *const Workloads[] = {"convolution", "image_add", "image_add16",
-                                 "image_xor",   "translate", "eqntott",
-                                 "mirror",      "dotproduct"};
+const char *const Workloads[] = {"convolution", "image_add",    "image_add16",
+                                 "image_xor",   "translate",    "eqntott",
+                                 "mirror",      "dotproduct",   "deinterleave",
+                                 "tileblit"};
 
 /// One baseline line per cell: workload|target|config|static-params|json.
 std::string cellLine(const char *Workload, const char *Target,
@@ -72,9 +73,11 @@ CoalesceStats compileCell(const char *Workload, const TargetMachine &TM,
   return compileFunction(*F, TM, CO).Coalesce;
 }
 
-// The full matrix — 8 workloads x 3 targets x 4 paper configurations,
+// The full matrix — 10 workloads x 3 targets x 4 paper configurations,
 // unknown parameters (the tables' default), plus the static-params
-// ablation row for the strongest configuration.
+// ablation row for the strongest configuration and a pair of rows with
+// the offset-propagation analysis disabled (the deferral/check cost the
+// analysis removes, visible as a per-cell diff against the rows above).
 TEST(StatsRegression, BaselineMatrix) {
   std::string Text;
   auto Configs = paperConfigs();
@@ -87,6 +90,15 @@ TEST(StatsRegression, BaselineMatrix) {
       Text += cellLine(Workload, T.Name, Configs.back().Name, 8,
                        compileCell(Workload, T.TM, Configs.back().Options,
                                    8));
+      // Offset-analysis-off ablation of the strongest configuration.
+      CompileOptions NoProp = Configs.back().Options;
+      NoProp.OffsetAnalysis = false;
+      std::string NoPropName =
+          std::string(Configs.back().Name) + " no-offsetprop";
+      Text += cellLine(Workload, T.Name, NoPropName, 0,
+                       compileCell(Workload, T.TM, NoProp, 0));
+      Text += cellLine(Workload, T.Name, NoPropName, 8,
+                       compileCell(Workload, T.TM, NoProp, 8));
     }
   }
   checkGolden("stats_baseline.txt", Text);

@@ -126,7 +126,7 @@ INSTANTIATE_TEST_SUITE_P(All, WorkloadTest, testing::ValuesIn(allNames()),
 
 TEST(WorkloadRegistry, NamesUniqueAndResolvable) {
   auto All = allWorkloads();
-  EXPECT_EQ(All.size(), 9u);
+  EXPECT_EQ(All.size(), 11u);
   for (auto &W : All) {
     auto Found = makeWorkloadByName(W->name());
     ASSERT_NE(Found, nullptr) << W->name();

@@ -52,6 +52,7 @@ struct DriverArgs {
   bool Fork = true;
   bool Reduce = true;
   bool JIT = true;
+  bool NearMiss = false;
   std::vector<std::string> Targets = {"alpha", "m88100", "m68030"};
   std::string CorpusDir = "fuzz-repros";
   std::string ReplayPath;
@@ -64,8 +65,9 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s [--seed=N] [--cases=N] [--threads=N] [--targets=a,b]\n"
       "          [--timeout-ms=N] [--max-insts=N] [--no-fork]\n"
-      "          [--no-reduce] [--no-jit] [--corpus-dir=PATH]\n"
-      "          [--inject=pass:kind:seed] [--replay=FILE_OR_DIR]\n",
+      "          [--no-reduce] [--no-jit] [--near-miss]\n"
+      "          [--corpus-dir=PATH] [--inject=pass:kind:seed]\n"
+      "          [--replay=FILE_OR_DIR]\n",
       Argv0);
 }
 
@@ -111,6 +113,8 @@ DriverArgs parseArgs(int Argc, char **Argv) {
       A.Reduce = false;
     } else if (S == "--no-jit") {
       A.JIT = false;
+    } else if (S == "--near-miss") {
+      A.NearMiss = true;
     } else if (S.rfind("--corpus-dir=", 0) == 0) {
       A.CorpusDir = Val("--corpus-dir=");
     } else if (S.rfind("--inject=", 0) == 0) {
@@ -146,7 +150,8 @@ OracleOptions oracleOptions(const DriverArgs &A) {
 /// interpreter budget, so a mutation that loops forever self-limits.
 void reduceAndWrite(const DriverArgs &A, const CaseOutcome &C,
                     const OracleOptions &Base) {
-  GeneratedKernel K = generateKernel(C.Seed);
+  GeneratedKernel K = generateKernel(
+      A.NearMiss ? nearMissSpec(C.Seed) : KernelSpec::random(C.Seed));
   OracleOptions Probe = Base;
   Probe.CheckCSource = false; // reduce the IR rendering only
   if (!C.Result.Target.empty())
@@ -164,6 +169,7 @@ void reduceAndWrite(const DriverArgs &A, const CaseOutcome &C,
   E.SpecSeed = C.Seed;
   E.Kind = Want;
   E.ExpectDetect = Base.Inject.has_value();
+  E.NearMiss = A.NearMiss;
   E.Inject = Base.Inject;
   E.Note = "reduced " + std::to_string(R.OriginalInsts) + " -> " +
            std::to_string(R.FinalInsts) + " instructions (" +
@@ -230,16 +236,18 @@ int main(int Argc, char **Argv) {
   CO.Seed = A.Seed;
   CO.Cases = A.Cases;
   CO.Threads = A.Threads;
+  CO.NearMiss = A.NearMiss;
   CO.Oracle = oracleOptions(A);
   const bool Contained =
       A.Fork && A.Threads == 1 && A.TimeoutMs > 0 && watchdogCanFork();
   if (Contained)
     CO.Executor = makeContainedExecutor(A.TimeoutMs);
 
-  std::printf("fuzz_coalesce: seed=%llu cases=%u targets=%zu %s%s\n",
+  std::printf("fuzz_coalesce: seed=%llu cases=%u targets=%zu %s%s%s\n",
               static_cast<unsigned long long>(A.Seed), A.Cases,
               CO.Oracle.Targets.size(),
               Contained ? "fork-contained" : "in-process",
+              A.NearMiss ? " near-miss" : "",
               CO.Oracle.Inject
                   ? (" inject=" + CO.Oracle.Inject->render()).c_str()
                   : "");
@@ -247,19 +255,38 @@ int main(int Argc, char **Argv) {
   std::fputs(Report.summary().c_str(), stdout);
 
   if (CO.Oracle.Inject) {
-    // Self-test mode: the planted miscompile must be caught everywhere.
+    // Self-test mode. Verifier-detectable faults must be caught as a
+    // compile incident in every case. The unsound-prove fault is
+    // verifier-clean by design: it only has a site when run-time checks
+    // were emitted and only misbehaves when those checks would have
+    // failed, so the bar is that the behavioral oracle catches it at
+    // least once across the campaign (a planted soundness bug must not
+    // survive a whole campaign unnoticed).
+    const bool Behavioral =
+        CO.Oracle.Inject->Kind == FaultKind::UnsoundProve;
     unsigned Caught = 0;
     const CaseOutcome *First = nullptr;
-    for (const CaseOutcome &C : Report.Outcomes)
-      if (C.Result.Kind == FailKind::CompileIncident) {
+    for (const CaseOutcome &C : Report.Outcomes) {
+      bool Hit;
+      if (Behavioral)
+        Hit = C.Result.Kind == FailKind::StatusDiverged ||
+              C.Result.Kind == FailKind::ReturnDiverged ||
+              C.Result.Kind == FailKind::MemoryDiverged ||
+              C.Result.Kind == FailKind::EngineDiverged;
+      else
+        Hit = C.Result.Kind == FailKind::CompileIncident;
+      if (Hit) {
         ++Caught;
         if (!First)
           First = &C;
       }
+    }
     std::printf("planted fault caught in %u/%zu cases\n", Caught,
                 Report.Outcomes.size());
     if (First && A.Reduce)
       reduceAndWrite(A, *First, CO.Oracle);
+    if (Behavioral)
+      return Caught >= 1 ? 0 : 1;
     return Caught == Report.Outcomes.size() ? 0 : 1;
   }
 
