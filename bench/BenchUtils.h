@@ -78,6 +78,11 @@ struct MeasureOptions {
   /// relative to the cycle-accurate run; the harnesses' --no-jit turns it
   /// off, making the flag a genuine ablation in every matrix.
   bool JIT = true;
+  /// Charge sched/RegPressure's modeled spill traffic on every block
+  /// entry (InterpreterOptions::ModelRegPressure) — the cycle model under
+  /// which the pressure-aware unroll clamp has something to win. Off
+  /// keeps every historical table byte-identical.
+  bool ModelRegPressure = false;
 };
 
 /// \returns true if every byte in [Begin, End) is zero.
@@ -136,6 +141,7 @@ inline Measurement measureCell(const Workload &W, const TargetMachine &TM,
 
   InterpreterOptions IO;
   IO.Predecode = MO.Predecode;
+  IO.ModelRegPressure = MO.ModelRegPressure;
   if (MO.MaxInsts)
     IO.MaxSteps = MO.MaxInsts;
   Interpreter Interp(TM, Mem, IO);

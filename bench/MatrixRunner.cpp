@@ -140,6 +140,7 @@ BenchReport MatrixRunner::run(const std::string &Name,
       MO.StaticParams = Spec.StaticParams;
       MO.MaxInsts = Opts.MaxInsts;
       MO.ProfilePasses = Opts.ProfilePasses;
+      MO.ModelRegPressure = Opts.ModelRegPressure;
       CollectingRemarkSink Sink;
       if (CollectRemarks)
         MO.Remarks = &Sink;

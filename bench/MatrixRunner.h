@@ -129,6 +129,9 @@ struct RunnerOptions {
   std::string RemarksDir;
   /// Time each pipeline pass (Measurement::Passes) for the trace export.
   bool ProfilePasses = false;
+  /// Simulate every cell under the register-pressure cycle model; see
+  /// MeasureOptions::ModelRegPressure.
+  bool ModelRegPressure = false;
 };
 
 /// Runs cells on a thread pool.

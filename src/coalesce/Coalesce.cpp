@@ -18,6 +18,7 @@
 #include "coalesce/RuntimeChecks.h"
 #include "ir/Function.h"
 #include "ir/Verifier.h"
+#include "sched/ExactScheduler.h"
 #include "sched/ListScheduler.h"
 #include "support/MathExtras.h"
 #include "support/Remark.h"
@@ -150,6 +151,104 @@ private:
     return MinNarrow == 0 ? 1 : MaxWide / MinNarrow;
   }
 
+  /// The narrow-reference groups coalescing could merge, for the pressure
+  /// clamp's saving model: one group per (partition, width, kind) among
+  /// the IV-based partitions, honoring the coalesce mode. With Mode ==
+  /// None (plain unrolling) there is nothing to save, so any modeled
+  /// spill refuses the factor.
+  std::vector<CoalescableGroup>
+  coalescableGroups(const MemoryPartitions &MP) const {
+    std::vector<CoalescableGroup> Groups;
+    unsigned MaxWide = TM.maxMemWidthBytes();
+    if (Opts.MaxWideBytes != 0 && Opts.MaxWideBytes < MaxWide)
+      MaxWide = Opts.MaxWideBytes;
+    for (const Partition &P : MP.partitions()) {
+      if (!P.BaseIsIV)
+        continue;
+      std::map<std::pair<unsigned, bool>, unsigned> Counts;
+      for (const MemRef &R : P.Refs) {
+        if (R.IsStore && Opts.Mode != CoalesceMode::LoadsAndStores)
+          continue;
+        if (R.IsLoad && Opts.Mode == CoalesceMode::None)
+          continue;
+        Counts[{widthBytes(R.W), R.IsLoad}] += 1;
+      }
+      for (const auto &[Key, Count] : Counts) {
+        if (Key.first >= MaxWide)
+          continue;
+        CoalescableGroup Gr;
+        Gr.NarrowBytes = Key.first;
+        Gr.WideBytes = MaxWide;
+        Gr.RefsPerIteration = Count;
+        Groups.push_back(Gr);
+      }
+    }
+    return Groups;
+  }
+
+  /// Exact-scheduler audit of one Fig. 3 verdict (telemetry-only: called
+  /// only under an enabled remark sink, reads the already-built
+  /// profitability clones, and never feeds back into the decision). The
+  /// audit either confirms both list schedules optimal, reports the
+  /// optimality gap, or — when the exact lengths would change the
+  /// accept/reject — emits `profitability-flipped`.
+  void auditProfitability(const BasicBlock &T1, const BasicBlock &T2,
+                          unsigned C1, unsigned C2, bool Keep,
+                          const char *Variant,
+                          const std::string &BodyName) {
+    ExactSchedulerOptions EO;
+    EO.MaxStates = Opts.SchedAuditBudget;
+    ExactScheduleResult E1 = exactScheduleBlock(T1, TM, EO);
+    ExactScheduleResult E2 = exactScheduleBlock(T2, TM, EO);
+    bool Conclusive = E1.conclusive() && E2.conclusive();
+    bool ExactKeep = E2.Best.Cycles < E1.Best.Cycles;
+    const char *Status;
+    if (!Conclusive)
+      Status = "budget-exceeded";
+    else if (ExactKeep != Keep)
+      Status = "flipped";
+    else if (E1.Improved || E2.Improved)
+      Status = "gap";
+    else
+      Status = "confirmed-optimal";
+    RE.emit(RE.start("sched-audit")
+                .block(BodyName)
+                .arg("variant", Variant)
+                .arg("list-orig", C1)
+                .arg("list-coalesced", C2)
+                .arg("exact-orig", E1.Best.Cycles)
+                .arg("exact-coalesced", E2.Best.Cycles)
+                .arg("proved-orig", E1.Proved)
+                .arg("proved-coalesced", E2.Proved)
+                .arg("states", E1.StatesExplored + E2.StatesExplored)
+                .arg("status", Status)
+                .arg("verdict", Keep ? "keep" : "reject"));
+    if (E1.Improved)
+      RE.emit(RE.start("sched-optimality-gap")
+                  .block(BodyName)
+                  .arg("variant", Variant)
+                  .arg("side", "orig")
+                  .arg("list-cycles", E1.List.Cycles)
+                  .arg("exact-cycles", E1.Best.Cycles));
+    if (E2.Improved)
+      RE.emit(RE.start("sched-optimality-gap")
+                  .block(BodyName)
+                  .arg("variant", Variant)
+                  .arg("side", "coalesced")
+                  .arg("list-cycles", E2.List.Cycles)
+                  .arg("exact-cycles", E2.Best.Cycles));
+    if (Conclusive && ExactKeep != Keep)
+      RE.emit(RE.start("profitability-flipped")
+                  .block(BodyName)
+                  .arg("variant", Variant)
+                  .arg("list-verdict", Keep ? "keep" : "reject")
+                  .arg("exact-verdict", ExactKeep ? "keep" : "reject")
+                  .arg("list-orig", C1)
+                  .arg("list-coalesced", C2)
+                  .arg("exact-orig", E1.Best.Cycles)
+                  .arg("exact-coalesced", E2.Best.Cycles));
+  }
+
   void processLoop(Loop &L, CFG &G) {
     BasicBlock *Body = L.singleBodyBlock();
     Done.insert(Body);
@@ -183,6 +282,33 @@ private:
                       .arg("icache-bytes", TM.iCacheBytes())
                       .arg("icache-heuristic",
                            !Opts.IgnoreICacheHeuristic));
+        // Register-pressure clamp: the i-cache heuristic bounds code
+        // size only; on a machine with a small register file an unroll
+        // factor that fits the cache can still spill away the coalescing
+        // win. Refuse factors whose modeled spill cost exceeds the
+        // modeled saving (sched/RegPressure).
+        bool PressureClamped = false;
+        if (Opts.PressureClamp && Capped >= 2) {
+          PressureClampInfo PC = clampUnrollFactorForPressure(
+              F, L, LSI, Capped, TM, coalescableGroups(MP0));
+          if (PC.Clamped) {
+            if (UE.enabled())
+              UE.emit(UE.start("unroll-clamped-pressure")
+                          .block(Body->name())
+                          .arg("from", Capped)
+                          .arg("to", PC.Factor)
+                          .arg("max-live-int",
+                               PC.RefusedPressure.MaxLiveInt)
+                          .arg("max-live-fp", PC.RefusedPressure.MaxLiveFP)
+                          .arg("int-regs", TM.intRegs())
+                          .arg("fp-regs", TM.fpRegs())
+                          .arg("spill-cycles", PC.RefusedSpillCycles)
+                          .arg("rolled-spill-cycles", PC.RolledSpillCycles)
+                          .arg("saving-cycles", PC.RefusedSavingCycles));
+            Capped = PC.Factor;
+            PressureClamped = true;
+          }
+        }
         if (Capped >= 2) {
           UnrollResult UR;
           UnrollFailure UF = unrollLoop(F, L, LSI, Capped, TM, UR,
@@ -213,7 +339,8 @@ private:
           UE.emit(UE.start("unroll-refused")
                       .block(Body->name())
                       .arg("factor", Factor)
-                      .arg("why", "icache-limit"));
+                      .arg("why", PressureClamped ? "register-pressure"
+                                                  : "icache-limit"));
         }
       } else if (UE.enabled()) {
         UE.emit(UE.start("unroll-skipped")
@@ -469,16 +596,27 @@ private:
       legalizeBlock(*T2, TM);
       unsigned C1 = scheduleBlock(*T1, TM).Cycles;
       unsigned C2 = scheduleBlock(*T2, TM).Cycles;
-      F.removeBlock(T1);
-      F.removeBlock(T2);
+      // Test-only planted scheduling error (fuzz FaultKind::SchedLength):
+      // skews the coalesced side's length before the compare so the
+      // exact-scheduler audit below has something to catch. 0 normally.
+      if (Opts.ProfitabilitySkew != 0) {
+        int64_t Skewed = static_cast<int64_t>(C2) + Opts.ProfitabilitySkew;
+        C2 = Skewed < 0 ? 0 : static_cast<unsigned>(Skewed);
+      }
       bool Keep = C2 < C1;
-      if (RE.enabled())
+      if (RE.enabled()) {
         RE.emit(RE.start("profitability")
                     .block(Body->name())
                     .arg("variant", Variant)
                     .arg("cycles-orig", C1)
                     .arg("cycles-coalesced", C2)
                     .arg("verdict", Keep ? "keep" : "reject"));
+        if (Opts.SchedAudit)
+          auditProfitability(*T1, *T2, C1, C2, Keep, Variant,
+                             Body->name());
+      }
+      F.removeBlock(T1);
+      F.removeBlock(T2);
       return Keep;
     };
     auto MakeCopy = [&](const std::vector<CoalesceRun> &RunSet,

@@ -25,6 +25,7 @@
 #ifndef VPO_COALESCE_COALESCE_H
 #define VPO_COALESCE_COALESCE_H
 
+#include <cstdint>
 #include <string>
 
 namespace vpo {
@@ -63,6 +64,21 @@ struct CoalesceOptions {
   bool RequireProfitability = true;
   /// Cap on wide-reference width in bytes (0 = target bus width).
   unsigned MaxWideBytes = 0;
+  /// Register-pressure-aware unroll clamp: refuse factors whose modeled
+  /// spill cost exceeds the modeled coalescing saving (sched/RegPressure).
+  /// Off reproduces the i-cache-only factor selection (ablation knob).
+  bool PressureClamp = true;
+  /// Audit the Fig. 3 profitability verdicts with the exact scheduler and
+  /// report `sched-audit` / `sched-optimality-gap` / `profitability-flipped`
+  /// remarks. Telemetry-only: runs only when a remark sink is attached and
+  /// never changes a decision.
+  bool SchedAudit = true;
+  /// Branch-and-bound state budget per audited schedule.
+  uint64_t SchedAuditBudget = 50000;
+  /// Test-only: cycles added to the coalesced side's list-schedule length
+  /// before the Fig. 3 compare — a planted "wrong schedule length" the
+  /// audit must catch (fuzz FaultKind::SchedLength). 0 in production.
+  int ProfitabilitySkew = 0;
   /// Optional telemetry: every accept/reject decision is reported here as
   /// a structured remark (support/Remark.h). Strictly read-only — the
   /// generated code is bit-identical with any sink or none.

@@ -43,6 +43,8 @@ const char *vpo::fuzz::failKindName(FailKind K) {
     return "engine-diverged";
   case FailKind::RemarkDiverged:
     return "remark-diverged";
+  case FailKind::AuditSilent:
+    return "audit-silent";
   case FailKind::Crashed:
     return "crash";
   case FailKind::TimedOut:
@@ -58,7 +60,8 @@ vpo::fuzz::failKindFromName(const std::string &Name) {
       FailKind::CompileIncident, FailKind::StatusDiverged,
       FailKind::ReturnDiverged, FailKind::MemoryDiverged,
       FailKind::EngineDiverged, FailKind::RemarkDiverged,
-      FailKind::Crashed,        FailKind::TimedOut};
+      FailKind::AuditSilent,    FailKind::Crashed,
+      FailKind::TimedOut};
   for (FailKind K : All)
     if (Name == failKindName(K))
       return K;
@@ -72,7 +75,8 @@ vpo::fuzz::faultKindFromName(const std::string &Name) {
                                   FaultKind::DroppedCheck,
                                   FaultKind::MissingOperand,
                                   FaultKind::EmptyBlock,
-                                  FaultKind::UnsoundProve};
+                                  FaultKind::UnsoundProve,
+                                  FaultKind::SchedLength};
   for (FaultKind K : All)
     if (Name == faultKindName(K))
       return K;
@@ -170,6 +174,16 @@ std::vector<PipelineConfig> vpo::fuzz::oracleConfigs() {
     C.Options.UnrollFactor = 4;
     Cfgs.push_back(C);
   }
+  {
+    // Exact scheduling replaces the list schedules wholesale, so the
+    // "never longer, always equivalent" claim gets the full differential
+    // treatment against the O0 baseline.
+    PipelineConfig C;
+    C.Name = "coalesce-all+exact-sched";
+    C.Options.Mode = CoalesceMode::LoadsAndStores;
+    C.Options.ExactSched = true;
+    Cfgs.push_back(C);
+  }
   return Cfgs;
 }
 
@@ -257,6 +271,56 @@ FailKind divergenceKind(const ArchOutcome &A, const ArchOutcome &B) {
   return FailKind::MemoryDiverged;
 }
 
+/// The planted schedule-length error for FaultKind::SchedLength: large
+/// enough that every kept Fig. 3 verdict flips (the coalesced loop
+/// suddenly "costs" hundreds of extra cycles), deterministic in the seed.
+int plantedSkew(uint64_t Seed) {
+  return 500 + static_cast<int>(Seed % 64);
+}
+
+/// Scans one sink-on remark stream for exact-scheduler audit violations:
+/// a conclusive sched-audit whose exact lengths contradict its verdict
+/// without flagging "flipped", or a stream whose "flipped" statuses and
+/// profitability-flipped remarks disagree in number. \returns a non-empty
+/// description of the first violation; adds conclusive flips to \p Flips.
+std::string auditInconsistency(const CollectingRemarkSink &Sink,
+                               unsigned &Flips) {
+  auto Arg = [](const Remark &R, const char *K) -> std::string {
+    for (const auto &P : R.Args)
+      if (std::strcmp(P.first, K) == 0)
+        return P.second;
+    return "";
+  };
+  auto Num = [](const std::string &S) -> uint64_t {
+    return S.empty() ? 0 : std::strtoull(S.c_str(), nullptr, 10);
+  };
+  unsigned FlipStatuses = 0, FlipRemarks = 0;
+  for (const Remark &R : Sink.remarks()) {
+    if (std::strcmp(R.Reason, "profitability-flipped") == 0) {
+      ++FlipRemarks;
+      continue;
+    }
+    if (std::strcmp(R.Reason, "sched-audit") != 0)
+      continue;
+    const std::string Status = Arg(R, "status");
+    if (Status == "budget-exceeded")
+      continue;
+    if (Status == "flipped")
+      ++FlipStatuses;
+    bool ExactKeep = Num(Arg(R, "exact-coalesced")) < Num(Arg(R, "exact-orig"));
+    bool Verdict = Arg(R, "verdict") == "keep";
+    if (ExactKeep != Verdict && Status != "flipped")
+      return "conclusive sched-audit in '" + R.Block +
+             "' contradicts its own verdict without flagging flipped";
+  }
+  if (FlipStatuses != FlipRemarks)
+    return "audit reported " + std::to_string(FlipStatuses) +
+           " flipped verdicts but emitted " + std::to_string(FlipRemarks) +
+           " profitability-flipped remarks";
+  Flips += FlipStatuses;
+  return "";
+}
+
 /// Runs the full target x config x scenario x engine matrix over one
 /// program rendering. \p Make builds a fresh module per compile.
 OracleResult checkProgram(
@@ -270,6 +334,13 @@ OracleResult checkProgram(
     Res.Detail = Detail;
     return Res;
   };
+
+  // FaultKind::SchedLength corrupts no IR: it is planted through the
+  // profitability compare's inputs and must surface through the audit's
+  // remark stream, so it needs the telemetry compiles to be observable.
+  const bool PlantSkew =
+      O.Inject && O.Inject->Kind == FaultKind::SchedLength;
+  unsigned PlantedFlips = 0;
 
   std::vector<PipelineConfig> Configs = oracleConfigs();
   for (const std::string &Target : O.Targets) {
@@ -290,10 +361,15 @@ OracleResult checkProgram(
       Function *F = M->functions().front().get();
       CompileOptions CO = Cfg.Options;
       CO.GuardRails = true;
-      if (O.Inject)
-        CO.FaultHook =
-            FaultInjector(O.Inject->AfterPass, O.Inject->Kind,
-                          O.Inject->Seed);
+      CO.SchedAuditBudget = O.SchedAuditBudget;
+      if (O.Inject) {
+        if (PlantSkew)
+          CO.ProfitabilitySkew = plantedSkew(O.Inject->Seed);
+        else
+          CO.FaultHook =
+              FaultInjector(O.Inject->AfterPass, O.Inject->Kind,
+                            O.Inject->Seed);
+      }
       CompileReport Rep = compileFunction(*F, TM, CO);
       if (!Rep.Succeeded || !Rep.Incidents.empty()) {
         std::string D = "guard rails:";
@@ -337,7 +413,8 @@ OracleResult checkProgram(
           // clean and misreport a verifier-clean fault (unsound-prove) as
           // an observer effect. Injection is deterministic, so the
           // re-planted compiles still match the original exactly.
-          if (O.Inject)
+          // (SchedLength rides in on CO2's copied ProfitabilitySkew.)
+          if (O.Inject && !PlantSkew)
             CO2.FaultHook = FaultInjector(O.Inject->AfterPass,
                                           O.Inject->Kind, O.Inject->Seed);
           compileFunction(*F2, TM, CO2);
@@ -352,6 +429,11 @@ OracleResult checkProgram(
           return Fail(FailKind::RemarkDiverged,
                       "non-deterministic remarks: two identical compiles "
                       "produced different remark streams");
+        // Audit-consistency oracle: every conclusive exact-scheduler
+        // verdict in the stream must cohere with the decision it audited.
+        std::string AuditWhy = auditInconsistency(SinkA, PlantedFlips);
+        if (!AuditWhy.empty())
+          return Fail(FailKind::AuditSilent, AuditWhy);
       }
       Mods.push_back(std::move(M));
       Fns.push_back(F);
@@ -415,6 +497,14 @@ OracleResult checkProgram(
     Res.Engine.clear();
   }
   Res.Target.clear();
+  // Self-test gate: a planted schedule-length error the audit never
+  // reported anywhere means the audit is asleep at the wheel. (Only
+  // meaningful when the telemetry compiles ran — without them the audit
+  // has no sink and cannot speak.)
+  if (PlantSkew && O.CheckTelemetry && PlantedFlips == 0)
+    return Fail(FailKind::AuditSilent,
+                "planted schedule-length skew was never reported as a "
+                "flipped profitability verdict");
   return Res;
 }
 

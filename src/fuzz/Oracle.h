@@ -60,6 +60,12 @@ enum class FailKind : uint8_t {
   /// changed the generated code, or two identical compiles produced
   /// different remark streams.
   RemarkDiverged,
+  /// The exact-scheduler audit failed its own contract: a conclusive
+  /// sched-audit remark's exact schedule lengths contradict the verdict
+  /// it reports without flagging "flipped", a "flipped" audit emitted no
+  /// profitability-flipped remark — or a planted wrong schedule length
+  /// (FaultKind::SchedLength) went unreported across the whole case.
+  AuditSilent,
   Crashed,          ///< (containment) the case killed its host process
   TimedOut,         ///< (containment) the case hit the wall-clock deadline
 };
@@ -101,7 +107,14 @@ struct OracleOptions {
   /// sinks attached; the sink-off and sink-on IR must print identically
   /// (observer effect) and the two remark streams must match byte-for-
   /// byte (determinism). Divergence is FailKind::RemarkDiverged.
+  /// The sink-on streams additionally feed the exact-scheduler audit
+  /// consistency check (FailKind::AuditSilent).
   bool CheckTelemetry = true;
+  /// Branch-and-bound state budget for the exact-scheduler audit during
+  /// the telemetry compiles. Capped below the pipeline default so fuzz
+  /// campaigns stay fast; every audited verdict is still consistency-
+  /// checked.
+  uint64_t SchedAuditBudget = 20'000;
   std::optional<InjectSpec> Inject;
 };
 

@@ -29,6 +29,8 @@ const char *vpo::faultKindName(FaultKind K) {
     return "empty-block";
   case FaultKind::UnsoundProve:
     return "unsound-prove";
+  case FaultKind::SchedLength:
+    return "sched-length";
   }
   return "unknown";
 }
@@ -67,6 +69,11 @@ bool isBinaryAlu(Opcode Op) {
 /// Collects every site \p Kind can damage.
 std::vector<Site> collectSites(const Function &F, FaultKind Kind) {
   std::vector<Site> Sites;
+  // SchedLength is not IR damage: it lives in the profitability compare's
+  // inputs (CoalesceOptions::ProfitabilitySkew), so there is nothing here
+  // to corrupt.
+  if (Kind == FaultKind::SchedLength)
+    return Sites;
   const auto &Blocks = F.blocks();
   for (size_t BI = 0; BI < Blocks.size(); ++BI) {
     const BasicBlock &BB = *Blocks[BI];
@@ -99,6 +106,7 @@ std::vector<Site> collectSites(const Function &F, FaultKind Kind) {
                   BB.name().find(".checks") != std::string::npos;
         break;
       case FaultKind::EmptyBlock:
+      case FaultKind::SchedLength:
         break;
       }
       if (Applies)
@@ -161,7 +169,8 @@ std::string vpo::injectFault(Function &F, FaultKind Kind, uint64_t Seed) {
                      BB.name().c_str(), Fast->name().c_str());
   }
   case FaultKind::EmptyBlock:
-    break; // handled above
+  case FaultKind::SchedLength:
+    break; // EmptyBlock handled above; SchedLength has no IR site
   }
   return "";
 }

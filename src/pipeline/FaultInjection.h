@@ -58,6 +58,13 @@ enum class FaultKind : uint8_t {
   /// and merely computes the wrong thing on overlapping or misaligned
   /// inputs, so only the behavioral oracle can catch it.
   UnsoundProve,
+  /// The Fig. 3 profitability compare is fed a wrong schedule length for
+  /// the coalesced loop — the "cost model lied" bug. This one corrupts no
+  /// IR at all (injectFault has no site for it and returns ""): the fuzz
+  /// oracle plants it through CoalesceOptions::ProfitabilitySkew instead,
+  /// and only the exact-scheduler audit (sched-audit / profitability-
+  /// flipped remarks) can expose it. Self-tests the audit end to end.
+  SchedLength,
 };
 
 /// \returns a printable name for a fault kind.

@@ -9,10 +9,12 @@
 #include "ir/Function.h"
 #include "ir/Snapshot.h"
 #include "ir/Verifier.h"
+#include "sched/ExactScheduler.h"
 #include "sched/ListScheduler.h"
 #include "support/Remark.h"
 #include "target/TargetMachine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 
@@ -242,6 +244,10 @@ CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
     CO.OffsetAnalysis = Opts.OffsetAnalysis;
     CO.RequireProfitability = Opts.RequireProfitability;
     CO.MaxWideBytes = Opts.MaxWideBytes;
+    CO.PressureClamp = Opts.PressureClamp;
+    CO.SchedAudit = Opts.SchedAudit;
+    CO.SchedAuditBudget = Opts.SchedAuditBudget;
+    CO.ProfitabilitySkew = Opts.ProfitabilitySkew;
     CO.Remarks = Opts.Remarks;
     Report.Coalesce = coalesceMemoryAccesses(F, TM, CO);
   });
@@ -272,7 +278,31 @@ CompileReport vpo::compileFunction(Function &F, const TargetMachine &TM,
 
   if (Opts.Schedule) {
     bool Kept = Driver.runPass("schedule", /*Required=*/false, [&] {
+      // Opt-in exact scheduling: replace the list schedule wherever the
+      // branch-and-bound search settles within the function's cumulative
+      // state budget. The search is seeded with the list schedule, so a
+      // block is never scheduled worse than the default pass would.
+      uint64_t StatesLeft = Opts.ExactSchedBudget;
       for (const auto &BB : F.blocks()) {
+        if (Opts.ExactSched && StatesLeft > 0) {
+          ExactSchedulerOptions EO;
+          EO.MaxStates = StatesLeft;
+          ExactScheduleResult E = exactScheduleBlock(*BB, TM, EO);
+          StatesLeft -= std::min(StatesLeft, E.StatesExplored);
+          applySchedule(*BB, E.Best);
+          ++Report.BlocksScheduled;
+          if (Opts.Remarks)
+            Opts.Remarks->emit(
+                Remark("sched", F.name(), "exact-schedule")
+                    .block(BB->name())
+                    .arg("list-cycles", E.List.Cycles)
+                    .arg("exact-cycles", E.Best.Cycles)
+                    .arg("proved", E.Proved)
+                    .arg("improved", E.Improved)
+                    .arg("budget-exceeded", E.BudgetExceeded)
+                    .arg("states", E.StatesExplored));
+          continue;
+        }
         ScheduleResult S = scheduleBlock(*BB, TM);
         applySchedule(*BB, S);
         ++Report.BlocksScheduled;

@@ -63,6 +63,26 @@ struct CompileOptions {
   bool OffsetAnalysis = true;
   bool RequireProfitability = true;
   unsigned MaxWideBytes = 0;
+  /// Register-pressure-aware unroll clamp (sched/RegPressure): refuse
+  /// unroll factors whose modeled spill cost exceeds the modeled
+  /// coalescing saving. Off reproduces i-cache-only factor selection.
+  bool PressureClamp = true;
+  /// Exact-scheduler audit of the Fig. 3 profitability verdicts
+  /// (telemetry-only; needs a remark sink to do anything).
+  bool SchedAudit = true;
+  /// Branch-and-bound state budget per audited schedule.
+  uint64_t SchedAuditBudget = 50000;
+  /// Test-only planted error in the coalesced side's schedule length
+  /// (see CoalesceOptions::ProfitabilitySkew). 0 in production.
+  int ProfitabilitySkew = 0;
+  /// Replace list schedules with provably optimal ones where the
+  /// branch-and-bound search fits the budget (sched/ExactScheduler).
+  /// Opt-in: the exact scheduler never returns a longer schedule, but
+  /// costs exponential worst-case compile time on large blocks.
+  bool ExactSched = false;
+  /// Cumulative branch-and-bound state budget per function for the
+  /// opt-in exact scheduling pass.
+  uint64_t ExactSchedBudget = 200000;
   /// Observability hook: called with the function after every pipeline
   /// stage that ran (stage name, current IR). Print with printFunction
   /// to watch the transformation unfold.

@@ -1,0 +1,311 @@
+//===- sched/ExactScheduler.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ExactScheduler.h"
+
+#include "ir/Function.h"
+#include "sched/DepGraph.h"
+#include "target/TargetMachine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+using namespace vpo;
+
+namespace {
+
+/// FNV-1a over the scheduled-set words: two states are candidates for
+/// dominance only when they schedule exactly the same set of nodes.
+struct SetHash {
+  size_t operator()(const std::vector<uint64_t> &V) const {
+    size_t H = 1469598103934665603ull;
+    for (uint64_t W : V) {
+      H ^= W;
+      H *= 1099511628211ull;
+    }
+    return H;
+  }
+};
+
+/// The branch-and-bound search. Timing is bit-for-bit the list
+/// scheduler's: Start = max(Clock, EarliestStart), Clock advances by the
+/// issue occupancy, the makespan is the latest completion.
+class Search {
+public:
+  Search(const BasicBlock &BB, const TargetMachine &TM, const DepGraph &DG,
+         uint64_t MaxStates, ExactScheduleResult &Res)
+      : BB(BB), TM(TM), DG(DG), MaxStates(MaxStates), Res(Res) {
+    size_t N = DG.size();
+    UnscheduledPreds.resize(N);
+    for (size_t I = 0; I < N; ++I)
+      UnscheduledPreds[I] = static_cast<unsigned>(DG.preds(I).size());
+    EarliestStart.assign(N, 0);
+    Scheduled.assign(N, false);
+    SetWords.assign((N + 63) / 64, 0);
+    CurOrder.reserve(N);
+
+    // Memoized critical-path tails: the longest latency path from each
+    // node to any sink, counting the node's own latency. Reverse program
+    // order is reverse topological order (all edges go forward).
+    Tail.assign(N, 0);
+    for (size_t I = N; I-- > 0;) {
+      uint64_t T = TM.latency(BB.insts()[I]);
+      for (size_t EIdx : DG.succs(I)) {
+        const DepEdge &E = DG.edges()[EIdx];
+        T = std::max(T, E.Latency + Tail[E.To]);
+      }
+      Tail[I] = T;
+    }
+
+    // Heads: the longest latency path from any source to each node — an
+    // absolute lower bound on the node's start time in every schedule.
+    // Program order is topological order, so one forward pass suffices.
+    Head.assign(N, 0);
+    for (size_t I = 0; I < N; ++I)
+      for (size_t EIdx : DG.preds(I)) {
+        const DepEdge &E = DG.edges()[EIdx];
+        Head[I] = std::max(Head[I], Head[E.From] + E.Latency);
+      }
+
+    // The terminator (forced last by control edges) completes after all
+    // other issue work; the release bound accounts for it separately.
+    TermIdx = SIZE_MAX;
+    if (N > 0 && BB.insts()[N - 1].isTerminator())
+      TermIdx = N - 1;
+  }
+
+  /// Lower bound on any completion of the empty (initial) state.
+  uint64_t initialLowerBound() const {
+    uint64_t CP = 0;
+    for (size_t I = 0; I < DG.size(); ++I)
+      CP = std::max(CP, Head[I] + Tail[I]);
+    return std::max(CP, releaseBound(0));
+  }
+
+  void run() {
+    dfs(0, 0);
+    if (!Aborted)
+      Res.Proved = true; // exhausted: the incumbent is minimal
+    else
+      Res.BudgetExceeded = true;
+  }
+
+private:
+  /// Single-machine release-time bound (1|r_j|Cmax): each unscheduled
+  /// non-terminator cannot start before r_j = max(Clock, its earliest
+  /// start from scheduled preds, its head path), and the machine then
+  /// serves issue occupancies one at a time — so for every j, issue work
+  /// cannot drain before r_j plus the occupancy of everything released at
+  /// or after r_j. This dominates the plain Clock + remaining-issue
+  /// resource bound and additionally captures latency-forced idle time
+  /// (e.g. a block whose first loads stall all their consumers).
+  uint64_t releaseBound(uint64_t Clock) const {
+    Releases.clear();
+    for (size_t I = 0; I < DG.size(); ++I) {
+      if (Scheduled[I] || I == TermIdx)
+        continue;
+      uint64_t R = std::max({Clock, EarliestStart[I], Head[I]});
+      Releases.emplace_back(R, TM.issueCycles(BB.insts()[I]));
+    }
+    std::sort(Releases.begin(), Releases.end());
+    uint64_t Bound = Clock, Suffix = 0;
+    for (size_t I = Releases.size(); I-- > 0;) {
+      Suffix += Releases[I].second;
+      Bound = std::max(Bound, Releases[I].first + Suffix);
+    }
+    uint64_t TermLat =
+        TermIdx == SIZE_MAX ? 0 : TM.latency(BB.insts()[TermIdx]);
+    return Bound + TermLat;
+  }
+
+  void dfs(uint64_t Clock, uint64_t Makespan) {
+    if (Aborted)
+      return;
+    if (CurOrder.size() == DG.size()) {
+      if (Makespan < Res.Best.Cycles) {
+        Res.Best.Order = CurOrder;
+        Res.Best.Cycles = static_cast<unsigned>(Makespan);
+        Res.Improved = true;
+      }
+      return;
+    }
+    if (++Res.StatesExplored > MaxStates) {
+      Aborted = true;
+      return;
+    }
+
+    // Bound this state: current makespan, the release-time resource
+    // bound, and the critical-path bound over every unscheduled node.
+    uint64_t LB = std::max(Makespan, releaseBound(Clock));
+    for (size_t I = 0; I < DG.size(); ++I)
+      if (!Scheduled[I])
+        LB = std::max(
+            LB, std::max({Clock, EarliestStart[I], Head[I]}) + Tail[I]);
+    if (LB >= Res.Best.Cycles)
+      return;
+
+    // History domination — the decisive pruning for blocks with many
+    // independent chains (unrolled loop bodies), where plain DFS explores
+    // every interleaving of equivalent prefixes. If some earlier expanded
+    // state scheduled exactly this node set with no-later clock, no-later
+    // makespan, and no-later operand availability for every unscheduled
+    // node, then every completion of this state is matched or beaten from
+    // that one, so the subtree is redundant.
+    if (!historyAdmit(Clock, Makespan))
+      return;
+
+    // Ready nodes, most promising first: startable before stalled, then
+    // earlier start, then longer tail, then index (deterministic).
+    std::vector<size_t> Ready;
+    for (size_t I = 0; I < DG.size(); ++I)
+      if (!Scheduled[I] && UnscheduledPreds[I] == 0)
+        Ready.push_back(I);
+    std::sort(Ready.begin(), Ready.end(), [&](size_t A, size_t B) {
+      uint64_t SA = std::max(Clock, EarliestStart[A]);
+      uint64_t SB = std::max(Clock, EarliestStart[B]);
+      if (SA != SB)
+        return SA < SB;
+      if (Tail[A] != Tail[B])
+        return Tail[A] > Tail[B];
+      return A < B;
+    });
+
+    for (size_t Node : Ready) {
+      uint64_t Start = std::max(Clock, EarliestStart[Node]);
+      uint64_t Issue = TM.issueCycles(BB.insts()[Node]);
+      uint64_t NewMakespan =
+          std::max(Makespan, Start + TM.latency(BB.insts()[Node]));
+
+      Scheduled[Node] = true;
+      SetWords[Node >> 6] ^= 1ull << (Node & 63);
+      CurOrder.push_back(Node);
+      // Update successors' earliest starts, remembering what to restore.
+      std::vector<std::pair<size_t, uint64_t>> Saved;
+      for (size_t EIdx : DG.succs(Node)) {
+        const DepEdge &E = DG.edges()[EIdx];
+        uint64_t Avail = Start + E.Latency;
+        if (Avail > EarliestStart[E.To]) {
+          Saved.emplace_back(E.To, EarliestStart[E.To]);
+          EarliestStart[E.To] = Avail;
+        }
+        --UnscheduledPreds[E.To];
+      }
+
+      dfs(Start + Issue, NewMakespan);
+
+      for (size_t EIdx : DG.succs(Node)) {
+        const DepEdge &E = DG.edges()[EIdx];
+        ++UnscheduledPreds[E.To];
+      }
+      for (auto It = Saved.rbegin(); It != Saved.rend(); ++It)
+        EarliestStart[It->first] = It->second;
+      CurOrder.pop_back();
+      Scheduled[Node] = false;
+      SetWords[Node >> 6] ^= 1ull << (Node & 63);
+      if (Aborted)
+        return;
+    }
+  }
+
+  /// One expanded state over a given scheduled set: when the machine was
+  /// free again (Clock), the makespan so far, and the unscheduled nodes
+  /// whose operands arrive only after Clock (everything else is available
+  /// immediately, which Clock comparison alone covers).
+  struct Hist {
+    uint64_t Clock;
+    uint64_t Makespan;
+    std::vector<std::pair<uint32_t, uint64_t>> Lags;
+  };
+
+  /// \returns false when a previously expanded state dominates the
+  /// current one (prune); otherwise records the current state and returns
+  /// true. Sound because a dominating state A (same set, Clock_A <=
+  /// Clock_B, Makespan_A <= Makespan_B, avail_A(n) <= avail_B(n) for all
+  /// unscheduled n, where avail(n) = max(Clock, EarliestStart[n])) can
+  /// replay any completion order of B no later at every step.
+  bool historyAdmit(uint64_t Clock, uint64_t Makespan) {
+    std::vector<Hist> &Entries = History[SetWords];
+    for (const Hist &H : Entries) {
+      if (H.Clock > Clock || H.Makespan > Makespan)
+        continue;
+      bool Dominates = true;
+      for (const std::pair<uint32_t, uint64_t> &L : H.Lags)
+        if (L.second > std::max(Clock, EarliestStart[L.first])) {
+          Dominates = false;
+          break;
+        }
+      if (Dominates)
+        return false;
+    }
+    // Record (bounded by the state budget, so memory tracks MaxStates).
+    if (HistEntries <= MaxStates) {
+      ++HistEntries;
+      Hist H;
+      H.Clock = Clock;
+      H.Makespan = Makespan;
+      for (size_t I = 0; I < DG.size(); ++I)
+        if (!Scheduled[I] && EarliestStart[I] > Clock)
+          H.Lags.emplace_back(static_cast<uint32_t>(I), EarliestStart[I]);
+      Entries.push_back(std::move(H));
+    }
+    return true;
+  }
+
+  const BasicBlock &BB;
+  const TargetMachine &TM;
+  const DepGraph &DG;
+  uint64_t MaxStates;
+  ExactScheduleResult &Res;
+  std::unordered_map<std::vector<uint64_t>, std::vector<Hist>, SetHash>
+      History;
+  uint64_t HistEntries = 0;
+  std::vector<uint64_t> SetWords;
+
+  std::vector<unsigned> UnscheduledPreds;
+  std::vector<uint64_t> EarliestStart;
+  std::vector<uint64_t> Tail;
+  std::vector<uint64_t> Head;
+  std::vector<bool> Scheduled;
+  std::vector<size_t> CurOrder;
+  size_t TermIdx = SIZE_MAX;
+  bool Aborted = false;
+  /// Scratch for releaseBound (avoids a per-state allocation).
+  mutable std::vector<std::pair<uint64_t, uint64_t>> Releases;
+};
+
+} // namespace
+
+ExactScheduleResult vpo::exactScheduleBlock(const BasicBlock &BB,
+                                            const TargetMachine &TM,
+                                            const ExactSchedulerOptions &Opts) {
+  ExactScheduleResult Res;
+  Res.List = scheduleBlock(BB, TM);
+  Res.Best = Res.List;
+  if (BB.size() == 0) {
+    Res.Proved = true;
+    return Res;
+  }
+
+  DepGraph DG(BB, TM);
+  Search S(BB, TM, DG, Opts.MaxStates, Res);
+
+  // Fast path: the list schedule already meets a lower bound, so it is
+  // optimal without expanding a single state.
+  if (Res.List.Cycles <= S.initialLowerBound()) {
+    Res.Proved = true;
+    return Res;
+  }
+
+  if (BB.size() > Opts.MaxBlockSize) {
+    Res.BudgetExceeded = true;
+    return Res;
+  }
+
+  S.run();
+  return Res;
+}

@@ -1,0 +1,93 @@
+//===- sched/ExactScheduler.h - Branch-and-bound scheduling ------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact basic-block scheduler: branch-and-bound over the dependence
+/// DAG under precisely the list scheduler's timing model (single issue,
+/// issue occupancy, scoreboarded latencies). For a block it either
+///
+///   - *proves* the list schedule optimal (its makespan equals a lower
+///     bound, or the exhaustive search finds nothing shorter), or
+///   - returns a strictly shorter schedule, or
+///   - gives up against the state budget (BudgetExceeded), in which case
+///     the list schedule stands unjudged.
+///
+/// Because the search is seeded with the list schedule as its incumbent,
+/// the result is never longer than the list schedule — callers can apply
+/// it unconditionally.
+///
+/// Two lower bounds prune the search, both memoized up front from the
+/// DepGraph:
+///   - critical path: for each node, the longest latency tail to any sink;
+///     an unscheduled node n cannot finish before EarliestStart[n] +
+///     tail(n);
+///   - resource: a single-issue machine needs at least the sum of the
+///     unscheduled instructions' issue occupancies, and the terminator
+///     (forced last by control edges) still needs its own latency.
+///
+/// Used two ways (mirroring the list scheduler's own dual role): as an
+/// opt-in pipeline pass that replaces list schedules on small blocks, and
+/// as the telemetry-only audit oracle that re-derives the Fig. 3
+/// profitability verdicts in coalescing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SCHED_EXACTSCHEDULER_H
+#define VPO_SCHED_EXACTSCHEDULER_H
+
+#include "sched/ListScheduler.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vpo {
+
+class BasicBlock;
+class TargetMachine;
+
+struct ExactSchedulerOptions {
+  /// Branch-and-bound states to expand before giving up. The bound-equal
+  /// fast path (list makespan == lower bound) costs zero states, so most
+  /// blocks are proved optimal without any search.
+  uint64_t MaxStates = 200000;
+  /// Blocks larger than this are not searched; they can still be proved
+  /// optimal by the bound-equal fast path. The cap bounds per-state cost
+  /// (each expansion is O(N) for the bound and ready-list), not
+  /// correctness — MaxStates is the real work limit. 192 comfortably
+  /// covers the paper matrix's largest unrolled bodies (~160
+  /// instructions at factor 16).
+  size_t MaxBlockSize = 192;
+};
+
+struct ExactScheduleResult {
+  /// The list schedule the search started from.
+  ScheduleResult List;
+  /// The best schedule known: the list schedule, or a strictly shorter
+  /// one when Improved. Safe to apply unconditionally.
+  ScheduleResult Best;
+  /// Best.Cycles is provably minimal.
+  bool Proved = false;
+  /// Best is strictly shorter than List.
+  bool Improved = false;
+  /// The search hit MaxStates (or the block exceeded MaxBlockSize with a
+  /// makespan above the lower bound); optimality is unknown.
+  bool BudgetExceeded = false;
+  /// States the branch-and-bound expanded (0 when the fast path decided).
+  uint64_t StatesExplored = 0;
+
+  /// The block's verdict is settled: proved optimal or improved. The only
+  /// other outcome is BudgetExceeded.
+  bool conclusive() const { return Proved || Improved; }
+};
+
+/// Exactly schedules \p BB without modifying it.
+ExactScheduleResult exactScheduleBlock(const BasicBlock &BB,
+                                       const TargetMachine &TM,
+                                       const ExactSchedulerOptions &Opts = {});
+
+} // namespace vpo
+
+#endif // VPO_SCHED_EXACTSCHEDULER_H

@@ -1,0 +1,179 @@
+//===- sched/RegPressure.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/RegPressure.h"
+
+#include "ir/Function.h"
+#include "target/TargetMachine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vpo;
+
+namespace {
+
+/// Registers carrying floating-point values: defs of FP producers, operands
+/// of FP consumers, closed over Mov copies (a copy of an FP value is FP).
+std::unordered_set<unsigned> classifyFPRegs(const BasicBlock &BB) {
+  std::unordered_set<unsigned> FP;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Instruction &I : BB.insts()) {
+      auto MarkDef = [&] {
+        if (I.Dst.isValid() && FP.insert(I.Dst.Id).second)
+          Changed = true;
+      };
+      auto MarkUse = [&](const Operand &O) {
+        if (O.isReg() && FP.insert(O.reg().Id).second)
+          Changed = true;
+      };
+      if (I.isFPALU() || I.Op == Opcode::CvtIF || (I.isLoad() && I.IsFloat))
+        MarkDef();
+      if (I.isFPALU()) {
+        MarkUse(I.A);
+        MarkUse(I.B);
+      }
+      if (I.Op == Opcode::CvtFI)
+        MarkUse(I.A);
+      if (I.isStore() && I.IsFloat)
+        MarkUse(I.A);
+      if (I.Op == Opcode::Mov && I.A.isReg()) {
+        if (FP.count(I.A.reg().Id))
+          MarkDef();
+        else if (I.Dst.isValid() && FP.count(I.Dst.Id))
+          MarkUse(I.A);
+      }
+    }
+  }
+  return FP;
+}
+
+} // namespace
+
+PressureEstimate vpo::estimateMaxLive(const BasicBlock &BB,
+                                      const std::vector<size_t> &Order) {
+  const auto &Insts = BB.insts();
+  size_t N = Order.size();
+  assert(N == Insts.size() && "order does not match block");
+  if (N == 0)
+    return PressureEstimate();
+
+  // Live-in registers in *program* order: used before any def in the
+  // block. A schedule keeps uses after their in-block def (RAW edges), so
+  // this set is order-independent.
+  std::unordered_set<unsigned> LiveIn;
+  {
+    std::unordered_set<unsigned> Defined;
+    std::vector<Reg> Uses;
+    for (const Instruction &I : Insts) {
+      Uses.clear();
+      I.collectUses(Uses);
+      for (Reg U : Uses)
+        if (!Defined.count(U.Id))
+          LiveIn.insert(U.Id);
+      if (auto D = I.def())
+        Defined.insert(D->Id);
+    }
+  }
+
+  // First def and last use position of each register under the schedule.
+  struct Range {
+    size_t FirstDef = SIZE_MAX;
+    size_t LastUse = SIZE_MAX;
+  };
+  std::unordered_map<unsigned, Range> Ranges;
+  std::vector<Reg> Uses;
+  for (size_t Pos = 0; Pos < N; ++Pos) {
+    const Instruction &I = Insts[Order[Pos]];
+    Uses.clear();
+    I.collectUses(Uses);
+    for (Reg U : Uses)
+      Ranges[U.Id].LastUse = Pos;
+    if (auto D = I.def()) {
+      Range &R = Ranges[D->Id];
+      if (R.FirstDef == SIZE_MAX)
+        R.FirstDef = Pos;
+    }
+  }
+
+  std::unordered_set<unsigned> FP = classifyFPRegs(BB);
+
+  // Sweep the live intervals per class. +1 at the interval start, -1 one
+  // past its end; running sum at each position is the live count there.
+  std::vector<int> DeltaInt(N + 1, 0), DeltaFP(N + 1, 0);
+  for (const auto &[Id, R] : Ranges) {
+    size_t Start, End;
+    bool IsLiveIn = LiveIn.count(Id) != 0;
+    bool IsDefined = R.FirstDef != SIZE_MAX;
+    if (IsLiveIn && IsDefined) {
+      // Loop-carried (an induction variable, a recurrence temp): live
+      // across the whole body.
+      Start = 0;
+      End = N - 1;
+    } else if (IsLiveIn) {
+      Start = 0;
+      End = R.LastUse; // has at least one use, or it would not be live-in
+    } else if (R.LastUse == SIZE_MAX || R.LastUse < R.FirstDef) {
+      // Defined, never read afterwards in the block: assume live-out.
+      Start = R.FirstDef;
+      End = N - 1;
+    } else {
+      Start = R.FirstDef;
+      End = R.LastUse;
+    }
+    std::vector<int> &Delta = FP.count(Id) ? DeltaFP : DeltaInt;
+    Delta[Start] += 1;
+    Delta[End + 1] -= 1;
+  }
+
+  PressureEstimate P;
+  int LiveI = 0, LiveF = 0;
+  for (size_t Pos = 0; Pos < N; ++Pos) {
+    LiveI += DeltaInt[Pos];
+    LiveF += DeltaFP[Pos];
+    P.MaxLiveInt = std::max(P.MaxLiveInt, static_cast<unsigned>(LiveI));
+    P.MaxLiveFP = std::max(P.MaxLiveFP, static_cast<unsigned>(LiveF));
+  }
+  return P;
+}
+
+PressureEstimate vpo::estimateMaxLive(const BasicBlock &BB) {
+  std::vector<size_t> Identity(BB.size());
+  for (size_t I = 0; I < Identity.size(); ++I)
+    Identity[I] = I;
+  return estimateMaxLive(BB, Identity);
+}
+
+unsigned vpo::spillCount(const PressureEstimate &P, const TargetMachine &TM) {
+  unsigned Spills = 0;
+  if (P.MaxLiveInt > TM.intRegs())
+    Spills += P.MaxLiveInt - TM.intRegs();
+  if (P.MaxLiveFP > TM.fpRegs())
+    Spills += P.MaxLiveFP - TM.fpRegs();
+  return Spills;
+}
+
+unsigned vpo::spillCycleCost(const TargetMachine &TM) {
+  // A spilled range costs a stack store plus a reload each time the block
+  // runs: one bus occupancy for the store, and the reload's latency (its
+  // consumer is waiting, or the allocator would not have kept it live).
+  return TM.spec().MemIssueCycles + TM.spec().LoadLatency;
+}
+
+uint64_t vpo::spillPenaltyCycles(const PressureEstimate &P,
+                                 const TargetMachine &TM) {
+  uint64_t Spills = spillCount(P, TM);
+  return Spills * Spills * spillCycleCost(TM);
+}
+
+uint64_t vpo::blockSpillCycles(const BasicBlock &BB,
+                               const TargetMachine &TM) {
+  return spillPenaltyCycles(estimateMaxLive(BB), TM);
+}

@@ -1,0 +1,88 @@
+//===- sched/RegPressure.h - Max-live pressure estimation --------*- C++ -*-===//
+//
+// Part of the vpo-mac project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear-scan max-live estimator over a basic block under a candidate
+/// schedule, per register class, plus the spill-cost model the unroller's
+/// pressure clamp and the simulator's spill charge share.
+///
+/// The paper's pipeline unrolls before it coalesces, and the unroller's
+/// factor selection is i-cache arithmetic only — so on a machine with a
+/// small register file an aggressive factor can spill away the entire
+/// coalescing win. This header supplies the missing half of that decision:
+/// given the unrolled (and possibly coalesced) body in the order a schedule
+/// would issue it, how many values are live at the worst point, and what
+/// would the excess over the target's register file cost per iteration?
+///
+/// The estimate is deliberately simple (single block, no global liveness):
+///   - a register used before any def in the block is live-in from entry;
+///   - a loop-carried register (live-in *and* redefined) is live across the
+///     whole block;
+///   - a register defined but never used afterwards in the block is assumed
+///     live-out to the end (loop temporaries feeding the next iteration);
+///   - everything else lives from its def to its last use.
+/// These rules err toward overestimating pressure, which is the safe
+/// direction for a clamp that refuses unroll factors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VPO_SCHED_REGPRESSURE_H
+#define VPO_SCHED_REGPRESSURE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpo {
+
+class BasicBlock;
+class TargetMachine;
+
+/// Worst-point live-register counts for one block, per register class.
+struct PressureEstimate {
+  unsigned MaxLiveInt = 0;
+  unsigned MaxLiveFP = 0;
+};
+
+/// Max-live over \p BB in its current instruction order.
+PressureEstimate estimateMaxLive(const BasicBlock &BB);
+
+/// Max-live over \p BB reordered by \p Order (Order[i] = original index of
+/// the instruction at position i, as produced by scheduleBlock). The order
+/// must be a permutation of the block.
+PressureEstimate estimateMaxLive(const BasicBlock &BB,
+                                 const std::vector<size_t> &Order);
+
+/// How many values exceed \p TM's register files at the worst point —
+/// the number of live ranges the allocator would have to spill.
+unsigned spillCount(const PressureEstimate &P, const TargetMachine &TM);
+
+/// Modeled cycles one spilled live range costs per block execution: a
+/// store to the stack plus a reload (bus occupancy + load latency). The
+/// same constant feeds the unroller's clamp and the simulator's spill
+/// charge so the clamp optimizes exactly what the simulator measures.
+unsigned spillCycleCost(const TargetMachine &TM);
+
+/// Total modeled spill cycles per block execution at pressure \p P:
+/// spillCount^2 * spillCycleCost. The charge is deliberately convex in
+/// the overflow: with S ranges contending for the same few scratch
+/// registers the allocator cannot keep any of them resident, so each
+/// extra overflowing range forces store/reload traffic around all the
+/// others (the classic spill-thrashing effect). The quadratic form makes
+/// over-unrolling past the register file genuinely expensive while a
+/// loop that spills one or two ranges pays only a small tax — and the
+/// clamp and the simulator share it, so the clamp optimizes exactly what
+/// the simulator measures.
+uint64_t spillPenaltyCycles(const PressureEstimate &P,
+                            const TargetMachine &TM);
+
+/// Total modeled spill cycles charged per execution of \p BB on \p TM:
+/// spillPenaltyCycles(estimateMaxLive(BB), TM).
+uint64_t blockSpillCycles(const BasicBlock &BB, const TargetMachine &TM);
+
+} // namespace vpo
+
+#endif // VPO_SCHED_REGPRESSURE_H

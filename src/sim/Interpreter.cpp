@@ -10,6 +10,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "jit/JIT.h"
+#include "sched/RegPressure.h"
 #include "sim/ProgramCache.h"
 #include "support/Error.h"
 #include "support/MathExtras.h"
@@ -94,7 +95,7 @@ public:
   Machine(const TargetMachine &TM, Memory &Mem, const Function &F,
           const std::vector<int64_t> &Args, uint64_t MaxSteps,
           DataCache &Cache, DataCache &ICache, std::vector<uint64_t> &Regs,
-          std::vector<uint64_t> &RegReady)
+          std::vector<uint64_t> &RegReady, bool ModelPressure)
       : TM(TM), Mem(Mem), F(F), MaxSteps(MaxSteps), Cache(Cache),
         ICache(ICache), Regs(Regs), RegReady(RegReady) {
     Cache.reset();
@@ -109,6 +110,8 @@ public:
     for (const auto &BB : F.blocks()) {
       CodeAddr[BB.get()] = Addr;
       Addr += BB->size() * TM.encodingBytes();
+      if (ModelPressure)
+        SpillCharge[BB.get()] = blockSpillCycles(*BB, TM);
     }
   }
 
@@ -117,6 +120,7 @@ public:
       return fail(RunResult::Status::MalformedIR, "function has no blocks");
     RegReady.assign(Regs.size(), 0);
     const BasicBlock *BB = F.entry();
+    Clock += spillCharge(BB);
     size_t Idx = 0;
     std::vector<Reg> Uses;
     while (true) {
@@ -158,6 +162,12 @@ public:
       else
         Clock = Issue + Occ - 1;
 
+      // Spill model: step() already moved BB to the branch target, so
+      // charge the target block's modeled spill/reload traffic here (Ret
+      // sets Done and charges nothing).
+      if (I.isTerminator() && !Done)
+        Clock += spillCharge(BB);
+
       if (Done) {
         R.Cycles = Clock;
         R.Cache = Cache.stats();
@@ -175,6 +185,9 @@ private:
   DataCache &Cache;
   DataCache &ICache;
   std::unordered_map<const BasicBlock *, uint64_t> CodeAddr;
+  /// Per-block entry cost under InterpreterOptions::ModelRegPressure
+  /// (empty when the model is off).
+  std::unordered_map<const BasicBlock *, uint64_t> SpillCharge;
   std::vector<uint64_t> &Regs;
   std::vector<uint64_t> &RegReady; ///< cycle at which each register is ready
   uint64_t Clock = 0;              ///< issue cycle of the last instruction
@@ -189,6 +202,13 @@ private:
     R.Cache = Cache.stats();
     R.ICache = ICache.stats();
     return R;
+  }
+
+  uint64_t spillCharge(const BasicBlock *B) const {
+    if (SpillCharge.empty())
+      return 0;
+    auto It = SpillCharge.find(B);
+    return It == SpillCharge.end() ? 0 : It->second;
   }
 
   uint64_t eval(const Operand &O) const {
@@ -437,7 +457,8 @@ public:
   FastMachine(const TargetMachine &TM, Memory &Mem, const DecodedFunction &DF,
               const std::vector<int64_t> &Args, uint64_t MaxSteps,
               DataCache &Cache, DataCache &ICache,
-              std::vector<uint64_t> &Vals, std::vector<uint64_t> &RegReady)
+              std::vector<uint64_t> &Vals, std::vector<uint64_t> &RegReady,
+              bool ModelPressure)
       : TM(TM), Mem(Mem), DF(DF), MaxSteps(MaxSteps), Cache(Cache),
         ICache(ICache), Vals(Vals), RegReady(RegReady) {
     Cache.reset();
@@ -450,6 +471,15 @@ public:
     for (size_t I = 0; I < N; ++I)
       Vals[F.params()[I].Id] = static_cast<uint64_t>(Args[I]);
     RegReady.assign(DF.poolSize(), 0);
+    if (ModelPressure) {
+      // Mirror of class Machine's per-block SpillCharge, indexed by the
+      // block-head op every branch lands on (DF.BlockStart is in the same
+      // layout order as the source blocks).
+      EntryCharge.assign(DF.Ops.size(), 0);
+      size_t BI = 0;
+      for (const auto &BB : F.blocks())
+        EntryCharge[DF.BlockStart[BI++]] = blockSpillCycles(*BB, TM);
+    }
   }
 
   RunResult run() {
@@ -460,6 +490,7 @@ public:
     const unsigned EncBytes = TM.encodingBytes();
     uint64_t Clock = 0;
     uint32_t Idx = DF.EntryIdx;
+    Clock += entryCharge(Idx);
 
     while (true) {
       const DecodedOp &D = Ops[Idx];
@@ -664,11 +695,13 @@ public:
         ++R.Branches;
         Clock = Issue + std::max<uint64_t>(D.Occ, D.Lat) - 1;
         Idx = evalCond(D.CC, A, B) ? D.TrueIdx : D.FalseIdx;
+        Clock += entryCharge(Idx);
         continue;
       case Opcode::Jmp:
         ++R.Branches;
         Clock = Issue + std::max<uint64_t>(D.Occ, D.Lat) - 1;
         Idx = D.TrueIdx;
+        Clock += entryCharge(Idx);
         continue;
       case Opcode::Ret:
         R.ReturnValue = static_cast<int64_t>(A);
@@ -698,7 +731,13 @@ private:
   DataCache &ICache;
   std::vector<uint64_t> &Vals;
   std::vector<uint64_t> &RegReady;
+  /// Per-block-head spill charge under ModelRegPressure (empty when off).
+  std::vector<uint64_t> EntryCharge;
   RunResult R;
+
+  uint64_t entryCharge(uint32_t Idx) const {
+    return EntryCharge.empty() ? 0 : EntryCharge[Idx];
+  }
 
   double valF(uint32_t Slot) const {
     return std::bit_cast<double>(Vals[Slot]);
@@ -1278,7 +1317,8 @@ RunResult Interpreter::runFunctional(const DecodedFunction &DF,
 RunResult Interpreter::runReference(const Function &F,
                                     const std::vector<int64_t> &Args,
                                     uint64_t MaxSteps) {
-  return Machine(TM, Mem, F, Args, MaxSteps, DCache, IFetch, Vals, RegReady)
+  return Machine(TM, Mem, F, Args, MaxSteps, DCache, IFetch, Vals, RegReady,
+                 Opts.ModelRegPressure)
       .run();
 }
 
@@ -1286,6 +1326,6 @@ RunResult Interpreter::runDecoded(const DecodedFunction &DF,
                                   const std::vector<int64_t> &Args,
                                   uint64_t MaxSteps) {
   return FastMachine(TM, Mem, DF, Args, MaxSteps, DCache, IFetch, Vals,
-                     RegReady)
+                     RegReady, Opts.ModelRegPressure)
       .run();
 }

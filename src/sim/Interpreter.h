@@ -149,6 +149,17 @@ struct InterpreterOptions {
   /// Optional sink for jit-disabled / jit-summary remarks (read-only
   /// telemetry; never observed by execution).
   RemarkSink *Remarks = nullptr;
+
+  /// Model register pressure: both cycle-accurate engines charge
+  /// sched/RegPressure's blockSpillCycles() on every entry to a block
+  /// whose estimated max-live exceeds the target's register file — the
+  /// spill/reload traffic a real allocator would have inserted there.
+  /// This is what makes over-unrolling on register-starved targets (the
+  /// Motorola 68030's 13 int / 7 FP files) genuinely expensive, so the
+  /// pressure-aware unroll clamp has a measurable effect to win back.
+  /// Off by default: the differential and golden suites pin the
+  /// historical pressure-blind cycle model.
+  bool ModelRegPressure = false;
 };
 
 class Interpreter {

@@ -79,6 +79,11 @@ TargetMachine vpo::makeAlphaTarget() {
   S.ExtractLatency = 1;
   S.InsertLatency = 1;
   S.MemIssueCycles = 1;
+  // 32 integer + 32 FP registers, minus $sp, $gp, $ra, and the assembler
+  // temporary on the integer side; FP loses the same number to the
+  // calling convention's reserved set in our model.
+  S.IntRegs = 28;
+  S.FPRegs = 28;
   S.FullyPipelined = true;
   return TargetMachine(std::move(S));
 }
@@ -105,6 +110,10 @@ TargetMachine vpo::makeM88100Target() {
   // Each reference holds the P-bus for two cycles, so halving the
   // reference count pays even though narrow references are legal.
   S.MemIssueCycles = 2;
+  // One unified file of 32 registers (r0 wired to zero, plus sp/ra and
+  // linkage reserves); the 88100 runs FP through the same file.
+  S.IntRegs = 26;
+  S.FPRegs = 26;
   S.FullyPipelined = true;
   return TargetMachine(std::move(S));
 }
@@ -129,6 +138,12 @@ TargetMachine vpo::makeM68030Target() {
   S.ExtractLatency = 8; // bfextu
   S.InsertLatency = 10; // bfins
   S.MemIssueCycles = 3;
+  // Eight data + eight address registers minus sp/fp and a scratch on
+  // the data side; the 68881/2 FPU exposes eight FP registers, one
+  // reserved. The tiny files are what makes aggressive unrolling spill
+  // here long before the i-cache heuristic would say stop.
+  S.IntRegs = 13;
+  S.FPRegs = 7;
   S.FullyPipelined = false;
   return TargetMachine(std::move(S));
 }

@@ -85,6 +85,13 @@ public:
     /// Issue occupancy of a memory reference (bus cycles the reference
     /// keeps the memory port busy).
     unsigned MemIssueCycles = 1;
+
+    // --- Register files. ---
+    /// Integer registers available to the allocator, after reserving the
+    /// stack/frame pointers, return address, and assembler temporaries.
+    unsigned IntRegs = 28;
+    /// Floating-point registers available to the allocator.
+    unsigned FPRegs = 28;
     /// Fully pipelined: a new instruction can issue every cycle regardless
     /// of latency. False on the 68030, where an instruction occupies the
     /// machine for its full duration.
@@ -102,6 +109,8 @@ public:
   bool hasNativeInsert() const { return S.NativeInsert; }
   unsigned encodingBytes() const { return S.EncodingBytes; }
   unsigned iCacheBytes() const { return S.ICacheBytes; }
+  unsigned intRegs() const { return S.IntRegs; }
+  unsigned fpRegs() const { return S.FPRegs; }
   const CacheParams &dataCache() const { return S.DCache; }
 
   /// Whether a single memory reference of width \p W is legal on this

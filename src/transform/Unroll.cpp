@@ -13,6 +13,8 @@
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
 #include "ir/Verifier.h"
+#include "sched/ListScheduler.h"
+#include "sched/RegPressure.h"
 #include "support/Error.h"
 #include "support/MathExtras.h"
 #include "target/TargetMachine.h"
@@ -46,6 +48,100 @@ const char *vpo::unrollFailureName(UnrollFailure F) {
 }
 
 namespace {
+
+/// Registers renameable per unrolled copy: defined before any use inside
+/// the body, not an IV, and dead outside the loop (checked via liveness at
+/// the loop's exit successor).
+std::unordered_set<unsigned> renameableTemps(const BasicBlock &Body,
+                                             const LoopScalarInfo &LSI,
+                                             const Liveness &LV,
+                                             const BasicBlock *ExitBB) {
+  std::unordered_set<unsigned> Renameable;
+  std::unordered_set<unsigned> UsedBeforeDef, Defined;
+  std::vector<Reg> Uses;
+  for (const Instruction &I : Body.insts()) {
+    Uses.clear();
+    I.collectUses(Uses);
+    for (Reg U : Uses)
+      if (!Defined.count(U.Id))
+        UsedBeforeDef.insert(U.Id);
+    if (auto D = I.def())
+      Defined.insert(D->Id);
+  }
+  for (unsigned Id : Defined) {
+    if (UsedBeforeDef.count(Id))
+      continue;
+    if (LSI.ivFor(Reg(Id)))
+      continue;
+    if (LV.liveIn(ExitBB, Reg(Id)))
+      continue;
+    Renameable.insert(Id);
+  }
+  return Renameable;
+}
+
+/// Emits \p Factor copies of \p Body's non-increment instructions into
+/// \p Out — per-copy temporaries renamed through \p NewTemp, IV-based
+/// displacements advanced by the accumulated and per-copy steps — followed
+/// by the combined IV increments. Shared between the real unroll and the
+/// pressure clamp's scratch simulation so the clamp measures exactly the
+/// body the unroller would build. The caller appends the back edge.
+void emitUnrolledBody(const BasicBlock &Body, const LoopScalarInfo &LSI,
+                      unsigned Factor,
+                      const std::unordered_set<unsigned> &Renameable,
+                      BasicBlock &Out,
+                      const std::function<Reg()> &NewTemp) {
+  auto Acc = accumulatedIVSteps(Body, LSI);
+  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+    std::unordered_map<unsigned, Reg> Rename;
+    for (size_t Idx = 0; Idx + 1 < Body.size(); ++Idx) {
+      if (isIVIncrement(LSI, Body, Idx))
+        continue;
+      Instruction I = Body.insts()[Idx];
+      // Rewrite uses with this copy's renames.
+      if (Copy > 0) {
+        I.forEachUse([&](Reg &R) {
+          auto It = Rename.find(R.Id);
+          if (It != Rename.end())
+            R = It->second;
+        });
+      }
+      // Adjust address displacement by the accumulated and per-copy steps.
+      if (I.isMemory()) {
+        Reg BaseReg = I.Addr.Base;
+        // The base may have been renamed above only if it were a temp,
+        // which IV bases never are; look up its IV by the original name.
+        if (const InductionVar *IV = LSI.ivFor(BaseReg)) {
+          auto It = Acc[Idx].find(BaseReg.Id);
+          int64_t Before = It == Acc[Idx].end() ? 0 : It->second;
+          I.Addr.Disp += Before +
+                         static_cast<int64_t>(Copy) * IV->StepPerIteration;
+        }
+      }
+      // Rename this copy's definition of a copy-local temp.
+      if (Copy > 0) {
+        if (auto D = I.def()) {
+          if (Renameable.count(D->Id)) {
+            auto It = Rename.find(D->Id);
+            Reg NewReg = It != Rename.end() ? It->second : NewTemp();
+            Rename[D->Id] = NewReg;
+            I.Dst = NewReg;
+          }
+        }
+      }
+      Out.append(std::move(I));
+    }
+  }
+  // Combined IV increments.
+  for (const InductionVar &IV : LSI.inductionVars()) {
+    Instruction Inc;
+    Inc.Op = Opcode::Add;
+    Inc.Dst = IV.R;
+    Inc.A = IV.R;
+    Inc.B = Operand::imm(IV.StepPerIteration * static_cast<int64_t>(Factor));
+    Out.append(std::move(Inc));
+  }
+}
 
 /// True if the bound shape is one we can dispatch on: a strict inequality
 /// whose direction matches the sign of the IV step (ascending `<`,
@@ -181,84 +277,14 @@ UnrollFailure vpo::unrollLoop(Function &F, const Loop &L,
   // Which registers can be renamed per copy: defined before any use inside
   // the body, not an IV, and dead outside the loop.
   Liveness LV(G);
-  std::unordered_set<unsigned> Renameable;
-  {
-    std::unordered_set<unsigned> UsedBeforeDef, Defined;
-    std::vector<Reg> Uses;
-    for (const Instruction &I : Body->insts()) {
-      Uses.clear();
-      I.collectUses(Uses);
-      for (Reg U : Uses)
-        if (!Defined.count(U.Id))
-          UsedBeforeDef.insert(U.Id);
-      if (auto D = I.def())
-        Defined.insert(D->Id);
-    }
-    for (unsigned Id : Defined) {
-      if (UsedBeforeDef.count(Id))
-        continue;
-      if (LSI.ivFor(Reg(Id)))
-        continue;
-      if (LV.liveIn(ExitBB, Reg(Id)))
-        continue;
-      Renameable.insert(Id);
-    }
-  }
-
-  auto Acc = accumulatedIVSteps(*Body, LSI);
+  std::unordered_set<unsigned> Renameable =
+      renameableTemps(*Body, LSI, LV, ExitBB);
 
   // --- Build the unrolled body -----------------------------------------
   BasicBlock *Unrolled =
       F.addBlock(F.uniqueBlockName(Body->name() + ".unrolled"));
-  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
-    std::unordered_map<unsigned, Reg> Rename;
-    for (size_t Idx = 0; Idx + 1 < Body->size(); ++Idx) {
-      if (isIVIncrement(LSI, *Body, Idx))
-        continue;
-      Instruction I = Body->insts()[Idx];
-      // Rewrite uses with this copy's renames.
-      if (Copy > 0) {
-        I.forEachUse([&](Reg &R) {
-          auto It = Rename.find(R.Id);
-          if (It != Rename.end())
-            R = It->second;
-        });
-      }
-      // Adjust address displacement by the accumulated and per-copy steps.
-      if (I.isMemory()) {
-        Reg BaseReg = I.Addr.Base;
-        // The base may have been renamed above only if it were a temp,
-        // which IV bases never are; look up its IV by the original name.
-        if (const InductionVar *IV = LSI.ivFor(BaseReg)) {
-          auto It = Acc[Idx].find(BaseReg.Id);
-          int64_t Before = It == Acc[Idx].end() ? 0 : It->second;
-          I.Addr.Disp += Before +
-                         static_cast<int64_t>(Copy) * IV->StepPerIteration;
-        }
-      }
-      // Rename this copy's definition of a copy-local temp.
-      if (Copy > 0) {
-        if (auto D = I.def()) {
-          if (Renameable.count(D->Id)) {
-            auto It = Rename.find(D->Id);
-            Reg NewReg = It != Rename.end() ? It->second : F.newReg();
-            Rename[D->Id] = NewReg;
-            I.Dst = NewReg;
-          }
-        }
-      }
-      Unrolled->append(std::move(I));
-    }
-  }
-  // Combined IV increments.
-  for (const InductionVar &IV : LSI.inductionVars()) {
-    Instruction Inc;
-    Inc.Op = Opcode::Add;
-    Inc.Dst = IV.R;
-    Inc.A = IV.R;
-    Inc.B = Operand::imm(IV.StepPerIteration * static_cast<int64_t>(Factor));
-    Unrolled->append(std::move(Inc));
-  }
+  emitUnrolledBody(*Body, LSI, Factor, Renameable, *Unrolled,
+                   [&] { return F.newReg(); });
   // Back edge: same bound compare, targeting the unrolled body.
   {
     Instruction Br = OldTerm;
@@ -395,4 +421,94 @@ UnrollFailure vpo::unrollLoop(Function &F, const Loop &L,
   Result.Guard = EpiGuard;
   Result.Factor = Factor;
   return UnrollFailure::None;
+}
+
+PressureClampInfo vpo::clampUnrollFactorForPressure(
+    const Function &F, const Loop &L, const LoopScalarInfo &LSI,
+    unsigned Factor, const TargetMachine &TM,
+    const std::vector<CoalescableGroup> &Groups) {
+  PressureClampInfo Info;
+  Info.Factor = Factor;
+  const BasicBlock *Body = L.singleBodyBlock();
+  if (Factor < 2 || !Body || Body->empty() || !LSI.bound())
+    return Info;
+  const Instruction &Term = Body->terminator();
+  if (Term.Op != Opcode::Br)
+    return Info;
+  const BasicBlock *ExitBB =
+      Term.TrueTarget == Body ? Term.FalseTarget : Term.TrueTarget;
+
+  CFG G(F);
+  Liveness LV(G);
+  std::unordered_set<unsigned> Renameable =
+      renameableTemps(*Body, LSI, LV, ExitBB);
+
+  // Bus cycles coalescing recovers at factor Fac: each group's Fac *
+  // RefsPerIteration narrow references collapse into ceil-divided wide
+  // ones, and every reference eliminated returns its issue occupancy.
+  auto SavingCycles = [&](unsigned Fac) -> uint64_t {
+    uint64_t Saved = 0;
+    for (const CoalescableGroup &Gr : Groups) {
+      if (Gr.NarrowBytes == 0 || Gr.WideBytes <= Gr.NarrowBytes)
+        continue;
+      uint64_t PerWide = Gr.WideBytes / Gr.NarrowBytes;
+      uint64_t Narrow =
+          static_cast<uint64_t>(Fac) * Gr.RefsPerIteration;
+      uint64_t Wide = (Narrow + PerWide - 1) / PerWide;
+      Saved += (Narrow - Wide) * TM.spec().MemIssueCycles;
+    }
+    return Saved;
+  };
+
+  // Build the unrolled body at Fac in a scratch function (F stays
+  // untouched: no name-counter or register-allocator perturbation),
+  // schedule it, and measure max-live under the schedule order. Rename
+  // registers are drawn from past F's allocator bound so copied ids never
+  // collide.
+  auto MeasureAt = [&](unsigned Fac, PressureEstimate &P,
+                       uint64_t &SpillCycles) {
+    Function Scratch("pressure.scratch");
+    BasicBlock *SB = Scratch.addBlock("body");
+    unsigned NextId = F.regUpperBound();
+    emitUnrolledBody(*Body, LSI, Fac, Renameable, *SB,
+                     [&] { return Reg(NextId++); });
+    SB->append(Term); // back edge: its targets are never dereferenced here
+    ScheduleResult S = scheduleBlock(*SB, TM);
+    P = estimateMaxLive(*SB, S.Order);
+    SpillCycles = spillPenaltyCycles(P, TM);
+  };
+
+  // Baseline: what one rolled iteration already spills. A loop whose body
+  // overflows the register file without any unrolling pays that charge
+  // once per iteration no matter what we do here, so the acceptance test
+  // below is *marginal*: factor Fac is acceptable when its spill charge
+  // (covering Fac iterations) stays within Fac rolled baselines plus the
+  // bus cycles coalescing recovers at Fac. Comparing absolute spill
+  // against the saving would wrongly refuse unrolling for every loop that
+  // is merely pre-existing-spilly, however profitable the unroll.
+  PressureEstimate RolledP;
+  uint64_t RolledSpill = 0;
+  MeasureAt(1, RolledP, RolledSpill);
+  Info.RolledSpillCycles = RolledSpill;
+
+  for (unsigned Fac = Factor; Fac >= 2; Fac /= 2) {
+    PressureEstimate P;
+    uint64_t SpillCycles = 0;
+    MeasureAt(Fac, P, SpillCycles);
+    if (SpillCycles <= Fac * RolledSpill + SavingCycles(Fac)) {
+      Info.Factor = Fac;
+      Info.Clamped = Fac != Factor;
+      Info.Pressure = P;
+      return Info;
+    }
+    if (Fac == Factor) {
+      Info.RefusedPressure = P;
+      Info.RefusedSpillCycles = SpillCycles;
+      Info.RefusedSavingCycles = SavingCycles(Fac);
+    }
+  }
+  // Even factor 2 spills more than coalescing recovers: do not unroll.
+  Info.Factor = 1;
+  Info.Clamped = true;
+  return Info;
 }

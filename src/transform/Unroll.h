@@ -40,6 +40,9 @@
 #define VPO_TRANSFORM_UNROLL_H
 
 #include "ir/Instruction.h"
+#include "sched/RegPressure.h"
+
+#include <vector>
 
 namespace vpo {
 
@@ -98,6 +101,51 @@ UnrollFailure unrollLoop(Function &F, const Loop &L,
 /// instruction cache; returns 1 if even factor 2 does not fit.
 unsigned chooseUnrollFactor(const Loop &L, const TargetMachine &TM,
                             unsigned MaxFactor);
+
+/// One partition of coalescable narrow references, as the coalescer's
+/// planning pass sees it: the pressure clamp's saving model uses these to
+/// estimate the bus cycles coalescing recovers at a given unroll factor.
+struct CoalescableGroup {
+  unsigned NarrowBytes = 0;      ///< width of each narrow reference
+  unsigned WideBytes = 0;        ///< bytes one wide reference would cover
+  unsigned RefsPerIteration = 1; ///< narrow references per rolled iteration
+};
+
+/// What the pressure clamp decided for one loop.
+struct PressureClampInfo {
+  /// The accepted factor (== the requested factor when not clamped).
+  unsigned Factor = 1;
+  /// True when the clamp refused the requested factor.
+  bool Clamped = false;
+  /// Schedule-order max-live at the accepted factor (when Factor >= 2).
+  PressureEstimate Pressure;
+  /// The estimate that justified the clamp: pressure, modeled spill
+  /// cycles, and modeled coalescing saving at the *refused* factor.
+  PressureEstimate RefusedPressure;
+  uint64_t RefusedSpillCycles = 0;
+  uint64_t RefusedSavingCycles = 0;
+  /// Modeled spill cycles of one rolled (factor-1) iteration — the
+  /// baseline the marginal acceptance rule scales by the candidate
+  /// factor. Non-zero when the loop body spills even without unrolling.
+  uint64_t RolledSpillCycles = 0;
+};
+
+/// Register-pressure-aware factor clamp: simulates the unrolled body of
+/// \p L at \p Factor (and, on refusal, each halved candidate) in a scratch
+/// function, schedules it, and measures max-live under the schedule.
+/// A factor Fac is refused when its modeled spill cost exceeds the
+/// *marginal* bound Fac * Spill(rolled) + Saving(Fac): a loop that spills
+/// even rolled pays Fac times its baseline spill charge anyway (the body
+/// executes once per iteration either way), so only spill traffic beyond
+/// that — pressure the unrolling itself created — counts against the bus
+/// cycles coalescing recovers at Fac. The
+/// function is read-only on \p F: all simulation happens on scratch blocks
+/// in a private function, so block-name counters and the register
+/// allocator of \p F are untouched.
+PressureClampInfo clampUnrollFactorForPressure(
+    const Function &F, const Loop &L, const LoopScalarInfo &LSI,
+    unsigned Factor, const TargetMachine &TM,
+    const std::vector<CoalescableGroup> &Groups);
 
 } // namespace vpo
 

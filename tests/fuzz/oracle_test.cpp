@@ -104,6 +104,57 @@ TEST(Oracle, FailKindNamesRoundTrip) {
   EXPECT_FALSE(failKindFromName("bogus").has_value());
 }
 
+// FaultKind::SchedLength is unlike the IR-corrupting kinds: it plants a
+// wrong schedule length into the profitability compare, which is not a
+// miscompile (both verdicts produce correct code) — so the guard rails
+// stay quiet and the exact-scheduler *audit* is the only layer that can
+// see it. The oracle's contract: a case passes only when the audit
+// actually reported the planted flip; a case where the plant went
+// unreported anywhere fails as AuditSilent.
+TEST(Oracle, PlantedSchedLengthIsReportedByTheAudit) {
+  // Seed 1's kernel coalesces profitably on alpha, so the planted skew
+  // flips at least one verdict and the audit must say so. A healthy
+  // reporting chain (skew -> flipped verdict -> profitability-flipped
+  // remark -> consistency scan) yields a pass; any break in it would
+  // surface as AuditSilent or RemarkDiverged.
+  OracleOptions O = fastOptions();
+  O.Inject = InjectSpec{"coalesce", FaultKind::SchedLength, 7};
+  OracleResult R = checkKernel(generateKernel(1), O);
+  EXPECT_TRUE(R.passed()) << R.render();
+}
+
+TEST(Oracle, UnreportedSchedLengthPlantFailsAsAuditSilent) {
+  // Seed 3's kernel has no profitably-coalescible loop on alpha: the
+  // planted skew flips nothing, the audit has nothing to report, and the
+  // self-test gate must refuse to call that a pass — silence about a
+  // plant is exactly the failure mode the gate exists to catch.
+  OracleOptions O = fastOptions();
+  O.Inject = InjectSpec{"coalesce", FaultKind::SchedLength, 7};
+  OracleResult R = checkKernel(generateKernel(3), O);
+  EXPECT_EQ(R.Kind, FailKind::AuditSilent) << R.render();
+}
+
+TEST(Oracle, SchedLengthGateNeedsTelemetryCompiles) {
+  // Without the telemetry compiles the audit has no sink and cannot
+  // speak, so the gate is documented as inert rather than silently
+  // failing every SchedLength case.
+  OracleOptions O = fastOptions();
+  O.CheckTelemetry = false;
+  O.Inject = InjectSpec{"coalesce", FaultKind::SchedLength, 7};
+  OracleResult R = checkKernel(generateKernel(3), O);
+  EXPECT_TRUE(R.passed()) << R.render();
+}
+
+TEST(Oracle, SchedLengthInjectSpecRoundTrips) {
+  auto I = InjectSpec::parse("coalesce:sched-length:9");
+  ASSERT_TRUE(I.has_value());
+  EXPECT_EQ(I->Kind, FaultKind::SchedLength);
+  EXPECT_EQ(I->render(), "coalesce:sched-length:9");
+  auto K = failKindFromName("audit-silent");
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, FailKind::AuditSilent);
+}
+
 TEST(Oracle, ConfigListShapedForDifferentialTesting) {
   std::vector<PipelineConfig> Configs = oracleConfigs();
   ASSERT_GE(Configs.size(), 4u);

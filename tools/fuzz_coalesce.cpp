@@ -261,9 +261,20 @@ int main(int Argc, char **Argv) {
     // were emitted and only misbehaves when those checks would have
     // failed, so the bar is that the behavioral oracle catches it at
     // least once across the campaign (a planted soundness bug must not
-    // survive a whole campaign unnoticed).
+    // survive a whole campaign unnoticed). The sched-length plant is
+    // different again: it is not a miscompile at all (both profitability
+    // verdicts produce correct code), so the guard rails and the
+    // behavioral oracle stay quiet by design and the exact-scheduler
+    // audit is the only layer that can see it. The oracle already folds
+    // that into the verdict — a case passes only when the audit reported
+    // the planted flip, and fails as audit-silent when the plant went
+    // unreported — so here "caught" means the case *passed*, and the bar
+    // is at-least-once across the campaign (kernels with no profitably
+    // coalescible loop have nothing to flip and are legitimately silent).
     const bool Behavioral =
         CO.Oracle.Inject->Kind == FaultKind::UnsoundProve;
+    const bool AuditPlant =
+        CO.Oracle.Inject->Kind == FaultKind::SchedLength;
     unsigned Caught = 0;
     const CaseOutcome *First = nullptr;
     for (const CaseOutcome &C : Report.Outcomes) {
@@ -273,6 +284,8 @@ int main(int Argc, char **Argv) {
               C.Result.Kind == FailKind::ReturnDiverged ||
               C.Result.Kind == FailKind::MemoryDiverged ||
               C.Result.Kind == FailKind::EngineDiverged;
+      else if (AuditPlant)
+        Hit = C.Result.passed();
       else
         Hit = C.Result.Kind == FailKind::CompileIncident;
       if (Hit) {
@@ -283,9 +296,9 @@ int main(int Argc, char **Argv) {
     }
     std::printf("planted fault caught in %u/%zu cases\n", Caught,
                 Report.Outcomes.size());
-    if (First && A.Reduce)
+    if (First && A.Reduce && !AuditPlant)
       reduceAndWrite(A, *First, CO.Oracle);
-    if (Behavioral)
+    if (Behavioral || AuditPlant)
       return Caught >= 1 ? 0 : 1;
     return Caught == Report.Outcomes.size() ? 0 : 1;
   }
